@@ -1,0 +1,76 @@
+//! Criterion micro-benchmarks backing experiments E2/E3/E11:
+//! construction time, query time vs |F|, and the adaptive-decoding
+//! ablation (Appendix B).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ftc_bench::{calibrated_params, sample_pairs, standard_graph, Flavor};
+use ftc_codes::ThresholdCodec;
+use ftc_core::{connected, FtcScheme};
+use ftc_field::Gf64;
+use ftc_graph::generators;
+use std::hint::black_box;
+
+/// E3 — construction time per backend (calibrated k so sizes are compute-
+/// bound, not allocation-bound).
+fn construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("construction");
+    group.sample_size(10);
+    for &n in &[128usize, 256] {
+        let g = standard_graph(n, 3);
+        for flavor in [Flavor::DetEpsNet, Flavor::RandFull] {
+            let params = calibrated_params(flavor, 4, 64);
+            group.bench_with_input(
+                BenchmarkId::new(format!("{flavor:?}"), n),
+                &g,
+                |b, g| b.iter(|| black_box(FtcScheme::build(g, &params).unwrap())),
+            );
+        }
+    }
+    group.finish();
+}
+
+/// E2 — query time vs |F| (budget f = 8, calibrated).
+fn query(c: &mut Criterion) {
+    let n = 256usize;
+    let g = standard_graph(n, 7);
+    let scheme = FtcScheme::build(&g, &calibrated_params(Flavor::DetEpsNet, 8, 256)).unwrap();
+    let l = scheme.labels();
+    let mut group = c.benchmark_group("query");
+    for &fsz in &[1usize, 2, 4, 8] {
+        let fault_ids = generators::random_fault_set(&g, fsz, fsz as u64);
+        let faults: Vec<_> = fault_ids.iter().map(|&e| l.edge_label_by_id(e)).collect();
+        let pairs = sample_pairs(n, 16, fsz as u64);
+        group.bench_with_input(BenchmarkId::new("faults", fsz), &fsz, |b, _| {
+            b.iter(|| {
+                for &(s, t) in &pairs {
+                    let _ = black_box(connected(l.vertex_label(s), l.vertex_label(t), &faults));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+/// E11 — adaptive (prefix) decoding vs full-threshold decoding for small
+/// actual boundaries under a large threshold k.
+fn adaptive_decoding(c: &mut Criterion) {
+    let k = 256usize;
+    let codec = ThresholdCodec::new(k);
+    let mut group = c.benchmark_group("adaptive_vs_full_decode");
+    for &t in &[1usize, 2, 4, 8] {
+        let mut syndrome = codec.zero_syndrome();
+        for i in 0..t {
+            codec.accumulate_edge(&mut syndrome, Gf64::new(0x1_0001 * (i as u64 + 1)));
+        }
+        group.bench_with_input(BenchmarkId::new("adaptive", t), &t, |b, _| {
+            b.iter(|| black_box(codec.decode_adaptive(&syndrome).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("full", t), &t, |b, _| {
+            b.iter(|| black_box(codec.decode(&syndrome).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, construction, query, adaptive_decoding);
+criterion_main!(benches);

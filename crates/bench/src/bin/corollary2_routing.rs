@@ -1,0 +1,67 @@
+//! Experiment E10 — Corollary 2: forbidden-set compact routing.
+//!
+//! Measures per-node/total routing-table sizes and the empirical stretch
+//! of routed paths as |F| grows (paper shape: stretch O(|F|²·k) for the
+//! table sizes of Corollary 2; our certificate-path instantiation should
+//! show stretch growing with |F| and tables dominated by the f-FTC labels).
+//!
+//! Run: `cargo run -p ftc-bench --release --bin corollary2_routing`
+
+use ftc_bench::{header, row, sample_pairs};
+use ftc_graph::{connectivity, generators, Graph};
+use ftc_routing::ForbiddenSetRouter;
+
+fn main() {
+    println!("## E10: forbidden-set routing (f = 3)\n");
+    header(&[
+        "graph",
+        "|F|",
+        "routed pairs",
+        "mean stretch",
+        "max stretch",
+        "disconnected",
+    ]);
+    let cases: Vec<(String, Graph)> = vec![
+        ("torus 5×5".into(), Graph::torus(5, 5)),
+        ("hypercube d=4".into(), Graph::hypercube(4)),
+        ("random n=36 m=72".into(), generators::random_connected(36, 37, 2)),
+    ];
+    for (name, g) in cases {
+        let router = ForbiddenSetRouter::new(&g, 3).expect("preprocess");
+        for fsz in 0..=3usize {
+            let mut stretches: Vec<f64> = Vec::new();
+            let mut disconnected = 0usize;
+            for seed in 0..8u64 {
+                let faults = generators::random_fault_set(&g, fsz, 31 * seed + fsz as u64);
+                for (s, t) in sample_pairs(g.n(), 50, seed + 17) {
+                    match router.route(s, t, &faults).unwrap() {
+                        None => disconnected += 1,
+                        Some(path) => {
+                            let opt = connectivity::distance_avoiding(&g, s, t, &faults)
+                                .expect("router found a path");
+                            stretches.push((path.len() - 1) as f64 / opt as f64);
+                        }
+                    }
+                }
+            }
+            let mean = stretches.iter().sum::<f64>() / stretches.len().max(1) as f64;
+            let max = stretches.iter().copied().fold(0.0f64, f64::max);
+            row(&[
+                name.clone(),
+                fsz.to_string(),
+                stretches.len().to_string(),
+                format!("{mean:.3}"),
+                format!("{max:.2}"),
+                disconnected.to_string(),
+            ]);
+        }
+        let t = router.table_report();
+        println!(
+            "tables for {name}: total {:.1} KiB, max local {:.2} KiB over {} nodes\n",
+            t.total_bits as f64 / 8192.0,
+            t.max_local_bits as f64 / 8192.0,
+            t.n
+        );
+    }
+    println!("(paper shape: stretch grows with |F|; tables are label-dominated, Õ(f²·polylog) per edge)");
+}

@@ -1,0 +1,83 @@
+//! Differential fuzz harness: hammers every backend (and the batch
+//! oracle, the serialization round trip, and the router) against the
+//! ground-truth oracle with seeded random graphs and fault sets. Runs
+//! until the requested budget is exhausted and reports totals; any
+//! disagreement aborts with a reproducer seed.
+//!
+//! Run: `cargo run -p ftc-bench --release --bin differential_fuzz [seconds]`
+
+use ftc_core::oracle::BatchQuery;
+use ftc_core::serial::{edge_from_bytes, edge_to_bytes};
+use ftc_core::{connected, FtcScheme, Params};
+use ftc_graph::{connectivity, generators};
+use ftc_routing::ForbiddenSetRouter;
+use std::time::{Duration, Instant};
+
+fn main() {
+    let budget: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20);
+    let deadline = Instant::now() + Duration::from_secs(budget);
+    let mut round = 0u64;
+    let mut queries = 0u64;
+    while Instant::now() < deadline {
+        round += 1;
+        let seed = round.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let n = 8 + (seed % 16) as usize;
+        let max_extra = n * (n - 1) / 2 - (n - 1);
+        let extra = (seed / 7 % 14) as usize;
+        let g = generators::random_connected(n, extra.min(max_extra), seed);
+        let f = 1 + (seed / 3 % 3) as usize;
+
+        let schemes = [
+            FtcScheme::build(&g, &Params::deterministic(f)).expect("det build"),
+            FtcScheme::build(&g, &Params::randomized(f, seed ^ 0xabc)).expect("rand build"),
+        ];
+        let router = ForbiddenSetRouter::new(&g, f).expect("router build");
+        let fset = generators::random_fault_set(&g, f.min(g.m()), seed ^ 0x55);
+
+        for scheme in &schemes {
+            let l = scheme.labels();
+            // Serialization round trip on the fault labels.
+            let faults: Vec<_> = fset
+                .iter()
+                .map(|&e| edge_from_bytes(&edge_to_bytes(l.edge_label_by_id(e))).expect("bytes"))
+                .collect();
+            let fault_refs: Vec<_> = faults.iter().collect();
+            let batch = (!fault_refs.is_empty()).then(|| BatchQuery::new(&fault_refs).expect("batch"));
+            for s in 0..g.n() {
+                for t in 0..g.n() {
+                    queries += 1;
+                    let want = connectivity::connected_avoiding(&g, s, t, &fset);
+                    let got = connected(l.vertex_label(s), l.vertex_label(t), &fault_refs)
+                        .unwrap_or_else(|e| panic!("seed {seed}: query error {e}"));
+                    assert_eq!(got, want, "seed {seed}: decoder disagrees at ({s},{t})");
+                    if let Some(b) = &batch {
+                        let bq = b
+                            .connected(l.vertex_label(s), l.vertex_label(t))
+                            .unwrap_or_else(|e| panic!("seed {seed}: batch error {e}"));
+                        assert_eq!(bq, want, "seed {seed}: batch disagrees at ({s},{t})");
+                    }
+                }
+            }
+        }
+        // Router differential: route existence ⇔ connectivity; paths valid.
+        for s in 0..g.n() {
+            for t in 0..g.n() {
+                let want = connectivity::connected_avoiding(&g, s, t, &fset);
+                match router.route(s, t, &fset).expect("route") {
+                    None => assert!(!want, "seed {seed}: router missed a path ({s},{t})"),
+                    Some(p) => {
+                        assert!(want, "seed {seed}: phantom path");
+                        assert_eq!(p.first(), Some(&s));
+                        assert_eq!(p.last(), Some(&t));
+                    }
+                }
+            }
+        }
+    }
+    println!(
+        "differential fuzz: {round} rounds, {queries} decoder queries, 0 disagreements"
+    );
+}

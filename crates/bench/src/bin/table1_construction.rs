@@ -1,0 +1,48 @@
+//! Experiment E3 — Table 1, "construction" column.
+//!
+//! Measures construction wall-time as m grows (n = m/2): the deterministic
+//! ε-net row should scale near-linearly in m (Õ(m·f²) with k fixed by
+//! calibration), the randomized row slightly cheaper, the greedy poly-time
+//! row visibly superlinear.
+//!
+//! Run: `cargo run -p ftc-bench --release --bin table1_construction`
+
+use ftc_bench::{build_timed, calibrated_params, fit_exponent, header, row, standard_graph, Flavor};
+
+fn main() {
+    println!("## E3: construction time vs m (f = 4, calibrated k = 128)\n");
+    header(&["scheme", "n", "m", "build (ms)", "levels"]);
+    let mut series: Vec<(Flavor, Vec<f64>, Vec<f64>)> = vec![
+        (Flavor::DetEpsNet, vec![], vec![]),
+        (Flavor::RandFull, vec![], vec![]),
+        (Flavor::DetGreedy, vec![], vec![]),
+    ];
+    for &n in &[128usize, 256, 512, 1024] {
+        let g = standard_graph(n, 3);
+        for (flavor, xs, ys) in series.iter_mut() {
+            if *flavor == Flavor::DetGreedy && n > 256 {
+                continue; // the O(N³) greedy is the poly-time row
+            }
+            let (scheme, d) = build_timed(&g, &calibrated_params(*flavor, 4, 128));
+            xs.push(g.m() as f64);
+            ys.push(d.as_secs_f64().max(1e-6));
+            row(&[
+                flavor.label().into(),
+                n.to_string(),
+                g.m().to_string(),
+                format!("{:.1}", d.as_secs_f64() * 1e3),
+                scheme.diagnostics().levels.to_string(),
+            ]);
+        }
+    }
+    println!();
+    for (flavor, xs, ys) in &series {
+        if xs.len() >= 2 {
+            println!(
+                "fitted m-exponent for {}: {:.2} (near-linear rows should sit close to 1)",
+                flavor.label(),
+                fit_exponent(xs, ys)
+            );
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! Experiment E4 — Table 1, "correctness" column (full vs whp support).
+//!
+//! Runs the *entire* (s, t, F) query space, |F| ≤ f, on a small graph for
+//! the deterministic scheme (expected: 0 wrong, 0 failed out of every
+//! query) and the whp sketch baseline (expected: 0 silently-wrong, a small
+//! number of flagged failures).
+//!
+//! Run: `cargo run -p ftc-bench --release --bin table1_correctness`
+
+use ftc_bench::{header, row, standard_graph};
+use ftc_core::baseline::{SketchParams, SketchScheme};
+use ftc_core::{connected, FtcScheme, Params};
+use ftc_graph::connectivity;
+
+fn main() {
+    let g = standard_graph(16, 77);
+    let m = g.m();
+    println!(
+        "## E4: full vs whp query support — exhaustive sweep (n = 16, m = {m}, f = 2)\n"
+    );
+    header(&["scheme", "queries", "wrong", "flagged failures"]);
+
+    // Enumerate all fault sets of size ≤ 2 and all ordered (s,t) pairs.
+    let mut fault_sets: Vec<Vec<usize>> = vec![vec![]];
+    fault_sets.extend((0..m).map(|e| vec![e]));
+    for a in 0..m {
+        for b in (a + 1)..m {
+            fault_sets.push(vec![a, b]);
+        }
+    }
+
+    // Deterministic scheme.
+    let det = FtcScheme::build(&g, &Params::deterministic(2)).expect("build");
+    let dl = det.labels();
+    let (mut dw, mut df, mut dq) = (0usize, 0usize, 0usize);
+    for fset in &fault_sets {
+        let faults: Vec<_> = fset.iter().map(|&e| dl.edge_label_by_id(e)).collect();
+        for s in 0..g.n() {
+            for t in 0..g.n() {
+                dq += 1;
+                match connected(dl.vertex_label(s), dl.vertex_label(t), &faults) {
+                    Ok(got) => {
+                        if got != connectivity::connected_avoiding(&g, s, t, fset) {
+                            dw += 1;
+                        }
+                    }
+                    Err(_) => df += 1,
+                }
+            }
+        }
+    }
+    row(&[
+        "det-epsnet (full support)".into(),
+        dq.to_string(),
+        dw.to_string(),
+        df.to_string(),
+    ]);
+
+    // whp sketch baseline, a few repetition counts.
+    for reps in [2usize, 4, 8] {
+        let whp = SketchScheme::build(&g, &SketchParams { f: 2, reps, seed: 5 }).expect("build");
+        let wl = whp.labels();
+        let (mut ww, mut wf, mut wq) = (0usize, 0usize, 0usize);
+        for fset in &fault_sets {
+            let faults: Vec<_> = fset.iter().map(|&e| wl.edge_label_by_id(e)).collect();
+            for s in 0..g.n() {
+                for t in 0..g.n() {
+                    wq += 1;
+                    match connected(wl.vertex_label(s), wl.vertex_label(t), &faults) {
+                        Ok(got) => {
+                            if got != connectivity::connected_avoiding(&g, s, t, fset) {
+                                ww += 1;
+                            }
+                        }
+                        Err(_) => wf += 1,
+                    }
+                }
+            }
+        }
+        row(&[
+            format!("whp-sketch ({reps} reps)"),
+            wq.to_string(),
+            ww.to_string(),
+            wf.to_string(),
+        ]);
+    }
+    println!();
+    println!("(paper shape: deterministic rows answer every query — whp rows cannot)");
+    assert_eq!(dw + df, 0, "the deterministic scheme must be perfect");
+}

@@ -1,0 +1,89 @@
+//! Property-based tests for the k-threshold outdetect codec.
+
+use ftc_codes::{DecodeError, ThresholdCodec};
+use ftc_field::Gf64;
+use proptest::collection::btree_set;
+use proptest::prelude::*;
+
+fn encode(codec: &ThresholdCodec, edges: &[Gf64]) -> Vec<Gf64> {
+    let mut s = codec.zero_syndrome();
+    for &e in edges {
+        codec.accumulate_edge(&mut s, e);
+    }
+    s
+}
+
+proptest! {
+    /// Any edge set of size ≤ k decodes exactly, both with full and
+    /// adaptive decoding.
+    #[test]
+    fn roundtrip_within_threshold(raw in btree_set(1u64.., 0..=12usize)) {
+        let edges: Vec<Gf64> = raw.into_iter().map(Gf64::new).collect();
+        let codec = ThresholdCodec::new(12);
+        let s = encode(&codec, &edges);
+        for decoded in [codec.decode(&s).unwrap(), codec.decode_adaptive(&s).unwrap()] {
+            let mut got = decoded;
+            got.sort();
+            prop_assert_eq!(&got, &edges);
+        }
+    }
+
+    /// Within the Vandermonde regime (|R| + |T| ≤ 2k) a verified decode is
+    /// exact; beyond it (Proposition 2's "unspecified" zone) any accepted
+    /// answer must at least be syndrome-consistent.
+    #[test]
+    fn overload_is_at_worst_syndrome_consistent(raw in btree_set(1u64.., 5..=20usize)) {
+        let edges: Vec<Gf64> = raw.into_iter().map(Gf64::new).collect();
+        let codec = ThresholdCodec::new(4);
+        let s = encode(&codec, &edges);
+        match codec.decode_adaptive(&s) {
+            Err(DecodeError::ThresholdExceeded) => {}
+            Ok(got) => {
+                if got.len() + edges.len() <= 2 * codec.k() {
+                    let mut sorted = got.clone();
+                    sorted.sort();
+                    prop_assert_eq!(&sorted, &edges, "exactness in the Vandermonde regime");
+                }
+                prop_assert_eq!(encode(&codec, &got), s, "accepted answers match the syndrome");
+            }
+        }
+    }
+
+    /// The hard exactness guarantee: whenever |T| ≤ k the decode is exact —
+    /// even in the presence of the characteristic-2 phantom-set phenomenon.
+    #[test]
+    fn within_threshold_decode_is_never_wrong(raw in btree_set(1u64.., 1..=4usize)) {
+        let edges: Vec<Gf64> = raw.into_iter().map(Gf64::new).collect();
+        let codec = ThresholdCodec::new(4);
+        let s = encode(&codec, &edges);
+        let mut got = codec.decode_adaptive(&s).expect("within threshold");
+        got.sort();
+        prop_assert_eq!(got, edges);
+    }
+
+    /// Syndromes are linear: encode(A) ⊕ encode(B) = encode(A △ B).
+    #[test]
+    fn syndrome_linearity(
+        a in btree_set(1u64.., 0..=8usize),
+        b in btree_set(1u64.., 0..=8usize),
+    ) {
+        let codec = ThresholdCodec::new(16);
+        let ea: Vec<Gf64> = a.iter().copied().map(Gf64::new).collect();
+        let eb: Vec<Gf64> = b.iter().copied().map(Gf64::new).collect();
+        let sym: Vec<Gf64> = a.symmetric_difference(&b).copied().map(Gf64::new).collect();
+        let mut s = encode(&codec, &ea);
+        ThresholdCodec::xor_into(&mut s, &encode(&codec, &eb));
+        prop_assert_eq!(s, encode(&codec, &sym));
+    }
+
+    /// Proposition 6: the 2k'-prefix of an RS(k) label is the RS(k') label.
+    #[test]
+    fn prefix_is_smaller_codec(raw in btree_set(1u64.., 1..=6usize), k_small in 1usize..=8) {
+        let edges: Vec<Gf64> = raw.into_iter().map(Gf64::new).collect();
+        let big = ThresholdCodec::new(16);
+        let small = ThresholdCodec::new(k_small);
+        let sb = encode(&big, &edges);
+        let ss = encode(&small, &edges);
+        prop_assert_eq!(&sb[..small.syndrome_len()], &ss[..]);
+    }
+}

@@ -1,0 +1,279 @@
+//! The round-synchronous CONGEST network simulator.
+
+use ftc_graph::{Graph, VertexId};
+
+/// A CONGEST message: a tag byte plus a payload word.
+///
+/// The bit budget of the model is enforced against [`Msg::bits`]. Field
+/// elements of the outdetect labels occupy one full 64-bit word — the
+/// paper's field has order `poly(n)`, i.e. `O(log n)` bits; we fix
+/// GF(2⁶⁴), so a word counts as one `O(log n)`-bit message in the standard
+/// word-RAM convention (documented in DESIGN.md).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Msg {
+    /// Protocol tag (identifies the message kind within a program).
+    pub tag: u8,
+    /// Payload word.
+    pub a: u64,
+    /// Secondary payload word (e.g. a sequence number); many programs
+    /// leave it 0.
+    pub b: u64,
+}
+
+impl Msg {
+    /// Creates a message.
+    pub fn new(tag: u8, a: u64, b: u64) -> Msg {
+        Msg { tag, a, b }
+    }
+
+    /// Number of significant payload bits (tag excluded).
+    pub fn bits(&self) -> u32 {
+        (64 - self.a.leading_zeros()) + (64 - self.b.leading_zeros())
+    }
+}
+
+/// A per-node state machine. All nodes run the same program type; the
+/// simulator drives them in lockstep.
+pub trait NodeProgram {
+    /// Called once before round 1; returns the initial outbox
+    /// (`(neighbor_port, message)` pairs).
+    fn start(&mut self, node: VertexId, neighbors: &[VertexId]) -> Vec<(usize, Msg)>;
+
+    /// Called every round with the inbox (`(neighbor_port, message)`)
+    /// delivered this round; returns the outbox for the next round.
+    fn on_round(
+        &mut self,
+        node: VertexId,
+        neighbors: &[VertexId],
+        inbox: &[(usize, Msg)],
+    ) -> Vec<(usize, Msg)>;
+}
+
+/// A port-numbered network over an undirected graph.
+#[derive(Clone, Debug)]
+pub struct Network {
+    /// `adj[v]` lists the neighbor IDs of `v`; the index is `v`'s port
+    /// number for that neighbor.
+    adj: Vec<Vec<VertexId>>,
+    /// `rev[v][p]` is the port of `v` on the neighbor reached through
+    /// `v`'s port `p`.
+    rev: Vec<Vec<usize>>,
+}
+
+/// Outcome of a simulation run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RunStats {
+    /// Rounds executed until quiescence.
+    pub rounds: usize,
+    /// Total messages delivered.
+    pub messages: usize,
+    /// Maximum payload bits observed in any message.
+    pub max_bits: u32,
+}
+
+impl Network {
+    /// Builds the network of a graph (parallel edges collapse into
+    /// distinct ports; self-loops are impossible by `Graph`'s contract).
+    pub fn from_graph(g: &Graph) -> Network {
+        let mut adj: Vec<Vec<VertexId>> = vec![Vec::new(); g.n()];
+        let mut rev: Vec<Vec<usize>> = vec![Vec::new(); g.n()];
+        for (_, u, v) in g.edge_iter() {
+            let pu = adj[u].len();
+            let pv = adj[v].len();
+            adj[u].push(v);
+            adj[v].push(u);
+            rev[u].push(pv);
+            rev[v].push(pu);
+        }
+        Network { adj, rev }
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Neighbor list (ports) of `v`.
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        &self.adj[v]
+    }
+
+    /// Runs one program per node until quiescence (no messages in flight)
+    /// or `max_rounds`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a message exceeds `bit_budget` payload bits, if a program
+    /// sends to an invalid port, or if `max_rounds` is exhausted (a stuck
+    /// protocol is a bug, not a result).
+    pub fn run<P: NodeProgram>(
+        &self,
+        programs: &mut [P],
+        bit_budget: u32,
+        max_rounds: usize,
+    ) -> RunStats {
+        assert_eq!(programs.len(), self.n(), "one program per node");
+        let mut inflight: Vec<Vec<(usize, Msg)>> = vec![Vec::new(); self.n()];
+        let mut messages = 0usize;
+        let mut max_bits = 0u32;
+        // Start phase.
+        for (v, prog) in programs.iter_mut().enumerate() {
+            for (port, msg) in prog.start(v, &self.adj[v]) {
+                self.post(v, port, msg, &mut inflight, bit_budget, &mut max_bits);
+                messages += 1;
+            }
+        }
+        let mut rounds = 0usize;
+        while inflight.iter().any(|q| !q.is_empty()) {
+            rounds += 1;
+            assert!(rounds <= max_rounds, "protocol did not quiesce in {max_rounds} rounds");
+            let delivered = std::mem::replace(&mut inflight, vec![Vec::new(); self.n()]);
+            for (v, inbox) in delivered.into_iter().enumerate() {
+                let out = programs[v].on_round(v, &self.adj[v], &inbox);
+                for (port, msg) in out {
+                    self.post(v, port, msg, &mut inflight, bit_budget, &mut max_bits);
+                    messages += 1;
+                }
+            }
+        }
+        RunStats {
+            rounds,
+            messages,
+            max_bits,
+        }
+    }
+
+    fn post(
+        &self,
+        from: VertexId,
+        port: usize,
+        msg: Msg,
+        inflight: &mut [Vec<(usize, Msg)>],
+        bit_budget: u32,
+        max_bits: &mut u32,
+    ) {
+        assert!(port < self.adj[from].len(), "node {from} sent on invalid port {port}");
+        assert!(
+            msg.bits() <= bit_budget,
+            "message of {} bits exceeds the {}-bit CONGEST budget",
+            msg.bits(),
+            bit_budget
+        );
+        *max_bits = (*max_bits).max(msg.bits());
+        let to = self.adj[from][port];
+        let back_port = self.rev[from][port];
+        inflight[to].push((back_port, msg));
+    }
+}
+
+/// The conventional CONGEST bit budget for an `n`-node network:
+/// a small constant number of `⌈log₂ n⌉`-bit words (we allow four,
+/// matching the field-element payloads of the outdetect labels).
+pub fn standard_budget(n: usize) -> u32 {
+    let logn = if n <= 2 {
+        1
+    } else {
+        (usize::BITS - (n - 1).leading_zeros()) as u32
+    };
+    (4 * logn).max(128)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Flood: the root sends a token; everyone forwards once.
+    struct Flood {
+        is_root: bool,
+        seen: bool,
+    }
+
+    impl NodeProgram for Flood {
+        fn start(&mut self, _v: VertexId, neighbors: &[VertexId]) -> Vec<(usize, Msg)> {
+            if self.is_root {
+                self.seen = true;
+                (0..neighbors.len()).map(|p| (p, Msg::new(1, 7, 0))).collect()
+            } else {
+                Vec::new()
+            }
+        }
+
+        fn on_round(
+            &mut self,
+            _v: VertexId,
+            neighbors: &[VertexId],
+            inbox: &[(usize, Msg)],
+        ) -> Vec<(usize, Msg)> {
+            if !self.seen && !inbox.is_empty() {
+                self.seen = true;
+                (0..neighbors.len()).map(|p| (p, Msg::new(1, 7, 0))).collect()
+            } else {
+                Vec::new()
+            }
+        }
+    }
+
+    #[test]
+    fn flood_reaches_everyone_in_diameter_rounds() {
+        let g = Graph::path(6);
+        let net = Network::from_graph(&g);
+        let mut progs: Vec<Flood> = (0..6).map(|v| Flood { is_root: v == 0, seen: false }).collect();
+        let stats = net.run(&mut progs, standard_budget(6), 100);
+        assert!(progs.iter().all(|p| p.seen));
+        // Path of 6: farthest node is 5 hops away; one extra round drains
+        // the final forwards.
+        assert!(stats.rounds >= 5 && stats.rounds <= 7, "rounds = {}", stats.rounds);
+        assert!(stats.max_bits <= standard_budget(6));
+    }
+
+    #[test]
+    fn ports_are_symmetric() {
+        let g = Graph::cycle(4);
+        let net = Network::from_graph(&g);
+        for v in 0..4 {
+            for (p, &w) in net.neighbors(v).iter().enumerate() {
+                let back = net.rev[v][p];
+                assert_eq!(net.adj[w][back], v);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn oversized_messages_rejected() {
+        struct Blaster;
+        impl NodeProgram for Blaster {
+            fn start(&mut self, _v: VertexId, n: &[VertexId]) -> Vec<(usize, Msg)> {
+                if n.is_empty() {
+                    vec![]
+                } else {
+                    vec![(0, Msg::new(0, u64::MAX, u64::MAX))]
+                }
+            }
+            fn on_round(&mut self, _: VertexId, _: &[VertexId], _: &[(usize, Msg)]) -> Vec<(usize, Msg)> {
+                vec![]
+            }
+        }
+        let g = Graph::path(2);
+        let net = Network::from_graph(&g);
+        net.run(&mut [Blaster, Blaster], 16, 10);
+    }
+
+    #[test]
+    fn quiescent_network_stops_immediately() {
+        struct Idle;
+        impl NodeProgram for Idle {
+            fn start(&mut self, _: VertexId, _: &[VertexId]) -> Vec<(usize, Msg)> {
+                vec![]
+            }
+            fn on_round(&mut self, _: VertexId, _: &[VertexId], _: &[(usize, Msg)]) -> Vec<(usize, Msg)> {
+                vec![]
+            }
+        }
+        let g = Graph::cycle(3);
+        let net = Network::from_graph(&g);
+        let stats = net.run(&mut [Idle, Idle, Idle], 64, 10);
+        assert_eq!(stats.rounds, 0);
+        assert_eq!(stats.messages, 0);
+    }
+}

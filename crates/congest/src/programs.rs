@@ -1,0 +1,432 @@
+//! The node programs of the distributed construction (paper Section 8).
+
+use crate::network::{Msg, NodeProgram};
+use ftc_graph::VertexId;
+
+// ---------------------------------------------------------------------------
+// BFS tree election
+// ---------------------------------------------------------------------------
+
+/// Layered BFS-tree election from a designated root. Each node adopts as
+/// parent the smallest-ID neighbor among the first round's offers
+/// (deterministic tie-breaking), then offers to its other neighbors.
+pub struct BfsProgram {
+    is_root: bool,
+    /// Adopted parent (port, id), or `None` (root / unreached).
+    pub parent: Option<(usize, VertexId)>,
+    joined: bool,
+    /// BFS depth once joined.
+    pub depth: u64,
+}
+
+impl BfsProgram {
+    /// One program per node; `root` marks the BFS origin.
+    pub fn new_for(node: VertexId, root: VertexId) -> BfsProgram {
+        BfsProgram {
+            is_root: node == root,
+            parent: None,
+            joined: false,
+            depth: 0,
+        }
+    }
+}
+
+const TAG_JOIN: u8 = 1;
+
+impl NodeProgram for BfsProgram {
+    fn start(&mut self, _v: VertexId, neighbors: &[VertexId]) -> Vec<(usize, Msg)> {
+        if self.is_root {
+            self.joined = true;
+            (0..neighbors.len())
+                .map(|p| (p, Msg::new(TAG_JOIN, 0, 0)))
+                .collect()
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn on_round(
+        &mut self,
+        _v: VertexId,
+        neighbors: &[VertexId],
+        inbox: &[(usize, Msg)],
+    ) -> Vec<(usize, Msg)> {
+        if self.joined || inbox.is_empty() {
+            return Vec::new();
+        }
+        // Adopt the smallest-ID offering neighbor.
+        let &(port, msg) = inbox
+            .iter()
+            .filter(|(_, m)| m.tag == TAG_JOIN)
+            .min_by_key(|&&(p, _)| neighbors[p])
+            .expect("nonempty inbox");
+        self.joined = true;
+        self.parent = Some((port, neighbors[port]));
+        self.depth = msg.a + 1;
+        (0..neighbors.len())
+            .filter(|&p| p != port)
+            .map(|p| (p, Msg::new(TAG_JOIN, self.depth, 0)))
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Convergecast (single-word aggregation up a known tree)
+// ---------------------------------------------------------------------------
+
+/// How a convergecast combines child contributions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Combine {
+    /// Arithmetic sum (e.g. subtree sizes).
+    Sum,
+    /// Bitwise XOR (e.g. GF(2)-linear labels).
+    Xor,
+}
+
+/// Single-word convergecast over an externally supplied tree: each node
+/// knows its parent port and child ports; leaves fire immediately, inner
+/// nodes fire once all children reported. After quiescence every node's
+/// [`ConvergecastProgram::aggregate`] holds the combined value of its
+/// subtree.
+pub struct ConvergecastProgram {
+    parent_port: Option<usize>,
+    child_ports: Vec<usize>,
+    combine: Combine,
+    received: usize,
+    /// Combined value of this node's subtree (valid once `received ==
+    /// child_ports.len()`).
+    pub aggregate: u64,
+    sent: bool,
+}
+
+const TAG_AGG: u8 = 2;
+
+impl ConvergecastProgram {
+    /// Creates the program for one node.
+    pub fn new(
+        parent_port: Option<usize>,
+        child_ports: Vec<usize>,
+        own: u64,
+        combine: Combine,
+    ) -> ConvergecastProgram {
+        ConvergecastProgram {
+            parent_port,
+            child_ports,
+            combine,
+            received: 0,
+            aggregate: own,
+            sent: false,
+        }
+    }
+
+    fn maybe_fire(&mut self) -> Vec<(usize, Msg)> {
+        if !self.sent && self.received == self.child_ports.len() {
+            self.sent = true;
+            if let Some(p) = self.parent_port {
+                return vec![(p, Msg::new(TAG_AGG, self.aggregate, 0))];
+            }
+        }
+        Vec::new()
+    }
+}
+
+impl NodeProgram for ConvergecastProgram {
+    fn start(&mut self, _v: VertexId, _n: &[VertexId]) -> Vec<(usize, Msg)> {
+        self.maybe_fire()
+    }
+
+    fn on_round(
+        &mut self,
+        _v: VertexId,
+        _n: &[VertexId],
+        inbox: &[(usize, Msg)],
+    ) -> Vec<(usize, Msg)> {
+        for &(port, msg) in inbox {
+            if msg.tag != TAG_AGG || !self.child_ports.contains(&port) {
+                continue;
+            }
+            self.received += 1;
+            self.aggregate = match self.combine {
+                Combine::Sum => self.aggregate.wrapping_add(msg.a),
+                Combine::Xor => self.aggregate ^ msg.a,
+            };
+        }
+        self.maybe_fire()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Top-down order assignment (ancestry labels, Section 8 style)
+// ---------------------------------------------------------------------------
+
+/// Top-down assignment of contiguous pre-order blocks: the root takes
+/// pre-order `base`; each node, knowing its children's subtree sizes (from
+/// a prior convergecast), hands child `i` the block starting right after
+/// the blocks of children `0..i`. After quiescence every node knows its
+/// `pre` and (with its own subtree size) its `last = pre + size − 1`.
+pub struct OrderAssignProgram {
+    parent_port: Option<usize>,
+    /// `(child_port, child_subtree_size)` in the desired child order.
+    children: Vec<(usize, u64)>,
+    /// This node's assigned pre-order (root: preset; others: filled in).
+    pub pre: Option<u64>,
+    fired: bool,
+}
+
+const TAG_ORDER: u8 = 3;
+
+impl OrderAssignProgram {
+    /// Creates the program; roots pass `Some(base)` as their preassigned
+    /// pre-order.
+    pub fn new(
+        parent_port: Option<usize>,
+        children: Vec<(usize, u64)>,
+        root_pre: Option<u64>,
+    ) -> OrderAssignProgram {
+        OrderAssignProgram {
+            parent_port,
+            children,
+            pre: root_pre,
+            fired: false,
+        }
+    }
+
+    fn assign_children(&mut self) -> Vec<(usize, Msg)> {
+        if self.fired {
+            return Vec::new();
+        }
+        let Some(pre) = self.pre else {
+            return Vec::new();
+        };
+        self.fired = true;
+        let mut cursor = pre + 1;
+        let mut out = Vec::with_capacity(self.children.len());
+        for &(port, size) in &self.children {
+            out.push((port, Msg::new(TAG_ORDER, cursor, 0)));
+            cursor += size;
+        }
+        out
+    }
+}
+
+impl NodeProgram for OrderAssignProgram {
+    fn start(&mut self, _v: VertexId, _n: &[VertexId]) -> Vec<(usize, Msg)> {
+        self.assign_children()
+    }
+
+    fn on_round(
+        &mut self,
+        _v: VertexId,
+        _n: &[VertexId],
+        inbox: &[(usize, Msg)],
+    ) -> Vec<(usize, Msg)> {
+        for &(port, msg) in inbox {
+            if msg.tag == TAG_ORDER && Some(port) == self.parent_port {
+                self.pre = Some(msg.a);
+            }
+        }
+        self.assign_children()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pipelined wide-vector convergecast (outdetect label aggregation)
+// ---------------------------------------------------------------------------
+
+/// Pipelined convergecast of an `L`-word XOR vector: word `j` travels up
+/// as soon as all children delivered their word `j`, so the whole
+/// aggregation completes in `height + L` rounds instead of `height·L` —
+/// the "standard pipeline technique" the paper invokes for the
+/// `Õ(D + f²)`-round outdetect label construction.
+pub struct PipelinedXorProgram {
+    parent_port: Option<usize>,
+    child_ports: Vec<usize>,
+    /// The aggregated vector (own value XOR children, filled word by
+    /// word). After quiescence this is the node's subtree sum — i.e. the
+    /// outdetect label of its parent edge.
+    pub vector: Vec<u64>,
+    /// Per-word count of children contributions received.
+    received: Vec<usize>,
+    next_to_send: usize,
+}
+
+const TAG_VEC: u8 = 4;
+
+impl PipelinedXorProgram {
+    /// Creates the program with this node's own vector.
+    pub fn new(
+        parent_port: Option<usize>,
+        child_ports: Vec<usize>,
+        own: Vec<u64>,
+    ) -> PipelinedXorProgram {
+        let len = own.len();
+        PipelinedXorProgram {
+            parent_port,
+            child_ports,
+            vector: own,
+            received: vec![0; len],
+            next_to_send: 0,
+        }
+    }
+
+    fn pump(&mut self) -> Vec<(usize, Msg)> {
+        // Send at most ONE word per round per edge (the CONGEST constraint).
+        let mut out = Vec::new();
+        if self.next_to_send < self.vector.len()
+            && self.received[self.next_to_send] == self.child_ports.len()
+        {
+            let j = self.next_to_send;
+            self.next_to_send += 1;
+            if let Some(p) = self.parent_port {
+                out.push((p, Msg::new(TAG_VEC, self.vector[j], j as u64)));
+            }
+        }
+        out
+    }
+}
+
+impl NodeProgram for PipelinedXorProgram {
+    fn start(&mut self, _v: VertexId, _n: &[VertexId]) -> Vec<(usize, Msg)> {
+        self.pump()
+    }
+
+    fn on_round(
+        &mut self,
+        _v: VertexId,
+        _n: &[VertexId],
+        inbox: &[(usize, Msg)],
+    ) -> Vec<(usize, Msg)> {
+        for &(port, msg) in inbox {
+            if msg.tag != TAG_VEC || !self.child_ports.contains(&port) {
+                continue;
+            }
+            let j = msg.b as usize;
+            self.vector[j] ^= msg.a;
+            self.received[j] += 1;
+        }
+        self.pump()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::{standard_budget, Network};
+    use ftc_graph::{Graph, RootedTree};
+
+    fn tree_ports(
+        g: &Graph,
+        t: &RootedTree,
+        net: &Network,
+    ) -> (Vec<Option<usize>>, Vec<Vec<usize>>) {
+        // Map parent/child relations to port numbers.
+        let mut parent_port = vec![None; g.n()];
+        let mut child_ports = vec![Vec::new(); g.n()];
+        for v in 0..g.n() {
+            for (p, &w) in net.neighbors(v).iter().enumerate() {
+                if t.parent(v) == Some(w) && parent_port[v].is_none() {
+                    parent_port[v] = Some(p);
+                } else if t.parent(w) == Some(v) && !child_ports[v].iter().any(|&cp| net.neighbors(v)[cp] == w) {
+                    child_ports[v].push(p);
+                }
+            }
+        }
+        (parent_port, child_ports)
+    }
+
+    #[test]
+    fn bfs_program_builds_a_bfs_tree() {
+        let g = Graph::grid(4, 4);
+        let net = Network::from_graph(&g);
+        let mut progs: Vec<BfsProgram> = (0..16).map(|v| BfsProgram::new_for(v, 0)).collect();
+        let stats = net.run(&mut progs, standard_budget(16), 1000);
+        let dist = g.bfs_distances(0, |_| false);
+        for v in 1..16 {
+            let (_, pid) = progs[v].parent.expect("all reached");
+            assert_eq!(progs[v].depth as usize, dist[v].unwrap(), "depth of {v}");
+            assert_eq!(dist[pid].unwrap() + 1, dist[v].unwrap(), "parent of {v} is one layer up");
+        }
+        // BFS completes in about diameter rounds.
+        assert!(stats.rounds <= 10, "rounds = {}", stats.rounds);
+    }
+
+    #[test]
+    fn convergecast_computes_subtree_sizes() {
+        let g = Graph::from_edges(7, &[(0, 1), (0, 2), (1, 3), (1, 4), (2, 5), (5, 6)]);
+        let t = RootedTree::bfs(&g, 0);
+        let net = Network::from_graph(&g);
+        let (pp, cp) = tree_ports(&g, &t, &net);
+        let mut progs: Vec<ConvergecastProgram> = (0..7)
+            .map(|v| ConvergecastProgram::new(pp[v], cp[v].clone(), 1, Combine::Sum))
+            .collect();
+        net.run(&mut progs, standard_budget(7), 1000);
+        let sizes = t.subtree_sizes();
+        for v in 0..7 {
+            assert_eq!(progs[v].aggregate as usize, sizes[v], "subtree size of {v}");
+        }
+    }
+
+    #[test]
+    fn order_assignment_matches_central_preorders() {
+        let g = Graph::from_edges(7, &[(0, 1), (0, 2), (1, 3), (1, 4), (2, 5), (5, 6)]);
+        let t = RootedTree::bfs(&g, 0);
+        let net = Network::from_graph(&g);
+        let (pp, cp) = tree_ports(&g, &t, &net);
+        let sizes = t.subtree_sizes();
+        let mut progs: Vec<OrderAssignProgram> = (0..7)
+            .map(|v| {
+                // Children in the same order as the tree's child lists.
+                let children: Vec<(usize, u64)> = t
+                    .children(v)
+                    .iter()
+                    .map(|&c| {
+                        let port = cp[v]
+                            .iter()
+                            .copied()
+                            .find(|&p| net.neighbors(v)[p] == c)
+                            .expect("child port exists");
+                        (port, sizes[c] as u64)
+                    })
+                    .collect();
+                let root_pre = if v == 0 { Some(0) } else { None };
+                OrderAssignProgram::new(pp[v], children, root_pre)
+            })
+            .collect();
+        net.run(&mut progs, standard_budget(7), 1000);
+        for v in 0..7 {
+            assert_eq!(progs[v].pre, Some(t.pre(v) as u64), "pre-order of {v}");
+        }
+    }
+
+    #[test]
+    fn pipelined_vector_aggregation_is_fast_and_correct() {
+        // A path of length h with vectors of length L must finish in
+        // ~h + L rounds, not h·L.
+        let h = 12usize;
+        let l = 16usize;
+        let g = Graph::path(h);
+        let t = RootedTree::bfs(&g, 0);
+        let net = Network::from_graph(&g);
+        let (pp, cp) = tree_ports(&g, &t, &net);
+        let mut progs: Vec<PipelinedXorProgram> = (0..h)
+            .map(|v| {
+                let own: Vec<u64> = (0..l).map(|j| ((v * 31 + j) as u64) << 3).collect();
+                PipelinedXorProgram::new(pp[v], cp[v].clone(), own)
+            })
+            .collect();
+        let stats = net.run(&mut progs, standard_budget(h), 10_000);
+        // Correctness: node 0's vector is the XOR over the whole path.
+        let mut want = vec![0u64; l];
+        for v in 0..h {
+            for (j, w) in want.iter_mut().enumerate() {
+                *w ^= ((v * 31 + j) as u64) << 3;
+            }
+        }
+        assert_eq!(progs[0].vector, want);
+        assert!(
+            stats.rounds <= h + l + 4,
+            "pipelining failed: {} rounds for h={h}, L={l}",
+            stats.rounds
+        );
+    }
+}

@@ -1,0 +1,86 @@
+//! Property-based tests of the CONGEST node programs on random networks.
+
+use ftc_congest::build::{distributed_build, DistributedConfig};
+use ftc_congest::network::{standard_budget, Network};
+use ftc_congest::programs::{BfsProgram, Combine, ConvergecastProgram};
+use ftc_graph::{generators, RootedTree};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// BFS election produces a shortest-path tree on any connected graph.
+    #[test]
+    fn bfs_election_is_shortest_paths(n in 4usize..=40, extra in 0usize..=30, seed in any::<u64>()) {
+        let max_extra = n * (n - 1) / 2 - (n - 1);
+        let g = generators::random_connected(n, extra.min(max_extra), seed);
+        let net = Network::from_graph(&g);
+        let mut progs: Vec<BfsProgram> = (0..n).map(|v| BfsProgram::new_for(v, 0)).collect();
+        let stats = net.run(&mut progs, standard_budget(n), 8 * n + 32);
+        let dist = g.bfs_distances(0, |_| false);
+        for v in 1..n {
+            let (_, pid) = progs[v].parent.expect("connected network");
+            prop_assert_eq!(progs[v].depth as usize, dist[v].unwrap());
+            prop_assert_eq!(dist[pid].unwrap() + 1, dist[v].unwrap());
+        }
+        // Rounds ≈ eccentricity of the root + O(1).
+        let ecc = dist.iter().flatten().max().copied().unwrap();
+        prop_assert!(stats.rounds <= ecc + 3, "rounds {} vs ecc {}", stats.rounds, ecc);
+    }
+
+    /// Convergecast sums arbitrary values correctly over random trees.
+    #[test]
+    fn convergecast_sums_random_values(n in 3usize..=40, seed in any::<u64>(), vals_seed in any::<u64>()) {
+        let g = generators::random_tree(n, seed);
+        let t = RootedTree::bfs(&g, 0);
+        let net = Network::from_graph(&g);
+        // Port maps.
+        let mut parent_port = vec![None; n];
+        let mut child_ports = vec![Vec::new(); n];
+        for v in 0..n {
+            for (p, &w) in net.neighbors(v).iter().enumerate() {
+                if t.parent(v) == Some(w) {
+                    parent_port[v] = Some(p);
+                } else if t.parent(w) == Some(v) {
+                    child_ports[v].push(p);
+                }
+            }
+        }
+        let own: Vec<u64> = (0..n as u64).map(|v| (v ^ vals_seed) & 0xffff).collect();
+        let mut progs: Vec<ConvergecastProgram> = (0..n)
+            .map(|v| ConvergecastProgram::new(parent_port[v], child_ports[v].clone(), own[v], Combine::Sum))
+            .collect();
+        net.run(&mut progs, standard_budget(n) + 32, 8 * n + 32);
+        // Check every subtree sum.
+        for v in 0..n {
+            let mut want = 0u64;
+            for u in 0..n {
+                if t.is_ancestor(v, u) {
+                    want += own[u];
+                }
+            }
+            prop_assert_eq!(progs[v].aggregate, want, "subtree sum at {}", v);
+        }
+    }
+
+    /// The full distributed construction yields labels that answer queries
+    /// exactly like the centralized oracle on random graphs.
+    #[test]
+    fn distributed_vs_oracle(n in 6usize..=20, extra in 1usize..=10, seed in any::<u64>()) {
+        let max_extra = n * (n - 1) / 2 - (n - 1);
+        let g = generators::random_connected(n, extra.min(max_extra), seed);
+        let out = distributed_build(&g, &DistributedConfig::new(2)).unwrap();
+        let l = out.scheme.labels();
+        let fset = generators::random_fault_set(&g, 2, seed ^ 0xff);
+        let faults: Vec<_> = fset.iter().map(|&e| l.edge_label_by_id(e)).collect();
+        for s in 0..n {
+            for t in 0..n {
+                let got = ftc_core::connected(l.vertex_label(s), l.vertex_label(t), &faults).unwrap();
+                prop_assert_eq!(
+                    got,
+                    ftc_graph::connectivity::connected_avoiding(&g, s, t, &fset)
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Ancestry labeling (Kannan–Naor–Rudich, paper Lemma 7).
+//!
+//! Every vertex of the rooted spanning forest receives the interval
+//! `[pre, last]` of DFS pre-orders of its subtree (plus its component ID).
+//! Ancestry is interval containment; the labels are unique; `pre` doubles
+//! as a unique vertex identifier embedded into edge IDs (Section 3.1's
+//! trick of carrying fragment-identification data inside the outdetect edge
+//! domain — we embed `pre`-orders, from which the decoder recovers
+//! fragments via Proposition 3).
+
+use ftc_graph::{RootedTree, VertexId};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// An ancestry label: the DFS pre-order interval of the vertex's subtree
+/// and its component identifier.
+///
+/// # Example
+///
+/// ```
+/// use ftc_core::ancestry::{ancestry_labels, AncestryLabel};
+/// use ftc_graph::{Graph, RootedTree};
+///
+/// let g = Graph::path(4);
+/// let t = RootedTree::bfs(&g, 0);
+/// let labels = ancestry_labels(&t);
+/// assert!(labels[0].is_ancestor_of(&labels[3]));
+/// assert!(!labels[2].is_ancestor_of(&labels[1]));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AncestryLabel {
+    /// DFS pre-order (0-based, unique).
+    pub pre: u32,
+    /// Maximum pre-order within the subtree (`pre ≤ last`).
+    pub last: u32,
+    /// Pre-order of the component's root (identifies the component).
+    pub comp: u32,
+}
+
+impl AncestryLabel {
+    /// `true` iff `self`'s vertex is an ancestor of `other`'s (reflexive).
+    pub fn is_ancestor_of(&self, other: &AncestryLabel) -> bool {
+        self.pre <= other.pre && other.pre <= self.last
+    }
+
+    /// The three-way ancestry relation of the paper's `D^anc`: `1` if self
+    /// is a proper ancestor, `-1` if a proper descendant, `0` otherwise
+    /// (including equality).
+    pub fn relation(&self, other: &AncestryLabel) -> i8 {
+        if self.pre == other.pre {
+            0
+        } else if self.is_ancestor_of(other) {
+            1
+        } else if other.is_ancestor_of(self) {
+            -1
+        } else {
+            0
+        }
+    }
+
+    /// `true` iff the two labels denote the same vertex.
+    pub fn same_vertex(&self, other: &AncestryLabel) -> bool {
+        self.pre == other.pre
+    }
+
+    /// `true` iff both vertices lie in the same tree component.
+    pub fn same_component(&self, other: &AncestryLabel) -> bool {
+        self.comp == other.comp
+    }
+
+    /// Size of the label in bits under the implementation's fixed-width
+    /// encoding (3 × 32 bits).
+    pub const ENCODED_BITS: usize = 96;
+
+    /// Information-theoretic size in bits for an `n`-vertex forest:
+    /// `2·⌈log₂ n⌉` for the interval plus `⌈log₂ n⌉` for the component.
+    pub fn tight_bits(n: usize) -> usize {
+        let w = if n <= 1 {
+            1
+        } else {
+            (usize::BITS - (n - 1).leading_zeros()) as usize
+        };
+        3 * w
+    }
+}
+
+impl fmt::Debug for AncestryLabel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Anc[{}..{} @{}]", self.pre, self.last, self.comp)
+    }
+}
+
+impl PartialOrd for AncestryLabel {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for AncestryLabel {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.pre.cmp(&other.pre)
+    }
+}
+
+/// Computes the ancestry labels of all vertices of a rooted forest in
+/// linear time.
+pub fn ancestry_labels(tree: &RootedTree) -> Vec<AncestryLabel> {
+    let n = tree.n();
+    let sizes = tree.subtree_sizes();
+    let mut out = Vec::with_capacity(n);
+    for v in 0..n {
+        let pre = tree.pre(v) as u32;
+        let last = (tree.pre(v) + sizes[v] - 1) as u32;
+        let comp = tree.pre(tree.component_root(v)) as u32;
+        out.push(AncestryLabel { pre, last, comp });
+    }
+    out
+}
+
+/// Convenience: the label of one vertex (linear-time; use
+/// [`ancestry_labels`] for bulk).
+pub fn ancestry_label(tree: &RootedTree, v: VertexId) -> AncestryLabel {
+    ancestry_labels(tree)[v]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftc_graph::Graph;
+
+    #[test]
+    fn labels_match_tree_ancestry() {
+        let g = Graph::from_edges(7, &[(0, 1), (1, 2), (1, 3), (3, 4), (0, 5), (5, 6)]);
+        let t = RootedTree::dfs(&g, 0);
+        let labels = ancestry_labels(&t);
+        for a in 0..7 {
+            for b in 0..7 {
+                assert_eq!(
+                    labels[a].is_ancestor_of(&labels[b]),
+                    t.is_ancestor(a, b),
+                    "mismatch for ({a}, {b})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn relation_trichotomy() {
+        let g = Graph::path(3);
+        let t = RootedTree::bfs(&g, 0);
+        let l = ancestry_labels(&t);
+        assert_eq!(l[0].relation(&l[2]), 1);
+        assert_eq!(l[2].relation(&l[0]), -1);
+        assert_eq!(l[1].relation(&l[1]), 0);
+    }
+
+    #[test]
+    fn pre_orders_are_unique_ids() {
+        let g = Graph::grid(4, 4);
+        let t = RootedTree::bfs(&g, 0);
+        let labels = ancestry_labels(&t);
+        let mut pres: Vec<u32> = labels.iter().map(|l| l.pre).collect();
+        pres.sort_unstable();
+        pres.dedup();
+        assert_eq!(pres.len(), 16);
+    }
+
+    #[test]
+    fn components_are_distinguished() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]);
+        let t = RootedTree::bfs(&g, 0);
+        let l = ancestry_labels(&t);
+        assert!(l[0].same_component(&l[1]));
+        assert!(!l[0].same_component(&l[2]));
+        assert!(!l[0].is_ancestor_of(&l[2]));
+    }
+
+    #[test]
+    fn bit_accounting() {
+        assert_eq!(AncestryLabel::tight_bits(1), 3);
+        assert_eq!(AncestryLabel::tight_bits(1024), 30);
+        assert_eq!(AncestryLabel::ENCODED_BITS, 96);
+    }
+}

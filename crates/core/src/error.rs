@@ -1,0 +1,84 @@
+//! Error types of the labeling scheme.
+
+use std::fmt;
+
+/// Errors raised while building a labeling.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BuildError {
+    /// The graph is too large for the 32-bit coordinate encoding of edge
+    /// IDs (auxiliary graphs beyond `2³¹` vertices).
+    GraphTooLarge {
+        /// Number of auxiliary-graph vertices required.
+        aux_vertices: usize,
+    },
+    /// `f` must be at least 1.
+    InvalidFaultBudget,
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::GraphTooLarge { aux_vertices } => write!(
+                f,
+                "auxiliary graph has {aux_vertices} vertices, exceeding the 2^31 encoding limit"
+            ),
+            BuildError::InvalidFaultBudget => write!(f, "fault budget f must be at least 1"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Errors raised by the universal decoder.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum QueryError {
+    /// More fault labels were supplied than the scheme's fault budget `f`.
+    TooManyFaults {
+        /// Faults supplied (after deduplication).
+        supplied: usize,
+        /// The scheme's budget.
+        budget: usize,
+    },
+    /// Labels from different labelings (or different graphs) were mixed.
+    MismatchedLabels,
+    /// An outdetect decode exceeded its threshold — only possible when the
+    /// scheme was built with a calibrated (below-theory) threshold, or for
+    /// the whp-correct sketch baseline. Deterministic theory-threshold
+    /// schemes never return this.
+    OutdetectFailed,
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::TooManyFaults { supplied, budget } => {
+                write!(f, "{supplied} faults supplied but the scheme supports {budget}")
+            }
+            QueryError::MismatchedLabels => {
+                write!(f, "labels do not belong to the same labeling")
+            }
+            QueryError::OutdetectFailed => {
+                write!(f, "outgoing-edge detection failed (threshold exceeded)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(BuildError::InvalidFaultBudget.to_string().contains('f'));
+        assert!(BuildError::GraphTooLarge { aux_vertices: 5 }
+            .to_string()
+            .contains('5'));
+        let e = QueryError::TooManyFaults { supplied: 3, budget: 2 };
+        assert!(e.to_string().contains('3') && e.to_string().contains('2'));
+        assert!(!QueryError::MismatchedLabels.to_string().is_empty());
+        assert!(!QueryError::OutdetectFailed.to_string().is_empty());
+    }
+}

@@ -1,0 +1,310 @@
+//! Fragment decomposition of `T′ − F` (paper Proposition 3).
+//!
+//! Removing the fault edges `F ⊆ E_{T′}` splits the forest into `|F| + #roots`
+//! fragments. Each fault edge is identified by the ancestry label of its
+//! *lower* endpoint `w`; the fragment "owned" by that fault is the subtree
+//! of `w` minus the subtrees of faults nested strictly inside. Vertices
+//! outside every fault subtree form per-component *root fragments*.
+//!
+//! Because the subtree intervals `[pre(w), last(w)]` form a laminar family,
+//! a sorted elementary-interval table supports `O(log |F|)` point location:
+//! given any ancestry label, return the innermost fault interval containing
+//! its pre-order (or the component's root fragment).
+
+use crate::ancestry::AncestryLabel;
+
+/// Identifier of a fragment of `T′ − F`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FragId {
+    /// The fragment directly below fault `i` (index into the deduplicated
+    /// fault list).
+    Cut(usize),
+    /// The residual fragment of the component whose root has the given
+    /// pre-order.
+    Root(u32),
+}
+
+/// The fragment decomposition induced by a set of fault edges.
+#[derive(Clone, Debug)]
+pub struct Fragments {
+    /// Fault lower-endpoint labels, sorted by `pre`.
+    cuts: Vec<AncestryLabel>,
+    /// Laminar parent: `parent[i]` is the innermost cut strictly containing
+    /// cut `i`, if any.
+    parent: Vec<Option<usize>>,
+    /// Children lists (cuts immediately nested inside each cut).
+    children: Vec<Vec<usize>>,
+    /// Cuts with no parent, i.e. boundary edges of root fragments.
+    top_level: Vec<usize>,
+    /// Elementary-interval table: `(start_pre, innermost_cut)` segments
+    /// covering the whole pre-order axis, sorted by `start_pre`.
+    segments: Vec<(u32, Option<usize>)>,
+}
+
+impl Fragments {
+    /// Builds the decomposition from the fault edges' lower-endpoint
+    /// ancestry labels. The input is sorted and deduplicated internally;
+    /// the returned structure indexes cuts by their position in
+    /// [`Fragments::cuts`].
+    pub fn new(mut lowers: Vec<AncestryLabel>) -> Fragments {
+        lowers.sort_by_key(|l| l.pre);
+        lowers.dedup_by_key(|l| l.pre);
+        let n = lowers.len();
+
+        // Laminar parents via a stack sweep over pre-sorted intervals.
+        let mut parent = vec![None; n];
+        let mut children = vec![Vec::new(); n];
+        let mut top_level = Vec::new();
+        let mut stack: Vec<usize> = Vec::new();
+        for i in 0..n {
+            while let Some(&top) = stack.last() {
+                if lowers[top].last < lowers[i].pre {
+                    stack.pop();
+                } else {
+                    break;
+                }
+            }
+            if let Some(&top) = stack.last() {
+                debug_assert!(lowers[top].is_ancestor_of(&lowers[i]));
+                parent[i] = Some(top);
+                children[top].push(i);
+            } else {
+                top_level.push(i);
+            }
+            stack.push(i);
+        }
+
+        // Elementary intervals: event sweep. At position p, the innermost
+        // open interval is the fragment owner.
+        // Events: open(i) at pre(i), close(i) at last(i)+1. At equal
+        // positions closes happen before opens; opens of outer intervals
+        // (larger `last`) before inner ones.
+        #[derive(Clone, Copy)]
+        enum Ev {
+            Close,
+            Open(usize),
+        }
+        let mut events: Vec<(u32, u8, u32, Ev)> = Vec::with_capacity(2 * n);
+        for (i, l) in lowers.iter().enumerate() {
+            // order key: closes (0) before opens (1); outer opens first
+            // (descending `last` => ascending `u32::MAX - last`).
+            events.push((l.pre, 1, u32::MAX - l.last, Ev::Open(i)));
+            events.push((l.last + 1, 0, 0, Ev::Close));
+        }
+        events.sort_by_key(|&(pos, kind, tie, _)| (pos, kind, tie));
+
+        let mut segments: Vec<(u32, Option<usize>)> = vec![(0, None)];
+        let mut open: Vec<usize> = Vec::new();
+        for (pos, _, _, ev) in events {
+            match ev {
+                Ev::Open(i) => open.push(i),
+                Ev::Close => {
+                    open.pop();
+                }
+            }
+            let cur = open.last().copied();
+            match segments.last_mut() {
+                Some(seg) if seg.0 == pos => seg.1 = cur,
+                Some(seg) if seg.1 == cur => {} // no change
+                _ => segments.push((pos, cur)),
+            }
+        }
+
+        Fragments {
+            cuts: lowers,
+            parent,
+            children,
+            top_level,
+            segments,
+        }
+    }
+
+    /// Number of (deduplicated) cuts.
+    pub fn num_cuts(&self) -> usize {
+        self.cuts.len()
+    }
+
+    /// The sorted, deduplicated cut labels.
+    pub fn cuts(&self) -> &[AncestryLabel] {
+        &self.cuts
+    }
+
+    /// The innermost cut strictly containing cut `i`.
+    pub fn parent(&self, i: usize) -> Option<usize> {
+        self.parent[i]
+    }
+
+    /// Cuts immediately nested inside cut `i`.
+    pub fn children(&self, i: usize) -> &[usize] {
+        &self.children[i]
+    }
+
+    /// Cuts not nested inside any other cut.
+    pub fn top_level(&self) -> &[usize] {
+        &self.top_level
+    }
+
+    /// Locates the fragment containing a vertex, from its ancestry label
+    /// (`O(log |F|)`).
+    pub fn locate(&self, anc: &AncestryLabel) -> FragId {
+        match self.locate_pre(anc.pre) {
+            Some(i) => FragId::Cut(i),
+            None => FragId::Root(anc.comp),
+        }
+    }
+
+    /// Locates the innermost cut whose subtree interval contains the given
+    /// pre-order, if any. Component-blind: callers that only have a
+    /// pre-order (decoded edge IDs) combine this with the component of the
+    /// querying fragment.
+    pub fn locate_pre(&self, pre: u32) -> Option<usize> {
+        let idx = self
+            .segments
+            .partition_point(|&(start, _)| start <= pre)
+            .checked_sub(1)?;
+        self.segments[idx].1
+    }
+
+    /// The tree-boundary cut set `∂_{T′}` of a fragment: the owning cut
+    /// plus its immediate children for cut fragments; all top-level cuts in
+    /// the component for root fragments (`comp_filter` receives each
+    /// top-level cut index and its label, returning whether it belongs to
+    /// the component in question).
+    pub fn boundary(&self, frag: FragId) -> Vec<usize> {
+        match frag {
+            FragId::Cut(i) => {
+                let mut b = vec![i];
+                b.extend_from_slice(&self.children[i]);
+                b
+            }
+            FragId::Root(comp) => self
+                .top_level
+                .iter()
+                .copied()
+                .filter(|&i| self.cuts[i].comp == comp)
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ancestry::ancestry_labels;
+    use ftc_graph::{Graph, RootedTree};
+
+    /// Brute-force fragment equivalence on a tree: two vertices share a
+    /// fragment iff their tree path avoids all cut edges.
+    fn brute_same_fragment(
+        g: &Graph,
+        t: &RootedTree,
+        cut_lowers: &[usize],
+        a: usize,
+        b: usize,
+    ) -> bool {
+        let banned: Vec<usize> = cut_lowers
+            .iter()
+            .map(|&w| t.parent_edge(w).expect("cut lower has a parent"))
+            .collect();
+        ftc_graph::connectivity::connected_avoiding(g, a, b, &banned)
+    }
+
+    fn check_against_brute(g: &Graph, cut_lower_vertices: &[usize]) {
+        let t = RootedTree::bfs(g, 0);
+        let anc = ancestry_labels(&t);
+        let frag = Fragments::new(cut_lower_vertices.iter().map(|&w| anc[w]).collect());
+        for a in 0..g.n() {
+            for b in 0..g.n() {
+                let same = frag.locate(&anc[a]) == frag.locate(&anc[b])
+                    && anc[a].comp == anc[b].comp;
+                let want = brute_same_fragment(g, &t, cut_lower_vertices, a, b);
+                assert_eq!(same, want, "pair ({a},{b}) cuts {cut_lower_vertices:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn path_fragments() {
+        let g = Graph::path(8);
+        check_against_brute(&g, &[3]);
+        check_against_brute(&g, &[2, 5]);
+        check_against_brute(&g, &[1, 2, 3]);
+    }
+
+    #[test]
+    fn star_and_branching() {
+        let g = Graph::from_edges(7, &[(0, 1), (0, 2), (0, 3), (3, 4), (3, 5), (5, 6)]);
+        check_against_brute(&g, &[3]);
+        check_against_brute(&g, &[3, 5]);
+        check_against_brute(&g, &[1, 2, 3, 5, 6]);
+        check_against_brute(&g, &[4, 6]);
+    }
+
+    #[test]
+    fn nested_cuts_boundaries() {
+        // Path 0-1-2-3-4-5 rooted at 0; cuts below 1 and below 3 (nested).
+        let g = Graph::path(6);
+        let t = RootedTree::bfs(&g, 0);
+        let anc = ancestry_labels(&t);
+        let frag = Fragments::new(vec![anc[1], anc[3]]);
+        // Cut order is sorted by pre: cut 0 = lower 1, cut 1 = lower 3.
+        assert_eq!(frag.parent(1), Some(0));
+        assert_eq!(frag.children(0), &[1]);
+        assert_eq!(frag.top_level(), &[0]);
+        // Fragment of vertex 2 is Cut(0) (between the two cuts).
+        assert_eq!(frag.locate(&anc[2]), FragId::Cut(0));
+        assert_eq!(frag.locate(&anc[4]), FragId::Cut(1));
+        assert_eq!(frag.locate(&anc[0]), FragId::Root(anc[0].comp));
+        // Boundaries: Cut(0) borders faults {0, 1}; Cut(1) borders {1};
+        // the root fragment borders {0}.
+        let mut b0 = frag.boundary(FragId::Cut(0));
+        b0.sort_unstable();
+        assert_eq!(b0, vec![0, 1]);
+        assert_eq!(frag.boundary(FragId::Cut(1)), vec![1]);
+        assert_eq!(frag.boundary(FragId::Root(anc[0].comp)), vec![0]);
+    }
+
+    #[test]
+    fn duplicate_cuts_are_deduplicated() {
+        let g = Graph::path(4);
+        let t = RootedTree::bfs(&g, 0);
+        let anc = ancestry_labels(&t);
+        let frag = Fragments::new(vec![anc[2], anc[2], anc[2]]);
+        assert_eq!(frag.num_cuts(), 1);
+    }
+
+    #[test]
+    fn disconnected_components_have_distinct_root_fragments() {
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (3, 4), (4, 5)]);
+        let t = RootedTree::bfs(&g, 0);
+        let anc = ancestry_labels(&t);
+        let frag = Fragments::new(vec![anc[1], anc[4]]);
+        assert_ne!(frag.locate(&anc[0]), frag.locate(&anc[3]));
+        // Each component's root fragment borders its own top-level cut.
+        let b_a = frag.boundary(frag.locate(&anc[0]));
+        let b_b = frag.boundary(frag.locate(&anc[3]));
+        assert_eq!(b_a.len(), 1);
+        assert_eq!(b_b.len(), 1);
+        assert_ne!(b_a, b_b);
+    }
+
+    #[test]
+    fn empty_fault_set() {
+        let g = Graph::path(3);
+        let t = RootedTree::bfs(&g, 0);
+        let anc = ancestry_labels(&t);
+        let frag = Fragments::new(vec![]);
+        assert_eq!(frag.num_cuts(), 0);
+        assert_eq!(frag.locate(&anc[0]), frag.locate(&anc[2]));
+        assert!(frag.boundary(FragId::Root(anc[0].comp)).is_empty());
+    }
+
+    #[test]
+    fn random_trees_against_brute_force() {
+        for seed in 0..6u64 {
+            let g = ftc_graph::generators::random_tree(24, seed);
+            let cuts: Vec<usize> = (1..24).filter(|v| (v * 7 + seed as usize) % 5 == 0).collect();
+            check_against_brute(&g, &cuts);
+        }
+    }
+}

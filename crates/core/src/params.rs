@@ -1,0 +1,126 @@
+//! Scheme parameters: which of the paper's constructions to build.
+
+use crate::hierarchy::HierarchyBackend;
+
+/// How the outdetect threshold `k` (the number of outgoing edges each level
+/// can decode, Proposition 2) is chosen.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ThresholdPolicy {
+    /// The paper's constants: `k = ⌈(2f+1)²/2⌉ · t` for the geometric
+    /// backends (t = the rectangle-hitting threshold actually used) and
+    /// `k = 5f·⌈log₂ n⌉` for sampling. Queries with `|F| ≤ f` are then
+    /// *guaranteed* correct (deterministically for the geometric backends,
+    /// whp over the hierarchy construction for sampling).
+    Theory,
+    /// An explicit `k` for large-scale measurements where the paper
+    /// constants are prohibitive. The decoder verifies every decode and
+    /// reports [`crate::QueryError::OutdetectFailed`] instead of silently
+    /// answering wrong when the calibration is too small; experiments
+    /// record that failure rate.
+    Fixed(usize),
+}
+
+/// Parameters of an f-FTC labeling (Theorem 1's rows are specific
+/// instantiations).
+///
+/// # Example
+///
+/// ```
+/// use ftc_core::{Params, ThresholdPolicy};
+///
+/// let det = Params::deterministic(2); // near-linear deterministic scheme
+/// assert_eq!(det.f, 2);
+/// let rand = Params::randomized(3, 42);
+/// assert_eq!(rand.f, 3);
+/// let fast = Params::deterministic(2).with_threshold(ThresholdPolicy::Fixed(64));
+/// assert_eq!(fast.threshold, ThresholdPolicy::Fixed(64));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Params {
+    /// Maximum number of simultaneous edge faults supported per query.
+    pub f: usize,
+    /// The sparsification backend.
+    pub backend: HierarchyBackend,
+    /// How the codec threshold is chosen.
+    pub threshold: ThresholdPolicy,
+}
+
+impl Params {
+    /// The paper's primary scheme (Theorem 1, second bullet): deterministic
+    /// `NetFind` hierarchy, `O(f² log³ n)`-bit labels, near-linear
+    /// construction.
+    pub fn deterministic(f: usize) -> Params {
+        Params {
+            f,
+            backend: HierarchyBackend::EpsNet,
+            threshold: ThresholdPolicy::Theory,
+        }
+    }
+
+    /// The paper's polynomial-time scheme (Theorem 1, first bullet), with
+    /// the greedy-hitting-set ε-net substituted for \[MDG18\] (DESIGN.md §5).
+    pub fn deterministic_poly(f: usize) -> Params {
+        Params {
+            f,
+            backend: HierarchyBackend::GreedyRect,
+            threshold: ThresholdPolicy::Theory,
+        }
+    }
+
+    /// The randomized full-query-support scheme (Theorem 1, third row of
+    /// Table 1): random-halving hierarchy, `O(f log³ n)`-bit labels.
+    pub fn randomized(f: usize, seed: u64) -> Params {
+        Params {
+            f,
+            backend: HierarchyBackend::Sampling { seed },
+            threshold: ThresholdPolicy::Theory,
+        }
+    }
+
+    /// Overrides the threshold policy (builder style).
+    pub fn with_threshold(mut self, threshold: ThresholdPolicy) -> Params {
+        self.threshold = threshold;
+        self
+    }
+
+    /// Overrides the backend (builder style).
+    pub fn with_backend(mut self, backend: HierarchyBackend) -> Params {
+        self.backend = backend;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_pick_backends() {
+        assert_eq!(Params::deterministic(1).backend, HierarchyBackend::EpsNet);
+        assert_eq!(
+            Params::deterministic_poly(1).backend,
+            HierarchyBackend::GreedyRect
+        );
+        assert_eq!(
+            Params::randomized(1, 7).backend,
+            HierarchyBackend::Sampling { seed: 7 }
+        );
+        for p in [
+            Params::deterministic(2),
+            Params::deterministic_poly(2),
+            Params::randomized(2, 0),
+        ] {
+            assert_eq!(p.threshold, ThresholdPolicy::Theory);
+        }
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let p = Params::deterministic(4)
+            .with_threshold(ThresholdPolicy::Fixed(99))
+            .with_backend(HierarchyBackend::GreedyRect);
+        assert_eq!(p.f, 4);
+        assert_eq!(p.threshold, ThresholdPolicy::Fixed(99));
+        assert_eq!(p.backend, HierarchyBackend::GreedyRect);
+    }
+}

@@ -1,0 +1,440 @@
+//! The f-FTC labeling scheme builder (paper Section 5 wrap-up).
+//!
+//! [`FtcScheme::build`] runs the full pipeline:
+//!
+//! 1. fix a BFS spanning forest `T` of the input graph;
+//! 2. build the auxiliary graph `G′`/`T′` (Section 3.2);
+//! 3. build an (S_{f,T′}, k)-good sparsification hierarchy over the
+//!    non-tree edges of `G′` (Lemma 5 / Appendix A, per
+//!    [`Params::backend`]);
+//! 4. build the Reed–Solomon k-threshold outdetect labels of every level
+//!    and aggregate them into per-tree-edge subtree sums (Lemma 1);
+//! 5. attach ancestry labels and emit one label per vertex and per edge.
+//!
+//! The resulting [`LabelSet`] is self-contained: the universal decoder
+//! [`crate::connected`] needs nothing else.
+
+use crate::auxgraph::AuxGraph;
+use crate::error::BuildError;
+use crate::hierarchy::{
+    build_hierarchy, paper_threshold, rectangle_pieces, Hierarchy, HierarchyBackend,
+};
+use crate::labels::{EdgeLabel, LabelHeader, LabelSet, RsVector, SizeReport, VertexLabel};
+use crate::params::{Params, ThresholdPolicy};
+use ftc_codes::ThresholdCodec;
+use ftc_field::Gf64;
+use ftc_graph::{Graph, RootedTree};
+use ftc_sketch::sampling_threshold;
+use std::collections::HashMap;
+
+/// Construction diagnostics (experiments E3/E7 read these).
+#[derive(Clone, Debug)]
+pub struct BuildDiagnostics {
+    /// The outdetect threshold `k` used by every level's codec.
+    pub k: usize,
+    /// Number of stored hierarchy levels (the trailing empty level is
+    /// dropped).
+    pub levels: usize,
+    /// Per-level edge counts of the hierarchy.
+    pub hierarchy_sizes: Vec<usize>,
+    /// The largest rectangle-hitting threshold any level needed
+    /// (geometric backends; 0 for sampling).
+    pub effective_rect_threshold: usize,
+    /// The backend that built the hierarchy.
+    pub backend: HierarchyBackend,
+}
+
+/// A built f-FTC labeling scheme (deterministic or randomized depending on
+/// [`Params`]).
+///
+/// # Example
+///
+/// ```
+/// use ftc_core::{connected, FtcScheme, Params};
+/// use ftc_graph::Graph;
+///
+/// let g = Graph::grid(3, 3);
+/// let scheme = FtcScheme::build(&g, &Params::deterministic(2)).unwrap();
+/// let l = scheme.labels();
+/// let faults = [l.edge_label(0, 1).unwrap()];
+/// assert!(connected(l.vertex_label(0), l.vertex_label(8), &faults).unwrap());
+/// ```
+#[derive(Clone, Debug)]
+pub struct FtcScheme {
+    labels: LabelSet<RsVector>,
+    diag: BuildDiagnostics,
+    size: SizeReport,
+}
+
+impl FtcScheme {
+    /// Builds the labeling for `g` with a BFS spanning forest rooted at
+    /// vertex 0.
+    ///
+    /// # Errors
+    ///
+    /// * [`BuildError::InvalidFaultBudget`] if `params.f == 0`;
+    /// * [`BuildError::GraphTooLarge`] if the auxiliary graph exceeds the
+    ///   2³¹-vertex encoding limit.
+    pub fn build(g: &Graph, params: &Params) -> Result<FtcScheme, BuildError> {
+        if g.n() == 0 {
+            // Degenerate but well-defined: an empty labeling.
+            let t = RootedTree::bfs(g, 0);
+            return Self::build_with_tree(g, &t, params);
+        }
+        let t = RootedTree::bfs(g, 0);
+        Self::build_with_tree(g, &t, params)
+    }
+
+    /// Builds the labeling over a caller-supplied rooted spanning forest
+    /// (the scheme works with *any* spanning forest; the CONGEST
+    /// construction uses a BFS tree).
+    ///
+    /// # Errors
+    ///
+    /// See [`FtcScheme::build`].
+    pub fn build_with_tree(
+        g: &Graph,
+        tree: &RootedTree,
+        params: &Params,
+    ) -> Result<FtcScheme, BuildError> {
+        if params.f == 0 {
+            return Err(BuildError::InvalidFaultBudget);
+        }
+        let aux = AuxGraph::build(g, tree);
+        if aux.aux_n >= (1usize << 31) {
+            return Err(BuildError::GraphTooLarge {
+                aux_vertices: aux.aux_n,
+            });
+        }
+        let pieces = rectangle_pieces(params.f);
+        // The hierarchy is always built at the paper's rectangle-hitting
+        // threshold: it is universal (independent of f and k) and keeps the
+        // depth logarithmic. A calibrated `Fixed(k)` only truncates the
+        // *codec* threshold; decodes are verified, so an under-calibration
+        // surfaces as `OutdetectFailed`, never as a wrong answer.
+        let base_t = match params.backend {
+            HierarchyBackend::Sampling { .. } => 0,
+            _ => paper_threshold(aux.nontree.len()),
+        };
+        let hierarchy = build_hierarchy(&aux, params.backend, base_t);
+        let k = match params.threshold {
+            ThresholdPolicy::Fixed(k) => k.max(1),
+            ThresholdPolicy::Theory => match params.backend {
+                HierarchyBackend::Sampling { .. } => {
+                    sampling_threshold(params.f, aux.aux_n).max(1)
+                }
+                _ => (pieces * hierarchy.max_threshold).max(1),
+            },
+        };
+        let levels = hierarchy.depth().saturating_sub(1); // drop trailing empty level
+        let tag = labeling_tag(g, params, k);
+        let header = LabelHeader {
+            f: params.f as u32,
+            aux_n: aux.aux_n as u32,
+            tag,
+        };
+
+        let edge_vec_data = build_subtree_sums(&aux, &hierarchy, k, levels);
+
+        let vertex_labels: Vec<VertexLabel> = (0..g.n())
+            .map(|v| VertexLabel {
+                header,
+                anc: aux.anc[v],
+            })
+            .collect();
+
+        let mut edge_labels = Vec::with_capacity(g.m());
+        for e in 0..g.m() {
+            let lower = aux.sigma_lower[e];
+            let upper = aux.tree.parent(lower).expect("σ(e) lower has a parent");
+            edge_labels.push(EdgeLabel {
+                header,
+                anc_upper: aux.anc[upper],
+                anc_lower: aux.anc[lower],
+                vec: RsVector::from_raw(k, edge_vec_data[e].clone()),
+            });
+        }
+
+        let mut edge_index = HashMap::with_capacity(g.m());
+        for (e, u, v) in g.edge_iter() {
+            edge_index.insert((u.min(v), u.max(v)), e);
+        }
+
+        let labels = LabelSet {
+            header,
+            vertex_labels,
+            edge_labels,
+            edge_index,
+        };
+        let size = labels.size_report(k, levels);
+        let diag = BuildDiagnostics {
+            k,
+            levels,
+            hierarchy_sizes: hierarchy.level_sizes(),
+            effective_rect_threshold: hierarchy.max_threshold,
+            backend: params.backend,
+        };
+        Ok(FtcScheme { labels, diag, size })
+    }
+
+    /// The labels (the only artifact a decoder needs).
+    pub fn labels(&self) -> &LabelSet<RsVector> {
+        &self.labels
+    }
+
+    /// Consumes the scheme, returning the labels.
+    pub fn into_labels(self) -> LabelSet<RsVector> {
+        self.labels
+    }
+
+    /// Construction diagnostics.
+    pub fn diagnostics(&self) -> &BuildDiagnostics {
+        &self.diag
+    }
+
+    /// Label-size accounting (Table 1, "label size" column).
+    pub fn size_report(&self) -> SizeReport {
+        self.size
+    }
+}
+
+/// Computes, for every original edge `e`, the flattened per-level syndrome
+/// of `L^out(V_{T′(σ(e))})` — the XOR over the subtree below `σ(e)` of the
+/// per-vertex outdetect labels (Lemma 1's edge labels, via one bottom-up
+/// aggregation per level).
+fn build_subtree_sums(
+    aux: &AuxGraph,
+    hierarchy: &Hierarchy,
+    k: usize,
+    levels: usize,
+) -> Vec<Vec<Gf64>> {
+    let width = 2 * k;
+    let m = aux.sigma_lower.len();
+    let mut out = vec![vec![Gf64::ZERO; width * levels]; m];
+    if levels == 0 {
+        return out;
+    }
+    let codec = ThresholdCodec::new(k);
+    // Scratch: per auxiliary vertex, one level's syndrome.
+    let mut acc = vec![Gf64::ZERO; aux.aux_n * width];
+    let mut child_buf = vec![Gf64::ZERO; width];
+    for (level, level_edges) in hierarchy.levels.iter().take(levels).enumerate() {
+        acc.iter_mut().for_each(|x| *x = Gf64::ZERO);
+        // Per-vertex own contributions: each level edge toggles both
+        // endpoints.
+        for &j in level_edges {
+            let (a, b) = aux.nontree[j];
+            let id = Gf64::new(aux.nontree_code_id(j));
+            codec.accumulate_edge(&mut acc[a * width..(a + 1) * width], id);
+            codec.accumulate_edge(&mut acc[b * width..(b + 1) * width], id);
+        }
+        // Bottom-up aggregation: children fold into parents in reverse
+        // pre-order.
+        for &v in aux.tree.pre_order().iter().rev() {
+            if let Some(p) = aux.tree.parent(v) {
+                child_buf.copy_from_slice(&acc[v * width..(v + 1) * width]);
+                let dst = &mut acc[p * width..(p + 1) * width];
+                for (d, c) in dst.iter_mut().zip(&child_buf) {
+                    *d += *c;
+                }
+            }
+        }
+        // Emit per-edge slices.
+        for (e, &lower) in aux.sigma_lower.iter().enumerate() {
+            out[e][level * width..(level + 1) * width]
+                .copy_from_slice(&acc[lower * width..(lower + 1) * width]);
+        }
+    }
+    out
+}
+
+/// FNV-1a fingerprint of the labeled instance, embedded in every label so
+/// the decoder can reject mixed labelings.
+fn labeling_tag(g: &Graph, params: &Params, k: usize) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut eat = |x: u64| {
+        h ^= x;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    };
+    eat(g.n() as u64);
+    eat(g.m() as u64);
+    for (_, u, v) in g.edge_iter() {
+        eat((u as u64) << 32 | v as u64);
+    }
+    eat(params.f as u64);
+    eat(k as u64);
+    eat(match params.backend {
+        HierarchyBackend::EpsNet => 1,
+        HierarchyBackend::GreedyRect => 2,
+        HierarchyBackend::Sampling { seed } => 0x8000_0000_0000_0000 | seed,
+    });
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::QueryError;
+    use crate::query::connected;
+    use ftc_graph::connectivity::connected_avoiding;
+
+    /// Exhaustively checks every (s, t, F) query with |F| ≤ f against the
+    /// BFS oracle.
+    fn exhaustive_check(g: &Graph, params: &Params) {
+        let scheme = FtcScheme::build(g, params).unwrap();
+        let l = scheme.labels();
+        let m = g.m();
+        let fault_sets: Vec<Vec<usize>> = match params.f {
+            1 => (0..m).map(|e| vec![e]).chain([vec![]]).collect(),
+            2 => {
+                let mut fs: Vec<Vec<usize>> = vec![vec![]];
+                fs.extend((0..m).map(|e| vec![e]));
+                for a in 0..m {
+                    for b in (a + 1)..m {
+                        fs.push(vec![a, b]);
+                    }
+                }
+                fs
+            }
+            _ => panic!("test helper supports f <= 2"),
+        };
+        for fset in &fault_sets {
+            let labels: Vec<_> = fset.iter().map(|&e| l.edge_label_by_id(e)).collect();
+            for s in 0..g.n() {
+                for t in 0..g.n() {
+                    let got = connected(l.vertex_label(s), l.vertex_label(t), &labels)
+                        .unwrap_or_else(|e| panic!("query ({s},{t},{fset:?}) failed: {e}"));
+                    let want = connected_avoiding(g, s, t, fset);
+                    assert_eq!(got, want, "({s},{t},F={fset:?}) backend {:?}", params.backend);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cycle_exhaustive_all_backends() {
+        let g = Graph::cycle(6);
+        exhaustive_check(&g, &Params::deterministic(2));
+        exhaustive_check(&g, &Params::deterministic_poly(2));
+        exhaustive_check(&g, &Params::randomized(2, 11));
+    }
+
+    #[test]
+    fn dense_small_graph_exhaustive() {
+        let g = Graph::complete(5);
+        exhaustive_check(&g, &Params::deterministic(2));
+    }
+
+    #[test]
+    fn bridge_graph_exhaustive() {
+        let g = Graph::barbell(3);
+        exhaustive_check(&g, &Params::deterministic(2));
+        exhaustive_check(&g, &Params::randomized(2, 5));
+    }
+
+    #[test]
+    fn disconnected_graph_exhaustive() {
+        let g = Graph::from_edges(7, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]);
+        exhaustive_check(&g, &Params::deterministic(1));
+    }
+
+    #[test]
+    fn tree_only_graph() {
+        let g = Graph::path(7);
+        exhaustive_check(&g, &Params::deterministic(2));
+    }
+
+    #[test]
+    fn single_vertex_and_empty() {
+        let g = Graph::new(1);
+        let scheme = FtcScheme::build(&g, &Params::deterministic(1)).unwrap();
+        let l = scheme.labels();
+        assert_eq!(connected::<RsVector>(l.vertex_label(0), l.vertex_label(0), &[]), Ok(true));
+        let g0 = Graph::new(0);
+        assert!(FtcScheme::build(&g0, &Params::deterministic(1)).is_ok());
+    }
+
+    #[test]
+    fn zero_fault_budget_rejected() {
+        let g = Graph::cycle(3);
+        assert_eq!(
+            FtcScheme::build(&g, &Params::deterministic(0)).unwrap_err(),
+            BuildError::InvalidFaultBudget
+        );
+    }
+
+    #[test]
+    fn calibrated_threshold_mode_works_or_fails_cleanly() {
+        let g = ftc_graph::generators::random_connected(24, 30, 3);
+        let params = Params::deterministic(2).with_threshold(ThresholdPolicy::Fixed(16));
+        let scheme = FtcScheme::build(&g, &params).unwrap();
+        let l = scheme.labels();
+        let mut failures = 0usize;
+        let mut wrong = 0usize;
+        // Strided sample of the query space (the exhaustive sweep lives in
+        // the integration tests; this keeps the unit test fast).
+        for a in (0..g.m()).step_by(3) {
+            for b in ((a + 1)..g.m()).step_by(2) {
+                let faults = [l.edge_label_by_id(a), l.edge_label_by_id(b)];
+                for s in (0..g.n()).step_by(2) {
+                    for t in (s + 1)..g.n() {
+                        match connected(l.vertex_label(s), l.vertex_label(t), &faults) {
+                            Ok(got) => {
+                                if got != connected_avoiding(&g, s, t, &[a, b]) {
+                                    wrong += 1;
+                                }
+                            }
+                            Err(QueryError::OutdetectFailed) => failures += 1,
+                            Err(e) => panic!("unexpected error {e}"),
+                        }
+                    }
+                }
+            }
+        }
+        assert_eq!(wrong, 0, "calibrated mode must fail cleanly, never lie");
+        // k=16 is generous for this instance; expect few or no failures.
+        let total = g.m() / 3 * (g.m() / 2) * g.n() / 2 * g.n();
+        assert!(failures * 20 < total.max(1), "failure rate too high: {failures}/{total}");
+    }
+
+    #[test]
+    fn diagnostics_and_size_report() {
+        let g = ftc_graph::generators::random_connected(30, 40, 1);
+        let scheme = FtcScheme::build(&g, &Params::deterministic(2)).unwrap();
+        let d = scheme.diagnostics();
+        assert!(d.k >= 1);
+        assert_eq!(d.hierarchy_sizes[0], 40); // the requested 40 chords
+        let size = scheme.size_report();
+        assert_eq!(size.n, 30);
+        assert_eq!(size.m, 29 + 40);
+        assert!(size.edge_bits > size.vertex_bits);
+        assert_eq!(size.k, d.k);
+    }
+
+    #[test]
+    fn labels_are_deterministic_for_deterministic_backends() {
+        let g = ftc_graph::generators::random_connected(20, 25, 9);
+        let a = FtcScheme::build(&g, &Params::deterministic(2)).unwrap();
+        let b = FtcScheme::build(&g, &Params::deterministic(2)).unwrap();
+        assert_eq!(a.labels().vertex_labels, b.labels().vertex_labels);
+        assert_eq!(a.labels().edge_labels, b.labels().edge_labels);
+    }
+
+    #[test]
+    fn tags_differ_across_graphs_and_params() {
+        let g1 = Graph::cycle(5);
+        let g2 = Graph::cycle(6);
+        let s1 = FtcScheme::build(&g1, &Params::deterministic(1)).unwrap();
+        let s2 = FtcScheme::build(&g2, &Params::deterministic(1)).unwrap();
+        let s3 = FtcScheme::build(&g1, &Params::deterministic(2)).unwrap();
+        assert_ne!(s1.labels().header().tag, s2.labels().header().tag);
+        assert_ne!(s1.labels().header().tag, s3.labels().header().tag);
+        // Mixing labels across labelings is rejected.
+        let r = connected(
+            s1.labels().vertex_label(0),
+            s2.labels().vertex_label(1),
+            &[] as &[&EdgeLabel<RsVector>],
+        );
+        assert_eq!(r, Err(QueryError::MismatchedLabels));
+    }
+}

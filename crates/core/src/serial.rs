@@ -1,0 +1,325 @@
+//! Byte-level label serialization.
+//!
+//! Labels are *the* artifact of a labeling scheme: they must be storable,
+//! shippable, and decodable with no access to the graph. This module
+//! provides a compact little-endian layout for the deterministic scheme's
+//! labels and is used by the integration tests to demonstrate decoder
+//! universality (serialize → drop the graph → deserialize → query).
+
+use crate::ancestry::AncestryLabel;
+use crate::labels::{EdgeLabel, LabelHeader, RsVector, VertexLabel};
+use ftc_field::Gf64;
+
+const VERTEX_MAGIC: u16 = 0x4656; // "FV"
+const EDGE_MAGIC: u16 = 0x4645; // "FE"
+const COMPACT_EDGE_MAGIC: u16 = 0x4643; // "FC"
+
+/// Serialization errors.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SerialError {
+    /// Wrong magic bytes or truncated input.
+    Malformed,
+}
+
+impl std::fmt::Display for SerialError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "malformed label bytes")
+    }
+}
+
+impl std::error::Error for SerialError {}
+
+struct Writer(Vec<u8>);
+
+impl Writer {
+    fn u16(&mut self, x: u16) {
+        self.0.extend_from_slice(&x.to_le_bytes());
+    }
+    fn u32(&mut self, x: u32) {
+        self.0.extend_from_slice(&x.to_le_bytes());
+    }
+    fn u64(&mut self, x: u64) {
+        self.0.extend_from_slice(&x.to_le_bytes());
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SerialError> {
+        let end = self.pos.checked_add(n).ok_or(SerialError::Malformed)?;
+        if end > self.buf.len() {
+            return Err(SerialError::Malformed);
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+    fn u16(&mut self) -> Result<u16, SerialError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+    fn u32(&mut self) -> Result<u32, SerialError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64, SerialError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn done(&self) -> Result<(), SerialError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(SerialError::Malformed)
+        }
+    }
+}
+
+fn write_header(w: &mut Writer, h: &LabelHeader) {
+    w.u32(h.f);
+    w.u32(h.aux_n);
+    w.u64(h.tag);
+}
+
+fn read_header(r: &mut Reader) -> Result<LabelHeader, SerialError> {
+    Ok(LabelHeader {
+        f: r.u32()?,
+        aux_n: r.u32()?,
+        tag: r.u64()?,
+    })
+}
+
+fn write_anc(w: &mut Writer, a: &AncestryLabel) {
+    w.u32(a.pre);
+    w.u32(a.last);
+    w.u32(a.comp);
+}
+
+fn read_anc(r: &mut Reader) -> Result<AncestryLabel, SerialError> {
+    Ok(AncestryLabel {
+        pre: r.u32()?,
+        last: r.u32()?,
+        comp: r.u32()?,
+    })
+}
+
+/// Serializes a vertex label.
+pub fn vertex_to_bytes(l: &VertexLabel) -> Vec<u8> {
+    let mut w = Writer(Vec::with_capacity(2 + 16 + 12));
+    w.u16(VERTEX_MAGIC);
+    write_header(&mut w, &l.header);
+    write_anc(&mut w, &l.anc);
+    w.0
+}
+
+/// Deserializes a vertex label.
+///
+/// # Errors
+///
+/// [`SerialError::Malformed`] on bad magic, truncation, or trailing bytes.
+pub fn vertex_from_bytes(bytes: &[u8]) -> Result<VertexLabel, SerialError> {
+    let mut r = Reader { buf: bytes, pos: 0 };
+    if r.u16()? != VERTEX_MAGIC {
+        return Err(SerialError::Malformed);
+    }
+    let header = read_header(&mut r)?;
+    let anc = read_anc(&mut r)?;
+    r.done()?;
+    Ok(VertexLabel { header, anc })
+}
+
+/// Serializes an edge label of the deterministic scheme.
+pub fn edge_to_bytes(l: &EdgeLabel<RsVector>) -> Vec<u8> {
+    let raw = l.vec.raw();
+    let mut w = Writer(Vec::with_capacity(2 + 16 + 24 + 8 + raw.len() * 8));
+    w.u16(EDGE_MAGIC);
+    write_header(&mut w, &l.header);
+    write_anc(&mut w, &l.anc_upper);
+    write_anc(&mut w, &l.anc_lower);
+    w.u32(l.vec.k() as u32);
+    w.u32(raw.len() as u32);
+    for &x in raw {
+        w.u64(x.to_bits());
+    }
+    w.0
+}
+
+/// Deserializes an edge label of the deterministic scheme.
+///
+/// # Errors
+///
+/// [`SerialError::Malformed`] on bad magic, truncation, inconsistent
+/// lengths, or trailing bytes.
+pub fn edge_from_bytes(bytes: &[u8]) -> Result<EdgeLabel<RsVector>, SerialError> {
+    let mut r = Reader { buf: bytes, pos: 0 };
+    if r.u16()? != EDGE_MAGIC {
+        return Err(SerialError::Malformed);
+    }
+    let header = read_header(&mut r)?;
+    let anc_upper = read_anc(&mut r)?;
+    let anc_lower = read_anc(&mut r)?;
+    let k = r.u32()? as usize;
+    let len = r.u32()? as usize;
+    if k > 0 && len % (2 * k) != 0 {
+        return Err(SerialError::Malformed);
+    }
+    let mut data = Vec::with_capacity(len);
+    for _ in 0..len {
+        data.push(Gf64::new(r.u64()?));
+    }
+    r.done()?;
+    Ok(EdgeLabel {
+        header,
+        anc_upper,
+        anc_lower,
+        vec: RsVector::from_raw(k, data),
+    })
+}
+
+/// Serializes an edge label at half width using the characteristic-two
+/// syndrome compression (extension E12): per hierarchy level only the `k`
+/// odd power sums are stored; [`compact_edge_from_bytes`] reconstructs the
+/// even ones via `s_{2j} = s_j²`.
+pub fn edge_to_bytes_compact(l: &EdgeLabel<RsVector>) -> Vec<u8> {
+    let k = l.vec.k();
+    let raw = l.vec.raw();
+    let levels = if k == 0 { 0 } else { raw.len() / (2 * k) };
+    let mut w = Writer(Vec::with_capacity(2 + 16 + 24 + 8 + levels * k * 8));
+    w.u16(COMPACT_EDGE_MAGIC);
+    write_header(&mut w, &l.header);
+    write_anc(&mut w, &l.anc_upper);
+    write_anc(&mut w, &l.anc_lower);
+    w.u32(k as u32);
+    w.u32(levels as u32);
+    for lvl in 0..levels {
+        for x in ftc_codes::compact::compress(&raw[2 * k * lvl..2 * k * (lvl + 1)]) {
+            w.u64(x.to_bits());
+        }
+    }
+    w.0
+}
+
+/// Deserializes a compact edge label, expanding each level back to the
+/// full `2k`-element syndrome.
+///
+/// # Errors
+///
+/// [`SerialError::Malformed`] on bad magic, truncation, or trailing bytes.
+pub fn compact_edge_from_bytes(bytes: &[u8]) -> Result<EdgeLabel<RsVector>, SerialError> {
+    let mut r = Reader { buf: bytes, pos: 0 };
+    if r.u16()? != COMPACT_EDGE_MAGIC {
+        return Err(SerialError::Malformed);
+    }
+    let header = read_header(&mut r)?;
+    let anc_upper = read_anc(&mut r)?;
+    let anc_lower = read_anc(&mut r)?;
+    let k = r.u32()? as usize;
+    let levels = r.u32()? as usize;
+    let mut data = Vec::with_capacity(2 * k * levels);
+    for _ in 0..levels {
+        let mut odd = Vec::with_capacity(k);
+        for _ in 0..k {
+            odd.push(Gf64::new(r.u64()?));
+        }
+        data.extend(ftc_codes::compact::expand(&odd));
+    }
+    r.done()?;
+    Ok(EdgeLabel {
+        header,
+        anc_upper,
+        anc_lower,
+        vec: RsVector::from_raw(k, data),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::Params;
+    use crate::scheme::FtcScheme;
+    use ftc_graph::Graph;
+
+    #[test]
+    fn vertex_round_trip() {
+        let g = Graph::cycle(5);
+        let s = FtcScheme::build(&g, &Params::deterministic(1)).unwrap();
+        for v in 0..5 {
+            let l = s.labels().vertex_label(v);
+            let bytes = vertex_to_bytes(l);
+            assert_eq!(&vertex_from_bytes(&bytes).unwrap(), l);
+        }
+    }
+
+    #[test]
+    fn edge_round_trip() {
+        let g = Graph::cycle(5);
+        let s = FtcScheme::build(&g, &Params::deterministic(2)).unwrap();
+        for e in 0..5 {
+            let l = s.labels().edge_label_by_id(e);
+            let bytes = edge_to_bytes(l);
+            assert_eq!(&edge_from_bytes(&bytes).unwrap(), l);
+        }
+    }
+
+    #[test]
+    fn malformed_inputs_rejected() {
+        assert_eq!(vertex_from_bytes(&[]), Err(SerialError::Malformed));
+        assert_eq!(vertex_from_bytes(&[0xff; 30]), Err(SerialError::Malformed));
+        assert_eq!(edge_from_bytes(&[0x45, 0x46]), Err(SerialError::Malformed));
+        // Truncated edge payload.
+        let g = Graph::cycle(4);
+        let s = FtcScheme::build(&g, &Params::deterministic(1)).unwrap();
+        let bytes = edge_to_bytes(s.labels().edge_label_by_id(0));
+        assert_eq!(edge_from_bytes(&bytes[..bytes.len() - 1]), Err(SerialError::Malformed));
+        // Trailing garbage.
+        let mut extended = bytes.clone();
+        extended.push(0);
+        assert_eq!(edge_from_bytes(&extended), Err(SerialError::Malformed));
+    }
+
+    #[test]
+    fn compact_round_trip_is_lossless() {
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (0, 3), (1, 4)]);
+        let s = FtcScheme::build(&g, &Params::deterministic(2)).unwrap();
+        for e in 0..g.m() {
+            let l = s.labels().edge_label_by_id(e);
+            let compact = edge_to_bytes_compact(l);
+            let full = edge_to_bytes(l);
+            assert!(
+                compact.len() < full.len() / 2 + 64,
+                "compact ({}) should be about half of full ({})",
+                compact.len(),
+                full.len()
+            );
+            assert_eq!(&compact_edge_from_bytes(&compact).unwrap(), l);
+        }
+    }
+
+    #[test]
+    fn compact_labels_answer_queries() {
+        use crate::query::connected;
+        let g = Graph::cycle(7);
+        let s = FtcScheme::build(&g, &Params::deterministic(2)).unwrap();
+        let l = s.labels();
+        let f0 = compact_edge_from_bytes(&edge_to_bytes_compact(l.edge_label_by_id(0))).unwrap();
+        let f3 = compact_edge_from_bytes(&edge_to_bytes_compact(l.edge_label_by_id(3))).unwrap();
+        let faults = [&f0, &f3];
+        assert_eq!(
+            connected(l.vertex_label(1), l.vertex_label(5), &faults),
+            Ok(false)
+        );
+        assert_eq!(
+            connected(l.vertex_label(1), l.vertex_label(2), &faults),
+            Ok(true)
+        );
+    }
+
+    #[test]
+    fn wrong_magic_cross_rejected() {
+        let g = Graph::cycle(4);
+        let s = FtcScheme::build(&g, &Params::deterministic(1)).unwrap();
+        let vb = vertex_to_bytes(s.labels().vertex_label(0));
+        assert_eq!(edge_from_bytes(&vb), Err(SerialError::Malformed));
+    }
+}

@@ -1,0 +1,203 @@
+//! Vertex-fault tolerance via the edge-fault reduction.
+//!
+//! The paper (Section 1.4 / concluding remarks) notes the trivial
+//! reduction: a failed vertex is the failure of all its incident edges,
+//! giving an f-vertex-fault labeling of `Õ(Δ·f)`-bit labels (each vertex
+//! additionally carries its incident edges' labels). True sublinear
+//! vertex-fault labels are an open problem (Parter–Petruschka handle
+//! f ≤ 2); this module implements the reduction faithfully, including its
+//! honest budget accounting: a query is feasible only when the failed
+//! vertices' total degree fits the scheme's edge-fault budget `f`.
+
+use crate::error::QueryError;
+use crate::labels::{EdgeLabel, LabelSet, OutdetectVector, VertexLabel};
+use crate::query::connected;
+use ftc_graph::{Graph, VertexId};
+
+/// The vertex-fault label of a vertex: its own label plus the labels of
+/// all incident edges (`Õ(Δ·f)` bits, as the paper states for this
+/// reduction).
+#[derive(Clone, Debug)]
+pub struct VertexFaultLabel<V> {
+    /// The vertex's own label.
+    pub vertex: VertexLabel,
+    /// Labels of all incident edges.
+    pub incident: Vec<EdgeLabel<V>>,
+}
+
+impl<V: OutdetectVector> VertexFaultLabel<V> {
+    /// Total size in bits.
+    pub fn bits(&self) -> usize {
+        self.vertex.bits() + self.incident.iter().map(EdgeLabel::bits).sum::<usize>()
+    }
+}
+
+/// Extracts vertex-fault labels for every vertex of `g` from an existing
+/// edge-fault labeling.
+///
+/// # Panics
+///
+/// Panics if `labels` was not built over `g` (size mismatch).
+pub fn vertex_fault_labels<V: OutdetectVector>(
+    g: &Graph,
+    labels: &LabelSet<V>,
+) -> Vec<VertexFaultLabel<V>> {
+    assert_eq!(g.n(), labels.n(), "labeling does not match the graph");
+    (0..g.n())
+        .map(|v| VertexFaultLabel {
+            vertex: *labels.vertex_label(v),
+            incident: g
+                .incident_edges(v)
+                .iter()
+                .map(|&e| labels.edge_label_by_id(e).clone())
+                .collect(),
+        })
+        .collect()
+}
+
+/// Decides s–t connectivity after deleting the given *vertices* (and all
+/// their incident edges), from labels alone.
+///
+/// Queries where `s` or `t` is itself failed answer `false` (a deleted
+/// vertex reaches nothing).
+///
+/// # Errors
+///
+/// * [`QueryError::TooManyFaults`] when the failed vertices' incident
+///   edges exceed the underlying edge-fault budget — the fundamental
+///   limitation of this reduction the paper points out (`Δ` can be
+///   `Ω(n)`);
+/// * other [`QueryError`]s as for [`connected`].
+pub fn connected_avoiding_vertices<V: OutdetectVector>(
+    s: &VertexLabel,
+    t: &VertexLabel,
+    failed: &[&VertexFaultLabel<V>],
+) -> Result<bool, QueryError> {
+    if failed
+        .iter()
+        .any(|f| f.vertex.anc.same_vertex(&s.anc) || f.vertex.anc.same_vertex(&t.anc))
+    {
+        return Ok(false);
+    }
+    let edge_faults: Vec<&EdgeLabel<V>> =
+        failed.iter().flat_map(|f| f.incident.iter()).collect();
+    connected(s, t, &edge_faults)
+}
+
+/// Convenience wrapper answering by vertex IDs against a labeling.
+///
+/// # Errors
+///
+/// See [`connected_avoiding_vertices`].
+pub fn query_vertex_faults<V: OutdetectVector>(
+    labels: &LabelSet<V>,
+    vf_labels: &[VertexFaultLabel<V>],
+    s: VertexId,
+    t: VertexId,
+    failed: &[VertexId],
+) -> Result<bool, QueryError> {
+    let failed_refs: Vec<&VertexFaultLabel<V>> = failed.iter().map(|&v| &vf_labels[v]).collect();
+    connected_avoiding_vertices(labels.vertex_label(s), labels.vertex_label(t), &failed_refs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::Params;
+    use crate::scheme::FtcScheme;
+    use ftc_graph::{generators, Graph};
+
+    /// Ground truth: BFS banning all edges incident to failed vertices.
+    fn oracle(g: &Graph, s: VertexId, t: VertexId, failed: &[VertexId]) -> bool {
+        if failed.contains(&s) || failed.contains(&t) {
+            return false;
+        }
+        let banned: Vec<bool> = (0..g.m())
+            .map(|e| {
+                let (u, v) = g.endpoints(e);
+                failed.contains(&u) || failed.contains(&v)
+            })
+            .collect();
+        g.bfs_distances(s, |e| banned[e])[t].is_some()
+    }
+
+    #[test]
+    fn single_vertex_faults_match_oracle() {
+        let g = Graph::torus(3, 3); // degree 4 everywhere
+        let scheme = FtcScheme::build(&g, &Params::deterministic(4)).unwrap();
+        let l = scheme.labels();
+        let vf = vertex_fault_labels(&g, l);
+        for dead in 0..g.n() {
+            for s in 0..g.n() {
+                for t in 0..g.n() {
+                    let got = query_vertex_faults(l, &vf, s, t, &[dead]).unwrap();
+                    assert_eq!(got, oracle(&g, s, t, &[dead]), "({s},{t}) dead {dead}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn double_vertex_faults_on_low_degree_graph() {
+        let g = Graph::cycle(8); // degree 2: two dead vertices = 4 edge faults
+        let scheme = FtcScheme::build(&g, &Params::deterministic(4)).unwrap();
+        let l = scheme.labels();
+        let vf = vertex_fault_labels(&g, l);
+        for d1 in 0..8 {
+            for d2 in (d1 + 1)..8 {
+                for s in 0..8 {
+                    for t in 0..8 {
+                        let got = query_vertex_faults(l, &vf, s, t, &[d1, d2]).unwrap();
+                        assert_eq!(got, oracle(&g, s, t, &[d1, d2]), "({s},{t}) dead {d1},{d2}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn budget_violation_is_reported() {
+        let g = Graph::complete(6); // degree 5 > budget 4
+        let scheme = FtcScheme::build(&g, &Params::deterministic(4)).unwrap();
+        let l = scheme.labels();
+        let vf = vertex_fault_labels(&g, l);
+        match query_vertex_faults(l, &vf, 0, 1, &[2]) {
+            Err(QueryError::TooManyFaults { supplied: 5, budget: 4 }) => {}
+            other => panic!("expected budget violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn failed_endpoints_answer_false() {
+        let g = Graph::path(4);
+        let scheme = FtcScheme::build(&g, &Params::deterministic(2)).unwrap();
+        let l = scheme.labels();
+        let vf = vertex_fault_labels(&g, l);
+        assert_eq!(query_vertex_faults(l, &vf, 1, 3, &[1]), Ok(false));
+        assert_eq!(query_vertex_faults(l, &vf, 0, 1, &[1]), Ok(false));
+    }
+
+    #[test]
+    fn label_sizes_scale_with_degree() {
+        let g = generators::random_connected(16, 20, 2);
+        let scheme = FtcScheme::build(&g, &Params::deterministic(2)).unwrap();
+        let vf = vertex_fault_labels(&g, scheme.labels());
+        for (v, label) in vf.iter().enumerate() {
+            assert_eq!(label.incident.len(), g.degree(v));
+            assert!(label.bits() > label.vertex.bits());
+        }
+    }
+
+    #[test]
+    fn shared_incident_edges_deduplicate() {
+        // Two adjacent failed vertices share their joining edge; the
+        // decoder's dedup keeps the count within budget.
+        let g = Graph::path(5); // degrees ≤ 2
+        let scheme = FtcScheme::build(&g, &Params::deterministic(3)).unwrap();
+        let l = scheme.labels();
+        let vf = vertex_fault_labels(&g, l);
+        // Vertices 1 and 2: incident edges {0,1} and {1,2} → 3 distinct.
+        assert_eq!(query_vertex_faults(l, &vf, 0, 4, &[1, 2]), Ok(false));
+        assert_eq!(query_vertex_faults(l, &vf, 3, 4, &[1, 2]), Ok(true));
+    }
+}

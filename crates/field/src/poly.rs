@@ -1,0 +1,422 @@
+//! Dense univariate polynomials over [`Gf64`].
+//!
+//! Used by the syndrome decoder: Berlekamp–Massey produces an error-locator
+//! polynomial whose roots (found by the deterministic Berlekamp trace
+//! algorithm in [`crate::roots`]) are the IDs of the outgoing edges.
+//!
+//! Coefficients are stored little-endian (`coeffs[i]` multiplies `xⁱ`) and
+//! kept *normalized*: the leading coefficient is non-zero, and the zero
+//! polynomial has an empty coefficient vector.
+
+use crate::gf64::Gf64;
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul};
+
+/// A polynomial over GF(2⁶⁴).
+///
+/// # Example
+///
+/// ```
+/// use ftc_field::{Gf64, Poly};
+///
+/// // (x + 2)(x + 3) = x² + x + 6 over GF(2^64)
+/// let p = Poly::from_roots(&[Gf64::new(2), Gf64::new(3)]);
+/// assert_eq!(p.eval(Gf64::new(2)), Gf64::ZERO);
+/// assert_eq!(p.eval(Gf64::new(3)), Gf64::ZERO);
+/// assert_eq!(p.degree(), Some(2));
+/// ```
+#[derive(Clone, PartialEq, Eq, Default, Hash)]
+pub struct Poly {
+    coeffs: Vec<Gf64>,
+}
+
+impl Poly {
+    /// The zero polynomial.
+    pub fn zero() -> Poly {
+        Poly { coeffs: Vec::new() }
+    }
+
+    /// The constant polynomial `1`.
+    pub fn one() -> Poly {
+        Poly {
+            coeffs: vec![Gf64::ONE],
+        }
+    }
+
+    /// The monomial `x`.
+    pub fn x() -> Poly {
+        Poly {
+            coeffs: vec![Gf64::ZERO, Gf64::ONE],
+        }
+    }
+
+    /// Builds a polynomial from little-endian coefficients, trimming leading
+    /// zeros.
+    pub fn from_coeffs(mut coeffs: Vec<Gf64>) -> Poly {
+        while coeffs.last().is_some_and(|c| c.is_zero()) {
+            coeffs.pop();
+        }
+        Poly { coeffs }
+    }
+
+    /// The monic polynomial `∏ᵢ (x − rᵢ)` with the given roots
+    /// (multiplicities allowed).
+    pub fn from_roots(roots: &[Gf64]) -> Poly {
+        let mut p = Poly::one();
+        for &r in roots {
+            // Multiply by (x + r): shift then add r·p (char 2: − = +).
+            let mut next = vec![Gf64::ZERO; p.coeffs.len() + 1];
+            for (i, &c) in p.coeffs.iter().enumerate() {
+                next[i + 1] += c;
+                next[i] += c * r;
+            }
+            p = Poly::from_coeffs(next);
+        }
+        p
+    }
+
+    /// The constant polynomial `c`.
+    pub fn constant(c: Gf64) -> Poly {
+        Poly::from_coeffs(vec![c])
+    }
+
+    /// Degree, or `None` for the zero polynomial.
+    pub fn degree(&self) -> Option<usize> {
+        self.coeffs.len().checked_sub(1)
+    }
+
+    /// `true` iff this is the zero polynomial.
+    pub fn is_zero(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    /// Little-endian coefficient view.
+    pub fn coeffs(&self) -> &[Gf64] {
+        &self.coeffs
+    }
+
+    /// Coefficient of `xⁱ` (zero beyond the degree).
+    pub fn coeff(&self, i: usize) -> Gf64 {
+        self.coeffs.get(i).copied().unwrap_or(Gf64::ZERO)
+    }
+
+    /// Leading coefficient (`None` for the zero polynomial).
+    pub fn leading(&self) -> Option<Gf64> {
+        self.coeffs.last().copied()
+    }
+
+    /// Horner evaluation at `x`.
+    pub fn eval(&self, x: Gf64) -> Gf64 {
+        let mut acc = Gf64::ZERO;
+        for &c in self.coeffs.iter().rev() {
+            acc = acc * x + c;
+        }
+        acc
+    }
+
+    /// Multiplies by the scalar `c`.
+    pub fn scale(&self, c: Gf64) -> Poly {
+        if c.is_zero() {
+            return Poly::zero();
+        }
+        Poly::from_coeffs(self.coeffs.iter().map(|&a| a * c).collect())
+    }
+
+    /// Divides every coefficient by the leading coefficient.
+    ///
+    /// Returns the zero polynomial unchanged.
+    pub fn monic(&self) -> Poly {
+        match self.leading() {
+            None => Poly::zero(),
+            Some(l) if l == Gf64::ONE => self.clone(),
+            Some(l) => self.scale(l.inverse().expect("leading coeff nonzero")),
+        }
+    }
+
+    /// Schoolbook product.
+    pub fn mul(&self, rhs: &Poly) -> Poly {
+        if self.is_zero() || rhs.is_zero() {
+            return Poly::zero();
+        }
+        let mut out = vec![Gf64::ZERO; self.coeffs.len() + rhs.coeffs.len() - 1];
+        for (i, &a) in self.coeffs.iter().enumerate() {
+            if a.is_zero() {
+                continue;
+            }
+            for (j, &b) in rhs.coeffs.iter().enumerate() {
+                out[i + j] += a * b;
+            }
+        }
+        Poly::from_coeffs(out)
+    }
+
+    /// Euclidean division: returns `(quotient, remainder)` with
+    /// `self = q·rhs + r` and `deg r < deg rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rhs` is the zero polynomial.
+    pub fn div_rem(&self, rhs: &Poly) -> (Poly, Poly) {
+        let d = rhs.degree().expect("division by zero polynomial");
+        if self.coeffs.len() < rhs.coeffs.len() {
+            return (Poly::zero(), self.clone());
+        }
+        let lead_inv = rhs
+            .leading()
+            .unwrap()
+            .inverse()
+            .expect("leading coeff nonzero");
+        let mut rem = self.coeffs.clone();
+        let mut quot = vec![Gf64::ZERO; rem.len() - d];
+        for i in (d..rem.len()).rev() {
+            let c = rem[i];
+            if c.is_zero() {
+                continue;
+            }
+            let q = c * lead_inv;
+            quot[i - d] = q;
+            for (j, &b) in rhs.coeffs.iter().enumerate() {
+                rem[i - d + j] += q * b; // char 2: subtraction == addition
+            }
+            debug_assert!(rem[i].is_zero());
+        }
+        rem.truncate(d);
+        (Poly::from_coeffs(quot), Poly::from_coeffs(rem))
+    }
+
+    /// Remainder of Euclidean division.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rhs` is the zero polynomial.
+    pub fn rem(&self, rhs: &Poly) -> Poly {
+        self.div_rem(rhs).1
+    }
+
+    /// Monic greatest common divisor.
+    pub fn gcd(&self, rhs: &Poly) -> Poly {
+        let mut a = self.clone();
+        let mut b = rhs.clone();
+        while !b.is_zero() {
+            let r = a.rem(&b);
+            a = b;
+            b = r;
+        }
+        a.monic()
+    }
+
+    /// `self² mod modulus` — the basic step of trace-map computation. In
+    /// characteristic two the square has only even-exponent terms, so it is
+    /// computed by coefficient squaring and interleaving (linear work before
+    /// the reduction).
+    pub fn square_mod(&self, modulus: &Poly) -> Poly {
+        if self.is_zero() {
+            return Poly::zero();
+        }
+        let mut sq = vec![Gf64::ZERO; 2 * self.coeffs.len() - 1];
+        for (i, &c) in self.coeffs.iter().enumerate() {
+            sq[2 * i] = c.square();
+        }
+        Poly::from_coeffs(sq).rem(modulus)
+    }
+
+    /// `self · rhs mod modulus`.
+    pub fn mul_mod(&self, rhs: &Poly, modulus: &Poly) -> Poly {
+        self.mul(rhs).rem(modulus)
+    }
+
+    /// Formal derivative. In characteristic two only odd-exponent terms
+    /// survive: `(Σ cᵢ xⁱ)' = Σ_{i odd} cᵢ x^{i−1}`.
+    pub fn derivative(&self) -> Poly {
+        let mut out = Vec::with_capacity(self.coeffs.len().saturating_sub(1));
+        for i in 1..self.coeffs.len() {
+            out.push(if i % 2 == 1 {
+                self.coeffs[i]
+            } else {
+                Gf64::ZERO
+            });
+        }
+        Poly::from_coeffs(out)
+    }
+
+    /// `true` iff the polynomial is square-free (`gcd(p, p') = 1`). A monic
+    /// error-locator polynomial with distinct roots is always square-free.
+    pub fn is_square_free(&self) -> bool {
+        if self.degree().unwrap_or(0) <= 1 {
+            return true;
+        }
+        let d = self.derivative();
+        if d.is_zero() {
+            return false; // p = q² in characteristic two
+        }
+        self.gcd(&d).degree() == Some(0)
+    }
+}
+
+impl Add for &Poly {
+    type Output = Poly;
+    fn add(self, rhs: &Poly) -> Poly {
+        let (long, short) = if self.coeffs.len() >= rhs.coeffs.len() {
+            (self, rhs)
+        } else {
+            (rhs, self)
+        };
+        let mut out = long.coeffs.clone();
+        for (i, &c) in short.coeffs.iter().enumerate() {
+            out[i] += c;
+        }
+        Poly::from_coeffs(out)
+    }
+}
+
+impl Add for Poly {
+    type Output = Poly;
+    fn add(self, rhs: Poly) -> Poly {
+        &self + &rhs
+    }
+}
+
+impl AddAssign<&Poly> for Poly {
+    fn add_assign(&mut self, rhs: &Poly) {
+        *self = &*self + rhs;
+    }
+}
+
+impl Mul for &Poly {
+    type Output = Poly;
+    fn mul(self, rhs: &Poly) -> Poly {
+        Poly::mul(self, rhs)
+    }
+}
+
+impl Mul for Poly {
+    type Output = Poly;
+    fn mul(self, rhs: Poly) -> Poly {
+        Poly::mul(&self, &rhs)
+    }
+}
+
+impl fmt::Debug for Poly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "Poly(0)");
+        }
+        write!(f, "Poly(")?;
+        let mut first = true;
+        for (i, &c) in self.coeffs.iter().enumerate().rev() {
+            if c.is_zero() {
+                continue;
+            }
+            if !first {
+                write!(f, " + ")?;
+            }
+            first = false;
+            match i {
+                0 => write!(f, "{c:#x}")?,
+                1 => write!(f, "{c:#x}·x")?,
+                _ => write!(f, "{c:#x}·x^{i}")?,
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g(x: u64) -> Gf64 {
+        Gf64::new(x)
+    }
+
+    #[test]
+    fn normalization_trims_leading_zeros() {
+        let p = Poly::from_coeffs(vec![g(1), g(2), g(0), g(0)]);
+        assert_eq!(p.degree(), Some(1));
+        assert_eq!(Poly::from_coeffs(vec![g(0)]), Poly::zero());
+        assert!(Poly::zero().is_zero());
+        assert_eq!(Poly::zero().degree(), None);
+    }
+
+    #[test]
+    fn from_roots_vanishes_exactly_on_roots() {
+        let roots = [g(5), g(17), g(0xdead)];
+        let p = Poly::from_roots(&roots);
+        assert_eq!(p.degree(), Some(3));
+        assert_eq!(p.leading(), Some(Gf64::ONE));
+        for &r in &roots {
+            assert_eq!(p.eval(r), Gf64::ZERO);
+        }
+        assert_ne!(p.eval(g(9999)), Gf64::ZERO);
+    }
+
+    #[test]
+    fn div_rem_round_trip() {
+        let a = Poly::from_coeffs(vec![g(3), g(1), g(4), g(1), g(5), g(9)]);
+        let b = Poly::from_coeffs(vec![g(2), g(7), g(1)]);
+        let (q, r) = a.div_rem(&b);
+        assert!(r.degree() < b.degree());
+        assert_eq!(&(&q * &b) + &r, a);
+    }
+
+    #[test]
+    fn division_by_larger_degree_is_remainder_only() {
+        let a = Poly::from_coeffs(vec![g(1), g(2)]);
+        let b = Poly::from_coeffs(vec![g(1), g(1), g(1)]);
+        let (q, r) = a.div_rem(&b);
+        assert!(q.is_zero());
+        assert_eq!(r, a);
+    }
+
+    #[test]
+    fn gcd_of_products_contains_shared_roots() {
+        let shared = [g(11), g(22)];
+        let a = Poly::from_roots(&[shared[0], shared[1], g(33)]);
+        let b = Poly::from_roots(&[shared[0], shared[1], g(44), g(55)]);
+        let d = a.gcd(&b);
+        assert_eq!(d, Poly::from_roots(&shared));
+    }
+
+    #[test]
+    fn gcd_handles_zero_operands() {
+        let a = Poly::from_roots(&[g(3)]);
+        assert_eq!(Poly::zero().gcd(&a), a.monic());
+        assert_eq!(a.gcd(&Poly::zero()), a.monic());
+        assert!(Poly::zero().gcd(&Poly::zero()).is_zero());
+    }
+
+    #[test]
+    fn square_mod_matches_mul_mod() {
+        let m = Poly::from_roots(&[g(2), g(3), g(5), g(7)]);
+        let p = Poly::from_coeffs(vec![g(9), g(8), g(7)]);
+        assert_eq!(p.square_mod(&m), p.mul_mod(&p, &m));
+    }
+
+    #[test]
+    fn derivative_char2() {
+        // p = x^3 + x^2 + x + 1 -> p' = 3x^2 + 2x + 1 = x^2 + 1 (char 2).
+        let p = Poly::from_coeffs(vec![g(1), g(1), g(1), g(1)]);
+        let d = p.derivative();
+        assert_eq!(d, Poly::from_coeffs(vec![g(1), g(0), g(1)]));
+    }
+
+    #[test]
+    fn square_free_detection() {
+        let sf = Poly::from_roots(&[g(1), g(2), g(3)]);
+        assert!(sf.is_square_free());
+        let not_sf = Poly::from_roots(&[g(1), g(1), g(2)]);
+        assert!(!not_sf.is_square_free());
+    }
+
+    #[test]
+    fn eval_constant_and_zero() {
+        assert_eq!(Poly::zero().eval(g(42)), Gf64::ZERO);
+        assert_eq!(Poly::constant(g(6)).eval(g(42)), g(6));
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        assert!(!format!("{:?}", Poly::zero()).is_empty());
+        assert!(!format!("{:?}", Poly::from_roots(&[g(3)])).is_empty());
+    }
+}

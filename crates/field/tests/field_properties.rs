@@ -1,0 +1,103 @@
+//! Property-based tests for GF(2⁶⁴) arithmetic, polynomial algebra, and
+//! deterministic root finding.
+
+use ftc_field::{find_roots, Gf64, Poly};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+fn gf() -> impl Strategy<Value = Gf64> {
+    any::<u64>().prop_map(Gf64::new)
+}
+
+fn nonzero_gf() -> impl Strategy<Value = Gf64> {
+    (1u64..).prop_map(Gf64::new)
+}
+
+fn poly(max_deg: usize) -> impl Strategy<Value = Poly> {
+    vec(any::<u64>(), 0..=max_deg + 1)
+        .prop_map(|cs| Poly::from_coeffs(cs.into_iter().map(Gf64::new).collect()))
+}
+
+proptest! {
+    #[test]
+    fn add_is_commutative_and_associative(a in gf(), b in gf(), c in gf()) {
+        prop_assert_eq!(a + b, b + a);
+        prop_assert_eq!((a + b) + c, a + (b + c));
+    }
+
+    #[test]
+    fn mul_is_commutative_and_associative(a in gf(), b in gf(), c in gf()) {
+        prop_assert_eq!(a * b, b * a);
+        prop_assert_eq!((a * b) * c, a * (b * c));
+    }
+
+    #[test]
+    fn mul_distributes_over_add(a in gf(), b in gf(), c in gf()) {
+        prop_assert_eq!(a * (b + c), a * b + a * c);
+    }
+
+    #[test]
+    fn inverse_is_two_sided(a in nonzero_gf()) {
+        let inv = a.inverse().unwrap();
+        prop_assert_eq!(a * inv, Gf64::ONE);
+        prop_assert_eq!(inv * a, Gf64::ONE);
+        prop_assert_eq!(inv.inverse().unwrap(), a);
+    }
+
+    #[test]
+    fn square_is_frobenius(a in gf(), b in gf()) {
+        prop_assert_eq!((a + b).square(), a.square() + b.square());
+        prop_assert_eq!((a * b).square(), a.square() * b.square());
+    }
+
+    #[test]
+    fn pow_laws(a in nonzero_gf(), e1 in 0u64..1000, e2 in 0u64..1000) {
+        prop_assert_eq!(a.pow(e1) * a.pow(e2), a.pow(e1 + e2));
+    }
+
+    #[test]
+    fn trace_is_gf2_linear(a in gf(), b in gf()) {
+        prop_assert!(a.trace() <= 1);
+        prop_assert_eq!((a + b).trace(), a.trace() ^ b.trace());
+    }
+
+    #[test]
+    fn poly_add_mul_ring_axioms(a in poly(6), b in poly(6), c in poly(6)) {
+        prop_assert_eq!(&(&a + &b) * &c, &(&a * &c) + &(&b * &c));
+        prop_assert_eq!(&a * &b, &b * &a);
+    }
+
+    #[test]
+    fn poly_div_rem_invariant(a in poly(10), b in poly(5)) {
+        prop_assume!(!b.is_zero());
+        let (q, r) = a.div_rem(&b);
+        prop_assert!(r.degree() < b.degree() || r.is_zero());
+        prop_assert_eq!(&(&q * &b) + &r, a);
+    }
+
+    #[test]
+    fn poly_gcd_divides_both(a in poly(6), b in poly(6)) {
+        prop_assume!(!a.is_zero() && !b.is_zero());
+        let d = a.gcd(&b);
+        prop_assert!(a.rem(&d).is_zero());
+        prop_assert!(b.rem(&d).is_zero());
+    }
+
+    #[test]
+    fn eval_is_ring_hom(a in poly(6), b in poly(6), x in gf()) {
+        prop_assert_eq!((&a + &b).eval(x), a.eval(x) + b.eval(x));
+        prop_assert_eq!((&a * &b).eval(x), a.eval(x) * b.eval(x));
+    }
+
+    #[test]
+    fn root_finding_round_trip(raw in vec(1u64.., 1..12)) {
+        // Deduplicate: from_roots with repeats is not square-free.
+        let mut rs: Vec<Gf64> = raw.into_iter().map(Gf64::new).collect();
+        rs.sort();
+        rs.dedup();
+        let sigma = Poly::from_roots(&rs);
+        let mut found = find_roots(&sigma).expect("product of distinct linear factors");
+        found.sort();
+        prop_assert_eq!(found, rs);
+    }
+}

@@ -1,0 +1,36 @@
+//! Deterministic ε-net constructions for axis-aligned rectangles
+//! (paper Section 4.3 / 7.5).
+//!
+//! The deterministic sparsification hierarchy needs, at every level, a
+//! constant-fraction-size subset `E_{i+1} ⊆ E_i` hitting every axis-aligned
+//! rectangle that contains many points of `E_i` (points = non-tree edges in
+//! the Euler-tour embedding). Two constructions are provided:
+//!
+//! * [`net_find`] — the divide-and-conquer `NetFind` algorithm of
+//!   Lemma 11/12: near-linear time, hits every rectangle with
+//!   `≥ 12·log₂ N` points, output at most half the input;
+//! * [`greedy_rect_net`] — a greedy hitting set over all *minimal* heavy
+//!   canonical rectangles: polynomial time, any threshold. This is the
+//!   repository's substitute for the \[MDG18\] optimal ε-net used by the
+//!   paper's second (poly-time) scheme — see DESIGN.md §5.
+//!
+//! Both return subsets of the input point set, as required by the ε-net
+//! definition (Definition 2).
+//!
+//! # Example
+//!
+//! ```
+//! use ftc_geometry::{net_find, Point};
+//!
+//! let points: Vec<Point> = (0..200u32).map(|i| Point::new(i, (i * 37) % 211)).collect();
+//! let net = net_find(&points, points.len());
+//! assert!(net.len() <= points.len() / 2 + 1);
+//! ```
+
+pub mod greedy;
+pub mod netfind;
+pub mod point;
+
+pub use greedy::greedy_rect_net;
+pub use netfind::{net_find, net_find_with_threshold, netfind_threshold};
+pub use point::{rect_is_hit, Point, Rect};

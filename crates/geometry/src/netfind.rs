@@ -1,0 +1,223 @@
+//! The `NetFind` divide-and-conquer ε-net construction (Lemmas 11 and 12).
+//!
+//! `NetFind(N, P)` recursively bisects the point set by a vertical median
+//! line and, at every node of the recursion, adds the Lemma 11 selection:
+//! split the points by y-order into groups of `⌈t/3⌉` consecutive points and
+//! take from each group the point with maximum x not exceeding the median
+//! (`p⁻`) and the point with minimum x exceeding it (`p⁺`). A rectangle
+//! with at least `t` points either lies wholly inside one side of some
+//! median line visited before its points are split apart — handled by
+//! recursion — or crosses a median line while fully covering some group's
+//! y-range, in which case that group's `p⁻` or `p⁺` lies inside it.
+//!
+//! With the paper's threshold `t = 12·log₂ N` the output has at most
+//! `|P|·log₂|P| / (2·log₂ N)` points — i.e. at most half of `P` when
+//! `N = |P|` — giving the logarithmic-depth halving hierarchy of Lemma 5.
+
+use crate::point::Point;
+
+/// The paper's hitting threshold for `NetFind`: `12·⌈log₂ N⌉` (at least 12).
+pub fn netfind_threshold(n_upper: usize) -> usize {
+    12 * ceil_log2(n_upper).max(1)
+}
+
+/// `⌈log₂ x⌉` for `x ≥ 1`, else 0.
+fn ceil_log2(x: usize) -> usize {
+    if x <= 1 {
+        0
+    } else {
+        (usize::BITS - (x - 1).leading_zeros()) as usize
+    }
+}
+
+/// Runs `NetFind` with the paper's threshold `t = 12·log₂ N` where
+/// `N = n_upper` is an upper bound on `|P|`. Returns indices into `points`
+/// forming a subset that hits every axis-aligned rectangle containing at
+/// least `t` of the points.
+///
+/// # Example
+///
+/// See the crate-level example.
+pub fn net_find(points: &[Point], n_upper: usize) -> Vec<usize> {
+    net_find_with_threshold(points, netfind_threshold(n_upper.max(points.len())))
+}
+
+/// Runs `NetFind` with an explicit hitting threshold `t ≥ 3`: the output
+/// hits every axis-aligned rectangle containing at least `t` points.
+/// Smaller thresholds give stronger hitting guarantees but larger nets
+/// (size ≤ `6·|P|·log₂|P| / t`, so halving needs `t ≥ 12·log₂ |P|`).
+///
+/// # Panics
+///
+/// Panics if `t < 3` (the group construction needs `⌈t/3⌉ ≥ 1` and the
+/// covering argument needs three groups' worth of points).
+pub fn net_find_with_threshold(points: &[Point], t: usize) -> Vec<usize> {
+    assert!(t >= 3, "NetFind threshold must be at least 3");
+    let mut net = Vec::new();
+    let mut idx: Vec<usize> = (0..points.len()).collect();
+    recurse(points, &mut idx, t, &mut net);
+    net.sort_unstable();
+    net.dedup();
+    net
+}
+
+/// Recursive worker; `idx` is the index set of the current subproblem
+/// (order may be permuted in place).
+fn recurse(points: &[Point], idx: &mut [usize], t: usize, net: &mut Vec<usize>) {
+    if idx.len() < t {
+        // Base case: no rectangle can contain t points of this cell.
+        return;
+    }
+    // Vertical median by x (ties broken by y then index for determinism).
+    idx.sort_unstable_by_key(|&i| (points[i].x, points[i].y, i));
+    let mid = idx.len() / 2;
+    let median_x = points[idx[mid - 1]].x;
+
+    // Lemma 11 selection across the median line x = median_x: groups of
+    // ⌈t/3⌉ consecutive points in y-order.
+    let group = t.div_ceil(3).max(1);
+    let mut by_y: Vec<usize> = idx.to_vec();
+    by_y.sort_unstable_by_key(|&i| (points[i].y, points[i].x, i));
+    for chunk in by_y.chunks(group) {
+        if chunk.len() < group {
+            break; // incomplete trailing group cannot be fully covered
+        }
+        // p⁻: max x among points with x ≤ median; p⁺: min x among x > median.
+        let p_minus = chunk
+            .iter()
+            .copied()
+            .filter(|&i| points[i].x <= median_x)
+            .max_by_key(|&i| (points[i].x, i));
+        let p_plus = chunk
+            .iter()
+            .copied()
+            .filter(|&i| points[i].x > median_x)
+            .min_by_key(|&i| (points[i].x, i));
+        net.extend(p_minus);
+        net.extend(p_plus);
+    }
+
+    let (left, right) = idx.split_at_mut(mid);
+    recurse(points, left, t, net);
+    recurse(points, right, t, net);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::{rect_is_hit, Rect};
+
+    /// Brute-force check: every minimal heavy rectangle (bounding box of t
+    /// y-consecutive points within an x-slab) is hit by the net.
+    pub(crate) fn verify_net(points: &[Point], net: &[usize], t: usize) -> Result<(), Rect> {
+        let mut xs: Vec<u32> = points.iter().map(|p| p.x).collect();
+        xs.sort_unstable();
+        xs.dedup();
+        for (a, &x1) in xs.iter().enumerate() {
+            for &x2 in &xs[a..] {
+                let mut slab: Vec<Point> = points
+                    .iter()
+                    .copied()
+                    .filter(|p| x1 <= p.x && p.x <= x2)
+                    .collect();
+                if slab.len() < t {
+                    continue;
+                }
+                slab.sort_unstable_by_key(|p| p.y);
+                for w in slab.windows(t) {
+                    let rect = Rect::bounding(w);
+                    if !rect_is_hit(points, net, &rect) {
+                        return Err(rect);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn spiral_points(n: u32) -> Vec<Point> {
+        (0..n).map(|i| Point::new(i, (i * 73 + 11) % (2 * n + 1))).collect()
+    }
+
+    #[test]
+    fn threshold_formula() {
+        assert_eq!(netfind_threshold(1), 12);
+        assert_eq!(netfind_threshold(2), 12);
+        assert_eq!(netfind_threshold(1024), 120);
+        assert_eq!(netfind_threshold(1025), 132);
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        assert!(net_find(&[], 0).is_empty());
+        let pts = spiral_points(5);
+        // Fewer points than the threshold: empty net is a valid ε-net.
+        assert!(net_find(&pts, 5).is_empty());
+    }
+
+    #[test]
+    fn net_is_subset_and_halving() {
+        let pts = spiral_points(600);
+        let net = net_find(&pts, pts.len());
+        assert!(net.iter().all(|&i| i < pts.len()));
+        assert!(
+            net.len() <= pts.len() / 2,
+            "paper-threshold net must halve: {} of {}",
+            net.len(),
+            pts.len()
+        );
+    }
+
+    #[test]
+    fn paper_threshold_hits_all_heavy_rects() {
+        let pts = spiral_points(300);
+        let t = netfind_threshold(pts.len());
+        let net = net_find(&pts, pts.len());
+        verify_net(&pts, &net, t).unwrap_or_else(|r| panic!("unhit heavy rectangle {r}"));
+    }
+
+    #[test]
+    fn explicit_small_threshold_hits() {
+        let pts = spiral_points(150);
+        for t in [3usize, 5, 9, 16] {
+            let net = net_find_with_threshold(&pts, t);
+            verify_net(&pts, &net, t)
+                .unwrap_or_else(|r| panic!("t={t}: unhit heavy rectangle {r}"));
+        }
+    }
+
+    #[test]
+    fn degenerate_collinear_points() {
+        // All on one vertical line: rectangles are y-ranges.
+        let pts: Vec<Point> = (0..100).map(|i| Point::new(7, i)).collect();
+        for t in [3usize, 8] {
+            let net = net_find_with_threshold(&pts, t);
+            verify_net(&pts, &net, t)
+                .unwrap_or_else(|r| panic!("t={t}: unhit heavy rectangle {r}"));
+        }
+        // All on one horizontal line.
+        let pts: Vec<Point> = (0..100).map(|i| Point::new(i, 7)).collect();
+        let net = net_find_with_threshold(&pts, 6);
+        verify_net(&pts, &net, 6).unwrap_or_else(|r| panic!("unhit {r}"));
+    }
+
+    #[test]
+    fn clustered_points() {
+        // Four dense clusters: heavy rectangles live inside clusters.
+        let mut pts = Vec::new();
+        for (cx, cy) in [(10u32, 10u32), (1000, 10), (10, 1000), (1000, 1000)] {
+            for i in 0..60u32 {
+                pts.push(Point::new(cx + i % 8, cy + i / 8));
+            }
+        }
+        let t = 9;
+        let net = net_find_with_threshold(&pts, t);
+        verify_net(&pts, &net, t).unwrap_or_else(|r| panic!("unhit heavy rectangle {r}"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn tiny_threshold_rejected() {
+        net_find_with_threshold(&[Point::new(0, 0)], 2);
+    }
+}

@@ -1,0 +1,130 @@
+//! 2-D integer points and axis-aligned rectangles.
+
+use std::fmt;
+
+/// A 2-D point with unsigned integer coordinates (the Euler-tour embedding
+/// produces coordinates in `[1, 2n]`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord, Debug)]
+pub struct Point {
+    /// x-coordinate.
+    pub x: u32,
+    /// y-coordinate.
+    pub y: u32,
+}
+
+impl Point {
+    /// Creates a point.
+    pub const fn new(x: u32, y: u32) -> Point {
+        Point { x, y }
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+/// A closed axis-aligned rectangle `[x1, x2] × [y1, y2]`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Rect {
+    /// Left edge (inclusive).
+    pub x1: u32,
+    /// Right edge (inclusive).
+    pub x2: u32,
+    /// Bottom edge (inclusive).
+    pub y1: u32,
+    /// Top edge (inclusive).
+    pub y2: u32,
+}
+
+impl Rect {
+    /// Creates a rectangle; normalizes swapped bounds.
+    pub fn new(x1: u32, x2: u32, y1: u32, y2: u32) -> Rect {
+        Rect {
+            x1: x1.min(x2),
+            x2: x1.max(x2),
+            y1: y1.min(y2),
+            y2: y1.max(y2),
+        }
+    }
+
+    /// `true` iff `p` lies inside (closed bounds).
+    pub fn contains(&self, p: Point) -> bool {
+        self.x1 <= p.x && p.x <= self.x2 && self.y1 <= p.y && p.y <= self.y2
+    }
+
+    /// Number of the given points inside.
+    pub fn count<'a>(&self, points: impl IntoIterator<Item = &'a Point>) -> usize {
+        points.into_iter().filter(|&&p| self.contains(p)).count()
+    }
+
+    /// The bounding box of a non-empty point slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty slice.
+    pub fn bounding(points: &[Point]) -> Rect {
+        assert!(!points.is_empty(), "bounding box of an empty set");
+        let mut r = Rect {
+            x1: points[0].x,
+            x2: points[0].x,
+            y1: points[0].y,
+            y2: points[0].y,
+        };
+        for p in &points[1..] {
+            r.x1 = r.x1.min(p.x);
+            r.x2 = r.x2.max(p.x);
+            r.y1 = r.y1.min(p.y);
+            r.y2 = r.y2.max(p.y);
+        }
+        r
+    }
+}
+
+impl fmt::Display for Rect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]×[{}, {}]", self.x1, self.x2, self.y1, self.y2)
+    }
+}
+
+/// `true` iff some net point (indices into `points`) lies inside `rect` —
+/// the ε-net hitting condition for one rectangle.
+pub fn rect_is_hit(points: &[Point], net: &[usize], rect: &Rect) -> bool {
+    net.iter().any(|&i| rect.contains(points[i]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn containment_is_closed() {
+        let r = Rect::new(2, 5, 1, 4);
+        assert!(r.contains(Point::new(2, 1)));
+        assert!(r.contains(Point::new(5, 4)));
+        assert!(!r.contains(Point::new(6, 2)));
+        assert!(!r.contains(Point::new(3, 0)));
+    }
+
+    #[test]
+    fn new_normalizes() {
+        assert_eq!(Rect::new(5, 2, 4, 1), Rect::new(2, 5, 1, 4));
+    }
+
+    #[test]
+    fn bounding_box() {
+        let pts = [Point::new(3, 7), Point::new(1, 9), Point::new(4, 2)];
+        let r = Rect::bounding(&pts);
+        assert_eq!(r, Rect::new(1, 4, 2, 9));
+        assert_eq!(r.count(&pts), 3);
+    }
+
+    #[test]
+    fn hit_detection() {
+        let pts = [Point::new(0, 0), Point::new(10, 10)];
+        let r = Rect::new(5, 15, 5, 15);
+        assert!(!rect_is_hit(&pts, &[0], &r));
+        assert!(rect_is_hit(&pts, &[0, 1], &r));
+    }
+}

@@ -1,0 +1,172 @@
+//! Ground-truth connectivity oracles.
+//!
+//! The labeling schemes answer `s–t connectivity in G − F` from labels alone;
+//! this module answers the same question *with* full access to the graph, by
+//! plain traversal. The entire test-suite validates the schemes against these
+//! oracles, and the benchmark harness uses them to compute true distances for
+//! stretch measurements.
+
+use crate::graph::{EdgeId, Graph, VertexId};
+use crate::unionfind::UnionFind;
+
+/// `true` iff `s` and `t` are connected in `G − F`.
+///
+/// Runs a BFS that skips the edges of `F`; `O(n + m)` time.
+///
+/// # Example
+///
+/// ```
+/// use ftc_graph::{connectivity, Graph};
+///
+/// let g = Graph::cycle(4); // edges (0,1)=0, (1,2)=1, (2,3)=2, (3,0)=3
+/// assert!(connectivity::connected_avoiding(&g, 0, 2, &[1]));
+/// assert!(!connectivity::connected_avoiding(&g, 0, 2, &[1, 3]));
+/// ```
+pub fn connected_avoiding(g: &Graph, s: VertexId, t: VertexId, faults: &[EdgeId]) -> bool {
+    if s == t {
+        return true;
+    }
+    let mut banned = vec![false; g.m()];
+    for &e in faults {
+        banned[e] = true;
+    }
+    g.bfs_distances(s, |e| banned[e])[t].is_some()
+}
+
+/// Shortest-path distance from `s` to `t` in `G − F` (`None` if
+/// disconnected).
+pub fn distance_avoiding(g: &Graph, s: VertexId, t: VertexId, faults: &[EdgeId]) -> Option<usize> {
+    let mut banned = vec![false; g.m()];
+    for &e in faults {
+        banned[e] = true;
+    }
+    g.bfs_distances(s, |e| banned[e])[t]
+}
+
+/// Connected-component representative of every vertex in `G − F`, via
+/// union-find (useful when many pairs are queried against one fault set).
+pub fn components_avoiding(g: &Graph, faults: &[EdgeId]) -> UnionFind {
+    let mut banned = vec![false; g.m()];
+    for &e in faults {
+        banned[e] = true;
+    }
+    let mut uf = UnionFind::new(g.n());
+    for (e, u, v) in g.edge_iter() {
+        if !banned[e] {
+            uf.union(u, v);
+        }
+    }
+    uf
+}
+
+/// Returns all bridges (cut edges) of the graph, by the standard low-link
+/// DFS. Used by generators and tests to craft fault sets that actually
+/// disconnect.
+pub fn bridges(g: &Graph) -> Vec<EdgeId> {
+    let n = g.n();
+    let mut disc = vec![usize::MAX; n];
+    let mut low = vec![usize::MAX; n];
+    let mut out = Vec::new();
+    let mut timer = 0usize;
+    // Iterative DFS storing (vertex, incident-edge cursor, entering edge).
+    for start in 0..n {
+        if disc[start] != usize::MAX {
+            continue;
+        }
+        let mut stack: Vec<(VertexId, usize, Option<EdgeId>)> = vec![(start, 0, None)];
+        disc[start] = timer;
+        low[start] = timer;
+        timer += 1;
+        while let Some(&mut (v, ref mut cursor, enter)) = stack.last_mut() {
+            if *cursor < g.incident_edges(v).len() {
+                let e = g.incident_edges(v)[*cursor];
+                *cursor += 1;
+                if Some(e) == enter {
+                    continue; // don't traverse the entering edge backwards
+                }
+                let w = g.other_endpoint(e, v);
+                if disc[w] == usize::MAX {
+                    disc[w] = timer;
+                    low[w] = timer;
+                    timer += 1;
+                    stack.push((w, 0, Some(e)));
+                } else {
+                    low[v] = low[v].min(disc[w]);
+                }
+            } else {
+                stack.pop();
+                if let Some((p, _, _)) = stack.last() {
+                    let p = *p;
+                    if low[v] > disc[p] {
+                        out.push(enter.expect("non-root has an entering edge"));
+                    }
+                    low[p] = low[p].min(low[v]);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oracle_on_cycle() {
+        let g = Graph::cycle(5);
+        for e in 0..5 {
+            for s in 0..5 {
+                for t in 0..5 {
+                    assert!(connected_avoiding(&g, s, t, &[e]));
+                }
+            }
+        }
+        // Two faults split the cycle into two arcs.
+        assert!(!connected_avoiding(&g, 1, 4, &[0, 1]));
+        assert!(connected_avoiding(&g, 2, 4, &[0, 1]));
+    }
+
+    #[test]
+    fn distance_reflects_detours() {
+        let g = Graph::cycle(6);
+        assert_eq!(distance_avoiding(&g, 0, 3, &[]), Some(3));
+        assert_eq!(distance_avoiding(&g, 0, 1, &[0]), Some(5));
+        assert_eq!(distance_avoiding(&g, 0, 1, &[0, 3]), None);
+    }
+
+    #[test]
+    fn components_oracle_matches_bfs() {
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4)]);
+        let mut uf = components_avoiding(&g, &[0]);
+        assert!(uf.same(0, 1)); // still connected through 2
+        assert!(uf.same(3, 4));
+        assert!(!uf.same(0, 3));
+        assert!(!uf.same(0, 5));
+    }
+
+    #[test]
+    fn self_query_is_always_connected() {
+        let g = Graph::new(3);
+        assert!(connected_avoiding(&g, 1, 1, &[]));
+    }
+
+    #[test]
+    fn bridges_on_path_and_cycle() {
+        let path = Graph::path(4);
+        let mut b = bridges(&path);
+        b.sort_unstable();
+        assert_eq!(b, vec![0, 1, 2]);
+        assert!(bridges(&Graph::cycle(4)).is_empty());
+    }
+
+    #[test]
+    fn bridges_barbell() {
+        // Two triangles joined by a single edge: only the joiner is a bridge.
+        let g = Graph::from_edges(
+            6,
+            &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)],
+        );
+        assert_eq!(bridges(&g), vec![6]);
+    }
+}

@@ -1,0 +1,251 @@
+//! Euler tours and the Duan–Pettie geometric coordinates (Section 4.3).
+//!
+//! Every undirected tree edge is replaced by two directed edges with opposite
+//! orientations; an Euler tour of the resulting digraph starting at the root
+//! orders all directed edges, and every vertex receives the order of its
+//! in-edge from the parent as a one-dimensional coordinate `c(v)`. A non-tree
+//! edge `(u, v)` is then mapped to the 2-D point `(c(u), c(v))` (with
+//! `x < y`), and Lemma 3 characterizes the cut set `∂_{E'}(S)` as the points
+//! inside a symmetric difference of axis-aligned halfspaces whose boundaries
+//! are the tour numbers of the directed edges of `∂_{T⃗}(S)`.
+//!
+//! For spanning *forests* each root also consumes one tour number, so the
+//! coordinate ranges of distinct components are disjoint contiguous
+//! intervals — this keeps the geometric argument component-local (points of
+//! other components fall in the all-halfspaces or no-halfspace region, whose
+//! membership count is even, hence outside every cut region).
+
+use crate::graph::{EdgeId, Graph, VertexId};
+use crate::tree::RootedTree;
+
+/// Euler-tour numbering of a rooted spanning forest.
+///
+/// # Example
+///
+/// ```
+/// use ftc_graph::{EulerTour, Graph, RootedTree};
+///
+/// let g = Graph::from_edges(4, &[(0, 1), (1, 2), (0, 3), (2, 3)]);
+/// let t = RootedTree::dfs(&g, 0);
+/// let tour = EulerTour::new(&g, &t);
+/// // Non-tree edge (2,3): its 2-D point has ordered coordinates.
+/// let (x, y) = tour.point(&g, 3);
+/// assert!(x < y);
+/// ```
+#[derive(Clone, Debug)]
+pub struct EulerTour {
+    /// Per-vertex first-visit coordinate `c(v)` (the tour number of the
+    /// in-edge from the parent; roots consume their own number).
+    coord: Vec<usize>,
+    /// Tour number of the downward copy of `v`'s parent edge (None at roots).
+    down: Vec<Option<usize>>,
+    /// Tour number of the upward copy of `v`'s parent edge (None at roots).
+    up: Vec<Option<usize>>,
+    /// Total numbers consumed (`#roots + 2·#tree-edges`).
+    len: usize,
+}
+
+impl EulerTour {
+    /// Computes the Euler numbering of the spanning forest `t` of `g`.
+    pub fn new(g: &Graph, t: &RootedTree) -> EulerTour {
+        let n = g.n();
+        let mut coord = vec![0usize; n];
+        let mut down = vec![None; n];
+        let mut up = vec![None; n];
+        let mut counter = 0usize;
+        for &r in t.roots() {
+            counter += 1;
+            coord[r] = counter;
+            // Iterative DFS respecting the tree's child order.
+            let mut stack: Vec<(VertexId, usize)> = vec![(r, 0)];
+            while let Some(&mut (v, ref mut ci)) = stack.last_mut() {
+                if *ci < t.children(v).len() {
+                    let c = t.children(v)[*ci];
+                    *ci += 1;
+                    counter += 1;
+                    down[c] = Some(counter);
+                    coord[c] = counter;
+                    stack.push((c, 0));
+                } else {
+                    stack.pop();
+                    if v != r {
+                        counter += 1;
+                        up[v] = Some(counter);
+                    }
+                }
+            }
+        }
+        EulerTour {
+            coord,
+            down,
+            up,
+            len: counter,
+        }
+    }
+
+    /// The one-dimensional coordinate `c(v)`.
+    pub fn coord(&self, v: VertexId) -> usize {
+        self.coord[v]
+    }
+
+    /// Total numbers consumed by the tour.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` iff the tour is empty (empty graph).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Tour numbers `(downward, upward)` of the directed copies of the
+    /// parent edge of `v`, or `None` at roots. The downward copy always
+    /// precedes the upward copy.
+    pub fn directed_pair(&self, v: VertexId) -> Option<(usize, usize)> {
+        Some((self.down[v]?, self.up[v]?))
+    }
+
+    /// The 2-D point of a *non-tree* edge: `(c(u), c(v))` ordered so that
+    /// `x < y`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the endpoints share a coordinate (impossible for distinct
+    /// vertices).
+    pub fn point(&self, g: &Graph, e: EdgeId) -> (usize, usize) {
+        let (u, v) = g.endpoints(e);
+        let (a, b) = (self.coord[u], self.coord[v]);
+        assert_ne!(a, b, "distinct vertices have distinct coordinates");
+        if a < b {
+            (a, b)
+        } else {
+            (b, a)
+        }
+    }
+
+    /// Membership test for the Lemma 3 cut region: a point lies in the
+    /// symmetric difference of the halfspaces `{x ≥ d}` and `{y ≥ d}` over
+    /// all directed-edge numbers `d` of the boundary iff the total number of
+    /// containing halfspaces is odd.
+    pub fn in_cut_region(point: (usize, usize), boundary_directed_numbers: &[usize]) -> bool {
+        let (x, y) = point;
+        let mut count = 0usize;
+        for &d in boundary_directed_numbers {
+            if x >= d {
+                count += 1;
+            }
+            if y >= d {
+                count += 1;
+            }
+        }
+        count % 2 == 1
+    }
+
+    /// The directed-edge numbers of `∂_{T⃗}(S)` for a vertex set `S`: for
+    /// every tree edge with exactly one endpoint in `S`, both copies'
+    /// numbers.
+    pub fn boundary_directed_numbers(
+        &self,
+        g: &Graph,
+        t: &RootedTree,
+        in_s: &[bool],
+    ) -> Vec<usize> {
+        let mut out = Vec::new();
+        for e in t.tree_edges() {
+            let (u, v) = g.endpoints(e);
+            if in_s[u] != in_s[v] {
+                let (_, lower) = t.orient_tree_edge(g, e);
+                let (d, u_num) = self
+                    .directed_pair(lower)
+                    .expect("lower endpoint of a tree edge is not a root");
+                out.push(d);
+                out.push(u_num);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Graph, RootedTree, EulerTour) {
+        // Tree edges: 0-1, 1-2, 0-3; non-tree: 2-3.
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (0, 3), (2, 3)]);
+        let t = RootedTree::dfs(&g, 0);
+        let tour = EulerTour::new(&g, &t);
+        (g, t, tour)
+    }
+
+    #[test]
+    fn coordinates_are_distinct_and_in_range() {
+        let (g, _, tour) = setup();
+        let mut cs: Vec<_> = (0..g.n()).map(|v| tour.coord(v)).collect();
+        cs.sort_unstable();
+        cs.dedup();
+        assert_eq!(cs.len(), g.n());
+        assert!(cs.iter().all(|&c| c >= 1 && c <= tour.len()));
+    }
+
+    #[test]
+    fn down_precedes_up() {
+        let (_, t, tour) = setup();
+        for v in 0..4 {
+            if t.parent(v).is_some() {
+                let (d, u) = tour.directed_pair(v).unwrap();
+                assert!(d < u, "downward copy must precede upward copy");
+                assert_eq!(tour.coord(v), d);
+            } else {
+                assert!(tour.directed_pair(v).is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn tour_length_counts_roots_and_edges() {
+        let (_, t, tour) = setup();
+        assert_eq!(tour.len(), t.roots().len() + 2 * t.tree_edges().count());
+    }
+
+    #[test]
+    fn lemma3_region_matches_actual_cut() {
+        // Check Lemma 3 on every vertex subset of the sample graph: a
+        // non-tree edge is in ∂(S) iff its point is in the cut region.
+        let (g, t, tour) = setup();
+        let non_tree: Vec<EdgeId> = t.non_tree_edges().collect();
+        for mask in 0u32..16 {
+            let in_s: Vec<bool> = (0..4).map(|v| mask >> v & 1 == 1).collect();
+            let boundary = tour.boundary_directed_numbers(&g, &t, &in_s);
+            for &e in &non_tree {
+                let (u, v) = g.endpoints(e);
+                let crossing = in_s[u] != in_s[v];
+                let in_region = EulerTour::in_cut_region(tour.point(&g, e), &boundary);
+                assert_eq!(
+                    crossing, in_region,
+                    "Lemma 3 violated for S-mask {mask:#b}, edge {e}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn forest_components_have_disjoint_ranges() {
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (3, 4), (4, 5)]);
+        let t = RootedTree::bfs(&g, 0);
+        let tour = EulerTour::new(&g, &t);
+        let comp_a: Vec<_> = [0, 1, 2].iter().map(|&v| tour.coord(v)).collect();
+        let comp_b: Vec<_> = [3, 4, 5].iter().map(|&v| tour.coord(v)).collect();
+        let a_max = comp_a.iter().max().unwrap();
+        let b_min = comp_b.iter().min().unwrap();
+        assert!(a_max < b_min, "component ranges must be disjoint and ordered");
+    }
+
+    #[test]
+    fn empty_graph_tour() {
+        let g = Graph::new(0);
+        let t = RootedTree::bfs(&g, 0);
+        let tour = EulerTour::new(&g, &t);
+        assert!(tour.is_empty());
+    }
+}

@@ -1,0 +1,366 @@
+//! Graph families used by the examples, tests and benchmark harness.
+//!
+//! Deterministic families are inherent constructors on [`Graph`]; seeded
+//! random families are free functions taking an explicit seed so every
+//! experiment is reproducible.
+
+use crate::graph::{Graph, VertexId};
+use crate::unionfind::UnionFind;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+impl Graph {
+    /// The path `0 − 1 − … − (n−1)`.
+    pub fn path(n: usize) -> Graph {
+        let mut g = Graph::new(n);
+        for v in 1..n {
+            g.add_edge(v - 1, v);
+        }
+        g
+    }
+
+    /// The cycle on `n ≥ 3` vertices (edge `i` joins `i` and `(i+1) mod n`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 3`.
+    pub fn cycle(n: usize) -> Graph {
+        assert!(n >= 3, "a cycle needs at least 3 vertices");
+        let mut g = Graph::path(n);
+        g.add_edge(n - 1, 0);
+        g
+    }
+
+    /// The complete graph `K_n`.
+    pub fn complete(n: usize) -> Graph {
+        let mut g = Graph::new(n);
+        for u in 0..n {
+            for v in (u + 1)..n {
+                g.add_edge(u, v);
+            }
+        }
+        g
+    }
+
+    /// The `rows × cols` grid (vertex `r·cols + c`).
+    pub fn grid(rows: usize, cols: usize) -> Graph {
+        let mut g = Graph::new(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                let v = r * cols + c;
+                if c + 1 < cols {
+                    g.add_edge(v, v + 1);
+                }
+                if r + 1 < rows {
+                    g.add_edge(v, v + cols);
+                }
+            }
+        }
+        g
+    }
+
+    /// The `rows × cols` torus (grid with wraparound; needs both sides ≥ 3
+    /// to stay simple).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows < 3` or `cols < 3`.
+    pub fn torus(rows: usize, cols: usize) -> Graph {
+        assert!(rows >= 3 && cols >= 3, "torus needs both sides >= 3");
+        let mut g = Graph::new(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                let v = r * cols + c;
+                g.add_edge(v, r * cols + (c + 1) % cols);
+                g.add_edge(v, ((r + 1) % rows) * cols + c);
+            }
+        }
+        g
+    }
+
+    /// The `d`-dimensional hypercube (`2^d` vertices).
+    pub fn hypercube(d: u32) -> Graph {
+        let n = 1usize << d;
+        let mut g = Graph::new(n);
+        for v in 0..n {
+            for b in 0..d {
+                let w = v ^ (1 << b);
+                if v < w {
+                    g.add_edge(v, w);
+                }
+            }
+        }
+        g
+    }
+
+    /// Two cliques of size `k` joined by a single bridge — the classic
+    /// worst case for edge-fault connectivity (one critical edge).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < 1`.
+    pub fn barbell(k: usize) -> Graph {
+        assert!(k >= 1);
+        let mut g = Graph::new(2 * k);
+        for u in 0..k {
+            for v in (u + 1)..k {
+                g.add_edge(u, v);
+                g.add_edge(k + u, k + v);
+            }
+        }
+        g.add_edge(k - 1, k);
+        g
+    }
+
+    /// A three-layer fat-tree-like datacenter topology with `pods` pods:
+    /// `pods` core switches, `pods` aggregation switches (one per pod),
+    /// `hosts_per_pod` hosts per pod. Every aggregation switch connects to
+    /// every core switch, giving `pods`-way path redundancy between pods.
+    pub fn fat_tree(pods: usize, hosts_per_pod: usize) -> Graph {
+        let core0 = 0;
+        let agg0 = pods;
+        let host0 = 2 * pods;
+        let mut g = Graph::new(2 * pods + pods * hosts_per_pod);
+        for p in 0..pods {
+            for c in 0..pods {
+                g.add_edge(agg0 + p, core0 + c);
+            }
+            for h in 0..hosts_per_pod {
+                g.add_edge(agg0 + p, host0 + p * hosts_per_pod + h);
+            }
+        }
+        g
+    }
+}
+
+/// Erdős–Rényi `G(n, m)`: `m` distinct edges drawn uniformly at random
+/// (without replacement) from all vertex pairs.
+///
+/// # Panics
+///
+/// Panics if `m` exceeds `n·(n−1)/2`.
+pub fn gnm(n: usize, m: usize, seed: u64) -> Graph {
+    let max = n * n.saturating_sub(1) / 2;
+    assert!(m <= max, "requested {m} edges but only {max} exist");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Graph::new(n);
+    let mut used = std::collections::HashSet::with_capacity(m * 2);
+    while g.m() < m {
+        let u = rng.random_range(0..n);
+        let v = rng.random_range(0..n);
+        if u == v {
+            continue;
+        }
+        let key = (u.min(v), u.max(v));
+        if used.insert(key) {
+            g.add_edge(key.0, key.1);
+        }
+    }
+    g
+}
+
+/// A connected random graph: a uniform random spanning tree (random-walk /
+/// Wilson-style shuffle construction) plus `extra` distinct random chords.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or the requested size exceeds `n·(n−1)/2`.
+pub fn random_connected(n: usize, extra: usize, seed: u64) -> Graph {
+    assert!(n > 0, "need at least one vertex");
+    let max = n * n.saturating_sub(1) / 2;
+    assert!(n - 1 + extra <= max, "too many edges requested");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Graph::new(n);
+    let mut used = std::collections::HashSet::new();
+    // Random tree: attach each vertex (in shuffled order) to a random
+    // earlier vertex.
+    let mut order: Vec<VertexId> = (0..n).collect();
+    order.shuffle(&mut rng);
+    for i in 1..n {
+        let j = rng.random_range(0..i);
+        let (u, v) = (order[i], order[j]);
+        used.insert((u.min(v), u.max(v)));
+        g.add_edge(u, v);
+    }
+    let mut added = 0;
+    while added < extra {
+        let u = rng.random_range(0..n);
+        let v = rng.random_range(0..n);
+        if u == v {
+            continue;
+        }
+        let key = (u.min(v), u.max(v));
+        if used.insert(key) {
+            g.add_edge(key.0, key.1);
+            added += 1;
+        }
+    }
+    g
+}
+
+/// A uniformly random tree on `n` vertices (Prüfer-free shuffled-attachment
+/// construction; not the uniform distribution over labeled trees, but fully
+/// seeded and well spread).
+pub fn random_tree(n: usize, seed: u64) -> Graph {
+    random_connected(n, 0, seed)
+}
+
+/// A random `d`-regular-ish multigraph by stub matching (pairs of stubs are
+/// matched uniformly; self-loop pairs are re-drawn, parallel edges kept).
+/// Retries until the result is connected (bounded attempts).
+///
+/// # Panics
+///
+/// Panics if `n·d` is odd, `d == 0`, or no connected sample is found in 64
+/// attempts.
+pub fn random_regular(n: usize, d: usize, seed: u64) -> Graph {
+    assert!(d > 0 && n * d % 2 == 0, "n*d must be even, d positive");
+    for attempt in 0..64u64 {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(attempt));
+        let mut stubs: Vec<VertexId> = (0..n).flat_map(|v| std::iter::repeat_n(v, d)).collect();
+        stubs.shuffle(&mut rng);
+        let mut g = Graph::new(n);
+        let mut ok = true;
+        for pair in stubs.chunks(2) {
+            if pair[0] == pair[1] {
+                ok = false;
+                break;
+            }
+            g.add_edge(pair[0], pair[1]);
+        }
+        if ok && g.is_connected() {
+            return g;
+        }
+    }
+    panic!("failed to sample a connected {d}-regular graph on {n} vertices");
+}
+
+/// Draws `count` distinct random edge IDs of `g` — a convenience for
+/// sampling fault sets in tests and benchmarks.
+pub fn random_fault_set(g: &Graph, count: usize, seed: u64) -> Vec<usize> {
+    assert!(count <= g.m(), "cannot sample more faults than edges");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ids: Vec<usize> = (0..g.m()).collect();
+    ids.shuffle(&mut rng);
+    ids.truncate(count);
+    ids
+}
+
+/// Verifies that a generated graph is simple (no parallel edges); used by
+/// tests on the deterministic families.
+pub fn is_simple(g: &Graph) -> bool {
+    let mut seen = std::collections::HashSet::new();
+    for (_, u, v) in g.edge_iter() {
+        if !seen.insert((u.min(v), u.max(v))) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Sanity helper: `true` iff the edge set spans a connected graph (via
+/// union-find, ignoring isolated-vertex corner cases for `n == 0`).
+pub fn spans_connected(g: &Graph) -> bool {
+    let mut uf = UnionFind::new(g.n());
+    for (_, u, v) in g.edge_iter() {
+        uf.union(u, v);
+    }
+    g.n() <= 1 || uf.num_sets() == 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_families_shapes() {
+        assert_eq!(Graph::path(5).m(), 4);
+        assert_eq!(Graph::cycle(5).m(), 5);
+        assert_eq!(Graph::complete(5).m(), 10);
+        assert_eq!(Graph::grid(3, 4).m(), 3 * 3 + 2 * 4);
+        assert_eq!(Graph::torus(3, 4).m(), 2 * 12);
+        assert_eq!(Graph::hypercube(3).m(), 12);
+        assert_eq!(Graph::barbell(3).m(), 7);
+        let ft = Graph::fat_tree(4, 2);
+        assert_eq!(ft.n(), 8 + 8);
+        assert_eq!(ft.m(), 16 + 8);
+    }
+
+    #[test]
+    fn deterministic_families_are_simple_and_connected() {
+        for g in [
+            Graph::path(6),
+            Graph::cycle(6),
+            Graph::complete(6),
+            Graph::grid(4, 4),
+            Graph::torus(3, 3),
+            Graph::hypercube(4),
+            Graph::barbell(4),
+            Graph::fat_tree(3, 3),
+        ] {
+            assert!(is_simple(&g));
+            assert!(g.is_connected());
+        }
+    }
+
+    #[test]
+    fn gnm_has_exact_size_and_is_seeded() {
+        let a = gnm(20, 40, 7);
+        let b = gnm(20, 40, 7);
+        let c = gnm(20, 40, 8);
+        assert_eq!(a.m(), 40);
+        assert!(is_simple(&a));
+        assert_eq!(
+            a.edge_iter().collect::<Vec<_>>(),
+            b.edge_iter().collect::<Vec<_>>()
+        );
+        assert_ne!(
+            a.edge_iter().collect::<Vec<_>>(),
+            c.edge_iter().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn random_connected_is_connected_and_sized() {
+        for seed in 0..5 {
+            let g = random_connected(30, 20, seed);
+            assert_eq!(g.m(), 29 + 20);
+            assert!(g.is_connected());
+            assert!(is_simple(&g));
+        }
+    }
+
+    #[test]
+    fn random_tree_is_spanning_tree() {
+        let g = random_tree(25, 3);
+        assert_eq!(g.m(), 24);
+        assert!(spans_connected(&g));
+    }
+
+    #[test]
+    fn random_regular_degrees() {
+        let g = random_regular(16, 4, 11);
+        assert!(g.is_connected());
+        for v in 0..16 {
+            assert_eq!(g.degree(v), 4);
+        }
+    }
+
+    #[test]
+    fn fault_sets_are_distinct_edges() {
+        let g = Graph::complete(8);
+        let f = random_fault_set(&g, 10, 42);
+        let mut sorted = f.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 10);
+        assert!(f.iter().all(|&e| e < g.m()));
+    }
+
+    #[test]
+    #[should_panic(expected = "only")]
+    fn gnm_rejects_oversized_requests() {
+        gnm(4, 7, 0);
+    }
+}

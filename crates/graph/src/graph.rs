@@ -1,0 +1,320 @@
+//! Undirected (multi)graph representation.
+//!
+//! Vertices are dense indices `0..n`; edges are dense indices `0..m` into an
+//! edge table. Parallel edges are permitted (the auxiliary-graph
+//! transformation of the paper never creates them, but the query engine must
+//! tolerate arbitrary inputs); self-loops are rejected since they are
+//! irrelevant to connectivity and would break the Euler-tour embedding.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Index of a vertex (`0..n`).
+pub type VertexId = usize;
+/// Index of an edge (`0..m`).
+pub type EdgeId = usize;
+
+/// An undirected multigraph with indexed vertices and edges.
+///
+/// # Example
+///
+/// ```
+/// use ftc_graph::Graph;
+///
+/// let mut g = Graph::new(4);
+/// let e0 = g.add_edge(0, 1);
+/// g.add_edge(1, 2);
+/// g.add_edge(2, 3);
+/// assert_eq!(g.n(), 4);
+/// assert_eq!(g.m(), 3);
+/// assert_eq!(g.endpoints(e0), (0, 1));
+/// assert_eq!(g.degree(1), 2);
+/// ```
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct Graph {
+    n: usize,
+    /// Edge table: `edges[e] = (u, v)` with `u`, `v` the endpoints as given.
+    edges: Vec<(VertexId, VertexId)>,
+    /// Adjacency: for each vertex, the incident edge IDs.
+    adj: Vec<Vec<EdgeId>>,
+}
+
+impl Graph {
+    /// Creates an edgeless graph on `n` vertices.
+    pub fn new(n: usize) -> Graph {
+        Graph {
+            n,
+            edges: Vec::new(),
+            adj: vec![Vec::new(); n],
+        }
+    }
+
+    /// Creates a graph from an edge list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is out of range or an edge is a self-loop.
+    pub fn from_edges(n: usize, edges: &[(VertexId, VertexId)]) -> Graph {
+        let mut g = Graph::new(n);
+        for &(u, v) in edges {
+            g.add_edge(u, v);
+        }
+        g
+    }
+
+    /// Adds an undirected edge and returns its ID. Parallel edges allowed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is out of range or `u == v` (self-loop).
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId) -> EdgeId {
+        assert!(u < self.n && v < self.n, "endpoint out of range");
+        assert_ne!(u, v, "self-loops are not supported");
+        let id = self.edges.len();
+        self.edges.push((u, v));
+        self.adj[u].push(id);
+        self.adj[v].push(id);
+        id
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The endpoints of edge `e`, in insertion order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of range.
+    #[inline]
+    pub fn endpoints(&self, e: EdgeId) -> (VertexId, VertexId) {
+        self.edges[e]
+    }
+
+    /// Given an edge and one endpoint, returns the other endpoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not an endpoint of `e`.
+    #[inline]
+    pub fn other_endpoint(&self, e: EdgeId, x: VertexId) -> VertexId {
+        let (u, v) = self.edges[e];
+        if x == u {
+            v
+        } else {
+            assert_eq!(x, v, "vertex {x} is not an endpoint of edge {e}");
+            u
+        }
+    }
+
+    /// Incident edge IDs of `v`.
+    #[inline]
+    pub fn incident_edges(&self, v: VertexId) -> &[EdgeId] {
+        &self.adj[v]
+    }
+
+    /// Degree of `v` (counting parallel edges).
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.adj[v].len()
+    }
+
+    /// Iterator over `(edge_id, u, v)` triples.
+    pub fn edge_iter(&self) -> impl Iterator<Item = (EdgeId, VertexId, VertexId)> + '_ {
+        self.edges.iter().enumerate().map(|(i, &(u, v))| (i, u, v))
+    }
+
+    /// Neighbors of `v` (with multiplicity for parallel edges).
+    pub fn neighbors(&self, v: VertexId) -> impl Iterator<Item = VertexId> + '_ {
+        self.adj[v].iter().map(move |&e| self.other_endpoint(e, v))
+    }
+
+    /// Finds some edge with the given endpoints (in either order).
+    pub fn find_edge(&self, u: VertexId, v: VertexId) -> Option<EdgeId> {
+        if u >= self.n || v >= self.n {
+            return None;
+        }
+        // Scan the lower-degree endpoint.
+        let (scan, other) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        self.adj[scan]
+            .iter()
+            .copied()
+            .find(|&e| self.other_endpoint(e, scan) == other)
+    }
+
+    /// `true` iff some edge joins `u` and `v`.
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        self.find_edge(u, v).is_some()
+    }
+
+    /// BFS from `src`, skipping edges for which `banned(e)` holds. Returns
+    /// the per-vertex distance (`None` = unreachable).
+    pub fn bfs_distances<F>(&self, src: VertexId, banned: F) -> Vec<Option<usize>>
+    where
+        F: Fn(EdgeId) -> bool,
+    {
+        assert!(src < self.n, "source out of range");
+        let mut dist = vec![None; self.n];
+        dist[src] = Some(0);
+        let mut queue = VecDeque::from([src]);
+        while let Some(u) = queue.pop_front() {
+            let du = dist[u].expect("queued vertices have distances");
+            for &e in &self.adj[u] {
+                if banned(e) {
+                    continue;
+                }
+                let w = self.other_endpoint(e, u);
+                if dist[w].is_none() {
+                    dist[w] = Some(du + 1);
+                    queue.push_back(w);
+                }
+            }
+        }
+        dist
+    }
+
+    /// Connected-component label of every vertex (labels are `0..#comps`,
+    /// assigned in order of smallest contained vertex).
+    pub fn components(&self) -> Vec<usize> {
+        let mut comp = vec![usize::MAX; self.n];
+        let mut next = 0;
+        for s in 0..self.n {
+            if comp[s] != usize::MAX {
+                continue;
+            }
+            let mut stack = vec![s];
+            comp[s] = next;
+            while let Some(u) = stack.pop() {
+                for w in self.neighbors(u) {
+                    if comp[w] == usize::MAX {
+                        comp[w] = next;
+                        stack.push(w);
+                    }
+                }
+            }
+            next += 1;
+        }
+        comp
+    }
+
+    /// `true` iff the graph is connected (vacuously true for `n ≤ 1`).
+    pub fn is_connected(&self) -> bool {
+        if self.n <= 1 {
+            return true;
+        }
+        let dist = self.bfs_distances(0, |_| false);
+        dist.iter().all(Option::is_some)
+    }
+}
+
+impl fmt::Debug for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Graph(n={}, m={}, edges=[", self.n, self.m())?;
+        for (i, &(u, v)) in self.edges.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            if i >= 24 {
+                write!(f, "…")?;
+                break;
+            }
+            write!(f, "{u}-{v}")?;
+        }
+        write!(f, "])")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::new(0);
+        assert_eq!(g.n(), 0);
+        assert_eq!(g.m(), 0);
+        assert!(g.is_connected());
+        assert!(g.components().is_empty());
+    }
+
+    #[test]
+    fn add_and_query_edges() {
+        let mut g = Graph::new(3);
+        let e = g.add_edge(0, 2);
+        assert_eq!(g.endpoints(e), (0, 2));
+        assert_eq!(g.other_endpoint(e, 0), 2);
+        assert_eq!(g.other_endpoint(e, 2), 0);
+        assert!(g.has_edge(2, 0));
+        assert!(!g.has_edge(0, 1));
+        assert_eq!(g.find_edge(0, 2), Some(e));
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn self_loop_rejected() {
+        Graph::new(2).add_edge(1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_rejected() {
+        Graph::new(2).add_edge(0, 2);
+    }
+
+    #[test]
+    fn parallel_edges_supported() {
+        let mut g = Graph::new(2);
+        let e1 = g.add_edge(0, 1);
+        let e2 = g.add_edge(0, 1);
+        assert_ne!(e1, e2);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.m(), 2);
+    }
+
+    #[test]
+    fn bfs_distances_and_banned_edges() {
+        // Path 0-1-2-3 plus chord 0-3.
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (0, 3)]);
+        let d = g.bfs_distances(0, |_| false);
+        assert_eq!(d, vec![Some(0), Some(1), Some(2), Some(1)]);
+        // Ban the chord: distance to 3 becomes 3.
+        let d = g.bfs_distances(0, |e| e == 3);
+        assert_eq!(d[3], Some(3));
+        // Ban both edges at 0: unreachable.
+        let d = g.bfs_distances(0, |e| e == 0 || e == 3);
+        assert_eq!(d[3], None);
+        assert_eq!(d[1], None);
+    }
+
+    #[test]
+    fn components_labeling() {
+        let g = Graph::from_edges(5, &[(0, 1), (3, 4)]);
+        assert_eq!(g.components(), vec![0, 0, 1, 2, 2]);
+        assert!(!g.is_connected());
+    }
+
+    #[test]
+    fn neighbors_iteration() {
+        let g = Graph::from_edges(4, &[(1, 0), (1, 2), (1, 3)]);
+        let mut nb: Vec<_> = g.neighbors(1).collect();
+        nb.sort_unstable();
+        assert_eq!(nb, vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        assert!(!format!("{:?}", Graph::new(2)).is_empty());
+    }
+}

@@ -1,0 +1,44 @@
+//! Graph substrate for the fault-tolerant connectivity labeling schemes.
+//!
+//! The paper assumes an undirected input graph, an arbitrary rooted spanning
+//! tree, and — for the geometric sparsification of Section 4.3 — the
+//! Euler-tour coordinates of Duan–Pettie. This crate provides all of that
+//! from scratch:
+//!
+//! * [`Graph`] — an undirected (multi)graph with indexed edges,
+//! * [`RootedTree`] — rooted spanning trees/forests with pre/post orders,
+//!   subtree intervals, and ancestor tests,
+//! * [`EulerTour`] — the directed-edge Euler numbering and the per-vertex
+//!   first-visit coordinates `c(v)` used by Lemma 3,
+//! * [`UnionFind`] — disjoint sets (used both by generators and by the
+//!   query engine),
+//! * [`connectivity`] — ground-truth oracles (connectivity under deleted
+//!   edges) the test-suite checks the labeling schemes against,
+//! * [`generators`] — deterministic and seeded random graph families used
+//!   by the examples, tests and benchmark harness.
+//!
+//! # Example
+//!
+//! ```
+//! use ftc_graph::{Graph, RootedTree};
+//!
+//! let g = Graph::grid(3, 4);
+//! let t = RootedTree::bfs(&g, 0);
+//! assert_eq!(t.parent(0), None);
+//! assert!(t.is_ancestor(0, 11));
+//! assert!(g.is_connected());
+//! ```
+
+pub mod connectivity;
+pub mod euler;
+pub mod generators;
+pub mod graph;
+pub mod tree;
+pub mod unionfind;
+pub mod weights;
+
+pub use euler::EulerTour;
+pub use graph::{EdgeId, Graph, VertexId};
+pub use tree::RootedTree;
+pub use unionfind::UnionFind;
+pub use weights::{weighted_distance_avoiding, EdgeWeights};

@@ -1,0 +1,517 @@
+//! Rooted spanning trees and forests.
+//!
+//! The construction framework (Section 3) fixes an arbitrary rooted spanning
+//! tree `T` of the input graph; every labeling component is built relative to
+//! it. [`RootedTree`] covers the disconnected case as a spanning *forest*
+//! (each component gets its own root), which lets the labeling scheme answer
+//! cross-component queries without special-casing upstream.
+
+use crate::graph::{EdgeId, Graph, VertexId};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// A rooted spanning forest of a [`Graph`], with DFS pre/post orders,
+/// depths, and subtree intervals.
+///
+/// # Example
+///
+/// ```
+/// use ftc_graph::{Graph, RootedTree};
+///
+/// let g = Graph::from_edges(5, &[(0, 1), (1, 2), (1, 3), (3, 4)]);
+/// let t = RootedTree::bfs(&g, 0);
+/// assert_eq!(t.parent(4), Some(3));
+/// assert!(t.is_ancestor(1, 4));
+/// assert!(!t.is_ancestor(2, 4));
+/// assert_eq!(t.depth(4), 3);
+/// ```
+#[derive(Clone)]
+pub struct RootedTree {
+    parent: Vec<Option<VertexId>>,
+    parent_edge: Vec<Option<EdgeId>>,
+    children: Vec<Vec<VertexId>>,
+    depth: Vec<usize>,
+    pre: Vec<usize>,
+    post: Vec<usize>,
+    /// Vertices in pre-order (concatenated over roots).
+    pre_order: Vec<VertexId>,
+    roots: Vec<VertexId>,
+    comp_root: Vec<VertexId>,
+    tree_edge: Vec<bool>,
+}
+
+impl RootedTree {
+    /// Builds a BFS spanning forest, exploring from `root` first and then
+    /// from the smallest-index unvisited vertex of every further component.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `root ≥ g.n()` (for non-empty graphs).
+    pub fn bfs(g: &Graph, root: VertexId) -> RootedTree {
+        Self::build(g, root, Traversal::Bfs)
+    }
+
+    /// Builds a DFS spanning forest (same multi-component convention as
+    /// [`RootedTree::bfs`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `root ≥ g.n()` (for non-empty graphs).
+    pub fn dfs(g: &Graph, root: VertexId) -> RootedTree {
+        Self::build(g, root, Traversal::Dfs)
+    }
+
+    /// Builds a rooted forest over `g` from an explicit parent assignment
+    /// (e.g. one elected by a distributed algorithm). Children are ordered
+    /// by vertex index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parents.len() != g.n()`, if some parent edge does not
+    /// exist in `g`, or if the assignment contains a cycle.
+    pub fn from_parents(g: &Graph, parents: &[Option<VertexId>]) -> RootedTree {
+        let n = g.n();
+        assert_eq!(parents.len(), n, "one parent entry per vertex");
+        let mut parent = vec![None; n];
+        let mut parent_edge = vec![None; n];
+        let mut children = vec![Vec::new(); n];
+        let mut roots = Vec::new();
+        let mut tree_edge = vec![false; g.m()];
+        for (v, &p) in parents.iter().enumerate() {
+            match p {
+                None => roots.push(v),
+                Some(p) => {
+                    let e = g
+                        .find_edge(v, p)
+                        .unwrap_or_else(|| panic!("parent edge {p}-{v} not in graph"));
+                    parent[v] = Some(p);
+                    parent_edge[v] = Some(e);
+                    children[p].push(v);
+                    tree_edge[e] = true;
+                }
+            }
+        }
+        // Depth/component assignment + cycle detection by traversal from
+        // the roots.
+        let mut depth = vec![usize::MAX; n];
+        let mut comp_root = vec![usize::MAX; n];
+        let mut stack: Vec<VertexId> = Vec::new();
+        for &r in &roots {
+            depth[r] = 0;
+            comp_root[r] = r;
+            stack.push(r);
+            while let Some(v) = stack.pop() {
+                for &c in &children[v] {
+                    depth[c] = depth[v] + 1;
+                    comp_root[c] = comp_root[v];
+                    stack.push(c);
+                }
+            }
+        }
+        assert!(
+            depth.iter().all(|&d| d != usize::MAX),
+            "parent assignment contains a cycle"
+        );
+        let mut tree = RootedTree {
+            parent,
+            parent_edge,
+            children,
+            depth,
+            pre: vec![0; n],
+            post: vec![0; n],
+            pre_order: Vec::with_capacity(n),
+            roots,
+            comp_root,
+            tree_edge,
+        };
+        tree.assign_orders();
+        tree
+    }
+
+    fn build(g: &Graph, root: VertexId, mode: Traversal) -> RootedTree {
+        let n = g.n();
+        if n > 0 {
+            assert!(root < n, "root out of range");
+        }
+        let mut parent = vec![None; n];
+        let mut parent_edge = vec![None; n];
+        let mut children = vec![Vec::new(); n];
+        let mut depth = vec![0usize; n];
+        let mut comp_root = vec![usize::MAX; n];
+        let mut roots = Vec::new();
+        let mut tree_edge = vec![false; g.m()];
+
+        let mut start_order: Vec<VertexId> = Vec::with_capacity(n);
+        if n > 0 {
+            start_order.push(root);
+            start_order.extend((0..n).filter(|&v| v != root));
+        }
+        for s in start_order {
+            if comp_root[s] != usize::MAX {
+                continue;
+            }
+            roots.push(s);
+            comp_root[s] = s;
+            match mode {
+                Traversal::Bfs => {
+                    let mut q = VecDeque::from([s]);
+                    while let Some(u) = q.pop_front() {
+                        for &e in g.incident_edges(u) {
+                            let w = g.other_endpoint(e, u);
+                            if comp_root[w] == usize::MAX {
+                                comp_root[w] = s;
+                                parent[w] = Some(u);
+                                parent_edge[w] = Some(e);
+                                depth[w] = depth[u] + 1;
+                                children[u].push(w);
+                                tree_edge[e] = true;
+                                q.push_back(w);
+                            }
+                        }
+                    }
+                }
+                Traversal::Dfs => {
+                    let mut stack = vec![s];
+                    while let Some(u) = stack.pop() {
+                        for &e in g.incident_edges(u) {
+                            let w = g.other_endpoint(e, u);
+                            if comp_root[w] == usize::MAX {
+                                comp_root[w] = s;
+                                parent[w] = Some(u);
+                                parent_edge[w] = Some(e);
+                                depth[w] = depth[u] + 1;
+                                children[u].push(w);
+                                tree_edge[e] = true;
+                                stack.push(w);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut tree = RootedTree {
+            parent,
+            parent_edge,
+            children,
+            depth,
+            pre: vec![0; n],
+            post: vec![0; n],
+            pre_order: Vec::with_capacity(n),
+            roots,
+            comp_root,
+            tree_edge,
+        };
+        tree.assign_orders();
+        tree
+    }
+
+    /// Computes pre/post orders by an iterative DFS over the tree structure.
+    fn assign_orders(&mut self) {
+        let mut counter_pre = 0usize;
+        let mut counter_post = 0usize;
+        let roots = self.roots.clone();
+        // Stack entries: (vertex, next-child-index).
+        let mut stack: Vec<(VertexId, usize)> = Vec::new();
+        for r in roots {
+            stack.push((r, 0));
+            self.pre[r] = counter_pre;
+            self.pre_order.push(r);
+            counter_pre += 1;
+            while let Some(&mut (v, ref mut ci)) = stack.last_mut() {
+                if *ci < self.children[v].len() {
+                    let c = self.children[v][*ci];
+                    *ci += 1;
+                    self.pre[c] = counter_pre;
+                    self.pre_order.push(c);
+                    counter_pre += 1;
+                    stack.push((c, 0));
+                } else {
+                    self.post[v] = counter_post;
+                    counter_post += 1;
+                    stack.pop();
+                }
+            }
+        }
+    }
+
+    /// Number of vertices covered (all of them — isolated vertices are
+    /// single-vertex trees).
+    pub fn n(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// The roots of the forest, in discovery order (the requested root
+    /// first).
+    pub fn roots(&self) -> &[VertexId] {
+        &self.roots
+    }
+
+    /// The root of the component containing `v`.
+    pub fn component_root(&self, v: VertexId) -> VertexId {
+        self.comp_root[v]
+    }
+
+    /// Parent of `v`, or `None` for roots.
+    pub fn parent(&self, v: VertexId) -> Option<VertexId> {
+        self.parent[v]
+    }
+
+    /// The edge joining `v` to its parent, or `None` for roots.
+    pub fn parent_edge(&self, v: VertexId) -> Option<EdgeId> {
+        self.parent_edge[v]
+    }
+
+    /// Children of `v` in traversal order.
+    pub fn children(&self, v: VertexId) -> &[VertexId] {
+        &self.children[v]
+    }
+
+    /// Depth of `v` (roots have depth 0).
+    pub fn depth(&self, v: VertexId) -> usize {
+        self.depth[v]
+    }
+
+    /// DFS pre-order of `v` (unique in `0..n`).
+    pub fn pre(&self, v: VertexId) -> usize {
+        self.pre[v]
+    }
+
+    /// DFS post-order of `v` (unique in `0..n`).
+    pub fn post(&self, v: VertexId) -> usize {
+        self.post[v]
+    }
+
+    /// Vertices in pre-order.
+    pub fn pre_order(&self) -> &[VertexId] {
+        &self.pre_order
+    }
+
+    /// `true` iff `a` is an ancestor of `b` (reflexively: `a` is an ancestor
+    /// of itself).
+    pub fn is_ancestor(&self, a: VertexId, b: VertexId) -> bool {
+        self.pre[a] <= self.pre[b] && self.post[a] >= self.post[b]
+    }
+
+    /// `true` iff edge `e` of the underlying graph is a tree edge.
+    pub fn is_tree_edge(&self, e: EdgeId) -> bool {
+        self.tree_edge[e]
+    }
+
+    /// All tree-edge IDs (in arbitrary order).
+    pub fn tree_edges(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        self.tree_edge
+            .iter()
+            .enumerate()
+            .filter(|(_, &t)| t)
+            .map(|(e, _)| e)
+    }
+
+    /// All non-tree edge IDs.
+    pub fn non_tree_edges(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        self.tree_edge
+            .iter()
+            .enumerate()
+            .filter(|(_, &t)| !t)
+            .map(|(e, _)| e)
+    }
+
+    /// For a tree edge, returns `(upper, lower)` endpoints — the lower
+    /// endpoint is the one farther from the root, so the subtree `T(e)` of
+    /// the paper is the subtree rooted at `lower`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is not a tree edge of this forest.
+    pub fn orient_tree_edge(&self, g: &Graph, e: EdgeId) -> (VertexId, VertexId) {
+        assert!(self.tree_edge[e], "edge {e} is not a tree edge");
+        let (u, v) = g.endpoints(e);
+        if self.parent_edge[v] == Some(e) {
+            (u, v)
+        } else {
+            debug_assert_eq!(self.parent_edge[u], Some(e));
+            (v, u)
+        }
+    }
+
+    /// Lowest common ancestor of `u` and `v`, or `None` if they are in
+    /// different components. Runs in O(depth) by walking up.
+    pub fn lca(&self, mut u: VertexId, mut v: VertexId) -> Option<VertexId> {
+        if self.comp_root[u] != self.comp_root[v] {
+            return None;
+        }
+        while self.depth[u] > self.depth[v] {
+            u = self.parent[u].expect("deeper vertex has a parent");
+        }
+        while self.depth[v] > self.depth[u] {
+            v = self.parent[v].expect("deeper vertex has a parent");
+        }
+        while u != v {
+            u = self.parent[u].expect("non-roots have parents");
+            v = self.parent[v].expect("non-roots have parents");
+        }
+        Some(u)
+    }
+
+    /// The unique tree path from `u` to `v` (inclusive), or `None` if they
+    /// are in different components.
+    pub fn tree_path(&self, u: VertexId, v: VertexId) -> Option<Vec<VertexId>> {
+        let l = self.lca(u, v)?;
+        let mut up = Vec::new();
+        let mut x = u;
+        while x != l {
+            up.push(x);
+            x = self.parent[x].expect("on path to lca");
+        }
+        up.push(l);
+        let mut down = Vec::new();
+        let mut y = v;
+        while y != l {
+            down.push(y);
+            y = self.parent[y].expect("on path to lca");
+        }
+        up.extend(down.into_iter().rev());
+        Some(up)
+    }
+
+    /// Size of the subtree rooted at each vertex.
+    pub fn subtree_sizes(&self) -> Vec<usize> {
+        let mut size = vec![1usize; self.n()];
+        for &v in self.pre_order.iter().rev() {
+            if let Some(p) = self.parent[v] {
+                size[p] += size[v];
+            }
+        }
+        size
+    }
+
+    /// Height of the forest: maximum depth over all vertices.
+    pub fn height(&self) -> usize {
+        self.depth.iter().copied().max().unwrap_or(0)
+    }
+}
+
+#[derive(Clone, Copy)]
+enum Traversal {
+    Bfs,
+    Dfs,
+}
+
+impl fmt::Debug for RootedTree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "RootedTree(n={}, roots={:?}, height={})",
+            self.n(),
+            self.roots,
+            self.height()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_graph() -> Graph {
+        // 0-1, 1-2, 1-3, 3-4 plus non-tree chord 2-4.
+        Graph::from_edges(5, &[(0, 1), (1, 2), (1, 3), (3, 4), (2, 4)])
+    }
+
+    #[test]
+    fn bfs_tree_structure() {
+        let g = sample_graph();
+        let t = RootedTree::bfs(&g, 0);
+        assert_eq!(t.roots(), &[0]);
+        assert_eq!(t.parent(0), None);
+        assert_eq!(t.parent(1), Some(0));
+        assert_eq!(t.parent(2), Some(1));
+        assert_eq!(t.parent(3), Some(1));
+        assert_eq!(t.parent(4), Some(2)); // BFS dequeues 2 before 3
+        assert_eq!(t.depth(4), 3);
+        assert_eq!(t.tree_edges().count(), 4);
+        assert_eq!(t.non_tree_edges().collect::<Vec<_>>(), vec![3]);
+    }
+
+    #[test]
+    fn ancestor_relation_matches_intervals() {
+        let g = sample_graph();
+        let t = RootedTree::bfs(&g, 0);
+        assert!(t.is_ancestor(0, 4));
+        assert!(t.is_ancestor(1, 4));
+        assert!(t.is_ancestor(2, 4));
+        assert!(!t.is_ancestor(3, 4));
+        assert!(!t.is_ancestor(4, 2));
+        assert!(t.is_ancestor(2, 2));
+    }
+
+    #[test]
+    fn pre_post_are_permutations() {
+        let g = sample_graph();
+        let t = RootedTree::dfs(&g, 0);
+        let mut pres: Vec<_> = (0..5).map(|v| t.pre(v)).collect();
+        let mut posts: Vec<_> = (0..5).map(|v| t.post(v)).collect();
+        pres.sort_unstable();
+        posts.sort_unstable();
+        assert_eq!(pres, (0..5).collect::<Vec<_>>());
+        assert_eq!(posts, (0..5).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn forest_over_disconnected_graph() {
+        let g = Graph::from_edges(6, &[(0, 1), (2, 3), (4, 5)]);
+        let t = RootedTree::bfs(&g, 2);
+        assert_eq!(t.roots(), &[2, 0, 4]);
+        assert_eq!(t.component_root(3), 2);
+        assert_eq!(t.component_root(1), 0);
+        assert!(!t.is_ancestor(0, 3));
+        assert_eq!(t.lca(0, 3), None);
+        assert_eq!(t.lca(2, 3), Some(2));
+    }
+
+    #[test]
+    fn orient_tree_edge_picks_lower() {
+        let g = sample_graph();
+        let t = RootedTree::bfs(&g, 0);
+        let (upper, lower) = t.orient_tree_edge(&g, 4); // edge 2-4
+        assert_eq!((upper, lower), (2, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a tree edge")]
+    fn orient_non_tree_edge_panics() {
+        let g = sample_graph();
+        let t = RootedTree::bfs(&g, 0);
+        t.orient_tree_edge(&g, 3);
+    }
+
+    #[test]
+    fn tree_path_goes_through_lca() {
+        let g = sample_graph();
+        let t = RootedTree::bfs(&g, 0);
+        assert_eq!(t.tree_path(3, 4), Some(vec![3, 1, 2, 4]));
+        assert_eq!(t.tree_path(4, 4), Some(vec![4]));
+        assert_eq!(t.tree_path(0, 4), Some(vec![0, 1, 2, 4]));
+    }
+
+    #[test]
+    fn subtree_sizes_sum() {
+        let g = sample_graph();
+        let t = RootedTree::bfs(&g, 0);
+        let sz = t.subtree_sizes();
+        assert_eq!(sz[0], 5);
+        assert_eq!(sz[1], 4);
+        assert_eq!(sz[2], 2);
+        assert_eq!(sz[3], 1);
+        assert_eq!(sz[4], 1);
+    }
+
+    #[test]
+    fn single_vertex_graph() {
+        let g = Graph::new(1);
+        let t = RootedTree::bfs(&g, 0);
+        assert_eq!(t.roots(), &[0]);
+        assert_eq!(t.height(), 0);
+        assert!(t.is_ancestor(0, 0));
+    }
+}

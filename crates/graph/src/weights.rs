@@ -1,0 +1,173 @@
+//! Edge weights and weighted shortest paths.
+//!
+//! Corollary 1 of the paper is stated for *weighted* undirected graphs
+//! with polynomially bounded edge weights; connectivity (and hence the FTC
+//! labels) ignores weights, but the distance application needs weighted
+//! ground truth. Weights live beside the graph rather than inside it so
+//! that one labeling serves any weighting.
+
+use crate::graph::{EdgeId, Graph, VertexId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Positive integer edge weights, indexed by edge ID.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EdgeWeights {
+    w: Vec<u64>,
+}
+
+impl EdgeWeights {
+    /// Wraps explicit weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length does not match `g.m()` or any weight is zero.
+    pub fn new(g: &Graph, w: Vec<u64>) -> EdgeWeights {
+        assert_eq!(w.len(), g.m(), "one weight per edge");
+        assert!(w.iter().all(|&x| x > 0), "weights must be positive");
+        EdgeWeights { w }
+    }
+
+    /// All-ones weights (weighted distance = hop distance).
+    pub fn uniform(g: &Graph) -> EdgeWeights {
+        EdgeWeights { w: vec![1; g.m()] }
+    }
+
+    /// Seeded random weights in `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo == 0` or `lo > hi`.
+    pub fn random(g: &Graph, lo: u64, hi: u64, seed: u64) -> EdgeWeights {
+        assert!(lo > 0 && lo <= hi, "need 0 < lo <= hi");
+        let mut rng = StdRng::seed_from_u64(seed);
+        EdgeWeights {
+            w: (0..g.m()).map(|_| rng.random_range(lo..=hi)).collect(),
+        }
+    }
+
+    /// The weight of edge `e`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of range.
+    pub fn get(&self, e: EdgeId) -> u64 {
+        self.w[e]
+    }
+
+    /// Total weight of a path given as consecutive vertices.
+    ///
+    /// Returns `None` if some step is not an edge of `g`; when parallel
+    /// edges exist the cheapest one is charged.
+    pub fn path_weight(&self, g: &Graph, path: &[VertexId]) -> Option<u64> {
+        let mut total = 0u64;
+        for pair in path.windows(2) {
+            let best = g
+                .incident_edges(pair[0])
+                .iter()
+                .filter(|&&e| g.other_endpoint(e, pair[0]) == pair[1])
+                .map(|&e| self.w[e])
+                .min()?;
+            total += best;
+        }
+        Some(total)
+    }
+}
+
+/// Dijkstra distance from `s` to `t` in `G − F` under `w`
+/// (`None` = disconnected).
+pub fn weighted_distance_avoiding(
+    g: &Graph,
+    w: &EdgeWeights,
+    s: VertexId,
+    t: VertexId,
+    faults: &[EdgeId],
+) -> Option<u64> {
+    let mut banned = vec![false; g.m()];
+    for &e in faults {
+        banned[e] = true;
+    }
+    let mut dist: Vec<Option<u64>> = vec![None; g.n()];
+    let mut heap: BinaryHeap<Reverse<(u64, VertexId)>> = BinaryHeap::new();
+    heap.push(Reverse((0, s)));
+    while let Some(Reverse((d, u))) = heap.pop() {
+        match dist[u] {
+            Some(_) => continue,
+            None => dist[u] = Some(d),
+        }
+        if u == t {
+            return Some(d);
+        }
+        for &e in g.incident_edges(u) {
+            if banned[e] {
+                continue;
+            }
+            let v = g.other_endpoint(e, u);
+            if dist[v].is_none() {
+                heap.push(Reverse((d + w.get(e), v)));
+            }
+        }
+    }
+    dist[t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_weights_match_hop_distance() {
+        let g = Graph::torus(3, 4);
+        let w = EdgeWeights::uniform(&g);
+        for s in 0..g.n() {
+            for t in 0..g.n() {
+                assert_eq!(
+                    weighted_distance_avoiding(&g, &w, s, t, &[]).map(|d| d as usize),
+                    crate::connectivity::distance_avoiding(&g, s, t, &[])
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_shortest_path_prefers_cheap_detour() {
+        // Triangle with an expensive direct edge.
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2), (0, 2)]);
+        let w = EdgeWeights::new(&g, vec![1, 1, 10]);
+        assert_eq!(weighted_distance_avoiding(&g, &w, 0, 2, &[]), Some(2));
+        // Remove a cheap edge: forced onto the expensive one.
+        assert_eq!(weighted_distance_avoiding(&g, &w, 0, 2, &[0]), Some(10));
+        // Removing every 2-incident route disconnects.
+        assert_eq!(weighted_distance_avoiding(&g, &w, 0, 2, &[1, 2]), None);
+        assert_eq!(weighted_distance_avoiding(&g, &w, 0, 2, &[0, 2]), None);
+    }
+
+    #[test]
+    fn path_weight_accounts_each_step() {
+        let g = Graph::path(4);
+        let w = EdgeWeights::new(&g, vec![2, 3, 4]);
+        assert_eq!(w.path_weight(&g, &[0, 1, 2, 3]), Some(9));
+        assert_eq!(w.path_weight(&g, &[0, 2]), None);
+        assert_eq!(w.path_weight(&g, &[1]), Some(0));
+    }
+
+    #[test]
+    fn random_weights_are_seeded_and_in_range() {
+        let g = Graph::cycle(10);
+        let a = EdgeWeights::random(&g, 5, 9, 3);
+        let b = EdgeWeights::random(&g, 5, 9, 3);
+        assert_eq!(a, b);
+        for e in 0..g.m() {
+            assert!((5..=9).contains(&a.get(e)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_weights_rejected() {
+        let g = Graph::path(2);
+        EdgeWeights::new(&g, vec![0]);
+    }
+}

@@ -1,0 +1,23 @@
+//! Randomized machinery: the Dory–Parter-style AGM graph sketch baseline
+//! and the random-halving sparsification hierarchy (paper Appendix A).
+//!
+//! The paper's framework is modular: swapping the deterministic ε-net
+//! sparsifier for plain random edge halving yields a randomized FTC scheme
+//! with *full* query support competitive with Dory–Parter (Theorem 1's third
+//! row), while the classic Ahn–Guha–McGregor sketch yields the original
+//! *whp*-correct scheme the paper de-randomizes. Both live here:
+//!
+//! * [`sampling`] — Proposition 5: iid halving levels and the
+//!   `k = 5f·log₂ n` threshold that makes them an (S_{f,T}, k)-good
+//!   hierarchy with high probability;
+//! * [`agm`] — a from-scratch AGM-style sketch: geometric edge-sampling
+//!   levels × independent repetitions of one-sparse recovery cells with
+//!   fingerprint validation. Linear (XOR-mergeable) by construction, but
+//!   each query is only correct with high probability — the benchmark
+//!   harness measures exactly that gap (experiment E4).
+
+pub mod agm;
+pub mod sampling;
+
+pub use agm::{AgmParams, AgmSketch, SketchBuilder};
+pub use sampling::{random_halving_levels, sampling_threshold};

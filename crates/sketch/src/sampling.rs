@@ -1,0 +1,99 @@
+//! Random-halving sparsification (paper Appendix A, Proposition 5).
+//!
+//! `E_{i+1}` keeps each element of `E_i` independently with probability
+//! 1/2. With high probability the result is an (S_{f,T}, 5f·log₂ n)-good
+//! hierarchy: any vertex set whose current boundary exceeds `5f·log₂ n`
+//! edges keeps at least one boundary edge at the next level, and levels
+//! shrink geometrically.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The whp-good threshold for the sampled hierarchy: `5·f·⌈log₂ n⌉`
+/// (at least 1).
+pub fn sampling_threshold(f: usize, n: usize) -> usize {
+    let log = if n <= 1 {
+        1
+    } else {
+        (usize::BITS - (n - 1).leading_zeros()) as usize
+    };
+    (5 * f * log).max(1)
+}
+
+/// Builds the halving levels over the item indices `0..count`: level 0 is
+/// everything; each later level keeps every item of the previous one with
+/// probability 1/2; the last level is empty.
+///
+/// # Example
+///
+/// ```
+/// use ftc_sketch::random_halving_levels;
+///
+/// let levels = random_halving_levels(1000, 42);
+/// assert_eq!(levels[0].len(), 1000);
+/// assert!(levels.last().unwrap().is_empty());
+/// for w in levels.windows(2) {
+///     assert!(w[1].iter().all(|e| w[0].contains(e)), "levels are nested");
+/// }
+/// ```
+pub fn random_halving_levels(count: usize, seed: u64) -> Vec<Vec<usize>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut levels: Vec<Vec<usize>> = vec![(0..count).collect()];
+    while !levels.last().expect("non-empty by construction").is_empty() {
+        let prev = levels.last().unwrap();
+        let next: Vec<usize> = prev.iter().copied().filter(|_| rng.random::<bool>()).collect();
+        // Guard against the (exponentially unlikely) non-shrinking tail to
+        // keep the hierarchy depth deterministic-in-expectation bounded.
+        if next.len() == prev.len() && !next.is_empty() {
+            continue;
+        }
+        levels.push(next);
+    }
+    levels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threshold_formula() {
+        assert_eq!(sampling_threshold(1, 2), 5);
+        assert_eq!(sampling_threshold(2, 1024), 100);
+        assert_eq!(sampling_threshold(3, 1025), 165);
+        assert_eq!(sampling_threshold(0, 1024), 1);
+    }
+
+    #[test]
+    fn levels_are_nested_and_terminate() {
+        let levels = random_halving_levels(500, 7);
+        assert_eq!(levels[0].len(), 500);
+        assert!(levels.last().unwrap().is_empty());
+        for w in levels.windows(2) {
+            let prev: std::collections::HashSet<_> = w[0].iter().collect();
+            assert!(w[1].iter().all(|e| prev.contains(e)));
+        }
+        // Depth should be around log2(500) ≈ 9; allow generous slack.
+        assert!(levels.len() <= 40, "depth {} too large", levels.len());
+    }
+
+    #[test]
+    fn seeded_reproducibility() {
+        assert_eq!(random_halving_levels(200, 1), random_halving_levels(200, 1));
+        assert_ne!(random_halving_levels(200, 1), random_halving_levels(200, 2));
+    }
+
+    #[test]
+    fn empty_input() {
+        let levels = random_halving_levels(0, 0);
+        assert_eq!(levels, vec![vec![]]);
+    }
+
+    #[test]
+    fn sizes_halve_roughly() {
+        let levels = random_halving_levels(4096, 3);
+        // Level 3 should be within a factor of 2 of 4096/8.
+        let l3 = levels.get(3).map(Vec::len).unwrap_or(0);
+        assert!((170..=1536).contains(&l3), "level-3 size {l3} implausible");
+    }
+}

@@ -1,0 +1,105 @@
+//! Datacenter failover scenario — the motivating use case of the paper's
+//! introduction: a distributed system wants a *compact, distributed*
+//! representation of network connectivity that survives link failures.
+//!
+//! Each switch/host stores only its own label; a controller that learns of
+//! a set of failed links (their labels) can answer "can pod A still reach
+//! pod B?" for any pair, without a topology database.
+//!
+//! Run with: `cargo run --release --example datacenter_failover`
+
+use ftc::core::{connected, FtcScheme, Params, QueryError};
+use ftc::graph::Graph;
+
+fn main() {
+    // A fat-tree-like fabric: 6 core switches, 6 aggregation switches (one
+    // per pod), 4 hosts per pod. Aggregation switches connect to every
+    // core switch: 6-way redundancy between pods.
+    let pods = 6;
+    let hosts_per_pod = 4;
+    let g = Graph::fat_tree(pods, hosts_per_pod);
+    let host0 = 2 * pods;
+    println!(
+        "fat-tree fabric: {} switches+hosts, {} links, {}-way core redundancy",
+        g.n(),
+        g.m(),
+        pods
+    );
+
+    let f = 4;
+    let scheme = FtcScheme::build(&g, &Params::deterministic(f)).expect("build");
+    let size = scheme.size_report();
+    println!(
+        "labeling (f = {f}): {} bits/vertex, {} bits/edge, total {:.1} KiB",
+        size.vertex_bits,
+        size.edge_bits,
+        size.total_bits as f64 / 8.0 / 1024.0
+    );
+    let labels = scheme.labels();
+
+    let host = |pod: usize, i: usize| host0 + pod * hosts_per_pod + i;
+    let agg = |pod: usize| pods + pod;
+    let core = |c: usize| c;
+
+    // Scenario 1: three core uplinks of pod 0 fail — pod 0 still reaches
+    // pod 3 through the remaining cores.
+    let faults: Vec<_> = (0..3)
+        .map(|c| labels.edge_label(agg(0), core(c)).expect("uplink"))
+        .collect();
+    let ok = connected(
+        labels.vertex_label(host(0, 0)),
+        labels.vertex_label(host(3, 1)),
+        &faults,
+    )
+    .unwrap();
+    println!("3 uplinks of pod 0 down: host(0,0) ↔ host(3,1) = {ok}");
+    assert!(ok);
+
+    // Scenario 2: a host's access link fails — that host is cut off, the
+    // rest of its pod is fine.
+    let access = [labels.edge_label(agg(2), host(2, 3)).expect("access link")];
+    let cut = connected(
+        labels.vertex_label(host(2, 3)),
+        labels.vertex_label(host(2, 0)),
+        &access,
+    )
+    .unwrap();
+    println!("access link of host(2,3) down: host(2,3) ↔ host(2,0) = {cut}");
+    assert!(!cut);
+
+    // Scenario 3: sweep — for every pod pair, how many simultaneous uplink
+    // failures of the source pod can the fabric tolerate? (Answer: all but
+    // one of its uplinks, i.e. up to f of them with our budget.)
+    let mut tolerated = 0usize;
+    let mut queries = 0usize;
+    for p in 0..pods {
+        for q in 0..pods {
+            if p == q {
+                continue;
+            }
+            for kill in 1..=f.min(pods - 1) {
+                let faults: Vec<_> = (0..kill)
+                    .map(|c| labels.edge_label(agg(p), core(c)).unwrap())
+                    .collect();
+                let refs: Vec<_> = faults.iter().copied().collect();
+                queries += 1;
+                match connected(
+                    labels.vertex_label(host(p, 0)),
+                    labels.vertex_label(host(q, 0)),
+                    &refs,
+                ) {
+                    Ok(true) => tolerated += 1,
+                    Ok(false) => {}
+                    Err(QueryError::TooManyFaults { .. }) => unreachable!("kill <= f"),
+                    Err(e) => panic!("query failed: {e}"),
+                }
+            }
+        }
+    }
+    println!(
+        "failure sweep: {tolerated}/{queries} pod-pair queries remained connected (expected: all, \
+         since {} uplinks survive every scenario)",
+        pods - f
+    );
+    assert_eq!(tolerated, queries);
+}

@@ -1,0 +1,261 @@
+//! `ftc-cli` — build, store, inspect, and query fault-tolerant
+//! connectivity labelings from the command line.
+//!
+//! ```text
+//! ftc-cli build <graph.txt> <outdir> [--f N] [--backend epsnet|greedy|sampling] [--k N]
+//! ftc-cli info  <outdir>
+//! ftc-cli query <outdir> <s> <t> [--fault U:V ...]
+//! ```
+//!
+//! `graph.txt` is an edge list: one `u v` pair per line (`#` comments
+//! allowed); vertex IDs are dense non-negative integers. `build` writes the
+//! serialized labels into `<outdir>`; `query` answers connectivity **from
+//! the stored labels alone** — it never re-reads the graph.
+
+use ftc::core::serial::{edge_from_bytes, edge_to_bytes, vertex_from_bytes, vertex_to_bytes};
+use ftc::core::{connected, FtcScheme, HierarchyBackend, Params, ThresholdPolicy};
+use ftc::graph::Graph;
+use std::fs;
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("build") => cmd_build(&args[1..]),
+        Some("info") => cmd_info(&args[1..]),
+        Some("query") => cmd_query(&args[1..]),
+        _ => Err(usage()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() -> String {
+    "usage:\n  ftc-cli build <graph.txt> <outdir> [--f N] [--backend epsnet|greedy|sampling] [--k N]\n  ftc-cli info  <outdir>\n  ftc-cli query <outdir> <s> <t> [--fault U:V ...]".into()
+}
+
+// ---------------------------------------------------------------------------
+// build
+// ---------------------------------------------------------------------------
+
+fn cmd_build(args: &[String]) -> Result<(), String> {
+    let (positional, flags) = split_flags(args)?;
+    let [graph_path, outdir] = positional.as_slice() else {
+        return Err(usage());
+    };
+    let f: usize = flag_value(&flags, "f").unwrap_or_else(|| "2".into()).parse().map_err(|_| "--f expects an integer")?;
+    let backend = match flag_value(&flags, "backend").as_deref() {
+        None | Some("epsnet") => HierarchyBackend::EpsNet,
+        Some("greedy") => HierarchyBackend::GreedyRect,
+        Some("sampling") => HierarchyBackend::Sampling { seed: 0xC11 },
+        Some(other) => return Err(format!("unknown backend '{other}'")),
+    };
+    let mut params = Params { f, backend, threshold: ThresholdPolicy::Theory };
+    if let Some(k) = flag_value(&flags, "k") {
+        let k: usize = k.parse().map_err(|_| "--k expects an integer")?;
+        params.threshold = ThresholdPolicy::Fixed(k);
+    }
+
+    let g = read_graph(Path::new(graph_path))?;
+    eprintln!("graph: n = {}, m = {}", g.n(), g.m());
+    let scheme = FtcScheme::build(&g, &params).map_err(|e| e.to_string())?;
+    let size = scheme.size_report();
+    eprintln!(
+        "labels built: k = {}, {} levels, {} bits/vertex, {} bits/edge",
+        size.k, size.levels, size.vertex_bits, size.edge_bits
+    );
+
+    let out = PathBuf::from(outdir);
+    fs::create_dir_all(&out).map_err(|e| format!("cannot create {outdir}: {e}"))?;
+    let labels = scheme.labels();
+
+    let mut vfile = Vec::new();
+    write_framed(&mut vfile, (0..g.n()).map(|v| vertex_to_bytes(labels.vertex_label(v))));
+    fs::write(out.join("vertices.lbl"), vfile).map_err(|e| e.to_string())?;
+
+    let mut efile = Vec::new();
+    write_framed(&mut efile, (0..g.m()).map(|e| edge_to_bytes(labels.edge_label_by_id(e))));
+    fs::write(out.join("edges.lbl"), efile).map_err(|e| e.to_string())?;
+
+    // Edge endpoint index (lets `query` resolve U:V fault syntax without
+    // the original graph file).
+    let mut idx = String::new();
+    for (_, u, v) in g.edge_iter() {
+        idx.push_str(&format!("{u} {v}\n"));
+    }
+    fs::write(out.join("edges.idx"), idx).map_err(|e| e.to_string())?;
+    fs::write(
+        out.join("meta.txt"),
+        format!(
+            "n {}\nm {}\nf {}\nk {}\nlevels {}\nvertex_bits {}\nedge_bits {}\n",
+            g.n(),
+            g.m(),
+            f,
+            size.k,
+            size.levels,
+            size.vertex_bits,
+            size.edge_bits
+        ),
+    )
+    .map_err(|e| e.to_string())?;
+    println!("wrote labels for {} vertices and {} edges to {outdir}", g.n(), g.m());
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// info
+// ---------------------------------------------------------------------------
+
+fn cmd_info(args: &[String]) -> Result<(), String> {
+    let [outdir] = args else { return Err(usage()) };
+    let meta = fs::read_to_string(Path::new(outdir).join("meta.txt"))
+        .map_err(|e| format!("cannot read {outdir}/meta.txt: {e}"))?;
+    print!("{meta}");
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// query
+// ---------------------------------------------------------------------------
+
+fn cmd_query(args: &[String]) -> Result<(), String> {
+    let (positional, flags) = split_flags(args)?;
+    let [outdir, s_str, t_str] = positional.as_slice() else {
+        return Err(usage());
+    };
+    let s: usize = s_str.parse().map_err(|_| "s must be a vertex ID")?;
+    let t: usize = t_str.parse().map_err(|_| "t must be a vertex ID")?;
+    let out = PathBuf::from(outdir);
+
+    let vertices = read_framed(&out.join("vertices.lbl"))?;
+    let edges = read_framed(&out.join("edges.lbl"))?;
+    let idx = fs::read_to_string(out.join("edges.idx")).map_err(|e| e.to_string())?;
+    let endpoints: Vec<(usize, usize)> = idx
+        .lines()
+        .map(|l| {
+            let mut it = l.split_whitespace();
+            Ok((
+                it.next().ok_or("bad edges.idx")?.parse().map_err(|_| "bad edges.idx")?,
+                it.next().ok_or("bad edges.idx")?.parse().map_err(|_| "bad edges.idx")?,
+            ))
+        })
+        .collect::<Result<_, &str>>()?;
+
+    let get_vertex = |v: usize| -> Result<_, String> {
+        vertex_from_bytes(vertices.get(v).ok_or(format!("vertex {v} out of range"))?)
+            .map_err(|e| e.to_string())
+    };
+    let vs = get_vertex(s)?;
+    let vt = get_vertex(t)?;
+
+    let mut fault_labels = Vec::new();
+    for spec in flags.iter().filter(|(k, _)| k == "fault").map(|(_, v)| v) {
+        let (u, v) = spec
+            .split_once(':')
+            .ok_or_else(|| format!("--fault expects U:V, got '{spec}'"))?;
+        let u: usize = u.parse().map_err(|_| "bad fault endpoint")?;
+        let v: usize = v.parse().map_err(|_| "bad fault endpoint")?;
+        let e = endpoints
+            .iter()
+            .position(|&(a, b)| (a, b) == (u, v) || (a, b) == (v, u))
+            .ok_or_else(|| format!("no edge {u}:{v} in the labeling"))?;
+        fault_labels.push(edge_from_bytes(&edges[e]).map_err(|e| e.to_string())?);
+    }
+    let fault_refs: Vec<_> = fault_labels.iter().collect();
+    let ok = connected(&vs, &vt, &fault_refs).map_err(|e| e.to_string())?;
+    println!("{}", if ok { "connected" } else { "disconnected" });
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// helpers
+// ---------------------------------------------------------------------------
+
+fn split_flags(args: &[String]) -> Result<(Vec<String>, Vec<(String, String)>), String> {
+    let mut positional = Vec::new();
+    let mut flags = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if let Some(name) = a.strip_prefix("--") {
+            let value = it.next().ok_or(format!("--{name} expects a value"))?;
+            flags.push((name.to_string(), value.clone()));
+        } else {
+            positional.push(a.clone());
+        }
+    }
+    Ok((positional, flags))
+}
+
+fn flag_value(flags: &[(String, String)], name: &str) -> Option<String> {
+    flags.iter().find(|(k, _)| k == name).map(|(_, v)| v.clone())
+}
+
+fn read_graph(path: &Path) -> Result<Graph, String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
+    let mut edges = Vec::new();
+    let mut max_v = 0usize;
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let parse = |tok: Option<&str>| -> Result<usize, String> {
+            tok.ok_or(format!("line {}: expected 'u v'", lineno + 1))?
+                .parse()
+                .map_err(|_| format!("line {}: bad vertex ID", lineno + 1))
+        };
+        let u = parse(it.next())?;
+        let v = parse(it.next())?;
+        max_v = max_v.max(u).max(v);
+        edges.push((u, v));
+    }
+    if edges.is_empty() {
+        return Err("graph file has no edges".into());
+    }
+    Ok(Graph::from_edges(max_v + 1, &edges))
+}
+
+/// Frame format: u32 count, then per entry u32 length + bytes (all LE).
+fn write_framed<'a>(out: &mut Vec<u8>, entries: impl ExactSizeIterator<Item = Vec<u8>> + 'a) {
+    out.write_all(&(entries.len() as u32).to_le_bytes()).unwrap();
+    for e in entries {
+        out.write_all(&(e.len() as u32).to_le_bytes()).unwrap();
+        out.write_all(&e).unwrap();
+    }
+}
+
+fn read_framed(path: &Path) -> Result<Vec<Vec<u8>>, String> {
+    let mut file = fs::File::open(path).map_err(|e| format!("cannot open {path:?}: {e}"))?;
+    let mut buf = Vec::new();
+    file.read_to_end(&mut buf).map_err(|e| e.to_string())?;
+    let mut pos = 0usize;
+    let take4 = |pos: &mut usize, buf: &[u8]| -> Result<u32, String> {
+        let end = *pos + 4;
+        if end > buf.len() {
+            return Err(format!("{path:?}: truncated"));
+        }
+        let v = u32::from_le_bytes(buf[*pos..end].try_into().unwrap());
+        *pos = end;
+        Ok(v)
+    };
+    let count = take4(&mut pos, &buf)? as usize;
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let len = take4(&mut pos, &buf)? as usize;
+        let end = pos + len;
+        if end > buf.len() {
+            return Err(format!("{path:?}: truncated entry"));
+        }
+        out.push(buf[pos..end].to_vec());
+        pos = end;
+    }
+    Ok(out)
+}

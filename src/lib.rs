@@ -1,0 +1,42 @@
+//! # ftc — fault-tolerant connectivity labeling
+//!
+//! Facade crate for the reproduction of *“Deterministic Fault-Tolerant
+//! Connectivity Labeling Scheme”* (Izumi, Emek, Wadayama, Masuzawa,
+//! PODC 2023). It re-exports the public API of every workspace crate so that
+//! examples and downstream users can depend on a single package.
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! reproduced evaluation.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use ftc::core::{FtcScheme, Params};
+//! use ftc::graph::Graph;
+//!
+//! // A 6-cycle: removing any single edge keeps it connected, removing the
+//! // two edges around vertex 0 disconnects vertex 0 from the rest.
+//! let g = Graph::cycle(6);
+//! let scheme = FtcScheme::build(&g, &Params::deterministic(2)).unwrap();
+//! let dec = scheme.labels();
+//!
+//! let one_fault = [dec.edge_label(0, 1).unwrap()];
+//! assert!(ftc::core::connected(
+//!     dec.vertex_label(0), dec.vertex_label(3), &one_fault).unwrap());
+//!
+//! let two_faults = [
+//!     dec.edge_label(0, 1).unwrap(),
+//!     dec.edge_label(5, 0).unwrap(),
+//! ];
+//! assert!(!ftc::core::connected(
+//!     dec.vertex_label(0), dec.vertex_label(3), &two_faults).unwrap());
+//! ```
+
+pub use ftc_codes as codes;
+pub use ftc_congest as congest;
+pub use ftc_core as core;
+pub use ftc_field as field;
+pub use ftc_geometry as geometry;
+pub use ftc_graph as graph;
+pub use ftc_routing as routing;
+pub use ftc_sketch as sketch;

@@ -1,0 +1,100 @@
+//! End-to-end test of the `ftc-cli` binary: build labels from an edge-list
+//! file, then answer queries from the stored labels.
+
+use std::fs;
+use std::process::Command;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_ftc-cli"))
+}
+
+fn run(args: &[&str]) -> (bool, String, String) {
+    let out = cli().args(args).output().expect("spawn ftc-cli");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn build_info_query_round_trip() {
+    let dir = std::env::temp_dir().join(format!("ftc_cli_test_{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    let graph_file = dir.join("cycle6.txt");
+    // A 6-cycle with comments and blank lines.
+    fs::write(
+        &graph_file,
+        "# six cycle\n0 1\n1 2\n2 3\n\n3 4\n4 5\n5 0  # closing edge\n",
+    )
+    .unwrap();
+    let out_dir = dir.join("labels");
+    let out_str = out_dir.to_str().unwrap();
+
+    let (ok, stdout, stderr) = run(&["build", graph_file.to_str().unwrap(), out_str, "--f", "2"]);
+    assert!(ok, "build failed: {stderr}");
+    assert!(stdout.contains("wrote labels"), "stdout: {stdout}");
+
+    let (ok, stdout, _) = run(&["info", out_str]);
+    assert!(ok);
+    assert!(stdout.contains("n 6") && stdout.contains("m 6") && stdout.contains("f 2"));
+
+    // One fault: still connected around the cycle.
+    let (ok, stdout, _) = run(&["query", out_str, "0", "3", "--fault", "0:1"]);
+    assert!(ok);
+    assert_eq!(stdout.trim(), "connected");
+
+    // Two faults cutting vertex 0's arc.
+    let (ok, stdout, _) = run(&["query", out_str, "1", "4", "--fault", "0:1", "--fault", "3:4"]);
+    assert!(ok);
+    assert_eq!(stdout.trim(), "disconnected");
+
+    // Fault given in reversed endpoint order resolves too.
+    let (ok, stdout, _) = run(&["query", out_str, "1", "4", "--fault", "1:0", "--fault", "4:3"]);
+    assert!(ok);
+    assert_eq!(stdout.trim(), "disconnected");
+
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cli_error_paths() {
+    let (ok, _, stderr) = run(&[]);
+    assert!(!ok);
+    assert!(stderr.contains("usage"));
+
+    let (ok, _, stderr) = run(&["build", "/nonexistent/file.txt", "/tmp/nowhere_ftc"]);
+    assert!(!ok);
+    assert!(stderr.contains("cannot read"));
+
+    let (ok, _, stderr) = run(&["query", "/nonexistent_dir_ftc", "0", "1"]);
+    assert!(!ok);
+    assert!(!stderr.is_empty());
+
+    let (ok, _, stderr) = run(&["info", "/nonexistent_dir_ftc"]);
+    assert!(!ok);
+    assert!(stderr.contains("meta.txt"));
+}
+
+#[test]
+fn cli_rejects_unknown_fault_edges_and_vertices() {
+    let dir = std::env::temp_dir().join(format!("ftc_cli_test2_{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    let graph_file = dir.join("path.txt");
+    fs::write(&graph_file, "0 1\n1 2\n").unwrap();
+    let out = dir.join("labels");
+    let out_str = out.to_str().unwrap();
+    assert!(run(&["build", graph_file.to_str().unwrap(), out_str]).0);
+
+    let (ok, _, stderr) = run(&["query", out_str, "0", "2", "--fault", "0:2"]);
+    assert!(!ok);
+    assert!(stderr.contains("no edge"));
+
+    let (ok, _, stderr) = run(&["query", out_str, "0", "9"]);
+    assert!(!ok);
+    assert!(stderr.contains("out of range"));
+
+    let _ = fs::remove_dir_all(&dir);
+}

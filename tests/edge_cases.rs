@@ -1,0 +1,118 @@
+//! Edge-case integration tests: parallel edges, spanning-tree choice
+//! independence, and label accessor semantics.
+
+use ftc::core::{connected, FtcScheme, Params};
+use ftc::graph::{connectivity, Graph, RootedTree};
+
+#[test]
+fn parallel_edges_are_distinct_faults() {
+    // Two vertices joined by two parallel edges plus a long detour:
+    // failing ONE parallel edge keeps the pair adjacent; failing both
+    // forces the detour; failing both plus the detour disconnects.
+    let mut g = Graph::new(4);
+    let e_a = g.add_edge(0, 1);
+    let e_b = g.add_edge(0, 1); // parallel twin
+    let e_c = g.add_edge(1, 2);
+    let e_d = g.add_edge(2, 3);
+    let e_e = g.add_edge(3, 0);
+    let scheme = FtcScheme::build(&g, &Params::deterministic(3)).unwrap();
+    let l = scheme.labels();
+
+    let one = [l.edge_label_by_id(e_a)];
+    assert_eq!(connected(l.vertex_label(0), l.vertex_label(1), &one), Ok(true));
+
+    let both = [l.edge_label_by_id(e_a), l.edge_label_by_id(e_b)];
+    assert_eq!(connected(l.vertex_label(0), l.vertex_label(1), &both), Ok(true)); // detour
+
+    let all = [
+        l.edge_label_by_id(e_a),
+        l.edge_label_by_id(e_b),
+        l.edge_label_by_id(e_c),
+    ];
+    assert_eq!(connected(l.vertex_label(0), l.vertex_label(1), &all), Ok(false));
+    // Oracle agreement on the full single+pair sweep.
+    for a in 0..g.m() {
+        for b in a..g.m() {
+            let faults = if a == b {
+                vec![l.edge_label_by_id(a)]
+            } else {
+                vec![l.edge_label_by_id(a), l.edge_label_by_id(b)]
+            };
+            let fset: Vec<usize> = if a == b { vec![a] } else { vec![a, b] };
+            for s in 0..4 {
+                for t in 0..4 {
+                    let got = connected(l.vertex_label(s), l.vertex_label(t), &faults).unwrap();
+                    assert_eq!(got, connectivity::connected_avoiding(&g, s, t, &fset));
+                }
+            }
+        }
+    }
+    let _ = (e_d, e_e);
+}
+
+#[test]
+fn scheme_is_correct_under_any_spanning_tree() {
+    // The framework fixes an *arbitrary* rooted spanning tree; answers
+    // must not depend on the choice. Build with BFS and DFS trees from
+    // several roots and compare against the oracle.
+    let g = Graph::torus(3, 3);
+    for root in [0usize, 4, 8] {
+        for tree in [RootedTree::bfs(&g, root), RootedTree::dfs(&g, root)] {
+            let scheme =
+                FtcScheme::build_with_tree(&g, &tree, &Params::deterministic(2)).unwrap();
+            let l = scheme.labels();
+            for a in (0..g.m()).step_by(2) {
+                for b in ((a + 1)..g.m()).step_by(3) {
+                    let faults = [l.edge_label_by_id(a), l.edge_label_by_id(b)];
+                    for s in 0..g.n() {
+                        for t in 0..g.n() {
+                            let got =
+                                connected(l.vertex_label(s), l.vertex_label(t), &faults).unwrap();
+                            assert_eq!(
+                                got,
+                                connectivity::connected_avoiding(&g, s, t, &[a, b]),
+                                "root {root}, ({s},{t},[{a},{b}])"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn edge_label_lookup_semantics() {
+    let g = Graph::path(3);
+    let scheme = FtcScheme::build(&g, &Params::deterministic(1)).unwrap();
+    let l = scheme.labels();
+    // Symmetric lookup, missing edges, and by-id access agree.
+    assert!(l.edge_label(0, 1).is_some());
+    assert_eq!(l.edge_label(0, 1), l.edge_label(1, 0));
+    assert!(l.edge_label(0, 2).is_none());
+    assert!(l.edge_label(0, 99).is_none());
+    assert_eq!(l.edge_label(1, 2).unwrap(), l.edge_label_by_id(1));
+    assert_eq!(l.n(), 3);
+    assert_eq!(l.m(), 2);
+    assert_eq!(l.edge_labels().count(), 2);
+}
+
+#[test]
+fn star_graph_hub_isolation() {
+    // A star: every edge is a bridge; cutting spoke i isolates leaf i.
+    let n = 9;
+    let mut g = Graph::new(n);
+    for v in 1..n {
+        g.add_edge(0, v);
+    }
+    let scheme = FtcScheme::build(&g, &Params::deterministic(2)).unwrap();
+    let l = scheme.labels();
+    for spoke in 0..g.m() {
+        let leaf = spoke + 1;
+        let faults = [l.edge_label_by_id(spoke)];
+        for v in 0..n {
+            let got = connected(l.vertex_label(leaf), l.vertex_label(v), &faults).unwrap();
+            assert_eq!(got, v == leaf);
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! Cross-crate integration tests: every labeling backend against the
+//! ground-truth oracle over multiple graph families, plus failure
+//! injection.
+
+use ftc::core::{connected, FtcScheme, HierarchyBackend, Params, QueryError, ThresholdPolicy};
+use ftc::graph::{connectivity, generators, Graph};
+
+/// All (s, t) pairs for a sweep of fault sets, checked against the oracle.
+fn check(g: &Graph, params: &Params, fault_sets: &[Vec<usize>]) {
+    let scheme = FtcScheme::build(g, params).unwrap();
+    let l = scheme.labels();
+    for fset in fault_sets {
+        let labels: Vec<_> = fset.iter().map(|&e| l.edge_label_by_id(e)).collect();
+        for s in 0..g.n() {
+            for t in 0..g.n() {
+                let got = connected(l.vertex_label(s), l.vertex_label(t), &labels)
+                    .unwrap_or_else(|e| panic!("({s},{t},{fset:?}) failed: {e}"));
+                let want = connectivity::connected_avoiding(g, s, t, fset);
+                assert_eq!(got, want, "({s},{t},F={fset:?}) {:?}", params.backend);
+            }
+        }
+    }
+}
+
+fn all_singletons_and_pairs(m: usize, stride: usize) -> Vec<Vec<usize>> {
+    let mut out = vec![vec![]];
+    out.extend((0..m).map(|e| vec![e]));
+    for a in (0..m).step_by(stride) {
+        for b in ((a + 1)..m).step_by(stride) {
+            out.push(vec![a, b]);
+        }
+    }
+    out
+}
+
+#[test]
+fn torus_all_backends_exhaustive_pairs() {
+    let g = Graph::torus(3, 3);
+    let sets = all_singletons_and_pairs(g.m(), 1);
+    for params in [
+        Params::deterministic(2),
+        Params::deterministic_poly(2),
+        Params::randomized(2, 99),
+    ] {
+        check(&g, &params, &sets);
+    }
+}
+
+#[test]
+fn triple_faults_on_hypercube() {
+    let g = Graph::hypercube(3);
+    let mut sets = vec![vec![]];
+    for a in 0..g.m() {
+        for b in (a + 1)..g.m() {
+            for c in (b + 1)..g.m() {
+                if (a + b + c) % 7 == 0 {
+                    sets.push(vec![a, b, c]);
+                }
+            }
+        }
+    }
+    check(&g, &Params::deterministic(3), &sets);
+}
+
+#[test]
+fn sparse_random_graphs_random_faults() {
+    for seed in 0..4u64 {
+        let g = generators::random_connected(18, 10, seed);
+        let sets: Vec<Vec<usize>> = (0..12)
+            .map(|i| generators::random_fault_set(&g, 2, seed * 100 + i))
+            .collect();
+        check(&g, &Params::deterministic(2), &sets);
+        check(&g, &Params::randomized(2, seed), &sets);
+    }
+}
+
+#[test]
+fn bridge_heavy_graphs() {
+    // Trees plus barbells: every fault matters.
+    let g = Graph::barbell(4);
+    let sets = all_singletons_and_pairs(g.m(), 1);
+    check(&g, &Params::deterministic(2), &sets);
+
+    let tree = generators::random_tree(16, 5);
+    let sets = all_singletons_and_pairs(tree.m(), 2);
+    check(&tree, &Params::deterministic(2), &sets);
+}
+
+#[test]
+fn disconnected_multi_component_graphs() {
+    let mut g = Graph::new(11);
+    // Component A: cycle 0..4; component B: path 5..8; isolated: 9, 10.
+    for i in 0..5 {
+        g.add_edge(i, (i + 1) % 5);
+    }
+    g.add_edge(5, 6);
+    g.add_edge(6, 7);
+    g.add_edge(7, 8);
+    let sets = all_singletons_and_pairs(g.m(), 1);
+    check(&g, &Params::deterministic(2), &sets);
+}
+
+#[test]
+fn duplicate_and_cross_component_faults() {
+    let g = Graph::from_edges(8, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (6, 7)]);
+    let scheme = FtcScheme::build(&g, &Params::deterministic(2)).unwrap();
+    let l = scheme.labels();
+    // Duplicate fault labels collapse to one.
+    let e0 = l.edge_label_by_id(0);
+    assert_eq!(
+        connected(l.vertex_label(0), l.vertex_label(1), &[e0, e0, e0]),
+        Ok(true)
+    );
+    // Faults in another component do not affect the query.
+    let far = l.edge_label_by_id(3);
+    assert_eq!(
+        connected(l.vertex_label(0), l.vertex_label(2), &[e0, far]),
+        Ok(true)
+    );
+    assert_eq!(
+        connected(l.vertex_label(6), l.vertex_label(7), &[e0, far]),
+        Ok(true)
+    );
+    let bridge67 = l.edge_label(6, 7).unwrap();
+    assert_eq!(
+        connected(l.vertex_label(6), l.vertex_label(7), &[bridge67]),
+        Ok(false)
+    );
+}
+
+#[test]
+fn fault_budget_enforced_exactly() {
+    let g = Graph::complete(6);
+    let scheme = FtcScheme::build(&g, &Params::deterministic(2)).unwrap();
+    let l = scheme.labels();
+    let faults: Vec<_> = (0..3).map(|e| l.edge_label_by_id(e)).collect();
+    match connected(l.vertex_label(0), l.vertex_label(5), &faults) {
+        Err(QueryError::TooManyFaults { supplied: 3, budget: 2 }) => {}
+        other => panic!("expected budget violation, got {other:?}"),
+    }
+}
+
+#[test]
+fn calibrated_mode_on_larger_graph() {
+    // A larger instance than theory constants allow, with a calibrated
+    // threshold: answers must be correct-or-error, never wrong.
+    let g = generators::random_connected(60, 120, 8);
+    let params = Params {
+        f: 3,
+        backend: HierarchyBackend::EpsNet,
+        threshold: ThresholdPolicy::Fixed(48),
+    };
+    let scheme = FtcScheme::build(&g, &params).unwrap();
+    let l = scheme.labels();
+    let mut failures = 0usize;
+    let mut total = 0usize;
+    for i in 0..40u64 {
+        let fset = generators::random_fault_set(&g, 3, 1000 + i);
+        let labels: Vec<_> = fset.iter().map(|&e| l.edge_label_by_id(e)).collect();
+        for s in (0..g.n()).step_by(5) {
+            for t in (0..g.n()).step_by(7) {
+                total += 1;
+                match connected(l.vertex_label(s), l.vertex_label(t), &labels) {
+                    Ok(got) => {
+                        assert_eq!(got, connectivity::connected_avoiding(&g, s, t, &fset));
+                    }
+                    Err(QueryError::OutdetectFailed) => failures += 1,
+                    Err(e) => panic!("unexpected {e}"),
+                }
+            }
+        }
+    }
+    assert!(
+        failures * 10 < total,
+        "calibrated failure rate too high: {failures}/{total}"
+    );
+}
+
+#[test]
+fn randomized_scheme_different_seeds_agree() {
+    let g = generators::random_connected(20, 24, 3);
+    let sets: Vec<Vec<usize>> = (0..8)
+        .map(|i| generators::random_fault_set(&g, 2, i))
+        .collect();
+    for seed in [1u64, 2, 3] {
+        check(&g, &Params::randomized(2, seed), &sets);
+    }
+}

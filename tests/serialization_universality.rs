@@ -1,0 +1,81 @@
+//! Decoder-universality test: the decoder is a pure function of label
+//! *bytes*. We build a labeling, serialize every label, destroy the scheme
+//! and the graph, then answer queries from the deserialized bytes alone —
+//! and still match the oracle.
+
+use ftc::core::serial::{edge_from_bytes, edge_to_bytes, vertex_from_bytes, vertex_to_bytes};
+use ftc::core::{connected, FtcScheme, Params};
+use ftc::graph::{connectivity, generators, Graph};
+
+#[test]
+fn queries_from_bytes_alone() {
+    let g = Graph::torus(3, 4);
+    let oracle: Vec<(usize, usize, Vec<usize>, bool)> = {
+        let mut cases = Vec::new();
+        for i in 0..30u64 {
+            let fset = generators::random_fault_set(&g, 2, i);
+            for s in [0usize, 3, 7] {
+                for t in [1usize, 5, 11] {
+                    cases.push((
+                        s,
+                        t,
+                        fset.clone(),
+                        connectivity::connected_avoiding(&g, s, t, &fset),
+                    ));
+                }
+            }
+        }
+        cases
+    };
+
+    // Serialize all labels, then drop everything else.
+    let (vertex_bytes, edge_bytes) = {
+        let scheme = FtcScheme::build(&g, &Params::deterministic(2)).unwrap();
+        let l = scheme.labels();
+        let vb: Vec<Vec<u8>> = (0..g.n()).map(|v| vertex_to_bytes(l.vertex_label(v))).collect();
+        let eb: Vec<Vec<u8>> = (0..g.m()).map(|e| edge_to_bytes(l.edge_label_by_id(e))).collect();
+        (vb, eb)
+    };
+    // `scheme` is gone. Decode every query from bytes.
+    for (s, t, fset, want) in oracle {
+        let vs = vertex_from_bytes(&vertex_bytes[s]).unwrap();
+        let vt = vertex_from_bytes(&vertex_bytes[t]).unwrap();
+        let faults: Vec<_> = fset.iter().map(|&e| edge_from_bytes(&edge_bytes[e]).unwrap()).collect();
+        let fault_refs: Vec<_> = faults.iter().collect();
+        let got = connected(&vs, &vt, &fault_refs).unwrap();
+        assert_eq!(got, want, "query ({s},{t},{fset:?}) from bytes");
+    }
+}
+
+#[test]
+fn serialized_sizes_match_reported_bits() {
+    let g = generators::random_connected(24, 30, 4);
+    let scheme = FtcScheme::build(&g, &Params::deterministic(2)).unwrap();
+    let size = scheme.size_report();
+    let l = scheme.labels();
+    // Byte encodings carry a 2-byte magic; otherwise they should match the
+    // reported bit widths exactly.
+    let vb = vertex_to_bytes(l.vertex_label(0));
+    assert_eq!((vb.len() - 2) * 8, size.vertex_bits);
+    let eb = edge_to_bytes(l.edge_label_by_id(0));
+    // Edge encoding adds magic (2) + k (4) + len (4) bytes of framing.
+    assert_eq!((eb.len() - 2 - 8) * 8, size.edge_bits);
+}
+
+#[test]
+fn tampered_bytes_do_not_panic() {
+    let g = Graph::cycle(5);
+    let scheme = FtcScheme::build(&g, &Params::deterministic(1)).unwrap();
+    let l = scheme.labels();
+    let mut eb = edge_to_bytes(l.edge_label_by_id(0));
+    // Flip a payload byte: either parses to a harmless different label or
+    // fails to parse — never panics.
+    let idx = eb.len() - 3;
+    eb[idx] ^= 0xff;
+    let _ = edge_from_bytes(&eb);
+    // Truncations at every prefix length must error, not panic.
+    for cut in 0..eb.len() {
+        let _ = edge_from_bytes(&eb[..cut]);
+        let _ = vertex_from_bytes(&eb[..cut]);
+    }
+}
