@@ -5,10 +5,13 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ftc_bench::{calibrated_params, sample_pairs, standard_graph, Flavor};
 use ftc_codes::ThresholdCodec;
-use ftc_core::{connected, FtcScheme};
+use ftc_core::FtcScheme;
 use ftc_field::Gf64;
 use ftc_graph::generators;
 use std::hint::black_box;
+
+#[allow(deprecated)]
+use ftc_core::connected;
 
 /// E3 — construction time per backend (calibrated k so sizes are compute-
 /// bound, not allocation-bound).
@@ -19,17 +22,17 @@ fn construction(c: &mut Criterion) {
         let g = standard_graph(n, 3);
         for flavor in [Flavor::DetEpsNet, Flavor::RandFull] {
             let params = calibrated_params(flavor, 4, 64);
-            group.bench_with_input(
-                BenchmarkId::new(format!("{flavor:?}"), n),
-                &g,
-                |b, g| b.iter(|| black_box(FtcScheme::build(g, &params).unwrap())),
-            );
+            group.bench_with_input(BenchmarkId::new(format!("{flavor:?}"), n), &g, |b, g| {
+                b.iter(|| black_box(FtcScheme::build(g, &params).unwrap()))
+            });
         }
     }
     group.finish();
 }
 
-/// E2 — query time vs |F| (budget f = 8, calibrated).
+/// E2 — query time vs |F| (budget f = 8, calibrated): the one-shot
+/// decode (deprecated path) vs a prepared session's lookups.
+#[allow(deprecated)]
 fn query(c: &mut Criterion) {
     let n = 256usize;
     let g = standard_graph(n, 7);
@@ -40,10 +43,63 @@ fn query(c: &mut Criterion) {
         let fault_ids = generators::random_fault_set(&g, fsz, fsz as u64);
         let faults: Vec<_> = fault_ids.iter().map(|&e| l.edge_label_by_id(e)).collect();
         let pairs = sample_pairs(n, 16, fsz as u64);
-        group.bench_with_input(BenchmarkId::new("faults", fsz), &fsz, |b, _| {
+        group.bench_with_input(BenchmarkId::new("per_call", fsz), &fsz, |b, _| {
             b.iter(|| {
                 for &(s, t) in &pairs {
                     let _ = black_box(connected(l.vertex_label(s), l.vertex_label(t), &faults));
+                }
+            })
+        });
+        let session = l.session(faults.iter().copied()).unwrap();
+        group.bench_with_input(BenchmarkId::new("session", fsz), &fsz, |b, _| {
+            b.iter(|| {
+                for &(s, t) in &pairs {
+                    let _ = black_box(session.connected(l.vertex_label(s), l.vertex_label(t)));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Session-reuse amortization on a 10k-vertex graph: q queries against a
+/// fixed fault set, per-call `connected` (engine rebuilt every call) vs
+/// one reused `QuerySession` (engine built once, session construction
+/// included in the measured loop). The acceptance bar for the API
+/// redesign is ≥ 2× throughput for q ≥ 100; the gap in practice is
+/// orders of magnitude.
+#[allow(deprecated)]
+fn session_reuse(c: &mut Criterion) {
+    let n = 10_000usize;
+    let g = standard_graph(n, 13);
+    let f = 8usize;
+    // Calibrated threshold keeps the 10k-vertex build affordable while
+    // exercising the full merge engine on every decode. The k below is
+    // generous for |F| = 8, so the expect() on session construction only
+    // fires on genuine mis-calibration — which should abort the bench
+    // loudly rather than skew the numbers.
+    let scheme =
+        FtcScheme::build(&g, &calibrated_params(Flavor::DetEpsNet, f, 4 * f * 14)).expect("build");
+    let l = scheme.labels();
+    let fault_ids = generators::random_fault_set(&g, f, 0xF417);
+    let faults: Vec<_> = fault_ids.iter().map(|&e| l.edge_label_by_id(e)).collect();
+
+    let mut group = c.benchmark_group("session_reuse");
+    group.sample_size(10);
+    for &q in &[100usize, 1000] {
+        let pairs = sample_pairs(n, q, q as u64);
+        group.bench_with_input(BenchmarkId::new("per_call_connected", q), &q, |b, _| {
+            b.iter(|| {
+                for &(s, t) in &pairs {
+                    let _ = black_box(connected(l.vertex_label(s), l.vertex_label(t), &faults));
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("reused_session", q), &q, |b, _| {
+            b.iter(|| {
+                let session = l.session(faults.iter().copied()).expect("session");
+                for &(s, t) in &pairs {
+                    let _ = black_box(session.connected(l.vertex_label(s), l.vertex_label(t)));
                 }
             })
         });
@@ -72,5 +128,11 @@ fn adaptive_decoding(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, construction, query, adaptive_decoding);
+criterion_group!(
+    benches,
+    construction,
+    query,
+    session_reuse,
+    adaptive_decoding
+);
 criterion_main!(benches);

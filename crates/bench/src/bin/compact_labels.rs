@@ -11,19 +11,29 @@
 
 use ftc_bench::{header, row, standard_graph, Flavor};
 use ftc_core::serial::{compact_edge_from_bytes, edge_to_bytes, edge_to_bytes_compact};
-use ftc_core::{connected, FtcScheme};
+use ftc_core::FtcScheme;
 use ftc_graph::generators;
 
 fn main() {
     println!("## E12: compact labels — decode equivalence + size reduction\n");
-    header(&["n", "m", "f", "full bits/edge", "compact bits/edge", "ratio", "query disagreements"]);
+    header(&[
+        "n",
+        "m",
+        "f",
+        "full bits/edge",
+        "compact bits/edge",
+        "ratio",
+        "query disagreements",
+    ]);
     for &(n, f) in &[(32usize, 1usize), (64, 2), (128, 2)] {
         let g = standard_graph(n, 5);
         let scheme = FtcScheme::build(&g, &Flavor::DetEpsNet.params(f)).expect("build");
         let l = scheme.labels();
 
         // Serialize every edge label both ways.
-        let full_bits: usize = (0..g.m()).map(|e| edge_to_bytes(l.edge_label_by_id(e)).len() * 8).sum();
+        let full_bits: usize = (0..g.m())
+            .map(|e| edge_to_bytes(l.edge_label_by_id(e)).len() * 8)
+            .sum();
         let compact_bits: usize = (0..g.m())
             .map(|e| edge_to_bytes_compact(l.edge_label_by_id(e)).len() * 8)
             .sum();
@@ -33,19 +43,19 @@ fn main() {
         let mut disagreements = 0usize;
         for seed in 0..20u64 {
             let fset = generators::random_fault_set(&g, f, seed);
-            let originals: Vec<_> = fset.iter().map(|&e| l.edge_label_by_id(e)).collect();
-            let reloaded: Vec<_> = fset
-                .iter()
-                .map(|&e| {
+            let original = l
+                .session(fset.iter().map(|&e| l.edge_label_by_id(e)))
+                .expect("theory threshold");
+            let reloaded = l
+                .session(fset.iter().map(|&e| {
                     compact_edge_from_bytes(&edge_to_bytes_compact(l.edge_label_by_id(e)))
                         .expect("lossless")
-                })
-                .collect();
-            let reloaded_refs: Vec<_> = reloaded.iter().collect();
+                }))
+                .expect("theory threshold");
             for s in 0..g.n() {
                 for t in (s + 1)..g.n() {
-                    let a = connected(l.vertex_label(s), l.vertex_label(t), &originals);
-                    let b = connected(l.vertex_label(s), l.vertex_label(t), &reloaded_refs);
+                    let a = original.connected(l.vertex_label(s), l.vertex_label(t));
+                    let b = reloaded.connected(l.vertex_label(s), l.vertex_label(t));
                     if a != b {
                         disagreements += 1;
                     }

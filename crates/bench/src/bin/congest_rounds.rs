@@ -43,8 +43,14 @@ fn main() {
         ("torus 8×8".into(), Graph::torus(8, 8)),
         ("hypercube d=5".into(), Graph::hypercube(5)),
         ("grid 12×4".into(), Graph::grid(12, 4)),
-        ("random n=64 m=128".into(), generators::random_connected(64, 65, 5)),
-        ("random n=128 m=256".into(), generators::random_connected(128, 129, 5)),
+        (
+            "random n=64 m=128".into(),
+            generators::random_connected(64, 65, 5),
+        ),
+        (
+            "random n=128 m=256".into(),
+            generators::random_connected(128, 129, 5),
+        ),
     ];
     for (name, g) in cases {
         let d = diameter(&g);

@@ -13,10 +13,20 @@ use ftc_routing::DistanceLabeling;
 
 fn main() {
     println!("## E9: approximate distance labeling (5×5 torus + random graph, f = 3)\n");
-    header(&["graph", "|F|", "pairs", "mean ratio", "p95 ratio", "max ratio"]);
+    header(&[
+        "graph",
+        "|F|",
+        "pairs",
+        "mean ratio",
+        "p95 ratio",
+        "max ratio",
+    ]);
     let cases: Vec<(String, Graph)> = vec![
         ("torus 5×5".into(), Graph::torus(5, 5)),
-        ("random n=40 m=80".into(), generators::random_connected(40, 41, 9)),
+        (
+            "random n=40 m=80".into(),
+            generators::random_connected(40, 41, 9),
+        ),
     ];
     for (name, g) in cases {
         let d = DistanceLabeling::new(&g, 3).expect("build");

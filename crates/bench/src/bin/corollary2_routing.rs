@@ -24,7 +24,10 @@ fn main() {
     let cases: Vec<(String, Graph)> = vec![
         ("torus 5×5".into(), Graph::torus(5, 5)),
         ("hypercube d=4".into(), Graph::hypercube(4)),
-        ("random n=36 m=72".into(), generators::random_connected(36, 37, 2)),
+        (
+            "random n=36 m=72".into(),
+            generators::random_connected(36, 37, 2),
+        ),
     ];
     for (name, g) in cases {
         let router = ForbiddenSetRouter::new(&g, 3).expect("preprocess");
@@ -63,5 +66,7 @@ fn main() {
             t.n
         );
     }
-    println!("(paper shape: stretch grows with |F|; tables are label-dominated, Õ(f²·polylog) per edge)");
+    println!(
+        "(paper shape: stretch grows with |F|; tables are label-dominated, Õ(f²·polylog) per edge)"
+    );
 }

@@ -1,14 +1,16 @@
-//! Differential fuzz harness: hammers every backend (and the batch
-//! oracle, the serialization round trip, and the router) against the
-//! ground-truth oracle with seeded random graphs and fault sets. Runs
-//! until the requested budget is exhausted and reports totals; any
-//! disagreement aborts with a reproducer seed.
+//! Differential fuzz harness: hammers every backend (the one-shot
+//! decoder path, the reusable `QuerySession`, the zero-copy byte-view
+//! decoding, and the router) against the ground-truth oracle with seeded
+//! random graphs and fault sets. Runs until the requested budget is
+//! exhausted and reports totals; any disagreement aborts with a
+//! reproducer seed.
 //!
 //! Run: `cargo run -p ftc-bench --release --bin differential_fuzz [seconds]`
 
-use ftc_core::oracle::BatchQuery;
-use ftc_core::serial::{edge_from_bytes, edge_to_bytes};
-use ftc_core::{connected, FtcScheme, Params};
+use ftc_core::serial::{
+    edge_from_bytes, edge_to_bytes, vertex_to_bytes, EdgeLabelView, VertexLabelView,
+};
+use ftc_core::{FtcScheme, Params, QuerySession};
 use ftc_graph::{connectivity, generators};
 use ftc_routing::ForbiddenSetRouter;
 use std::time::{Duration, Instant};
@@ -39,26 +41,39 @@ fn main() {
 
         for scheme in &schemes {
             let l = scheme.labels();
-            // Serialization round trip on the fault labels.
+            // Serialization round trip on the fault labels (empty fault
+            // sets included — the session must handle them).
             let faults: Vec<_> = fset
                 .iter()
                 .map(|&e| edge_from_bytes(&edge_to_bytes(l.edge_label_by_id(e))).expect("bytes"))
                 .collect();
-            let fault_refs: Vec<_> = faults.iter().collect();
-            let batch = (!fault_refs.is_empty()).then(|| BatchQuery::new(&fault_refs).expect("batch"));
+            let session = l.session(&faults).expect("session");
+            // Zero-copy path: the same session built from raw bytes.
+            let fault_bytes: Vec<Vec<u8>> = fset
+                .iter()
+                .map(|&e| edge_to_bytes(l.edge_label_by_id(e)))
+                .collect();
+            let views: Vec<EdgeLabelView> = fault_bytes
+                .iter()
+                .map(|b| EdgeLabelView::new(b).expect("view"))
+                .collect();
+            let view_session = QuerySession::new(l.header(), views).expect("view session");
+            let vertex_bytes: Vec<Vec<u8>> = (0..g.n())
+                .map(|v| vertex_to_bytes(l.vertex_label(v)))
+                .collect();
             for s in 0..g.n() {
                 for t in 0..g.n() {
                     queries += 1;
                     let want = connectivity::connected_avoiding(&g, s, t, &fset);
-                    let got = connected(l.vertex_label(s), l.vertex_label(t), &fault_refs)
+                    let got = session
+                        .connected(l.vertex_label(s), l.vertex_label(t))
                         .unwrap_or_else(|e| panic!("seed {seed}: query error {e}"));
-                    assert_eq!(got, want, "seed {seed}: decoder disagrees at ({s},{t})");
-                    if let Some(b) = &batch {
-                        let bq = b
-                            .connected(l.vertex_label(s), l.vertex_label(t))
-                            .unwrap_or_else(|e| panic!("seed {seed}: batch error {e}"));
-                        assert_eq!(bq, want, "seed {seed}: batch disagrees at ({s},{t})");
-                    }
+                    assert_eq!(got, want, "seed {seed}: session disagrees at ({s},{t})");
+                    let vv = |v: usize| VertexLabelView::new(&vertex_bytes[v]).expect("view");
+                    let bv = view_session
+                        .connected(vv(s), vv(t))
+                        .unwrap_or_else(|e| panic!("seed {seed}: view error {e}"));
+                    assert_eq!(bv, want, "seed {seed}: byte views disagree at ({s},{t})");
                 }
             }
         }
@@ -77,7 +92,5 @@ fn main() {
             }
         }
     }
-    println!(
-        "differential fuzz: {round} rounds, {queries} decoder queries, 0 disagreements"
-    );
+    println!("differential fuzz: {round} rounds, {queries} decoder queries, 0 disagreements");
 }

@@ -42,9 +42,9 @@ fn main() {
         let pieces = 1 + (rand() % f as u64) as usize;
         for _ in 0..pieces {
             let root = (rand() % aux.aux_n as u64) as usize;
-            for v in 0..aux.aux_n {
+            for (v, flag) in in_s.iter_mut().enumerate() {
                 if aux.tree.is_ancestor(root, v) {
-                    in_s[v] = !in_s[v]; // symmetric difference keeps ∂T small
+                    *flag = !*flag; // symmetric difference keeps ∂T small
                 }
             }
         }

@@ -7,7 +7,9 @@
 //!
 //! Run: `cargo run -p ftc-bench --release --bin table1_construction`
 
-use ftc_bench::{build_timed, calibrated_params, fit_exponent, header, row, standard_graph, Flavor};
+use ftc_bench::{
+    build_timed, calibrated_params, fit_exponent, header, row, standard_graph, Flavor,
+};
 
 fn main() {
     println!("## E3: construction time vs m (f = 4, calibrated k = 128)\n");

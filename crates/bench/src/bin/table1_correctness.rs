@@ -9,15 +9,13 @@
 
 use ftc_bench::{header, row, standard_graph};
 use ftc_core::baseline::{SketchParams, SketchScheme};
-use ftc_core::{connected, FtcScheme, Params};
+use ftc_core::{FtcScheme, Params};
 use ftc_graph::connectivity;
 
 fn main() {
     let g = standard_graph(16, 77);
     let m = g.m();
-    println!(
-        "## E4: full vs whp query support — exhaustive sweep (n = 16, m = {m}, f = 2)\n"
-    );
+    println!("## E4: full vs whp query support — exhaustive sweep (n = 16, m = {m}, f = 2)\n");
     header(&["scheme", "queries", "wrong", "flagged failures"]);
 
     // Enumerate all fault sets of size ≤ 2 and all ordered (s,t) pairs.
@@ -34,17 +32,24 @@ fn main() {
     let dl = det.labels();
     let (mut dw, mut df, mut dq) = (0usize, 0usize, 0usize);
     for fset in &fault_sets {
-        let faults: Vec<_> = fset.iter().map(|&e| dl.edge_label_by_id(e)).collect();
-        for s in 0..g.n() {
-            for t in 0..g.n() {
-                dq += 1;
-                match connected(dl.vertex_label(s), dl.vertex_label(t), &faults) {
-                    Ok(got) => {
-                        if got != connectivity::connected_avoiding(&g, s, t, fset) {
-                            dw += 1;
+        match dl.session(fset.iter().map(|&e| dl.edge_label_by_id(e))) {
+            Err(_) => {
+                dq += g.n() * g.n();
+                df += g.n() * g.n();
+            }
+            Ok(session) => {
+                for s in 0..g.n() {
+                    for t in 0..g.n() {
+                        dq += 1;
+                        match session.connected(dl.vertex_label(s), dl.vertex_label(t)) {
+                            Ok(got) => {
+                                if got != connectivity::connected_avoiding(&g, s, t, fset) {
+                                    dw += 1;
+                                }
+                            }
+                            Err(_) => df += 1,
                         }
                     }
-                    Err(_) => df += 1,
                 }
             }
         }
@@ -58,21 +63,36 @@ fn main() {
 
     // whp sketch baseline, a few repetition counts.
     for reps in [2usize, 4, 8] {
-        let whp = SketchScheme::build(&g, &SketchParams { f: 2, reps, seed: 5 }).expect("build");
+        let whp = SketchScheme::build(
+            &g,
+            &SketchParams {
+                f: 2,
+                reps,
+                seed: 5,
+            },
+        )
+        .expect("build");
         let wl = whp.labels();
         let (mut ww, mut wf, mut wq) = (0usize, 0usize, 0usize);
         for fset in &fault_sets {
-            let faults: Vec<_> = fset.iter().map(|&e| wl.edge_label_by_id(e)).collect();
-            for s in 0..g.n() {
-                for t in 0..g.n() {
-                    wq += 1;
-                    match connected(wl.vertex_label(s), wl.vertex_label(t), &faults) {
-                        Ok(got) => {
-                            if got != connectivity::connected_avoiding(&g, s, t, fset) {
-                                ww += 1;
+            match wl.session(fset.iter().map(|&e| wl.edge_label_by_id(e))) {
+                Err(_) => {
+                    wq += g.n() * g.n();
+                    wf += g.n() * g.n();
+                }
+                Ok(session) => {
+                    for s in 0..g.n() {
+                        for t in 0..g.n() {
+                            wq += 1;
+                            match session.connected(wl.vertex_label(s), wl.vertex_label(t)) {
+                                Ok(got) => {
+                                    if got != connectivity::connected_avoiding(&g, s, t, fset) {
+                                        ww += 1;
+                                    }
+                                }
+                                Err(_) => wf += 1,
                             }
                         }
-                        Err(_) => wf += 1,
                     }
                 }
             }

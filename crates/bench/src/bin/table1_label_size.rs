@@ -17,7 +17,15 @@ use ftc_core::FtcScheme;
 
 fn main() {
     println!("## E1a: label size vs n (f = 2, m ≈ 2n)\n");
-    header(&["scheme", "n", "m", "k", "levels", "bits/vertex", "bits/edge"]);
+    header(&[
+        "scheme",
+        "n",
+        "m",
+        "k",
+        "levels",
+        "bits/vertex",
+        "bits/edge",
+    ]);
     for &n in &[32usize, 64, 128, 256] {
         let g = standard_graph(n, 42);
         for flavor in Flavor::all() {
@@ -91,7 +99,7 @@ fn main() {
         .iter()
         .map(|&(f, y)| {
             let f = f as usize;
-            ((((2 * f + 1) * (2 * f + 1) + 1) / 2) as f64, y)
+            (((2 * f + 1) * (2 * f + 1)).div_ceil(2) as f64, y)
         })
         .collect();
     println!();

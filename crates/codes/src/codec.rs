@@ -100,7 +100,7 @@ impl ThresholdCodec {
         let mut out = Vec::with_capacity(self.syndrome_len());
         let mut p = Gf64::ONE;
         for _ in 0..self.syndrome_len() {
-            p = p * id;
+            p *= id;
             out.push(p);
         }
         out
@@ -112,11 +112,15 @@ impl ThresholdCodec {
     ///
     /// Panics if the syndrome length does not match or `id` is zero.
     pub fn accumulate_edge(&self, syndrome: &mut [Gf64], id: Gf64) {
-        assert_eq!(syndrome.len(), self.syndrome_len(), "syndrome length mismatch");
+        assert_eq!(
+            syndrome.len(),
+            self.syndrome_len(),
+            "syndrome length mismatch"
+        );
         assert!(!id.is_zero(), "edge IDs must be nonzero field elements");
         let mut p = Gf64::ONE;
         for slot in syndrome.iter_mut() {
-            p = p * id;
+            p *= id;
             *slot += p;
         }
     }
@@ -148,7 +152,11 @@ impl ThresholdCodec {
     ///
     /// Panics if `syndrome.len() != 2k`.
     pub fn decode(&self, syndrome: &[Gf64]) -> Result<Vec<Gf64>, DecodeError> {
-        assert_eq!(syndrome.len(), self.syndrome_len(), "syndrome length mismatch");
+        assert_eq!(
+            syndrome.len(),
+            self.syndrome_len(),
+            "syndrome length mismatch"
+        );
         Self::decode_prefix(syndrome, self.k, syndrome)
     }
 
@@ -167,7 +175,11 @@ impl ThresholdCodec {
     ///
     /// Panics if `syndrome.len() != 2k`.
     pub fn decode_adaptive(&self, syndrome: &[Gf64]) -> Result<Vec<Gf64>, DecodeError> {
-        assert_eq!(syndrome.len(), self.syndrome_len(), "syndrome length mismatch");
+        assert_eq!(
+            syndrome.len(),
+            self.syndrome_len(),
+            "syndrome length mismatch"
+        );
         if Self::is_zero_syndrome(syndrome) {
             return Ok(Vec::new());
         }
@@ -227,7 +239,7 @@ impl ThresholdCodec {
                 return false;
             }
             for (p, &e) in powers.iter_mut().zip(edges) {
-                *p = *p * e;
+                *p *= e;
             }
         }
         true
@@ -297,7 +309,10 @@ mod tests {
         let edges: Vec<Gf64> = (1..=5u64).map(|i| Gf64::new(i * 7919)).collect();
         let s = encode(&codec, &edges);
         assert_eq!(codec.decode(&s), Err(DecodeError::ThresholdExceeded));
-        assert_eq!(codec.decode_adaptive(&s), Err(DecodeError::ThresholdExceeded));
+        assert_eq!(
+            codec.decode_adaptive(&s),
+            Err(DecodeError::ThresholdExceeded)
+        );
     }
 
     #[test]

@@ -56,7 +56,11 @@ mod tests {
 
     #[test]
     fn round_trip_on_genuine_syndromes() {
-        for edges in [vec![5u64], vec![3, 9, 27], (1..=12u64).map(|i| i * 771).collect()] {
+        for edges in [
+            vec![5u64],
+            vec![3, 9, 27],
+            (1..=12u64).map(|i| i * 771).collect(),
+        ] {
             let s = genuine_syndrome(16, &edges);
             let c = compress(&s);
             assert_eq!(c.len(), 16);

@@ -40,8 +40,8 @@
 //! ```
 
 pub mod bm;
-pub mod compact;
 pub mod codec;
+pub mod compact;
 
 pub use bm::berlekamp_massey;
 pub use codec::{DecodeError, ThresholdCodec};

@@ -11,7 +11,9 @@
 //! so the labels are usable directly.
 
 use crate::network::{standard_budget, Network};
-use crate::programs::{BfsProgram, Combine, ConvergecastProgram, OrderAssignProgram, PipelinedXorProgram};
+use crate::programs::{
+    BfsProgram, Combine, ConvergecastProgram, OrderAssignProgram, PipelinedXorProgram,
+};
 use ftc_core::{BuildError, FtcScheme, Params};
 use ftc_graph::{Graph, RootedTree, VertexId};
 
@@ -89,7 +91,10 @@ pub fn distributed_build(
     g: &Graph,
     config: &DistributedConfig,
 ) -> Result<DistributedOutput, BuildError> {
-    assert!(g.is_connected(), "the CONGEST construction assumes a connected network");
+    assert!(
+        g.is_connected(),
+        "the CONGEST construction assumes a connected network"
+    );
     assert!(config.root < g.n().max(1), "root out of range");
     let net = Network::from_graph(g);
     let budget = standard_budget(g.n().max(2));
@@ -143,9 +148,9 @@ pub fn distributed_build(
         })
         .collect();
     profile.order_assignment = net.run(&mut order_prog, budget, 4 * g.n() + 16).rounds;
-    for v in 0..g.n() {
+    for (v, prog) in order_prog.iter().enumerate().take(g.n()) {
         assert_eq!(
-            order_prog[v].pre,
+            prog.pre,
             Some(tree.pre(v) as u64),
             "distributed pre-order mismatch at {v}"
         );
@@ -243,7 +248,6 @@ fn diameter(g: &Graph) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ftc_core::connected;
     use ftc_graph::connectivity::connected_avoiding;
 
     #[test]
@@ -253,10 +257,14 @@ mod tests {
         let l = out.scheme.labels();
         for a in 0..g.m() {
             for b in (a + 1)..g.m() {
-                let faults = [l.edge_label_by_id(a), l.edge_label_by_id(b)];
+                let session = l
+                    .session([l.edge_label_by_id(a), l.edge_label_by_id(b)])
+                    .unwrap();
                 for s in [0usize, 5, 11] {
                     for t in [3usize, 7] {
-                        let got = connected(l.vertex_label(s), l.vertex_label(t), &faults).unwrap();
+                        let got = session
+                            .connected(l.vertex_label(s), l.vertex_label(t))
+                            .unwrap();
                         assert_eq!(got, connected_avoiding(&g, s, t, &[a, b]));
                     }
                 }

@@ -30,8 +30,8 @@
 //! assert!(out.rounds.total() > 0);
 //! // The distributed labels answer queries exactly like the central ones.
 //! let l = out.scheme.labels();
-//! let faults = [l.edge_label(0, 1).unwrap()];
-//! assert!(ftc_core::connected(l.vertex_label(0), l.vertex_label(5), &faults).unwrap());
+//! let session = l.session([l.edge_label(0, 1).unwrap()]).unwrap();
+//! assert!(session.connected(l.vertex_label(0), l.vertex_label(5)).unwrap());
 //! ```
 
 pub mod build;

@@ -126,7 +126,10 @@ impl Network {
         let mut rounds = 0usize;
         while inflight.iter().any(|q| !q.is_empty()) {
             rounds += 1;
-            assert!(rounds <= max_rounds, "protocol did not quiesce in {max_rounds} rounds");
+            assert!(
+                rounds <= max_rounds,
+                "protocol did not quiesce in {max_rounds} rounds"
+            );
             let delivered = std::mem::replace(&mut inflight, vec![Vec::new(); self.n()]);
             for (v, inbox) in delivered.into_iter().enumerate() {
                 let out = programs[v].on_round(v, &self.adj[v], &inbox);
@@ -152,7 +155,10 @@ impl Network {
         bit_budget: u32,
         max_bits: &mut u32,
     ) {
-        assert!(port < self.adj[from].len(), "node {from} sent on invalid port {port}");
+        assert!(
+            port < self.adj[from].len(),
+            "node {from} sent on invalid port {port}"
+        );
         assert!(
             msg.bits() <= bit_budget,
             "message of {} bits exceeds the {}-bit CONGEST budget",
@@ -173,7 +179,7 @@ pub fn standard_budget(n: usize) -> u32 {
     let logn = if n <= 2 {
         1
     } else {
-        (usize::BITS - (n - 1).leading_zeros()) as u32
+        usize::BITS - (n - 1).leading_zeros()
     };
     (4 * logn).max(128)
 }
@@ -192,7 +198,9 @@ mod tests {
         fn start(&mut self, _v: VertexId, neighbors: &[VertexId]) -> Vec<(usize, Msg)> {
             if self.is_root {
                 self.seen = true;
-                (0..neighbors.len()).map(|p| (p, Msg::new(1, 7, 0))).collect()
+                (0..neighbors.len())
+                    .map(|p| (p, Msg::new(1, 7, 0)))
+                    .collect()
             } else {
                 Vec::new()
             }
@@ -206,7 +214,9 @@ mod tests {
         ) -> Vec<(usize, Msg)> {
             if !self.seen && !inbox.is_empty() {
                 self.seen = true;
-                (0..neighbors.len()).map(|p| (p, Msg::new(1, 7, 0))).collect()
+                (0..neighbors.len())
+                    .map(|p| (p, Msg::new(1, 7, 0)))
+                    .collect()
             } else {
                 Vec::new()
             }
@@ -217,12 +227,21 @@ mod tests {
     fn flood_reaches_everyone_in_diameter_rounds() {
         let g = Graph::path(6);
         let net = Network::from_graph(&g);
-        let mut progs: Vec<Flood> = (0..6).map(|v| Flood { is_root: v == 0, seen: false }).collect();
+        let mut progs: Vec<Flood> = (0..6)
+            .map(|v| Flood {
+                is_root: v == 0,
+                seen: false,
+            })
+            .collect();
         let stats = net.run(&mut progs, standard_budget(6), 100);
         assert!(progs.iter().all(|p| p.seen));
         // Path of 6: farthest node is 5 hops away; one extra round drains
         // the final forwards.
-        assert!(stats.rounds >= 5 && stats.rounds <= 7, "rounds = {}", stats.rounds);
+        assert!(
+            stats.rounds >= 5 && stats.rounds <= 7,
+            "rounds = {}",
+            stats.rounds
+        );
         assert!(stats.max_bits <= standard_budget(6));
     }
 
@@ -250,7 +269,12 @@ mod tests {
                     vec![(0, Msg::new(0, u64::MAX, u64::MAX))]
                 }
             }
-            fn on_round(&mut self, _: VertexId, _: &[VertexId], _: &[(usize, Msg)]) -> Vec<(usize, Msg)> {
+            fn on_round(
+                &mut self,
+                _: VertexId,
+                _: &[VertexId],
+                _: &[(usize, Msg)],
+            ) -> Vec<(usize, Msg)> {
                 vec![]
             }
         }
@@ -266,7 +290,12 @@ mod tests {
             fn start(&mut self, _: VertexId, _: &[VertexId]) -> Vec<(usize, Msg)> {
                 vec![]
             }
-            fn on_round(&mut self, _: VertexId, _: &[VertexId], _: &[(usize, Msg)]) -> Vec<(usize, Msg)> {
+            fn on_round(
+                &mut self,
+                _: VertexId,
+                _: &[VertexId],
+                _: &[(usize, Msg)],
+            ) -> Vec<(usize, Msg)> {
                 vec![]
             }
         }

@@ -326,7 +326,9 @@ mod tests {
             for (p, &w) in net.neighbors(v).iter().enumerate() {
                 if t.parent(v) == Some(w) && parent_port[v].is_none() {
                     parent_port[v] = Some(p);
-                } else if t.parent(w) == Some(v) && !child_ports[v].iter().any(|&cp| net.neighbors(v)[cp] == w) {
+                } else if t.parent(w) == Some(v)
+                    && !child_ports[v].iter().any(|&cp| net.neighbors(v)[cp] == w)
+                {
                     child_ports[v].push(p);
                 }
             }
@@ -344,7 +346,11 @@ mod tests {
         for v in 1..16 {
             let (_, pid) = progs[v].parent.expect("all reached");
             assert_eq!(progs[v].depth as usize, dist[v].unwrap(), "depth of {v}");
-            assert_eq!(dist[pid].unwrap() + 1, dist[v].unwrap(), "parent of {v} is one layer up");
+            assert_eq!(
+                dist[pid].unwrap() + 1,
+                dist[v].unwrap(),
+                "parent of {v} is one layer up"
+            );
         }
         // BFS completes in about diameter rounds.
         assert!(stats.rounds <= 10, "rounds = {}", stats.rounds);
@@ -393,8 +399,8 @@ mod tests {
             })
             .collect();
         net.run(&mut progs, standard_budget(7), 1000);
-        for v in 0..7 {
-            assert_eq!(progs[v].pre, Some(t.pre(v) as u64), "pre-order of {v}");
+        for (v, prog) in progs.iter().enumerate().take(7) {
+            assert_eq!(prog.pre, Some(t.pre(v) as u64), "pre-order of {v}");
         }
     }
 

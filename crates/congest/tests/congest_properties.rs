@@ -18,9 +18,9 @@ proptest! {
         let mut progs: Vec<BfsProgram> = (0..n).map(|v| BfsProgram::new_for(v, 0)).collect();
         let stats = net.run(&mut progs, standard_budget(n), 8 * n + 32);
         let dist = g.bfs_distances(0, |_| false);
-        for v in 1..n {
-            let (_, pid) = progs[v].parent.expect("connected network");
-            prop_assert_eq!(progs[v].depth as usize, dist[v].unwrap());
+        for (v, prog) in progs.iter().enumerate().skip(1) {
+            let (_, pid) = prog.parent.expect("connected network");
+            prop_assert_eq!(prog.depth as usize, dist[v].unwrap());
             prop_assert_eq!(dist[pid].unwrap() + 1, dist[v].unwrap());
         }
         // Rounds ≈ eccentricity of the root + O(1).
@@ -52,14 +52,14 @@ proptest! {
             .collect();
         net.run(&mut progs, standard_budget(n) + 32, 8 * n + 32);
         // Check every subtree sum.
-        for v in 0..n {
+        for (v, prog) in progs.iter().enumerate() {
             let mut want = 0u64;
-            for u in 0..n {
+            for (u, &val) in own.iter().enumerate() {
                 if t.is_ancestor(v, u) {
-                    want += own[u];
+                    want += val;
                 }
             }
-            prop_assert_eq!(progs[v].aggregate, want, "subtree sum at {}", v);
+            prop_assert_eq!(prog.aggregate, want, "subtree sum at {}", v);
         }
     }
 
@@ -72,10 +72,10 @@ proptest! {
         let out = distributed_build(&g, &DistributedConfig::new(2)).unwrap();
         let l = out.scheme.labels();
         let fset = generators::random_fault_set(&g, 2, seed ^ 0xff);
-        let faults: Vec<_> = fset.iter().map(|&e| l.edge_label_by_id(e)).collect();
+        let session = l.session(fset.iter().map(|&e| l.edge_label_by_id(e))).unwrap();
         for s in 0..n {
             for t in 0..n {
-                let got = ftc_core::connected(l.vertex_label(s), l.vertex_label(t), &faults).unwrap();
+                let got = session.connected(l.vertex_label(s), l.vertex_label(t)).unwrap();
                 prop_assert_eq!(
                     got,
                     ftc_graph::connectivity::connected_avoiding(&g, s, t, &fset)

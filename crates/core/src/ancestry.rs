@@ -108,9 +108,9 @@ pub fn ancestry_labels(tree: &RootedTree) -> Vec<AncestryLabel> {
     let n = tree.n();
     let sizes = tree.subtree_sizes();
     let mut out = Vec::with_capacity(n);
-    for v in 0..n {
+    for (v, &size) in sizes.iter().enumerate().take(n) {
         let pre = tree.pre(v) as u32;
-        let last = (tree.pre(v) + sizes[v] - 1) as u32;
+        let last = (tree.pre(v) + size - 1) as u32;
         let comp = tree.pre(tree.component_root(v)) as u32;
         out.push(AncestryLabel { pre, last, comp });
     }

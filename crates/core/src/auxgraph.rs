@@ -181,7 +181,10 @@ mod tests {
         for e in 0..g.m() {
             let lower = aux.sigma_lower[e];
             assert!(lower < aux.aux_n);
-            assert!(aux.tree.parent(lower).is_some(), "σ(e) lower endpoint has a parent");
+            assert!(
+                aux.tree.parent(lower).is_some(),
+                "σ(e) lower endpoint has a parent"
+            );
         }
         // Non-tree edges' σ lower endpoints are the subdividers.
         for (j, &e) in aux.nontree_orig.iter().enumerate() {
@@ -241,7 +244,7 @@ mod tests {
         assert_eq!(AuxGraph::unpack_code_id(0, 10), None);
         assert_eq!(AuxGraph::unpack_code_id(1 << 32, 10), None); // hi = 0
         assert_eq!(AuxGraph::unpack_code_id((1 << 32) | 1, 10), None); // lo == hi
-        assert_eq!(AuxGraph::unpack_code_id((1 << 32) | (11 << 0), 10), None); // out of range
+        assert_eq!(AuxGraph::unpack_code_id((1 << 32) | 11, 10), None); // out of range
         assert!(AuxGraph::unpack_code_id((1 << 32) | 2, 10).is_some());
     }
 

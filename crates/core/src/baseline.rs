@@ -12,7 +12,9 @@
 
 use crate::auxgraph::AuxGraph;
 use crate::error::BuildError;
-use crate::labels::{DetectOutcome, EdgeLabel, LabelHeader, LabelSet, OutdetectVector, SizeReport, VertexLabel};
+use crate::labels::{
+    DetectOutcome, EdgeLabel, LabelHeader, LabelSet, OutdetectVector, SizeReport, VertexLabel,
+};
 use ftc_graph::{Graph, RootedTree};
 use ftc_sketch::{AgmParams, AgmSketch, SketchBuilder};
 use std::collections::HashMap;
@@ -92,7 +94,8 @@ impl SketchScheme {
                 aux_vertices: aux.aux_n,
             });
         }
-        let agm_params = AgmParams::for_universe(aux.nontree.len().max(2), params.reps, params.seed);
+        let agm_params =
+            AgmParams::for_universe(aux.nontree.len().max(2), params.reps, params.seed);
         let builder = SketchBuilder::new(agm_params);
 
         // Per-vertex sketches of incident non-tree edges.
@@ -182,7 +185,6 @@ fn sketch_tag(g: &Graph, params: &SketchParams) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::query::connected;
     use ftc_graph::connectivity::connected_avoiding;
 
     #[test]
@@ -195,17 +197,25 @@ mod tests {
         let mut total = 0usize;
         for a in 0..g.m() {
             for b in (a + 1)..g.m() {
-                let faults = [l.edge_label_by_id(a), l.edge_label_by_id(b)];
-                for s in 0..g.n() {
-                    for t in 0..g.n() {
-                        total += 1;
-                        match connected(l.vertex_label(s), l.vertex_label(t), &faults) {
-                            Ok(got) => {
-                                if got != connected_avoiding(&g, s, t, &[a, b]) {
-                                    wrong += 1;
+                let queries = g.n() * g.n();
+                match l.session([l.edge_label_by_id(a), l.edge_label_by_id(b)]) {
+                    Err(_) => {
+                        total += queries;
+                        failed += queries;
+                    }
+                    Ok(session) => {
+                        for s in 0..g.n() {
+                            for t in 0..g.n() {
+                                total += 1;
+                                match session.connected(l.vertex_label(s), l.vertex_label(t)) {
+                                    Ok(got) => {
+                                        if got != connected_avoiding(&g, s, t, &[a, b]) {
+                                            wrong += 1;
+                                        }
+                                    }
+                                    Err(_) => failed += 1,
                                 }
                             }
-                            Err(_) => failed += 1,
                         }
                     }
                 }
@@ -214,7 +224,10 @@ mod tests {
         // whp correctness: with 8 reps on this tiny instance we expect
         // zero failures, but the contract is merely "rare".
         assert_eq!(wrong, 0, "sketch produced wrong answers");
-        assert!(failed * 10 < total, "too many sketch failures: {failed}/{total}");
+        assert!(
+            failed * 10 < total,
+            "too many sketch failures: {failed}/{total}"
+        );
     }
 
     #[test]

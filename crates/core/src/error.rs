@@ -52,7 +52,10 @@ impl fmt::Display for QueryError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             QueryError::TooManyFaults { supplied, budget } => {
-                write!(f, "{supplied} faults supplied but the scheme supports {budget}")
+                write!(
+                    f,
+                    "{supplied} faults supplied but the scheme supports {budget}"
+                )
             }
             QueryError::MismatchedLabels => {
                 write!(f, "labels do not belong to the same labeling")
@@ -76,7 +79,10 @@ mod tests {
         assert!(BuildError::GraphTooLarge { aux_vertices: 5 }
             .to_string()
             .contains('5'));
-        let e = QueryError::TooManyFaults { supplied: 3, budget: 2 };
+        let e = QueryError::TooManyFaults {
+            supplied: 3,
+            budget: 2,
+        };
         assert!(e.to_string().contains('3') && e.to_string().contains('2'));
         assert!(!QueryError::MismatchedLabels.to_string().is_empty());
         assert!(!QueryError::OutdetectFailed.to_string().is_empty());

@@ -215,8 +215,8 @@ mod tests {
         let frag = Fragments::new(cut_lower_vertices.iter().map(|&w| anc[w]).collect());
         for a in 0..g.n() {
             for b in 0..g.n() {
-                let same = frag.locate(&anc[a]) == frag.locate(&anc[b])
-                    && anc[a].comp == anc[b].comp;
+                let same =
+                    frag.locate(&anc[a]) == frag.locate(&anc[b]) && anc[a].comp == anc[b].comp;
                 let want = brute_same_fragment(g, &t, cut_lower_vertices, a, b);
                 assert_eq!(same, want, "pair ({a},{b}) cuts {cut_lower_vertices:?}");
             }
@@ -303,7 +303,9 @@ mod tests {
     fn random_trees_against_brute_force() {
         for seed in 0..6u64 {
             let g = ftc_graph::generators::random_tree(24, seed);
-            let cuts: Vec<usize> = (1..24).filter(|v| (v * 7 + seed as usize) % 5 == 0).collect();
+            let cuts: Vec<usize> = (1..24)
+                .filter(|v| (v * 7 + seed as usize).is_multiple_of(5))
+                .collect();
             check_against_brute(&g, &cuts);
         }
     }

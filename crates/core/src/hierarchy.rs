@@ -137,11 +137,7 @@ pub fn paper_threshold(m0: usize) -> usize {
 /// vertex subsets: returns the maximum boundary size observed at any
 /// topmost non-empty level (must be ≤ k for correct decoding). Used by
 /// tests and the E7 experiment.
-pub fn max_top_boundary(
-    aux: &AuxGraph,
-    hierarchy: &Hierarchy,
-    subsets: &[Vec<bool>],
-) -> usize {
+pub fn max_top_boundary(aux: &AuxGraph, hierarchy: &Hierarchy, subsets: &[Vec<bool>]) -> usize {
     let mut worst = 0usize;
     for in_s in subsets {
         assert_eq!(in_s.len(), aux.aux_n, "subset indicator over aux vertices");
@@ -203,7 +199,10 @@ mod tests {
             assert!(h.levels.last().unwrap().is_empty());
             for w in h.levels.windows(2) {
                 let prev: std::collections::HashSet<_> = w[0].iter().collect();
-                assert!(w[1].iter().all(|j| prev.contains(j)), "{backend:?} not nested");
+                assert!(
+                    w[1].iter().all(|j| prev.contains(j)),
+                    "{backend:?} not nested"
+                );
             }
         }
     }
@@ -229,7 +228,9 @@ mod tests {
         for _ in 0..200 {
             let mut in_s = vec![false; aux.aux_n];
             for slot in in_s.iter_mut() {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 *slot = state >> 63 == 1;
             }
             subsets.push(in_s);

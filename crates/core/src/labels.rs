@@ -39,6 +39,110 @@ pub trait OutdetectVector: Clone {
     fn bits(&self) -> usize;
 }
 
+/// Read access to a vertex label, independent of its representation.
+///
+/// Implemented by the owned [`VertexLabel`] and by the zero-copy
+/// [`crate::serial::VertexLabelView`] over serialized bytes, so the
+/// [`crate::session::QuerySession`] decoder accepts either.
+pub trait VertexLabelRead {
+    /// The labeling-identification header.
+    fn header(&self) -> LabelHeader;
+    /// The vertex's ancestry label in `T′`.
+    fn anc(&self) -> AncestryLabel;
+}
+
+impl VertexLabelRead for VertexLabel {
+    fn header(&self) -> LabelHeader {
+        self.header
+    }
+
+    fn anc(&self) -> AncestryLabel {
+        self.anc
+    }
+}
+
+impl<T: VertexLabelRead + ?Sized> VertexLabelRead for &T {
+    fn header(&self) -> LabelHeader {
+        (**self).header()
+    }
+
+    fn anc(&self) -> AncestryLabel {
+        (**self).anc()
+    }
+}
+
+/// Read access to an edge label, independent of its representation.
+///
+/// Implemented by the owned [`EdgeLabel`] and by the zero-copy
+/// [`crate::serial::EdgeLabelView`] over serialized bytes. The vector
+/// accessors are shaped for the merge engine's accumulate loop: a view
+/// can XOR its syndrome words straight out of the byte buffer without
+/// ever materializing an owned vector per label.
+pub trait EdgeLabelRead {
+    /// The outdetect-vector representation this label carries.
+    type Vector: OutdetectVector;
+
+    /// The labeling-identification header.
+    fn header(&self) -> LabelHeader;
+    /// Ancestry label of the endpoint of `σ(e)` closer to the root.
+    fn anc_upper(&self) -> AncestryLabel;
+    /// Ancestry label of the endpoint of `σ(e)` farther from the root.
+    fn anc_lower(&self) -> AncestryLabel;
+    /// Materializes the outdetect vector (used once per fragment as the
+    /// accumulator seed).
+    fn to_vector(&self) -> Self::Vector;
+    /// XORs the outdetect vector into an existing accumulator.
+    fn xor_vector_into(&self, acc: &mut Self::Vector);
+}
+
+impl<V: OutdetectVector> EdgeLabelRead for EdgeLabel<V> {
+    type Vector = V;
+
+    fn header(&self) -> LabelHeader {
+        self.header
+    }
+
+    fn anc_upper(&self) -> AncestryLabel {
+        self.anc_upper
+    }
+
+    fn anc_lower(&self) -> AncestryLabel {
+        self.anc_lower
+    }
+
+    fn to_vector(&self) -> V {
+        self.vec.clone()
+    }
+
+    fn xor_vector_into(&self, acc: &mut V) {
+        acc.xor_in(&self.vec);
+    }
+}
+
+impl<T: EdgeLabelRead + ?Sized> EdgeLabelRead for &T {
+    type Vector = T::Vector;
+
+    fn header(&self) -> LabelHeader {
+        (**self).header()
+    }
+
+    fn anc_upper(&self) -> AncestryLabel {
+        (**self).anc_upper()
+    }
+
+    fn anc_lower(&self) -> AncestryLabel {
+        (**self).anc_lower()
+    }
+
+    fn to_vector(&self) -> T::Vector {
+        (**self).to_vector()
+    }
+
+    fn xor_vector_into(&self, acc: &mut T::Vector) {
+        (**self).xor_vector_into(acc);
+    }
+}
+
 /// The deterministic outdetect vector: per hierarchy level, a
 /// `2k`-element Reed–Solomon syndrome; levels are stored contiguously,
 /// topmost level last.
@@ -101,6 +205,24 @@ impl RsVector {
             assert_eq!(data.len() % (2 * k), 0, "raw data length mismatch");
         }
         RsVector { k: k as u32, data }
+    }
+
+    /// XORs raw little-endian syndrome words into the vector in place —
+    /// the zero-copy accumulate path used by byte-level label views.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the word count does not match this vector's width.
+    pub fn xor_in_raw_words<I>(&mut self, words: I)
+    where
+        I: IntoIterator<Item = u64>,
+        I::IntoIter: ExactSizeIterator,
+    {
+        let words = words.into_iter();
+        assert_eq!(words.len(), self.data.len(), "mixed vector widths");
+        for (d, w) in self.data.iter_mut().zip(words) {
+            *d += Gf64::new(w);
+        }
     }
 }
 
@@ -293,8 +415,17 @@ impl<V: OutdetectVector> LabelSet<V> {
     /// supplied closure because they are vector-representation specific.
     pub fn size_report(&self, k: usize, levels: usize) -> SizeReport {
         let vertex_bits = self.vertex_labels.first().map_or(0, VertexLabel::bits);
-        let edge_bits = self.edge_labels.iter().map(EdgeLabel::bits).max().unwrap_or(0);
-        let total_bits = self.vertex_labels.iter().map(VertexLabel::bits).sum::<usize>()
+        let edge_bits = self
+            .edge_labels
+            .iter()
+            .map(EdgeLabel::bits)
+            .max()
+            .unwrap_or(0);
+        let total_bits = self
+            .vertex_labels
+            .iter()
+            .map(VertexLabel::bits)
+            .sum::<usize>()
             + self.edge_labels.iter().map(EdgeLabel::bits).sum::<usize>();
         SizeReport {
             n: self.n(),

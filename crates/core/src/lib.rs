@@ -17,32 +17,37 @@
 //!   halving of Appendix A;
 //! * [`labels`] — Reed–Solomon syndrome outdetect vectors (Section 4.2)
 //!   behind the XOR-mergeable [`OutdetectVector`] abstraction;
-//! * [`fragments`] + [`query`] — the universal decoder with the refined
+//! * [`fragments`] + [`session`] — the universal decoder with the refined
 //!   heap-ordered fragment merging of Section 7.6 and the adaptive
-//!   decoding of Appendix B;
+//!   decoding of Appendix B, packaged as the reusable [`QuerySession`]
+//!   oracle ([`query`] keeps the one-shot free functions as deprecated
+//!   shims);
 //! * [`scheme`] — the [`FtcScheme`] builder tying it all together;
 //! * [`baseline`] — the Dory–Parter-style whp sketch scheme the paper
 //!   compares against (Table 1, rows 1–2);
-//! * [`serial`] — byte-level label serialization (used to demonstrate the
-//!   decoder is genuinely graph-free).
+//! * [`serial`] — byte-level label serialization plus the zero-copy
+//!   [`serial::VertexLabelView`] / [`serial::EdgeLabelView`] readers
+//!   (used to demonstrate the decoder is genuinely graph-free).
 //!
 //! ## Quickstart
 //!
 //! ```
-//! use ftc_core::{connected, FtcScheme, Params};
+//! use ftc_core::{FtcScheme, Params};
 //! use ftc_graph::Graph;
 //!
 //! let g = Graph::torus(4, 4);
 //! let scheme = FtcScheme::build(&g, &Params::deterministic(3)).unwrap();
 //! let l = scheme.labels();
 //!
-//! let faults = [
+//! // One session per fault set: validation, dedup, and fragment merging
+//! // happen once, then every query is allocation-free.
+//! let session = l.session([
 //!     l.edge_label(0, 1).unwrap(),
 //!     l.edge_label(0, 4).unwrap(),
 //!     l.edge_label(0, 12).unwrap(),
-//! ];
+//! ]).unwrap();
 //! // A 4×4 torus is 4-edge-connected: three faults cannot disconnect it.
-//! assert!(connected(l.vertex_label(0), l.vertex_label(10), &faults).unwrap());
+//! assert!(session.connected(l.vertex_label(0), l.vertex_label(10)).unwrap());
 //! ```
 
 pub mod ancestry;
@@ -54,17 +59,22 @@ pub mod hierarchy;
 pub mod labels;
 pub mod oracle;
 pub mod params;
-pub mod vertex_faults;
 pub mod query;
 pub mod scheme;
 pub mod serial;
+pub mod session;
+pub mod vertex_faults;
 
 pub use error::{BuildError, QueryError};
 pub use hierarchy::HierarchyBackend;
 pub use labels::{
-    DetectOutcome, EdgeLabel, LabelHeader, LabelSet, OutdetectVector, RsVector, SizeReport,
-    VertexLabel,
+    DetectOutcome, EdgeLabel, EdgeLabelRead, LabelHeader, LabelSet, OutdetectVector, RsVector,
+    SizeReport, VertexLabel, VertexLabelRead,
 };
 pub use params::{Params, ThresholdPolicy};
-pub use query::{certified_connected, connected, Certificate};
+pub use query::Certificate;
+#[allow(deprecated)]
+pub use query::{certified_connected, connected};
 pub use scheme::{BuildDiagnostics, FtcScheme};
+pub use serial::{EdgeLabelView, VertexLabelView};
+pub use session::QuerySession;

@@ -1,26 +1,25 @@
-//! Batch connectivity oracle over a fixed fault set.
+//! Batch connectivity oracle over a fixed fault set (deprecated shim).
 //!
-//! The paper's related-work section observes that any f-FTC labeling is
-//! also a *centralized connectivity oracle* (space `m ×` label size): fix
-//! a fault set `F` once, pay the fragment-merging cost once, then answer
-//! every s–t query in `O(log |F|)` time. [`BatchQuery`] is that oracle:
-//! it exhausts the Section 7.6 merging engine per affected component and
-//! keeps only the final fragment union-find, so a workload of `q` queries
-//! against one fault set costs `decode + q·O(log |F|)` instead of
-//! `q · decode`.
+//! [`BatchQuery`] predates [`crate::session::QuerySession`] and is now a
+//! thin wrapper over it, kept for one release. Unlike the original, an
+//! **empty fault slice no longer panics**: it prepares a session that
+//! answers via ancestry component equality — the common production case
+//! of querying a healthy network.
 
 use crate::error::QueryError;
-use crate::fragments::Fragments;
 use crate::labels::{EdgeLabel, OutdetectVector, VertexLabel};
-use crate::query::Engine;
-use ftc_graph::UnionFind;
-use std::collections::HashMap;
+use crate::session::QuerySession;
 
 /// A prepared fault set: answers any number of s–t queries against it.
+///
+/// Deprecated: use [`crate::LabelSet::session`] /
+/// [`QuerySession`] directly, which accept generic fault inputs
+/// (including zero-copy byte views) and generic vertex-label readers.
 ///
 /// # Example
 ///
 /// ```
+/// # #![allow(deprecated)]
 /// use ftc_core::oracle::BatchQuery;
 /// use ftc_core::{FtcScheme, Params};
 /// use ftc_graph::Graph;
@@ -33,18 +32,17 @@ use std::collections::HashMap;
 /// assert!(!batch.connected(l.vertex_label(1), l.vertex_label(4)).unwrap());
 /// assert!(batch.connected(l.vertex_label(1), l.vertex_label(3)).unwrap());
 /// ```
-#[derive(Debug)]
+#[deprecated(note = "use `LabelSet::session` / `QuerySession` instead")]
+#[derive(Clone, Debug)]
 pub struct BatchQuery {
-    header: crate::labels::LabelHeader,
-    frag: Fragments,
-    /// Per affected component: the exhausted union-find over that
-    /// component's fragment slots.
-    merged: HashMap<u32, UnionFind>,
+    session: QuerySession,
 }
 
+#[allow(deprecated)]
 impl BatchQuery {
     /// Prepares the oracle for a fault set (runs the merging engine to
-    /// completion in every component containing a fault).
+    /// completion in every component containing a fault). An empty fault
+    /// slice is valid and answers via component equality.
     ///
     /// # Errors
     ///
@@ -53,40 +51,9 @@ impl BatchQuery {
     /// * [`QueryError::TooManyFaults`] if more than `f` distinct faults;
     /// * [`QueryError::OutdetectFailed`] on calibrated-threshold decode
     ///   failures.
-    ///
-    /// # Panics
-    ///
-    /// Panics on an empty fault slice (there is nothing to prepare; use
-    /// plain component equality instead).
     pub fn new<V: OutdetectVector>(faults: &[&EdgeLabel<V>]) -> Result<BatchQuery, QueryError> {
-        assert!(!faults.is_empty(), "prepare at least one fault");
-        let header = faults[0].header;
-        if faults.iter().any(|e| e.header != header) {
-            return Err(QueryError::MismatchedLabels);
-        }
-        let mut faults: Vec<&EdgeLabel<V>> = faults.to_vec();
-        faults.sort_by_key(|e| e.anc_lower.pre);
-        faults.dedup_by_key(|e| e.anc_lower.pre);
-        if faults.len() > header.f as usize {
-            return Err(QueryError::TooManyFaults {
-                supplied: faults.len(),
-                budget: header.f as usize,
-            });
-        }
-        let frag = Fragments::new(faults.iter().map(|e| e.anc_lower).collect());
-
-        let mut comps: Vec<u32> = frag.cuts().iter().map(|c| c.comp).collect();
-        comps.sort_unstable();
-        comps.dedup();
-        let mut merged = HashMap::with_capacity(comps.len());
-        for comp in comps {
-            let uf = Engine::new(&frag, &faults, header.aux_n as usize, comp).exhaust()?;
-            merged.insert(comp, uf);
-        }
         Ok(BatchQuery {
-            header,
-            frag,
-            merged,
+            session: QuerySession::from_faults(faults.iter().copied())?,
         })
     }
 
@@ -97,37 +64,17 @@ impl BatchQuery {
     /// [`QueryError::MismatchedLabels`] if the vertex labels belong to a
     /// different labeling than the prepared faults.
     pub fn connected(&self, s: &VertexLabel, t: &VertexLabel) -> Result<bool, QueryError> {
-        if s.header != self.header || t.header != self.header {
-            return Err(QueryError::MismatchedLabels);
-        }
-        if !s.anc.same_component(&t.anc) {
-            return Ok(false);
-        }
-        if s.anc.same_vertex(&t.anc) {
-            return Ok(true);
-        }
-        let Some(uf) = self.merged.get(&s.anc.comp) else {
-            // No faults in this component: connectivity is untouched.
-            return Ok(true);
-        };
-        let slot = |anc: &crate::ancestry::AncestryLabel| match self.frag.locate(anc) {
-            crate::fragments::FragId::Cut(i) => i,
-            crate::fragments::FragId::Root(_) => self.frag.num_cuts(),
-        };
-        // UnionFind::find needs &mut; clone-free read via a local copy of
-        // the two chains would complicate the API — the structure is tiny
-        // (|F| + 1 slots), so a cheap interior clone is fine.
-        let mut uf = uf.clone();
-        Ok(uf.find(slot(&s.anc)) == uf.find(slot(&t.anc)))
+        self.session.connected(s, t)
     }
 
     /// Number of distinct prepared faults.
     pub fn num_faults(&self) -> usize {
-        self.frag.num_cuts()
+        self.session.num_faults()
     }
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::params::Params;
@@ -146,8 +93,14 @@ mod tests {
             let batch = BatchQuery::new(&faults).unwrap();
             for s in 0..g.n() {
                 for t in 0..g.n() {
-                    let got = batch.connected(l.vertex_label(s), l.vertex_label(t)).unwrap();
-                    assert_eq!(got, connected_avoiding(&g, s, t, &fset), "({s},{t},{fset:?})");
+                    let got = batch
+                        .connected(l.vertex_label(s), l.vertex_label(t))
+                        .unwrap();
+                    assert_eq!(
+                        got,
+                        connected_avoiding(&g, s, t, &fset),
+                        "({s},{t},{fset:?})"
+                    );
                 }
             }
         }
@@ -160,11 +113,21 @@ mod tests {
         let l = scheme.labels();
         let faults = [l.edge_label(0, 1).unwrap(), l.edge_label(3, 4).unwrap()];
         let batch = BatchQuery::new(&faults).unwrap();
-        assert!(batch.connected(l.vertex_label(0), l.vertex_label(1)).unwrap());
-        assert!(batch.connected(l.vertex_label(3), l.vertex_label(5)).unwrap());
-        assert!(!batch.connected(l.vertex_label(0), l.vertex_label(3)).unwrap());
-        assert!(!batch.connected(l.vertex_label(0), l.vertex_label(6)).unwrap());
-        assert!(batch.connected(l.vertex_label(6), l.vertex_label(6)).unwrap());
+        assert!(batch
+            .connected(l.vertex_label(0), l.vertex_label(1))
+            .unwrap());
+        assert!(batch
+            .connected(l.vertex_label(3), l.vertex_label(5))
+            .unwrap());
+        assert!(!batch
+            .connected(l.vertex_label(0), l.vertex_label(3))
+            .unwrap());
+        assert!(!batch
+            .connected(l.vertex_label(0), l.vertex_label(6))
+            .unwrap());
+        assert!(batch
+            .connected(l.vertex_label(6), l.vertex_label(6))
+            .unwrap());
     }
 
     #[test]
@@ -181,8 +144,34 @@ mod tests {
         let f1 = s1.labels().edge_label_by_id(0);
         let f2 = s1.labels().edge_label_by_id(1);
         match BatchQuery::new(&[f1, f2]) {
-            Err(QueryError::TooManyFaults { supplied: 2, budget: 1 }) => {}
+            Err(QueryError::TooManyFaults {
+                supplied: 2,
+                budget: 1,
+            }) => {}
             other => panic!("expected budget violation, got {other:?}"),
         }
+    }
+
+    /// Regression for the old panic: `BatchQuery::new(&[])` must prepare
+    /// an oracle that answers via ancestry component equality.
+    #[test]
+    fn empty_fault_slice_no_longer_panics() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (3, 4)]);
+        let scheme = FtcScheme::build(&g, &Params::deterministic(1)).unwrap();
+        let l = scheme.labels();
+        let batch = BatchQuery::new(&[] as &[&EdgeLabel<crate::labels::RsVector>]).unwrap();
+        assert_eq!(batch.num_faults(), 0);
+        assert!(batch
+            .connected(l.vertex_label(0), l.vertex_label(2))
+            .unwrap());
+        assert!(!batch
+            .connected(l.vertex_label(0), l.vertex_label(4))
+            .unwrap());
+        // A header-less empty oracle still rejects mixed vertex labels.
+        let other = FtcScheme::build(&Graph::cycle(4), &Params::deterministic(1)).unwrap();
+        assert_eq!(
+            batch.connected(l.vertex_label(0), other.labels().vertex_label(1)),
+            Err(QueryError::MismatchedLabels)
+        );
     }
 }

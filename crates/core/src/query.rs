@@ -1,26 +1,19 @@
-//! The universal decoder (paper Lemma 1 + the refined Section 7.6 engine).
+//! The universal decoder (paper Lemma 1), as one-shot convenience
+//! wrappers over the session engine.
 //!
-//! [`connected`] answers s–t connectivity in `G − F` **from labels alone**:
-//! it receives the two vertex labels and the fault-edge labels, and never
-//! touches the graph. The engine:
-//!
-//! 1. splits `T′` into fragments at the fault edges (Proposition 3);
-//! 2. computes each fragment's outdetect vector as the XOR of the fault
-//!    labels' subtree sums along its tree boundary (Proposition 4);
-//! 3. iteratively merges fragments along detected outgoing edges,
-//!    processing the fragment with the *smallest* tree boundary first and
-//!    maintaining boundaries as XOR-able bitvectors — the Lemma 6 schedule
-//!    that brings the decode time to Õ(|F|^{b+1} + |F|^c);
-//! 4. answers `true` as soon as the fragments of `s` and `t` merge, and
-//!    `false` when one of them is certified outgoing-edge-free.
+//! [`connected`] answers s–t connectivity in `G − F` **from labels
+//! alone**: it receives the two vertex labels and the fault-edge labels,
+//! and never touches the graph. Since the query-API redesign the actual
+//! engine lives in [`crate::session`]: these free functions build a
+//! throwaway [`QuerySession`] per call, which re-pays the
+//! dedup/validation/fragment-merging cost on *every* invocation. They are
+//! kept for one release as deprecated shims; serving workloads should
+//! create one session per fault set via [`crate::LabelSet::session`] and
+//! query it instead.
 
-use crate::auxgraph::AuxGraph;
 use crate::error::QueryError;
-use crate::fragments::{FragId, Fragments};
-use crate::labels::{DetectOutcome, EdgeLabel, OutdetectVector, VertexLabel};
-use ftc_graph::UnionFind;
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use crate::labels::{EdgeLabel, OutdetectVector, VertexLabel};
+use crate::session::QuerySession;
 
 /// Decides whether the two labeled vertices are connected after deleting
 /// the labeled fault edges.
@@ -39,6 +32,7 @@ use std::collections::BinaryHeap;
 /// # Example
 ///
 /// ```
+/// # #![allow(deprecated)]
 /// use ftc_core::{connected, FtcScheme, Params};
 /// use ftc_graph::Graph;
 ///
@@ -50,19 +44,24 @@ use std::collections::BinaryHeap;
 /// assert!(!connected(l.vertex_label(1), l.vertex_label(3), &f).unwrap());
 /// assert!(connected(l.vertex_label(1), l.vertex_label(2), &f).unwrap());
 /// ```
+#[deprecated(
+    note = "builds a full merge session per call; create one `QuerySession` per fault set \
+            via `LabelSet::session` and reuse it"
+)]
 pub fn connected<V: OutdetectVector>(
     s: &VertexLabel,
     t: &VertexLabel,
     faults: &[&EdgeLabel<V>],
 ) -> Result<bool, QueryError> {
+    #[allow(deprecated)]
     certified_connected(s, t, faults).map(|c| c.is_some())
 }
 
 /// A connectivity certificate: the sequence of auxiliary-graph non-tree
-/// edges (as `(pre, pre)` endpoint pairs) the engine used to merge
-/// fragments before `s` and `t` met. Empty when `s` and `t` already share a
-/// fragment of `T′ − F`. The routing applications (Corollaries 1–2) expand
-/// this into an actual fault-avoiding path.
+/// edges (as `(pre, pre)` endpoint pairs) the engine merged fragments
+/// along. Empty when `s` and `t` already share a fragment of `T′ − F`.
+/// The routing applications (Corollaries 1–2) expand this into an actual
+/// fault-avoiding path.
 pub type Certificate = Vec<(u32, u32)>;
 
 /// Like [`connected`], but returns `Some(certificate)` when connected and
@@ -70,353 +69,63 @@ pub type Certificate = Vec<(u32, u32)>;
 ///
 /// # Errors
 ///
-/// Same conditions as [`connected`].
+/// Same conditions as [`connected`]. One semantic difference from the
+/// pre-session implementation: the underlying session exhausts the merge
+/// engine in *every* component containing a fault, so under calibrated
+/// (below-theory) thresholds a failing decode in another component — or
+/// past the point where the old early-exiting engine would have stopped —
+/// surfaces as [`QueryError::OutdetectFailed`] where the old code might
+/// have answered. Deterministic theory-threshold schemes are unaffected.
+#[deprecated(
+    note = "builds a full merge session per call; create one `QuerySession` per fault set \
+            via `LabelSet::session` and use `certified`"
+)]
 pub fn certified_connected<V: OutdetectVector>(
     s: &VertexLabel,
     t: &VertexLabel,
     faults: &[&EdgeLabel<V>],
 ) -> Result<Option<Certificate>, QueryError> {
-    if faults.iter().any(|e| e.header != s.header) || s.header != t.header {
+    // Preserve the historical check order: header validation, then the
+    // component/vertex early returns, then fault budget enforcement.
+    if faults.iter().any(|e| e.header != s.header) {
         return Err(QueryError::MismatchedLabels);
     }
-    if !s.anc.same_component(&t.anc) {
-        return Ok(None);
+    match QuerySession::trivial_answer(s, t)? {
+        Some(false) => return Ok(None),
+        Some(true) => return Ok(Some(Vec::new())),
+        None => {}
     }
-    if s.anc.same_vertex(&t.anc) {
-        return Ok(Some(Vec::new()));
-    }
-
-    // Deduplicate faults by σ(e)'s lower endpoint (unique per edge).
-    let mut faults: Vec<&EdgeLabel<V>> = faults.to_vec();
-    faults.sort_by_key(|e| e.anc_lower.pre);
-    faults.dedup_by_key(|e| e.anc_lower.pre);
-    if faults.len() > s.header.f as usize {
-        return Err(QueryError::TooManyFaults {
-            supplied: faults.len(),
-            budget: s.header.f as usize,
-        });
-    }
-
-    let frag = Fragments::new(faults.iter().map(|e| e.anc_lower).collect());
-    // After dedup+sort, fault order matches cut order.
-    debug_assert_eq!(frag.num_cuts(), faults.len());
-
-    let fs = frag.locate(&s.anc);
-    let ft = frag.locate(&t.anc);
-    if fs == ft {
-        return Ok(Some(Vec::new())); // same fragment: connected within T′ − F
-    }
-
-    Engine::new(&frag, &faults, s.header.aux_n as usize, s.anc.comp).run(fs, ft)
-}
-
-
-pub(crate) struct Engine<'a, V: OutdetectVector> {
-    frag: &'a Fragments,
-    aux_n: usize,
-    comp: u32,
-    /// Per active fragment: tree-boundary bitvector over cut indices.
-    cutset: Vec<Vec<u64>>,
-    cut_count: Vec<usize>,
-    /// Per active fragment: outdetect vector (Proposition 4 XOR).
-    vec: Vec<Option<V>>,
-    version: Vec<u64>,
-    alive: Vec<bool>,
-    uf: UnionFind,
-    heap: BinaryHeap<Reverse<(usize, u64, usize)>>,
-}
-
-impl<'a, V: OutdetectVector> Engine<'a, V> {
-    pub(crate) fn new(
-        frag: &'a Fragments,
-        faults: &[&EdgeLabel<V>],
-        aux_n: usize,
-        comp: u32,
-    ) -> Self {
-        let nc = frag.num_cuts();
-        let total = nc + 1; // + the query component's root fragment
-        let words = nc.div_ceil(64).max(1);
-        let mut cutset = vec![vec![0u64; words]; total];
-        let mut cut_count = vec![0usize; total];
-        let mut vec: Vec<Option<V>> = vec![None; total];
-        let mut heap = BinaryHeap::new();
-
-        // Only fragments of the query component participate: outgoing
-        // edges never leave a component.
-        let mut active: Vec<usize> = Vec::new();
-        for i in 0..nc {
-            if frag.cuts()[i].comp == comp {
-                active.push(i);
-            }
-        }
-        active.push(nc); // root fragment slot
-
-        for &id in &active {
-            let fid = if id == nc {
-                FragId::Root(comp)
-            } else {
-                FragId::Cut(id)
-            };
-            let boundary = frag.boundary(fid);
-            for &c in &boundary {
-                cutset[id][c / 64] ^= 1u64 << (c % 64);
-            }
-            cut_count[id] = boundary.len();
-            let mut acc: Option<V> = None;
-            for &c in &boundary {
-                match &mut acc {
-                    None => acc = Some(faults[c].vec.clone()),
-                    Some(a) => a.xor_in(&faults[c].vec),
-                }
-            }
-            vec[id] = acc;
-            heap.push(Reverse((cut_count[id], 0u64, id)));
-        }
-
-        Engine {
-            frag,
-            aux_n,
-            comp,
-            cutset,
-            cut_count,
-            vec,
-            version: vec![0; total],
-            alive: {
-                let mut a = vec![false; total];
-                for &id in &active {
-                    a[id] = true;
-                }
-                a
-            },
-            uf: UnionFind::new(total),
-            heap,
-        }
-    }
-
-    fn slot_of(&self, fid: FragId) -> Option<usize> {
-        match fid {
-            FragId::Cut(i) => {
-                if self.frag.cuts()[i].comp == self.comp {
-                    Some(i)
-                } else {
-                    None
-                }
-            }
-            FragId::Root(c) => {
-                if c == self.comp {
-                    Some(self.frag.num_cuts())
-                } else {
-                    None
-                }
-            }
-        }
-    }
-
-    fn run(mut self, fs: FragId, ft: FragId) -> Result<Option<Vec<(u32, u32)>>, QueryError> {
-        let s_slot = self.slot_of(fs).expect("s is in the query component");
-        let t_slot = self.slot_of(ft).expect("t is in the query component");
-        let mut certificate: Vec<(u32, u32)> = Vec::new();
-
-        while let Some(Reverse((size, ver, id))) = self.heap.pop() {
-            // Skip stale heap entries.
-            if !self.alive[id]
-                || self.uf.find(id) != id
-                || self.version[id] != ver
-                || self.cut_count[id] != size
-            {
-                continue;
-            }
-            let outcome = match &self.vec[id] {
-                Some(v) => v.detect(),
-                // A fragment with an empty boundary (no faults at all in
-                // its component) has no outdetect data — and no outgoing
-                // edges, since it is the whole component.
-                None => DetectOutcome::Empty,
-            };
-            match outcome {
-                DetectOutcome::Failed => return Err(QueryError::OutdetectFailed),
-                DetectOutcome::Empty => {
-                    // Maximal component of G − F.
-                    let root = self.uf.find(id);
-                    if self.uf.find(s_slot) == root || self.uf.find(t_slot) == root {
-                        return Ok(None);
-                    }
-                    self.alive[id] = false;
-                }
-                DetectOutcome::Edges(ids) => {
-                    let mut merged_any = false;
-                    for code_id in ids {
-                        let Some((pa, pb)) = AuxGraph::unpack_code_id(code_id, self.aux_n)
-                        else {
-                            return Err(QueryError::OutdetectFailed);
-                        };
-                        let fa = self
-                            .frag
-                            .locate_pre(pa)
-                            .map_or(FragId::Root(self.comp), FragId::Cut);
-                        let fb = self
-                            .frag
-                            .locate_pre(pb)
-                            .map_or(FragId::Root(self.comp), FragId::Cut);
-                        let (Some(sa), Some(sb)) = (self.slot_of(fa), self.slot_of(fb)) else {
-                            return Err(QueryError::OutdetectFailed);
-                        };
-                        let ra = self.uf.find(sa);
-                        let rb = self.uf.find(sb);
-                        if ra == rb {
-                            // Already merged via an earlier edge of this batch.
-                            continue;
-                        }
-                        let cur = self.uf.find(id);
-                        if ra != cur && rb != cur {
-                            // The detected edge does not touch the popped
-                            // fragment: only possible with a phantom decode
-                            // under a calibrated threshold.
-                            return Err(QueryError::OutdetectFailed);
-                        }
-                        self.merge(ra, rb);
-                        merged_any = true;
-                        certificate.push((pa, pb));
-                        if self.uf.find(s_slot) == self.uf.find(t_slot) {
-                            return Ok(Some(certificate));
-                        }
-                    }
-                    if !merged_any {
-                        // Every decoded edge was internal: impossible for an
-                        // exact decode (outgoing edges cross the boundary),
-                        // so this is a phantom from a calibrated threshold.
-                        return Err(QueryError::OutdetectFailed);
-                    }
-                    let root = self.uf.find(id);
-                    self.version[root] += 1;
-                    self.heap
-                        .push(Reverse((self.cut_count[root], self.version[root], root)));
-                }
-            }
-        }
-        // All fragments exhausted; s and t never met.
-        Ok(None)
-    }
-
-    /// Runs the merging loop to completion — no early exit — and returns
-    /// the final union-find over fragment slots (`0..num_cuts` for cut
-    /// fragments, `num_cuts` for the component's root fragment). Two
-    /// vertices of this component are connected in `G − F` iff their
-    /// fragments share a final set. Powers the batch oracle
-    /// ([`crate::oracle`]).
-    pub(crate) fn exhaust(mut self) -> Result<UnionFind, QueryError> {
-        while let Some(Reverse((size, ver, id))) = self.heap.pop() {
-            if !self.alive[id]
-                || self.uf.find(id) != id
-                || self.version[id] != ver
-                || self.cut_count[id] != size
-            {
-                continue;
-            }
-            let outcome = match &self.vec[id] {
-                Some(v) => v.detect(),
-                None => DetectOutcome::Empty,
-            };
-            match outcome {
-                DetectOutcome::Failed => return Err(QueryError::OutdetectFailed),
-                DetectOutcome::Empty => {
-                    self.alive[id] = false;
-                }
-                DetectOutcome::Edges(ids) => {
-                    let mut merged_any = false;
-                    for code_id in ids {
-                        let Some((pa, pb)) = AuxGraph::unpack_code_id(code_id, self.aux_n)
-                        else {
-                            return Err(QueryError::OutdetectFailed);
-                        };
-                        let fa = self
-                            .frag
-                            .locate_pre(pa)
-                            .map_or(FragId::Root(self.comp), FragId::Cut);
-                        let fb = self
-                            .frag
-                            .locate_pre(pb)
-                            .map_or(FragId::Root(self.comp), FragId::Cut);
-                        let (Some(sa), Some(sb)) = (self.slot_of(fa), self.slot_of(fb)) else {
-                            return Err(QueryError::OutdetectFailed);
-                        };
-                        let ra = self.uf.find(sa);
-                        let rb = self.uf.find(sb);
-                        if ra == rb {
-                            continue;
-                        }
-                        let cur = self.uf.find(id);
-                        if ra != cur && rb != cur {
-                            return Err(QueryError::OutdetectFailed);
-                        }
-                        self.merge(ra, rb);
-                        merged_any = true;
-                    }
-                    if !merged_any {
-                        return Err(QueryError::OutdetectFailed);
-                    }
-                    let root = self.uf.find(id);
-                    self.version[root] += 1;
-                    self.heap
-                        .push(Reverse((self.cut_count[root], self.version[root], root)));
-                }
-            }
-        }
-        Ok(self.uf)
-    }
-
-    /// Merges the fragment sets rooted at `ra` and `rb`: boundary bitvectors
-    /// XOR (symmetric difference — shared faults become interior), vectors
-    /// XOR (Proposition 4), union-find tracks membership.
-    fn merge(&mut self, ra: usize, rb: usize) {
-        debug_assert!(ra != rb);
-        self.uf.union(ra, rb);
-        let root = self.uf.find(ra);
-        let other = if root == ra { rb } else { ra };
-        debug_assert!(root == ra || root == rb);
-        // XOR boundary bitvectors.
-        let (dst, src) = if root < other {
-            let (a, b) = self.cutset.split_at_mut(other);
-            (&mut a[root], &b[0])
-        } else {
-            let (a, b) = self.cutset.split_at_mut(root);
-            (&mut b[0], &a[other])
-        };
-        let mut count = 0usize;
-        for (d, s) in dst.iter_mut().zip(src) {
-            *d ^= s;
-            count += d.count_ones() as usize;
-        }
-        self.cut_count[root] = count;
-        // XOR outdetect vectors.
-        let moved = self.vec[other].take();
-        match (&mut self.vec[root], moved) {
-            (Some(a), Some(b)) => a.xor_in(&b),
-            (slot @ None, Some(b)) => *slot = Some(b),
-            _ => {}
-        }
-        self.alive[root] = true;
-        self.alive[other] = false;
-    }
+    let session = QuerySession::new(s.header, faults.iter().copied())?;
+    Ok(session.certified(s, t)?.map(<[(u32, u32)]>::to_vec))
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     // The engine is exercised end-to-end (against brute-force oracles and
-    // across hierarchy backends) in the `scheme` module tests and the
-    // workspace integration tests; here we cover pure input validation.
+    // across hierarchy backends) in the `scheme`/`session` module tests
+    // and the workspace integration tests; here we cover that the
+    // deprecated shims still validate inputs exactly as before.
     use super::*;
     use crate::ancestry::AncestryLabel;
     use crate::labels::{LabelHeader, RsVector};
 
     fn header(tag: u64) -> LabelHeader {
-        LabelHeader { f: 2, aux_n: 10, tag }
+        LabelHeader {
+            f: 2,
+            aux_n: 10,
+            tag,
+        }
     }
 
     fn vlabel(tag: u64, pre: u32, comp: u32) -> VertexLabel {
         VertexLabel {
             header: header(tag),
-            anc: AncestryLabel { pre, last: pre, comp },
+            anc: AncestryLabel {
+                pre,
+                last: pre,
+                comp,
+            },
         }
     }
 
@@ -447,8 +156,16 @@ mod tests {
         let t = vlabel(1, 9, 0);
         let mk = |pre: u32| EdgeLabel {
             header: header(1),
-            anc_upper: AncestryLabel { pre: 0, last: 9, comp: 0 },
-            anc_lower: AncestryLabel { pre, last: pre, comp: 0 },
+            anc_upper: AncestryLabel {
+                pre: 0,
+                last: 9,
+                comp: 0,
+            },
+            anc_lower: AncestryLabel {
+                pre,
+                last: pre,
+                comp: 0,
+            },
             vec: RsVector::zero(1, 1),
         };
         let e1 = mk(1);
@@ -457,7 +174,10 @@ mod tests {
         let faults = [&e1, &e2, &e3];
         assert_eq!(
             connected(&s, &t, &faults),
-            Err(QueryError::TooManyFaults { supplied: 3, budget: 2 })
+            Err(QueryError::TooManyFaults {
+                supplied: 3,
+                budget: 2
+            })
         );
         // Duplicates collapse below the budget.
         let dup = [&e1, &e1, &e2];

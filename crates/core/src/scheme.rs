@@ -50,14 +50,14 @@ pub struct BuildDiagnostics {
 /// # Example
 ///
 /// ```
-/// use ftc_core::{connected, FtcScheme, Params};
+/// use ftc_core::{FtcScheme, Params};
 /// use ftc_graph::Graph;
 ///
 /// let g = Graph::grid(3, 3);
 /// let scheme = FtcScheme::build(&g, &Params::deterministic(2)).unwrap();
 /// let l = scheme.labels();
-/// let faults = [l.edge_label(0, 1).unwrap()];
-/// assert!(connected(l.vertex_label(0), l.vertex_label(8), &faults).unwrap());
+/// let session = l.session([l.edge_label(0, 1).unwrap()]).unwrap();
+/// assert!(session.connected(l.vertex_label(0), l.vertex_label(8)).unwrap());
 /// ```
 #[derive(Clone, Debug)]
 pub struct FtcScheme {
@@ -76,11 +76,7 @@ impl FtcScheme {
     /// * [`BuildError::GraphTooLarge`] if the auxiliary graph exceeds the
     ///   2³¹-vertex encoding limit.
     pub fn build(g: &Graph, params: &Params) -> Result<FtcScheme, BuildError> {
-        if g.n() == 0 {
-            // Degenerate but well-defined: an empty labeling.
-            let t = RootedTree::bfs(g, 0);
-            return Self::build_with_tree(g, &t, params);
-        }
+        // `RootedTree::bfs` handles the empty graph, so no special case.
         let t = RootedTree::bfs(g, 0);
         Self::build_with_tree(g, &t, params)
     }
@@ -120,9 +116,7 @@ impl FtcScheme {
         let k = match params.threshold {
             ThresholdPolicy::Fixed(k) => k.max(1),
             ThresholdPolicy::Theory => match params.backend {
-                HierarchyBackend::Sampling { .. } => {
-                    sampling_threshold(params.f, aux.aux_n).max(1)
-                }
+                HierarchyBackend::Sampling { .. } => sampling_threshold(params.f, aux.aux_n).max(1),
                 _ => (pieces * hierarchy.max_threshold).max(1),
             },
         };
@@ -144,14 +138,13 @@ impl FtcScheme {
             .collect();
 
         let mut edge_labels = Vec::with_capacity(g.m());
-        for e in 0..g.m() {
-            let lower = aux.sigma_lower[e];
+        for (&lower, vec_data) in aux.sigma_lower.iter().zip(&edge_vec_data).take(g.m()) {
             let upper = aux.tree.parent(lower).expect("σ(e) lower has a parent");
             edge_labels.push(EdgeLabel {
                 header,
                 anc_upper: aux.anc[upper],
                 anc_lower: aux.anc[lower],
-                vec: RsVector::from_raw(k, edge_vec_data[e].clone()),
+                vec: RsVector::from_raw(k, vec_data.clone()),
             });
         }
 
@@ -275,7 +268,6 @@ fn labeling_tag(g: &Graph, params: &Params, k: usize) -> u64 {
 mod tests {
     use super::*;
     use crate::error::QueryError;
-    use crate::query::connected;
     use ftc_graph::connectivity::connected_avoiding;
 
     /// Exhaustively checks every (s, t, F) query with |F| ≤ f against the
@@ -299,13 +291,20 @@ mod tests {
             _ => panic!("test helper supports f <= 2"),
         };
         for fset in &fault_sets {
-            let labels: Vec<_> = fset.iter().map(|&e| l.edge_label_by_id(e)).collect();
+            let session = l
+                .session(fset.iter().map(|&e| l.edge_label_by_id(e)))
+                .unwrap_or_else(|e| panic!("session for {fset:?} failed: {e}"));
             for s in 0..g.n() {
                 for t in 0..g.n() {
-                    let got = connected(l.vertex_label(s), l.vertex_label(t), &labels)
+                    let got = session
+                        .connected(l.vertex_label(s), l.vertex_label(t))
                         .unwrap_or_else(|e| panic!("query ({s},{t},{fset:?}) failed: {e}"));
                     let want = connected_avoiding(g, s, t, fset);
-                    assert_eq!(got, want, "({s},{t},F={fset:?}) backend {:?}", params.backend);
+                    assert_eq!(
+                        got, want,
+                        "({s},{t},F={fset:?}) backend {:?}",
+                        params.backend
+                    );
                 }
             }
         }
@@ -349,7 +348,11 @@ mod tests {
         let g = Graph::new(1);
         let scheme = FtcScheme::build(&g, &Params::deterministic(1)).unwrap();
         let l = scheme.labels();
-        assert_eq!(connected::<RsVector>(l.vertex_label(0), l.vertex_label(0), &[]), Ok(true));
+        let session = l.session([] as [&EdgeLabel<RsVector>; 0]).unwrap();
+        assert_eq!(
+            session.connected(l.vertex_label(0), l.vertex_label(0)),
+            Ok(true)
+        );
         let g0 = Graph::new(0);
         assert!(FtcScheme::build(&g0, &Params::deterministic(1)).is_ok());
     }
@@ -375,17 +378,20 @@ mod tests {
         // the integration tests; this keeps the unit test fast).
         for a in (0..g.m()).step_by(3) {
             for b in ((a + 1)..g.m()).step_by(2) {
-                let faults = [l.edge_label_by_id(a), l.edge_label_by_id(b)];
-                for s in (0..g.n()).step_by(2) {
-                    for t in (s + 1)..g.n() {
-                        match connected(l.vertex_label(s), l.vertex_label(t), &faults) {
-                            Ok(got) => {
+                let queries = (g.n() / 2 + g.n() % 2) * g.n();
+                match l.session([l.edge_label_by_id(a), l.edge_label_by_id(b)]) {
+                    Err(QueryError::OutdetectFailed) => failures += queries,
+                    Err(e) => panic!("unexpected error {e}"),
+                    Ok(session) => {
+                        for s in (0..g.n()).step_by(2) {
+                            for t in (s + 1)..g.n() {
+                                let got = session
+                                    .connected(l.vertex_label(s), l.vertex_label(t))
+                                    .expect("headers match");
                                 if got != connected_avoiding(&g, s, t, &[a, b]) {
                                     wrong += 1;
                                 }
                             }
-                            Err(QueryError::OutdetectFailed) => failures += 1,
-                            Err(e) => panic!("unexpected error {e}"),
                         }
                     }
                 }
@@ -394,7 +400,10 @@ mod tests {
         assert_eq!(wrong, 0, "calibrated mode must fail cleanly, never lie");
         // k=16 is generous for this instance; expect few or no failures.
         let total = g.m() / 3 * (g.m() / 2) * g.n() / 2 * g.n();
-        assert!(failures * 20 < total.max(1), "failure rate too high: {failures}/{total}");
+        assert!(
+            failures * 20 < total.max(1),
+            "failure rate too high: {failures}/{total}"
+        );
     }
 
     #[test]
@@ -430,11 +439,11 @@ mod tests {
         assert_ne!(s1.labels().header().tag, s2.labels().header().tag);
         assert_ne!(s1.labels().header().tag, s3.labels().header().tag);
         // Mixing labels across labelings is rejected.
-        let r = connected(
-            s1.labels().vertex_label(0),
-            s2.labels().vertex_label(1),
-            &[] as &[&EdgeLabel<RsVector>],
-        );
+        let session = s1
+            .labels()
+            .session([] as [&EdgeLabel<RsVector>; 0])
+            .unwrap();
+        let r = session.connected(s1.labels().vertex_label(0), s2.labels().vertex_label(1));
         assert_eq!(r, Err(QueryError::MismatchedLabels));
     }
 }

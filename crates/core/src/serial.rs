@@ -1,13 +1,18 @@
-//! Byte-level label serialization.
+//! Byte-level label serialization and zero-copy label views.
 //!
 //! Labels are *the* artifact of a labeling scheme: they must be storable,
 //! shippable, and decodable with no access to the graph. This module
 //! provides a compact little-endian layout for the deterministic scheme's
-//! labels and is used by the integration tests to demonstrate decoder
-//! universality (serialize → drop the graph → deserialize → query).
+//! labels, plus [`VertexLabelView`] / [`EdgeLabelView`] — validated
+//! borrowed views implementing the label-read traits directly over the
+//! serialized bytes, so a decoder ([`crate::session::QuerySession`]) can
+//! answer queries straight from stored or transmitted label bytes without
+//! materializing owned labels.
 
 use crate::ancestry::AncestryLabel;
-use crate::labels::{EdgeLabel, LabelHeader, RsVector, VertexLabel};
+use crate::labels::{
+    EdgeLabel, EdgeLabelRead, LabelHeader, RsVector, VertexLabel, VertexLabelRead,
+};
 use ftc_field::Gf64;
 
 const VERTEX_MAGIC: u16 = 0x4656; // "FV"
@@ -161,7 +166,7 @@ pub fn edge_from_bytes(bytes: &[u8]) -> Result<EdgeLabel<RsVector>, SerialError>
     let anc_lower = read_anc(&mut r)?;
     let k = r.u32()? as usize;
     let len = r.u32()? as usize;
-    if k > 0 && len % (2 * k) != 0 {
+    if k > 0 && !len.is_multiple_of(2 * k) {
         return Err(SerialError::Malformed);
     }
     let mut data = Vec::with_capacity(len);
@@ -233,6 +238,173 @@ pub fn compact_edge_from_bytes(bytes: &[u8]) -> Result<EdgeLabel<RsVector>, Seri
     })
 }
 
+// ---------------------------------------------------------------------------
+// Zero-copy views
+// ---------------------------------------------------------------------------
+
+// Fixed field offsets of the serialized layouts (little-endian).
+const HEADER_BYTES: usize = 4 + 4 + 8;
+const ANC_BYTES: usize = 3 * 4;
+const VERTEX_TOTAL_BYTES: usize = 2 + HEADER_BYTES + ANC_BYTES;
+const EDGE_WORDS_OFFSET: usize = 2 + HEADER_BYTES + 2 * ANC_BYTES + 4 + 4;
+
+fn read_u32_at(buf: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes(buf[at..at + 4].try_into().unwrap())
+}
+
+fn read_u64_at(buf: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes(buf[at..at + 8].try_into().unwrap())
+}
+
+fn read_header_at(buf: &[u8], at: usize) -> LabelHeader {
+    LabelHeader {
+        f: read_u32_at(buf, at),
+        aux_n: read_u32_at(buf, at + 4),
+        tag: read_u64_at(buf, at + 8),
+    }
+}
+
+fn read_anc_at(buf: &[u8], at: usize) -> AncestryLabel {
+    AncestryLabel {
+        pre: read_u32_at(buf, at),
+        last: read_u32_at(buf, at + 4),
+        comp: read_u32_at(buf, at + 8),
+    }
+}
+
+/// A validated zero-copy view of a serialized vertex label
+/// ([`vertex_to_bytes`] layout). Implements
+/// [`VertexLabelRead`], so it can be passed to
+/// [`crate::session::QuerySession::connected`] directly — no owned
+/// [`VertexLabel`] is ever materialized.
+#[derive(Clone, Copy, Debug)]
+pub struct VertexLabelView<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> VertexLabelView<'a> {
+    /// Validates magic and length over the borrowed bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`SerialError::Malformed`] on bad magic, truncation, or trailing
+    /// bytes.
+    pub fn new(bytes: &'a [u8]) -> Result<VertexLabelView<'a>, SerialError> {
+        if bytes.len() != VERTEX_TOTAL_BYTES
+            || u16::from_le_bytes(bytes[..2].try_into().unwrap()) != VERTEX_MAGIC
+        {
+            return Err(SerialError::Malformed);
+        }
+        Ok(VertexLabelView { buf: bytes })
+    }
+
+    /// Copies the view out into an owned label.
+    pub fn to_label(&self) -> VertexLabel {
+        VertexLabel {
+            header: VertexLabelRead::header(self),
+            anc: VertexLabelRead::anc(self),
+        }
+    }
+}
+
+impl VertexLabelRead for VertexLabelView<'_> {
+    fn header(&self) -> LabelHeader {
+        read_header_at(self.buf, 2)
+    }
+
+    fn anc(&self) -> AncestryLabel {
+        read_anc_at(self.buf, 2 + HEADER_BYTES)
+    }
+}
+
+/// A validated zero-copy view of a serialized edge label of the
+/// deterministic scheme ([`edge_to_bytes`] layout). Implements
+/// [`EdgeLabelRead`]: the ancestry fields decode on demand, and the
+/// Reed–Solomon syndrome words XOR into a session's fragment accumulators
+/// straight out of the byte buffer — the `Vec<Gf64>` payload is never
+/// deserialized per label.
+#[derive(Clone, Copy, Debug)]
+pub struct EdgeLabelView<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> EdgeLabelView<'a> {
+    /// Validates magic, length consistency, and syndrome geometry over
+    /// the borrowed bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`SerialError::Malformed`] on bad magic, truncation, inconsistent
+    /// lengths, or trailing bytes.
+    pub fn new(bytes: &'a [u8]) -> Result<EdgeLabelView<'a>, SerialError> {
+        if bytes.len() < EDGE_WORDS_OFFSET
+            || u16::from_le_bytes(bytes[..2].try_into().unwrap()) != EDGE_MAGIC
+        {
+            return Err(SerialError::Malformed);
+        }
+        let k = read_u32_at(bytes, EDGE_WORDS_OFFSET - 8) as usize;
+        let len = read_u32_at(bytes, EDGE_WORDS_OFFSET - 4) as usize;
+        if k > 0 && !len.is_multiple_of(2 * k) {
+            return Err(SerialError::Malformed);
+        }
+        if bytes.len() != EDGE_WORDS_OFFSET + 8 * len {
+            return Err(SerialError::Malformed);
+        }
+        Ok(EdgeLabelView { buf: bytes })
+    }
+
+    /// The codec threshold `k` of the carried vector.
+    pub fn k(&self) -> usize {
+        read_u32_at(self.buf, EDGE_WORDS_OFFSET - 8) as usize
+    }
+
+    /// Number of syndrome words carried.
+    pub fn num_words(&self) -> usize {
+        read_u32_at(self.buf, EDGE_WORDS_OFFSET - 4) as usize
+    }
+
+    /// Iterates the raw little-endian syndrome words.
+    fn words(&self) -> impl ExactSizeIterator<Item = u64> + '_ {
+        let n = self.num_words();
+        (0..n).map(|i| read_u64_at(self.buf, EDGE_WORDS_OFFSET + 8 * i))
+    }
+
+    /// Copies the view out into an owned label.
+    pub fn to_label(&self) -> EdgeLabel<RsVector> {
+        EdgeLabel {
+            header: EdgeLabelRead::header(self),
+            anc_upper: self.anc_upper(),
+            anc_lower: self.anc_lower(),
+            vec: self.to_vector(),
+        }
+    }
+}
+
+impl EdgeLabelRead for EdgeLabelView<'_> {
+    type Vector = RsVector;
+
+    fn header(&self) -> LabelHeader {
+        read_header_at(self.buf, 2)
+    }
+
+    fn anc_upper(&self) -> AncestryLabel {
+        read_anc_at(self.buf, 2 + HEADER_BYTES)
+    }
+
+    fn anc_lower(&self) -> AncestryLabel {
+        read_anc_at(self.buf, 2 + HEADER_BYTES + ANC_BYTES)
+    }
+
+    fn to_vector(&self) -> RsVector {
+        RsVector::from_raw(self.k(), self.words().map(Gf64::new).collect())
+    }
+
+    fn xor_vector_into(&self, acc: &mut RsVector) {
+        assert_eq!(self.k(), acc.k(), "mixed thresholds");
+        acc.xor_in_raw_words(self.words());
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -271,7 +443,10 @@ mod tests {
         let g = Graph::cycle(4);
         let s = FtcScheme::build(&g, &Params::deterministic(1)).unwrap();
         let bytes = edge_to_bytes(s.labels().edge_label_by_id(0));
-        assert_eq!(edge_from_bytes(&bytes[..bytes.len() - 1]), Err(SerialError::Malformed));
+        assert_eq!(
+            edge_from_bytes(&bytes[..bytes.len() - 1]),
+            Err(SerialError::Malformed)
+        );
         // Trailing garbage.
         let mut extended = bytes.clone();
         extended.push(0);
@@ -280,7 +455,19 @@ mod tests {
 
     #[test]
     fn compact_round_trip_is_lossless() {
-        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (0, 3), (1, 4)]);
+        let g = Graph::from_edges(
+            6,
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 0),
+                (0, 3),
+                (1, 4),
+            ],
+        );
         let s = FtcScheme::build(&g, &Params::deterministic(2)).unwrap();
         for e in 0..g.m() {
             let l = s.labels().edge_label_by_id(e);
@@ -298,19 +485,18 @@ mod tests {
 
     #[test]
     fn compact_labels_answer_queries() {
-        use crate::query::connected;
         let g = Graph::cycle(7);
         let s = FtcScheme::build(&g, &Params::deterministic(2)).unwrap();
         let l = s.labels();
         let f0 = compact_edge_from_bytes(&edge_to_bytes_compact(l.edge_label_by_id(0))).unwrap();
         let f3 = compact_edge_from_bytes(&edge_to_bytes_compact(l.edge_label_by_id(3))).unwrap();
-        let faults = [&f0, &f3];
+        let session = l.session([&f0, &f3]).unwrap();
         assert_eq!(
-            connected(l.vertex_label(1), l.vertex_label(5), &faults),
+            session.connected(l.vertex_label(1), l.vertex_label(5)),
             Ok(false)
         );
         assert_eq!(
-            connected(l.vertex_label(1), l.vertex_label(2), &faults),
+            session.connected(l.vertex_label(1), l.vertex_label(2)),
             Ok(true)
         );
     }
@@ -321,5 +507,70 @@ mod tests {
         let s = FtcScheme::build(&g, &Params::deterministic(1)).unwrap();
         let vb = vertex_to_bytes(s.labels().vertex_label(0));
         assert_eq!(edge_from_bytes(&vb), Err(SerialError::Malformed));
+        assert!(EdgeLabelView::new(&vb).is_err());
+        let eb = edge_to_bytes(s.labels().edge_label_by_id(0));
+        assert!(VertexLabelView::new(&eb).is_err());
+    }
+
+    #[test]
+    fn views_agree_with_owned_decoding() {
+        let g = Graph::grid(3, 3);
+        let s = FtcScheme::build(&g, &Params::deterministic(2)).unwrap();
+        let l = s.labels();
+        for v in 0..g.n() {
+            let bytes = vertex_to_bytes(l.vertex_label(v));
+            let view = VertexLabelView::new(&bytes).unwrap();
+            assert_eq!(&view.to_label(), l.vertex_label(v));
+            assert_eq!(VertexLabelRead::header(&view), l.header());
+        }
+        for e in 0..g.m() {
+            let bytes = edge_to_bytes(l.edge_label_by_id(e));
+            let view = EdgeLabelView::new(&bytes).unwrap();
+            assert_eq!(&view.to_label(), l.edge_label_by_id(e));
+            // The zero-copy XOR path agrees with the owned vector.
+            let mut acc = view.to_vector();
+            view.xor_vector_into(&mut acc);
+            assert!(crate::labels::OutdetectVector::is_zero(&acc));
+        }
+    }
+
+    #[test]
+    fn views_reject_malformed_bytes() {
+        assert!(VertexLabelView::new(&[]).is_err());
+        assert!(EdgeLabelView::new(&[0x45, 0x46]).is_err());
+        let g = Graph::cycle(4);
+        let s = FtcScheme::build(&g, &Params::deterministic(1)).unwrap();
+        let bytes = edge_to_bytes(s.labels().edge_label_by_id(0));
+        assert!(EdgeLabelView::new(&bytes[..bytes.len() - 1]).is_err());
+        let mut extended = bytes.clone();
+        extended.push(0);
+        assert!(EdgeLabelView::new(&extended).is_err());
+        let vb = vertex_to_bytes(s.labels().vertex_label(0));
+        assert!(VertexLabelView::new(&vb[..vb.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn sessions_answer_straight_from_bytes() {
+        let g = Graph::cycle(7);
+        let s = FtcScheme::build(&g, &Params::deterministic(2)).unwrap();
+        let l = s.labels();
+        let fault_bytes: Vec<Vec<u8>> = [0usize, 3]
+            .iter()
+            .map(|&e| edge_to_bytes(l.edge_label_by_id(e)))
+            .collect();
+        let vertex_bytes: Vec<Vec<u8>> = (0..g.n())
+            .map(|v| vertex_to_bytes(l.vertex_label(v)))
+            .collect();
+        // Build the session from views only — no owned labels anywhere.
+        let views: Vec<EdgeLabelView> = fault_bytes
+            .iter()
+            .map(|b| EdgeLabelView::new(b).unwrap())
+            .collect();
+        let header = VertexLabelView::new(&vertex_bytes[0]).unwrap().header();
+        let session = crate::session::QuerySession::new(header, views).unwrap();
+        let vv = |v: usize| VertexLabelView::new(&vertex_bytes[v]).unwrap();
+        assert_eq!(session.connected(vv(1), vv(5)), Ok(false));
+        assert_eq!(session.connected(vv(1), vv(2)), Ok(true));
+        assert_eq!(session.connected(vv(4), vv(6)), Ok(true));
     }
 }

@@ -1,0 +1,747 @@
+//! Session-based querying: prepare a fault set once, answer millions of
+//! queries against it.
+//!
+//! The paper's related-work section observes that any f-FTC labeling is
+//! also a *centralized connectivity oracle*: fix a fault set `F` once, pay
+//! the Section 7.6 fragment-merging cost once, then answer every s–t query
+//! in constant time. [`QuerySession`] is that oracle, shaped for serving
+//! workloads:
+//!
+//! * construction performs the dedup/validation/fragment-splitting and
+//!   runs the heap-ordered merge engine (with its cutset bitvectors and
+//!   per-fragment outdetect accumulators) exactly once per affected
+//!   component;
+//! * [`QuerySession::connected`] then answers from two precomputed
+//!   lookup tables — point location into the laminar fragment family plus
+//!   a flattened union-find — performing **zero heap allocations per
+//!   query**;
+//! * [`QuerySession::certified`] additionally returns the merge
+//!   certificate as a borrowed slice, again without allocating;
+//! * fault inputs are generic: owned [`EdgeLabel`]s, references, or
+//!   zero-copy [`crate::serial::EdgeLabelView`]s straight over stored
+//!   bytes — anything implementing [`EdgeLabelRead`] — and vertex
+//!   arguments are anything implementing
+//!   [`crate::labels::VertexLabelRead`].
+//!
+//! The free functions [`crate::connected`] / [`crate::certified_connected`]
+//! and the old `oracle::BatchQuery` are thin (deprecated) wrappers over
+//! this type. Unlike `BatchQuery::new`, an **empty fault set is valid**:
+//! the session then answers via ancestry component equality.
+//!
+//! # Example
+//!
+//! ```
+//! use ftc_core::{FtcScheme, Params};
+//! use ftc_graph::Graph;
+//!
+//! let g = Graph::cycle(6);
+//! let scheme = FtcScheme::build(&g, &Params::deterministic(2)).unwrap();
+//! let l = scheme.labels();
+//!
+//! // One session per fault set, any number of queries.
+//! let faults = [l.edge_label(0, 1).unwrap(), l.edge_label(3, 4).unwrap()];
+//! let session = l.session(faults).unwrap();
+//! assert!(!session.connected(l.vertex_label(1), l.vertex_label(4)).unwrap());
+//! assert!(session.connected(l.vertex_label(1), l.vertex_label(3)).unwrap());
+//!
+//! // Empty fault sets are the common production case and are valid.
+//! let clean = l.session([] as [&ftc_core::EdgeLabel<ftc_core::RsVector>; 0]).unwrap();
+//! assert!(clean.connected(l.vertex_label(0), l.vertex_label(5)).unwrap());
+//! ```
+
+use crate::ancestry::AncestryLabel;
+use crate::auxgraph::AuxGraph;
+use crate::error::QueryError;
+use crate::fragments::{FragId, Fragments};
+use crate::labels::{
+    DetectOutcome, EdgeLabel, EdgeLabelRead, LabelHeader, LabelSet, OutdetectVector,
+    VertexLabelRead,
+};
+use ftc_graph::UnionFind;
+use std::borrow::Borrow;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::marker::PhantomData;
+
+/// The fully-merged state of one component containing faults.
+#[derive(Clone, Debug)]
+struct CompMerge {
+    /// Component ID (pre-order of the component root).
+    comp: u32,
+    /// Flattened union-find: final merged-set representative per fragment
+    /// slot (`0..num_cuts` = cut fragments, `num_cuts` = the component's
+    /// root fragment). Entries for other components' slots are unused.
+    root_of_slot: Vec<u32>,
+    /// Auxiliary-graph certificate edges (as `(pre, pre)` pairs), in the
+    /// order the engine merged along them.
+    cert: Vec<(u32, u32)>,
+}
+
+/// A prepared fault set: validates and fragments once, then answers any
+/// number of `s–t` queries with zero per-query heap allocation.
+///
+/// Create via [`LabelSet::session`] (owned labels) or
+/// [`QuerySession::new`] (any [`EdgeLabelRead`] implementor, including
+/// byte-level views). See the [module docs](self) for the full contract.
+#[derive(Clone, Debug)]
+pub struct QuerySession {
+    /// The shared labeling header; `None` when the session was inferred
+    /// from an empty fault set and accepts any single labeling.
+    header: Option<LabelHeader>,
+    /// Fragment decomposition of `T′ − F`.
+    frag: Fragments,
+    /// Per affected component (sorted by ID): merged connectivity state.
+    comps: Vec<CompMerge>,
+}
+
+impl QuerySession {
+    /// Prepares a session for `faults` under the labeling identified by
+    /// `header`. Accepts any iterable of [`EdgeLabelRead`] implementors —
+    /// owned labels, references, or serialized-byte views — deduplicates
+    /// them, and runs the merge engine to completion in every component
+    /// containing a fault. An empty fault set is valid.
+    ///
+    /// # Errors
+    ///
+    /// * [`QueryError::MismatchedLabels`] if a fault label's header
+    ///   differs from `header`;
+    /// * [`QueryError::TooManyFaults`] if more than `header.f` distinct
+    ///   faults are supplied;
+    /// * [`QueryError::OutdetectFailed`] on calibrated-threshold decode
+    ///   failures.
+    pub fn new<I>(header: LabelHeader, faults: I) -> Result<QuerySession, QueryError>
+    where
+        I: IntoIterator,
+        I::Item: EdgeLabelRead,
+    {
+        Self::build(Some(header), faults.into_iter().collect())
+    }
+
+    /// Like [`QuerySession::new`], inferring the header from the first
+    /// fault label. With an empty fault set the session has no header and
+    /// answers for any single labeling via component equality.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`QuerySession::new`].
+    pub fn from_faults<I>(faults: I) -> Result<QuerySession, QueryError>
+    where
+        I: IntoIterator,
+        I::Item: EdgeLabelRead,
+    {
+        let faults: Vec<I::Item> = faults.into_iter().collect();
+        let header = faults.first().map(EdgeLabelRead::header);
+        Self::build(header, faults)
+    }
+
+    fn build<E: EdgeLabelRead>(
+        header: Option<LabelHeader>,
+        mut faults: Vec<E>,
+    ) -> Result<QuerySession, QueryError> {
+        if let Some(h) = header {
+            if faults.iter().any(|e| e.header() != h) {
+                return Err(QueryError::MismatchedLabels);
+            }
+        }
+        // Deduplicate faults by σ(e)'s lower endpoint (unique per edge).
+        faults.sort_by_key(|e| e.anc_lower().pre);
+        faults.dedup_by_key(|e| e.anc_lower().pre);
+        if let Some(h) = header {
+            if faults.len() > h.f as usize {
+                return Err(QueryError::TooManyFaults {
+                    supplied: faults.len(),
+                    budget: h.f as usize,
+                });
+            }
+        }
+
+        let frag = Fragments::new(faults.iter().map(|e| e.anc_lower()).collect());
+        debug_assert_eq!(frag.num_cuts(), faults.len());
+
+        let mut comp_ids: Vec<u32> = frag.cuts().iter().map(|c| c.comp).collect();
+        comp_ids.sort_unstable();
+        comp_ids.dedup();
+
+        let aux_n = header.map_or(0, |h| h.aux_n as usize);
+        let mut comps = Vec::with_capacity(comp_ids.len());
+        for comp in comp_ids {
+            let (mut uf, cert) = Engine::new(&frag, &faults, aux_n, comp).exhaust()?;
+            let root_of_slot = (0..frag.num_cuts() + 1)
+                .map(|i| uf.find(i) as u32)
+                .collect();
+            comps.push(CompMerge {
+                comp,
+                root_of_slot,
+                cert,
+            });
+        }
+        Ok(QuerySession {
+            header,
+            frag,
+            comps,
+        })
+    }
+
+    /// Answers a query that needs no session at all: `Some(connected)`
+    /// for same-vertex or cross-component pairs, `None` when the full
+    /// decoder is required. Callers that must answer trivial queries
+    /// *before* fault validation (the historical free-function check
+    /// order: budget errors never block a trivially-decidable pair) call
+    /// this ahead of session construction.
+    ///
+    /// # Errors
+    ///
+    /// [`QueryError::MismatchedLabels`] if `s` and `t` belong to
+    /// different labelings.
+    pub fn trivial_answer<S, T>(s: &S, t: &T) -> Result<Option<bool>, QueryError>
+    where
+        S: VertexLabelRead,
+        T: VertexLabelRead,
+    {
+        if s.header() != t.header() {
+            return Err(QueryError::MismatchedLabels);
+        }
+        let (sa, ta) = (s.anc(), t.anc());
+        if !sa.same_component(&ta) {
+            return Ok(Some(false));
+        }
+        if sa.same_vertex(&ta) {
+            return Ok(Some(true));
+        }
+        Ok(None)
+    }
+
+    /// The labeling header this session validates queries against
+    /// (`None` only for header-less empty sessions from
+    /// [`QuerySession::from_faults`]).
+    pub fn header(&self) -> Option<LabelHeader> {
+        self.header
+    }
+
+    /// Number of distinct prepared faults.
+    pub fn num_faults(&self) -> usize {
+        self.frag.num_cuts()
+    }
+
+    /// The fragment decomposition of `T′ − F` (the routing layer expands
+    /// certificates against it).
+    pub fn fragments(&self) -> &Fragments {
+        &self.frag
+    }
+
+    /// Answers one s–t query in `O(log |F|)` time with zero heap
+    /// allocation.
+    ///
+    /// # Errors
+    ///
+    /// [`QueryError::MismatchedLabels`] if the vertex labels belong to a
+    /// different labeling than the prepared faults (or to two different
+    /// labelings).
+    pub fn connected<S, T>(&self, s: S, t: T) -> Result<bool, QueryError>
+    where
+        S: VertexLabelRead,
+        T: VertexLabelRead,
+    {
+        Ok(self.certified(s, t)?.is_some())
+    }
+
+    /// Like [`QuerySession::connected`], but returns the connectivity
+    /// certificate as a borrowed slice: the auxiliary-graph non-tree
+    /// edges (as `(pre, pre)` pairs) whose merges connect the fragments
+    /// of the queried component. Empty when `s` and `t` already share a
+    /// fragment of `T′ − F`; `None` when disconnected.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`QuerySession::connected`].
+    pub fn certified<S, T>(&self, s: S, t: T) -> Result<Option<&[(u32, u32)]>, QueryError>
+    where
+        S: VertexLabelRead,
+        T: VertexLabelRead,
+    {
+        if s.header() != t.header() || self.header.is_some_and(|h| h != s.header()) {
+            return Err(QueryError::MismatchedLabels);
+        }
+        let (sa, ta) = (s.anc(), t.anc());
+        if !sa.same_component(&ta) {
+            return Ok(None);
+        }
+        if sa.same_vertex(&ta) {
+            return Ok(Some(&[]));
+        }
+        let Some(cm) = self.comp_merge(sa.comp) else {
+            // No faults in this component: connectivity is untouched.
+            return Ok(Some(&[]));
+        };
+        let (ss, ts) = (self.slot(&sa), self.slot(&ta));
+        if ss == ts {
+            return Ok(Some(&[])); // same fragment: connected within T′ − F
+        }
+        if cm.root_of_slot[ss] == cm.root_of_slot[ts] {
+            Ok(Some(&cm.cert))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// The merged state of a component, by binary search (no allocation).
+    fn comp_merge(&self, comp: u32) -> Option<&CompMerge> {
+        self.comps
+            .binary_search_by_key(&comp, |c| c.comp)
+            .ok()
+            .map(|i| &self.comps[i])
+    }
+
+    /// Fragment slot of an ancestry label (`0..num_cuts` for cut
+    /// fragments, `num_cuts` for root fragments).
+    fn slot(&self, anc: &AncestryLabel) -> usize {
+        match self.frag.locate(anc) {
+            FragId::Cut(i) => i,
+            FragId::Root(_) => self.frag.num_cuts(),
+        }
+    }
+}
+
+/// Adapter making `Borrow<EdgeLabel<V>>` items usable as fault inputs.
+struct BorrowedFault<B, V>(B, PhantomData<fn() -> V>);
+
+impl<B: Borrow<EdgeLabel<V>>, V: OutdetectVector> EdgeLabelRead for BorrowedFault<B, V> {
+    type Vector = V;
+
+    fn header(&self) -> LabelHeader {
+        self.0.borrow().header
+    }
+
+    fn anc_upper(&self) -> AncestryLabel {
+        self.0.borrow().anc_upper
+    }
+
+    fn anc_lower(&self) -> AncestryLabel {
+        self.0.borrow().anc_lower
+    }
+
+    fn to_vector(&self) -> V {
+        self.0.borrow().vec.clone()
+    }
+
+    fn xor_vector_into(&self, acc: &mut V) {
+        acc.xor_in(&self.0.borrow().vec);
+    }
+}
+
+impl<V: OutdetectVector> LabelSet<V> {
+    /// Opens a [`QuerySession`] over this labeling for the given fault
+    /// set. Accepts owned labels, references, or anything else borrowing
+    /// an [`EdgeLabel`] — no more hand-built `&[&EdgeLabel]` slices. An
+    /// empty fault set is valid.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`QuerySession::new`].
+    pub fn session<I>(&self, faults: I) -> Result<QuerySession, QueryError>
+    where
+        I: IntoIterator,
+        I::Item: Borrow<EdgeLabel<V>>,
+    {
+        QuerySession::new(
+            self.header(),
+            faults
+                .into_iter()
+                .map(|b| BorrowedFault(b, PhantomData::<fn() -> V>)),
+        )
+    }
+}
+
+/// The Section 7.6 fragment-merging engine: processes fragments smallest
+/// tree boundary first, maintaining boundaries as XOR-able bitvectors and
+/// outdetect accumulators, until every fragment set is certified
+/// outgoing-edge-free. Records the merge certificate as it goes.
+struct Engine<'a, V: OutdetectVector> {
+    frag: &'a Fragments,
+    aux_n: usize,
+    comp: u32,
+    /// Per active fragment: tree-boundary bitvector over cut indices.
+    cutset: Vec<Vec<u64>>,
+    cut_count: Vec<usize>,
+    /// Per active fragment: outdetect vector (Proposition 4 XOR).
+    vec: Vec<Option<V>>,
+    version: Vec<u64>,
+    alive: Vec<bool>,
+    uf: UnionFind,
+    heap: BinaryHeap<Reverse<(usize, u64, usize)>>,
+}
+
+impl<'a, V: OutdetectVector> Engine<'a, V> {
+    fn new<E: EdgeLabelRead<Vector = V>>(
+        frag: &'a Fragments,
+        faults: &[E],
+        aux_n: usize,
+        comp: u32,
+    ) -> Self {
+        let nc = frag.num_cuts();
+        let total = nc + 1; // + the query component's root fragment
+        let words = nc.div_ceil(64).max(1);
+        let mut cutset = vec![vec![0u64; words]; total];
+        let mut cut_count = vec![0usize; total];
+        let mut vec: Vec<Option<V>> = vec![None; total];
+        let mut heap = BinaryHeap::new();
+
+        // Only fragments of this component participate: outgoing edges
+        // never leave a component.
+        let mut active: Vec<usize> = Vec::new();
+        for i in 0..nc {
+            if frag.cuts()[i].comp == comp {
+                active.push(i);
+            }
+        }
+        active.push(nc); // root fragment slot
+
+        for &id in &active {
+            let fid = if id == nc {
+                FragId::Root(comp)
+            } else {
+                FragId::Cut(id)
+            };
+            let boundary = frag.boundary(fid);
+            for &c in &boundary {
+                cutset[id][c / 64] ^= 1u64 << (c % 64);
+            }
+            cut_count[id] = boundary.len();
+            let mut acc: Option<V> = None;
+            for &c in &boundary {
+                match &mut acc {
+                    None => acc = Some(faults[c].to_vector()),
+                    Some(a) => faults[c].xor_vector_into(a),
+                }
+            }
+            vec[id] = acc;
+            heap.push(Reverse((cut_count[id], 0u64, id)));
+        }
+
+        Engine {
+            frag,
+            aux_n,
+            comp,
+            cutset,
+            cut_count,
+            vec,
+            version: vec![0; total],
+            alive: {
+                let mut a = vec![false; total];
+                for &id in &active {
+                    a[id] = true;
+                }
+                a
+            },
+            uf: UnionFind::new(total),
+            heap,
+        }
+    }
+
+    fn slot_of(&self, fid: FragId) -> Option<usize> {
+        match fid {
+            FragId::Cut(i) => {
+                if self.frag.cuts()[i].comp == self.comp {
+                    Some(i)
+                } else {
+                    None
+                }
+            }
+            FragId::Root(c) => {
+                if c == self.comp {
+                    Some(self.frag.num_cuts())
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Runs the merging loop to completion and returns the final
+    /// union-find over fragment slots plus the certificate edges in merge
+    /// order. Two vertices of this component are connected in `G − F` iff
+    /// their fragments share a final set.
+    fn exhaust(mut self) -> Result<(UnionFind, Vec<(u32, u32)>), QueryError> {
+        let mut cert: Vec<(u32, u32)> = Vec::new();
+        while let Some(Reverse((size, ver, id))) = self.heap.pop() {
+            // Skip stale heap entries.
+            if !self.alive[id]
+                || self.uf.find(id) != id
+                || self.version[id] != ver
+                || self.cut_count[id] != size
+            {
+                continue;
+            }
+            let outcome = match &self.vec[id] {
+                Some(v) => v.detect(),
+                // A fragment with an empty boundary (no faults at all in
+                // its component) has no outdetect data — and no outgoing
+                // edges, since it is the whole component.
+                None => DetectOutcome::Empty,
+            };
+            match outcome {
+                DetectOutcome::Failed => return Err(QueryError::OutdetectFailed),
+                DetectOutcome::Empty => {
+                    // Maximal component of G − F.
+                    self.alive[id] = false;
+                }
+                DetectOutcome::Edges(ids) => {
+                    let mut merged_any = false;
+                    for code_id in ids {
+                        let Some((pa, pb)) = AuxGraph::unpack_code_id(code_id, self.aux_n) else {
+                            return Err(QueryError::OutdetectFailed);
+                        };
+                        let fa = self
+                            .frag
+                            .locate_pre(pa)
+                            .map_or(FragId::Root(self.comp), FragId::Cut);
+                        let fb = self
+                            .frag
+                            .locate_pre(pb)
+                            .map_or(FragId::Root(self.comp), FragId::Cut);
+                        let (Some(sa), Some(sb)) = (self.slot_of(fa), self.slot_of(fb)) else {
+                            return Err(QueryError::OutdetectFailed);
+                        };
+                        let ra = self.uf.find(sa);
+                        let rb = self.uf.find(sb);
+                        if ra == rb {
+                            // Already merged via an earlier edge of this batch.
+                            continue;
+                        }
+                        let cur = self.uf.find(id);
+                        if ra != cur && rb != cur {
+                            // The detected edge does not touch the popped
+                            // fragment: only possible with a phantom decode
+                            // under a calibrated threshold.
+                            return Err(QueryError::OutdetectFailed);
+                        }
+                        self.merge(ra, rb);
+                        merged_any = true;
+                        cert.push((pa, pb));
+                    }
+                    if !merged_any {
+                        // Every decoded edge was internal: impossible for an
+                        // exact decode (outgoing edges cross the boundary),
+                        // so this is a phantom from a calibrated threshold.
+                        return Err(QueryError::OutdetectFailed);
+                    }
+                    let root = self.uf.find(id);
+                    self.version[root] += 1;
+                    self.heap
+                        .push(Reverse((self.cut_count[root], self.version[root], root)));
+                }
+            }
+        }
+        Ok((self.uf, cert))
+    }
+
+    /// Merges the fragment sets rooted at `ra` and `rb`: boundary bitvectors
+    /// XOR (symmetric difference — shared faults become interior), vectors
+    /// XOR (Proposition 4), union-find tracks membership.
+    fn merge(&mut self, ra: usize, rb: usize) {
+        debug_assert!(ra != rb);
+        self.uf.union(ra, rb);
+        let root = self.uf.find(ra);
+        let other = if root == ra { rb } else { ra };
+        debug_assert!(root == ra || root == rb);
+        // XOR boundary bitvectors.
+        let (dst, src) = if root < other {
+            let (a, b) = self.cutset.split_at_mut(other);
+            (&mut a[root], &b[0])
+        } else {
+            let (a, b) = self.cutset.split_at_mut(root);
+            (&mut b[0], &a[other])
+        };
+        let mut count = 0usize;
+        for (d, s) in dst.iter_mut().zip(src) {
+            *d ^= s;
+            count += d.count_ones() as usize;
+        }
+        self.cut_count[root] = count;
+        // XOR outdetect vectors.
+        let moved = self.vec[other].take();
+        match (&mut self.vec[root], moved) {
+            (Some(a), Some(b)) => a.xor_in(&b),
+            (slot @ None, Some(b)) => *slot = Some(b),
+            _ => {}
+        }
+        self.alive[root] = true;
+        self.alive[other] = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::Params;
+    use crate::scheme::FtcScheme;
+    use ftc_graph::connectivity::connected_avoiding;
+    use ftc_graph::{generators, Graph};
+
+    #[test]
+    fn session_matches_oracle_across_fault_sets() {
+        let g = generators::random_connected(24, 30, 3);
+        let scheme = FtcScheme::build(&g, &Params::deterministic(2)).unwrap();
+        let l = scheme.labels();
+        for seed in 0..20u64 {
+            let fset = generators::random_fault_set(&g, 2, seed);
+            let session = l
+                .session(fset.iter().map(|&e| l.edge_label_by_id(e)))
+                .unwrap();
+            for s in 0..g.n() {
+                for t in 0..g.n() {
+                    let got = session
+                        .connected(l.vertex_label(s), l.vertex_label(t))
+                        .unwrap();
+                    assert_eq!(
+                        got,
+                        connected_avoiding(&g, s, t, &fset),
+                        "({s},{t},{fset:?})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_fault_set_answers_component_equality() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (3, 4)]);
+        let scheme = FtcScheme::build(&g, &Params::deterministic(1)).unwrap();
+        let l = scheme.labels();
+        let session = l
+            .session([] as [&EdgeLabel<crate::labels::RsVector>; 0])
+            .unwrap();
+        assert_eq!(session.num_faults(), 0);
+        assert!(session
+            .connected(l.vertex_label(0), l.vertex_label(2))
+            .unwrap());
+        assert!(!session
+            .connected(l.vertex_label(0), l.vertex_label(3))
+            .unwrap());
+        assert!(session
+            .connected(l.vertex_label(3), l.vertex_label(3))
+            .unwrap());
+    }
+
+    #[test]
+    fn session_accepts_owned_refs_and_duplicates() {
+        let g = Graph::cycle(6);
+        let scheme = FtcScheme::build(&g, &Params::deterministic(2)).unwrap();
+        let l = scheme.labels();
+        let e0 = l.edge_label(0, 1).unwrap();
+        let e3 = l.edge_label(3, 4).unwrap();
+
+        // By reference, with duplicates collapsing below the budget.
+        let by_ref = l.session([e0, e0, e3]).unwrap();
+        assert_eq!(by_ref.num_faults(), 2);
+        // By value.
+        let by_val = l.session([e0.clone(), e3.clone()]).unwrap();
+        // From a Vec of references.
+        let by_vec = l.session(vec![e0, e3]).unwrap();
+        for s in 0..6 {
+            for t in 0..6 {
+                let a = by_ref
+                    .connected(l.vertex_label(s), l.vertex_label(t))
+                    .unwrap();
+                assert_eq!(
+                    a,
+                    by_val
+                        .connected(l.vertex_label(s), l.vertex_label(t))
+                        .unwrap()
+                );
+                assert_eq!(
+                    a,
+                    by_vec
+                        .connected(l.vertex_label(s), l.vertex_label(t))
+                        .unwrap()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn session_rejects_mismatched_and_oversized() {
+        let g = Graph::cycle(5);
+        let s1 = FtcScheme::build(&g, &Params::deterministic(1)).unwrap();
+        let s2 = FtcScheme::build(&g, &Params::deterministic(2)).unwrap();
+        let e1 = s1.labels().edge_label_by_id(0);
+        let e2 = s2.labels().edge_label_by_id(1);
+        assert_eq!(
+            QuerySession::from_faults([e1, e2]).unwrap_err(),
+            QueryError::MismatchedLabels
+        );
+        let f1 = s1.labels().edge_label_by_id(0);
+        let f2 = s1.labels().edge_label_by_id(1);
+        match s1.labels().session([f1, f2]) {
+            Err(QueryError::TooManyFaults {
+                supplied: 2,
+                budget: 1,
+            }) => {}
+            other => panic!("expected budget violation, got {other:?}"),
+        }
+        // Vertex labels from another labeling are rejected at query time.
+        let session = s1.labels().session([f1]).unwrap();
+        assert_eq!(
+            session.connected(s2.labels().vertex_label(0), s2.labels().vertex_label(1)),
+            Err(QueryError::MismatchedLabels)
+        );
+        assert_eq!(
+            session.connected(s1.labels().vertex_label(0), s2.labels().vertex_label(1)),
+            Err(QueryError::MismatchedLabels)
+        );
+    }
+
+    #[test]
+    fn certificates_connect_queried_fragments() {
+        let g = Graph::torus(4, 4);
+        let scheme = FtcScheme::build(&g, &Params::deterministic(3)).unwrap();
+        let l = scheme.labels();
+        let faults = [
+            l.edge_label(0, 1).unwrap(),
+            l.edge_label(0, 4).unwrap(),
+            l.edge_label(0, 12).unwrap(),
+        ];
+        let session = l.session(faults).unwrap();
+        // The torus is 4-edge-connected: always connected under 3 faults.
+        let cert = session
+            .certified(l.vertex_label(0), l.vertex_label(10))
+            .unwrap()
+            .expect("torus stays connected");
+        // Same-fragment queries yield empty certificates.
+        let trivial = session
+            .certified(l.vertex_label(5), l.vertex_label(5))
+            .unwrap()
+            .unwrap();
+        assert!(trivial.is_empty());
+        // Certificate endpoints must be valid pre-orders of the labeling.
+        for &(pa, pb) in cert {
+            assert!((pa as usize) < l.header().aux_n as usize);
+            assert!((pb as usize) < l.header().aux_n as usize);
+        }
+    }
+
+    #[test]
+    fn multi_component_graphs_are_handled() {
+        let g = Graph::from_edges(7, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]);
+        let scheme = FtcScheme::build(&g, &Params::deterministic(2)).unwrap();
+        let l = scheme.labels();
+        let session = l
+            .session([l.edge_label(0, 1).unwrap(), l.edge_label(3, 4).unwrap()])
+            .unwrap();
+        assert!(session
+            .connected(l.vertex_label(0), l.vertex_label(1))
+            .unwrap());
+        assert!(session
+            .connected(l.vertex_label(3), l.vertex_label(5))
+            .unwrap());
+        assert!(!session
+            .connected(l.vertex_label(0), l.vertex_label(3))
+            .unwrap());
+        assert!(!session
+            .connected(l.vertex_label(0), l.vertex_label(6))
+            .unwrap());
+        assert!(session
+            .connected(l.vertex_label(6), l.vertex_label(6))
+            .unwrap());
+    }
+}

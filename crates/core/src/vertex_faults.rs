@@ -11,7 +11,7 @@
 
 use crate::error::QueryError;
 use crate::labels::{EdgeLabel, LabelSet, OutdetectVector, VertexLabel};
-use crate::query::connected;
+use crate::session::QuerySession;
 use ftc_graph::{Graph, VertexId};
 
 /// The vertex-fault label of a vertex: its own label plus the labels of
@@ -67,7 +67,7 @@ pub fn vertex_fault_labels<V: OutdetectVector>(
 ///   edges exceed the underlying edge-fault budget — the fundamental
 ///   limitation of this reduction the paper points out (`Δ` can be
 ///   `Ω(n)`);
-/// * other [`QueryError`]s as for [`connected`].
+/// * other [`QueryError`]s as for [`QuerySession::new`].
 pub fn connected_avoiding_vertices<V: OutdetectVector>(
     s: &VertexLabel,
     t: &VertexLabel,
@@ -79,9 +79,21 @@ pub fn connected_avoiding_vertices<V: OutdetectVector>(
     {
         return Ok(false);
     }
-    let edge_faults: Vec<&EdgeLabel<V>> =
-        failed.iter().flat_map(|f| f.incident.iter()).collect();
-    connected(s, t, &edge_faults)
+    // Match the original free-function decoder's check order: header
+    // validation, then the trivial early returns (which need no session
+    // and must not be blocked by budget enforcement), then the session.
+    if failed
+        .iter()
+        .flat_map(|f| f.incident.iter())
+        .any(|e| e.header != s.header)
+    {
+        return Err(QueryError::MismatchedLabels);
+    }
+    if let Some(answer) = QuerySession::trivial_answer(s, t)? {
+        return Ok(answer);
+    }
+    let edge_faults = failed.iter().flat_map(|f| f.incident.iter());
+    QuerySession::new(s.header, edge_faults)?.connected(s, t)
 }
 
 /// Convenience wrapper answering by vertex IDs against a labeling.
@@ -162,7 +174,10 @@ mod tests {
         let l = scheme.labels();
         let vf = vertex_fault_labels(&g, l);
         match query_vertex_faults(l, &vf, 0, 1, &[2]) {
-            Err(QueryError::TooManyFaults { supplied: 5, budget: 4 }) => {}
+            Err(QueryError::TooManyFaults {
+                supplied: 5,
+                budget: 4,
+            }) => {}
             other => panic!("expected budget violation, got {other:?}"),
         }
     }
@@ -185,6 +200,34 @@ mod tests {
         for (v, label) in vf.iter().enumerate() {
             assert_eq!(label.incident.len(), g.degree(v));
             assert!(label.bits() > label.vertex.bits());
+        }
+    }
+
+    #[test]
+    fn trivial_queries_answer_before_budget_enforcement() {
+        // A star plus an isolated vertex: the hub has degree 6 > budget 4,
+        // but same-vertex and cross-component queries must still answer
+        // (the pre-session decoder's check order).
+        let g = Graph::from_edges(8, &[(0, 1), (0, 2), (0, 3), (0, 4), (0, 5), (0, 6)]);
+        let scheme = FtcScheme::build(&g, &Params::deterministic(4)).unwrap();
+        let l = scheme.labels();
+        let vf = vertex_fault_labels(&g, l);
+        assert_eq!(query_vertex_faults(l, &vf, 1, 1, &[0]), Ok(true));
+        assert_eq!(query_vertex_faults(l, &vf, 1, 7, &[0]), Ok(false));
+        // …but mixed labelings are still rejected before the early returns.
+        let other = FtcScheme::build(&g, &Params::deterministic(3)).unwrap();
+        let other_vf = vertex_fault_labels(&g, other.labels());
+        assert_eq!(
+            query_vertex_faults(l, &other_vf, 1, 1, &[0]),
+            Err(QueryError::MismatchedLabels)
+        );
+        // Non-trivial queries still report the budget violation.
+        match query_vertex_faults(l, &vf, 1, 2, &[0]) {
+            Err(QueryError::TooManyFaults {
+                supplied: 6,
+                budget: 4,
+            }) => {}
+            other => panic!("expected budget violation, got {other:?}"),
         }
     }
 

@@ -97,10 +97,10 @@ proptest! {
         let scheme = FtcScheme::build(&g, &Params::deterministic(2)).unwrap();
         let l = scheme.labels();
         let fset = generators::random_fault_set(&g, 2.min(g.m()), fault_seed);
-        let labels: Vec<_> = fset.iter().map(|&e| l.edge_label_by_id(e)).collect();
+        let session = l.session(fset.iter().map(|&e| l.edge_label_by_id(e))).unwrap();
         for s in 0..g.n() {
             for t in 0..g.n() {
-                let got = ftc_core::connected(l.vertex_label(s), l.vertex_label(t), &labels).unwrap();
+                let got = session.connected(l.vertex_label(s), l.vertex_label(t)).unwrap();
                 prop_assert_eq!(got, connectivity::connected_avoiding(&g, s, t, &fset));
             }
         }

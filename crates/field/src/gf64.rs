@@ -101,13 +101,14 @@ impl Gf64 {
         let folded = Self::clmul(hi, MODULUS_LOW);
         let f_lo = folded as u64;
         let f_hi = (folded >> 64) as u64; // at most 4 bits survive
-        // … and fold the (tiny) spill a second time.
+                                          // … and fold the (tiny) spill a second time.
         let spill = Self::clmul(f_hi, MODULUS_LOW) as u64;
         lo ^ f_lo ^ spill
     }
 
     /// Field multiplication.
     #[inline]
+    #[allow(clippy::should_implement_trait)] // the `Mul` trait impl delegates here
     pub fn mul(self, rhs: Gf64) -> Gf64 {
         Gf64(Self::reduce(Self::clmul(self.0, rhs.0)))
     }
@@ -166,7 +167,7 @@ impl Gf64 {
         let mut term = self;
         for _ in 1..64 {
             term = term.square();
-            acc = acc + term;
+            acc += term;
         }
         debug_assert!(acc.0 <= 1, "trace must land in the prime subfield");
         acc.0
@@ -219,6 +220,7 @@ fn spread_bits(x: u64) -> u128 {
 impl Add for Gf64 {
     type Output = Gf64;
     #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // characteristic two: addition IS xor
     fn add(self, rhs: Gf64) -> Gf64 {
         Gf64(self.0 ^ rhs.0)
     }
@@ -226,6 +228,7 @@ impl Add for Gf64 {
 
 impl AddAssign for Gf64 {
     #[inline]
+    #[allow(clippy::suspicious_op_assign_impl)] // characteristic two: addition IS xor
     fn add_assign(&mut self, rhs: Gf64) {
         self.0 ^= rhs.0;
     }
@@ -234,14 +237,15 @@ impl AddAssign for Gf64 {
 impl Sub for Gf64 {
     type Output = Gf64;
     #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // characteristic two: sub coincides with add
     fn sub(self, rhs: Gf64) -> Gf64 {
-        // Characteristic two: subtraction coincides with addition.
         self + rhs
     }
 }
 
 impl SubAssign for Gf64 {
     #[inline]
+    #[allow(clippy::suspicious_op_assign_impl)] // characteristic two: sub coincides with add
     fn sub_assign(&mut self, rhs: Gf64) {
         *self += rhs;
     }
@@ -276,6 +280,7 @@ impl Div for Gf64 {
     ///
     /// Panics when dividing by zero.
     #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // division = multiply by inverse
     fn div(self, rhs: Gf64) -> Gf64 {
         self * rhs.inverse().expect("division by zero in GF(2^64)")
     }
@@ -411,13 +416,18 @@ mod tests {
         let mut y = 0xfedc_ba98_7654_3210u64;
         for _ in 0..2000 {
             assert_eq!(Gf64::clmul(x, y), Gf64::clmul_portable(x, y));
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             y ^= y << 13;
             y ^= y >> 7;
             y ^= y << 17;
         }
         assert_eq!(Gf64::clmul(0, 0), 0);
-        assert_eq!(Gf64::clmul(u64::MAX, u64::MAX), Gf64::clmul_portable(u64::MAX, u64::MAX));
+        assert_eq!(
+            Gf64::clmul(u64::MAX, u64::MAX),
+            Gf64::clmul_portable(u64::MAX, u64::MAX)
+        );
     }
 
     #[test]
@@ -449,7 +459,7 @@ mod tests {
         let mut acc = Gf64::ONE;
         for e in 0..32u64 {
             assert_eq!(x.pow(e), acc);
-            acc = acc * x;
+            acc *= x;
         }
     }
 
@@ -477,7 +487,7 @@ mod tests {
         let mut p = Gf64::X;
         for _ in 0..4096 {
             assert_ne!(p, Gf64::ONE);
-            p = p * Gf64::X;
+            p *= Gf64::X;
         }
     }
 

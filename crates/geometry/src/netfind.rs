@@ -136,7 +136,9 @@ mod tests {
     }
 
     fn spiral_points(n: u32) -> Vec<Point> {
-        (0..n).map(|i| Point::new(i, (i * 73 + 11) % (2 * n + 1))).collect()
+        (0..n)
+            .map(|i| Point::new(i, (i * 73 + 11) % (2 * n + 1)))
+            .collect()
     }
 
     #[test]

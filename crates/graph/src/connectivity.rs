@@ -163,10 +163,7 @@ mod tests {
     #[test]
     fn bridges_barbell() {
         // Two triangles joined by a single edge: only the joiner is a bridge.
-        let g = Graph::from_edges(
-            6,
-            &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)],
-        );
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)]);
         assert_eq!(bridges(&g), vec![6]);
     }
 }

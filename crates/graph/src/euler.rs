@@ -238,7 +238,10 @@ mod tests {
         let comp_b: Vec<_> = [3, 4, 5].iter().map(|&v| tour.coord(v)).collect();
         let a_max = comp_a.iter().max().unwrap();
         let b_min = comp_b.iter().min().unwrap();
-        assert!(a_max < b_min, "component ranges must be disjoint and ordered");
+        assert!(
+            a_max < b_min,
+            "component ranges must be disjoint and ordered"
+        );
     }
 
     #[test]

@@ -215,7 +215,10 @@ pub fn random_tree(n: usize, seed: u64) -> Graph {
 /// Panics if `n·d` is odd, `d == 0`, or no connected sample is found in 64
 /// attempts.
 pub fn random_regular(n: usize, d: usize, seed: u64) -> Graph {
-    assert!(d > 0 && n * d % 2 == 0, "n*d must be even, d positive");
+    assert!(
+        d > 0 && (n * d).is_multiple_of(2),
+        "n*d must be even, d positive"
+    );
     for attempt in 0..64u64 {
         let mut rng = StdRng::seed_from_u64(seed.wrapping_add(attempt));
         let mut stubs: Vec<VertexId> = (0..n).flat_map(|v| std::iter::repeat_n(v, d)).collect();

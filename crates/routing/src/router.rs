@@ -10,8 +10,7 @@
 //! subdivision vertices contracted back to original edges.
 
 use ftc_core::auxgraph::AuxGraph;
-use ftc_core::fragments::Fragments;
-use ftc_core::{certified_connected, BuildError, FtcScheme, Params, QueryError};
+use ftc_core::{BuildError, FtcScheme, Params, QueryError};
 use ftc_graph::{EdgeId, Graph, RootedTree, VertexId};
 use std::collections::VecDeque;
 use std::fmt;
@@ -127,20 +126,23 @@ impl ForbiddenSetRouter {
             return Err(RouteError::BadEdge(e));
         }
         let l = self.scheme.labels();
-        let fault_labels: Vec<_> = faults.iter().map(|&e| l.edge_label_by_id(e)).collect();
-        let Some(cert) = certified_connected(l.vertex_label(s), l.vertex_label(t), &fault_labels)?
-        else {
+        // Trivial queries answer before the session's budget enforcement,
+        // matching the original decoder's check order.
+        match ftc_core::QuerySession::trivial_answer(l.vertex_label(s), l.vertex_label(t))? {
+            Some(false) => return Ok(None),
+            Some(true) => return Ok(Some(vec![s])),
+            None => {}
+        }
+        // One session per fault set: dedup/validation/fragment-splitting
+        // and the merge engine run once, and the session's fragment
+        // decomposition is reused below for path expansion.
+        let session = l.session(faults.iter().map(|&e| l.edge_label_by_id(e)))?;
+        let Some(cert) = session.certified(l.vertex_label(s), l.vertex_label(t))? else {
             return Ok(None);
         };
 
-        // Deduplicate faults the same way the decoder does, to reproduce
-        // its fragment structure.
-        let mut lowers: Vec<_> = faults.iter().map(|&e| self.aux.anc[self.aux.sigma_lower[e]]).collect();
-        lowers.sort_by_key(|a| a.pre);
-        lowers.dedup_by_key(|a| a.pre);
-        let frags = Fragments::new(lowers);
-
         // Fragment multigraph from the certificate edges.
+        let frags = session.fragments();
         let frag_of = |aux_v: VertexId| frags.locate(&self.aux.anc[aux_v]);
         let fs = frag_of(s);
         let ft = frag_of(t);
@@ -171,7 +173,7 @@ impl ForbiddenSetRouter {
             }
         };
         let mut adj: Vec<Vec<(usize, VertexId, VertexId)>> = vec![Vec::new(); 2];
-        for &(pa, pb) in &cert {
+        for &(pa, pb) in cert {
             let a = self.pre_to_aux[pa as usize];
             let b = self.pre_to_aux[pb as usize];
             let fa = index_of(frag_of(a), &mut frag_ids);
@@ -202,7 +204,10 @@ impl ForbiddenSetRouter {
                 }
             }
         }
-        assert!(visited[1], "certificate must connect the fragments of s and t");
+        assert!(
+            visited[1],
+            "certificate must connect the fragments of s and t"
+        );
 
         // Reconstruct hops ft <- ... <- fs, then expand forwards.
         let mut hops: Vec<Hop> = Vec::new();
@@ -241,10 +246,8 @@ impl ForbiddenSetRouter {
     fn contract(&self, aux_path: &[VertexId], faults: &[EdgeId]) -> Vec<VertexId> {
         let mut out: Vec<VertexId> = Vec::with_capacity(aux_path.len());
         for &v in aux_path {
-            if v < self.aux.orig_n {
-                if out.last() != Some(&v) {
-                    out.push(v);
-                }
+            if v < self.aux.orig_n && out.last() != Some(&v) {
+                out.push(v);
             }
             // Subdividers vanish; their neighbors are the original
             // endpoints of the subdivided edge.
@@ -365,6 +368,25 @@ mod tests {
         }
         assert!(worst >= 1.0);
         assert!(worst < 20.0, "stretch {worst} looks unbounded");
+    }
+
+    #[test]
+    fn trivial_routes_answer_before_budget_enforcement() {
+        // Two triangles, f = 1: two distinct faults exceed the budget, but
+        // self-routes and cross-component routes answer without touching it
+        // (the pre-session decoder's check order).
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]);
+        let router = ForbiddenSetRouter::new(&g, 1).unwrap();
+        assert_eq!(router.route(2, 2, &[0, 1]).unwrap(), Some(vec![2]));
+        assert_eq!(router.route(0, 4, &[0, 1]).unwrap(), None);
+        // Non-trivial routes still report the budget violation.
+        match router.route(0, 2, &[0, 1]) {
+            Err(RouteError::Query(QueryError::TooManyFaults {
+                supplied: 2,
+                budget: 1,
+            })) => {}
+            other => panic!("expected budget violation, got {other:?}"),
+        }
     }
 
     #[test]

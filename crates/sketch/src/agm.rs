@@ -112,8 +112,16 @@ impl AgmSketch {
 
 impl fmt::Debug for AgmSketch {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let nonzero = self.cells.iter().filter(|c| c.ids != 0 || c.fps != 0).count();
-        write!(f, "AgmSketch({} cells, {nonzero} nonzero)", self.cells.len())
+        let nonzero = self
+            .cells
+            .iter()
+            .filter(|c| c.ids != 0 || c.fps != 0)
+            .count();
+        write!(
+            f,
+            "AgmSketch({} cells, {nonzero} nonzero)",
+            self.cells.len()
+        )
     }
 }
 

@@ -41,7 +41,11 @@ pub fn random_halving_levels(count: usize, seed: u64) -> Vec<Vec<usize>> {
     let mut levels: Vec<Vec<usize>> = vec![(0..count).collect()];
     while !levels.last().expect("non-empty by construction").is_empty() {
         let prev = levels.last().unwrap();
-        let next: Vec<usize> = prev.iter().copied().filter(|_| rng.random::<bool>()).collect();
+        let next: Vec<usize> = prev
+            .iter()
+            .copied()
+            .filter(|_| rng.random::<bool>())
+            .collect();
         // Guard against the (exponentially unlikely) non-shrinking tail to
         // keep the hierarchy depth deterministic-in-expectation bounded.
         if next.len() == prev.len() && !next.is_empty() {

@@ -1,0 +1,415 @@
+//! Offline stand-in for the `proptest` property-testing crate.
+//!
+//! The build environment has no registry access, so this crate vendors the
+//! subset of proptest's API the workspace tests use: the [`proptest!`]
+//! macro, [`Strategy`] with [`Strategy::prop_map`], range and tuple
+//! strategies, [`any`], [`collection::vec`] / [`collection::btree_set`],
+//! `ProptestConfig::with_cases`, and the `prop_assert*` / `prop_assume!`
+//! macros. Cases are generated from a deterministic per-test RNG (seeded
+//! from the test name), so failures reproduce exactly; there is no
+//! shrinking. Swap the workspace `proptest` entry back to crates.io for
+//! the full engine.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::ops::{Range, RangeFrom, RangeInclusive};
+
+/// Deterministic case generator handed to strategies.
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Seeds the generator from a test identifier (FNV-1a of the name).
+    pub fn for_test(name: &str) -> TestRng {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng(StdRng::seed_from_u64(h))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// Rejection marker returned by `prop_assume!` failures.
+#[derive(Clone, Copy, Debug)]
+pub struct Rejected;
+
+/// The value-generation interface (subset: sampling plus `prop_map`).
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The [`Strategy::prop_map`] adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Integer types with uniform range strategies.
+pub trait RangedInt: Copy {
+    /// Uniform draw from `[lo, hi]`.
+    fn uniform(rng: &mut TestRng, lo: Self, hi: Self) -> Self;
+    /// The maximum value (upper bound of `lo..` strategies).
+    const MAX_VALUE: Self;
+}
+
+macro_rules! impl_ranged {
+    ($($t:ty),*) => {$(
+        impl RangedInt for $t {
+            fn uniform(rng: &mut TestRng, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "empty strategy range");
+                let span = (hi as u128).wrapping_sub(lo as u128).wrapping_add(1);
+                if span == 0 {
+                    // Full-width range: one raw draw is already uniform.
+                    let raw = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+                    return raw as $t;
+                }
+                let raw = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+                (lo as u128).wrapping_add(raw % span) as $t
+            }
+            const MAX_VALUE: Self = <$t>::MAX;
+        }
+    )*};
+}
+
+impl_ranged!(u8, u16, u32, u64, u128, usize);
+
+impl<T: RangedInt> Strategy for Range<T>
+where
+    T: std::ops::Sub<Output = T> + From<u8> + PartialOrd,
+{
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::uniform(rng, self.start, self.end - T::from(1u8))
+    }
+}
+
+impl<T: RangedInt> Strategy for RangeInclusive<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::uniform(rng, *self.start(), *self.end())
+    }
+}
+
+impl<T: RangedInt> Strategy for RangeFrom<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::uniform(rng, self.start, T::MAX_VALUE)
+    }
+}
+
+/// Types with a full-domain default strategy (subset of `Arbitrary`).
+pub trait ArbitraryValue {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl ArbitraryValue for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                <$t>::uniform(rng, 0, <$t>::MAX)
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, u128, usize);
+
+impl ArbitraryValue for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// The `any::<T>()` strategy.
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Full-domain strategy for `T`.
+pub fn any<T: ArbitraryValue>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: ArbitraryValue> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+
+/// Collection strategies (subset: `vec` and `btree_set`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::collections::BTreeSet;
+
+    /// Length ranges accepted by the collection strategies.
+    pub trait SizeRange {
+        /// Draws a target length.
+        fn sample_len(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for std::ops::Range<usize> {
+        fn sample_len(&self, rng: &mut TestRng) -> usize {
+            Strategy::sample(self, rng)
+        }
+    }
+
+    impl SizeRange for std::ops::RangeInclusive<usize> {
+        fn sample_len(&self, rng: &mut TestRng) -> usize {
+            Strategy::sample(self, rng)
+        }
+    }
+
+    impl SizeRange for usize {
+        fn sample_len(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `len`.
+    pub struct VecStrategy<S, L> {
+        element: S,
+        len: L,
+    }
+
+    /// `proptest::collection::vec`.
+    pub fn vec<S: Strategy, L: SizeRange>(element: S, len: L) -> VecStrategy<S, L> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy, L: SizeRange> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.sample_len(rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeSet<S::Value>` with a target size drawn from
+    /// `len` (best-effort under duplicate draws, like real proptest).
+    pub struct BTreeSetStrategy<S, L> {
+        element: S,
+        len: L,
+    }
+
+    /// `proptest::collection::btree_set`.
+    pub fn btree_set<S, L>(element: S, len: L) -> BTreeSetStrategy<S, L>
+    where
+        S: Strategy,
+        S::Value: Ord,
+        L: SizeRange,
+    {
+        BTreeSetStrategy { element, len }
+    }
+
+    impl<S, L> Strategy for BTreeSetStrategy<S, L>
+    where
+        S: Strategy,
+        S::Value: Ord,
+        L: SizeRange,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let target = self.len.sample_len(rng);
+            let mut out = BTreeSet::new();
+            let mut tries = 0usize;
+            while out.len() < target && tries < 64 * target.max(1) {
+                out.insert(self.element.sample(rng));
+                tries += 1;
+            }
+            out
+        }
+    }
+}
+
+/// Per-run configuration (subset: the case count).
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 32 }
+    }
+}
+
+/// Declares property tests: each function runs `cases` times with inputs
+/// drawn from its strategies. Failures report the case index; re-running
+/// is deterministic per test name.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@expand ($cfg) $($rest)*);
+    };
+    (@expand ($cfg:expr) $( $(#[doc = $doc:expr])* #[test] fn $name:ident ( $($pat:pat_param in $strat:expr),+ $(,)? ) $body:block )+ ) => {
+        $(
+            $(#[doc = $doc])*
+            #[test]
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::TestRng::for_test(concat!(module_path!(), "::", stringify!($name)));
+                for case in 0..config.cases {
+                    $(let $pat = $crate::Strategy::sample(&($strat), &mut rng);)+
+                    #[allow(clippy::redundant_closure_call)]
+                    let outcome: ::std::result::Result<(), $crate::Rejected> = (|| {
+                        $body
+                        Ok(())
+                    })();
+                    match outcome {
+                        Ok(()) => {}
+                        Err($crate::Rejected) => {
+                            let _ = case; // rejected by prop_assume!; draw a fresh case
+                            continue;
+                        }
+                    }
+                }
+            }
+        )+
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@expand ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a property (panics on failure; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond); };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+); };
+}
+
+/// Asserts equality inside a property (panics on failure; no shrinking).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b); };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+); };
+}
+
+/// Skips the current case when the assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::Rejected);
+        }
+    };
+}
+
+/// The glob-importable prelude, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assume, proptest};
+    pub use crate::{ProptestConfig, Strategy};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_and_any_sample_in_bounds() {
+        let mut rng = crate::TestRng::for_test("bounds");
+        for _ in 0..200 {
+            let x = Strategy::sample(&(3usize..10), &mut rng);
+            assert!((3..10).contains(&x));
+            let y = Strategy::sample(&(1u64..), &mut rng);
+            assert!(y >= 1);
+            let z = Strategy::sample(&(0u64..=4), &mut rng);
+            assert!(z <= 4);
+        }
+    }
+
+    #[test]
+    fn collections_hit_requested_sizes() {
+        let mut rng = crate::TestRng::for_test("sizes");
+        for _ in 0..50 {
+            let v = Strategy::sample(&collection::vec(any::<u64>(), 2..5), &mut rng);
+            assert!((2..5).contains(&v.len()));
+            let s = Strategy::sample(&collection::btree_set(1u64.., 3..=3usize), &mut rng);
+            assert_eq!(s.len(), 3);
+        }
+    }
+
+    #[test]
+    fn prop_map_composes() {
+        let mut rng = crate::TestRng::for_test("map");
+        let s = (1u64..100).prop_map(|x| x * 2);
+        for _ in 0..50 {
+            let v = Strategy::sample(&s, &mut rng);
+            assert_eq!(v % 2, 0);
+            assert!(v < 200);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn macro_draws_and_asserts(a in 0u64..50, b in 0u64..50) {
+            prop_assert!(a < 50 && b < 50);
+            prop_assert_eq!(a + b, b + a);
+        }
+
+        #[test]
+        fn macro_assume_rejects(a in 0u64..10) {
+            prop_assume!(a != 3);
+            prop_assert!(a != 3);
+        }
+    }
+}

@@ -6,7 +6,6 @@
 //! Run with: `cargo run --release --example congest_construction`
 
 use ftc::congest::{distributed_build, DistributedConfig};
-use ftc::core::connected;
 use ftc::graph::Graph;
 
 fn main() {
@@ -20,14 +19,23 @@ fn main() {
         println!("{name}: n = {}, m = {}", g.n(), g.m());
         println!(
             "  rounds: BFS {} | sizes {} | orders {} | outdetect {} | netfind(model) {} | total {}",
-            r.bfs, r.subtree_sizes, r.order_assignment, r.outdetect, r.netfind_model, r.total()
+            r.bfs,
+            r.subtree_sizes,
+            r.order_assignment,
+            r.outdetect,
+            r.netfind_model,
+            r.total()
         );
 
         // The distributedly constructed labels answer queries like any
         // centrally built labeling.
         let l = out.scheme.labels();
-        let faults = [l.edge_label_by_id(0), l.edge_label_by_id(1)];
-        let ok = connected(l.vertex_label(0), l.vertex_label(g.n() - 1), &faults).unwrap();
+        let session = l
+            .session([l.edge_label_by_id(0), l.edge_label_by_id(1)])
+            .unwrap();
+        let ok = session
+            .connected(l.vertex_label(0), l.vertex_label(g.n() - 1))
+            .unwrap();
         println!("  sanity query with 2 faults: connected = {ok}");
     }
 }

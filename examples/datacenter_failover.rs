@@ -8,7 +8,7 @@
 //!
 //! Run with: `cargo run --release --example datacenter_failover`
 
-use ftc::core::{connected, FtcScheme, Params, QueryError};
+use ftc::core::{FtcScheme, Params, QueryError};
 use ftc::graph::Graph;
 
 fn main() {
@@ -43,27 +43,29 @@ fn main() {
 
     // Scenario 1: three core uplinks of pod 0 fail — pod 0 still reaches
     // pod 3 through the remaining cores.
-    let faults: Vec<_> = (0..3)
-        .map(|c| labels.edge_label(agg(0), core(c)).expect("uplink"))
-        .collect();
-    let ok = connected(
-        labels.vertex_label(host(0, 0)),
-        labels.vertex_label(host(3, 1)),
-        &faults,
-    )
-    .unwrap();
+    let session = labels
+        .session((0..3).map(|c| labels.edge_label(agg(0), core(c)).expect("uplink")))
+        .unwrap();
+    let ok = session
+        .connected(
+            labels.vertex_label(host(0, 0)),
+            labels.vertex_label(host(3, 1)),
+        )
+        .unwrap();
     println!("3 uplinks of pod 0 down: host(0,0) ↔ host(3,1) = {ok}");
     assert!(ok);
 
     // Scenario 2: a host's access link fails — that host is cut off, the
     // rest of its pod is fine.
-    let access = [labels.edge_label(agg(2), host(2, 3)).expect("access link")];
-    let cut = connected(
-        labels.vertex_label(host(2, 3)),
-        labels.vertex_label(host(2, 0)),
-        &access,
-    )
-    .unwrap();
+    let access = labels
+        .session([labels.edge_label(agg(2), host(2, 3)).expect("access link")])
+        .unwrap();
+    let cut = access
+        .connected(
+            labels.vertex_label(host(2, 3)),
+            labels.vertex_label(host(2, 0)),
+        )
+        .unwrap();
     println!("access link of host(2,3) down: host(2,3) ↔ host(2,0) = {cut}");
     assert!(!cut);
 
@@ -78,19 +80,19 @@ fn main() {
                 continue;
             }
             for kill in 1..=f.min(pods - 1) {
-                let faults: Vec<_> = (0..kill)
-                    .map(|c| labels.edge_label(agg(p), core(c)).unwrap())
-                    .collect();
-                let refs: Vec<_> = faults.iter().copied().collect();
+                let session = labels
+                    .session((0..kill).map(|c| labels.edge_label(agg(p), core(c)).unwrap()))
+                    .unwrap_or_else(|e| match e {
+                        QueryError::TooManyFaults { .. } => unreachable!("kill <= f"),
+                        e => panic!("session failed: {e}"),
+                    });
                 queries += 1;
-                match connected(
+                match session.connected(
                     labels.vertex_label(host(p, 0)),
                     labels.vertex_label(host(q, 0)),
-                    &refs,
                 ) {
                     Ok(true) => tolerated += 1,
                     Ok(false) => {}
-                    Err(QueryError::TooManyFaults { .. }) => unreachable!("kill <= f"),
                     Err(e) => panic!("query failed: {e}"),
                 }
             }

@@ -19,10 +19,7 @@ fn main() {
     );
 
     // A concrete route around two failures.
-    let faults = vec![
-        g.find_edge(0, 1).unwrap(),
-        g.find_edge(0, 5).unwrap(),
-    ];
+    let faults = vec![g.find_edge(0, 1).unwrap(), g.find_edge(0, 5).unwrap()];
     let path = router.route(0, 12, &faults).unwrap().expect("connected");
     println!("route 0 → 12 avoiding links (0,1) and (0,5): {path:?}");
     let opt = connectivity::distance_avoiding(&g, 0, 12, &faults).unwrap();

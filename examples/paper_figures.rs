@@ -84,9 +84,9 @@ fn main() {
     // show that exactly the crossing chords land in the checkered region.
     let s_root = 4usize; // S = subtree of vertex 4 in T′
     let mut in_s = vec![false; aux.aux_n];
-    for v in 0..aux.aux_n {
+    for (v, flag) in in_s.iter_mut().enumerate() {
         if aux.tree.is_ancestor(s_root, v) {
-            in_s[v] = true;
+            *flag = true;
         }
     }
     let boundary = tour.boundary_directed_numbers(&aux.tree_graph, &aux.tree, &in_s);
@@ -110,7 +110,11 @@ fn main() {
             "  e{}' at {:?}: crossing = {crossing}, in region = {in_region}  {}",
             e + 1,
             point,
-            if crossing == in_region { "✓" } else { "✗ MISMATCH" }
+            if crossing == in_region {
+                "✓"
+            } else {
+                "✗ MISMATCH"
+            }
         );
         assert_eq!(crossing, in_region, "Lemma 3 must hold");
     }

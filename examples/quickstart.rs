@@ -4,7 +4,7 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use ftc::core::{connected, FtcScheme, Params};
+use ftc::core::{FtcScheme, Params};
 use ftc::graph::Graph;
 
 fn main() {
@@ -24,40 +24,50 @@ fn main() {
     let labels = scheme.labels();
 
     // Three faults around vertex 0 — the torus stays connected.
-    let faults = [
-        labels.edge_label(0, 1).expect("edge exists"),
-        labels.edge_label(0, 4).expect("edge exists"),
-        labels.edge_label(0, 12).expect("edge exists"),
-    ];
-    let ok = connected(labels.vertex_label(0), labels.vertex_label(10), &faults)
+    let session = labels
+        .session([
+            labels.edge_label(0, 1).expect("edge exists"),
+            labels.edge_label(0, 4).expect("edge exists"),
+            labels.edge_label(0, 12).expect("edge exists"),
+        ])
+        .expect("well-formed fault set");
+    let ok = session
+        .connected(labels.vertex_label(0), labels.vertex_label(10))
         .expect("well-formed query");
     println!("0 ↔ 10 with 3 faults around vertex 0: connected = {ok}");
     assert!(ok);
 
     // Cut all four edges of vertex 0? That needs f = 4; with our f = 3
     // budget the decoder reports the violation instead of guessing.
-    let too_many = [
-        labels.edge_label(0, 1).unwrap(),
-        labels.edge_label(0, 4).unwrap(),
-        labels.edge_label(0, 12).unwrap(),
-        labels.edge_label(0, 3).unwrap(),
-    ];
-    let err = connected(labels.vertex_label(0), labels.vertex_label(10), &too_many).unwrap_err();
+    let err = labels
+        .session([
+            labels.edge_label(0, 1).unwrap(),
+            labels.edge_label(0, 4).unwrap(),
+            labels.edge_label(0, 12).unwrap(),
+            labels.edge_label(0, 3).unwrap(),
+        ])
+        .unwrap_err();
     println!("four faults against an f = 3 labeling: {err}");
 
     // Rebuild with f = 4 and isolate vertex 0 for real.
     let scheme4 = FtcScheme::build(&g, &Params::deterministic(4)).expect("build");
     let l4 = scheme4.labels();
-    let isolate = [
-        l4.edge_label(0, 1).unwrap(),
-        l4.edge_label(0, 4).unwrap(),
-        l4.edge_label(0, 12).unwrap(),
-        l4.edge_label(0, 3).unwrap(),
-    ];
-    let ok = connected(l4.vertex_label(0), l4.vertex_label(10), &isolate).unwrap();
+    let isolate = l4
+        .session([
+            l4.edge_label(0, 1).unwrap(),
+            l4.edge_label(0, 4).unwrap(),
+            l4.edge_label(0, 12).unwrap(),
+            l4.edge_label(0, 3).unwrap(),
+        ])
+        .unwrap();
+    let ok = isolate
+        .connected(l4.vertex_label(0), l4.vertex_label(10))
+        .unwrap();
     println!("0 ↔ 10 with vertex 0 fully cut off: connected = {ok}");
     assert!(!ok);
-    let ok = connected(l4.vertex_label(5), l4.vertex_label(10), &isolate).unwrap();
+    let ok = isolate
+        .connected(l4.vertex_label(5), l4.vertex_label(10))
+        .unwrap();
     println!("5 ↔ 10 with the same faults: connected = {ok}");
     assert!(ok);
 }

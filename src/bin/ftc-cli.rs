@@ -12,8 +12,10 @@
 //! serialized labels into `<outdir>`; `query` answers connectivity **from
 //! the stored labels alone** — it never re-reads the graph.
 
-use ftc::core::serial::{edge_from_bytes, edge_to_bytes, vertex_from_bytes, vertex_to_bytes};
-use ftc::core::{connected, FtcScheme, HierarchyBackend, Params, ThresholdPolicy};
+use ftc::core::serial::{edge_to_bytes, vertex_to_bytes, EdgeLabelView, VertexLabelView};
+use ftc::core::{
+    FtcScheme, HierarchyBackend, Params, QuerySession, ThresholdPolicy, VertexLabelRead,
+};
 use ftc::graph::Graph;
 use std::fs;
 use std::io::{Read, Write};
@@ -50,14 +52,21 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
     let [graph_path, outdir] = positional.as_slice() else {
         return Err(usage());
     };
-    let f: usize = flag_value(&flags, "f").unwrap_or_else(|| "2".into()).parse().map_err(|_| "--f expects an integer")?;
+    let f: usize = flag_value(&flags, "f")
+        .unwrap_or_else(|| "2".into())
+        .parse()
+        .map_err(|_| "--f expects an integer")?;
     let backend = match flag_value(&flags, "backend").as_deref() {
         None | Some("epsnet") => HierarchyBackend::EpsNet,
         Some("greedy") => HierarchyBackend::GreedyRect,
         Some("sampling") => HierarchyBackend::Sampling { seed: 0xC11 },
         Some(other) => return Err(format!("unknown backend '{other}'")),
     };
-    let mut params = Params { f, backend, threshold: ThresholdPolicy::Theory };
+    let mut params = Params {
+        f,
+        backend,
+        threshold: ThresholdPolicy::Theory,
+    };
     if let Some(k) = flag_value(&flags, "k") {
         let k: usize = k.parse().map_err(|_| "--k expects an integer")?;
         params.threshold = ThresholdPolicy::Fixed(k);
@@ -77,11 +86,17 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
     let labels = scheme.labels();
 
     let mut vfile = Vec::new();
-    write_framed(&mut vfile, (0..g.n()).map(|v| vertex_to_bytes(labels.vertex_label(v))));
+    write_framed(
+        &mut vfile,
+        (0..g.n()).map(|v| vertex_to_bytes(labels.vertex_label(v))),
+    );
     fs::write(out.join("vertices.lbl"), vfile).map_err(|e| e.to_string())?;
 
     let mut efile = Vec::new();
-    write_framed(&mut efile, (0..g.m()).map(|e| edge_to_bytes(labels.edge_label_by_id(e))));
+    write_framed(
+        &mut efile,
+        (0..g.m()).map(|e| edge_to_bytes(labels.edge_label_by_id(e))),
+    );
     fs::write(out.join("edges.lbl"), efile).map_err(|e| e.to_string())?;
 
     // Edge endpoint index (lets `query` resolve U:V fault syntax without
@@ -105,7 +120,11 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
         ),
     )
     .map_err(|e| e.to_string())?;
-    println!("wrote labels for {} vertices and {} edges to {outdir}", g.n(), g.m());
+    println!(
+        "wrote labels for {} vertices and {} edges to {outdir}",
+        g.n(),
+        g.m()
+    );
     Ok(())
 }
 
@@ -142,20 +161,28 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
         .map(|l| {
             let mut it = l.split_whitespace();
             Ok((
-                it.next().ok_or("bad edges.idx")?.parse().map_err(|_| "bad edges.idx")?,
-                it.next().ok_or("bad edges.idx")?.parse().map_err(|_| "bad edges.idx")?,
+                it.next()
+                    .ok_or("bad edges.idx")?
+                    .parse()
+                    .map_err(|_| "bad edges.idx")?,
+                it.next()
+                    .ok_or("bad edges.idx")?
+                    .parse()
+                    .map_err(|_| "bad edges.idx")?,
             ))
         })
         .collect::<Result<_, &str>>()?;
 
-    let get_vertex = |v: usize| -> Result<_, String> {
-        vertex_from_bytes(vertices.get(v).ok_or(format!("vertex {v} out of range"))?)
+    // Zero-copy decoding: vertex and fault labels are read as validated
+    // views straight over the stored bytes — nothing is deserialized.
+    let get_vertex = |v: usize| -> Result<VertexLabelView, String> {
+        VertexLabelView::new(vertices.get(v).ok_or(format!("vertex {v} out of range"))?)
             .map_err(|e| e.to_string())
     };
     let vs = get_vertex(s)?;
     let vt = get_vertex(t)?;
 
-    let mut fault_labels = Vec::new();
+    let mut fault_views: Vec<EdgeLabelView> = Vec::new();
     for spec in flags.iter().filter(|(k, _)| k == "fault").map(|(_, v)| v) {
         let (u, v) = spec
             .split_once(':')
@@ -166,10 +193,17 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
             .iter()
             .position(|&(a, b)| (a, b) == (u, v) || (a, b) == (v, u))
             .ok_or_else(|| format!("no edge {u}:{v} in the labeling"))?;
-        fault_labels.push(edge_from_bytes(&edges[e]).map_err(|e| e.to_string())?);
+        fault_views.push(EdgeLabelView::new(&edges[e]).map_err(|e| e.to_string())?);
     }
-    let fault_refs: Vec<_> = fault_labels.iter().collect();
-    let ok = connected(&vs, &vt, &fault_refs).map_err(|e| e.to_string())?;
+    // Trivial queries answer before fault-budget enforcement (the
+    // decoder's historical check order).
+    let ok = match QuerySession::trivial_answer(&vs, &vt).map_err(|e| e.to_string())? {
+        Some(answer) => answer,
+        None => {
+            let session = QuerySession::new(vs.header(), fault_views).map_err(|e| e.to_string())?;
+            session.connected(vs, vt).map_err(|e| e.to_string())?
+        }
+    };
     println!("{}", if ok { "connected" } else { "disconnected" });
     Ok(())
 }
@@ -178,7 +212,10 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
 // helpers
 // ---------------------------------------------------------------------------
 
-fn split_flags(args: &[String]) -> Result<(Vec<String>, Vec<(String, String)>), String> {
+/// Parsed command line: positional arguments and `--name value` flags.
+type ParsedArgs = (Vec<String>, Vec<(String, String)>);
+
+fn split_flags(args: &[String]) -> Result<ParsedArgs, String> {
     let mut positional = Vec::new();
     let mut flags = Vec::new();
     let mut it = args.iter();
@@ -194,7 +231,10 @@ fn split_flags(args: &[String]) -> Result<(Vec<String>, Vec<(String, String)>), 
 }
 
 fn flag_value(flags: &[(String, String)], name: &str) -> Option<String> {
-    flags.iter().find(|(k, _)| k == name).map(|(_, v)| v.clone())
+    flags
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v.clone())
 }
 
 fn read_graph(path: &Path) -> Result<Graph, String> {
@@ -225,7 +265,8 @@ fn read_graph(path: &Path) -> Result<Graph, String> {
 
 /// Frame format: u32 count, then per entry u32 length + bytes (all LE).
 fn write_framed<'a>(out: &mut Vec<u8>, entries: impl ExactSizeIterator<Item = Vec<u8>> + 'a) {
-    out.write_all(&(entries.len() as u32).to_le_bytes()).unwrap();
+    out.write_all(&(entries.len() as u32).to_le_bytes())
+        .unwrap();
     for e in entries {
         out.write_all(&(e.len() as u32).to_le_bytes()).unwrap();
         out.write_all(&e).unwrap();

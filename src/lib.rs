@@ -5,8 +5,8 @@
 //! PODC 2023). It re-exports the public API of every workspace crate so that
 //! examples and downstream users can depend on a single package.
 //!
-//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
-//! reproduced evaluation.
+//! See `README.md` for the session query API and `DESIGN.md` for the
+//! system inventory and reproduced evaluation.
 //!
 //! ## Quickstart
 //!
@@ -20,16 +20,15 @@
 //! let scheme = FtcScheme::build(&g, &Params::deterministic(2)).unwrap();
 //! let dec = scheme.labels();
 //!
-//! let one_fault = [dec.edge_label(0, 1).unwrap()];
-//! assert!(ftc::core::connected(
-//!     dec.vertex_label(0), dec.vertex_label(3), &one_fault).unwrap());
+//! // One `QuerySession` per fault set; each answers any number of queries.
+//! let one_fault = dec.session([dec.edge_label(0, 1).unwrap()]).unwrap();
+//! assert!(one_fault.connected(dec.vertex_label(0), dec.vertex_label(3)).unwrap());
 //!
-//! let two_faults = [
+//! let two_faults = dec.session([
 //!     dec.edge_label(0, 1).unwrap(),
 //!     dec.edge_label(5, 0).unwrap(),
-//! ];
-//! assert!(!ftc::core::connected(
-//!     dec.vertex_label(0), dec.vertex_label(3), &two_faults).unwrap());
+//! ]).unwrap();
+//! assert!(!two_faults.connected(dec.vertex_label(0), dec.vertex_label(3)).unwrap());
 //! ```
 
 pub use ftc_codes as codes;

@@ -4,7 +4,7 @@
 //! in our engine (failures surface as errors).
 
 use ftc::core::baseline::{SketchParams, SketchScheme};
-use ftc::core::{connected, FtcScheme, Params};
+use ftc::core::{FtcScheme, Params};
 use ftc::graph::{connectivity, generators, Graph};
 
 #[test]
@@ -15,10 +15,13 @@ fn deterministic_full_support_zero_errors() {
     let mut queries = 0usize;
     for a in 0..g.m() {
         for b in (a + 1)..g.m() {
-            let faults = [l.edge_label_by_id(a), l.edge_label_by_id(b)];
+            let session = l
+                .session([l.edge_label_by_id(a), l.edge_label_by_id(b)])
+                .expect("deterministic full support");
             for s in 0..g.n() {
                 for t in 0..g.n() {
-                    let got = connected(l.vertex_label(s), l.vertex_label(t), &faults)
+                    let got = session
+                        .connected(l.vertex_label(s), l.vertex_label(t))
                         .expect("deterministic full support");
                     assert_eq!(got, connectivity::connected_avoiding(&g, s, t, &[a, b]));
                     queries += 1;
@@ -26,7 +29,10 @@ fn deterministic_full_support_zero_errors() {
             }
         }
     }
-    assert!(queries > 10_000, "the sweep must be exhaustive, ran {queries}");
+    assert!(
+        queries > 10_000,
+        "the sweep must be exhaustive, ran {queries}"
+    );
 }
 
 #[test]
@@ -39,23 +45,34 @@ fn sketch_baseline_is_rarely_wrong_and_flags_failures() {
     let mut total = 0usize;
     for i in 0..60u64 {
         let fset = generators::random_fault_set(&g, 2, i);
-        let faults: Vec<_> = fset.iter().map(|&e| l.edge_label_by_id(e)).collect();
-        for s in 0..g.n() {
-            for t in (s + 1)..g.n() {
-                total += 1;
-                match connected(l.vertex_label(s), l.vertex_label(t), &faults) {
-                    Ok(got) => {
-                        if got != connectivity::connected_avoiding(&g, s, t, &fset) {
-                            wrong += 1;
+        let queries = g.n() * (g.n() - 1) / 2;
+        match l.session(fset.iter().map(|&e| l.edge_label_by_id(e))) {
+            Err(_) => {
+                total += queries;
+                failed += queries;
+            }
+            Ok(session) => {
+                for s in 0..g.n() {
+                    for t in (s + 1)..g.n() {
+                        total += 1;
+                        match session.connected(l.vertex_label(s), l.vertex_label(t)) {
+                            Ok(got) => {
+                                if got != connectivity::connected_avoiding(&g, s, t, &fset) {
+                                    wrong += 1;
+                                }
+                            }
+                            Err(_) => failed += 1,
                         }
                     }
-                    Err(_) => failed += 1,
                 }
             }
         }
     }
     // whp: overwhelmingly correct; failures are surfaced, not hidden.
-    assert_eq!(wrong, 0, "sketch produced {wrong}/{total} silently wrong answers");
+    assert_eq!(
+        wrong, 0,
+        "sketch produced {wrong}/{total} silently wrong answers"
+    );
     assert!(
         failed * 20 < total,
         "sketch failure rate implausibly high: {failed}/{total}"
@@ -76,6 +93,12 @@ fn label_sizes_baseline_vs_deterministic() {
         whp.size_report().edge_bits,
         rnd.size_report().edge_bits,
     );
-    assert!(d > r, "deterministic ({d}) should exceed randomized-full ({r})");
-    assert!(r > w, "randomized-full ({r}) should exceed whp sketch ({w})");
+    assert!(
+        d > r,
+        "deterministic ({d}) should exceed randomized-full ({r})"
+    );
+    assert!(
+        r > w,
+        "randomized-full ({r}) should exceed whp sketch ({w})"
+    );
 }

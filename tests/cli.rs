@@ -46,12 +46,16 @@ fn build_info_query_round_trip() {
     assert_eq!(stdout.trim(), "connected");
 
     // Two faults cutting vertex 0's arc.
-    let (ok, stdout, _) = run(&["query", out_str, "1", "4", "--fault", "0:1", "--fault", "3:4"]);
+    let (ok, stdout, _) = run(&[
+        "query", out_str, "1", "4", "--fault", "0:1", "--fault", "3:4",
+    ]);
     assert!(ok);
     assert_eq!(stdout.trim(), "disconnected");
 
     // Fault given in reversed endpoint order resolves too.
-    let (ok, stdout, _) = run(&["query", out_str, "1", "4", "--fault", "1:0", "--fault", "4:3"]);
+    let (ok, stdout, _) = run(&[
+        "query", out_str, "1", "4", "--fault", "1:0", "--fault", "4:3",
+    ]);
     assert!(ok);
     assert_eq!(stdout.trim(), "disconnected");
 

@@ -1,7 +1,7 @@
 //! Edge-case integration tests: parallel edges, spanning-tree choice
 //! independence, and label accessor semantics.
 
-use ftc::core::{connected, FtcScheme, Params};
+use ftc::core::{FtcScheme, Params};
 use ftc::graph::{connectivity, Graph, RootedTree};
 
 #[test]
@@ -18,30 +18,43 @@ fn parallel_edges_are_distinct_faults() {
     let scheme = FtcScheme::build(&g, &Params::deterministic(3)).unwrap();
     let l = scheme.labels();
 
-    let one = [l.edge_label_by_id(e_a)];
-    assert_eq!(connected(l.vertex_label(0), l.vertex_label(1), &one), Ok(true));
+    let one = l.session([l.edge_label_by_id(e_a)]).unwrap();
+    assert_eq!(
+        one.connected(l.vertex_label(0), l.vertex_label(1)),
+        Ok(true)
+    );
 
-    let both = [l.edge_label_by_id(e_a), l.edge_label_by_id(e_b)];
-    assert_eq!(connected(l.vertex_label(0), l.vertex_label(1), &both), Ok(true)); // detour
+    let both = l
+        .session([l.edge_label_by_id(e_a), l.edge_label_by_id(e_b)])
+        .unwrap();
+    assert_eq!(
+        both.connected(l.vertex_label(0), l.vertex_label(1)),
+        Ok(true)
+    ); // detour
 
-    let all = [
-        l.edge_label_by_id(e_a),
-        l.edge_label_by_id(e_b),
-        l.edge_label_by_id(e_c),
-    ];
-    assert_eq!(connected(l.vertex_label(0), l.vertex_label(1), &all), Ok(false));
+    let all = l
+        .session([
+            l.edge_label_by_id(e_a),
+            l.edge_label_by_id(e_b),
+            l.edge_label_by_id(e_c),
+        ])
+        .unwrap();
+    assert_eq!(
+        all.connected(l.vertex_label(0), l.vertex_label(1)),
+        Ok(false)
+    );
     // Oracle agreement on the full single+pair sweep.
     for a in 0..g.m() {
         for b in a..g.m() {
-            let faults = if a == b {
-                vec![l.edge_label_by_id(a)]
-            } else {
-                vec![l.edge_label_by_id(a), l.edge_label_by_id(b)]
-            };
             let fset: Vec<usize> = if a == b { vec![a] } else { vec![a, b] };
+            let session = l
+                .session(fset.iter().map(|&e| l.edge_label_by_id(e)))
+                .unwrap();
             for s in 0..4 {
                 for t in 0..4 {
-                    let got = connected(l.vertex_label(s), l.vertex_label(t), &faults).unwrap();
+                    let got = session
+                        .connected(l.vertex_label(s), l.vertex_label(t))
+                        .unwrap();
                     assert_eq!(got, connectivity::connected_avoiding(&g, s, t, &fset));
                 }
             }
@@ -58,16 +71,18 @@ fn scheme_is_correct_under_any_spanning_tree() {
     let g = Graph::torus(3, 3);
     for root in [0usize, 4, 8] {
         for tree in [RootedTree::bfs(&g, root), RootedTree::dfs(&g, root)] {
-            let scheme =
-                FtcScheme::build_with_tree(&g, &tree, &Params::deterministic(2)).unwrap();
+            let scheme = FtcScheme::build_with_tree(&g, &tree, &Params::deterministic(2)).unwrap();
             let l = scheme.labels();
             for a in (0..g.m()).step_by(2) {
                 for b in ((a + 1)..g.m()).step_by(3) {
-                    let faults = [l.edge_label_by_id(a), l.edge_label_by_id(b)];
+                    let session = l
+                        .session([l.edge_label_by_id(a), l.edge_label_by_id(b)])
+                        .unwrap();
                     for s in 0..g.n() {
                         for t in 0..g.n() {
-                            let got =
-                                connected(l.vertex_label(s), l.vertex_label(t), &faults).unwrap();
+                            let got = session
+                                .connected(l.vertex_label(s), l.vertex_label(t))
+                                .unwrap();
                             assert_eq!(
                                 got,
                                 connectivity::connected_avoiding(&g, s, t, &[a, b]),
@@ -109,9 +124,11 @@ fn star_graph_hub_isolation() {
     let l = scheme.labels();
     for spoke in 0..g.m() {
         let leaf = spoke + 1;
-        let faults = [l.edge_label_by_id(spoke)];
+        let session = l.session([l.edge_label_by_id(spoke)]).unwrap();
         for v in 0..n {
-            let got = connected(l.vertex_label(leaf), l.vertex_label(v), &faults).unwrap();
+            let got = session
+                .connected(l.vertex_label(leaf), l.vertex_label(v))
+                .unwrap();
             assert_eq!(got, v == leaf);
         }
     }

@@ -2,7 +2,7 @@
 //! ground-truth oracle over multiple graph families, plus failure
 //! injection.
 
-use ftc::core::{connected, FtcScheme, HierarchyBackend, Params, QueryError, ThresholdPolicy};
+use ftc::core::{FtcScheme, HierarchyBackend, Params, QueryError, ThresholdPolicy};
 use ftc::graph::{connectivity, generators, Graph};
 
 /// All (s, t) pairs for a sweep of fault sets, checked against the oracle.
@@ -10,10 +10,13 @@ fn check(g: &Graph, params: &Params, fault_sets: &[Vec<usize>]) {
     let scheme = FtcScheme::build(g, params).unwrap();
     let l = scheme.labels();
     for fset in fault_sets {
-        let labels: Vec<_> = fset.iter().map(|&e| l.edge_label_by_id(e)).collect();
+        let session = l
+            .session(fset.iter().map(|&e| l.edge_label_by_id(e)))
+            .unwrap_or_else(|e| panic!("session for {fset:?} failed: {e}"));
         for s in 0..g.n() {
             for t in 0..g.n() {
-                let got = connected(l.vertex_label(s), l.vertex_label(t), &labels)
+                let got = session
+                    .connected(l.vertex_label(s), l.vertex_label(t))
                     .unwrap_or_else(|e| panic!("({s},{t},{fset:?}) failed: {e}"));
                 let want = connectivity::connected_avoiding(g, s, t, fset);
                 assert_eq!(got, want, "({s},{t},F={fset:?}) {:?}", params.backend);
@@ -107,23 +110,27 @@ fn duplicate_and_cross_component_faults() {
     let l = scheme.labels();
     // Duplicate fault labels collapse to one.
     let e0 = l.edge_label_by_id(0);
+    let dup = l.session([e0, e0, e0]).unwrap();
+    assert_eq!(dup.num_faults(), 1);
     assert_eq!(
-        connected(l.vertex_label(0), l.vertex_label(1), &[e0, e0, e0]),
+        dup.connected(l.vertex_label(0), l.vertex_label(1)),
         Ok(true)
     );
     // Faults in another component do not affect the query.
     let far = l.edge_label_by_id(3);
+    let cross = l.session([e0, far]).unwrap();
     assert_eq!(
-        connected(l.vertex_label(0), l.vertex_label(2), &[e0, far]),
+        cross.connected(l.vertex_label(0), l.vertex_label(2)),
         Ok(true)
     );
     assert_eq!(
-        connected(l.vertex_label(6), l.vertex_label(7), &[e0, far]),
+        cross.connected(l.vertex_label(6), l.vertex_label(7)),
         Ok(true)
     );
     let bridge67 = l.edge_label(6, 7).unwrap();
+    let bridged = l.session([bridge67]).unwrap();
     assert_eq!(
-        connected(l.vertex_label(6), l.vertex_label(7), &[bridge67]),
+        bridged.connected(l.vertex_label(6), l.vertex_label(7)),
         Ok(false)
     );
 }
@@ -133,9 +140,11 @@ fn fault_budget_enforced_exactly() {
     let g = Graph::complete(6);
     let scheme = FtcScheme::build(&g, &Params::deterministic(2)).unwrap();
     let l = scheme.labels();
-    let faults: Vec<_> = (0..3).map(|e| l.edge_label_by_id(e)).collect();
-    match connected(l.vertex_label(0), l.vertex_label(5), &faults) {
-        Err(QueryError::TooManyFaults { supplied: 3, budget: 2 }) => {}
+    match l.session((0..3).map(|e| l.edge_label_by_id(e))) {
+        Err(QueryError::TooManyFaults {
+            supplied: 3,
+            budget: 2,
+        }) => {}
         other => panic!("expected budget violation, got {other:?}"),
     }
 }
@@ -156,16 +165,22 @@ fn calibrated_mode_on_larger_graph() {
     let mut total = 0usize;
     for i in 0..40u64 {
         let fset = generators::random_fault_set(&g, 3, 1000 + i);
-        let labels: Vec<_> = fset.iter().map(|&e| l.edge_label_by_id(e)).collect();
-        for s in (0..g.n()).step_by(5) {
-            for t in (0..g.n()).step_by(7) {
-                total += 1;
-                match connected(l.vertex_label(s), l.vertex_label(t), &labels) {
-                    Ok(got) => {
+        let queries = (0..g.n()).step_by(5).count() * (0..g.n()).step_by(7).count();
+        match l.session(fset.iter().map(|&e| l.edge_label_by_id(e))) {
+            Err(QueryError::OutdetectFailed) => {
+                total += queries;
+                failures += queries;
+            }
+            Err(e) => panic!("unexpected {e}"),
+            Ok(session) => {
+                for s in (0..g.n()).step_by(5) {
+                    for t in (0..g.n()).step_by(7) {
+                        total += 1;
+                        let got = session
+                            .connected(l.vertex_label(s), l.vertex_label(t))
+                            .expect("matching headers");
                         assert_eq!(got, connectivity::connected_avoiding(&g, s, t, &fset));
                     }
-                    Err(QueryError::OutdetectFailed) => failures += 1,
-                    Err(e) => panic!("unexpected {e}"),
                 }
             }
         }

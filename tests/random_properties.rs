@@ -1,7 +1,7 @@
 //! Property-based integration tests: random graphs, random fault sets,
 //! scheme-vs-oracle equivalence, and routing-path validity.
 
-use ftc::core::{connected, FtcScheme, Params};
+use ftc::core::{FtcScheme, Params};
 use ftc::graph::{connectivity, generators, Graph};
 use ftc::routing::ForbiddenSetRouter;
 use proptest::prelude::*;
@@ -20,10 +20,10 @@ proptest! {
         let scheme = FtcScheme::build(&g, &Params::deterministic(2)).unwrap();
         let l = scheme.labels();
         let fset = generators::random_fault_set(&g, 2.min(g.m()), fault_seed);
-        let labels: Vec<_> = fset.iter().map(|&e| l.edge_label_by_id(e)).collect();
+        let session = l.session(fset.iter().map(|&e| l.edge_label_by_id(e))).unwrap();
         for s in 0..g.n() {
             for t in 0..g.n() {
-                let got = connected(l.vertex_label(s), l.vertex_label(t), &labels).unwrap();
+                let got = session.connected(l.vertex_label(s), l.vertex_label(t)).unwrap();
                 prop_assert_eq!(got, connectivity::connected_avoiding(&g, s, t, &fset));
             }
         }
@@ -70,12 +70,12 @@ proptest! {
         let fset = generators::random_fault_set(&g, 2.min(g.m()), fault_seed);
         let dl = det.labels();
         let rl = rnd.labels();
-        let df: Vec<_> = fset.iter().map(|&e| dl.edge_label_by_id(e)).collect();
-        let rf: Vec<_> = fset.iter().map(|&e| rl.edge_label_by_id(e)).collect();
+        let ds = dl.session(fset.iter().map(|&e| dl.edge_label_by_id(e))).unwrap();
+        let rs = rl.session(fset.iter().map(|&e| rl.edge_label_by_id(e))).unwrap();
         for s in 0..g.n() {
             for t in (s + 1)..g.n() {
-                let a = connected(dl.vertex_label(s), dl.vertex_label(t), &df).unwrap();
-                let b = connected(rl.vertex_label(s), rl.vertex_label(t), &rf).unwrap();
+                let a = ds.connected(dl.vertex_label(s), dl.vertex_label(t)).unwrap();
+                let b = rs.connected(rl.vertex_label(s), rl.vertex_label(t)).unwrap();
                 prop_assert_eq!(a, b);
             }
         }
@@ -89,10 +89,10 @@ proptest! {
         let scheme = FtcScheme::build(&g, &Params::deterministic(2)).unwrap();
         let l = scheme.labels();
         let fset = generators::random_fault_set(&g, 2.min(g.m()), fs);
-        let labels: Vec<_> = fset.iter().map(|&e| l.edge_label_by_id(e)).collect();
+        let session = l.session(fset.iter().map(|&e| l.edge_label_by_id(e))).unwrap();
         for s in 0..g.n() {
             for t in 0..g.n() {
-                let got = connected(l.vertex_label(s), l.vertex_label(t), &labels).unwrap();
+                let got = session.connected(l.vertex_label(s), l.vertex_label(t)).unwrap();
                 prop_assert_eq!(got, connectivity::connected_avoiding(&g, s, t, &fset));
             }
         }
@@ -107,12 +107,19 @@ fn dense_graph_regression() {
     let l = scheme.labels();
     for a in 0..g.m() {
         for b in (a + 1)..g.m() {
-            let faults = [l.edge_label_by_id(a), l.edge_label_by_id(b)];
+            let session = l
+                .session([l.edge_label_by_id(a), l.edge_label_by_id(b)])
+                .unwrap();
             for s in 0..7 {
                 for t in 0..7 {
-                    let got = connected(l.vertex_label(s), l.vertex_label(t), &faults).unwrap();
+                    let got = session
+                        .connected(l.vertex_label(s), l.vertex_label(t))
+                        .unwrap();
                     // K7 minus 2 edges is always connected.
-                    assert!(got, "K7 cannot be disconnected by 2 faults ({s},{t},[{a},{b}])");
+                    assert!(
+                        got,
+                        "K7 cannot be disconnected by 2 faults ({s},{t},[{a},{b}])"
+                    );
                 }
             }
         }

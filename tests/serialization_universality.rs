@@ -1,10 +1,14 @@
 //! Decoder-universality test: the decoder is a pure function of label
 //! *bytes*. We build a labeling, serialize every label, destroy the scheme
-//! and the graph, then answer queries from the deserialized bytes alone —
+//! and the graph, then answer queries from the stored bytes alone — both
+//! through owned deserialization and through the zero-copy label views —
 //! and still match the oracle.
 
-use ftc::core::serial::{edge_from_bytes, edge_to_bytes, vertex_from_bytes, vertex_to_bytes};
-use ftc::core::{connected, FtcScheme, Params};
+use ftc::core::serial::{
+    edge_from_bytes, edge_to_bytes, vertex_from_bytes, vertex_to_bytes, EdgeLabelView,
+    VertexLabelView,
+};
+use ftc::core::{FtcScheme, Params, QuerySession, VertexLabelRead};
 use ftc::graph::{connectivity, generators, Graph};
 
 #[test]
@@ -32,18 +36,39 @@ fn queries_from_bytes_alone() {
     let (vertex_bytes, edge_bytes) = {
         let scheme = FtcScheme::build(&g, &Params::deterministic(2)).unwrap();
         let l = scheme.labels();
-        let vb: Vec<Vec<u8>> = (0..g.n()).map(|v| vertex_to_bytes(l.vertex_label(v))).collect();
-        let eb: Vec<Vec<u8>> = (0..g.m()).map(|e| edge_to_bytes(l.edge_label_by_id(e))).collect();
+        let vb: Vec<Vec<u8>> = (0..g.n())
+            .map(|v| vertex_to_bytes(l.vertex_label(v)))
+            .collect();
+        let eb: Vec<Vec<u8>> = (0..g.m())
+            .map(|e| edge_to_bytes(l.edge_label_by_id(e)))
+            .collect();
         (vb, eb)
     };
-    // `scheme` is gone. Decode every query from bytes.
+    // `scheme` is gone. Decode every query from bytes, twice: through
+    // owned deserialization and through zero-copy views. Both must agree
+    // with the oracle bit-for-bit.
     for (s, t, fset, want) in oracle {
+        // Owned path.
         let vs = vertex_from_bytes(&vertex_bytes[s]).unwrap();
         let vt = vertex_from_bytes(&vertex_bytes[t]).unwrap();
-        let faults: Vec<_> = fset.iter().map(|&e| edge_from_bytes(&edge_bytes[e]).unwrap()).collect();
-        let fault_refs: Vec<_> = faults.iter().collect();
-        let got = connected(&vs, &vt, &fault_refs).unwrap();
-        assert_eq!(got, want, "query ({s},{t},{fset:?}) from bytes");
+        let faults: Vec<_> = fset
+            .iter()
+            .map(|&e| edge_from_bytes(&edge_bytes[e]).unwrap())
+            .collect();
+        let owned = QuerySession::new(vs.header, &faults).unwrap();
+        let got = owned.connected(vs, vt).unwrap();
+        assert_eq!(got, want, "query ({s},{t},{fset:?}) from owned bytes");
+
+        // Zero-copy path: no owned labels are ever materialized.
+        let views: Vec<EdgeLabelView> = fset
+            .iter()
+            .map(|&e| EdgeLabelView::new(&edge_bytes[e]).unwrap())
+            .collect();
+        let svw = VertexLabelView::new(&vertex_bytes[s]).unwrap();
+        let tvw = VertexLabelView::new(&vertex_bytes[t]).unwrap();
+        let zero_copy = QuerySession::new(svw.header(), views).unwrap();
+        let got = zero_copy.connected(svw, tvw).unwrap();
+        assert_eq!(got, want, "query ({s},{t},{fset:?}) from byte views");
     }
 }
 
@@ -73,9 +98,12 @@ fn tampered_bytes_do_not_panic() {
     let idx = eb.len() - 3;
     eb[idx] ^= 0xff;
     let _ = edge_from_bytes(&eb);
-    // Truncations at every prefix length must error, not panic.
+    // Truncations at every prefix length must error, not panic — for the
+    // owned parsers and the zero-copy views alike.
     for cut in 0..eb.len() {
         let _ = edge_from_bytes(&eb[..cut]);
         let _ = vertex_from_bytes(&eb[..cut]);
+        let _ = EdgeLabelView::new(&eb[..cut]);
+        let _ = VertexLabelView::new(&eb[..cut]);
     }
 }
