@@ -5,13 +5,24 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ftc_bench::{calibrated_params, sample_pairs, standard_graph, Flavor};
 use ftc_codes::ThresholdCodec;
-use ftc_core::FtcScheme;
+use ftc_core::{EdgeLabel, FtcScheme, LabelSet, QuerySession, RsVector};
 use ftc_field::Gf64;
 use ftc_graph::generators;
 use std::hint::black_box;
 
-#[allow(deprecated)]
-use ftc_core::connected;
+/// The pre-session cost model: rebuild the whole merge engine for one
+/// query (what the deprecated free functions used to do per call).
+fn connected_per_call(
+    l: &LabelSet<RsVector>,
+    s: usize,
+    t: usize,
+    faults: &[&EdgeLabel<RsVector>],
+) -> bool {
+    let session = QuerySession::new(l.header(), faults.iter().copied()).expect("session");
+    session
+        .connected(l.vertex_label(s), l.vertex_label(t))
+        .expect("query")
+}
 
 /// E3 — construction time per backend (calibrated k so sizes are compute-
 /// bound, not allocation-bound).
@@ -31,8 +42,7 @@ fn construction(c: &mut Criterion) {
 }
 
 /// E2 — query time vs |F| (budget f = 8, calibrated): the one-shot
-/// decode (deprecated path) vs a prepared session's lookups.
-#[allow(deprecated)]
+/// decode (pre-session cost model) vs a prepared session's lookups.
 fn query(c: &mut Criterion) {
     let n = 256usize;
     let g = standard_graph(n, 7);
@@ -46,7 +56,7 @@ fn query(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("per_call", fsz), &fsz, |b, _| {
             b.iter(|| {
                 for &(s, t) in &pairs {
-                    let _ = black_box(connected(l.vertex_label(s), l.vertex_label(t), &faults));
+                    let _ = black_box(connected_per_call(l, s, t, &faults));
                 }
             })
         });
@@ -68,7 +78,6 @@ fn query(c: &mut Criterion) {
 /// included in the measured loop). The acceptance bar for the API
 /// redesign is ≥ 2× throughput for q ≥ 100; the gap in practice is
 /// orders of magnitude.
-#[allow(deprecated)]
 fn session_reuse(c: &mut Criterion) {
     let n = 10_000usize;
     let g = standard_graph(n, 13);
@@ -91,7 +100,7 @@ fn session_reuse(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("per_call_connected", q), &q, |b, _| {
             b.iter(|| {
                 for &(s, t) in &pairs {
-                    let _ = black_box(connected(l.vertex_label(s), l.vertex_label(t), &faults));
+                    let _ = black_box(connected_per_call(l, s, t, &faults));
                 }
             })
         });

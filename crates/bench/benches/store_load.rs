@@ -1,0 +1,113 @@
+//! `store_load` — archive-native serving vs the loose-bytes decode path.
+//!
+//! The production shape: a labeling is built once, stored, and then
+//! loaded by every serving process. This bench compares, for one load +
+//! one fault-set session:
+//!
+//! * `archive`: `LabelStoreView::open` over the single blob (full
+//!   validation, zero allocation per label) + `view.session(faults)`
+//!   straight over the archive bytes;
+//! * `loose_bytes`: the pre-archive flow — split the length-framed
+//!   label files into one owned buffer per label (the allocation the
+//!   old `ftc-cli` paid on every `query`), resolve each fault's edge ID
+//!   by scanning an endpoint list, validate one `EdgeLabelView` per
+//!   fault, and build the session from those views.
+//!
+//! Recorded alongside `session_reuse` (in `scheme_benches`), which
+//! covers the per-query amortization once a session exists.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ftc_bench::{calibrated_params, standard_graph, Flavor};
+use ftc_core::serial::{edge_to_bytes, vertex_to_bytes, EdgeLabelView, VertexLabelView};
+use ftc_core::store::{EdgeEncoding, LabelStore, LabelStoreView};
+use ftc_core::{FtcScheme, QuerySession, VertexLabelRead};
+use ftc_graph::generators;
+use std::hint::black_box;
+
+fn store_load(c: &mut Criterion) {
+    let n = 2_000usize;
+    let g = standard_graph(n, 5);
+    let f = 4usize;
+    let scheme =
+        FtcScheme::build(&g, &calibrated_params(Flavor::DetEpsNet, f, 4 * f * 11)).expect("build");
+    let l = scheme.labels();
+    let fault_ids = generators::random_fault_set(&g, f, 0x10AD);
+    let fault_pairs: Vec<(usize, usize)> = {
+        let endpoints: Vec<(usize, usize)> = g.edge_iter().map(|(_, u, v)| (u, v)).collect();
+        fault_ids.iter().map(|&e| endpoints[e]).collect()
+    };
+
+    // The two storage shapes: one indexed blob vs length-framed loose
+    // label files (u32 count, then u32 length + bytes per label — the
+    // old `ftc-cli` on-disk format).
+    let blob = LabelStore::to_vec(l, EdgeEncoding::Full);
+    let endpoints: Vec<(usize, usize)> = g.edge_iter().map(|(_, u, v)| (u, v)).collect();
+    let frame = |entries: Vec<Vec<u8>>| -> Vec<u8> {
+        let mut out = (entries.len() as u32).to_le_bytes().to_vec();
+        for e in entries {
+            out.extend_from_slice(&(e.len() as u32).to_le_bytes());
+            out.extend_from_slice(&e);
+        }
+        out
+    };
+    let unframe = |buf: &[u8]| -> Vec<Vec<u8>> {
+        let count = u32::from_le_bytes(buf[..4].try_into().unwrap()) as usize;
+        let mut pos = 4usize;
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            let len = u32::from_le_bytes(buf[pos..pos + 4].try_into().unwrap()) as usize;
+            pos += 4;
+            out.push(buf[pos..pos + len].to_vec());
+            pos += len;
+        }
+        out
+    };
+    let vertex_file = frame(
+        (0..g.n())
+            .map(|v| vertex_to_bytes(l.vertex_label(v)))
+            .collect(),
+    );
+    let edge_file = frame(
+        (0..g.m())
+            .map(|e| edge_to_bytes(l.edge_label_by_id(e)))
+            .collect(),
+    );
+
+    let mut group = c.benchmark_group("store_load");
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::new("archive", n), &n, |b, _| {
+        b.iter(|| {
+            let view = LabelStoreView::open(&blob).expect("open");
+            let session = view.session(fault_pairs.iter().copied()).expect("session");
+            black_box(
+                session
+                    .connected(view.vertex(0).unwrap(), view.vertex(n - 1).unwrap())
+                    .unwrap(),
+            )
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("loose_bytes", n), &n, |b, _| {
+        b.iter(|| {
+            let vertex_bytes = unframe(&vertex_file);
+            let edge_bytes = unframe(&edge_file);
+            let views: Vec<EdgeLabelView> = fault_pairs
+                .iter()
+                .map(|&(u, v)| {
+                    let e = endpoints
+                        .iter()
+                        .position(|&(a, bb)| (a, bb) == (u, v) || (bb, a) == (u, v))
+                        .expect("fault edge exists");
+                    EdgeLabelView::new(&edge_bytes[e]).expect("validate")
+                })
+                .collect();
+            let vs = VertexLabelView::new(&vertex_bytes[0]).expect("validate");
+            let vt = VertexLabelView::new(&vertex_bytes[n - 1]).expect("validate");
+            let session = QuerySession::new(vs.header(), views).expect("session");
+            black_box(session.connected(vs, vt).unwrap())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, store_load);
+criterion_main!(benches);

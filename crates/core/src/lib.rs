@@ -26,8 +26,13 @@
 //! * [`baseline`] — the Dory–Parter-style whp sketch scheme the paper
 //!   compares against (Table 1, rows 1–2);
 //! * [`serial`] — byte-level label serialization plus the zero-copy
-//!   [`serial::VertexLabelView`] / [`serial::EdgeLabelView`] readers
-//!   (used to demonstrate the decoder is genuinely graph-free).
+//!   [`serial::VertexLabelView`] / [`serial::EdgeLabelView`] /
+//!   [`serial::CompactEdgeLabelView`] readers (used to demonstrate the
+//!   decoder is genuinely graph-free);
+//! * [`store`] — the single-blob label archive: [`store::LabelStore`]
+//!   writes a whole labeling as one indexed byte blob and
+//!   [`store::LabelStoreView`] opens it zero-copy, serving O(1)/O(log m)
+//!   label views and archive-native [`QuerySession`]s.
 //!
 //! ## Quickstart
 //!
@@ -36,7 +41,10 @@
 //! use ftc_graph::Graph;
 //!
 //! let g = Graph::torus(4, 4);
-//! let scheme = FtcScheme::build(&g, &Params::deterministic(3)).unwrap();
+//! let scheme = FtcScheme::builder(&g)
+//!     .params(&Params::deterministic(3))
+//!     .build()
+//!     .unwrap();
 //! let l = scheme.labels();
 //!
 //! // One session per fault set: validation, dedup, and fragment merging
@@ -63,6 +71,7 @@ pub mod query;
 pub mod scheme;
 pub mod serial;
 pub mod session;
+pub mod store;
 pub mod vertex_faults;
 
 pub use error::{BuildError, QueryError};
@@ -75,6 +84,9 @@ pub use params::{Params, ThresholdPolicy};
 pub use query::Certificate;
 #[allow(deprecated)]
 pub use query::{certified_connected, connected};
-pub use scheme::{BuildDiagnostics, FtcScheme};
-pub use serial::{EdgeLabelView, VertexLabelView};
+pub use scheme::{BuildDiagnostics, FtcScheme, SchemeBuilder};
+pub use serial::{
+    CompactEdgeLabelView, EdgeLabelView, SerialError, SerialErrorKind, VertexLabelView,
+};
 pub use session::QuerySession;
+pub use store::{ArchivedEdgeView, EdgeEncoding, LabelStore, LabelStoreView, StoreError};

@@ -12,9 +12,11 @@ use crate::session::QuerySession;
 
 /// A prepared fault set: answers any number of s–t queries against it.
 ///
-/// Deprecated: use [`crate::LabelSet::session`] /
-/// [`QuerySession`] directly, which accept generic fault inputs
-/// (including zero-copy byte views) and generic vertex-label readers.
+/// Deprecated: use [`crate::LabelSet::session`] / [`QuerySession`]
+/// directly (they accept generic fault inputs, including zero-copy byte
+/// views, and generic vertex-label readers) — or, when the labeling
+/// lives in a stored archive, [`crate::store::LabelStoreView::session`],
+/// which resolves faults by endpoint pair straight over the blob.
 ///
 /// # Example
 ///
@@ -32,7 +34,10 @@ use crate::session::QuerySession;
 /// assert!(!batch.connected(l.vertex_label(1), l.vertex_label(4)).unwrap());
 /// assert!(batch.connected(l.vertex_label(1), l.vertex_label(3)).unwrap());
 /// ```
-#[deprecated(note = "use `LabelSet::session` / `QuerySession` instead")]
+#[deprecated(
+    note = "use `LabelSet::session` / `QuerySession` (or `LabelStoreView::session` over a \
+            stored archive) instead"
+)]
 #[derive(Clone, Debug)]
 pub struct BatchQuery {
     session: QuerySession,

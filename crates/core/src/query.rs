@@ -45,8 +45,9 @@ use crate::session::QuerySession;
 /// assert!(connected(l.vertex_label(1), l.vertex_label(2), &f).unwrap());
 /// ```
 #[deprecated(
-    note = "builds a full merge session per call; create one `QuerySession` per fault set \
-            via `LabelSet::session` and reuse it"
+    note = "builds a full merge session per call; create one `QuerySession` per fault set — \
+            via `LabelSet::session` for owned labels or `LabelStoreView::session` for stored \
+            archives — and reuse it"
 )]
 pub fn connected<V: OutdetectVector>(
     s: &VertexLabel,
@@ -77,8 +78,9 @@ pub type Certificate = Vec<(u32, u32)>;
 /// surfaces as [`QueryError::OutdetectFailed`] where the old code might
 /// have answered. Deterministic theory-threshold schemes are unaffected.
 #[deprecated(
-    note = "builds a full merge session per call; create one `QuerySession` per fault set \
-            via `LabelSet::session` and use `certified`"
+    note = "builds a full merge session per call; create one `QuerySession` per fault set — \
+            via `LabelSet::session` for owned labels or `LabelStoreView::session` for stored \
+            archives — and use `certified`"
 )]
 pub fn certified_connected<V: OutdetectVector>(
     s: &VertexLabel,

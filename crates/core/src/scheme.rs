@@ -1,18 +1,26 @@
 //! The f-FTC labeling scheme builder (paper Section 5 wrap-up).
 //!
-//! [`FtcScheme::build`] runs the full pipeline:
+//! [`FtcScheme::builder`] stages the full pipeline:
 //!
-//! 1. fix a BFS spanning forest `T` of the input graph;
+//! 1. fix a spanning forest `T` of the input graph (BFS rooted at 0 by
+//!    default; [`SchemeBuilder::tree`] overrides it);
 //! 2. build the auxiliary graph `G′`/`T′` (Section 3.2);
 //! 3. build an (S_{f,T′}, k)-good sparsification hierarchy over the
 //!    non-tree edges of `G′` (Lemma 5 / Appendix A, per
 //!    [`Params::backend`]);
 //! 4. build the Reed–Solomon k-threshold outdetect labels of every level
-//!    and aggregate them into per-tree-edge subtree sums (Lemma 1);
+//!    and aggregate them into per-tree-edge subtree sums (Lemma 1) —
+//!    the dominant build cost, fanned out across [`SchemeBuilder::threads`]
+//!    worker threads (one hierarchy level per work item; the output is
+//!    byte-identical regardless of the thread count);
 //! 5. attach ancestry labels and emit one label per vertex and per edge.
 //!
-//! The resulting [`LabelSet`] is self-contained: the universal decoder
-//! [`crate::connected`] needs nothing else.
+//! The resulting [`LabelSet`] is self-contained: a
+//! [`crate::session::QuerySession`] needs nothing else, and
+//! [`crate::store::LabelStore`] archives it as a single blob. The
+//! historical constructors [`FtcScheme::build`] /
+//! [`FtcScheme::build_with_tree`] remain as thin wrappers over the
+//! builder.
 
 use crate::auxgraph::AuxGraph;
 use crate::error::BuildError;
@@ -66,9 +74,102 @@ pub struct FtcScheme {
     size: SizeReport,
 }
 
+/// A staged [`FtcScheme`] construction: `FtcScheme::builder(&g)`
+/// `.params(p).tree(t).threads(n).build()`.
+///
+/// Every stage has a sensible default — `Params::deterministic(1)`, a
+/// BFS spanning forest rooted at vertex 0, single-threaded label
+/// encoding — so the builder subsumes both historical constructors. The
+/// label-encoding stage (one Reed–Solomon outdetect pass per hierarchy
+/// level, the dominant build cost) fans out across `threads` workers;
+/// the built labels are **byte-identical** for every thread count, so
+/// archives written from parallel builds are reproducible.
+///
+/// # Example
+///
+/// ```
+/// use ftc_core::{FtcScheme, Params};
+/// use ftc_graph::Graph;
+///
+/// let g = Graph::grid(4, 4);
+/// let scheme = FtcScheme::builder(&g)
+///     .params(&Params::deterministic(2))
+///     .threads(0) // 0 = one worker per available core
+///     .build()
+///     .unwrap();
+/// assert_eq!(scheme.labels().n(), 16);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SchemeBuilder<'a> {
+    g: &'a Graph,
+    params: Params,
+    tree: Option<&'a RootedTree>,
+    threads: usize,
+}
+
+impl<'a> SchemeBuilder<'a> {
+    /// Sets the scheme parameters (default: `Params::deterministic(1)`).
+    #[must_use]
+    pub fn params(mut self, params: &Params) -> SchemeBuilder<'a> {
+        self.params = *params;
+        self
+    }
+
+    /// Supplies a rooted spanning forest (the scheme works with *any*
+    /// spanning forest; the CONGEST construction uses a BFS tree).
+    /// Default: BFS rooted at vertex 0.
+    #[must_use]
+    pub fn tree(mut self, tree: &'a RootedTree) -> SchemeBuilder<'a> {
+        self.tree = Some(tree);
+        self
+    }
+
+    /// Number of worker threads for the label-encoding stage. `0` means
+    /// one per available core; default is `1` (fully serial).
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> SchemeBuilder<'a> {
+        self.threads = threads;
+        self
+    }
+
+    /// Runs the pipeline.
+    ///
+    /// # Errors
+    ///
+    /// * [`BuildError::InvalidFaultBudget`] if `params.f == 0`;
+    /// * [`BuildError::GraphTooLarge`] if the auxiliary graph exceeds the
+    ///   2³¹-vertex encoding limit.
+    pub fn build(self) -> Result<FtcScheme, BuildError> {
+        let threads = match self.threads {
+            0 => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+            t => t,
+        };
+        match self.tree {
+            Some(tree) => FtcScheme::build_pipeline(self.g, tree, &self.params, threads),
+            None => {
+                // `RootedTree::bfs` handles the empty graph, so no
+                // special case.
+                let tree = RootedTree::bfs(self.g, 0);
+                FtcScheme::build_pipeline(self.g, &tree, &self.params, threads)
+            }
+        }
+    }
+}
+
 impl FtcScheme {
+    /// Starts a staged construction with default parameters; see
+    /// [`SchemeBuilder`].
+    pub fn builder(g: &Graph) -> SchemeBuilder<'_> {
+        SchemeBuilder {
+            g,
+            params: Params::deterministic(1),
+            tree: None,
+            threads: 1,
+        }
+    }
+
     /// Builds the labeling for `g` with a BFS spanning forest rooted at
-    /// vertex 0.
+    /// vertex 0 — a thin wrapper over [`FtcScheme::builder`].
     ///
     /// # Errors
     ///
@@ -76,14 +177,11 @@ impl FtcScheme {
     /// * [`BuildError::GraphTooLarge`] if the auxiliary graph exceeds the
     ///   2³¹-vertex encoding limit.
     pub fn build(g: &Graph, params: &Params) -> Result<FtcScheme, BuildError> {
-        // `RootedTree::bfs` handles the empty graph, so no special case.
-        let t = RootedTree::bfs(g, 0);
-        Self::build_with_tree(g, &t, params)
+        Self::builder(g).params(params).build()
     }
 
     /// Builds the labeling over a caller-supplied rooted spanning forest
-    /// (the scheme works with *any* spanning forest; the CONGEST
-    /// construction uses a BFS tree).
+    /// — a thin wrapper over [`FtcScheme::builder`].
     ///
     /// # Errors
     ///
@@ -92,6 +190,15 @@ impl FtcScheme {
         g: &Graph,
         tree: &RootedTree,
         params: &Params,
+    ) -> Result<FtcScheme, BuildError> {
+        Self::builder(g).params(params).tree(tree).build()
+    }
+
+    fn build_pipeline(
+        g: &Graph,
+        tree: &RootedTree,
+        params: &Params,
+        threads: usize,
     ) -> Result<FtcScheme, BuildError> {
         if params.f == 0 {
             return Err(BuildError::InvalidFaultBudget);
@@ -128,7 +235,7 @@ impl FtcScheme {
             tag,
         };
 
-        let edge_vec_data = build_subtree_sums(&aux, &hierarchy, k, levels);
+        let edge_vec_data = build_subtree_sums(&aux, &hierarchy, k, levels, threads);
 
         let vertex_labels: Vec<VertexLabel> = (0..g.n())
             .map(|v| VertexLabel {
@@ -195,48 +302,100 @@ impl FtcScheme {
 /// of `L^out(V_{T′(σ(e))})` — the XOR over the subtree below `σ(e)` of the
 /// per-vertex outdetect labels (Lemma 1's edge labels, via one bottom-up
 /// aggregation per level).
+///
+/// Levels are mutually independent, so with `threads > 1` they are
+/// distributed across that many scoped workers; finished levels stream
+/// back over a channel and are stitched into the output (and dropped)
+/// as they arrive, so peak memory stays near one copy of the label
+/// payload. Each level's result is a pure function of
+/// `(aux, level edges, k)`, and every level occupies a disjoint slice
+/// of the output, so the result is identical — byte for byte once
+/// serialized — for every thread count.
 fn build_subtree_sums(
     aux: &AuxGraph,
     hierarchy: &Hierarchy,
     k: usize,
     levels: usize,
+    threads: usize,
 ) -> Vec<Vec<Gf64>> {
     let width = 2 * k;
     let m = aux.sigma_lower.len();
     let mut out = vec![vec![Gf64::ZERO; width * levels]; m];
-    if levels == 0 {
+    if levels == 0 || m == 0 {
         return out;
     }
+    // Stitches one level's edge-major sums into the per-edge payloads.
+    let stitch = |out: &mut Vec<Vec<Gf64>>, level: usize, sums: &[Gf64]| {
+        for (e, slice) in out.iter_mut().enumerate() {
+            slice[level * width..(level + 1) * width]
+                .copy_from_slice(&sums[e * width..(e + 1) * width]);
+        }
+    };
+    let workers = threads.clamp(1, levels);
+    if workers == 1 {
+        for level in 0..levels {
+            let sums = level_subtree_sums(aux, &hierarchy.levels[level], k);
+            stitch(&mut out, level, &sums);
+        }
+    } else {
+        // Static block partition of the level range across workers.
+        let (tx, rx) = std::sync::mpsc::channel::<(usize, Vec<Gf64>)>();
+        std::thread::scope(|scope| {
+            for w in 0..workers {
+                let lo = levels * w / workers;
+                let hi = levels * (w + 1) / workers;
+                let hierarchy = &hierarchy;
+                let tx = tx.clone();
+                scope.spawn(move || {
+                    for level in lo..hi {
+                        let sums = level_subtree_sums(aux, &hierarchy.levels[level], k);
+                        // The receiver outlives the scope; a send can only
+                        // fail if it was dropped by a panic, which the
+                        // scope will propagate anyway.
+                        let _ = tx.send((level, sums));
+                    }
+                });
+            }
+            drop(tx);
+            for (level, sums) in rx {
+                stitch(&mut out, level, &sums);
+            }
+        });
+    }
+    out
+}
+
+/// One level's pass: accumulate the level's non-tree edges into per-vertex
+/// syndromes, fold bottom-up, and emit the per-edge (σ(e)-lower) slices
+/// flattened edge-major.
+fn level_subtree_sums(aux: &AuxGraph, level_edges: &[usize], k: usize) -> Vec<Gf64> {
+    let width = 2 * k;
     let codec = ThresholdCodec::new(k);
-    // Scratch: per auxiliary vertex, one level's syndrome.
+    // Scratch: per auxiliary vertex, this level's syndrome.
     let mut acc = vec![Gf64::ZERO; aux.aux_n * width];
     let mut child_buf = vec![Gf64::ZERO; width];
-    for (level, level_edges) in hierarchy.levels.iter().take(levels).enumerate() {
-        acc.iter_mut().for_each(|x| *x = Gf64::ZERO);
-        // Per-vertex own contributions: each level edge toggles both
-        // endpoints.
-        for &j in level_edges {
-            let (a, b) = aux.nontree[j];
-            let id = Gf64::new(aux.nontree_code_id(j));
-            codec.accumulate_edge(&mut acc[a * width..(a + 1) * width], id);
-            codec.accumulate_edge(&mut acc[b * width..(b + 1) * width], id);
-        }
-        // Bottom-up aggregation: children fold into parents in reverse
-        // pre-order.
-        for &v in aux.tree.pre_order().iter().rev() {
-            if let Some(p) = aux.tree.parent(v) {
-                child_buf.copy_from_slice(&acc[v * width..(v + 1) * width]);
-                let dst = &mut acc[p * width..(p + 1) * width];
-                for (d, c) in dst.iter_mut().zip(&child_buf) {
-                    *d += *c;
-                }
+    // Per-vertex own contributions: each level edge toggles both
+    // endpoints.
+    for &j in level_edges {
+        let (a, b) = aux.nontree[j];
+        let id = Gf64::new(aux.nontree_code_id(j));
+        codec.accumulate_edge(&mut acc[a * width..(a + 1) * width], id);
+        codec.accumulate_edge(&mut acc[b * width..(b + 1) * width], id);
+    }
+    // Bottom-up aggregation: children fold into parents in reverse
+    // pre-order.
+    for &v in aux.tree.pre_order().iter().rev() {
+        if let Some(p) = aux.tree.parent(v) {
+            child_buf.copy_from_slice(&acc[v * width..(v + 1) * width]);
+            let dst = &mut acc[p * width..(p + 1) * width];
+            for (d, c) in dst.iter_mut().zip(&child_buf) {
+                *d += *c;
             }
         }
-        // Emit per-edge slices.
-        for (e, &lower) in aux.sigma_lower.iter().enumerate() {
-            out[e][level * width..(level + 1) * width]
-                .copy_from_slice(&acc[lower * width..(lower + 1) * width]);
-        }
+    }
+    let mut out = vec![Gf64::ZERO; aux.sigma_lower.len() * width];
+    for (e, &lower) in aux.sigma_lower.iter().enumerate() {
+        out[e * width..(e + 1) * width].copy_from_slice(&acc[lower * width..(lower + 1) * width]);
     }
     out
 }
@@ -418,6 +577,38 @@ mod tests {
         assert_eq!(size.m, 29 + 40);
         assert!(size.edge_bits > size.vertex_bits);
         assert_eq!(size.k, d.k);
+    }
+
+    #[test]
+    fn builder_thread_counts_agree_byte_for_byte() {
+        let g = ftc_graph::generators::random_connected(28, 40, 7);
+        let p = Params::deterministic(2);
+        let serial = FtcScheme::builder(&g).params(&p).build().unwrap();
+        for threads in [2usize, 3, 8, 0] {
+            let par = FtcScheme::builder(&g)
+                .params(&p)
+                .threads(threads)
+                .build()
+                .unwrap();
+            assert_eq!(serial.labels().vertex_labels, par.labels().vertex_labels);
+            assert_eq!(serial.labels().edge_labels, par.labels().edge_labels);
+            // Identical labels serialize to identical archives.
+            assert_eq!(
+                crate::store::LabelStore::to_vec(serial.labels(), crate::store::EdgeEncoding::Full),
+                crate::store::LabelStore::to_vec(par.labels(), crate::store::EdgeEncoding::Full),
+            );
+        }
+    }
+
+    #[test]
+    fn builder_defaults_match_legacy_constructor() {
+        let g = Graph::cycle(9);
+        let via_builder = FtcScheme::builder(&g).build().unwrap();
+        let via_build = FtcScheme::build(&g, &Params::deterministic(1)).unwrap();
+        assert_eq!(
+            via_builder.labels().edge_labels,
+            via_build.labels().edge_labels
+        );
     }
 
     #[test]

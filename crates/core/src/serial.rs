@@ -11,7 +11,7 @@
 
 use crate::ancestry::AncestryLabel;
 use crate::labels::{
-    EdgeLabel, EdgeLabelRead, LabelHeader, RsVector, VertexLabel, VertexLabelRead,
+    EdgeLabel, EdgeLabelRead, LabelHeader, OutdetectVector, RsVector, VertexLabel, VertexLabelRead,
 };
 use ftc_field::Gf64;
 
@@ -19,16 +19,52 @@ const VERTEX_MAGIC: u16 = 0x4656; // "FV"
 const EDGE_MAGIC: u16 = 0x4645; // "FE"
 const COMPACT_EDGE_MAGIC: u16 = 0x4643; // "FC"
 
-/// Serialization errors.
+/// A serialization failure, locating the offending byte.
+///
+/// Every parser and view constructor in this module (and the archive
+/// reader in [`crate::store`]) reports the byte offset at which the
+/// problem was detected, so corrupt stored labels can be diagnosed
+/// without a hex dump diff.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum SerialError {
-    /// Wrong magic bytes or truncated input.
-    Malformed,
+pub struct SerialError {
+    /// Byte offset (from the start of the parsed input) at which the
+    /// problem was detected.
+    pub offset: usize,
+    /// What went wrong at [`SerialError::offset`].
+    pub kind: SerialErrorKind,
+}
+
+/// What a [`SerialError`] found at its offset.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SerialErrorKind {
+    /// The magic bytes do not match the expected layout.
+    BadMagic,
+    /// The input ends before the field starting here is complete.
+    Truncated,
+    /// A length or geometry field contradicts the surrounding layout.
+    Inconsistent,
+    /// Parsing finished but unconsumed bytes remain from here on.
+    TrailingBytes,
+    /// The archive declares a format version this build cannot read.
+    UnsupportedVersion,
+}
+
+impl SerialError {
+    pub(crate) fn new(kind: SerialErrorKind, offset: usize) -> SerialError {
+        SerialError { offset, kind }
+    }
 }
 
 impl std::fmt::Display for SerialError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "malformed label bytes")
+        let what = match self.kind {
+            SerialErrorKind::BadMagic => "bad magic",
+            SerialErrorKind::Truncated => "truncated input",
+            SerialErrorKind::Inconsistent => "inconsistent length or geometry",
+            SerialErrorKind::TrailingBytes => "trailing bytes",
+            SerialErrorKind::UnsupportedVersion => "unsupported format version",
+        };
+        write!(f, "malformed label bytes: {what} at byte {}", self.offset)
     }
 }
 
@@ -55,9 +91,12 @@ struct Reader<'a> {
 
 impl<'a> Reader<'a> {
     fn take(&mut self, n: usize) -> Result<&'a [u8], SerialError> {
-        let end = self.pos.checked_add(n).ok_or(SerialError::Malformed)?;
+        let end = self
+            .pos
+            .checked_add(n)
+            .ok_or(SerialError::new(SerialErrorKind::Truncated, self.pos))?;
         if end > self.buf.len() {
-            return Err(SerialError::Malformed);
+            return Err(SerialError::new(SerialErrorKind::Truncated, self.pos));
         }
         let s = &self.buf[self.pos..end];
         self.pos = end;
@@ -76,7 +115,7 @@ impl<'a> Reader<'a> {
         if self.pos == self.buf.len() {
             Ok(())
         } else {
-            Err(SerialError::Malformed)
+            Err(SerialError::new(SerialErrorKind::TrailingBytes, self.pos))
         }
     }
 }
@@ -122,11 +161,12 @@ pub fn vertex_to_bytes(l: &VertexLabel) -> Vec<u8> {
 ///
 /// # Errors
 ///
-/// [`SerialError::Malformed`] on bad magic, truncation, or trailing bytes.
+/// [`SerialError`] (with the offending byte offset) on bad magic,
+/// truncation, or trailing bytes.
 pub fn vertex_from_bytes(bytes: &[u8]) -> Result<VertexLabel, SerialError> {
     let mut r = Reader { buf: bytes, pos: 0 };
     if r.u16()? != VERTEX_MAGIC {
-        return Err(SerialError::Malformed);
+        return Err(SerialError::new(SerialErrorKind::BadMagic, 0));
     }
     let header = read_header(&mut r)?;
     let anc = read_anc(&mut r)?;
@@ -154,20 +194,21 @@ pub fn edge_to_bytes(l: &EdgeLabel<RsVector>) -> Vec<u8> {
 ///
 /// # Errors
 ///
-/// [`SerialError::Malformed`] on bad magic, truncation, inconsistent
+/// [`SerialError`] (with the offending byte offset) on bad magic, truncation, inconsistent
 /// lengths, or trailing bytes.
 pub fn edge_from_bytes(bytes: &[u8]) -> Result<EdgeLabel<RsVector>, SerialError> {
     let mut r = Reader { buf: bytes, pos: 0 };
     if r.u16()? != EDGE_MAGIC {
-        return Err(SerialError::Malformed);
+        return Err(SerialError::new(SerialErrorKind::BadMagic, 0));
     }
     let header = read_header(&mut r)?;
     let anc_upper = read_anc(&mut r)?;
     let anc_lower = read_anc(&mut r)?;
     let k = r.u32()? as usize;
+    let len_at = r.pos;
     let len = r.u32()? as usize;
     if k > 0 && !len.is_multiple_of(2 * k) {
-        return Err(SerialError::Malformed);
+        return Err(SerialError::new(SerialErrorKind::Inconsistent, len_at));
     }
     let mut data = Vec::with_capacity(len);
     for _ in 0..len {
@@ -210,11 +251,12 @@ pub fn edge_to_bytes_compact(l: &EdgeLabel<RsVector>) -> Vec<u8> {
 ///
 /// # Errors
 ///
-/// [`SerialError::Malformed`] on bad magic, truncation, or trailing bytes.
+/// [`SerialError`] (with the offending byte offset) on bad magic,
+/// truncation, or trailing bytes.
 pub fn compact_edge_from_bytes(bytes: &[u8]) -> Result<EdgeLabel<RsVector>, SerialError> {
     let mut r = Reader { buf: bytes, pos: 0 };
     if r.u16()? != COMPACT_EDGE_MAGIC {
-        return Err(SerialError::Malformed);
+        return Err(SerialError::new(SerialErrorKind::BadMagic, 0));
     }
     let header = read_header(&mut r)?;
     let anc_upper = read_anc(&mut r)?;
@@ -248,8 +290,34 @@ const ANC_BYTES: usize = 3 * 4;
 const VERTEX_TOTAL_BYTES: usize = 2 + HEADER_BYTES + ANC_BYTES;
 const EDGE_WORDS_OFFSET: usize = 2 + HEADER_BYTES + 2 * ANC_BYTES + 4 + 4;
 
+/// Exact byte length of every serialized vertex label (the archive
+/// format exploits the fixed stride for O(1) vertex lookups).
+pub const VERTEX_LABEL_BYTES: usize = VERTEX_TOTAL_BYTES;
+
 fn read_u32_at(buf: &[u8], at: usize) -> u32 {
     u32::from_le_bytes(buf[at..at + 4].try_into().unwrap())
+}
+
+/// Checks the leading two-byte magic, reporting truncation at the input
+/// length or a magic mismatch at offset 0.
+fn check_magic(bytes: &[u8], magic: u16) -> Result<(), SerialError> {
+    if bytes.len() < 2 {
+        return Err(SerialError::new(SerialErrorKind::Truncated, bytes.len()));
+    }
+    if u16::from_le_bytes(bytes[..2].try_into().unwrap()) != magic {
+        return Err(SerialError::new(SerialErrorKind::BadMagic, 0));
+    }
+    Ok(())
+}
+
+/// Checks an exact expected length: a short input is truncated at its
+/// end, a long one has trailing bytes starting at `expected`.
+fn check_exact_len(bytes: &[u8], expected: usize) -> Result<(), SerialError> {
+    match bytes.len() {
+        l if l < expected => Err(SerialError::new(SerialErrorKind::Truncated, l)),
+        l if l > expected => Err(SerialError::new(SerialErrorKind::TrailingBytes, expected)),
+        _ => Ok(()),
+    }
 }
 
 fn read_u64_at(buf: &[u8], at: usize) -> u64 {
@@ -287,14 +355,11 @@ impl<'a> VertexLabelView<'a> {
     ///
     /// # Errors
     ///
-    /// [`SerialError::Malformed`] on bad magic, truncation, or trailing
-    /// bytes.
+    /// [`SerialError`] (with the offending byte offset) on bad magic,
+    /// truncation, or trailing bytes.
     pub fn new(bytes: &'a [u8]) -> Result<VertexLabelView<'a>, SerialError> {
-        if bytes.len() != VERTEX_TOTAL_BYTES
-            || u16::from_le_bytes(bytes[..2].try_into().unwrap()) != VERTEX_MAGIC
-        {
-            return Err(SerialError::Malformed);
-        }
+        check_magic(bytes, VERTEX_MAGIC)?;
+        check_exact_len(bytes, VERTEX_TOTAL_BYTES)?;
         Ok(VertexLabelView { buf: bytes })
     }
 
@@ -334,22 +399,22 @@ impl<'a> EdgeLabelView<'a> {
     ///
     /// # Errors
     ///
-    /// [`SerialError::Malformed`] on bad magic, truncation, inconsistent
-    /// lengths, or trailing bytes.
+    /// [`SerialError`] (with the offending byte offset) on bad magic,
+    /// truncation, inconsistent lengths, or trailing bytes.
     pub fn new(bytes: &'a [u8]) -> Result<EdgeLabelView<'a>, SerialError> {
-        if bytes.len() < EDGE_WORDS_OFFSET
-            || u16::from_le_bytes(bytes[..2].try_into().unwrap()) != EDGE_MAGIC
-        {
-            return Err(SerialError::Malformed);
+        check_magic(bytes, EDGE_MAGIC)?;
+        if bytes.len() < EDGE_WORDS_OFFSET {
+            return Err(SerialError::new(SerialErrorKind::Truncated, bytes.len()));
         }
         let k = read_u32_at(bytes, EDGE_WORDS_OFFSET - 8) as usize;
         let len = read_u32_at(bytes, EDGE_WORDS_OFFSET - 4) as usize;
         if k > 0 && !len.is_multiple_of(2 * k) {
-            return Err(SerialError::Malformed);
+            return Err(SerialError::new(
+                SerialErrorKind::Inconsistent,
+                EDGE_WORDS_OFFSET - 4,
+            ));
         }
-        if bytes.len() != EDGE_WORDS_OFFSET + 8 * len {
-            return Err(SerialError::Malformed);
-        }
+        check_exact_len(bytes, EDGE_WORDS_OFFSET + 8 * len)?;
         Ok(EdgeLabelView { buf: bytes })
     }
 
@@ -405,6 +470,100 @@ impl EdgeLabelRead for EdgeLabelView<'_> {
     }
 }
 
+/// A validated zero-copy view of a *compact* serialized edge label
+/// ([`edge_to_bytes_compact`] layout). Implements [`EdgeLabelRead`]:
+/// the ancestry fields decode on demand; the half-width syndrome is
+/// expanded to the full `2k`-element form (via `s_{2j} = s_j²`) only when
+/// the vector is actually needed by the merge engine.
+#[derive(Clone, Copy, Debug)]
+pub struct CompactEdgeLabelView<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> CompactEdgeLabelView<'a> {
+    /// Validates magic, length consistency, and syndrome geometry over
+    /// the borrowed bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`SerialError`] (with the offending byte offset) on bad magic,
+    /// truncation, or trailing bytes.
+    pub fn new(bytes: &'a [u8]) -> Result<CompactEdgeLabelView<'a>, SerialError> {
+        check_magic(bytes, COMPACT_EDGE_MAGIC)?;
+        if bytes.len() < EDGE_WORDS_OFFSET {
+            return Err(SerialError::new(SerialErrorKind::Truncated, bytes.len()));
+        }
+        let k = read_u32_at(bytes, EDGE_WORDS_OFFSET - 8) as usize;
+        let levels = read_u32_at(bytes, EDGE_WORDS_OFFSET - 4) as usize;
+        let words = k
+            .checked_mul(levels)
+            .and_then(|w| w.checked_mul(8))
+            .and_then(|w| w.checked_add(EDGE_WORDS_OFFSET))
+            .ok_or(SerialError::new(
+                SerialErrorKind::Inconsistent,
+                EDGE_WORDS_OFFSET - 4,
+            ))?;
+        check_exact_len(bytes, words)?;
+        Ok(CompactEdgeLabelView { buf: bytes })
+    }
+
+    /// The codec threshold `k` of the carried vector.
+    pub fn k(&self) -> usize {
+        read_u32_at(self.buf, EDGE_WORDS_OFFSET - 8) as usize
+    }
+
+    /// Number of hierarchy levels carried.
+    pub fn levels(&self) -> usize {
+        read_u32_at(self.buf, EDGE_WORDS_OFFSET - 4) as usize
+    }
+
+    /// Copies the view out into an owned label (expanding the syndrome).
+    pub fn to_label(&self) -> EdgeLabel<RsVector> {
+        EdgeLabel {
+            header: EdgeLabelRead::header(self),
+            anc_upper: self.anc_upper(),
+            anc_lower: self.anc_lower(),
+            vec: self.to_vector(),
+        }
+    }
+}
+
+impl EdgeLabelRead for CompactEdgeLabelView<'_> {
+    type Vector = RsVector;
+
+    fn header(&self) -> LabelHeader {
+        read_header_at(self.buf, 2)
+    }
+
+    fn anc_upper(&self) -> AncestryLabel {
+        read_anc_at(self.buf, 2 + HEADER_BYTES)
+    }
+
+    fn anc_lower(&self) -> AncestryLabel {
+        read_anc_at(self.buf, 2 + HEADER_BYTES + ANC_BYTES)
+    }
+
+    fn to_vector(&self) -> RsVector {
+        let k = self.k();
+        let mut data = Vec::with_capacity(2 * k * self.levels());
+        let mut odd = Vec::with_capacity(k);
+        for lvl in 0..self.levels() {
+            odd.clear();
+            for i in 0..k {
+                let at = EDGE_WORDS_OFFSET + 8 * (lvl * k + i);
+                odd.push(Gf64::new(read_u64_at(self.buf, at)));
+            }
+            data.extend(ftc_codes::compact::expand(&odd));
+        }
+        RsVector::from_raw(k, data)
+    }
+
+    fn xor_vector_into(&self, acc: &mut RsVector) {
+        assert_eq!(self.k(), acc.k(), "mixed thresholds");
+        acc.xor_in(&self.to_vector());
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -435,22 +594,41 @@ mod tests {
     }
 
     #[test]
-    fn malformed_inputs_rejected() {
-        assert_eq!(vertex_from_bytes(&[]), Err(SerialError::Malformed));
-        assert_eq!(vertex_from_bytes(&[0xff; 30]), Err(SerialError::Malformed));
-        assert_eq!(edge_from_bytes(&[0x45, 0x46]), Err(SerialError::Malformed));
-        // Truncated edge payload.
+    fn malformed_inputs_rejected_with_offsets() {
+        assert_eq!(
+            vertex_from_bytes(&[]),
+            Err(SerialError::new(SerialErrorKind::Truncated, 0))
+        );
+        assert_eq!(
+            vertex_from_bytes(&[0xff; 30]),
+            Err(SerialError::new(SerialErrorKind::BadMagic, 0))
+        );
+        // Correct edge magic but nothing after it: truncated at offset 2.
+        assert_eq!(
+            edge_from_bytes(&[0x45, 0x46]),
+            Err(SerialError::new(SerialErrorKind::Truncated, 2))
+        );
+        // Truncated edge payload: the reader stops inside the last word.
         let g = Graph::cycle(4);
         let s = FtcScheme::build(&g, &Params::deterministic(1)).unwrap();
         let bytes = edge_to_bytes(s.labels().edge_label_by_id(0));
         assert_eq!(
             edge_from_bytes(&bytes[..bytes.len() - 1]),
-            Err(SerialError::Malformed)
+            Err(SerialError::new(
+                SerialErrorKind::Truncated,
+                bytes.len() - 8
+            ))
         );
-        // Trailing garbage.
+        // Trailing garbage is flagged at the first surplus byte.
         let mut extended = bytes.clone();
         extended.push(0);
-        assert_eq!(edge_from_bytes(&extended), Err(SerialError::Malformed));
+        assert_eq!(
+            edge_from_bytes(&extended),
+            Err(SerialError::new(
+                SerialErrorKind::TrailingBytes,
+                bytes.len()
+            ))
+        );
     }
 
     #[test]
@@ -506,10 +684,23 @@ mod tests {
         let g = Graph::cycle(4);
         let s = FtcScheme::build(&g, &Params::deterministic(1)).unwrap();
         let vb = vertex_to_bytes(s.labels().vertex_label(0));
-        assert_eq!(edge_from_bytes(&vb), Err(SerialError::Malformed));
+        assert_eq!(
+            edge_from_bytes(&vb),
+            Err(SerialError::new(SerialErrorKind::BadMagic, 0))
+        );
         assert!(EdgeLabelView::new(&vb).is_err());
         let eb = edge_to_bytes(s.labels().edge_label_by_id(0));
         assert!(VertexLabelView::new(&eb).is_err());
+        // A full-encoding edge is not a compact one and vice versa.
+        assert_eq!(
+            CompactEdgeLabelView::new(&eb).unwrap_err().kind,
+            SerialErrorKind::BadMagic
+        );
+        let cb = edge_to_bytes_compact(s.labels().edge_label_by_id(0));
+        assert_eq!(
+            EdgeLabelView::new(&cb).unwrap_err().kind,
+            SerialErrorKind::BadMagic
+        );
     }
 
     #[test]
@@ -535,18 +726,74 @@ mod tests {
     }
 
     #[test]
-    fn views_reject_malformed_bytes() {
-        assert!(VertexLabelView::new(&[]).is_err());
-        assert!(EdgeLabelView::new(&[0x45, 0x46]).is_err());
+    fn views_reject_malformed_bytes_with_offsets() {
+        assert_eq!(
+            VertexLabelView::new(&[]).unwrap_err(),
+            SerialError::new(SerialErrorKind::Truncated, 0)
+        );
+        assert_eq!(
+            EdgeLabelView::new(&[0x45, 0x46]).unwrap_err(),
+            SerialError::new(SerialErrorKind::Truncated, 2)
+        );
         let g = Graph::cycle(4);
         let s = FtcScheme::build(&g, &Params::deterministic(1)).unwrap();
         let bytes = edge_to_bytes(s.labels().edge_label_by_id(0));
-        assert!(EdgeLabelView::new(&bytes[..bytes.len() - 1]).is_err());
+        assert_eq!(
+            EdgeLabelView::new(&bytes[..bytes.len() - 1]).unwrap_err(),
+            SerialError::new(SerialErrorKind::Truncated, bytes.len() - 1)
+        );
         let mut extended = bytes.clone();
         extended.push(0);
-        assert!(EdgeLabelView::new(&extended).is_err());
+        assert_eq!(
+            EdgeLabelView::new(&extended).unwrap_err(),
+            SerialError::new(SerialErrorKind::TrailingBytes, bytes.len())
+        );
         let vb = vertex_to_bytes(s.labels().vertex_label(0));
-        assert!(VertexLabelView::new(&vb[..vb.len() - 1]).is_err());
+        assert_eq!(
+            VertexLabelView::new(&vb[..vb.len() - 1]).unwrap_err(),
+            SerialError::new(SerialErrorKind::Truncated, vb.len() - 1)
+        );
+        // Compact views locate truncation the same way.
+        let cb = edge_to_bytes_compact(s.labels().edge_label_by_id(0));
+        assert_eq!(
+            CompactEdgeLabelView::new(&cb[..cb.len() - 1]).unwrap_err(),
+            SerialError::new(SerialErrorKind::Truncated, cb.len() - 1)
+        );
+    }
+
+    #[test]
+    fn compact_views_agree_with_owned_expansion() {
+        let g = Graph::grid(3, 3);
+        let s = FtcScheme::build(&g, &Params::deterministic(2)).unwrap();
+        let l = s.labels();
+        for e in 0..g.m() {
+            let bytes = edge_to_bytes_compact(l.edge_label_by_id(e));
+            let view = CompactEdgeLabelView::new(&bytes).unwrap();
+            assert_eq!(&view.to_label(), l.edge_label_by_id(e));
+            // The XOR path agrees with the materialized vector.
+            let mut acc = view.to_vector();
+            view.xor_vector_into(&mut acc);
+            assert!(crate::labels::OutdetectVector::is_zero(&acc));
+        }
+        // Compact views drive sessions exactly like full ones.
+        let b0 = edge_to_bytes_compact(l.edge_label_by_id(0));
+        let b3 = edge_to_bytes_compact(l.edge_label_by_id(3));
+        let views = [
+            CompactEdgeLabelView::new(&b0).unwrap(),
+            CompactEdgeLabelView::new(&b3).unwrap(),
+        ];
+        let session = crate::session::QuerySession::new(l.header(), views).unwrap();
+        let owned = l
+            .session([l.edge_label_by_id(0), l.edge_label_by_id(3)])
+            .unwrap();
+        for s in 0..g.n() {
+            for t in 0..g.n() {
+                assert_eq!(
+                    session.connected(l.vertex_label(s), l.vertex_label(t)),
+                    owned.connected(l.vertex_label(s), l.vertex_label(t))
+                );
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,876 @@
+//! The label archive: single-blob storage for a whole labeling, opened
+//! zero-copy.
+//!
+//! A labeling is built once and its labels are served forever after; the
+//! natural storage shape is therefore one indexed archive, not one byte
+//! buffer per label. [`LabelStore`] writes a [`crate::LabelSet`] as a
+//! single blob — magic, version, [`LabelHeader`], offset/endpoint index,
+//! concatenated label bytes — and [`LabelStoreView::open`] validates that
+//! blob **once** and then serves
+//!
+//! * [`LabelStoreView::vertex`] — O(1) zero-copy [`VertexLabelView`]s,
+//! * [`LabelStoreView::edge`] — O(log m) zero-copy edge views resolved by
+//!   endpoint pair (both the full and the compact half-width encodings,
+//!   behind the archive's encoding tag),
+//! * [`LabelStoreView::session`] — a ready [`QuerySession`] for a fault
+//!   set named by endpoint pairs, built straight over the archive bytes,
+//!
+//! without materializing a single owned label. This is the canonical
+//! interchange surface: `ftc-cli` ships archives, and
+//! `ftc_routing::ForbiddenSetRouter` can be reconstituted from one
+//! without re-running the scheme construction.
+//!
+//! # Byte layout (all little-endian)
+//!
+//! ```text
+//! offset size        field
+//! 0      4           magic "FTCL"
+//! 4      2           format version (currently 1)
+//! 6      1           edge encoding: 0 = full, 1 = compact
+//! 7      1           reserved (0)
+//! 8      16          LabelHeader { f: u32, aux_n: u32, tag: u64 }
+//! 24     4           n  (number of vertex labels)
+//! 28     4           m  (number of edge labels)
+//! 32     4           vertex stride (fixed vertex-label byte length)
+//! 36     4           endpoint-index entry count (distinct (u, v) pairs)
+//! 40     (m+1)·8     edge offsets into the edge region, monotone, [0] = 0
+//! …      count·12    endpoint index: (u: u32, v: u32, edge id: u32),
+//!                    strictly sorted by (u, v) with u < v
+//! …      n·stride    concatenated vertex label bytes (per-label layout
+//!                    of `serial::vertex_to_bytes`, magic included)
+//! …      rest        concatenated edge label bytes, in edge-ID order
+//!                    (`serial::edge_to_bytes` or `edge_to_bytes_compact`)
+//! ```
+//!
+//! # Example
+//!
+//! ```
+//! use ftc_core::store::{EdgeEncoding, LabelStore, LabelStoreView};
+//! use ftc_core::{FtcScheme, Params};
+//! use ftc_graph::Graph;
+//!
+//! let g = Graph::cycle(6);
+//! let scheme = FtcScheme::builder(&g).params(&Params::deterministic(2)).build().unwrap();
+//! let blob = LabelStore::to_vec(scheme.labels(), EdgeEncoding::Full);
+//!
+//! // Later — possibly in another process — open and query zero-copy.
+//! let view = LabelStoreView::open(&blob).unwrap();
+//! let session = view.session([(0, 1), (3, 4)]).unwrap();
+//! assert!(!session.connected(view.vertex(1).unwrap(), view.vertex(4).unwrap()).unwrap());
+//! assert!(session.connected(view.vertex(1).unwrap(), view.vertex(3).unwrap()).unwrap());
+//! ```
+
+use crate::ancestry::AncestryLabel;
+use crate::error::QueryError;
+use crate::labels::{EdgeLabel, EdgeLabelRead, LabelHeader, LabelSet, RsVector, VertexLabelRead};
+use crate::serial::{
+    edge_to_bytes, edge_to_bytes_compact, vertex_to_bytes, CompactEdgeLabelView, EdgeLabelView,
+    SerialError, SerialErrorKind, VertexLabelView, VERTEX_LABEL_BYTES,
+};
+use crate::session::QuerySession;
+use std::collections::HashMap;
+use std::fmt;
+use std::io::{self, Write};
+
+const STORE_MAGIC: [u8; 4] = *b"FTCL";
+const STORE_VERSION: u16 = 1;
+/// Fixed-size prefix before the offset index.
+const FIXED_HEADER_BYTES: usize = 40;
+/// Bytes per endpoint-index entry.
+const ENDPOINT_ENTRY_BYTES: usize = 12;
+
+/// How edge labels are encoded in an archive.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EdgeEncoding {
+    /// Full `2k`-element Reed–Solomon syndromes per level
+    /// ([`edge_to_bytes`] layout).
+    Full,
+    /// Half-width characteristic-two compression: only the `k` odd power
+    /// sums per level ([`edge_to_bytes_compact`] layout); even ones are
+    /// reconstructed as `s_{2j} = s_j²` on read.
+    Compact,
+}
+
+impl EdgeEncoding {
+    fn tag(self) -> u8 {
+        match self {
+            EdgeEncoding::Full => 0,
+            EdgeEncoding::Compact => 1,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Option<EdgeEncoding> {
+        match tag {
+            0 => Some(EdgeEncoding::Full),
+            1 => Some(EdgeEncoding::Compact),
+            _ => None,
+        }
+    }
+}
+
+/// Errors raised while resolving labels out of an archive.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StoreError {
+    /// A fault was named by an endpoint pair the archive does not index.
+    UnknownEdge {
+        /// First requested endpoint.
+        u: usize,
+        /// Second requested endpoint.
+        v: usize,
+    },
+    /// A vertex argument is outside the archive's `0..n` range.
+    VertexOutOfRange {
+        /// The requested vertex.
+        v: usize,
+    },
+    /// The underlying session construction or query failed.
+    Query(QueryError),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::UnknownEdge { u, v } => {
+                write!(f, "no edge {u}–{v} in the archived labeling")
+            }
+            StoreError::VertexOutOfRange { v } => {
+                write!(f, "vertex {v} outside the archived labeling")
+            }
+            StoreError::Query(q) => write!(f, "archive query failed: {q}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<QueryError> for StoreError {
+    fn from(q: QueryError) -> StoreError {
+        StoreError::Query(q)
+    }
+}
+
+/// An owned, validated label archive (the write side and an owning handle
+/// around the blob; all reading goes through [`LabelStoreView`]).
+#[derive(Clone, Debug)]
+pub struct LabelStore {
+    bytes: Vec<u8>,
+    /// Parsed framing, kept so [`LabelStore::view`] never re-validates.
+    meta: ArchiveMeta,
+}
+
+impl LabelStore {
+    /// Archives a label set under the given edge encoding.
+    pub fn archive(labels: &LabelSet<RsVector>, encoding: EdgeEncoding) -> LabelStore {
+        let bytes = encode(labels, encoding);
+        let meta = LabelStoreView::open(&bytes)
+            .expect("freshly encoded archives are well-formed")
+            .meta;
+        LabelStore { bytes, meta }
+    }
+
+    /// Serializes a label set straight into a writer (same bytes as
+    /// [`LabelStore::to_vec`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn write<W: Write>(
+        labels: &LabelSet<RsVector>,
+        encoding: EdgeEncoding,
+        w: &mut W,
+    ) -> io::Result<()> {
+        w.write_all(&encode(labels, encoding))
+    }
+
+    /// Serializes a label set into a fresh byte vector.
+    pub fn to_vec(labels: &LabelSet<RsVector>, encoding: EdgeEncoding) -> Vec<u8> {
+        encode(labels, encoding)
+    }
+
+    /// Takes ownership of an archive blob, validating it in full.
+    ///
+    /// # Errors
+    ///
+    /// [`SerialError`] (with the offending byte offset) if the blob is
+    /// not a well-formed archive.
+    pub fn from_vec(bytes: Vec<u8>) -> Result<LabelStore, SerialError> {
+        let meta = LabelStoreView::open(&bytes)?.meta;
+        Ok(LabelStore { bytes, meta })
+    }
+
+    /// The raw archive bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Consumes the store, returning the archive bytes.
+    pub fn into_vec(self) -> Vec<u8> {
+        self.bytes
+    }
+
+    /// Opens a zero-copy view over the owned bytes. The archive was
+    /// validated when this store was constructed, so this is O(1) — no
+    /// re-validation.
+    pub fn view(&self) -> LabelStoreView<'_> {
+        LabelStoreView {
+            buf: &self.bytes,
+            meta: self.meta,
+        }
+    }
+}
+
+/// Parsed archive framing: everything a [`LabelStoreView`] knows beyond
+/// the bytes themselves. Copyable so an owning [`LabelStore`] can mint
+/// views without re-validating.
+#[derive(Clone, Copy, Debug)]
+struct ArchiveMeta {
+    header: LabelHeader,
+    encoding: EdgeEncoding,
+    n: usize,
+    m: usize,
+    idx_count: usize,
+    /// Byte position of the edge-offset table.
+    offsets_at: usize,
+    /// Byte position of the endpoint index.
+    endpoint_at: usize,
+    /// Byte position of the vertex label region.
+    vertices_at: usize,
+    /// Byte position of the edge label region.
+    edges_at: usize,
+}
+
+/// A validated zero-copy view over a label archive: the read surface of
+/// the store. See the [module docs](self) for the byte layout and the
+/// complexity of each lookup.
+#[derive(Clone, Copy, Debug)]
+pub struct LabelStoreView<'a> {
+    buf: &'a [u8],
+    meta: ArchiveMeta,
+}
+
+fn u32_at(buf: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes(buf[at..at + 4].try_into().unwrap())
+}
+
+fn u64_at(buf: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes(buf[at..at + 8].try_into().unwrap())
+}
+
+impl<'a> LabelStoreView<'a> {
+    /// Validates the whole archive — framing, index monotonicity, and
+    /// every contained label (magic, geometry, header agreement) — and
+    /// returns the view. After `open` succeeds, all lookups are
+    /// infallible index arithmetic over pre-validated bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`SerialError`] carrying the archive byte offset at which
+    /// validation failed.
+    pub fn open(bytes: &'a [u8]) -> Result<LabelStoreView<'a>, SerialError> {
+        let truncated = |at: usize| SerialError::new(SerialErrorKind::Truncated, at);
+        let inconsistent = |at: usize| SerialError::new(SerialErrorKind::Inconsistent, at);
+        if bytes.len() < FIXED_HEADER_BYTES {
+            return Err(truncated(bytes.len()));
+        }
+        if bytes[..4] != STORE_MAGIC {
+            return Err(SerialError::new(SerialErrorKind::BadMagic, 0));
+        }
+        if u16::from_le_bytes(bytes[4..6].try_into().unwrap()) != STORE_VERSION {
+            return Err(SerialError::new(SerialErrorKind::UnsupportedVersion, 4));
+        }
+        let encoding = EdgeEncoding::from_tag(bytes[6]).ok_or(inconsistent(6))?;
+        if bytes[7] != 0 {
+            return Err(inconsistent(7));
+        }
+        let header = LabelHeader {
+            f: u32_at(bytes, 8),
+            aux_n: u32_at(bytes, 12),
+            tag: u64_at(bytes, 16),
+        };
+        let n = u32_at(bytes, 24) as usize;
+        let m = u32_at(bytes, 28) as usize;
+        let stride = u32_at(bytes, 32) as usize;
+        if stride != VERTEX_LABEL_BYTES {
+            return Err(inconsistent(32));
+        }
+        let idx_count = u32_at(bytes, 36) as usize;
+        if idx_count > m {
+            return Err(inconsistent(36));
+        }
+
+        let offsets_at = FIXED_HEADER_BYTES;
+        let offsets_len = (m as u64 + 1) * 8;
+        let endpoint_len = idx_count as u64 * ENDPOINT_ENTRY_BYTES as u64;
+        let vertex_len = n as u64 * stride as u64;
+        let endpoint_at = offsets_at as u64 + offsets_len;
+        let vertices_at = endpoint_at + endpoint_len;
+        let edges_at = vertices_at + vertex_len;
+        if edges_at > bytes.len() as u64 {
+            return Err(truncated(bytes.len()));
+        }
+        let (endpoint_at, vertices_at, edges_at) = (
+            endpoint_at as usize,
+            vertices_at as usize,
+            edges_at as usize,
+        );
+
+        // Edge offsets: zero-based, monotone, ending exactly at the end
+        // of the buffer.
+        let edge_region_len = (bytes.len() - edges_at) as u64;
+        let mut prev = 0u64;
+        for e in 0..=m {
+            let off = u64_at(bytes, offsets_at + 8 * e);
+            if (e == 0 && off != 0) || off < prev || off > edge_region_len {
+                return Err(inconsistent(offsets_at + 8 * e));
+            }
+            prev = off;
+        }
+        if prev != edge_region_len {
+            return Err(inconsistent(offsets_at + 8 * m));
+        }
+
+        // Endpoint index: strictly sorted normalized pairs, edge IDs in
+        // range.
+        let mut prev_pair: Option<(u32, u32)> = None;
+        for i in 0..idx_count {
+            let at = endpoint_at + ENDPOINT_ENTRY_BYTES * i;
+            let u = u32_at(bytes, at);
+            let v = u32_at(bytes, at + 4);
+            let e = u32_at(bytes, at + 8) as usize;
+            if u >= v || e >= m || prev_pair.is_some_and(|p| p >= (u, v)) {
+                return Err(inconsistent(at));
+            }
+            prev_pair = Some((u, v));
+        }
+
+        let view = LabelStoreView {
+            buf: bytes,
+            meta: ArchiveMeta {
+                header,
+                encoding,
+                n,
+                m,
+                idx_count,
+                offsets_at,
+                endpoint_at,
+                vertices_at,
+                edges_at,
+            },
+        };
+
+        // Validate every label once; lookups then skip re-validation.
+        let rebase = |err: SerialError, base: usize| SerialError::new(err.kind, base + err.offset);
+        for v in 0..n {
+            let at = vertices_at + v * stride;
+            let vl = VertexLabelView::new(&bytes[at..at + stride]).map_err(|e| rebase(e, at))?;
+            if VertexLabelRead::header(&vl) != header {
+                return Err(inconsistent(at));
+            }
+        }
+        // Edge labels must additionally agree on the codec geometry
+        // (threshold k and level count): the merge engine asserts
+        // uniform widths, so a mixed-geometry archive must fail here —
+        // at open, with an offset — not panic inside a later session.
+        let mut geometry: Option<(usize, usize)> = None;
+        for e in 0..m {
+            let (at, end) = view.edge_span(e);
+            let label = view.edge_view_at(at, end).map_err(|err| rebase(err, at))?;
+            if label.header() != header {
+                return Err(inconsistent(at));
+            }
+            let this = (label.k(), label.levels());
+            match geometry {
+                None => geometry = Some(this),
+                Some(first) if first != this => return Err(inconsistent(at)),
+                Some(_) => {}
+            }
+        }
+        Ok(view)
+    }
+
+    /// The shared labeling header.
+    pub fn header(&self) -> LabelHeader {
+        self.meta.header
+    }
+
+    /// The edge encoding this archive stores.
+    pub fn encoding(&self) -> EdgeEncoding {
+        self.meta.encoding
+    }
+
+    /// Number of archived vertex labels.
+    pub fn n(&self) -> usize {
+        self.meta.n
+    }
+
+    /// Number of archived edge labels.
+    pub fn m(&self) -> usize {
+        self.meta.m
+    }
+
+    /// Total archive size in bytes.
+    pub fn archive_bytes(&self) -> usize {
+        self.buf.len()
+    }
+
+    fn edge_span(&self, e: usize) -> (usize, usize) {
+        let start = u64_at(self.buf, self.meta.offsets_at + 8 * e) as usize;
+        let end = u64_at(self.buf, self.meta.offsets_at + 8 * (e + 1)) as usize;
+        (self.meta.edges_at + start, self.meta.edges_at + end)
+    }
+
+    fn edge_view_at(&self, at: usize, end: usize) -> Result<ArchivedEdgeView<'a>, SerialError> {
+        let bytes = &self.buf[at..end];
+        Ok(match self.meta.encoding {
+            EdgeEncoding::Full => ArchivedEdgeView::Full(EdgeLabelView::new(bytes)?),
+            EdgeEncoding::Compact => ArchivedEdgeView::Compact(CompactEdgeLabelView::new(bytes)?),
+        })
+    }
+
+    /// The label of vertex `v` as a zero-copy view — O(1); `None` when
+    /// `v` is out of range.
+    pub fn vertex(&self, v: usize) -> Option<VertexLabelView<'a>> {
+        if v >= self.meta.n {
+            return None;
+        }
+        let at = self.meta.vertices_at + v * VERTEX_LABEL_BYTES;
+        Some(
+            VertexLabelView::new(&self.buf[at..at + VERTEX_LABEL_BYTES])
+                .expect("validated at open"),
+        )
+    }
+
+    /// The label of the edge with original edge ID `e` as a zero-copy
+    /// view — O(1); `None` when `e` is out of range.
+    pub fn edge_by_id(&self, e: usize) -> Option<ArchivedEdgeView<'a>> {
+        if e >= self.meta.m {
+            return None;
+        }
+        let (at, end) = self.edge_span(e);
+        Some(self.edge_view_at(at, end).expect("validated at open"))
+    }
+
+    /// The edge ID of the edge joining `u` and `v` (either order) —
+    /// O(log m) binary search over the endpoint index; `None` when no
+    /// such edge is archived.
+    pub fn edge_id(&self, u: usize, v: usize) -> Option<usize> {
+        let key = ((u.min(v)) as u32, (u.max(v)) as u32);
+        let mut lo = 0usize;
+        let mut hi = self.meta.idx_count;
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            let at = self.meta.endpoint_at + ENDPOINT_ENTRY_BYTES * mid;
+            let pair = (u32_at(self.buf, at), u32_at(self.buf, at + 4));
+            match pair.cmp(&key) {
+                std::cmp::Ordering::Less => lo = mid + 1,
+                std::cmp::Ordering::Greater => hi = mid,
+                std::cmp::Ordering::Equal => {
+                    return Some(u32_at(self.buf, at + 8) as usize);
+                }
+            }
+        }
+        None
+    }
+
+    /// The label of the edge joining `u` and `v` (either order) as a
+    /// zero-copy view — O(log m); `None` when no such edge is archived.
+    pub fn edge(&self, u: usize, v: usize) -> Option<ArchivedEdgeView<'a>> {
+        self.edge_by_id(self.edge_id(u, v)?)
+    }
+
+    /// Iterates the endpoint index as `(u, v, edge id)` triples, in
+    /// sorted endpoint order.
+    pub fn endpoint_index(&self) -> impl ExactSizeIterator<Item = (usize, usize, usize)> + '_ {
+        (0..self.meta.idx_count).map(|i| {
+            let at = self.meta.endpoint_at + ENDPOINT_ENTRY_BYTES * i;
+            (
+                u32_at(self.buf, at) as usize,
+                u32_at(self.buf, at + 4) as usize,
+                u32_at(self.buf, at + 8) as usize,
+            )
+        })
+    }
+
+    /// Opens a [`QuerySession`] for a fault set named by endpoint pairs,
+    /// built straight over the archive bytes — the archive-native
+    /// equivalent of [`LabelSet::session`]. An empty fault set is valid.
+    ///
+    /// # Errors
+    ///
+    /// * [`StoreError::UnknownEdge`] if a pair is not an archived edge;
+    /// * [`StoreError::Query`] on session-construction failures
+    ///   (over-budget fault sets, calibrated-threshold decode failures).
+    pub fn session<I>(&self, faults: I) -> Result<QuerySession, StoreError>
+    where
+        I: IntoIterator<Item = (usize, usize)>,
+    {
+        let views = faults
+            .into_iter()
+            .map(|(u, v)| self.edge(u, v).ok_or(StoreError::UnknownEdge { u, v }))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(QuerySession::new(self.meta.header, views)?)
+    }
+
+    /// Answers one connectivity query entirely from the archive: a
+    /// convenience wrapper building a throwaway [`LabelStoreView::session`].
+    /// Serving workloads should build the session once instead.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::VertexOutOfRange`] / [`StoreError::UnknownEdge`] on
+    /// unresolvable arguments, [`StoreError::Query`] from the decoder.
+    pub fn connected<I>(&self, s: usize, t: usize, faults: I) -> Result<bool, StoreError>
+    where
+        I: IntoIterator<Item = (usize, usize)>,
+    {
+        let vs = self
+            .vertex(s)
+            .ok_or(StoreError::VertexOutOfRange { v: s })?;
+        let vt = self
+            .vertex(t)
+            .ok_or(StoreError::VertexOutOfRange { v: t })?;
+        // Trivial pairs answer before fault validation (the decoder's
+        // historical check order).
+        if let Some(answer) = QuerySession::trivial_answer(&vs, &vt).map_err(StoreError::Query)? {
+            return Ok(answer);
+        }
+        Ok(self.session(faults)?.connected(vs, vt)?)
+    }
+
+    /// Decodes the archive back into an owned [`LabelSet`] — the
+    /// reconstitution path for components (like the forbidden-set router)
+    /// that need owned labels without re-running the scheme construction.
+    pub fn to_label_set(&self) -> LabelSet<RsVector> {
+        let vertex_labels = (0..self.meta.n)
+            .map(|v| self.vertex(v).expect("in range").to_label())
+            .collect();
+        let edge_labels = (0..self.meta.m)
+            .map(|e| self.edge_by_id(e).expect("in range").to_label())
+            .collect();
+        let mut edge_index = HashMap::with_capacity(self.meta.idx_count);
+        for (u, v, e) in self.endpoint_index() {
+            edge_index.insert((u, v), e);
+        }
+        LabelSet {
+            header: self.meta.header,
+            vertex_labels,
+            edge_labels,
+            edge_index,
+        }
+    }
+}
+
+/// A zero-copy edge label view resolved out of an archive: full or
+/// compact encoding behind one tag. Implements [`EdgeLabelRead`], so it
+/// feeds [`QuerySession`]s directly.
+#[derive(Clone, Copy, Debug)]
+pub enum ArchivedEdgeView<'a> {
+    /// Full `2k`-syndrome encoding.
+    Full(EdgeLabelView<'a>),
+    /// Half-width characteristic-two encoding.
+    Compact(CompactEdgeLabelView<'a>),
+}
+
+impl ArchivedEdgeView<'_> {
+    /// Copies the view out into an owned label.
+    pub fn to_label(&self) -> EdgeLabel<RsVector> {
+        match self {
+            ArchivedEdgeView::Full(v) => v.to_label(),
+            ArchivedEdgeView::Compact(v) => v.to_label(),
+        }
+    }
+
+    /// The codec threshold `k` of the carried vector.
+    pub fn k(&self) -> usize {
+        match self {
+            ArchivedEdgeView::Full(v) => v.k(),
+            ArchivedEdgeView::Compact(v) => v.k(),
+        }
+    }
+
+    /// Number of hierarchy levels carried.
+    pub fn levels(&self) -> usize {
+        match self {
+            ArchivedEdgeView::Full(v) => {
+                let k = v.k();
+                if k == 0 {
+                    0
+                } else {
+                    v.num_words() / (2 * k)
+                }
+            }
+            ArchivedEdgeView::Compact(v) => v.levels(),
+        }
+    }
+}
+
+impl EdgeLabelRead for ArchivedEdgeView<'_> {
+    type Vector = RsVector;
+
+    fn header(&self) -> LabelHeader {
+        match self {
+            ArchivedEdgeView::Full(v) => v.header(),
+            ArchivedEdgeView::Compact(v) => v.header(),
+        }
+    }
+
+    fn anc_upper(&self) -> AncestryLabel {
+        match self {
+            ArchivedEdgeView::Full(v) => v.anc_upper(),
+            ArchivedEdgeView::Compact(v) => v.anc_upper(),
+        }
+    }
+
+    fn anc_lower(&self) -> AncestryLabel {
+        match self {
+            ArchivedEdgeView::Full(v) => v.anc_lower(),
+            ArchivedEdgeView::Compact(v) => v.anc_lower(),
+        }
+    }
+
+    fn to_vector(&self) -> RsVector {
+        match self {
+            ArchivedEdgeView::Full(v) => v.to_vector(),
+            ArchivedEdgeView::Compact(v) => v.to_vector(),
+        }
+    }
+
+    fn xor_vector_into(&self, acc: &mut RsVector) {
+        match self {
+            ArchivedEdgeView::Full(v) => v.xor_vector_into(acc),
+            ArchivedEdgeView::Compact(v) => v.xor_vector_into(acc),
+        }
+    }
+}
+
+/// Serializes a label set into the archive layout.
+fn encode(labels: &LabelSet<RsVector>, encoding: EdgeEncoding) -> Vec<u8> {
+    let n = labels.n();
+    let m = labels.m();
+    let header = labels.header();
+
+    // Endpoint index: normalized pairs sorted ascending.
+    let mut endpoint_entries: Vec<(u32, u32, u32)> = labels
+        .edge_index
+        .iter()
+        .map(|(&(u, v), &e)| (u as u32, v as u32, e as u32))
+        .collect();
+    endpoint_entries.sort_unstable();
+
+    let edge_bytes: Vec<Vec<u8>> = labels
+        .edge_labels
+        .iter()
+        .map(|l| match encoding {
+            EdgeEncoding::Full => edge_to_bytes(l),
+            EdgeEncoding::Compact => edge_to_bytes_compact(l),
+        })
+        .collect();
+    let edge_total: usize = edge_bytes.iter().map(Vec::len).sum();
+
+    let mut out = Vec::with_capacity(
+        FIXED_HEADER_BYTES
+            + (m + 1) * 8
+            + endpoint_entries.len() * ENDPOINT_ENTRY_BYTES
+            + n * VERTEX_LABEL_BYTES
+            + edge_total,
+    );
+    out.extend_from_slice(&STORE_MAGIC);
+    out.extend_from_slice(&STORE_VERSION.to_le_bytes());
+    out.push(encoding.tag());
+    out.push(0);
+    out.extend_from_slice(&header.f.to_le_bytes());
+    out.extend_from_slice(&header.aux_n.to_le_bytes());
+    out.extend_from_slice(&header.tag.to_le_bytes());
+    out.extend_from_slice(&(n as u32).to_le_bytes());
+    out.extend_from_slice(&(m as u32).to_le_bytes());
+    out.extend_from_slice(&(VERTEX_LABEL_BYTES as u32).to_le_bytes());
+    out.extend_from_slice(&(endpoint_entries.len() as u32).to_le_bytes());
+
+    let mut off = 0u64;
+    for b in &edge_bytes {
+        out.extend_from_slice(&off.to_le_bytes());
+        off += b.len() as u64;
+    }
+    out.extend_from_slice(&off.to_le_bytes());
+
+    for &(u, v, e) in &endpoint_entries {
+        out.extend_from_slice(&u.to_le_bytes());
+        out.extend_from_slice(&v.to_le_bytes());
+        out.extend_from_slice(&e.to_le_bytes());
+    }
+
+    for v in 0..n {
+        out.extend_from_slice(&vertex_to_bytes(labels.vertex_label(v)));
+    }
+    for b in &edge_bytes {
+        out.extend_from_slice(b);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::Params;
+    use crate::scheme::FtcScheme;
+    use ftc_graph::Graph;
+
+    fn archive(encoding: EdgeEncoding) -> (Graph, Vec<u8>) {
+        let g = Graph::torus(3, 4);
+        let scheme = FtcScheme::build(&g, &Params::deterministic(2)).unwrap();
+        let blob = LabelStore::to_vec(scheme.labels(), encoding);
+        (g, blob)
+    }
+
+    #[test]
+    fn round_trips_both_encodings() {
+        for encoding in [EdgeEncoding::Full, EdgeEncoding::Compact] {
+            let g = Graph::torus(3, 4);
+            let scheme = FtcScheme::build(&g, &Params::deterministic(2)).unwrap();
+            let l = scheme.labels();
+            let blob = LabelStore::to_vec(l, encoding);
+            let view = LabelStoreView::open(&blob).unwrap();
+            assert_eq!(view.encoding(), encoding);
+            assert_eq!(view.n(), g.n());
+            assert_eq!(view.m(), g.m());
+            assert_eq!(view.header(), l.header());
+            for v in 0..g.n() {
+                assert_eq!(&view.vertex(v).unwrap().to_label(), l.vertex_label(v));
+            }
+            for e in 0..g.m() {
+                assert_eq!(
+                    &view.edge_by_id(e).unwrap().to_label(),
+                    l.edge_label_by_id(e)
+                );
+            }
+            for (_, u, v) in g.edge_iter() {
+                let via_pair = view.edge(u, v).unwrap().to_label();
+                assert_eq!(Some(&via_pair), l.edge_label(u, v));
+                // Reversed endpoint order resolves too.
+                assert_eq!(view.edge_id(v, u), view.edge_id(u, v));
+            }
+            assert!(view.edge(0, 99).is_none());
+            assert!(view.vertex(g.n()).is_none());
+            // Full reconstitution matches the original labels.
+            let restored = view.to_label_set();
+            assert_eq!(restored.header(), l.header());
+            for v in 0..g.n() {
+                assert_eq!(restored.vertex_label(v), l.vertex_label(v));
+            }
+            for e in 0..g.m() {
+                assert_eq!(restored.edge_label_by_id(e), l.edge_label_by_id(e));
+            }
+        }
+    }
+
+    #[test]
+    fn compact_archives_are_smaller() {
+        let (_, full) = archive(EdgeEncoding::Full);
+        let (_, compact) = archive(EdgeEncoding::Compact);
+        assert!(
+            compact.len() < full.len(),
+            "compact {} should undercut full {}",
+            compact.len(),
+            full.len()
+        );
+    }
+
+    #[test]
+    fn sessions_from_archives_answer_queries() {
+        for encoding in [EdgeEncoding::Full, EdgeEncoding::Compact] {
+            let (_, blob) = archive(encoding);
+            let view = LabelStoreView::open(&blob).unwrap();
+            // Torus(3,4) is 4-edge-connected; two faults keep it connected.
+            let session = view.session([(0, 1), (0, 4)]).unwrap();
+            assert_eq!(
+                session.connected(view.vertex(0).unwrap(), view.vertex(7).unwrap()),
+                Ok(true)
+            );
+            // Unknown fault edges are named, not silently dropped.
+            assert_eq!(
+                view.session([(0, 99)]).unwrap_err(),
+                StoreError::UnknownEdge { u: 0, v: 99 }
+            );
+            // One-shot convenience path agrees.
+            assert_eq!(view.connected(0, 7, [(0, 1), (0, 4)]), Ok(true));
+            assert_eq!(
+                view.connected(0, 99, []),
+                Err(StoreError::VertexOutOfRange { v: 99 })
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_and_corruption_rejected_without_panic() {
+        let (_, blob) = archive(EdgeEncoding::Full);
+        // Every prefix is rejected (or — for the empty archive — at least
+        // never panics and never validates).
+        for cut in 0..blob.len() {
+            assert!(
+                LabelStoreView::open(&blob[..cut]).is_err(),
+                "prefix of {cut} bytes unexpectedly validated"
+            );
+        }
+        // Trailing garbage is rejected.
+        let mut extended = blob.clone();
+        extended.push(0);
+        assert!(LabelStoreView::open(&extended).is_err());
+        // Wrong magic, version, encoding tag.
+        let mut bad = blob.clone();
+        bad[0] ^= 0xff;
+        assert_eq!(
+            LabelStoreView::open(&bad).unwrap_err(),
+            SerialError::new(SerialErrorKind::BadMagic, 0)
+        );
+        let mut bad = blob.clone();
+        bad[4] = 0xee;
+        assert_eq!(
+            LabelStoreView::open(&bad).unwrap_err().kind,
+            SerialErrorKind::UnsupportedVersion
+        );
+        let mut bad = blob.clone();
+        bad[6] = 7;
+        assert_eq!(
+            LabelStoreView::open(&bad).unwrap_err(),
+            SerialError::new(SerialErrorKind::Inconsistent, 6)
+        );
+    }
+
+    #[test]
+    fn mixed_codec_geometry_rejected_at_open() {
+        // A crafted archive whose edge labels disagree on the codec
+        // threshold k must be rejected at open() — never reach the merge
+        // engine's width assertions. Natural archives cannot mix k
+        // (the header tag fingerprints it), so forge one: rewrite edge
+        // 0's k field to a divisor of its word count, which keeps the
+        // per-label geometry checks satisfied.
+        let g = Graph::cycle(5);
+        let scheme = FtcScheme::build(&g, &Params::deterministic(1)).unwrap();
+        let l = scheme.labels();
+        let k = l.edge_label_by_id(0).vec.k();
+        assert!(k > 1, "need k > 1 to forge a divisor");
+        let mut blob = LabelStore::to_vec(l, EdgeEncoding::Full);
+        let view = LabelStoreView::open(&blob).unwrap();
+        let (n, m, idx) = (view.n(), view.m(), view.endpoint_index().len());
+        // k field of edge 0: edge region start + per-label offset of k
+        // (magic 2 + header 16 + two ancestry labels 24 = 42).
+        let edges_at =
+            FIXED_HEADER_BYTES + (m + 1) * 8 + idx * ENDPOINT_ENTRY_BYTES + n * VERTEX_LABEL_BYTES;
+        let k_at = edges_at + 42;
+        assert_eq!(u32_at(&blob, k_at) as usize, k);
+        blob[k_at..k_at + 4].copy_from_slice(&1u32.to_le_bytes());
+        assert_eq!(
+            LabelStoreView::open(&blob).unwrap_err().kind,
+            SerialErrorKind::Inconsistent
+        );
+    }
+
+    #[test]
+    fn from_vec_validates() {
+        let (_, blob) = archive(EdgeEncoding::Compact);
+        let store = LabelStore::from_vec(blob.clone()).unwrap();
+        assert_eq!(store.as_bytes(), &blob[..]);
+        assert_eq!(store.view().m(), 2 * 12);
+        assert!(LabelStore::from_vec(blob[..10].to_vec()).is_err());
+    }
+}

@@ -87,7 +87,7 @@ impl DistanceLabeling {
 
     /// Label-size accounting of the underlying scheme.
     pub fn size_report(&self) -> ftc_core::SizeReport {
-        self.router.scheme().size_report()
+        self.router.size_report()
     }
 
     /// Weighted estimate (Corollary 1 is stated for weighted graphs with

@@ -37,4 +37,4 @@ pub mod distance;
 pub mod router;
 
 pub use distance::{DistanceEstimate, DistanceLabeling};
-pub use router::{ForbiddenSetRouter, RouteError, TableReport};
+pub use router::{ForbiddenSetRouter, RestoreError, RouteError, TableReport};

@@ -10,9 +10,10 @@
 //! subdivision vertices contracted back to original edges.
 
 use ftc_core::auxgraph::AuxGraph;
-use ftc_core::{BuildError, FtcScheme, Params, QueryError};
+use ftc_core::store::LabelStoreView;
+use ftc_core::{BuildError, FtcScheme, LabelSet, Params, QueryError, RsVector, SizeReport};
 use ftc_graph::{EdgeId, Graph, RootedTree, VertexId};
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
 
 /// Routing errors.
@@ -44,6 +45,41 @@ impl From<QueryError> for RouteError {
     }
 }
 
+/// Why a stored label archive could not be attached to a graph
+/// ([`ForbiddenSetRouter::from_store`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RestoreError {
+    /// The archive labels a different number of vertices or edges than
+    /// the supplied graph has.
+    ShapeMismatch {
+        /// Vertices/edges of the supplied graph.
+        graph: (usize, usize),
+        /// Vertices/edges of the archived labeling.
+        archive: (usize, usize),
+    },
+    /// The archived labels do not match the spanning structure derived
+    /// from the supplied graph — the archive was built over a different
+    /// graph (or a different edge order).
+    LabelingMismatch,
+}
+
+impl fmt::Display for RestoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RestoreError::ShapeMismatch { graph, archive } => write!(
+                f,
+                "graph has {}/{} vertices/edges but the archive labels {}/{}",
+                graph.0, graph.1, archive.0, archive.1
+            ),
+            RestoreError::LabelingMismatch => {
+                write!(f, "archived labels do not belong to this graph")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RestoreError {}
+
 /// Table-size accounting (Corollary 2's measured counterpart).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct TableReport {
@@ -60,7 +96,8 @@ pub struct TableReport {
 pub struct ForbiddenSetRouter {
     g: Graph,
     aux: AuxGraph,
-    scheme: FtcScheme,
+    labels: LabelSet<RsVector>,
+    size: SizeReport,
     /// pre-order (in `T′`) → auxiliary vertex.
     pre_to_aux: Vec<VertexId>,
 }
@@ -83,8 +120,63 @@ impl ForbiddenSetRouter {
     /// Propagates [`BuildError`] from the labeling construction.
     pub fn with_params(g: &Graph, params: &Params) -> Result<ForbiddenSetRouter, BuildError> {
         let tree = RootedTree::bfs(g, 0);
-        let scheme = FtcScheme::build_with_tree(g, &tree, params)?;
+        let scheme = FtcScheme::builder(g).params(params).tree(&tree).build()?;
+        let size = scheme.size_report();
+        Ok(Self::assemble(g, &tree, scheme.into_labels(), size))
+    }
+
+    /// Reconstitutes a router from a stored label archive, skipping the
+    /// scheme construction entirely: the hierarchy and outdetect labels
+    /// are decoded from the archive, and only the (cheap, deterministic)
+    /// spanning-forest/auxiliary-graph structure is rebuilt from `g`.
+    ///
+    /// # Errors
+    ///
+    /// [`RestoreError`] if the archive does not label `g` (wrong shape,
+    /// or labels disagreeing with `g`'s spanning structure).
+    pub fn from_store(
+        g: &Graph,
+        store: &LabelStoreView<'_>,
+    ) -> Result<ForbiddenSetRouter, RestoreError> {
+        if store.n() != g.n() || store.m() != g.m() {
+            return Err(RestoreError::ShapeMismatch {
+                graph: (g.n(), g.m()),
+                archive: (store.n(), store.m()),
+            });
+        }
+        let tree = RootedTree::bfs(g, 0);
         let aux = AuxGraph::build(g, &tree);
+        if store.header().aux_n as usize != aux.aux_n {
+            return Err(RestoreError::LabelingMismatch);
+        }
+        let labels = store.to_label_set();
+        // The archive must carry this graph's labels, not merely one of
+        // the same shape: every vertex's ancestry label must match the
+        // structure derived from `g`.
+        if (0..g.n()).any(|v| labels.vertex_label(v).anc != aux.anc[v]) {
+            return Err(RestoreError::LabelingMismatch);
+        }
+        // And the archive's edge-ID assignment must match `g`'s edge
+        // list, or fault IDs would resolve to the wrong labels: the
+        // endpoint index must equal the one this graph would produce
+        // (same last-writer-wins collapse of parallel edges as the
+        // scheme builder).
+        let mut expected = HashMap::with_capacity(g.m());
+        for (e, u, v) in g.edge_iter() {
+            expected.insert((u.min(v), u.max(v)), e);
+        }
+        if store.endpoint_index().len() != expected.len()
+            || store
+                .endpoint_index()
+                .any(|(u, v, e)| expected.get(&(u, v)) != Some(&e))
+        {
+            return Err(RestoreError::LabelingMismatch);
+        }
+        let (k, levels) = labels
+            .edge_labels()
+            .next()
+            .map_or((0, 0), |e| (e.vec.k(), e.vec.levels()));
+        let size = labels.size_report(k, levels);
         let mut pre_to_aux = vec![usize::MAX; aux.aux_n];
         for v in 0..aux.aux_n {
             pre_to_aux[aux.anc[v].pre as usize] = v;
@@ -92,14 +184,41 @@ impl ForbiddenSetRouter {
         Ok(ForbiddenSetRouter {
             g: g.clone(),
             aux,
-            scheme,
+            labels,
+            size,
             pre_to_aux,
         })
     }
 
-    /// The underlying labeling scheme.
-    pub fn scheme(&self) -> &FtcScheme {
-        &self.scheme
+    fn assemble(
+        g: &Graph,
+        tree: &RootedTree,
+        labels: LabelSet<RsVector>,
+        size: SizeReport,
+    ) -> ForbiddenSetRouter {
+        let aux = AuxGraph::build(g, tree);
+        let mut pre_to_aux = vec![usize::MAX; aux.aux_n];
+        for v in 0..aux.aux_n {
+            pre_to_aux[aux.anc[v].pre as usize] = v;
+        }
+        ForbiddenSetRouter {
+            g: g.clone(),
+            aux,
+            labels,
+            size,
+            pre_to_aux,
+        }
+    }
+
+    /// The labeling this router queries (the artifact worth archiving
+    /// via [`ftc_core::store::LabelStore`]).
+    pub fn labels(&self) -> &LabelSet<RsVector> {
+        &self.labels
+    }
+
+    /// Label-size accounting of the underlying labeling.
+    pub fn size_report(&self) -> SizeReport {
+        self.size
     }
 
     /// Computes a path from `s` to `t` in `G − F`, or `None` when
@@ -125,7 +244,7 @@ impl ForbiddenSetRouter {
         if let Some(&e) = faults.iter().find(|&&e| e >= self.g.m()) {
             return Err(RouteError::BadEdge(e));
         }
-        let l = self.scheme.labels();
+        let l = &self.labels;
         // Trivial queries answer before the session's budget enforcement,
         // matching the original decoder's check order.
         match ftc_core::QuerySession::trivial_answer(l.vertex_label(s), l.vertex_label(t))? {
@@ -275,7 +394,7 @@ impl ForbiddenSetRouter {
     /// the labels of its incident edges (to report/forward failures), and
     /// one ancestry interval per port (tree next-hop routing).
     pub fn table_report(&self) -> TableReport {
-        let l = self.scheme.labels();
+        let l = &self.labels;
         let mut total = 0usize;
         let mut max_local = 0usize;
         for v in 0..self.g.n() {
@@ -387,6 +506,72 @@ mod tests {
             })) => {}
             other => panic!("expected budget violation, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn reconstituted_router_routes_identically() {
+        use ftc_core::store::{EdgeEncoding, LabelStore, LabelStoreView};
+        let g = Graph::torus(4, 4);
+        let built = ForbiddenSetRouter::new(&g, 2).unwrap();
+        let blob = LabelStore::to_vec(built.labels(), EdgeEncoding::Compact);
+        let view = LabelStoreView::open(&blob).unwrap();
+        let restored = ForbiddenSetRouter::from_store(&g, &view).unwrap();
+        assert_eq!(restored.size_report(), built.size_report());
+        for faults in [vec![], vec![0usize, 5], vec![3, 9]] {
+            for s in 0..g.n() {
+                for t in 0..g.n() {
+                    assert_eq!(
+                        restored.route(s, t, &faults).unwrap(),
+                        built.route(s, t, &faults).unwrap(),
+                        "({s},{t},{faults:?})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reconstitution_rejects_foreign_archives() {
+        use ftc_core::store::{EdgeEncoding, LabelStore, LabelStoreView};
+        let g = Graph::torus(4, 4);
+        let router = ForbiddenSetRouter::new(&g, 2).unwrap();
+        let blob = LabelStore::to_vec(router.labels(), EdgeEncoding::Full);
+        let view = LabelStoreView::open(&blob).unwrap();
+        // Wrong shape.
+        let other = Graph::cycle(5);
+        assert!(matches!(
+            ForbiddenSetRouter::from_store(&other, &view),
+            Err(RestoreError::ShapeMismatch { .. })
+        ));
+        // Same vertex/edge counts, different graph: the ancestry check
+        // rejects the foreign labels.
+        let same_shape = ftc_graph::generators::random_connected(g.n(), g.m() - (g.n() - 1), 3);
+        assert_eq!(same_shape.m(), g.m());
+        assert!(matches!(
+            ForbiddenSetRouter::from_store(&same_shape, &view),
+            Err(RestoreError::LabelingMismatch)
+        ));
+    }
+
+    #[test]
+    fn reconstitution_rejects_permuted_edge_ids() {
+        use ftc_core::store::{EdgeEncoding, LabelStore, LabelStoreView};
+        // Identical edge *set* but a different edge-ID assignment: fault
+        // IDs would resolve to the wrong archived labels, so the
+        // endpoint-index check must reject the archive.
+        let g = ftc_graph::generators::random_connected(10, 6, 0);
+        let router = ForbiddenSetRouter::new(&g, 1).unwrap();
+        let blob = LabelStore::to_vec(router.labels(), EdgeEncoding::Full);
+        let view = LabelStoreView::open(&blob).unwrap();
+        let mut edges: Vec<(usize, usize)> = g.edge_iter().map(|(_, u, v)| (u, v)).collect();
+        edges.swap(0, 1);
+        let permuted = Graph::from_edges(g.n(), &edges);
+        assert!(matches!(
+            ForbiddenSetRouter::from_store(&permuted, &view),
+            Err(RestoreError::LabelingMismatch)
+        ));
+        // The honest graph still reconstitutes.
+        assert!(ForbiddenSetRouter::from_store(&g, &view).is_ok());
     }
 
     #[test]

@@ -1,9 +1,10 @@
-//! Quickstart: build an f-FTC labeling, ship the labels, answer
-//! connectivity queries under edge faults — without ever touching the
-//! graph again.
+//! Quickstart: build an f-FTC labeling, archive the labels as one blob,
+//! answer connectivity queries under edge faults straight from the
+//! archive — without ever touching the graph again.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
+use ftc::core::store::{EdgeEncoding, LabelStore, LabelStoreView};
 use ftc::core::{FtcScheme, Params};
 use ftc::graph::Graph;
 
@@ -14,28 +15,40 @@ fn main() {
 
     // Build the deterministic labeling for up to f = 3 simultaneous edge
     // faults (the paper's near-linear construction, Theorem 1 bullet 2).
-    let scheme = FtcScheme::build(&g, &Params::deterministic(3)).expect("build");
+    // The staged builder fans the label-encoding stage across one worker
+    // per core; the labels are byte-identical for every thread count.
+    let scheme = FtcScheme::builder(&g)
+        .params(&Params::deterministic(3))
+        .threads(0)
+        .build()
+        .expect("build");
     let size = scheme.size_report();
     println!(
         "labels: {} bits/vertex, {} bits/edge (k = {}, {} hierarchy levels)",
         size.vertex_bits, size.edge_bits, size.k, size.levels
     );
 
-    let labels = scheme.labels();
+    // Archive the whole labeling as a single indexed blob — the unit you
+    // ship to serving processes (`ftc-cli build` writes exactly this).
+    let blob = LabelStore::to_vec(scheme.labels(), EdgeEncoding::Compact);
+    println!("archive: {} bytes (compact edge encoding)", blob.len());
 
-    // Three faults around vertex 0 — the torus stays connected.
-    let session = labels
-        .session([
-            labels.edge_label(0, 1).expect("edge exists"),
-            labels.edge_label(0, 4).expect("edge exists"),
-            labels.edge_label(0, 12).expect("edge exists"),
-        ])
+    // Open zero-copy: one validation pass, then O(1)/O(log m) label
+    // views with no per-label allocation.
+    let view = LabelStoreView::open(&blob).expect("well-formed archive");
+
+    // Three faults around vertex 0 — the torus stays connected. Faults
+    // are named by endpoint pairs; the archive's index resolves them.
+    let session = view
+        .session([(0, 1), (0, 4), (0, 12)])
         .expect("well-formed fault set");
     let ok = session
-        .connected(labels.vertex_label(0), labels.vertex_label(10))
+        .connected(view.vertex(0).unwrap(), view.vertex(10).unwrap())
         .expect("well-formed query");
     println!("0 ↔ 10 with 3 faults around vertex 0: connected = {ok}");
     assert!(ok);
+
+    let labels = scheme.labels();
 
     // Cut all four edges of vertex 0? That needs f = 4; with our f = 3
     // budget the decoder reports the violation instead of guessing.

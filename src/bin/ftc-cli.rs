@@ -1,25 +1,27 @@
-//! `ftc-cli` — build, store, inspect, and query fault-tolerant
-//! connectivity labelings from the command line.
+//! `ftc-cli` — build, export, inspect, and query fault-tolerant
+//! connectivity label archives from the command line.
 //!
 //! ```text
-//! ftc-cli build <graph.txt> <outdir> [--f N] [--backend epsnet|greedy|sampling] [--k N]
-//! ftc-cli info  <outdir>
-//! ftc-cli query <outdir> <s> <t> [--fault U:V ...]
+//! ftc-cli build <graph.txt> <labels.ftc> [--f N] [--backend epsnet|greedy|sampling]
+//!               [--k N] [--encoding full|compact] [--threads N]
+//! ftc-cli info  <labels.ftc>
+//! ftc-cli query <labels.ftc> <s> <t> [--fault U:V ...]
 //! ```
 //!
 //! `graph.txt` is an edge list: one `u v` pair per line (`#` comments
-//! allowed); vertex IDs are dense non-negative integers. `build` writes the
-//! serialized labels into `<outdir>`; `query` answers connectivity **from
-//! the stored labels alone** — it never re-reads the graph.
+//! allowed); vertex IDs are dense non-negative integers. `build` exports
+//! every label into a **single archive blob** (`ftc-core::store`
+//! format: magic, version, header, offset/endpoint index, concatenated
+//! label bytes). `query` answers connectivity **from the archive
+//! alone** — the archive is opened zero-copy, faults are resolved
+//! through its endpoint index, and no owned label is ever materialized;
+//! the original graph file is never re-read.
 
-use ftc::core::serial::{edge_to_bytes, vertex_to_bytes, EdgeLabelView, VertexLabelView};
-use ftc::core::{
-    FtcScheme, HierarchyBackend, Params, QuerySession, ThresholdPolicy, VertexLabelRead,
-};
+use ftc::core::store::{EdgeEncoding, LabelStore, LabelStoreView};
+use ftc::core::{FtcScheme, HierarchyBackend, Params, QuerySession, ThresholdPolicy};
 use ftc::graph::Graph;
 use std::fs;
-use std::io::{Read, Write};
-use std::path::{Path, PathBuf};
+use std::path::Path;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -40,7 +42,7 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> String {
-    "usage:\n  ftc-cli build <graph.txt> <outdir> [--f N] [--backend epsnet|greedy|sampling] [--k N]\n  ftc-cli info  <outdir>\n  ftc-cli query <outdir> <s> <t> [--fault U:V ...]".into()
+    "usage:\n  ftc-cli build <graph.txt> <labels.ftc> [--f N] [--backend epsnet|greedy|sampling] [--k N] [--encoding full|compact] [--threads N]\n  ftc-cli info  <labels.ftc>\n  ftc-cli query <labels.ftc> <s> <t> [--fault U:V ...]".into()
 }
 
 // ---------------------------------------------------------------------------
@@ -49,7 +51,7 @@ fn usage() -> String {
 
 fn cmd_build(args: &[String]) -> Result<(), String> {
     let (positional, flags) = split_flags(args)?;
-    let [graph_path, outdir] = positional.as_slice() else {
+    let [graph_path, out_path] = positional.as_slice() else {
         return Err(usage());
     };
     let f: usize = flag_value(&flags, "f")
@@ -71,57 +73,34 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
         let k: usize = k.parse().map_err(|_| "--k expects an integer")?;
         params.threshold = ThresholdPolicy::Fixed(k);
     }
+    let encoding = match flag_value(&flags, "encoding").as_deref() {
+        None | Some("full") => EdgeEncoding::Full,
+        Some("compact") => EdgeEncoding::Compact,
+        Some(other) => return Err(format!("unknown encoding '{other}'")),
+    };
+    let threads: usize = flag_value(&flags, "threads")
+        .unwrap_or_else(|| "0".into())
+        .parse()
+        .map_err(|_| "--threads expects an integer (0 = one per core)")?;
 
     let g = read_graph(Path::new(graph_path))?;
     eprintln!("graph: n = {}, m = {}", g.n(), g.m());
-    let scheme = FtcScheme::build(&g, &params).map_err(|e| e.to_string())?;
+    let scheme = FtcScheme::builder(&g)
+        .params(&params)
+        .threads(threads)
+        .build()
+        .map_err(|e| e.to_string())?;
     let size = scheme.size_report();
     eprintln!(
         "labels built: k = {}, {} levels, {} bits/vertex, {} bits/edge",
         size.k, size.levels, size.vertex_bits, size.edge_bits
     );
 
-    let out = PathBuf::from(outdir);
-    fs::create_dir_all(&out).map_err(|e| format!("cannot create {outdir}: {e}"))?;
-    let labels = scheme.labels();
-
-    let mut vfile = Vec::new();
-    write_framed(
-        &mut vfile,
-        (0..g.n()).map(|v| vertex_to_bytes(labels.vertex_label(v))),
-    );
-    fs::write(out.join("vertices.lbl"), vfile).map_err(|e| e.to_string())?;
-
-    let mut efile = Vec::new();
-    write_framed(
-        &mut efile,
-        (0..g.m()).map(|e| edge_to_bytes(labels.edge_label_by_id(e))),
-    );
-    fs::write(out.join("edges.lbl"), efile).map_err(|e| e.to_string())?;
-
-    // Edge endpoint index (lets `query` resolve U:V fault syntax without
-    // the original graph file).
-    let mut idx = String::new();
-    for (_, u, v) in g.edge_iter() {
-        idx.push_str(&format!("{u} {v}\n"));
-    }
-    fs::write(out.join("edges.idx"), idx).map_err(|e| e.to_string())?;
-    fs::write(
-        out.join("meta.txt"),
-        format!(
-            "n {}\nm {}\nf {}\nk {}\nlevels {}\nvertex_bits {}\nedge_bits {}\n",
-            g.n(),
-            g.m(),
-            f,
-            size.k,
-            size.levels,
-            size.vertex_bits,
-            size.edge_bits
-        ),
-    )
-    .map_err(|e| e.to_string())?;
+    let blob = LabelStore::to_vec(scheme.labels(), encoding);
+    fs::write(out_path, &blob).map_err(|e| format!("cannot write {out_path}: {e}"))?;
     println!(
-        "wrote labels for {} vertices and {} edges to {outdir}",
+        "wrote {} byte archive ({} vertices, {} edges) to {out_path}",
+        blob.len(),
         g.n(),
         g.m()
     );
@@ -133,10 +112,22 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
 // ---------------------------------------------------------------------------
 
 fn cmd_info(args: &[String]) -> Result<(), String> {
-    let [outdir] = args else { return Err(usage()) };
-    let meta = fs::read_to_string(Path::new(outdir).join("meta.txt"))
-        .map_err(|e| format!("cannot read {outdir}/meta.txt: {e}"))?;
-    print!("{meta}");
+    let [path] = args else { return Err(usage()) };
+    let blob = read_archive_bytes(path)?;
+    let view = LabelStoreView::open(&blob).map_err(|e| format!("{path}: {e}"))?;
+    let header = view.header();
+    let (k, levels) = view.edge_by_id(0).map_or((0, 0), |e| (e.k(), e.levels()));
+    print!(
+        "n {}\nm {}\nf {}\nk {k}\nlevels {levels}\nencoding {}\narchive_bytes {}\n",
+        view.n(),
+        view.m(),
+        header.f,
+        match view.encoding() {
+            EdgeEncoding::Full => "full",
+            EdgeEncoding::Compact => "compact",
+        },
+        view.archive_bytes()
+    );
     Ok(())
 }
 
@@ -146,61 +137,43 @@ fn cmd_info(args: &[String]) -> Result<(), String> {
 
 fn cmd_query(args: &[String]) -> Result<(), String> {
     let (positional, flags) = split_flags(args)?;
-    let [outdir, s_str, t_str] = positional.as_slice() else {
+    let [path, s_str, t_str] = positional.as_slice() else {
         return Err(usage());
     };
     let s: usize = s_str.parse().map_err(|_| "s must be a vertex ID")?;
     let t: usize = t_str.parse().map_err(|_| "t must be a vertex ID")?;
-    let out = PathBuf::from(outdir);
 
-    let vertices = read_framed(&out.join("vertices.lbl"))?;
-    let edges = read_framed(&out.join("edges.lbl"))?;
-    let idx = fs::read_to_string(out.join("edges.idx")).map_err(|e| e.to_string())?;
-    let endpoints: Vec<(usize, usize)> = idx
-        .lines()
-        .map(|l| {
-            let mut it = l.split_whitespace();
-            Ok((
-                it.next()
-                    .ok_or("bad edges.idx")?
-                    .parse()
-                    .map_err(|_| "bad edges.idx")?,
-                it.next()
-                    .ok_or("bad edges.idx")?
-                    .parse()
-                    .map_err(|_| "bad edges.idx")?,
-            ))
-        })
-        .collect::<Result<_, &str>>()?;
+    let blob = read_archive_bytes(path)?;
+    let view = LabelStoreView::open(&blob).map_err(|e| format!("{path}: {e}"))?;
 
-    // Zero-copy decoding: vertex and fault labels are read as validated
-    // views straight over the stored bytes — nothing is deserialized.
-    let get_vertex = |v: usize| -> Result<VertexLabelView, String> {
-        VertexLabelView::new(vertices.get(v).ok_or(format!("vertex {v} out of range"))?)
-            .map_err(|e| e.to_string())
-    };
-    let vs = get_vertex(s)?;
-    let vt = get_vertex(t)?;
-
-    let mut fault_views: Vec<EdgeLabelView> = Vec::new();
+    // Resolve each fault once through the archive's endpoint index; the
+    // resulting zero-copy views feed the session directly.
+    let mut fault_views = Vec::new();
     for spec in flags.iter().filter(|(k, _)| k == "fault").map(|(_, v)| v) {
         let (u, v) = spec
             .split_once(':')
             .ok_or_else(|| format!("--fault expects U:V, got '{spec}'"))?;
         let u: usize = u.parse().map_err(|_| "bad fault endpoint")?;
         let v: usize = v.parse().map_err(|_| "bad fault endpoint")?;
-        let e = endpoints
-            .iter()
-            .position(|&(a, b)| (a, b) == (u, v) || (a, b) == (v, u))
-            .ok_or_else(|| format!("no edge {u}:{v} in the labeling"))?;
-        fault_views.push(EdgeLabelView::new(&edges[e]).map_err(|e| e.to_string())?);
+        fault_views.push(
+            view.edge(u, v)
+                .ok_or_else(|| format!("no edge {u}:{v} in the labeling"))?,
+        );
     }
+
+    let vs = view
+        .vertex(s)
+        .ok_or_else(|| format!("vertex {s} out of range"))?;
+    let vt = view
+        .vertex(t)
+        .ok_or_else(|| format!("vertex {t} out of range"))?;
     // Trivial queries answer before fault-budget enforcement (the
     // decoder's historical check order).
     let ok = match QuerySession::trivial_answer(&vs, &vt).map_err(|e| e.to_string())? {
         Some(answer) => answer,
         None => {
-            let session = QuerySession::new(vs.header(), fault_views).map_err(|e| e.to_string())?;
+            let session =
+                QuerySession::new(view.header(), fault_views).map_err(|e| e.to_string())?;
             session.connected(vs, vt).map_err(|e| e.to_string())?
         }
     };
@@ -211,6 +184,10 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
 // ---------------------------------------------------------------------------
 // helpers
 // ---------------------------------------------------------------------------
+
+fn read_archive_bytes(path: &str) -> Result<Vec<u8>, String> {
+    fs::read(path).map_err(|e| format!("cannot read archive {path}: {e}"))
+}
 
 /// Parsed command line: positional arguments and `--name value` flags.
 type ParsedArgs = (Vec<String>, Vec<(String, String)>);
@@ -261,42 +238,4 @@ fn read_graph(path: &Path) -> Result<Graph, String> {
         return Err("graph file has no edges".into());
     }
     Ok(Graph::from_edges(max_v + 1, &edges))
-}
-
-/// Frame format: u32 count, then per entry u32 length + bytes (all LE).
-fn write_framed<'a>(out: &mut Vec<u8>, entries: impl ExactSizeIterator<Item = Vec<u8>> + 'a) {
-    out.write_all(&(entries.len() as u32).to_le_bytes())
-        .unwrap();
-    for e in entries {
-        out.write_all(&(e.len() as u32).to_le_bytes()).unwrap();
-        out.write_all(&e).unwrap();
-    }
-}
-
-fn read_framed(path: &Path) -> Result<Vec<Vec<u8>>, String> {
-    let mut file = fs::File::open(path).map_err(|e| format!("cannot open {path:?}: {e}"))?;
-    let mut buf = Vec::new();
-    file.read_to_end(&mut buf).map_err(|e| e.to_string())?;
-    let mut pos = 0usize;
-    let take4 = |pos: &mut usize, buf: &[u8]| -> Result<u32, String> {
-        let end = *pos + 4;
-        if end > buf.len() {
-            return Err(format!("{path:?}: truncated"));
-        }
-        let v = u32::from_le_bytes(buf[*pos..end].try_into().unwrap());
-        *pos = end;
-        Ok(v)
-    };
-    let count = take4(&mut pos, &buf)? as usize;
-    let mut out = Vec::with_capacity(count);
-    for _ in 0..count {
-        let len = take4(&mut pos, &buf)? as usize;
-        let end = pos + len;
-        if end > buf.len() {
-            return Err(format!("{path:?}: truncated entry"));
-        }
-        out.push(buf[pos..end].to_vec());
-        pos = end;
-    }
-    Ok(out)
 }

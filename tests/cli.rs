@@ -1,5 +1,5 @@
-//! End-to-end test of the `ftc-cli` binary: build labels from an edge-list
-//! file, then answer queries from the stored labels.
+//! End-to-end test of the `ftc-cli` binary: build a label archive from an
+//! edge-list file, then answer queries from the stored archive alone.
 
 use std::fs;
 use std::process::Command;
@@ -29,36 +29,126 @@ fn build_info_query_round_trip() {
         "# six cycle\n0 1\n1 2\n2 3\n\n3 4\n4 5\n5 0  # closing edge\n",
     )
     .unwrap();
-    let out_dir = dir.join("labels");
-    let out_str = out_dir.to_str().unwrap();
+    let archive = dir.join("labels.ftc");
+    let archive_str = archive.to_str().unwrap();
 
-    let (ok, stdout, stderr) = run(&["build", graph_file.to_str().unwrap(), out_str, "--f", "2"]);
+    let (ok, stdout, stderr) = run(&[
+        "build",
+        graph_file.to_str().unwrap(),
+        archive_str,
+        "--f",
+        "2",
+    ]);
     assert!(ok, "build failed: {stderr}");
-    assert!(stdout.contains("wrote labels"), "stdout: {stdout}");
+    assert!(stdout.contains("byte archive"), "stdout: {stdout}");
+    // A single blob is written, nothing else.
+    assert!(archive.is_file());
 
-    let (ok, stdout, _) = run(&["info", out_str]);
+    let (ok, stdout, _) = run(&["info", archive_str]);
     assert!(ok);
     assert!(stdout.contains("n 6") && stdout.contains("m 6") && stdout.contains("f 2"));
+    assert!(stdout.contains("encoding full"));
 
     // One fault: still connected around the cycle.
-    let (ok, stdout, _) = run(&["query", out_str, "0", "3", "--fault", "0:1"]);
+    let (ok, stdout, _) = run(&["query", archive_str, "0", "3", "--fault", "0:1"]);
     assert!(ok);
     assert_eq!(stdout.trim(), "connected");
 
     // Two faults cutting vertex 0's arc.
     let (ok, stdout, _) = run(&[
-        "query", out_str, "1", "4", "--fault", "0:1", "--fault", "3:4",
+        "query",
+        archive_str,
+        "1",
+        "4",
+        "--fault",
+        "0:1",
+        "--fault",
+        "3:4",
     ]);
     assert!(ok);
     assert_eq!(stdout.trim(), "disconnected");
 
     // Fault given in reversed endpoint order resolves too.
     let (ok, stdout, _) = run(&[
-        "query", out_str, "1", "4", "--fault", "1:0", "--fault", "4:3",
+        "query",
+        archive_str,
+        "1",
+        "4",
+        "--fault",
+        "1:0",
+        "--fault",
+        "4:3",
     ]);
     assert!(ok);
     assert_eq!(stdout.trim(), "disconnected");
 
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn compact_archives_round_trip_and_undercut_full() {
+    let dir = std::env::temp_dir().join(format!("ftc_cli_compact_{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    let graph_file = dir.join("grid.txt");
+    // 3×3 grid edge list.
+    let mut edges = String::new();
+    for r in 0..3usize {
+        for c in 0..3usize {
+            let v = r * 3 + c;
+            if c + 1 < 3 {
+                edges.push_str(&format!("{} {}\n", v, v + 1));
+            }
+            if r + 1 < 3 {
+                edges.push_str(&format!("{} {}\n", v, v + 3));
+            }
+        }
+    }
+    fs::write(&graph_file, edges).unwrap();
+    let full = dir.join("full.ftc");
+    let compact = dir.join("compact.ftc");
+    assert!(
+        run(&[
+            "build",
+            graph_file.to_str().unwrap(),
+            full.to_str().unwrap()
+        ])
+        .0
+    );
+    assert!(
+        run(&[
+            "build",
+            graph_file.to_str().unwrap(),
+            compact.to_str().unwrap(),
+            "--encoding",
+            "compact",
+        ])
+        .0
+    );
+    let full_len = fs::metadata(&full).unwrap().len();
+    let compact_len = fs::metadata(&compact).unwrap().len();
+    assert!(
+        compact_len < full_len,
+        "compact archive ({compact_len}) should undercut full ({full_len})"
+    );
+    let (ok, stdout, _) = run(&["info", compact.to_str().unwrap()]);
+    assert!(ok);
+    assert!(stdout.contains("encoding compact"));
+    // Both encodings answer identically.
+    for archive in [&full, &compact] {
+        let (ok, stdout, _) = run(&[
+            "query",
+            archive.to_str().unwrap(),
+            "0",
+            "8",
+            "--fault",
+            "0:1",
+            "--fault",
+            "3:4",
+        ]);
+        assert!(ok);
+        assert_eq!(stdout.trim(), "connected");
+    }
     let _ = fs::remove_dir_all(&dir);
 }
 
@@ -68,37 +158,45 @@ fn cli_error_paths() {
     assert!(!ok);
     assert!(stderr.contains("usage"));
 
-    let (ok, _, stderr) = run(&["build", "/nonexistent/file.txt", "/tmp/nowhere_ftc"]);
+    let (ok, _, stderr) = run(&["build", "/nonexistent/file.txt", "/tmp/nowhere.ftc"]);
     assert!(!ok);
     assert!(stderr.contains("cannot read"));
 
-    let (ok, _, stderr) = run(&["query", "/nonexistent_dir_ftc", "0", "1"]);
+    let (ok, _, stderr) = run(&["query", "/nonexistent.ftc", "0", "1"]);
     assert!(!ok);
-    assert!(!stderr.is_empty());
+    assert!(stderr.contains("cannot read archive"));
 
-    let (ok, _, stderr) = run(&["info", "/nonexistent_dir_ftc"]);
+    let (ok, _, stderr) = run(&["info", "/nonexistent.ftc"]);
     assert!(!ok);
-    assert!(stderr.contains("meta.txt"));
+    assert!(stderr.contains("cannot read archive"));
 }
 
 #[test]
-fn cli_rejects_unknown_fault_edges_and_vertices() {
+fn cli_rejects_unknown_fault_edges_vertices_and_corrupt_archives() {
     let dir = std::env::temp_dir().join(format!("ftc_cli_test2_{}", std::process::id()));
     let _ = fs::remove_dir_all(&dir);
     fs::create_dir_all(&dir).unwrap();
     let graph_file = dir.join("path.txt");
     fs::write(&graph_file, "0 1\n1 2\n").unwrap();
-    let out = dir.join("labels");
-    let out_str = out.to_str().unwrap();
-    assert!(run(&["build", graph_file.to_str().unwrap(), out_str]).0);
+    let archive = dir.join("labels.ftc");
+    let archive_str = archive.to_str().unwrap();
+    assert!(run(&["build", graph_file.to_str().unwrap(), archive_str]).0);
 
-    let (ok, _, stderr) = run(&["query", out_str, "0", "2", "--fault", "0:2"]);
+    let (ok, _, stderr) = run(&["query", archive_str, "0", "2", "--fault", "0:2"]);
     assert!(!ok);
     assert!(stderr.contains("no edge"));
 
-    let (ok, _, stderr) = run(&["query", out_str, "0", "9"]);
+    let (ok, _, stderr) = run(&["query", archive_str, "0", "9"]);
     assert!(!ok);
     assert!(stderr.contains("out of range"));
+
+    // A truncated archive is rejected with a byte offset, not a panic.
+    let blob = fs::read(&archive).unwrap();
+    let truncated = dir.join("truncated.ftc");
+    fs::write(&truncated, &blob[..blob.len() / 2]).unwrap();
+    let (ok, _, stderr) = run(&["info", truncated.to_str().unwrap()]);
+    assert!(!ok);
+    assert!(stderr.contains("byte"), "stderr: {stderr}");
 
     let _ = fs::remove_dir_all(&dir);
 }

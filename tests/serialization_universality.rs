@@ -2,14 +2,18 @@
 //! *bytes*. We build a labeling, serialize every label, destroy the scheme
 //! and the graph, then answer queries from the stored bytes alone — both
 //! through owned deserialization and through the zero-copy label views —
-//! and still match the oracle.
+//! and still match the oracle. Property tests cover the compact
+//! (half-width) edge encoding round trip and truncation/corruption
+//! rejection of both the per-label layouts and the archive format.
 
 use ftc::core::serial::{
-    edge_from_bytes, edge_to_bytes, vertex_from_bytes, vertex_to_bytes, EdgeLabelView,
-    VertexLabelView,
+    compact_edge_from_bytes, edge_from_bytes, edge_to_bytes, edge_to_bytes_compact,
+    vertex_from_bytes, vertex_to_bytes, CompactEdgeLabelView, EdgeLabelView, VertexLabelView,
 };
+use ftc::core::store::{EdgeEncoding, LabelStore, LabelStoreView};
 use ftc::core::{FtcScheme, Params, QuerySession, VertexLabelRead};
 use ftc::graph::{connectivity, generators, Graph};
+use proptest::prelude::*;
 
 #[test]
 fn queries_from_bytes_alone() {
@@ -85,6 +89,79 @@ fn serialized_sizes_match_reported_bits() {
     let eb = edge_to_bytes(l.edge_label_by_id(0));
     // Edge encoding adds magic (2) + k (4) + len (4) bytes of framing.
     assert_eq!((eb.len() - 2 - 8) * 8, size.edge_bits);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The compact edge encoding is a lossless round trip of the full
+    /// one on every edge of random labelings, through both the owned
+    /// parser and the zero-copy view — and every truncation of it is
+    /// rejected with a located error, never a panic.
+    #[test]
+    fn compact_encoding_round_trips_and_rejects_truncation(
+        n in 5usize..=14,
+        extra in 0usize..=8,
+        seed in any::<u64>(),
+    ) {
+        let max_extra = n * (n - 1) / 2 - (n - 1);
+        let g = generators::random_connected(n, extra.min(max_extra), seed);
+        let scheme = FtcScheme::build(&g, &Params::deterministic(2)).unwrap();
+        let l = scheme.labels();
+        for e in 0..g.m() {
+            let label = l.edge_label_by_id(e);
+            let compact = edge_to_bytes_compact(label);
+            let full = edge_to_bytes(label);
+            prop_assert!(compact.len() <= full.len());
+            // Owned parser and zero-copy view agree with the original.
+            prop_assert_eq!(&compact_edge_from_bytes(&compact).unwrap(), label);
+            let view = CompactEdgeLabelView::new(&compact).unwrap();
+            prop_assert_eq!(&view.to_label(), label);
+            // The compact encoding must agree with the full one after
+            // expansion, bit for bit.
+            prop_assert_eq!(
+                &compact_edge_from_bytes(&compact).unwrap(),
+                &edge_from_bytes(&full).unwrap()
+            );
+            // Every strict prefix is rejected; the reported offset never
+            // exceeds the input length.
+            for cut in 0..compact.len() {
+                let owned_err = compact_edge_from_bytes(&compact[..cut]).unwrap_err();
+                prop_assert!(owned_err.offset <= cut);
+                prop_assert!(CompactEdgeLabelView::new(&compact[..cut]).is_err());
+            }
+            // Trailing garbage is rejected too.
+            let mut ext = compact.clone();
+            ext.push(0);
+            prop_assert!(compact_edge_from_bytes(&ext).is_err());
+            prop_assert!(CompactEdgeLabelView::new(&ext).is_err());
+        }
+    }
+
+    /// Archive blobs reject every truncation, and single-byte corruption
+    /// never panics the validator (it either surfaces a located error or
+    /// leaves a still-well-formed archive, e.g. when the flip lands in a
+    /// syndrome word).
+    #[test]
+    fn archive_rejects_truncation_and_survives_corruption(
+        seed in any::<u64>(),
+        corrupt_at in any::<usize>(),
+        flip in 1u8..,
+        compact in any::<bool>(),
+    ) {
+        let g = generators::random_connected(10, 6, seed);
+        let scheme = FtcScheme::build(&g, &Params::deterministic(2)).unwrap();
+        let encoding = if compact { EdgeEncoding::Compact } else { EdgeEncoding::Full };
+        let blob = LabelStore::to_vec(scheme.labels(), encoding);
+        for cut in (0..blob.len()).step_by(7).chain([blob.len() - 1]) {
+            let err = LabelStoreView::open(&blob[..cut]).unwrap_err();
+            prop_assert!(err.offset <= blob.len());
+        }
+        let mut corrupted = blob.clone();
+        let at = corrupt_at % corrupted.len();
+        corrupted[at] ^= flip;
+        let _ = LabelStoreView::open(&corrupted); // must not panic
+    }
 }
 
 #[test]

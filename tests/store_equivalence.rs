@@ -1,0 +1,104 @@
+//! Differential tests for the label-archive API: for random graphs and
+//! fault sets, a [`ftc::core::store::LabelStoreView`] session (over
+//! either edge encoding) must agree with the owned
+//! [`ftc::core::LabelSet`] session and with the ground-truth BFS oracle
+//! on every pair; multi-threaded `SchemeBuilder` builds must produce
+//! byte-identical archives to single-threaded ones; and a router
+//! reconstituted from an archive must route exactly like the one that
+//! built the labels.
+
+use ftc::core::store::{EdgeEncoding, LabelStore, LabelStoreView};
+use ftc::core::{FtcScheme, Params};
+use ftc::graph::{connectivity, generators};
+use ftc::routing::ForbiddenSetRouter;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Archive session ≡ owned session ≡ BFS oracle, across random
+    /// graphs, fault sets (including the empty set), and both edge
+    /// encodings.
+    #[test]
+    fn archive_session_equals_owned_session_equals_oracle(
+        n in 6usize..=18,
+        extra in 0usize..=10,
+        seed in any::<u64>(),
+        fault_seed in any::<u64>(),
+        fsize in 0usize..=2,
+    ) {
+        let max_extra = n * (n - 1) / 2 - (n - 1);
+        let g = generators::random_connected(n, extra.min(max_extra), seed);
+        let fset = generators::random_fault_set(&g, fsize.min(g.m()), fault_seed);
+        let endpoints: Vec<(usize, usize)> = g.edge_iter().map(|(_, u, v)| (u, v)).collect();
+        let fault_pairs: Vec<(usize, usize)> = fset.iter().map(|&e| endpoints[e]).collect();
+        let scheme = FtcScheme::build(&g, &Params::deterministic(2)).unwrap();
+        let l = scheme.labels();
+        let owned = l.session(fset.iter().map(|&e| l.edge_label_by_id(e))).unwrap();
+        for encoding in [EdgeEncoding::Full, EdgeEncoding::Compact] {
+            let blob = LabelStore::to_vec(l, encoding);
+            let view = LabelStoreView::open(&blob).unwrap();
+            let archived = view.session(fault_pairs.iter().copied()).unwrap();
+            for s in 0..g.n() {
+                for t in 0..g.n() {
+                    let oracle = connectivity::connected_avoiding(&g, s, t, &fset);
+                    let via_owned =
+                        owned.connected(l.vertex_label(s), l.vertex_label(t)).unwrap();
+                    let via_archive = archived
+                        .connected(view.vertex(s).unwrap(), view.vertex(t).unwrap())
+                        .unwrap();
+                    prop_assert_eq!(via_owned, oracle, "owned vs oracle at ({}, {})", s, t);
+                    prop_assert_eq!(
+                        via_archive, oracle,
+                        "{:?} archive vs oracle at ({}, {})", encoding, s, t
+                    );
+                }
+            }
+        }
+    }
+
+    /// A multi-threaded `SchemeBuilder` build must produce archives
+    /// byte-identical to the single-threaded one, for both encodings.
+    #[test]
+    fn threaded_builds_produce_identical_archives(
+        n in 8usize..=24,
+        extra in 0usize..=12,
+        seed in any::<u64>(),
+        threads in 2usize..=8,
+    ) {
+        let max_extra = n * (n - 1) / 2 - (n - 1);
+        let g = generators::random_connected(n, extra.min(max_extra), seed);
+        let p = Params::deterministic(2);
+        let serial = FtcScheme::builder(&g).params(&p).threads(1).build().unwrap();
+        let parallel = FtcScheme::builder(&g).params(&p).threads(threads).build().unwrap();
+        for encoding in [EdgeEncoding::Full, EdgeEncoding::Compact] {
+            prop_assert_eq!(
+                LabelStore::to_vec(serial.labels(), encoding),
+                LabelStore::to_vec(parallel.labels(), encoding)
+            );
+        }
+    }
+}
+
+/// A router reconstituted from a stored archive answers every route
+/// exactly like the router that built the labels.
+#[test]
+fn reconstituted_router_equals_built_router() {
+    let g = generators::random_connected(18, 14, 11);
+    let built = ForbiddenSetRouter::new(&g, 2).unwrap();
+    let blob = LabelStore::to_vec(built.labels(), EdgeEncoding::Full);
+    let view = LabelStoreView::open(&blob).unwrap();
+    let restored = ForbiddenSetRouter::from_store(&g, &view).unwrap();
+    for seed in 0..6u64 {
+        let fset = generators::random_fault_set(&g, 2, seed);
+        for s in 0..g.n() {
+            for t in 0..g.n() {
+                assert_eq!(
+                    restored.route(s, t, &fset).unwrap(),
+                    built.route(s, t, &fset).unwrap(),
+                    "({s},{t},{fset:?})"
+                );
+            }
+        }
+    }
+}
