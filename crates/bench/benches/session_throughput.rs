@@ -1,0 +1,131 @@
+//! Session-construction throughput: the serving hot path.
+//!
+//! The acceptance bar for the allocation-free refactor is ≥ 2× the
+//! pre-PR sessions/sec at n = 2000, f ∈ {4, 16} with scratch reuse
+//! (pre-PR, same machine/workload: ~1366 sessions/s at f = 4, ~240 at
+//! f = 16 — recorded in `BENCH_session.json` as `baseline_pre_pr`).
+//! Measured arms:
+//!
+//! * `owned_fresh`    — `LabelSet::session` (throwaway scratch per call);
+//! * `owned_scratch`  — `LabelSet::session_in` + `recycle`, zero-alloc warm;
+//! * `archive_fresh`  — `LabelStoreView::session` over archive bytes;
+//! * `archive_scratch`— `LabelStoreView::session_in` + `recycle`;
+//! * `connected` / `connected_many` — per-query latency on a prepared
+//!   session, single vs batched.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ftc_bench::{calibrated_params, Flavor};
+use ftc_core::store::{EdgeEncoding, LabelStore, LabelStoreView};
+use ftc_core::{FtcScheme, SessionScratch};
+use ftc_graph::generators;
+use std::hint::black_box;
+
+fn session_throughput(c: &mut Criterion) {
+    let n = 2000usize;
+    let g = generators::random_connected(n, 3 * n, 7);
+    let mut group = c.benchmark_group("session_throughput");
+    group.sample_size(10);
+    for &f in &[4usize, 16] {
+        let params = calibrated_params(Flavor::DetEpsNet, f, 4 * f * 11);
+        let scheme = FtcScheme::build(&g, &params).expect("scheme build");
+        let l = scheme.labels();
+        let fsets: Vec<Vec<usize>> = (0..16)
+            .map(|s| generators::random_fault_set(&g, f, s))
+            .collect();
+
+        group.bench_with_input(BenchmarkId::new("owned_fresh", f), &f, |b, _| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let fs = &fsets[i % fsets.len()];
+                i += 1;
+                black_box(
+                    l.session(fs.iter().map(|&e| l.edge_label_by_id(e)))
+                        .expect("session"),
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("owned_scratch", f), &f, |b, _| {
+            let mut scratch = SessionScratch::new();
+            let mut i = 0usize;
+            b.iter(|| {
+                let fs = &fsets[i % fsets.len()];
+                i += 1;
+                let s = l
+                    .session_in(fs.iter().map(|&e| l.edge_label_by_id(e)), &mut scratch)
+                    .expect("session");
+                black_box(&s);
+                scratch.recycle(s);
+            })
+        });
+
+        let endpoint_of: Vec<(usize, usize)> = g.edge_iter().map(|(_, u, v)| (u, v)).collect();
+        let fault_pairs: Vec<Vec<(usize, usize)>> = fsets
+            .iter()
+            .map(|fs| fs.iter().map(|&e| endpoint_of[e]).collect())
+            .collect();
+        let blob = LabelStore::to_vec(l, EdgeEncoding::Full);
+        let view = LabelStoreView::open(&blob).expect("archive");
+        group.bench_with_input(BenchmarkId::new("archive_fresh", f), &f, |b, _| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let fp = &fault_pairs[i % fault_pairs.len()];
+                i += 1;
+                black_box(view.session(fp.iter().copied()).expect("session"))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("archive_scratch", f), &f, |b, _| {
+            let mut scratch = SessionScratch::new();
+            let mut i = 0usize;
+            b.iter(|| {
+                let fp = &fault_pairs[i % fault_pairs.len()];
+                i += 1;
+                let s = view
+                    .session_in(fp.iter().copied(), &mut scratch)
+                    .expect("session");
+                black_box(&s);
+                scratch.recycle(s);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn query_latency(c: &mut Criterion) {
+    let n = 2000usize;
+    let g = generators::random_connected(n, 3 * n, 7);
+    let f = 8usize;
+    let scheme = FtcScheme::build(&g, &calibrated_params(Flavor::DetEpsNet, f, 4 * f * 11))
+        .expect("scheme build");
+    let l = scheme.labels();
+    let fset = generators::random_fault_set(&g, f, 3);
+    let session = l
+        .session(fset.iter().map(|&e| l.edge_label_by_id(e)))
+        .expect("session");
+    let pairs: Vec<_> = (0..256usize)
+        .map(|i| {
+            (
+                l.vertex_label((i * 7919 + 13) % n),
+                l.vertex_label((i * 104_729 + 31) % n),
+            )
+        })
+        .collect();
+    let mut group = c.benchmark_group("session_query");
+    group.bench_function(BenchmarkId::from_parameter("connected_x256"), |b| {
+        b.iter(|| {
+            for (s, t) in &pairs {
+                let _ = black_box(session.connected(s, t));
+            }
+        })
+    });
+    group.bench_function(BenchmarkId::from_parameter("connected_many_x256"), |b| {
+        let mut out = Vec::with_capacity(pairs.len());
+        b.iter(|| {
+            session.connected_many(&pairs, &mut out).expect("batch");
+            black_box(out.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, session_throughput, query_latency);
+criterion_main!(benches);

@@ -1,0 +1,294 @@
+//! `perf_report` — the machine-readable session-serving perf baseline.
+//!
+//! Measures the prepare-a-fault-set hot path across a grid of graph
+//! sizes, fault budgets, and label sources (owned labels, zero-copy
+//! archive views in both encodings), always through the scratch-reusing
+//! `session_in` serving path, plus per-query latency (single and
+//! batched), and writes the results as JSON (schema
+//! `ftc-perf-session/v1`) — one point of the PR-over-PR perf trajectory.
+//!
+//! ```text
+//! perf_report [--quick] [--out PATH]
+//! ```
+//!
+//! `--quick` shrinks the grid and the measurement windows so CI can
+//! validate that the binary runs and emits schema-valid JSON without
+//! gating on numbers. The default output path is `BENCH_session.json`
+//! in the current directory (the repo root in CI and local use).
+
+use ftc_bench::{calibrated_params, Flavor};
+use ftc_core::store::{EdgeEncoding, LabelStore, LabelStoreView};
+use ftc_core::{FtcScheme, LabelSet, RsVector, SessionScratch};
+use ftc_graph::{generators, Graph};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// One measured grid cell.
+struct Cell {
+    n: usize,
+    f: usize,
+    /// `owned`, `archive-full`, or `archive-compact`.
+    path: &'static str,
+    sessions_per_sec: f64,
+    ns_per_query: f64,
+    ns_per_query_batched: f64,
+}
+
+/// Builds one session per fault set in a loop for `window_ms`, returning
+/// sessions/sec. `build` must construct (and internally recycle) one
+/// session per call.
+fn throughput(window_ms: u64, fsets: usize, mut build: impl FnMut(usize)) -> f64 {
+    for i in 0..fsets {
+        build(i); // warm the scratch
+    }
+    let t = Instant::now();
+    let mut count = 0u64;
+    while t.elapsed().as_millis() < window_ms as u128 {
+        for i in 0..fsets {
+            build(i);
+            count += 1;
+        }
+    }
+    count as f64 / t.elapsed().as_secs_f64()
+}
+
+/// Times `run` (which must answer `per_call` queries) repeatedly for
+/// `window_ms`, returning ns/query.
+fn query_latency(window_ms: u64, per_call: usize, mut run: impl FnMut()) -> f64 {
+    run(); // warm
+    let t = Instant::now();
+    let mut calls = 0u64;
+    while t.elapsed().as_millis() < window_ms as u128 {
+        run();
+        calls += 1;
+    }
+    t.elapsed().as_nanos() as f64 / (calls as f64 * per_call as f64)
+}
+
+fn sample_pairs(n: usize, count: usize) -> Vec<(usize, usize)> {
+    (0..count)
+        .map(|i| {
+            let a = (i * 7919 + 13) % n;
+            let b = (i * 104_729 + 31) % n;
+            (a, b)
+        })
+        .collect()
+}
+
+#[allow(clippy::too_many_arguments)]
+fn measure_owned(
+    g: &Graph,
+    l: &LabelSet<RsVector>,
+    f: usize,
+    fsets: &[Vec<usize>],
+    pairs: &[(usize, usize)],
+    window_ms: u64,
+    out: &mut Vec<Cell>,
+) {
+    let mut scratch = SessionScratch::new();
+    let sessions_per_sec = throughput(window_ms, fsets.len(), |i| {
+        let s = l
+            .session_in(
+                fsets[i].iter().map(|&e| l.edge_label_by_id(e)),
+                &mut scratch,
+            )
+            .expect("session");
+        scratch.recycle(s);
+    });
+    let session = l
+        .session(fsets[0].iter().map(|&e| l.edge_label_by_id(e)))
+        .expect("session");
+    let ns_per_query = query_latency(window_ms / 4, pairs.len(), || {
+        for &(s, t) in pairs {
+            let _ = std::hint::black_box(session.connected(l.vertex_label(s), l.vertex_label(t)));
+        }
+    });
+    let vpairs: Vec<_> = pairs
+        .iter()
+        .map(|&(s, t)| (l.vertex_label(s), l.vertex_label(t)))
+        .collect();
+    let mut answers = Vec::with_capacity(vpairs.len());
+    let ns_per_query_batched = query_latency(window_ms / 4, pairs.len(), || {
+        session
+            .connected_many(&vpairs, &mut answers)
+            .expect("batch");
+        std::hint::black_box(&answers);
+    });
+    out.push(Cell {
+        n: g.n(),
+        f,
+        path: "owned",
+        sessions_per_sec,
+        ns_per_query,
+        ns_per_query_batched,
+    });
+}
+
+#[allow(clippy::too_many_arguments)]
+fn measure_archive(
+    g: &Graph,
+    l: &LabelSet<RsVector>,
+    f: usize,
+    encoding: EdgeEncoding,
+    fsets: &[Vec<usize>],
+    pairs: &[(usize, usize)],
+    window_ms: u64,
+    out: &mut Vec<Cell>,
+) {
+    let endpoint_of: Vec<(usize, usize)> = g.edge_iter().map(|(_, u, v)| (u, v)).collect();
+    let fault_pairs: Vec<Vec<(usize, usize)>> = fsets
+        .iter()
+        .map(|fs| fs.iter().map(|&e| endpoint_of[e]).collect())
+        .collect();
+    let blob = LabelStore::to_vec(l, encoding);
+    let view = LabelStoreView::open(&blob).expect("archive");
+    let mut scratch = SessionScratch::new();
+    let sessions_per_sec = throughput(window_ms, fault_pairs.len(), |i| {
+        let s = view
+            .session_in(fault_pairs[i].iter().copied(), &mut scratch)
+            .expect("session");
+        scratch.recycle(s);
+    });
+    let session = view
+        .session(fault_pairs[0].iter().copied())
+        .expect("session");
+    let vpairs: Vec<_> = pairs
+        .iter()
+        .map(|&(s, t)| (view.vertex(s).unwrap(), view.vertex(t).unwrap()))
+        .collect();
+    let ns_per_query = query_latency(window_ms / 4, vpairs.len(), || {
+        for &(s, t) in &vpairs {
+            let _ = std::hint::black_box(session.connected(s, t));
+        }
+    });
+    let mut answers = Vec::with_capacity(vpairs.len());
+    let ns_per_query_batched = query_latency(window_ms / 4, vpairs.len(), || {
+        session
+            .connected_many(&vpairs, &mut answers)
+            .expect("batch");
+        std::hint::black_box(&answers);
+    });
+    out.push(Cell {
+        n: g.n(),
+        f,
+        path: match encoding {
+            EdgeEncoding::Full => "archive-full",
+            EdgeEncoding::Compact => "archive-compact",
+        },
+        sessions_per_sec,
+        ns_per_query,
+        ns_per_query_batched,
+    });
+}
+
+fn render_json(mode: &str, cells: &[Cell]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema\": \"ftc-perf-session/v1\",\n");
+    let _ = writeln!(s, "  \"mode\": \"{mode}\",");
+    s.push_str("  \"workload\": \"random_connected(n, 3n, seed 7), k = 44f, fault sets of size f, scratch-reused session_in\",\n");
+    if mode == "full" {
+        // Historical reference, meaningful only relative to the machine
+        // that produced the committed repo-root baseline — quick CI runs
+        // on arbitrary runners omit it so artifact readers don't compare
+        // against numbers from a different box.
+        s.push_str("  \"baseline_pre_pr\": {\n");
+        s.push_str("    \"note\": \"allocating per-session path before the arena/scratch refactor at n=2000, measured on the reference machine that produced the committed BENCH_session.json; compare ratios, not absolutes, across machines\",\n");
+        s.push_str("    \"sessions_per_sec\": {\"f4\": 1366.0, \"f16\": 240.0}\n");
+        s.push_str("  },\n");
+    }
+    s.push_str("  \"results\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"n\": {}, \"f\": {}, \"path\": \"{}\", \"sessions_per_sec\": {:.1}, \"ns_per_query\": {:.1}, \"ns_per_query_batched\": {:.1}}}",
+            c.n, c.f, c.path, c.sessions_per_sec, c.ns_per_query, c.ns_per_query_batched
+        );
+        s.push_str(if i + 1 == cells.len() { "\n" } else { ",\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Minimal structural self-check so CI fails loudly on malformed output
+/// (no JSON parser in the offline environment; this pins the invariants
+/// the schema promises).
+fn validate(json: &str, cells: usize) -> Result<(), String> {
+    if !json.contains("\"schema\": \"ftc-perf-session/v1\"") {
+        return Err("missing schema tag".into());
+    }
+    if json.matches("\"path\": ").count() != cells {
+        return Err("result row count mismatch".into());
+    }
+    if json.contains("NaN") || json.contains("inf") {
+        return Err("non-finite measurement".into());
+    }
+    let (mut depth, mut max_depth) = (0i64, 0i64);
+    for b in json.bytes() {
+        match b {
+            b'{' | b'[' => {
+                depth += 1;
+                max_depth = max_depth.max(depth);
+            }
+            b'}' | b']' => depth -= 1,
+            _ => {}
+        }
+    }
+    if depth != 0 || max_depth < 2 {
+        return Err("unbalanced JSON".into());
+    }
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_session.json".into());
+
+    let (ns, fs, window_ms): (&[usize], &[usize], u64) = if quick {
+        (&[200], &[4], 60)
+    } else {
+        (&[500, 2000], &[4, 16], 800)
+    };
+
+    let mut cells = Vec::new();
+    for &n in ns {
+        let g = generators::random_connected(n, 3 * n, 7);
+        let pairs = sample_pairs(n, 256);
+        for &f in fs {
+            let params = calibrated_params(Flavor::DetEpsNet, f, 4 * f * 11);
+            let scheme = FtcScheme::build(&g, &params).expect("scheme build");
+            let l = scheme.labels();
+            let fsets: Vec<Vec<usize>> = (0..if quick { 4 } else { 16 })
+                .map(|s| generators::random_fault_set(&g, f, s as u64))
+                .collect();
+            eprintln!("measuring n={n} f={f} …");
+            measure_owned(&g, l, f, &fsets, &pairs, window_ms, &mut cells);
+            for encoding in [EdgeEncoding::Full, EdgeEncoding::Compact] {
+                measure_archive(&g, l, f, encoding, &fsets, &pairs, window_ms, &mut cells);
+            }
+        }
+    }
+
+    let json = render_json(if quick { "quick" } else { "full" }, &cells);
+    if let Err(e) = validate(&json, cells.len()) {
+        eprintln!("error: generated report failed validation: {e}");
+        std::process::exit(1);
+    }
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| {
+        eprintln!("error: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    });
+    for c in &cells {
+        println!(
+            "n={:<5} f={:<3} {:<16} {:>10.0} sessions/s {:>8.1} ns/query {:>8.1} ns/query(batch)",
+            c.n, c.f, c.path, c.sessions_per_sec, c.ns_per_query, c.ns_per_query_batched
+        );
+    }
+    println!("wrote {out_path}");
+}

@@ -8,11 +8,14 @@
 //!
 //! Decoding is *verified*: after Berlekamp–Massey and deterministic root
 //! finding, the recovered set's power sums are recomputed and compared
-//! against the **entire** available syndrome. The exactness guarantee is the
-//! Vandermonde one: if a recovered set `R` (|R| ≤ k′) verifies against all
-//! `2k` syndromes and the true set `T` satisfies `|R| + |T| ≤ 2k`, then
-//! `R = T` (the binary symmetric difference `R △ T` has ≤ 2k elements and
-//! vanishing power sums `1..2k`, forcing it empty). In particular a decode
+//! against a syndrome prefix long enough for the Vandermonde guarantee —
+//! the entire syndrome for full-threshold decodes, the first `k′ + k`
+//! entries at adaptive ladder step `k′`. The exactness guarantee is the
+//! Vandermonde one: if a recovered set `R` (|R| ≤ k′) verifies against `L`
+//! syndromes and the true set `T` satisfies `|R| + |T| ≤ L`, then
+//! `R = T` (the binary symmetric difference `R △ T` has ≤ L elements and
+//! vanishing power sums `1..L`, forcing it empty); with the scheme's
+//! `|T| ≤ k` topmost-level invariant, `L = k′ + k` suffices. In particular a decode
 //! is provably exact whenever `|T| ≤ k`, which is all the paper's
 //! Proposition 2 promises — beyond the threshold the output is explicitly
 //! unspecified, and indeed in characteristic two an overloaded syndrome
@@ -25,9 +28,25 @@
 //! (below-theory) thresholds must sanity-check decoded edge IDs downstream,
 //! which the query engine does.
 
-use crate::bm::berlekamp_massey;
-use ftc_field::{find_roots, Gf64};
+use crate::bm::{berlekamp_massey_into, BmScratch};
+use ftc_field::{find_roots_into, Gf64, RootScratch};
 use std::fmt;
+
+/// Reusable buffers for [`ThresholdCodec::decode_adaptive_into`] (and the
+/// other scratch-based decode paths): the Berlekamp–Massey state, the
+/// root-finder's [`RootScratch`], the candidate edge set, and the
+/// power-sum verification buffer. A warm scratch makes a verified decode
+/// completely allocation-free, which is what the query engine's
+/// session-rebuild hot path relies on.
+#[derive(Debug, Default)]
+pub struct DecodeScratch {
+    bm: BmScratch,
+    roots: RootScratch,
+    /// Candidate edge IDs (roots of the locator, inverted in place).
+    edges: Vec<Gf64>,
+    /// Running powers for [`ThresholdCodec::check_power_sums`].
+    powers: Vec<Gf64>,
+}
 
 /// Errors reported by syndrome decoding.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -157,7 +176,10 @@ impl ThresholdCodec {
             self.syndrome_len(),
             "syndrome length mismatch"
         );
-        Self::decode_prefix(syndrome, self.k, syndrome)
+        let mut scratch = DecodeScratch::default();
+        let mut out = Vec::new();
+        Self::decode_prefix_into(syndrome, self.k, syndrome, &mut scratch, &mut out)?;
+        Ok(out)
     }
 
     /// Adaptive verified decode (Appendix B): tries thresholds
@@ -175,18 +197,61 @@ impl ThresholdCodec {
     ///
     /// Panics if `syndrome.len() != 2k`.
     pub fn decode_adaptive(&self, syndrome: &[Gf64]) -> Result<Vec<Gf64>, DecodeError> {
+        let mut scratch = DecodeScratch::default();
+        let mut out = Vec::new();
+        self.decode_adaptive_into(syndrome, &mut scratch, &mut out)?;
+        Ok(out)
+    }
+
+    /// Adaptive verified decode into a caller-provided buffer: identical
+    /// semantics to [`ThresholdCodec::decode_adaptive`], but every
+    /// temporary (Berlekamp–Massey state, trace-algorithm polynomials,
+    /// candidate sets, verification powers) is drawn from `scratch`, and
+    /// the decoded edge IDs land in `out` (cleared first). Once the
+    /// scratch is warm the whole decode performs **zero heap allocations**
+    /// — this is the serving-path variant the query engine uses.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError::ThresholdExceeded`] when no threshold up to `k`
+    /// yields a verified decode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `syndrome.len() != 2k`.
+    pub fn decode_adaptive_into(
+        &self,
+        syndrome: &[Gf64],
+        scratch: &mut DecodeScratch,
+        out: &mut Vec<Gf64>,
+    ) -> Result<(), DecodeError> {
         assert_eq!(
             syndrome.len(),
             self.syndrome_len(),
             "syndrome length mismatch"
         );
+        out.clear();
         if Self::is_zero_syndrome(syndrome) {
-            return Ok(Vec::new());
+            return Ok(());
         }
         let mut k_try = 1usize;
         loop {
-            if let Ok(edges) = Self::decode_prefix(&syndrome[..2 * k_try], k_try, syndrome) {
-                return Ok(edges);
+            // Verifying against the first `k_try + k` power sums is enough
+            // for the exactness guarantee: a candidate `R` with
+            // `|R| ≤ k_try` and the true set `T` with `|T| ≤ k` give
+            // `|R △ T| ≤ k_try + k`, so vanishing power sums
+            // `1..k_try + k` force `R = T` (the Vandermonde argument of
+            // the module docs, instantiated at the ladder step). Beyond
+            // `|T| > k` the output is unspecified either way and the
+            // query engine's sanity checks take over.
+            let verify = &syndrome[..(k_try + self.k).min(syndrome.len())];
+            // The syndrome is nonzero, so a genuine decode is non-empty;
+            // an empty "success" can only mean the verify prefix happened
+            // to vanish — keep climbing the ladder.
+            if Self::decode_prefix_into(&syndrome[..2 * k_try], k_try, verify, scratch, out).is_ok()
+                && !out.is_empty()
+            {
+                return Ok(());
             }
             if k_try == self.k {
                 return Err(DecodeError::ThresholdExceeded);
@@ -196,40 +261,47 @@ impl ThresholdCodec {
     }
 
     /// Decodes a `2k'`-element syndrome prefix and verifies the result
-    /// against `full` (which may be longer).
-    fn decode_prefix(
+    /// against `full` (which may be longer). The decoded set lands in
+    /// `out` (cleared first); on error `out` is left empty.
+    fn decode_prefix_into(
         prefix: &[Gf64],
         k_eff: usize,
         full: &[Gf64],
-    ) -> Result<Vec<Gf64>, DecodeError> {
+        scratch: &mut DecodeScratch,
+        out: &mut Vec<Gf64>,
+    ) -> Result<(), DecodeError> {
+        out.clear();
         if Self::is_zero_syndrome(full) {
-            return Ok(Vec::new());
+            return Ok(());
         }
-        let (locator, l) = berlekamp_massey(prefix);
-        if l == 0 || l > k_eff || locator.degree() != Some(l) {
+        let l = berlekamp_massey_into(prefix, &mut scratch.bm);
+        // For a decodable syndrome the locator has degree exactly L.
+        if l == 0 || l > k_eff || scratch.bm.c.len() != l + 1 {
             return Err(DecodeError::ThresholdExceeded);
         }
-        let Some(inv_roots) = find_roots(&locator) else {
+        if !find_roots_into(&scratch.bm.c, &mut scratch.roots, &mut scratch.edges) {
             return Err(DecodeError::ThresholdExceeded);
-        };
-        if inv_roots.len() != l || inv_roots.iter().any(|r| r.is_zero()) {
+        }
+        if scratch.edges.len() != l || scratch.edges.iter().any(|r| r.is_zero()) {
             return Err(DecodeError::ThresholdExceeded);
         }
         // Λ(z) = ∏(1 − x_e z): the roots are the inverses of the edge IDs.
-        let edges: Vec<Gf64> = inv_roots
-            .into_iter()
-            .map(|r| r.inverse().expect("roots checked nonzero"))
-            .collect();
-        if Self::verify(&edges, full) {
-            Ok(edges)
+        for r in scratch.edges.iter_mut() {
+            *r = r.inverse().expect("roots checked nonzero");
+        }
+        if Self::check_power_sums(&scratch.edges, full, &mut scratch.powers) {
+            out.extend_from_slice(&scratch.edges);
+            Ok(())
         } else {
             Err(DecodeError::ThresholdExceeded)
         }
     }
 
-    /// Recomputes the power sums of `edges` and compares with `syndrome`.
-    fn verify(edges: &[Gf64], syndrome: &[Gf64]) -> bool {
-        let mut powers: Vec<Gf64> = edges.to_vec();
+    /// Recomputes the power sums of `edges` and compares with `syndrome`;
+    /// `powers` is the reused running-power buffer (no per-round clone).
+    fn check_power_sums(edges: &[Gf64], syndrome: &[Gf64], powers: &mut Vec<Gf64>) -> bool {
+        powers.clear();
+        powers.extend_from_slice(edges);
         for &s in syndrome {
             let mut acc = Gf64::ZERO;
             for p in powers.iter_mut() {
@@ -370,6 +442,37 @@ mod tests {
     #[should_panic(expected = "threshold must be at least 1")]
     fn zero_threshold_rejected() {
         ThresholdCodec::new(0);
+    }
+
+    #[test]
+    fn scratch_decode_matches_allocating_decode() {
+        // One scratch across interleaved sizes, thresholds, and overload
+        // failures: decode_adaptive_into must agree with decode_adaptive
+        // call for call.
+        let mut scratch = DecodeScratch::default();
+        let mut out = Vec::new();
+        for k in [2usize, 5, 16] {
+            let codec = ThresholdCodec::new(k);
+            for t in [0usize, 1, 3, k, k + 3] {
+                let edges: Vec<Gf64> = (1..=t as u64).map(|i| Gf64::new(i * 0x9137 + 1)).collect();
+                let s = encode(&codec, &edges);
+                let fresh = codec.decode_adaptive(&s);
+                let scratched = codec.decode_adaptive_into(&s, &mut scratch, &mut out);
+                match fresh {
+                    Ok(mut want) => {
+                        scratched.expect("scratch decode must accept what fresh accepts");
+                        let mut got = out.clone();
+                        got.sort();
+                        want.sort();
+                        assert_eq!(got, want, "k={k} t={t}");
+                    }
+                    Err(e) => {
+                        assert_eq!(scratched, Err(e), "k={k} t={t}");
+                        assert!(out.is_empty());
+                    }
+                }
+            }
+        }
     }
 
     #[test]

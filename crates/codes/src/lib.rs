@@ -43,5 +43,5 @@ pub mod bm;
 pub mod codec;
 pub mod compact;
 
-pub use bm::berlekamp_massey;
-pub use codec::{DecodeError, ThresholdCodec};
+pub use bm::{berlekamp_massey, berlekamp_massey_into, BmScratch};
+pub use codec::{DecodeError, DecodeScratch, ThresholdCodec};

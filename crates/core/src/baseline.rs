@@ -13,7 +13,8 @@
 use crate::auxgraph::AuxGraph;
 use crate::error::BuildError;
 use crate::labels::{
-    DetectOutcome, EdgeLabel, LabelHeader, LabelSet, OutdetectVector, SizeReport, VertexLabel,
+    DetectOutcome, EdgeLabel, LabelHeader, LabelSet, OutdetectVector, SizeReport, SlabDetect,
+    VertexLabel,
 };
 use ftc_graph::{Graph, RootedTree};
 use ftc_sketch::{AgmParams, AgmSketch, SketchBuilder};
@@ -26,7 +27,16 @@ pub struct AgmVector {
     sketch: AgmSketch,
 }
 
+/// Reusable detection state for [`AgmVector`] slabs: just the hash-family
+/// parameters (sketch detection needs no decode buffers).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AgmDetector {
+    params: Option<AgmParams>,
+}
+
 impl OutdetectVector for AgmVector {
+    type Detector = AgmDetector;
+
     fn xor_in(&mut self, other: &Self) {
         assert_eq!(self.params, other.params, "mixed sketch families");
         self.sketch.xor_in(&other.sketch);
@@ -48,6 +58,33 @@ impl OutdetectVector for AgmVector {
 
     fn bits(&self) -> usize {
         self.params.sketch_bits()
+    }
+
+    fn slab_words(&self) -> usize {
+        self.sketch.num_words()
+    }
+
+    fn accumulate_slab(&self, dst: &mut [u64]) {
+        self.sketch.xor_into_words(dst);
+    }
+
+    fn configure_detector(&self, det: &mut AgmDetector) {
+        det.params = Some(self.params);
+    }
+
+    fn detect_slab(det: &mut AgmDetector, words: &[u64], out: &mut Vec<u64>) -> SlabDetect {
+        out.clear();
+        if words.iter().all(|&w| w == 0) {
+            return SlabDetect::Empty;
+        }
+        let params = det.params.expect("detector configured before use");
+        match SketchBuilder::new(params).detect_words(words) {
+            Some(id) => {
+                out.push(id);
+                SlabDetect::Edges
+            }
+            None => SlabDetect::Failed,
+        }
     }
 }
 

@@ -10,8 +10,30 @@
 //! a sorted elementary-interval table supports `O(log |F|)` point location:
 //! given any ancestry label, return the innermost fault interval containing
 //! its pre-order (or the component's root fragment).
+//!
+//! # Layout
+//!
+//! The structure is a handful of flat vectors — CSR-style adjacency plus a
+//! precomputed boundary table — rather than per-cut `Vec`s:
+//!
+//! * `bnd` / `bnd_start` — for each cut `i`, the tree-boundary cut set of
+//!   its fragment (`i` itself followed by its immediate children) as one
+//!   contiguous region; [`Fragments::children`] is the same region minus
+//!   the leading element, so the children CSR and the boundary table share
+//!   storage and are built in one counting pass;
+//! * `top_level` + `root_groups` — top-level cuts grouped by component
+//!   (consecutive, since components occupy contiguous pre-order
+//!   intervals), giving each root fragment's boundary as a subslice;
+//! * `segments` — the elementary-interval table for point location.
+//!
+//! Every vector is reused across rebuilds: the query session's
+//! [`crate::session::SessionScratch`] recycles a `Fragments` value and
+//! rebuilds it in place, so a warm session build allocates nothing here.
 
 use crate::ancestry::AncestryLabel;
+
+/// Sentinel for "no cut" in the flat tables.
+const NONE: u32 = u32::MAX;
 
 /// Identifier of a fragment of `T′ − F`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -25,97 +47,182 @@ pub enum FragId {
 }
 
 /// The fragment decomposition induced by a set of fault edges.
-#[derive(Clone, Debug)]
+///
+/// See the [module docs](self) for the flat layout.
+#[derive(Clone, Debug, Default)]
 pub struct Fragments {
     /// Fault lower-endpoint labels, sorted by `pre`.
     cuts: Vec<AncestryLabel>,
-    /// Laminar parent: `parent[i]` is the innermost cut strictly containing
-    /// cut `i`, if any.
-    parent: Vec<Option<usize>>,
-    /// Children lists (cuts immediately nested inside each cut).
-    children: Vec<Vec<usize>>,
-    /// Cuts with no parent, i.e. boundary edges of root fragments.
-    top_level: Vec<usize>,
+    /// Laminar parent: innermost cut strictly containing cut `i`
+    /// (`NONE` sentinel for top-level cuts).
+    parent: Vec<u32>,
+    /// Boundary table: cut `i`'s fragment boundary is
+    /// `bnd[bnd_start[i]..bnd_start[i+1]]` = `[i, children of i…]`.
+    bnd: Vec<u32>,
+    /// Region starts into `bnd` (`cuts.len() + 1` entries).
+    bnd_start: Vec<u32>,
+    /// Cuts with no parent, i.e. boundary edges of root fragments,
+    /// ascending (and therefore grouped by component).
+    top_level: Vec<u32>,
+    /// Per component with top-level cuts: `(comp, start, end)` range into
+    /// `top_level`, sorted by `comp`.
+    root_groups: Vec<(u32, u32, u32)>,
     /// Elementary-interval table: `(start_pre, innermost_cut)` segments
-    /// covering the whole pre-order axis, sorted by `start_pre`.
-    segments: Vec<(u32, Option<usize>)>,
+    /// covering the whole pre-order axis, sorted by `start_pre`
+    /// (`NONE` = root fragment).
+    segments: Vec<(u32, u32)>,
+}
+
+/// Reusable buffers for the fragment-rebuild sweeps.
+#[derive(Clone, Debug, Default)]
+pub struct FragmentBuildScratch {
+    /// Laminar sweep stack / child placement cursors.
+    stack: Vec<u32>,
+    /// Event table for the elementary-interval sweep:
+    /// `(position, close-before-open key, outer-first tie key, cut)`.
+    events: Vec<(u32, u8, u32, u32)>,
+    /// Open-interval stack of the sweep.
+    open: Vec<u32>,
 }
 
 impl Fragments {
     /// Builds the decomposition from the fault edges' lower-endpoint
     /// ancestry labels. The input is sorted and deduplicated internally;
     /// the returned structure indexes cuts by their position in
-    /// [`Fragments::cuts`].
+    /// [`Fragments::cuts`]. Convenience wrapper over the in-place
+    /// rebuild path with throwaway buffers.
     pub fn new(mut lowers: Vec<AncestryLabel>) -> Fragments {
         lowers.sort_by_key(|l| l.pre);
         lowers.dedup_by_key(|l| l.pre);
-        let n = lowers.len();
+        let mut frag = Fragments {
+            cuts: lowers,
+            ..Fragments::default()
+        };
+        frag.rebuild(&mut FragmentBuildScratch::default());
+        frag
+    }
 
-        // Laminar parents via a stack sweep over pre-sorted intervals.
-        let mut parent = vec![None; n];
-        let mut children = vec![Vec::new(); n];
-        let mut top_level = Vec::new();
-        let mut stack: Vec<usize> = Vec::new();
+    /// Replaces the current cut set, clearing all derived tables. The
+    /// caller fills `cuts_mut()` and then calls `rebuild()`.
+    pub(crate) fn reset(&mut self) {
+        self.cuts.clear();
+        self.parent.clear();
+        self.bnd.clear();
+        self.bnd_start.clear();
+        self.top_level.clear();
+        self.root_groups.clear();
+        self.segments.clear();
+    }
+
+    /// Mutable access to the cut list for in-place rebuilding (the
+    /// session's scratch path pushes sorted, deduplicated lowers here).
+    pub(crate) fn cuts_mut(&mut self) -> &mut Vec<AncestryLabel> {
+        &mut self.cuts
+    }
+
+    /// Rebuilds every derived table from the current (sorted,
+    /// deduplicated) `cuts`, reusing all allocations. Warm rebuilds
+    /// perform no heap allocation.
+    pub(crate) fn rebuild(&mut self, scratch: &mut FragmentBuildScratch) {
+        let n = self.cuts.len();
+        debug_assert!(self.cuts.windows(2).all(|w| w[0].pre < w[1].pre));
+        self.parent.clear();
+        self.parent.resize(n, NONE);
+        self.top_level.clear();
+        self.root_groups.clear();
+        self.bnd.clear();
+        self.bnd_start.clear();
+        self.segments.clear();
+
+        // Pass 1 — laminar parents via a stack sweep over pre-sorted
+        // intervals; counts children per cut into `bnd_start` (offset by
+        // one region slot for the owning cut itself).
+        self.bnd_start.resize(n + 1, 0);
+        let stack = &mut scratch.stack;
+        stack.clear();
         for i in 0..n {
             while let Some(&top) = stack.last() {
-                if lowers[top].last < lowers[i].pre {
+                if self.cuts[top as usize].last < self.cuts[i].pre {
                     stack.pop();
                 } else {
                     break;
                 }
             }
             if let Some(&top) = stack.last() {
-                debug_assert!(lowers[top].is_ancestor_of(&lowers[i]));
-                parent[i] = Some(top);
-                children[top].push(i);
+                debug_assert!(self.cuts[top as usize].is_ancestor_of(&self.cuts[i]));
+                self.parent[i] = top;
+                self.bnd_start[top as usize + 1] += 1;
             } else {
-                top_level.push(i);
+                self.top_level.push(i as u32);
             }
-            stack.push(i);
+            stack.push(i as u32);
         }
+        // Prefix sums: region i holds 1 (the cut itself) + #children.
+        for i in 0..n {
+            self.bnd_start[i + 1] += self.bnd_start[i] + 1;
+        }
+        // Pass 2 — fill: each region starts with its own cut; children
+        // append in ascending order behind a per-cut cursor.
+        self.bnd.resize(self.bnd_start[n] as usize, 0);
+        let cursors = stack; // reuse: cursor of the next free child slot
+        cursors.clear();
+        for i in 0..n {
+            let at = self.bnd_start[i];
+            self.bnd[at as usize] = i as u32;
+            cursors.push(at + 1);
+        }
+        for i in 0..n {
+            let p = self.parent[i];
+            if p != NONE {
+                self.bnd[cursors[p as usize] as usize] = i as u32;
+                cursors[p as usize] += 1;
+            }
+        }
+
+        // Root-fragment boundaries: top-level cuts are ascending in pre,
+        // and every component occupies a contiguous pre-order interval, so
+        // grouping by component is a linear chunking.
+        let mut at = 0usize;
+        while at < self.top_level.len() {
+            let comp = self.cuts[self.top_level[at] as usize].comp;
+            let start = at;
+            while at < self.top_level.len() && self.cuts[self.top_level[at] as usize].comp == comp {
+                at += 1;
+            }
+            self.root_groups.push((comp, start as u32, at as u32));
+        }
+        debug_assert!(self.root_groups.windows(2).all(|w| w[0].0 < w[1].0));
 
         // Elementary intervals: event sweep. At position p, the innermost
         // open interval is the fragment owner.
         // Events: open(i) at pre(i), close(i) at last(i)+1. At equal
         // positions closes happen before opens; opens of outer intervals
         // (larger `last`) before inner ones.
-        #[derive(Clone, Copy)]
-        enum Ev {
-            Close,
-            Open(usize),
-        }
-        let mut events: Vec<(u32, u8, u32, Ev)> = Vec::with_capacity(2 * n);
-        for (i, l) in lowers.iter().enumerate() {
+        let events = &mut scratch.events;
+        events.clear();
+        for (i, l) in self.cuts.iter().enumerate() {
             // order key: closes (0) before opens (1); outer opens first
             // (descending `last` => ascending `u32::MAX - last`).
-            events.push((l.pre, 1, u32::MAX - l.last, Ev::Open(i)));
-            events.push((l.last + 1, 0, 0, Ev::Close));
+            events.push((l.pre, 1, u32::MAX - l.last, i as u32));
+            events.push((l.last + 1, 0, 0, NONE));
         }
-        events.sort_by_key(|&(pos, kind, tie, _)| (pos, kind, tie));
+        events.sort_unstable_by_key(|&(pos, kind, tie, _)| (pos, kind, tie));
 
-        let mut segments: Vec<(u32, Option<usize>)> = vec![(0, None)];
-        let mut open: Vec<usize> = Vec::new();
-        for (pos, _, _, ev) in events {
-            match ev {
-                Ev::Open(i) => open.push(i),
-                Ev::Close => {
-                    open.pop();
-                }
+        self.segments.push((0, NONE));
+        let open = &mut scratch.open;
+        open.clear();
+        for &(pos, _, _, ev) in events.iter() {
+            if ev == NONE {
+                open.pop();
+            } else {
+                open.push(ev);
             }
-            let cur = open.last().copied();
-            match segments.last_mut() {
+            let cur = open.last().copied().unwrap_or(NONE);
+            match self.segments.last_mut() {
                 Some(seg) if seg.0 == pos => seg.1 = cur,
                 Some(seg) if seg.1 == cur => {} // no change
-                _ => segments.push((pos, cur)),
+                _ => self.segments.push((pos, cur)),
             }
-        }
-
-        Fragments {
-            cuts: lowers,
-            parent,
-            children,
-            top_level,
-            segments,
         }
     }
 
@@ -131,16 +238,19 @@ impl Fragments {
 
     /// The innermost cut strictly containing cut `i`.
     pub fn parent(&self, i: usize) -> Option<usize> {
-        self.parent[i]
+        match self.parent[i] {
+            NONE => None,
+            p => Some(p as usize),
+        }
     }
 
     /// Cuts immediately nested inside cut `i`.
-    pub fn children(&self, i: usize) -> &[usize] {
-        &self.children[i]
+    pub fn children(&self, i: usize) -> &[u32] {
+        &self.bnd[self.bnd_start[i] as usize + 1..self.bnd_start[i + 1] as usize]
     }
 
     /// Cuts not nested inside any other cut.
-    pub fn top_level(&self) -> &[usize] {
+    pub fn top_level(&self) -> &[u32] {
         &self.top_level
     }
 
@@ -162,27 +272,29 @@ impl Fragments {
             .segments
             .partition_point(|&(start, _)| start <= pre)
             .checked_sub(1)?;
-        self.segments[idx].1
+        match self.segments[idx].1 {
+            NONE => None,
+            i => Some(i as usize),
+        }
     }
 
-    /// The tree-boundary cut set `∂_{T′}` of a fragment: the owning cut
-    /// plus its immediate children for cut fragments; all top-level cuts in
-    /// the component for root fragments (`comp_filter` receives each
-    /// top-level cut index and its label, returning whether it belongs to
-    /// the component in question).
-    pub fn boundary(&self, frag: FragId) -> Vec<usize> {
+    /// The tree-boundary cut set `∂_{T′}` of a fragment, as a borrowed
+    /// slice out of the precomputed boundary table: the owning cut plus
+    /// its immediate children for cut fragments; all top-level cuts in
+    /// the component for root fragments. O(1) for cut fragments,
+    /// O(log #components) for root fragments; never allocates.
+    pub fn boundary(&self, frag: FragId) -> &[u32] {
         match frag {
-            FragId::Cut(i) => {
-                let mut b = vec![i];
-                b.extend_from_slice(&self.children[i]);
-                b
+            FragId::Cut(i) => &self.bnd[self.bnd_start[i] as usize..self.bnd_start[i + 1] as usize],
+            FragId::Root(comp) => {
+                match self.root_groups.binary_search_by_key(&comp, |&(c, _, _)| c) {
+                    Ok(g) => {
+                        let (_, start, end) = self.root_groups[g];
+                        &self.top_level[start as usize..end as usize]
+                    }
+                    Err(_) => &[],
+                }
             }
-            FragId::Root(comp) => self
-                .top_level
-                .iter()
-                .copied()
-                .filter(|&i| self.cuts[i].comp == comp)
-                .collect(),
         }
     }
 }
@@ -257,11 +369,11 @@ mod tests {
         assert_eq!(frag.locate(&anc[0]), FragId::Root(anc[0].comp));
         // Boundaries: Cut(0) borders faults {0, 1}; Cut(1) borders {1};
         // the root fragment borders {0}.
-        let mut b0 = frag.boundary(FragId::Cut(0));
+        let mut b0 = frag.boundary(FragId::Cut(0)).to_vec();
         b0.sort_unstable();
         assert_eq!(b0, vec![0, 1]);
-        assert_eq!(frag.boundary(FragId::Cut(1)), vec![1]);
-        assert_eq!(frag.boundary(FragId::Root(anc[0].comp)), vec![0]);
+        assert_eq!(frag.boundary(FragId::Cut(1)), &[1]);
+        assert_eq!(frag.boundary(FragId::Root(anc[0].comp)), &[0]);
     }
 
     #[test]
@@ -297,6 +409,49 @@ mod tests {
         assert_eq!(frag.num_cuts(), 0);
         assert_eq!(frag.locate(&anc[0]), frag.locate(&anc[2]));
         assert!(frag.boundary(FragId::Root(anc[0].comp)).is_empty());
+    }
+
+    #[test]
+    fn rebuild_reuses_storage_and_matches_fresh() {
+        // One recycled Fragments + scratch across alternating cut sets
+        // must agree with freshly-built decompositions on every lookup.
+        let g = ftc_graph::generators::random_tree(30, 11);
+        let t = RootedTree::bfs(&g, 0);
+        let anc = ancestry_labels(&t);
+        let mut recycled = Fragments::default();
+        let mut scratch = FragmentBuildScratch::default();
+        for cuts in [
+            vec![3usize, 7, 15],
+            vec![1],
+            vec![2, 4, 6, 8, 10, 12],
+            vec![],
+            vec![5, 29],
+        ] {
+            let mut lowers: Vec<AncestryLabel> = cuts.iter().map(|&v| anc[v]).collect();
+            lowers.sort_by_key(|l| l.pre);
+            lowers.dedup_by_key(|l| l.pre);
+            recycled.reset();
+            recycled.cuts_mut().extend_from_slice(&lowers);
+            recycled.rebuild(&mut scratch);
+            let fresh = Fragments::new(lowers);
+            assert_eq!(recycled.num_cuts(), fresh.num_cuts());
+            for i in 0..fresh.num_cuts() {
+                assert_eq!(recycled.parent(i), fresh.parent(i));
+                assert_eq!(recycled.children(i), fresh.children(i));
+                assert_eq!(
+                    recycled.boundary(FragId::Cut(i)),
+                    fresh.boundary(FragId::Cut(i))
+                );
+            }
+            assert_eq!(recycled.top_level(), fresh.top_level());
+            for a in anc.iter().take(g.n()) {
+                assert_eq!(recycled.locate(a), fresh.locate(a));
+                assert_eq!(
+                    recycled.boundary(recycled.locate(a)),
+                    fresh.boundary(fresh.locate(a))
+                );
+            }
+        }
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! it, so one generic decoder serves every row of Table 1.
 
 use crate::ancestry::AncestryLabel;
-use ftc_codes::ThresholdCodec;
+use ftc_codes::{DecodeScratch, ThresholdCodec};
 use ftc_field::Gf64;
 use std::collections::HashMap;
 use std::fmt;
@@ -25,9 +25,37 @@ pub enum DetectOutcome {
     Failed,
 }
 
+/// Outcome of a slab-based detection attempt — the scratch-reusing
+/// counterpart of [`DetectOutcome`]: decoded edge code IDs land in the
+/// caller's buffer instead of a fresh `Vec`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SlabDetect {
+    /// The boundary is certifiably empty.
+    Empty,
+    /// One or more outgoing-edge code IDs were written to the output
+    /// buffer (never zero).
+    Edges,
+    /// Detection failed (threshold exceeded / sketch failure).
+    Failed,
+}
+
 /// An XOR-mergeable outdetect vector — the S-outdetect labeling interface
 /// of Section 3.1, stripped to what the query engine needs.
+///
+/// Besides the owned-vector operations, every implementation exposes a
+/// *slab* representation: the vector flattened into `u64` words whose
+/// XOR is the vector XOR. The query engine keeps all per-fragment
+/// accumulators in one contiguous word arena and merges fragments by
+/// XORing arena rows, so a session build performs no per-fragment vector
+/// allocation; detection runs straight off an arena row through a
+/// reusable [`OutdetectVector::Detector`].
 pub trait OutdetectVector: Clone {
+    /// Reusable detection state: the codec geometry plus whatever decode
+    /// scratch the backend needs. `Default` yields an unconfigured
+    /// detector; [`OutdetectVector::configure_detector`] (or
+    /// [`EdgeLabelRead::configure_detector`]) points it at a labeling.
+    type Detector: Default + fmt::Debug;
+
     /// Merges another vector (labels of disjoint vertex sets XOR to the
     /// label of their union).
     fn xor_in(&mut self, other: &Self);
@@ -37,6 +65,22 @@ pub trait OutdetectVector: Clone {
     fn detect(&self) -> DetectOutcome;
     /// Size of the vector in bits (for label-size accounting).
     fn bits(&self) -> usize;
+
+    /// Number of `u64` words in the flattened slab representation.
+    fn slab_words(&self) -> usize;
+    /// XORs this vector into a slab accumulator of [`Self::slab_words`]
+    /// words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst.len() != self.slab_words()`.
+    fn accumulate_slab(&self, dst: &mut [u64]);
+    /// Points `det` at this vector's codec geometry, reusing its buffers.
+    fn configure_detector(&self, det: &mut Self::Detector);
+    /// Attempts to detect outgoing edges from an accumulated slab row,
+    /// appending decoded code IDs to `out` (cleared first). Must agree
+    /// with [`OutdetectVector::detect`] on the vector the row encodes.
+    fn detect_slab(det: &mut Self::Detector, words: &[u64], out: &mut Vec<u64>) -> SlabDetect;
 }
 
 /// Read access to a vertex label, independent of its representation.
@@ -93,6 +137,20 @@ pub trait EdgeLabelRead {
     fn to_vector(&self) -> Self::Vector;
     /// XORs the outdetect vector into an existing accumulator.
     fn xor_vector_into(&self, acc: &mut Self::Vector);
+    /// Number of `u64` words in the label's flattened vector
+    /// representation ([`OutdetectVector::slab_words`]).
+    fn slab_words(&self) -> usize;
+    /// XORs the label's vector into a slab accumulator slice — views
+    /// XOR their syndrome words straight out of the byte buffer without
+    /// materializing an owned vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst.len() != self.slab_words()`.
+    fn xor_into_slab(&self, dst: &mut [u64]);
+    /// Points `det` at this label's codec geometry, reusing its buffers
+    /// ([`OutdetectVector::configure_detector`]).
+    fn configure_detector(&self, det: &mut <Self::Vector as OutdetectVector>::Detector);
 }
 
 impl<V: OutdetectVector> EdgeLabelRead for EdgeLabel<V> {
@@ -117,6 +175,18 @@ impl<V: OutdetectVector> EdgeLabelRead for EdgeLabel<V> {
     fn xor_vector_into(&self, acc: &mut V) {
         acc.xor_in(&self.vec);
     }
+
+    fn slab_words(&self) -> usize {
+        self.vec.slab_words()
+    }
+
+    fn xor_into_slab(&self, dst: &mut [u64]) {
+        self.vec.accumulate_slab(dst);
+    }
+
+    fn configure_detector(&self, det: &mut V::Detector) {
+        self.vec.configure_detector(det);
+    }
 }
 
 impl<T: EdgeLabelRead + ?Sized> EdgeLabelRead for &T {
@@ -140,6 +210,18 @@ impl<T: EdgeLabelRead + ?Sized> EdgeLabelRead for &T {
 
     fn xor_vector_into(&self, acc: &mut T::Vector) {
         (**self).xor_vector_into(acc);
+    }
+
+    fn slab_words(&self) -> usize {
+        (**self).slab_words()
+    }
+
+    fn xor_into_slab(&self, dst: &mut [u64]) {
+        (**self).xor_into_slab(dst);
+    }
+
+    fn configure_detector(&self, det: &mut <T::Vector as OutdetectVector>::Detector) {
+        (**self).configure_detector(det);
     }
 }
 
@@ -175,15 +257,18 @@ impl RsVector {
         }
     }
 
-    /// XOR-accumulates the parity row of `code_id` into level `level`.
+    /// XOR-accumulates the parity row of `code_id` into level `level`,
+    /// using the caller's codec (callers accumulating many edges build
+    /// the codec once instead of per toggle).
     ///
     /// # Panics
     ///
-    /// Panics if `level` is out of range or `code_id == 0`.
-    pub fn toggle(&mut self, level: usize, code_id: u64) {
+    /// Panics if `level` is out of range, `code_id == 0`, or the codec
+    /// threshold does not match this vector's `k`.
+    pub fn toggle(&mut self, codec: &ThresholdCodec, level: usize, code_id: u64) {
         let k = self.k as usize;
         assert!(level < self.levels(), "level out of range");
-        let codec = ThresholdCodec::new(k);
+        assert_eq!(codec.k(), k, "codec threshold mismatch");
         codec.accumulate_edge(
             &mut self.data[2 * k * level..2 * k * (level + 1)],
             Gf64::new(code_id),
@@ -226,7 +311,35 @@ impl RsVector {
     }
 }
 
+/// Reusable detection state for [`RsVector`] slabs: the codec geometry
+/// (`k`, level count) plus the decode scratch. One detector serves every
+/// fragment of every session built against the same labeling; warm
+/// detectors decode without allocating.
+#[derive(Debug, Default)]
+pub struct RsDetector {
+    k: usize,
+    levels: usize,
+    /// The level syndrome copied out of the word slab.
+    syn: Vec<Gf64>,
+    /// Decoded edge IDs before conversion to raw bits.
+    ids: Vec<Gf64>,
+    decode: DecodeScratch,
+}
+
+impl RsDetector {
+    /// Points the detector at a labeling's codec geometry (buffers are
+    /// kept). Byte-level label views call this with their parsed header
+    /// fields; owned vectors go through
+    /// [`OutdetectVector::configure_detector`].
+    pub fn configure(&mut self, k: usize, levels: usize) {
+        self.k = k;
+        self.levels = levels;
+    }
+}
+
 impl OutdetectVector for RsVector {
+    type Detector = RsDetector;
+
     fn xor_in(&mut self, other: &Self) {
         assert_eq!(self.k, other.k, "mixed thresholds");
         assert_eq!(self.data.len(), other.data.len(), "mixed level counts");
@@ -240,31 +353,67 @@ impl OutdetectVector for RsVector {
     }
 
     fn detect(&self) -> DetectOutcome {
-        let k = self.k as usize;
-        if k == 0 || self.data.is_empty() {
-            return DetectOutcome::Empty;
+        // One implementation: flatten and run the slab detector (the
+        // serving path), so the two can never diverge. This path is the
+        // convenience one and tolerates the throwaway buffers.
+        let mut det = RsDetector::default();
+        self.configure_detector(&mut det);
+        let words: Vec<u64> = self.data.iter().map(|g| g.to_bits()).collect();
+        let mut ids = Vec::new();
+        match Self::detect_slab(&mut det, &words, &mut ids) {
+            SlabDetect::Empty => DetectOutcome::Empty,
+            SlabDetect::Edges => DetectOutcome::Edges(ids),
+            SlabDetect::Failed => DetectOutcome::Failed,
         }
-        let codec = ThresholdCodec::new(k);
-        // Scan levels from the sparsest (topmost) down: the topmost
-        // non-empty level has at most k boundary edges by the
-        // good-hierarchy invariant, so its decode is exact.
-        for level in (0..self.levels()).rev() {
-            let slice = &self.data[2 * k * level..2 * k * (level + 1)];
-            if ThresholdCodec::is_zero_syndrome(slice) {
-                continue;
-            }
-            return match codec.decode_adaptive(slice) {
-                Ok(edges) if !edges.is_empty() => {
-                    DetectOutcome::Edges(edges.into_iter().map(Gf64::to_bits).collect())
-                }
-                _ => DetectOutcome::Failed,
-            };
-        }
-        DetectOutcome::Empty
     }
 
     fn bits(&self) -> usize {
         self.data.len() * 64
+    }
+
+    fn slab_words(&self) -> usize {
+        self.data.len()
+    }
+
+    fn accumulate_slab(&self, dst: &mut [u64]) {
+        assert_eq!(dst.len(), self.data.len(), "mixed vector widths");
+        // GF(2⁶⁴) addition is XOR of the bit representations.
+        for (d, s) in dst.iter_mut().zip(&self.data) {
+            *d ^= s.to_bits();
+        }
+    }
+
+    fn configure_detector(&self, det: &mut RsDetector) {
+        det.configure(self.k(), self.levels());
+    }
+
+    fn detect_slab(det: &mut RsDetector, words: &[u64], out: &mut Vec<u64>) -> SlabDetect {
+        out.clear();
+        let k = det.k;
+        if k == 0 || words.is_empty() {
+            return SlabDetect::Empty;
+        }
+        debug_assert_eq!(words.len(), 2 * k * det.levels);
+        let codec = ThresholdCodec::new(k);
+        // Scan levels from the sparsest (topmost) down: the topmost
+        // non-empty level has at most k boundary edges by the
+        // good-hierarchy invariant, so its decode is exact.
+        for level in (0..det.levels).rev() {
+            let row = &words[2 * k * level..2 * k * (level + 1)];
+            if row.iter().all(|&w| w == 0) {
+                continue;
+            }
+            det.syn.clear();
+            det.syn.extend(row.iter().copied().map(Gf64::new));
+            return match codec.decode_adaptive_into(&det.syn, &mut det.decode, &mut det.ids) {
+                Ok(()) if !det.ids.is_empty() => {
+                    out.extend(det.ids.iter().map(|g| g.to_bits()));
+                    SlabDetect::Edges
+                }
+                _ => SlabDetect::Failed,
+            };
+        }
+        SlabDetect::Empty
     }
 }
 
@@ -446,10 +595,11 @@ mod tests {
 
     #[test]
     fn rs_vector_toggle_and_detect_roundtrip() {
+        let codec = ThresholdCodec::new(4);
         let mut v = RsVector::zero(4, 3);
-        v.toggle(1, 0xaaaa);
-        v.toggle(1, 0xbbbb);
-        v.toggle(0, 0xcccc);
+        v.toggle(&codec, 1, 0xaaaa);
+        v.toggle(&codec, 1, 0xbbbb);
+        v.toggle(&codec, 0, 0xcccc);
         // Topmost non-zero level is 1 -> detects both its edges.
         match v.detect() {
             DetectOutcome::Edges(mut ids) => {
@@ -470,10 +620,11 @@ mod tests {
 
     #[test]
     fn rs_vector_xor_cancels() {
+        let codec = ThresholdCodec::new(3);
         let mut a = RsVector::zero(3, 2);
-        a.toggle(0, 77);
+        a.toggle(&codec, 0, 77);
         let mut b = RsVector::zero(3, 2);
-        b.toggle(0, 77);
+        b.toggle(&codec, 0, 77);
         a.xor_in(&b);
         assert!(a.is_zero());
     }
@@ -484,9 +635,10 @@ mod tests {
         // (matches the codec-level test). Beyond-threshold outputs are
         // formally unspecified (Proposition 2); the query engine's sanity
         // checks catch the phantom-edge cases this test cannot force.
+        let codec = ThresholdCodec::new(2);
         let mut v = RsVector::zero(2, 1);
         for id in 1..=5u64 {
-            v.toggle(0, id * 7919);
+            v.toggle(&codec, 0, id * 7919);
         }
         assert_eq!(v.detect(), DetectOutcome::Failed);
     }
@@ -498,9 +650,10 @@ mod tests {
         // reports Empty — the documented "unspecified beyond k" behavior.
         let (a, b, c) = (0x1111u64, 0x2222, 0x4444);
         let d = a ^ b ^ c;
+        let codec = ThresholdCodec::new(1);
         let mut v = RsVector::zero(1, 1);
         for id in [a, b, c, d] {
-            v.toggle(0, id);
+            v.toggle(&codec, 0, id);
         }
         assert!(v.is_zero());
         assert_eq!(v.detect(), DetectOutcome::Empty);
@@ -514,9 +667,53 @@ mod tests {
     }
 
     #[test]
+    fn slab_accumulate_and_detect_match_owned_path() {
+        let codec = ThresholdCodec::new(4);
+        let mut a = RsVector::zero(4, 3);
+        a.toggle(&codec, 1, 0xaaaa);
+        a.toggle(&codec, 2, 0x77);
+        let mut b = RsVector::zero(4, 3);
+        b.toggle(&codec, 2, 0x77);
+        b.toggle(&codec, 1, 0xbbbb);
+
+        // Slab XOR must equal owned XOR, word for word.
+        let mut words = vec![0u64; a.slab_words()];
+        a.accumulate_slab(&mut words);
+        b.accumulate_slab(&mut words);
+        let mut owned = a.clone();
+        owned.xor_in(&b);
+        let owned_words: Vec<u64> = owned.raw().iter().map(|g| g.to_bits()).collect();
+        assert_eq!(words, owned_words);
+
+        // Slab detection must agree with owned detection.
+        let mut det = RsDetector::default();
+        owned.configure_detector(&mut det);
+        let mut out = Vec::new();
+        assert_eq!(
+            RsVector::detect_slab(&mut det, &words, &mut out),
+            SlabDetect::Edges
+        );
+        out.sort_unstable();
+        match owned.detect() {
+            DetectOutcome::Edges(mut ids) => {
+                ids.sort_unstable();
+                assert_eq!(out, ids);
+            }
+            other => panic!("owned path disagreed: {other:?}"),
+        }
+
+        // A zero slab row is certifiably empty.
+        assert_eq!(
+            RsVector::detect_slab(&mut det, &vec![0u64; owned.slab_words()], &mut out),
+            SlabDetect::Empty
+        );
+        assert!(out.is_empty());
+    }
+
+    #[test]
     fn raw_round_trip() {
         let mut v = RsVector::zero(2, 2);
-        v.toggle(0, 5);
+        v.toggle(&ThresholdCodec::new(2), 0, 5);
         let w = RsVector::from_raw(2, v.raw().to_vec());
         assert_eq!(v, w);
     }

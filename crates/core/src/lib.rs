@@ -77,8 +77,8 @@ pub mod vertex_faults;
 pub use error::{BuildError, QueryError};
 pub use hierarchy::HierarchyBackend;
 pub use labels::{
-    DetectOutcome, EdgeLabel, EdgeLabelRead, LabelHeader, LabelSet, OutdetectVector, RsVector,
-    SizeReport, VertexLabel, VertexLabelRead,
+    DetectOutcome, EdgeLabel, EdgeLabelRead, LabelHeader, LabelSet, OutdetectVector, RsDetector,
+    RsVector, SizeReport, SlabDetect, VertexLabel, VertexLabelRead,
 };
 pub use params::{Params, ThresholdPolicy};
 pub use query::Certificate;
@@ -88,5 +88,5 @@ pub use scheme::{BuildDiagnostics, FtcScheme, SchemeBuilder};
 pub use serial::{
     CompactEdgeLabelView, EdgeLabelView, SerialError, SerialErrorKind, VertexLabelView,
 };
-pub use session::QuerySession;
+pub use session::{QuerySession, SessionScratch};
 pub use store::{ArchivedEdgeView, EdgeEncoding, LabelStore, LabelStoreView, StoreError};

@@ -468,6 +468,27 @@ impl EdgeLabelRead for EdgeLabelView<'_> {
         assert_eq!(self.k(), acc.k(), "mixed thresholds");
         acc.xor_in_raw_words(self.words());
     }
+
+    fn slab_words(&self) -> usize {
+        self.num_words()
+    }
+
+    fn xor_into_slab(&self, dst: &mut [u64]) {
+        assert_eq!(dst.len(), self.num_words(), "mixed vector widths");
+        for (d, w) in dst.iter_mut().zip(self.words()) {
+            *d ^= w;
+        }
+    }
+
+    fn configure_detector(&self, det: &mut crate::labels::RsDetector) {
+        let k = self.k();
+        let levels = if k == 0 {
+            0
+        } else {
+            self.num_words() / (2 * k)
+        };
+        det.configure(k, levels);
+    }
 }
 
 /// A validated zero-copy view of a *compact* serialized edge label
@@ -561,6 +582,40 @@ impl EdgeLabelRead for CompactEdgeLabelView<'_> {
     fn xor_vector_into(&self, acc: &mut RsVector) {
         assert_eq!(self.k(), acc.k(), "mixed thresholds");
         acc.xor_in(&self.to_vector());
+    }
+
+    fn slab_words(&self) -> usize {
+        2 * self.k() * self.levels()
+    }
+
+    fn xor_into_slab(&self, dst: &mut [u64]) {
+        // Expand the half-width encoding on the fly, with no scratch: in
+        // the full layout, entry `i` (1-based power sum `s_i`) equals
+        // `s_o^(2^t)` where `i = o·2^t` with `o` odd — repeated Frobenius
+        // squaring of a stored odd power sum. t ≤ log₂(2k) squarings per
+        // entry keep this cheap, and each label is expanded exactly once
+        // per session build (into the fault-word slab).
+        let k = self.k();
+        let levels = self.levels();
+        assert_eq!(dst.len(), 2 * k * levels, "mixed vector widths");
+        for lvl in 0..levels {
+            let lvl_at = EDGE_WORDS_OFFSET + 8 * lvl * k;
+            let out = &mut dst[2 * k * lvl..2 * k * (lvl + 1)];
+            for (idx, slot) in out.iter_mut().enumerate() {
+                let i = idx + 1; // 1-based power-sum index
+                let t = i.trailing_zeros();
+                let o = i >> t; // odd part: s_i = s_o^(2^t)
+                let mut v = Gf64::new(read_u64_at(self.buf, lvl_at + 8 * (o / 2)));
+                for _ in 0..t {
+                    v = v.square();
+                }
+                *slot ^= v.to_bits();
+            }
+        }
+    }
+
+    fn configure_detector(&self, det: &mut crate::labels::RsDetector) {
+        det.configure(self.k(), self.levels());
     }
 }
 

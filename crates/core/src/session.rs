@@ -8,13 +8,16 @@
 //! workloads:
 //!
 //! * construction performs the dedup/validation/fragment-splitting and
-//!   runs the heap-ordered merge engine (with its cutset bitvectors and
-//!   per-fragment outdetect accumulators) exactly once per affected
-//!   component;
+//!   runs the heap-ordered merge engine exactly once per affected
+//!   component. The engine is *slab-backed*: every fragment's
+//!   tree-boundary bitvector lives in one strided `u64` slab, every
+//!   outdetect accumulator in one contiguous word arena, and fragment
+//!   merges are row XORs — no per-fragment vectors are ever allocated;
 //! * [`QuerySession::connected`] then answers from two precomputed
 //!   lookup tables — point location into the laminar fragment family plus
 //!   a flattened union-find — performing **zero heap allocations per
-//!   query**;
+//!   query**; [`QuerySession::connected_many`] batches pairs into a
+//!   caller-provided buffer;
 //! * [`QuerySession::certified`] additionally returns the merge
 //!   certificate as a borrowed slice, again without allocating;
 //! * fault inputs are generic: owned [`EdgeLabel`]s, references, or
@@ -22,6 +25,18 @@
 //!   bytes — anything implementing [`EdgeLabelRead`] — and vertex
 //!   arguments are anything implementing
 //!   [`crate::labels::VertexLabelRead`].
+//!
+//! # Scratch reuse — the serving hot path
+//!
+//! A server building sessions at high rate threads a [`SessionScratch`]
+//! through [`QuerySession::new_in`] (or [`LabelSet::session_in`] /
+//! [`crate::store::LabelStoreView::session_in`]) and hands finished
+//! sessions back via [`SessionScratch::recycle`]. The scratch owns every
+//! buffer a build touches — the cutset slab, the accumulator arena, the
+//! merge heap, fragment build tables, and the adaptive decoder's scratch —
+//! so a warm build performs **zero heap allocations** end to end. The
+//! plain entry points ([`QuerySession::new`], [`LabelSet::session`]) are
+//! thin wrappers over a throwaway scratch.
 //!
 //! The free functions [`crate::connected`] / [`crate::certified_connected`]
 //! and the old `oracle::BatchQuery` are thin (deprecated) wrappers over
@@ -31,6 +46,7 @@
 //! # Example
 //!
 //! ```
+//! use ftc_core::session::SessionScratch;
 //! use ftc_core::{FtcScheme, Params};
 //! use ftc_graph::Graph;
 //!
@@ -44,6 +60,13 @@
 //! assert!(!session.connected(l.vertex_label(1), l.vertex_label(4)).unwrap());
 //! assert!(session.connected(l.vertex_label(1), l.vertex_label(3)).unwrap());
 //!
+//! // Serving loop: recycle the session's storage into a scratch and
+//! // rebuild for the next fault set without allocating.
+//! let mut scratch = SessionScratch::new();
+//! scratch.recycle(session);
+//! let session = l.session_in([l.edge_label(2, 3).unwrap()], &mut scratch).unwrap();
+//! assert!(session.connected(l.vertex_label(2), l.vertex_label(3)).unwrap());
+//!
 //! // Empty fault sets are the common production case and are valid.
 //! let clean = l.session([] as [&ftc_core::EdgeLabel<ftc_core::RsVector>; 0]).unwrap();
 //! assert!(clean.connected(l.vertex_label(0), l.vertex_label(5)).unwrap());
@@ -52,9 +75,9 @@
 use crate::ancestry::AncestryLabel;
 use crate::auxgraph::AuxGraph;
 use crate::error::QueryError;
-use crate::fragments::{FragId, Fragments};
+use crate::fragments::{FragId, FragmentBuildScratch, Fragments};
 use crate::labels::{
-    DetectOutcome, EdgeLabel, EdgeLabelRead, LabelHeader, LabelSet, OutdetectVector,
+    EdgeLabel, EdgeLabelRead, LabelHeader, LabelSet, OutdetectVector, RsVector, SlabDetect,
     VertexLabelRead,
 };
 use ftc_graph::UnionFind;
@@ -62,27 +85,27 @@ use std::borrow::Borrow;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::marker::PhantomData;
+use std::mem;
 
-/// The fully-merged state of one component containing faults.
-#[derive(Clone, Debug)]
-struct CompMerge {
+/// The fully-merged state of one component containing faults: a window
+/// into the session's flattened `root_of_slot` / `certs` arenas.
+#[derive(Clone, Copy, Debug)]
+struct CompRef {
     /// Component ID (pre-order of the component root).
     comp: u32,
-    /// Flattened union-find: final merged-set representative per fragment
-    /// slot (`0..num_cuts` = cut fragments, `num_cuts` = the component's
-    /// root fragment). Entries for other components' slots are unused.
-    root_of_slot: Vec<u32>,
-    /// Auxiliary-graph certificate edges (as `(pre, pre)` pairs), in the
-    /// order the engine merged along them.
-    cert: Vec<(u32, u32)>,
+    /// Start of this component's certificate edges in `certs`.
+    cert_at: u32,
+    /// Number of certificate edges.
+    cert_len: u32,
 }
 
 /// A prepared fault set: validates and fragments once, then answers any
 /// number of `s–t` queries with zero per-query heap allocation.
 ///
-/// Create via [`LabelSet::session`] (owned labels) or
-/// [`QuerySession::new`] (any [`EdgeLabelRead`] implementor, including
-/// byte-level views). See the [module docs](self) for the full contract.
+/// Create via [`LabelSet::session`] (owned labels), [`QuerySession::new`]
+/// (any [`EdgeLabelRead`] implementor, including byte-level views), or the
+/// scratch-reusing `*_in` variants. See the [module docs](self) for the
+/// full contract.
 #[derive(Clone, Debug)]
 pub struct QuerySession {
     /// The shared labeling header; `None` when the session was inferred
@@ -90,8 +113,82 @@ pub struct QuerySession {
     header: Option<LabelHeader>,
     /// Fragment decomposition of `T′ − F`.
     frag: Fragments,
-    /// Per affected component (sorted by ID): merged connectivity state.
-    comps: Vec<CompMerge>,
+    /// Per affected component (sorted by ID): window into the arenas.
+    comps: Vec<CompRef>,
+    /// Flattened union-find results: `comps.len()` rows of
+    /// `num_cuts + 1` slots (`0..num_cuts` = cut fragments, `num_cuts` =
+    /// the component's root fragment).
+    root_of_slot: Vec<u32>,
+    /// Concatenated per-component certificate edges (as `(pre, pre)`
+    /// pairs), in the order the engine merged along them.
+    certs: Vec<(u32, u32)>,
+}
+
+/// Reusable storage for building [`QuerySession`]s.
+///
+/// Owns every buffer a session build touches: fault ingestion tables, the
+/// fragment build scratch, the merge engine's cutset slab / accumulator
+/// arena / heap, the backend's decode scratch
+/// ([`OutdetectVector::Detector`]), and — after
+/// [`SessionScratch::recycle`] — the storage of a finished session. A
+/// scratch that has served a fault set of some size serves any later
+/// fault set of similar size with **zero heap allocations**.
+///
+/// The type parameter is the outdetect-vector backend; it defaults to the
+/// deterministic [`RsVector`], which every serialized-label path uses.
+#[derive(Debug)]
+pub struct SessionScratch<V: OutdetectVector = RsVector> {
+    /// Per supplied fault (pre-dedup): lower-endpoint ancestry label.
+    anc: Vec<AncestryLabel>,
+    /// Per supplied fault: flattened vector words, strided.
+    fault_words: Vec<u64>,
+    /// Sorted, deduplicated fault indices (cut order → ingestion order).
+    order: Vec<u32>,
+    /// Affected component IDs.
+    comp_ids: Vec<u32>,
+    /// Fragment build sweeps.
+    frag_scratch: FragmentBuildScratch,
+    /// Merge engine state.
+    engine: EngineScratch<V>,
+    /// Recycled session storage.
+    spare_frag: Fragments,
+    spare_comps: Vec<CompRef>,
+    spare_slots: Vec<u32>,
+    spare_certs: Vec<(u32, u32)>,
+}
+
+impl<V: OutdetectVector> Default for SessionScratch<V> {
+    fn default() -> Self {
+        SessionScratch {
+            anc: Vec::new(),
+            fault_words: Vec::new(),
+            order: Vec::new(),
+            comp_ids: Vec::new(),
+            frag_scratch: FragmentBuildScratch::default(),
+            engine: EngineScratch::default(),
+            spare_frag: Fragments::default(),
+            spare_comps: Vec::new(),
+            spare_slots: Vec::new(),
+            spare_certs: Vec::new(),
+        }
+    }
+}
+
+impl<V: OutdetectVector> SessionScratch<V> {
+    /// An empty scratch. Buffers grow on first use and are reused after.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Takes a finished session's storage back into the scratch, so the
+    /// next [`QuerySession::new_in`] can rebuild without allocating. Any
+    /// previously recycled storage is dropped.
+    pub fn recycle(&mut self, session: QuerySession) {
+        self.spare_frag = session.frag;
+        self.spare_comps = session.comps;
+        self.spare_slots = session.root_of_slot;
+        self.spare_certs = session.certs;
+    }
 }
 
 impl QuerySession {
@@ -114,7 +211,32 @@ impl QuerySession {
         I: IntoIterator,
         I::Item: EdgeLabelRead,
     {
-        Self::build(Some(header), faults.into_iter().collect())
+        Self::build_in(
+            Some(header),
+            faults,
+            &mut SessionScratch::<<I::Item as EdgeLabelRead>::Vector>::default(),
+        )
+    }
+
+    /// Like [`QuerySession::new`], but drawing every build buffer from
+    /// `scratch` — the serving hot path. With a warm scratch (one that
+    /// has built a session of similar size, plus the storage of a
+    /// [`SessionScratch::recycle`]d session) the build performs **zero
+    /// heap allocations**.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`QuerySession::new`].
+    pub fn new_in<I>(
+        header: LabelHeader,
+        faults: I,
+        scratch: &mut SessionScratch<<I::Item as EdgeLabelRead>::Vector>,
+    ) -> Result<QuerySession, QueryError>
+    where
+        I: IntoIterator,
+        I::Item: EdgeLabelRead,
+    {
+        Self::build_in(Some(header), faults, scratch)
     }
 
     /// Like [`QuerySession::new`], inferring the header from the first
@@ -129,56 +251,120 @@ impl QuerySession {
         I: IntoIterator,
         I::Item: EdgeLabelRead,
     {
-        let faults: Vec<I::Item> = faults.into_iter().collect();
-        let header = faults.first().map(EdgeLabelRead::header);
-        Self::build(header, faults)
+        Self::build_in(
+            None,
+            faults,
+            &mut SessionScratch::<<I::Item as EdgeLabelRead>::Vector>::default(),
+        )
     }
 
-    fn build<E: EdgeLabelRead>(
+    fn build_in<I>(
         header: Option<LabelHeader>,
-        mut faults: Vec<E>,
-    ) -> Result<QuerySession, QueryError> {
-        if let Some(h) = header {
-            if faults.iter().any(|e| e.header() != h) {
-                return Err(QueryError::MismatchedLabels);
+        faults: I,
+        s: &mut SessionScratch<<I::Item as EdgeLabelRead>::Vector>,
+    ) -> Result<QuerySession, QueryError>
+    where
+        I: IntoIterator,
+        I::Item: EdgeLabelRead,
+    {
+        let mut header = header;
+        // Ingest: one pass copies each fault's lower ancestry label and
+        // flattened vector words into the scratch, so the merge engine
+        // never touches the (possibly byte-view) labels again.
+        s.anc.clear();
+        s.fault_words.clear();
+        let mut w = 0usize;
+        for e in faults {
+            let h = e.header();
+            match header {
+                Some(hh) if hh != h => return Err(QueryError::MismatchedLabels),
+                None => header = Some(h),
+                _ => {}
             }
+            if s.anc.is_empty() {
+                w = e.slab_words();
+                e.configure_detector(&mut s.engine.det);
+            } else {
+                assert_eq!(e.slab_words(), w, "mixed vector widths");
+            }
+            s.anc.push(e.anc_lower());
+            let at = s.fault_words.len();
+            s.fault_words.resize(at + w, 0);
+            e.xor_into_slab(&mut s.fault_words[at..]);
         }
+
         // Deduplicate faults by σ(e)'s lower endpoint (unique per edge).
-        faults.sort_by_key(|e| e.anc_lower().pre);
-        faults.dedup_by_key(|e| e.anc_lower().pre);
+        s.order.clear();
+        s.order.extend(0..s.anc.len() as u32);
+        let anc = &s.anc;
+        s.order.sort_unstable_by_key(|&i| anc[i as usize].pre);
+        s.order.dedup_by_key(|i| anc[*i as usize].pre);
         if let Some(h) = header {
-            if faults.len() > h.f as usize {
+            if s.order.len() > h.f as usize {
                 return Err(QueryError::TooManyFaults {
-                    supplied: faults.len(),
+                    supplied: s.order.len(),
                     budget: h.f as usize,
                 });
             }
         }
 
-        let frag = Fragments::new(faults.iter().map(|e| e.anc_lower()).collect());
-        debug_assert_eq!(frag.num_cuts(), faults.len());
+        // Fragment decomposition, rebuilt in recycled storage.
+        let mut frag = mem::take(&mut s.spare_frag);
+        frag.reset();
+        frag.cuts_mut()
+            .extend(s.order.iter().map(|&i| s.anc[i as usize]));
+        frag.rebuild(&mut s.frag_scratch);
+        debug_assert_eq!(frag.num_cuts(), s.order.len());
 
-        let mut comp_ids: Vec<u32> = frag.cuts().iter().map(|c| c.comp).collect();
-        comp_ids.sort_unstable();
-        comp_ids.dedup();
+        s.comp_ids.clear();
+        s.comp_ids.extend(frag.cuts().iter().map(|c| c.comp));
+        s.comp_ids.sort_unstable();
+        s.comp_ids.dedup();
 
+        let mut comps = mem::take(&mut s.spare_comps);
+        let mut slots = mem::take(&mut s.spare_slots);
+        let mut certs = mem::take(&mut s.spare_certs);
+        comps.clear();
+        slots.clear();
+        certs.clear();
         let aux_n = header.map_or(0, |h| h.aux_n as usize);
-        let mut comps = Vec::with_capacity(comp_ids.len());
-        for comp in comp_ids {
-            let (mut uf, cert) = Engine::new(&frag, &faults, aux_n, comp).exhaust()?;
-            let root_of_slot = (0..frag.num_cuts() + 1)
-                .map(|i| uf.find(i) as u32)
-                .collect();
-            comps.push(CompMerge {
-                comp,
-                root_of_slot,
-                cert,
-            });
+        let mut run = || -> Result<(), QueryError> {
+            for idx in 0..s.comp_ids.len() {
+                let comp = s.comp_ids[idx];
+                let cert_at = certs.len() as u32;
+                merge_component(
+                    &frag,
+                    comp,
+                    aux_n,
+                    w,
+                    &s.fault_words,
+                    &s.order,
+                    &mut s.engine,
+                    &mut slots,
+                    &mut certs,
+                )?;
+                comps.push(CompRef {
+                    comp,
+                    cert_at,
+                    cert_len: certs.len() as u32 - cert_at,
+                });
+            }
+            Ok(())
+        };
+        if let Err(e) = run() {
+            // Hand the storage back so the scratch stays warm.
+            s.spare_frag = frag;
+            s.spare_comps = comps;
+            s.spare_slots = slots;
+            s.spare_certs = certs;
+            return Err(e);
         }
         Ok(QuerySession {
             header,
             frag,
             comps,
+            root_of_slot: slots,
+            certs,
         })
     }
 
@@ -245,6 +431,32 @@ impl QuerySession {
         Ok(self.certified(s, t)?.is_some())
     }
 
+    /// Answers a batch of s–t queries into a caller-provided buffer
+    /// (cleared first; one `bool` per pair, in order). Zero heap
+    /// allocation when `out` already has capacity for `pairs.len()`
+    /// answers. Stops at the first invalid pair.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`QuerySession::connected`]; on error, `out`
+    /// holds the answers of the pairs preceding the offending one.
+    pub fn connected_many<S, T>(
+        &self,
+        pairs: &[(S, T)],
+        out: &mut Vec<bool>,
+    ) -> Result<(), QueryError>
+    where
+        S: VertexLabelRead,
+        T: VertexLabelRead,
+    {
+        out.clear();
+        out.reserve(pairs.len());
+        for (s, t) in pairs {
+            out.push(self.certified(s, t)?.is_some());
+        }
+        Ok(())
+    }
+
     /// Like [`QuerySession::connected`], but returns the connectivity
     /// certificate as a borrowed slice: the auxiliary-graph non-tree
     /// edges (as `(pre, pre)` pairs) whose merges connect the fragments
@@ -269,7 +481,7 @@ impl QuerySession {
         if sa.same_vertex(&ta) {
             return Ok(Some(&[]));
         }
-        let Some(cm) = self.comp_merge(sa.comp) else {
+        let Ok(ci) = self.comps.binary_search_by_key(&sa.comp, |c| c.comp) else {
             // No faults in this component: connectivity is untouched.
             return Ok(Some(&[]));
         };
@@ -277,19 +489,16 @@ impl QuerySession {
         if ss == ts {
             return Ok(Some(&[])); // same fragment: connected within T′ − F
         }
-        if cm.root_of_slot[ss] == cm.root_of_slot[ts] {
-            Ok(Some(&cm.cert))
+        let stride = self.frag.num_cuts() + 1;
+        let slots = &self.root_of_slot[ci * stride..(ci + 1) * stride];
+        if slots[ss] == slots[ts] {
+            let c = self.comps[ci];
+            Ok(Some(
+                &self.certs[c.cert_at as usize..(c.cert_at + c.cert_len) as usize],
+            ))
         } else {
             Ok(None)
         }
-    }
-
-    /// The merged state of a component, by binary search (no allocation).
-    fn comp_merge(&self, comp: u32) -> Option<&CompMerge> {
-        self.comps
-            .binary_search_by_key(&comp, |c| c.comp)
-            .ok()
-            .map(|i| &self.comps[i])
     }
 
     /// Fragment slot of an ancestry label (`0..num_cuts` for cut
@@ -327,6 +536,18 @@ impl<B: Borrow<EdgeLabel<V>>, V: OutdetectVector> EdgeLabelRead for BorrowedFaul
     fn xor_vector_into(&self, acc: &mut V) {
         acc.xor_in(&self.0.borrow().vec);
     }
+
+    fn slab_words(&self) -> usize {
+        self.0.borrow().vec.slab_words()
+    }
+
+    fn xor_into_slab(&self, dst: &mut [u64]) {
+        self.0.borrow().vec.accumulate_slab(dst);
+    }
+
+    fn configure_detector(&self, det: &mut V::Detector) {
+        self.0.borrow().vec.configure_detector(det);
+    }
 }
 
 impl<V: OutdetectVector> LabelSet<V> {
@@ -343,230 +564,246 @@ impl<V: OutdetectVector> LabelSet<V> {
         I: IntoIterator,
         I::Item: Borrow<EdgeLabel<V>>,
     {
-        QuerySession::new(
-            self.header(),
+        self.session_in(faults, &mut SessionScratch::default())
+    }
+
+    /// Scratch-reusing variant of [`LabelSet::session`]: zero heap
+    /// allocation once `scratch` is warm. See the
+    /// [module docs](self#scratch-reuse--the-serving-hot-path).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`QuerySession::new`].
+    pub fn session_in<I>(
+        &self,
+        faults: I,
+        scratch: &mut SessionScratch<V>,
+    ) -> Result<QuerySession, QueryError>
+    where
+        I: IntoIterator,
+        I::Item: Borrow<EdgeLabel<V>>,
+    {
+        QuerySession::build_in(
+            Some(self.header()),
             faults
                 .into_iter()
                 .map(|b| BorrowedFault(b, PhantomData::<fn() -> V>)),
+            scratch,
         )
     }
 }
 
-/// The Section 7.6 fragment-merging engine: processes fragments smallest
-/// tree boundary first, maintaining boundaries as XOR-able bitvectors and
-/// outdetect accumulators, until every fragment set is certified
-/// outgoing-edge-free. Records the merge certificate as it goes.
-struct Engine<'a, V: OutdetectVector> {
-    frag: &'a Fragments,
-    aux_n: usize,
-    comp: u32,
-    /// Per active fragment: tree-boundary bitvector over cut indices.
-    cutset: Vec<Vec<u64>>,
-    cut_count: Vec<usize>,
-    /// Per active fragment: outdetect vector (Proposition 4 XOR).
-    vec: Vec<Option<V>>,
-    version: Vec<u64>,
+// ---------------------------------------------------------------------------
+// The merge engine
+// ---------------------------------------------------------------------------
+
+/// Reusable state of the Section 7.6 fragment-merging engine. All
+/// per-fragment data lives in strided flat buffers:
+///
+/// * `slab` — tree-boundary bitvectors over cut indices, one
+///   `⌈|F|/64⌉`-word row per fragment slot;
+/// * `arena` — outdetect accumulators, one `slab_words()` row per slot
+///   (GF(2⁶⁴) addition and sketch merging are both plain word XOR).
+#[derive(Debug)]
+struct EngineScratch<V: OutdetectVector> {
+    slab: Vec<u64>,
+    arena: Vec<u64>,
+    cut_count: Vec<u32>,
+    version: Vec<u32>,
     alive: Vec<bool>,
     uf: UnionFind,
-    heap: BinaryHeap<Reverse<(usize, u64, usize)>>,
+    heap: BinaryHeap<Reverse<(u32, u32, u32)>>,
+    /// Decoded code IDs of the current detection.
+    ids: Vec<u64>,
+    /// Backend decode state (geometry + scratch).
+    det: V::Detector,
 }
 
-impl<'a, V: OutdetectVector> Engine<'a, V> {
-    fn new<E: EdgeLabelRead<Vector = V>>(
-        frag: &'a Fragments,
-        faults: &[E],
-        aux_n: usize,
-        comp: u32,
-    ) -> Self {
-        let nc = frag.num_cuts();
-        let total = nc + 1; // + the query component's root fragment
-        let words = nc.div_ceil(64).max(1);
-        let mut cutset = vec![vec![0u64; words]; total];
-        let mut cut_count = vec![0usize; total];
-        let mut vec: Vec<Option<V>> = vec![None; total];
-        let mut heap = BinaryHeap::new();
-
-        // Only fragments of this component participate: outgoing edges
-        // never leave a component.
-        let mut active: Vec<usize> = Vec::new();
-        for i in 0..nc {
-            if frag.cuts()[i].comp == comp {
-                active.push(i);
-            }
-        }
-        active.push(nc); // root fragment slot
-
-        for &id in &active {
-            let fid = if id == nc {
-                FragId::Root(comp)
-            } else {
-                FragId::Cut(id)
-            };
-            let boundary = frag.boundary(fid);
-            for &c in &boundary {
-                cutset[id][c / 64] ^= 1u64 << (c % 64);
-            }
-            cut_count[id] = boundary.len();
-            let mut acc: Option<V> = None;
-            for &c in &boundary {
-                match &mut acc {
-                    None => acc = Some(faults[c].to_vector()),
-                    Some(a) => faults[c].xor_vector_into(a),
-                }
-            }
-            vec[id] = acc;
-            heap.push(Reverse((cut_count[id], 0u64, id)));
-        }
-
-        Engine {
-            frag,
-            aux_n,
-            comp,
-            cutset,
-            cut_count,
-            vec,
-            version: vec![0; total],
-            alive: {
-                let mut a = vec![false; total];
-                for &id in &active {
-                    a[id] = true;
-                }
-                a
-            },
-            uf: UnionFind::new(total),
-            heap,
+impl<V: OutdetectVector> Default for EngineScratch<V> {
+    fn default() -> Self {
+        EngineScratch {
+            slab: Vec::new(),
+            arena: Vec::new(),
+            cut_count: Vec::new(),
+            version: Vec::new(),
+            alive: Vec::new(),
+            uf: UnionFind::new(0),
+            heap: BinaryHeap::new(),
+            ids: Vec::new(),
+            det: V::Detector::default(),
         }
     }
+}
 
-    fn slot_of(&self, fid: FragId) -> Option<usize> {
-        match fid {
-            FragId::Cut(i) => {
-                if self.frag.cuts()[i].comp == self.comp {
-                    Some(i)
-                } else {
-                    None
-                }
-            }
-            FragId::Root(c) => {
-                if c == self.comp {
-                    Some(self.frag.num_cuts())
-                } else {
-                    None
-                }
-            }
-        }
+/// XORs row `src` into row `dst` of a strided flat buffer.
+fn xor_row(buf: &mut [u64], stride: usize, dst: usize, src: usize) {
+    debug_assert_ne!(dst, src);
+    let (d, s) = if dst < src {
+        let (a, b) = buf.split_at_mut(src * stride);
+        (&mut a[dst * stride..(dst + 1) * stride], &b[..stride])
+    } else {
+        let (a, b) = buf.split_at_mut(dst * stride);
+        (&mut b[..stride], &a[src * stride..(src + 1) * stride])
+    };
+    for (x, &y) in d.iter_mut().zip(s) {
+        *x ^= y;
     }
+}
 
-    /// Runs the merging loop to completion and returns the final
-    /// union-find over fragment slots plus the certificate edges in merge
-    /// order. Two vertices of this component are connected in `G − F` iff
-    /// their fragments share a final set.
-    fn exhaust(mut self) -> Result<(UnionFind, Vec<(u32, u32)>), QueryError> {
-        let mut cert: Vec<(u32, u32)> = Vec::new();
-        while let Some(Reverse((size, ver, id))) = self.heap.pop() {
-            // Skip stale heap entries.
-            if !self.alive[id]
-                || self.uf.find(id) != id
-                || self.version[id] != ver
-                || self.cut_count[id] != size
-            {
+/// Runs the Section 7.6 merging loop to completion for one component:
+/// processes fragments smallest tree boundary first, maintaining
+/// boundaries as XOR-able slab rows and outdetect accumulators as arena
+/// rows, until every fragment set is certified outgoing-edge-free.
+/// Appends the final merged-set representative of every fragment slot to
+/// `slots` and the certificate edges (in merge order) to `certs`.
+#[allow(clippy::too_many_arguments)]
+fn merge_component<V: OutdetectVector>(
+    frag: &Fragments,
+    comp: u32,
+    aux_n: usize,
+    w: usize,
+    fault_words: &[u64],
+    order: &[u32],
+    e: &mut EngineScratch<V>,
+    slots: &mut Vec<u32>,
+    certs: &mut Vec<(u32, u32)>,
+) -> Result<(), QueryError> {
+    let nc = frag.num_cuts();
+    let total = nc + 1; // + the component's root fragment
+    let words = nc.div_ceil(64).max(1);
+    e.slab.clear();
+    e.slab.resize(total * words, 0);
+    e.arena.clear();
+    e.arena.resize(total * w, 0);
+    e.cut_count.clear();
+    e.cut_count.resize(total, 0);
+    e.version.clear();
+    e.version.resize(total, 0);
+    e.alive.clear();
+    e.alive.resize(total, false);
+    e.uf.reset(total);
+    e.heap.clear();
+
+    // Only fragments of this component participate: outgoing edges never
+    // leave a component.
+    for slot in 0..total {
+        let fid = if slot == nc {
+            FragId::Root(comp)
+        } else {
+            if frag.cuts()[slot].comp != comp {
                 continue;
             }
-            let outcome = match &self.vec[id] {
-                Some(v) => v.detect(),
-                // A fragment with an empty boundary (no faults at all in
-                // its component) has no outdetect data — and no outgoing
-                // edges, since it is the whole component.
-                None => DetectOutcome::Empty,
-            };
-            match outcome {
-                DetectOutcome::Failed => return Err(QueryError::OutdetectFailed),
-                DetectOutcome::Empty => {
-                    // Maximal component of G − F.
-                    self.alive[id] = false;
-                }
-                DetectOutcome::Edges(ids) => {
-                    let mut merged_any = false;
-                    for code_id in ids {
-                        let Some((pa, pb)) = AuxGraph::unpack_code_id(code_id, self.aux_n) else {
-                            return Err(QueryError::OutdetectFailed);
-                        };
-                        let fa = self
-                            .frag
-                            .locate_pre(pa)
-                            .map_or(FragId::Root(self.comp), FragId::Cut);
-                        let fb = self
-                            .frag
-                            .locate_pre(pb)
-                            .map_or(FragId::Root(self.comp), FragId::Cut);
-                        let (Some(sa), Some(sb)) = (self.slot_of(fa), self.slot_of(fb)) else {
-                            return Err(QueryError::OutdetectFailed);
-                        };
-                        let ra = self.uf.find(sa);
-                        let rb = self.uf.find(sb);
-                        if ra == rb {
-                            // Already merged via an earlier edge of this batch.
-                            continue;
-                        }
-                        let cur = self.uf.find(id);
-                        if ra != cur && rb != cur {
-                            // The detected edge does not touch the popped
-                            // fragment: only possible with a phantom decode
-                            // under a calibrated threshold.
-                            return Err(QueryError::OutdetectFailed);
-                        }
-                        self.merge(ra, rb);
-                        merged_any = true;
-                        cert.push((pa, pb));
-                    }
-                    if !merged_any {
-                        // Every decoded edge was internal: impossible for an
-                        // exact decode (outgoing edges cross the boundary),
-                        // so this is a phantom from a calibrated threshold.
-                        return Err(QueryError::OutdetectFailed);
-                    }
-                    let root = self.uf.find(id);
-                    self.version[root] += 1;
-                    self.heap
-                        .push(Reverse((self.cut_count[root], self.version[root], root)));
-                }
+            FragId::Cut(slot)
+        };
+        let boundary = frag.boundary(fid);
+        for &c in boundary {
+            let c = c as usize;
+            e.slab[slot * words + c / 64] ^= 1u64 << (c % 64);
+            let fw = &fault_words[order[c] as usize * w..][..w];
+            for (d, &x) in e.arena[slot * w..(slot + 1) * w].iter_mut().zip(fw) {
+                *d ^= x;
             }
         }
-        Ok((self.uf, cert))
+        e.cut_count[slot] = boundary.len() as u32;
+        e.alive[slot] = true;
+        e.heap.push(Reverse((e.cut_count[slot], 0, slot as u32)));
     }
 
-    /// Merges the fragment sets rooted at `ra` and `rb`: boundary bitvectors
-    /// XOR (symmetric difference — shared faults become interior), vectors
-    /// XOR (Proposition 4), union-find tracks membership.
-    fn merge(&mut self, ra: usize, rb: usize) {
-        debug_assert!(ra != rb);
-        self.uf.union(ra, rb);
-        let root = self.uf.find(ra);
-        let other = if root == ra { rb } else { ra };
-        debug_assert!(root == ra || root == rb);
-        // XOR boundary bitvectors.
-        let (dst, src) = if root < other {
-            let (a, b) = self.cutset.split_at_mut(other);
-            (&mut a[root], &b[0])
-        } else {
-            let (a, b) = self.cutset.split_at_mut(root);
-            (&mut b[0], &a[other])
-        };
-        let mut count = 0usize;
-        for (d, s) in dst.iter_mut().zip(src) {
-            *d ^= s;
-            count += d.count_ones() as usize;
+    while let Some(Reverse((size, ver, id))) = e.heap.pop() {
+        let id = id as usize;
+        // Skip stale heap entries.
+        if !e.alive[id] || e.uf.find(id) != id || e.version[id] != ver || e.cut_count[id] != size {
+            continue;
         }
-        self.cut_count[root] = count;
-        // XOR outdetect vectors.
-        let moved = self.vec[other].take();
-        match (&mut self.vec[root], moved) {
-            (Some(a), Some(b)) => a.xor_in(&b),
-            (slot @ None, Some(b)) => *slot = Some(b),
-            _ => {}
+        // A fragment whose accumulator row is zero has no outdetect data
+        // — and no outgoing edges (Proposition 4's XOR telescopes to the
+        // formal zero of an empty boundary).
+        match V::detect_slab(&mut e.det, &e.arena[id * w..(id + 1) * w], &mut e.ids) {
+            SlabDetect::Failed => return Err(QueryError::OutdetectFailed),
+            SlabDetect::Empty => {
+                // Maximal component of G − F.
+                e.alive[id] = false;
+            }
+            SlabDetect::Edges => {
+                let mut merged_any = false;
+                for i in 0..e.ids.len() {
+                    let code_id = e.ids[i];
+                    let Some((pa, pb)) = AuxGraph::unpack_code_id(code_id, aux_n) else {
+                        return Err(QueryError::OutdetectFailed);
+                    };
+                    let fa = frag.locate_pre(pa).map_or(FragId::Root(comp), FragId::Cut);
+                    let fb = frag.locate_pre(pb).map_or(FragId::Root(comp), FragId::Cut);
+                    let (Some(sa), Some(sb)) = (slot_of(frag, comp, fa), slot_of(frag, comp, fb))
+                    else {
+                        return Err(QueryError::OutdetectFailed);
+                    };
+                    let ra = e.uf.find(sa);
+                    let rb = e.uf.find(sb);
+                    if ra == rb {
+                        // Already merged via an earlier edge of this batch.
+                        continue;
+                    }
+                    let cur = e.uf.find(id);
+                    if ra != cur && rb != cur {
+                        // The detected edge does not touch the popped
+                        // fragment: only possible with a phantom decode
+                        // under a calibrated threshold.
+                        return Err(QueryError::OutdetectFailed);
+                    }
+                    // Merge: boundary rows XOR (symmetric difference —
+                    // shared faults become interior), accumulator rows XOR
+                    // (Proposition 4), union-find tracks membership.
+                    e.uf.union(ra, rb);
+                    let root = e.uf.find(ra);
+                    let other = if root == ra { rb } else { ra };
+                    xor_row(&mut e.slab, words, root, other);
+                    e.cut_count[root] = e.slab[root * words..(root + 1) * words]
+                        .iter()
+                        .map(|x| x.count_ones())
+                        .sum();
+                    xor_row(&mut e.arena, w, root, other);
+                    e.alive[root] = true;
+                    e.alive[other] = false;
+                    merged_any = true;
+                    certs.push((pa, pb));
+                }
+                if !merged_any {
+                    // Every decoded edge was internal: impossible for an
+                    // exact decode (outgoing edges cross the boundary),
+                    // so this is a phantom from a calibrated threshold.
+                    return Err(QueryError::OutdetectFailed);
+                }
+                let root = e.uf.find(id);
+                e.version[root] += 1;
+                e.heap
+                    .push(Reverse((e.cut_count[root], e.version[root], root as u32)));
+            }
         }
-        self.alive[root] = true;
-        self.alive[other] = false;
+    }
+    for slot in 0..total {
+        let r = e.uf.find(slot) as u32;
+        slots.push(r);
+    }
+    Ok(())
+}
+
+/// The engine slot of a fragment, if it belongs to `comp`.
+fn slot_of(frag: &Fragments, comp: u32, fid: FragId) -> Option<usize> {
+    match fid {
+        FragId::Cut(i) => {
+            if frag.cuts()[i].comp == comp {
+                Some(i)
+            } else {
+                None
+            }
+        }
+        FragId::Root(c) => {
+            if c == comp {
+                Some(frag.num_cuts())
+            } else {
+                None
+            }
+        }
     }
 }
 
@@ -601,6 +838,69 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn scratch_reused_sessions_match_fresh_sessions() {
+        let g = generators::random_connected(24, 32, 9);
+        let scheme = FtcScheme::build(&g, &Params::deterministic(3)).unwrap();
+        let l = scheme.labels();
+        let mut scratch = SessionScratch::new();
+        // Interleaved fault-set sizes, one recycled scratch throughout.
+        for (seed, fsize) in [(0u64, 3usize), (1, 1), (2, 3), (3, 0), (4, 2), (5, 3)] {
+            let fset = generators::random_fault_set(&g, fsize, seed);
+            let fresh = l
+                .session(fset.iter().map(|&e| l.edge_label_by_id(e)))
+                .unwrap();
+            let reused = l
+                .session_in(fset.iter().map(|&e| l.edge_label_by_id(e)), &mut scratch)
+                .unwrap();
+            for s in 0..g.n() {
+                for t in 0..g.n() {
+                    assert_eq!(
+                        fresh
+                            .certified(l.vertex_label(s), l.vertex_label(t))
+                            .unwrap(),
+                        reused
+                            .certified(l.vertex_label(s), l.vertex_label(t))
+                            .unwrap(),
+                        "({s},{t},{fset:?})"
+                    );
+                }
+            }
+            scratch.recycle(reused);
+        }
+    }
+
+    #[test]
+    fn connected_many_agrees_with_connected() {
+        let g = Graph::torus(4, 4);
+        let scheme = FtcScheme::build(&g, &Params::deterministic(2)).unwrap();
+        let l = scheme.labels();
+        let session = l
+            .session([l.edge_label(0, 1).unwrap(), l.edge_label(0, 4).unwrap()])
+            .unwrap();
+        let pairs: Vec<_> = (0..g.n())
+            .flat_map(|s| (0..g.n()).map(move |t| (s, t)))
+            .map(|(s, t)| (l.vertex_label(s), l.vertex_label(t)))
+            .collect();
+        let mut out = Vec::new();
+        session.connected_many(&pairs, &mut out).unwrap();
+        assert_eq!(out.len(), pairs.len());
+        for ((s, t), &got) in pairs.iter().zip(&out) {
+            assert_eq!(got, session.connected(s, t).unwrap());
+        }
+        // Errors surface, with the prefix answered.
+        let s2 = FtcScheme::build(&g, &Params::deterministic(1)).unwrap();
+        let bad = vec![
+            (l.vertex_label(0), l.vertex_label(1)),
+            (l.vertex_label(0), s2.labels().vertex_label(1)),
+        ];
+        assert_eq!(
+            session.connected_many(&bad, &mut out),
+            Err(QueryError::MismatchedLabels)
+        );
+        assert_eq!(out.len(), 1);
     }
 
     #[test]
@@ -689,6 +989,26 @@ mod tests {
             session.connected(s1.labels().vertex_label(0), s2.labels().vertex_label(1)),
             Err(QueryError::MismatchedLabels)
         );
+    }
+
+    #[test]
+    fn scratch_survives_failed_builds() {
+        // A build that errors must leave the scratch reusable (storage is
+        // handed back), and later builds must succeed.
+        let g = Graph::cycle(5);
+        let s1 = FtcScheme::build(&g, &Params::deterministic(1)).unwrap();
+        let l = s1.labels();
+        let mut scratch = SessionScratch::new();
+        let good = l.session_in([l.edge_label_by_id(0)], &mut scratch).unwrap();
+        scratch.recycle(good);
+        match l.session_in([l.edge_label_by_id(0), l.edge_label_by_id(1)], &mut scratch) {
+            Err(QueryError::TooManyFaults { .. }) => {}
+            other => panic!("expected budget violation, got {other:?}"),
+        }
+        let again = l.session_in([l.edge_label_by_id(2)], &mut scratch).unwrap();
+        assert!(again
+            .connected(l.vertex_label(0), l.vertex_label(1))
+            .unwrap());
     }
 
     #[test]

@@ -67,7 +67,7 @@ use crate::serial::{
     edge_to_bytes, edge_to_bytes_compact, vertex_to_bytes, CompactEdgeLabelView, EdgeLabelView,
     SerialError, SerialErrorKind, VertexLabelView, VERTEX_LABEL_BYTES,
 };
-use crate::session::QuerySession;
+use crate::session::{QuerySession, SessionScratch};
 use std::collections::HashMap;
 use std::fmt;
 use std::io::{self, Write};
@@ -504,11 +504,44 @@ impl<'a> LabelStoreView<'a> {
     where
         I: IntoIterator<Item = (usize, usize)>,
     {
-        let views = faults
-            .into_iter()
-            .map(|(u, v)| self.edge(u, v).ok_or(StoreError::UnknownEdge { u, v }))
-            .collect::<Result<Vec<_>, _>>()?;
-        Ok(QuerySession::new(self.meta.header, views)?)
+        self.session_in(faults, &mut SessionScratch::default())
+    }
+
+    /// Scratch-reusing variant of [`LabelStoreView::session`]: the
+    /// archive-native serving hot path. Fault views resolve through the
+    /// endpoint index and stream straight into the merge engine; with a
+    /// warm `scratch` the whole build performs zero heap allocations.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`LabelStoreView::session`].
+    pub fn session_in<I>(
+        &self,
+        faults: I,
+        scratch: &mut SessionScratch<RsVector>,
+    ) -> Result<QuerySession, StoreError>
+    where
+        I: IntoIterator<Item = (usize, usize)>,
+    {
+        // Stream the endpoint-pair resolution into the session build: an
+        // unknown pair stops the iterator and is reported after the fact
+        // (the partial build is discarded, its storage kept warm).
+        let mut unknown: Option<(usize, usize)> = None;
+        let views = faults.into_iter().map_while(|(u, v)| {
+            let view = self.edge(u, v);
+            if view.is_none() {
+                unknown = Some((u, v));
+            }
+            view
+        });
+        let session = QuerySession::new_in(self.meta.header, views, scratch);
+        if let Some((u, v)) = unknown {
+            if let Ok(partial) = session {
+                scratch.recycle(partial);
+            }
+            return Err(StoreError::UnknownEdge { u, v });
+        }
+        Ok(session?)
     }
 
     /// Answers one connectivity query entirely from the archive: a
@@ -639,6 +672,27 @@ impl EdgeLabelRead for ArchivedEdgeView<'_> {
         match self {
             ArchivedEdgeView::Full(v) => v.xor_vector_into(acc),
             ArchivedEdgeView::Compact(v) => v.xor_vector_into(acc),
+        }
+    }
+
+    fn slab_words(&self) -> usize {
+        match self {
+            ArchivedEdgeView::Full(v) => EdgeLabelRead::slab_words(v),
+            ArchivedEdgeView::Compact(v) => EdgeLabelRead::slab_words(v),
+        }
+    }
+
+    fn xor_into_slab(&self, dst: &mut [u64]) {
+        match self {
+            ArchivedEdgeView::Full(v) => v.xor_into_slab(dst),
+            ArchivedEdgeView::Compact(v) => v.xor_into_slab(dst),
+        }
+    }
+
+    fn configure_detector(&self, det: &mut crate::labels::RsDetector) {
+        match self {
+            ArchivedEdgeView::Full(v) => EdgeLabelRead::configure_detector(v, det),
+            ArchivedEdgeView::Compact(v) => EdgeLabelRead::configure_detector(v, det),
         }
     }
 }

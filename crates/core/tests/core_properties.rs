@@ -109,9 +109,10 @@ proptest! {
     /// RsVector XOR algebra: commutative, self-inverse, zero-identity.
     #[test]
     fn rs_vector_group_axioms(ids in proptest::collection::vec(1u64.., 1..8)) {
+        let codec = ftc_codes::ThresholdCodec::new(4);
         let mut a = RsVector::zero(4, 2);
         for (i, &id) in ids.iter().enumerate() {
-            a.toggle(i % 2, id);
+            a.toggle(&codec, i % 2, id);
         }
         let mut b = a.clone();
         b.xor_in(&a);

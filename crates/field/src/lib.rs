@@ -29,4 +29,4 @@ pub mod roots;
 
 pub use gf64::Gf64;
 pub use poly::Poly;
-pub use roots::find_roots;
+pub use roots::{find_roots, find_roots_into, RootScratch};

@@ -36,6 +36,17 @@ impl UnionFind {
         }
     }
 
+    /// Resets to `n` singleton sets, reusing the existing allocations —
+    /// the query engine recycles one structure across fragment-merge
+    /// rounds instead of constructing a fresh one per component.
+    pub fn reset(&mut self, n: usize) {
+        self.parent.clear();
+        self.parent.extend(0..n);
+        self.rank.clear();
+        self.rank.resize(n, 0);
+        self.sets = n;
+    }
+
     /// Number of elements.
     pub fn len(&self) -> usize {
         self.parent.len()
@@ -112,6 +123,23 @@ mod tests {
             assert_eq!(uf.find(i), r);
         }
         assert_eq!(uf.num_sets(), 1);
+    }
+
+    #[test]
+    fn reset_restores_singletons_reusing_storage() {
+        let mut uf = UnionFind::new(5);
+        uf.union(0, 4);
+        uf.union(1, 2);
+        uf.reset(8);
+        assert_eq!(uf.len(), 8);
+        assert_eq!(uf.num_sets(), 8);
+        for i in 0..8 {
+            assert_eq!(uf.find(i), i);
+        }
+        uf.reset(3);
+        assert_eq!(uf.len(), 3);
+        assert!(uf.union(0, 2));
+        assert!(uf.same(0, 2));
     }
 
     #[test]

@@ -11,7 +11,9 @@
 
 use ftc_core::auxgraph::AuxGraph;
 use ftc_core::store::LabelStoreView;
-use ftc_core::{BuildError, FtcScheme, LabelSet, Params, QueryError, RsVector, SizeReport};
+use ftc_core::{
+    BuildError, FtcScheme, LabelSet, Params, QueryError, RsVector, SessionScratch, SizeReport,
+};
 use ftc_graph::{EdgeId, Graph, RootedTree, VertexId};
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
@@ -235,6 +237,25 @@ impl ForbiddenSetRouter {
         t: VertexId,
         faults: &[EdgeId],
     ) -> Result<Option<Vec<VertexId>>, RouteError> {
+        self.route_in(s, t, faults, &mut SessionScratch::default())
+    }
+
+    /// Scratch-reusing variant of [`ForbiddenSetRouter::route`]: the
+    /// per-fault-set session is built out of (and recycled back into)
+    /// `scratch`, so a router serving a stream of requests pays no
+    /// session-construction allocations once the scratch is warm. Path
+    /// expansion still allocates the returned path.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ForbiddenSetRouter::route`].
+    pub fn route_in(
+        &self,
+        s: VertexId,
+        t: VertexId,
+        faults: &[EdgeId],
+        scratch: &mut SessionScratch,
+    ) -> Result<Option<Vec<VertexId>>, RouteError> {
         if s >= self.g.n() {
             return Err(RouteError::BadVertex(s));
         }
@@ -254,8 +275,24 @@ impl ForbiddenSetRouter {
         }
         // One session per fault set: dedup/validation/fragment-splitting
         // and the merge engine run once, and the session's fragment
-        // decomposition is reused below for path expansion.
-        let session = l.session(faults.iter().map(|&e| l.edge_label_by_id(e)))?;
+        // decomposition is reused below for path expansion. The session's
+        // storage comes from — and returns to — the caller's scratch.
+        let session = l.session_in(faults.iter().map(|&e| l.edge_label_by_id(e)), scratch)?;
+        let out = self.expand_route(&session, s, t, faults);
+        scratch.recycle(session);
+        out
+    }
+
+    /// Expands a prepared session's certificate into an explicit
+    /// fault-avoiding path (the second half of [`ForbiddenSetRouter::route_in`]).
+    fn expand_route(
+        &self,
+        session: &ftc_core::QuerySession,
+        s: VertexId,
+        t: VertexId,
+        faults: &[EdgeId],
+    ) -> Result<Option<Vec<VertexId>>, RouteError> {
+        let l = &self.labels;
         let Some(cert) = session.certified(l.vertex_label(s), l.vertex_label(t))? else {
             return Ok(None);
         };
@@ -572,6 +609,24 @@ mod tests {
         ));
         // The honest graph still reconstitutes.
         assert!(ForbiddenSetRouter::from_store(&g, &view).is_ok());
+    }
+
+    #[test]
+    fn scratch_reusing_routes_match_fresh_routes() {
+        let g = Graph::torus(4, 4);
+        let router = ForbiddenSetRouter::new(&g, 2).unwrap();
+        let mut scratch = SessionScratch::default();
+        for faults in [vec![], vec![0usize, 5], vec![3, 9], vec![1]] {
+            for s in 0..g.n() {
+                for t in 0..g.n() {
+                    assert_eq!(
+                        router.route_in(s, t, &faults, &mut scratch).unwrap(),
+                        router.route(s, t, &faults).unwrap(),
+                        "({s},{t},{faults:?})"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -108,6 +108,27 @@ impl AgmSketch {
     pub fn is_zero(&self) -> bool {
         self.cells.iter().all(|c| c.ids == 0 && c.fps == 0)
     }
+
+    /// Number of `u64` words in the flattened representation (two per
+    /// cell: XOR of IDs, then XOR of fingerprints).
+    pub fn num_words(&self) -> usize {
+        2 * self.cells.len()
+    }
+
+    /// XORs this sketch into a flattened word accumulator laid out as
+    /// `[ids₀, fps₀, ids₁, fps₁, …]` — the slab-merge path of the query
+    /// engine, which keeps all fragment accumulators in one arena.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst.len() != self.num_words()`.
+    pub fn xor_into_words(&self, dst: &mut [u64]) {
+        assert_eq!(dst.len(), self.num_words(), "sketch shape mismatch");
+        for (c, d) in self.cells.iter().zip(dst.chunks_exact_mut(2)) {
+            d[0] ^= c.ids;
+            d[1] ^= c.fps;
+        }
+    }
 }
 
 impl fmt::Debug for AgmSketch {
@@ -195,6 +216,18 @@ impl SketchBuilder {
         for cell in &sketch.cells {
             if cell.ids != 0 && cell.fps == self.fingerprint(cell.ids) {
                 return Some(cell.ids);
+            }
+        }
+        None
+    }
+
+    /// [`SketchBuilder::detect`] over the flattened word layout of
+    /// [`AgmSketch::xor_into_words`] — lets the query engine detect
+    /// straight from its accumulator arena without materializing a sketch.
+    pub fn detect_words(&self, words: &[u64]) -> Option<u64> {
+        for cell in words.chunks_exact(2) {
+            if cell[0] != 0 && cell[1] == self.fingerprint(cell[0]) {
+                return Some(cell[0]);
             }
         }
         None
@@ -288,6 +321,27 @@ mod tests {
                 assert!(members.contains(&id));
             }
         }
+    }
+
+    #[test]
+    fn word_slab_detection_matches_sketch_detection() {
+        let b = builder();
+        let mut s1 = b.empty();
+        let mut s2 = b.empty();
+        for id in [10u64, 20, 30] {
+            b.toggle_edge(&mut s1, id);
+        }
+        for id in [20u64, 30] {
+            b.toggle_edge(&mut s2, id);
+        }
+        let mut words = vec![0u64; s1.num_words()];
+        s1.xor_into_words(&mut words);
+        s2.xor_into_words(&mut words);
+        let mut merged = s1.clone();
+        merged.xor_in(&s2);
+        assert_eq!(b.detect_words(&words), b.detect(&merged));
+        assert_eq!(b.detect_words(&words), Some(10));
+        assert_eq!(b.detect_words(&vec![0u64; s1.num_words()]), None);
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! ftc-cli build <graph.txt> <labels.ftc> [--f N] [--backend epsnet|greedy|sampling]
 //!               [--k N] [--encoding full|compact] [--threads N]
 //! ftc-cli info  <labels.ftc>
-//! ftc-cli query <labels.ftc> <s> <t> [--fault U:V ...]
+//! ftc-cli query <labels.ftc> <s> <t> [--fault U:V ...] [--pair S:T ...]
 //! ```
 //!
 //! `graph.txt` is an edge list: one `u v` pair per line (`#` comments
@@ -42,7 +42,7 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> String {
-    "usage:\n  ftc-cli build <graph.txt> <labels.ftc> [--f N] [--backend epsnet|greedy|sampling] [--k N] [--encoding full|compact] [--threads N]\n  ftc-cli info  <labels.ftc>\n  ftc-cli query <labels.ftc> <s> <t> [--fault U:V ...]".into()
+    "usage:\n  ftc-cli build <graph.txt> <labels.ftc> [--f N] [--backend epsnet|greedy|sampling] [--k N] [--encoding full|compact] [--threads N]\n  ftc-cli info  <labels.ftc>\n  ftc-cli query <labels.ftc> <s> <t> [--fault U:V ...] [--pair S:T ...]".into()
 }
 
 // ---------------------------------------------------------------------------
@@ -146,38 +146,81 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
     let blob = read_archive_bytes(path)?;
     let view = LabelStoreView::open(&blob).map_err(|e| format!("{path}: {e}"))?;
 
-    // Resolve each fault once through the archive's endpoint index; the
-    // resulting zero-copy views feed the session directly.
-    let mut fault_views = Vec::new();
-    for spec in flags.iter().filter(|(k, _)| k == "fault").map(|(_, v)| v) {
+    let parse_pair = |flag: &str, spec: &String| -> Result<(usize, usize), String> {
         let (u, v) = spec
             .split_once(':')
-            .ok_or_else(|| format!("--fault expects U:V, got '{spec}'"))?;
-        let u: usize = u.parse().map_err(|_| "bad fault endpoint")?;
-        let v: usize = v.parse().map_err(|_| "bad fault endpoint")?;
-        fault_views.push(
-            view.edge(u, v)
-                .ok_or_else(|| format!("no edge {u}:{v} in the labeling"))?,
-        );
+            .ok_or_else(|| format!("--{flag} expects U:V, got '{spec}'"))?;
+        let u: usize = u.parse().map_err(|_| format!("bad --{flag} endpoint"))?;
+        let v: usize = v.parse().map_err(|_| format!("bad --{flag} endpoint"))?;
+        Ok((u, v))
+    };
+    let mut fault_pairs = Vec::new();
+    for spec in flags.iter().filter(|(k, _)| k == "fault").map(|(_, v)| v) {
+        let (u, v) = parse_pair("fault", spec)?;
+        // Resolve eagerly: an unknown fault edge is an error even when
+        // every query pair turns out to answer trivially.
+        if view.edge_id(u, v).is_none() {
+            return Err(format!("no edge {u}–{v} in the archived labeling"));
+        }
+        fault_pairs.push((u, v));
+    }
+    // The positional pair plus any number of extra --pair queries, all
+    // answered against one prepared session.
+    let mut query_pairs = vec![(s, t)];
+    for spec in flags.iter().filter(|(k, _)| k == "pair").map(|(_, v)| v) {
+        query_pairs.push(parse_pair("pair", spec)?);
     }
 
-    let vs = view
-        .vertex(s)
-        .ok_or_else(|| format!("vertex {s} out of range"))?;
-    let vt = view
-        .vertex(t)
-        .ok_or_else(|| format!("vertex {t} out of range"))?;
-    // Trivial queries answer before fault-budget enforcement (the
-    // decoder's historical check order).
-    let ok = match QuerySession::trivial_answer(&vs, &vt).map_err(|e| e.to_string())? {
-        Some(answer) => answer,
-        None => {
-            let session =
-                QuerySession::new(view.header(), fault_views).map_err(|e| e.to_string())?;
-            session.connected(vs, vt).map_err(|e| e.to_string())?
-        }
+    let resolve = |v: usize| {
+        view.vertex(v)
+            .ok_or_else(|| format!("vertex {v} out of range"))
     };
-    println!("{}", if ok { "connected" } else { "disconnected" });
+    let vertex_pairs = query_pairs
+        .iter()
+        .map(|&(a, b)| Ok((resolve(a)?, resolve(b)?)))
+        .collect::<Result<Vec<_>, String>>()?;
+
+    // Trivial queries answer before fault-budget enforcement (the
+    // decoder's historical check order); the remaining pairs share one
+    // session build and one batched lookup pass.
+    let mut answers: Vec<Option<bool>> = Vec::with_capacity(vertex_pairs.len());
+    let mut nontrivial = Vec::new();
+    for &(vs, vt) in &vertex_pairs {
+        let trivial = QuerySession::trivial_answer(&vs, &vt).map_err(|e| e.to_string())?;
+        if trivial.is_none() {
+            nontrivial.push((vs, vt));
+        }
+        answers.push(trivial);
+    }
+    if !nontrivial.is_empty() {
+        // One-shot command: the plain entry point (throwaway scratch
+        // internally) is the right call; scratch reuse pays off in
+        // serving loops, not here.
+        let session = view
+            .session(fault_pairs.iter().copied())
+            .map_err(|e| e.to_string())?;
+        let mut batch = Vec::with_capacity(nontrivial.len());
+        session
+            .connected_many(&nontrivial, &mut batch)
+            .map_err(|e| e.to_string())?;
+        let mut it = batch.into_iter();
+        for slot in answers.iter_mut().filter(|a| a.is_none()) {
+            *slot = it.next();
+        }
+    }
+
+    for (&(a, b), answer) in query_pairs.iter().zip(&answers) {
+        let verdict = if answer.expect("all pairs answered") {
+            "connected"
+        } else {
+            "disconnected"
+        };
+        if query_pairs.len() == 1 {
+            println!("{verdict}");
+        } else {
+            println!("{a} {b}: {verdict}");
+        }
+    }
     Ok(())
 }
 

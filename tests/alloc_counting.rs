@@ -1,0 +1,174 @@
+//! Counting-allocator proofs for the allocation-free serving hot path:
+//!
+//! * a **warm** `session_in` rebuild (scratch recycled, same fault-set
+//!   shapes seen before) performs **zero** heap allocations — through the
+//!   fault ingestion, fragment CSR rebuild, slab/arena merge engine, and
+//!   the adaptive decoder's Berlekamp–Massey + trace-algorithm internals;
+//! * `connected`, `certified`, and `connected_many` (with a
+//!   pre-reserved output buffer) allocate nothing per query.
+//!
+//! The allocator counts per thread, so parallel test threads don't
+//! pollute each other's measurements.
+
+use ftc::core::store::{EdgeEncoding, LabelStore, LabelStoreView};
+use ftc::core::{FtcScheme, Params, SessionScratch, ThresholdPolicy};
+use ftc::graph::generators;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+struct CountingAlloc;
+
+thread_local! {
+    static ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+}
+
+fn bump() {
+    // `Cell` with const initialization: the TLS access itself never
+    // allocates, so the counter is safe to touch from inside the
+    // allocator.
+    ALLOCATIONS.with(|c| c.set(c.get() + 1));
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        bump();
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        bump();
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        bump();
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Runs `f`, returning (allocations performed on this thread, result).
+fn count_allocs<R>(f: impl FnOnce() -> R) -> (u64, R) {
+    let before = ALLOCATIONS.with(Cell::get);
+    let r = f();
+    (ALLOCATIONS.with(Cell::get) - before, r)
+}
+
+#[test]
+fn warm_rebuilds_and_queries_are_allocation_free() {
+    let g = generators::random_connected(120, 200, 5);
+    let params = Params::deterministic(4).with_threshold(ThresholdPolicy::Fixed(64));
+    let scheme = FtcScheme::build(&g, &params).unwrap();
+    let l = scheme.labels();
+    let fsets: Vec<Vec<usize>> = (0..4)
+        .map(|s| generators::random_fault_set(&g, 4, s))
+        .collect();
+
+    let mut scratch = SessionScratch::new();
+    // Warm-up: two full passes so every buffer (including the decoder's
+    // trace-algorithm pools) reaches its steady-state capacity.
+    for _ in 0..2 {
+        for fs in &fsets {
+            let session = l
+                .session_in(fs.iter().map(|&e| l.edge_label_by_id(e)), &mut scratch)
+                .unwrap();
+            scratch.recycle(session);
+        }
+    }
+
+    let pairs: Vec<_> = (0..256usize)
+        .map(|i| {
+            (
+                l.vertex_label((i * 31 + 3) % g.n()),
+                l.vertex_label((i * 57 + 11) % g.n()),
+            )
+        })
+        .collect();
+    let mut answers: Vec<bool> = Vec::with_capacity(pairs.len());
+
+    for fs in &fsets {
+        let (allocs, session) = count_allocs(|| {
+            l.session_in(fs.iter().map(|&e| l.edge_label_by_id(e)), &mut scratch)
+                .unwrap()
+        });
+        assert_eq!(allocs, 0, "warm session_in rebuild allocated for {fs:?}");
+
+        let (allocs, _) = count_allocs(|| {
+            for (s, t) in &pairs {
+                assert!(session.connected(s, t).is_ok());
+                assert!(session.certified(s, t).is_ok());
+            }
+        });
+        assert_eq!(allocs, 0, "per-query path allocated");
+
+        let (allocs, _) = count_allocs(|| {
+            session.connected_many(&pairs, &mut answers).unwrap();
+        });
+        assert_eq!(allocs, 0, "connected_many allocated");
+        assert_eq!(answers.len(), pairs.len());
+
+        scratch.recycle(session);
+    }
+}
+
+#[test]
+fn warm_archive_rebuilds_are_allocation_free() {
+    // The zero-copy archive path — endpoint-index fault resolution plus
+    // byte-view ingestion — must be just as allocation-free, for both
+    // encodings through one shared scratch.
+    let g = generators::random_connected(100, 160, 8);
+    let params = Params::deterministic(4).with_threshold(ThresholdPolicy::Fixed(64));
+    let scheme = FtcScheme::build(&g, &params).unwrap();
+    let endpoint_of: Vec<(usize, usize)> = g.edge_iter().map(|(_, u, v)| (u, v)).collect();
+    let fault_pairs: Vec<Vec<(usize, usize)>> = (0..3)
+        .map(|s| {
+            generators::random_fault_set(&g, 4, s)
+                .iter()
+                .map(|&e| endpoint_of[e])
+                .collect()
+        })
+        .collect();
+    let blobs = [
+        LabelStore::to_vec(scheme.labels(), EdgeEncoding::Full),
+        LabelStore::to_vec(scheme.labels(), EdgeEncoding::Compact),
+    ];
+    let views: Vec<LabelStoreView> = blobs
+        .iter()
+        .map(|b| LabelStoreView::open(b).unwrap())
+        .collect();
+
+    let mut scratch = SessionScratch::new();
+    for _ in 0..2 {
+        for view in &views {
+            for fp in &fault_pairs {
+                let session = view.session_in(fp.iter().copied(), &mut scratch).unwrap();
+                scratch.recycle(session);
+            }
+        }
+    }
+    for view in &views {
+        for fp in &fault_pairs {
+            let (allocs, session) =
+                count_allocs(|| view.session_in(fp.iter().copied(), &mut scratch).unwrap());
+            assert_eq!(
+                allocs,
+                0,
+                "warm archive session_in allocated ({:?}, {fp:?})",
+                view.encoding()
+            );
+            let (allocs, _) = count_allocs(|| {
+                let a = view.vertex(0).unwrap();
+                let b = view.vertex(g.n() - 1).unwrap();
+                assert!(session.connected(a, b).is_ok());
+            });
+            assert_eq!(allocs, 0, "archive query path allocated");
+            scratch.recycle(session);
+        }
+    }
+}

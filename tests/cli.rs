@@ -82,6 +82,28 @@ fn build_info_query_round_trip() {
     assert!(ok);
     assert_eq!(stdout.trim(), "disconnected");
 
+    // Batched queries: one session build answers the positional pair and
+    // every --pair, labeled one per line.
+    let (ok, stdout, _) = run(&[
+        "query",
+        archive_str,
+        "1",
+        "4",
+        "--fault",
+        "0:1",
+        "--fault",
+        "3:4",
+        "--pair",
+        "1:3",
+        "--pair",
+        "2:2",
+    ]);
+    assert!(ok);
+    assert_eq!(
+        stdout.trim().lines().collect::<Vec<_>>(),
+        vec!["1 4: disconnected", "1 3: connected", "2 2: connected"]
+    );
+
     let _ = fs::remove_dir_all(&dir);
 }
 
@@ -183,6 +205,13 @@ fn cli_rejects_unknown_fault_edges_vertices_and_corrupt_archives() {
     assert!(run(&["build", graph_file.to_str().unwrap(), archive_str]).0);
 
     let (ok, _, stderr) = run(&["query", archive_str, "0", "2", "--fault", "0:2"]);
+    assert!(!ok);
+    assert!(stderr.contains("no edge"));
+
+    // Unknown faults error even when every query pair answers trivially
+    // (same-vertex pairs never build a session, but faults are resolved
+    // eagerly).
+    let (ok, _, stderr) = run(&["query", archive_str, "0", "0", "--fault", "0:2"]);
     assert!(!ok);
     assert!(stderr.contains("no edge"));
 
