@@ -1,27 +1,39 @@
-//! `perf_report` — the machine-readable session-serving perf baseline.
+//! `perf_report` — the machine-readable serving perf baseline.
 //!
-//! Measures the prepare-a-fault-set hot path across a grid of graph
-//! sizes, fault budgets, and label sources (owned labels, zero-copy
-//! archive views in both encodings), always through the scratch-reusing
-//! `session_in` serving path, plus per-query latency (single and
-//! batched), and writes the results as JSON (schema
-//! `ftc-perf-session/v1`) — one point of the PR-over-PR perf trajectory.
+//! Two arms, two JSON reports:
+//!
+//! * **Session arm** (`BENCH_session.json`, schema `ftc-perf-session/v1`)
+//!   — the prepare-a-fault-set hot path across a grid of graph sizes,
+//!   fault budgets, and label sources (owned labels, zero-copy archive
+//!   views in both encodings), always through the scratch-reusing
+//!   `session_in` serving path, plus per-query latency (single and
+//!   batched);
+//! * **Serve arm** (`BENCH_serve.json`, schema `ftc-perf-serve/v1`) —
+//!   1/2/4/8 threads hammering one shared `ConnectivityService`
+//!   (archive-full backing, pooled scratch), reporting aggregate
+//!   queries/sec and session builds/sec per thread count, plus the
+//!   machine's core count (scaling beyond the core count is not
+//!   expected — the committed numbers record which machine produced
+//!   them).
 //!
 //! ```text
-//! perf_report [--quick] [--out PATH]
+//! perf_report [--quick] [--out PATH] [--out-serve PATH]
 //! ```
 //!
-//! `--quick` shrinks the grid and the measurement windows so CI can
+//! `--quick` shrinks the grids and the measurement windows so CI can
 //! validate that the binary runs and emits schema-valid JSON without
-//! gating on numbers. The default output path is `BENCH_session.json`
-//! in the current directory (the repo root in CI and local use).
+//! gating on numbers. The default output paths are `BENCH_session.json`
+//! and `BENCH_serve.json` in the current directory (the repo root in CI
+//! and local use).
 
 use ftc_bench::{calibrated_params, Flavor};
 use ftc_core::store::{EdgeEncoding, LabelStore, LabelStoreView};
 use ftc_core::{FtcScheme, LabelSet, RsVector, SessionScratch};
 use ftc_graph::{generators, Graph};
+use ftc_serve::ConnectivityService;
 use std::fmt::Write as _;
-use std::time::Instant;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
 
 /// One measured grid cell.
 struct Cell {
@@ -210,14 +222,118 @@ fn render_json(mode: &str, cells: &[Cell]) -> String {
     s
 }
 
+/// One measured serve-arm cell: aggregate throughput of `threads`
+/// workers hammering one shared service.
+struct ServeCell {
+    threads: usize,
+    queries_per_sec: f64,
+    sessions_per_sec: f64,
+}
+
+/// Measures the shared-service arm: for each thread count, `threads`
+/// workers loop `service.query(faults, pairs)` over rotating fault sets
+/// against ONE handle until the window closes. Returns aggregate
+/// pairs-answered/sec and query-calls/sec (one session build per call).
+fn measure_serve(quick: bool) -> Vec<ServeCell> {
+    let (n, window_ms, thread_counts): (usize, u64, &[usize]) = if quick {
+        (200, 60, &[1, 2])
+    } else {
+        (2000, 1000, &[1, 2, 4, 8])
+    };
+    let f = 4;
+    let g = generators::random_connected(n, 3 * n, 7);
+    let params = calibrated_params(Flavor::DetEpsNet, f, 4 * f * 11);
+    let scheme = FtcScheme::build(&g, &params).expect("scheme build");
+    let blob = LabelStore::to_vec(scheme.labels(), EdgeEncoding::Full);
+    let service = ConnectivityService::from_archive_bytes(blob).expect("archive");
+
+    let endpoint_of: Vec<(usize, usize)> = g.edge_iter().map(|(_, u, v)| (u, v)).collect();
+    let fsets: Vec<Vec<(usize, usize)>> = (0..if quick { 4 } else { 16 })
+        .map(|s| {
+            generators::random_fault_set(&g, f, s as u64)
+                .iter()
+                .map(|&e| endpoint_of[e])
+                .collect()
+        })
+        .collect();
+    let pairs = sample_pairs(n, 32);
+
+    let mut cells = Vec::new();
+    for &threads in thread_counts {
+        eprintln!("measuring serve arm, {threads} thread(s) …");
+        let stop = AtomicBool::new(false);
+        let calls = AtomicU64::new(0);
+        // Thread spawn and per-worker warm-up run before the barrier so
+        // the measured window covers only counted queries.
+        let barrier = std::sync::Barrier::new(threads + 1);
+        let mut t0 = Instant::now();
+        std::thread::scope(|scope| {
+            for w in 0..threads {
+                let (service, fsets, pairs, stop, calls, barrier) =
+                    (&service, &fsets, &pairs, &stop, &calls, &barrier);
+                scope.spawn(move || {
+                    // Warm the pool's scratch for this worker.
+                    service
+                        .query(&fsets[w % fsets.len()], pairs)
+                        .expect("query");
+                    barrier.wait();
+                    let mut i = w;
+                    while !stop.load(Ordering::Relaxed) {
+                        service
+                            .query(&fsets[i % fsets.len()], pairs)
+                            .expect("query");
+                        calls.fetch_add(1, Ordering::Relaxed);
+                        i += 1;
+                    }
+                });
+            }
+            barrier.wait();
+            t0 = Instant::now();
+            std::thread::sleep(Duration::from_millis(window_ms));
+            stop.store(true, Ordering::Relaxed);
+        });
+        // Measured after join, so the drain of each worker's in-flight
+        // (counted) call is inside the window too.
+        let secs = t0.elapsed().as_secs_f64();
+        let calls = calls.load(Ordering::Relaxed) as f64;
+        cells.push(ServeCell {
+            threads,
+            queries_per_sec: calls * pairs.len() as f64 / secs,
+            sessions_per_sec: calls / secs,
+        });
+    }
+    cells
+}
+
+fn render_serve_json(mode: &str, cells: &[ServeCell]) -> String {
+    let cores = std::thread::available_parallelism().map_or(0, |p| p.get());
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema\": \"ftc-perf-serve/v1\",\n");
+    let _ = writeln!(s, "  \"mode\": \"{mode}\",");
+    let _ = writeln!(s, "  \"cores\": {cores},");
+    s.push_str("  \"workload\": \"random_connected(n, 3n, seed 7), f = 4, archive-full ConnectivityService shared across threads, 32 pairs per query call, one session build per call from the lock-free scratch pool\",\n");
+    s.push_str("  \"results\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"threads\": {}, \"queries_per_sec\": {:.1}, \"sessions_per_sec\": {:.1}}}",
+            c.threads, c.queries_per_sec, c.sessions_per_sec
+        );
+        s.push_str(if i + 1 == cells.len() { "\n" } else { ",\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
 /// Minimal structural self-check so CI fails loudly on malformed output
 /// (no JSON parser in the offline environment; this pins the invariants
 /// the schema promises).
-fn validate(json: &str, cells: usize) -> Result<(), String> {
-    if !json.contains("\"schema\": \"ftc-perf-session/v1\"") {
+fn validate(json: &str, schema: &str, row_key: &str, rows: usize) -> Result<(), String> {
+    if !json.contains(&format!("\"schema\": \"{schema}\"")) {
         return Err("missing schema tag".into());
     }
-    if json.matches("\"path\": ").count() != cells {
+    if json.matches(&format!("\"{row_key}\": ")).count() != rows {
         return Err("result row count mismatch".into());
     }
     if json.contains("NaN") || json.contains("inf") {
@@ -249,6 +365,12 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .cloned()
         .unwrap_or_else(|| "BENCH_session.json".into());
+    let out_serve_path = args
+        .iter()
+        .position(|a| a == "--out-serve")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_serve.json".into());
 
     let (ns, fs, window_ms): (&[usize], &[usize], u64) = if quick {
         (&[200], &[4], 60)
@@ -276,7 +398,7 @@ fn main() {
     }
 
     let json = render_json(if quick { "quick" } else { "full" }, &cells);
-    if let Err(e) = validate(&json, cells.len()) {
+    if let Err(e) = validate(&json, "ftc-perf-session/v1", "path", cells.len()) {
         eprintln!("error: generated report failed validation: {e}");
         std::process::exit(1);
     }
@@ -284,11 +406,34 @@ fn main() {
         eprintln!("error: cannot write {out_path}: {e}");
         std::process::exit(1);
     });
+
+    let serve_cells = measure_serve(quick);
+    let serve_json = render_serve_json(if quick { "quick" } else { "full" }, &serve_cells);
+    if let Err(e) = validate(
+        &serve_json,
+        "ftc-perf-serve/v1",
+        "threads",
+        serve_cells.len(),
+    ) {
+        eprintln!("error: generated serve report failed validation: {e}");
+        std::process::exit(1);
+    }
+    std::fs::write(&out_serve_path, &serve_json).unwrap_or_else(|e| {
+        eprintln!("error: cannot write {out_serve_path}: {e}");
+        std::process::exit(1);
+    });
+
     for c in &cells {
         println!(
             "n={:<5} f={:<3} {:<16} {:>10.0} sessions/s {:>8.1} ns/query {:>8.1} ns/query(batch)",
             c.n, c.f, c.path, c.sessions_per_sec, c.ns_per_query, c.ns_per_query_batched
         );
     }
-    println!("wrote {out_path}");
+    for c in &serve_cells {
+        println!(
+            "serve threads={:<2} {:>12.0} queries/s {:>10.0} sessions/s",
+            c.threads, c.queries_per_sec, c.sessions_per_sec
+        );
+    }
+    println!("wrote {out_path} and {out_serve_path}");
 }

@@ -16,7 +16,7 @@ pub enum Flavor {
     /// Deterministic ε-net hierarchy (this paper, near-linear row).
     DetEpsNet,
     /// Deterministic greedy hierarchy (this paper, poly-time row — with
-    /// the DESIGN.md §5 substitution).
+    /// the DESIGN.md §6 substitution).
     DetGreedy,
     /// Randomized halving hierarchy, full support (this paper, third row).
     RandFull,

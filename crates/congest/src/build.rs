@@ -5,7 +5,7 @@
 //! ancestry-order assignment, and pipelined outdetect-label aggregation —
 //! and applies the Lemma 13 round-cost model for the recursive distributed
 //! `NetFind` (whose per-node state machine would be simulated rather than
-//! real either way; see DESIGN.md §5). Every distributed artifact is
+//! real either way; see DESIGN.md §6). Every distributed artifact is
 //! cross-validated against the centralized construction, and the final
 //! output *is* a [`FtcScheme`] built over the distributedly elected tree,
 //! so the labels are usable directly.
@@ -53,7 +53,7 @@ pub struct RoundProfile {
     /// (measured).
     pub outdetect: usize,
     /// Distributed `NetFind` (Lemma 13 cost model: `Õ(√m·D)` — see
-    /// DESIGN.md §5).
+    /// DESIGN.md §6).
     pub netfind_model: usize,
 }
 

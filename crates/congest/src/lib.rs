@@ -15,7 +15,7 @@
 //! * [`build`] — the end-to-end distributed construction driver: runs the
 //!   real node programs for tree election, ancestry labels and outdetect
 //!   aggregation, applies the Lemma 13 round-cost model for the recursive
-//!   `NetFind` (see DESIGN.md §5 on this substitution), and
+//!   `NetFind` (see DESIGN.md §6 on this substitution), and
 //!   cross-validates every distributed artifact against the centralized
 //!   construction.
 //!

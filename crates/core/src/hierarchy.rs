@@ -9,7 +9,7 @@
 //!   (the paper's Õ(m) construction, Lemma 12);
 //! * [`HierarchyBackend::GreedyRect`] — deterministic, polynomial greedy
 //!   hitting set (substitute for the paper's \[MDG18\]-based poly(m)
-//!   construction, see DESIGN.md §5);
+//!   construction, see DESIGN.md §6);
 //! * [`HierarchyBackend::Sampling`] — randomized iid halving
 //!   (Proposition 5), yielding the randomized full-support scheme.
 //!

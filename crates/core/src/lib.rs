@@ -20,8 +20,7 @@
 //! * [`fragments`] + [`session`] — the universal decoder with the refined
 //!   heap-ordered fragment merging of Section 7.6 and the adaptive
 //!   decoding of Appendix B, packaged as the reusable [`QuerySession`]
-//!   oracle ([`query`] keeps the one-shot free functions as deprecated
-//!   shims);
+//!   oracle;
 //! * [`scheme`] — the [`FtcScheme`] builder tying it all together;
 //! * [`baseline`] — the Dory–Parter-style whp sketch scheme the paper
 //!   compares against (Table 1, rows 1–2);
@@ -65,9 +64,7 @@ pub mod error;
 pub mod fragments;
 pub mod hierarchy;
 pub mod labels;
-pub mod oracle;
 pub mod params;
-pub mod query;
 pub mod scheme;
 pub mod serial;
 pub mod session;
@@ -81,12 +78,9 @@ pub use labels::{
     RsVector, SizeReport, SlabDetect, VertexLabel, VertexLabelRead,
 };
 pub use params::{Params, ThresholdPolicy};
-pub use query::Certificate;
-#[allow(deprecated)]
-pub use query::{certified_connected, connected};
 pub use scheme::{BuildDiagnostics, FtcScheme, SchemeBuilder};
 pub use serial::{
     CompactEdgeLabelView, EdgeLabelView, SerialError, SerialErrorKind, VertexLabelView,
 };
-pub use session::{QuerySession, SessionScratch};
+pub use session::{Certificate, QuerySession, SessionScratch};
 pub use store::{ArchivedEdgeView, EdgeEncoding, LabelStore, LabelStoreView, StoreError};

@@ -58,7 +58,7 @@ impl Params {
     }
 
     /// The paper's polynomial-time scheme (Theorem 1, first bullet), with
-    /// the greedy-hitting-set ε-net substituted for \[MDG18\] (DESIGN.md §5).
+    /// the greedy-hitting-set ε-net substituted for \[MDG18\] (DESIGN.md §6).
     pub fn deterministic_poly(f: usize) -> Params {
         Params {
             f,

@@ -38,10 +38,9 @@
 //! plain entry points ([`QuerySession::new`], [`LabelSet::session`]) are
 //! thin wrappers over a throwaway scratch.
 //!
-//! The free functions [`crate::connected`] / [`crate::certified_connected`]
-//! and the old `oracle::BatchQuery` are thin (deprecated) wrappers over
-//! this type. Unlike `BatchQuery::new`, an **empty fault set is valid**:
-//! the session then answers via ancestry component equality.
+//! An **empty fault set is valid**: the session then answers via
+//! ancestry component equality — the common production case of querying
+//! a healthy network.
 //!
 //! # Example
 //!
@@ -86,6 +85,14 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::marker::PhantomData;
 use std::mem;
+
+/// An owned connectivity certificate: the sequence of auxiliary-graph
+/// non-tree edges (as `(pre, pre)` endpoint pairs) the engine merged
+/// fragments along. Empty when `s` and `t` already share a fragment of
+/// `T′ − F`. [`QuerySession::certified`] returns the certificate as a
+/// borrowed slice; this alias is the owned form higher layers (routing,
+/// serving) hand across call boundaries.
+pub type Certificate = Vec<(u32, u32)>;
 
 /// The fully-merged state of one component containing faults: a window
 /// into the session's flattened `root_of_slot` / `certs` arenas.

@@ -71,6 +71,7 @@ use crate::session::{QuerySession, SessionScratch};
 use std::collections::HashMap;
 use std::fmt;
 use std::io::{self, Write};
+use std::sync::Arc;
 
 const STORE_MAGIC: [u8; 4] = *b"FTCL";
 const STORE_VERSION: u16 = 1;
@@ -213,8 +214,41 @@ impl LabelStore {
     /// re-validation.
     pub fn view(&self) -> LabelStoreView<'_> {
         LabelStoreView {
-            buf: &self.bytes,
+            buf: ArchiveBuf::Borrowed(&self.bytes),
             meta: self.meta,
+        }
+    }
+
+    /// Consumes the store into a self-contained `'static` view: the blob
+    /// moves into an `Arc<[u8]>` the view owns. The archive was validated
+    /// at construction, so this never re-validates. The resulting view is
+    /// `Send + Sync` and cheap to clone — the handle concurrent serving
+    /// layers hold.
+    pub fn into_shared_view(self) -> LabelStoreView<'static> {
+        LabelStoreView {
+            buf: ArchiveBuf::Shared(Arc::from(self.bytes)),
+            meta: self.meta,
+        }
+    }
+}
+
+/// The bytes behind a [`LabelStoreView`]: borrowed from a caller's
+/// buffer, or shared ownership of the blob itself. The shared form makes
+/// the view `'static` — it can be cloned across threads and outlive the
+/// buffer it was opened from.
+#[derive(Clone, Debug)]
+enum ArchiveBuf<'a> {
+    /// A borrowed blob ([`LabelStoreView::open`]).
+    Borrowed(&'a [u8]),
+    /// Shared ownership of the blob ([`LabelStoreView::open_shared`]).
+    Shared(Arc<[u8]>),
+}
+
+impl ArchiveBuf<'_> {
+    fn bytes(&self) -> &[u8] {
+        match self {
+            ArchiveBuf::Borrowed(b) => b,
+            ArchiveBuf::Shared(a) => a,
         }
     }
 }
@@ -242,9 +276,15 @@ struct ArchiveMeta {
 /// A validated zero-copy view over a label archive: the read surface of
 /// the store. See the [module docs](self) for the byte layout and the
 /// complexity of each lookup.
-#[derive(Clone, Copy, Debug)]
+///
+/// A view either *borrows* its blob ([`LabelStoreView::open`], lifetime
+/// `'a`) or *owns a share* of it ([`LabelStoreView::open_shared`],
+/// `LabelStoreView<'static>` over an `Arc<[u8]>`). Shared views are the
+/// concurrent-serving handle: `Send + Sync`, cheap to clone, and free of
+/// any tie to the buffer they were opened from.
+#[derive(Clone, Debug)]
 pub struct LabelStoreView<'a> {
-    buf: &'a [u8],
+    buf: ArchiveBuf<'a>,
     meta: ArchiveMeta,
 }
 
@@ -344,7 +384,7 @@ impl<'a> LabelStoreView<'a> {
         }
 
         let view = LabelStoreView {
-            buf: bytes,
+            buf: ArchiveBuf::Borrowed(bytes),
             meta: ArchiveMeta {
                 header,
                 encoding,
@@ -388,6 +428,39 @@ impl<'a> LabelStoreView<'a> {
         Ok(view)
     }
 
+    /// Like [`LabelStoreView::open`], but taking shared ownership of the
+    /// blob: the returned view is `'static`, `Send + Sync`, and clones by
+    /// bumping the `Arc` — the form a concurrent serving layer holds so
+    /// label views stay valid for as long as anyone queries them.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`LabelStoreView::open`].
+    pub fn open_shared(
+        bytes: impl Into<Arc<[u8]>>,
+    ) -> Result<LabelStoreView<'static>, SerialError> {
+        let bytes: Arc<[u8]> = bytes.into();
+        let meta = LabelStoreView::open(&bytes)?.meta;
+        Ok(LabelStoreView {
+            buf: ArchiveBuf::Shared(bytes),
+            meta,
+        })
+    }
+
+    /// Detaches the view from its borrow: a shared view clones its `Arc`
+    /// (O(1)); a borrowed view copies the blob into a fresh `Arc` once.
+    /// The archive was already validated, so this never re-validates.
+    pub fn to_shared(&self) -> LabelStoreView<'static> {
+        let buf = match &self.buf {
+            ArchiveBuf::Borrowed(b) => ArchiveBuf::Shared(Arc::from(*b)),
+            ArchiveBuf::Shared(a) => ArchiveBuf::Shared(Arc::clone(a)),
+        };
+        LabelStoreView {
+            buf,
+            meta: self.meta,
+        }
+    }
+
     /// The shared labeling header.
     pub fn header(&self) -> LabelHeader {
         self.meta.header
@@ -410,17 +483,23 @@ impl<'a> LabelStoreView<'a> {
 
     /// Total archive size in bytes.
     pub fn archive_bytes(&self) -> usize {
-        self.buf.len()
+        self.buf.bytes().len()
+    }
+
+    /// The raw archive bytes behind this view.
+    pub fn as_bytes(&self) -> &[u8] {
+        self.buf.bytes()
     }
 
     fn edge_span(&self, e: usize) -> (usize, usize) {
-        let start = u64_at(self.buf, self.meta.offsets_at + 8 * e) as usize;
-        let end = u64_at(self.buf, self.meta.offsets_at + 8 * (e + 1)) as usize;
+        let buf = self.buf.bytes();
+        let start = u64_at(buf, self.meta.offsets_at + 8 * e) as usize;
+        let end = u64_at(buf, self.meta.offsets_at + 8 * (e + 1)) as usize;
         (self.meta.edges_at + start, self.meta.edges_at + end)
     }
 
-    fn edge_view_at(&self, at: usize, end: usize) -> Result<ArchivedEdgeView<'a>, SerialError> {
-        let bytes = &self.buf[at..end];
+    fn edge_view_at(&self, at: usize, end: usize) -> Result<ArchivedEdgeView<'_>, SerialError> {
+        let bytes = &self.buf.bytes()[at..end];
         Ok(match self.meta.encoding {
             EdgeEncoding::Full => ArchivedEdgeView::Full(EdgeLabelView::new(bytes)?),
             EdgeEncoding::Compact => ArchivedEdgeView::Compact(CompactEdgeLabelView::new(bytes)?),
@@ -428,21 +507,22 @@ impl<'a> LabelStoreView<'a> {
     }
 
     /// The label of vertex `v` as a zero-copy view — O(1); `None` when
-    /// `v` is out of range.
-    pub fn vertex(&self, v: usize) -> Option<VertexLabelView<'a>> {
+    /// `v` is out of range. The view borrows from `self` (for shared
+    /// views the blob lives exactly as long as the view handle).
+    pub fn vertex(&self, v: usize) -> Option<VertexLabelView<'_>> {
         if v >= self.meta.n {
             return None;
         }
         let at = self.meta.vertices_at + v * VERTEX_LABEL_BYTES;
         Some(
-            VertexLabelView::new(&self.buf[at..at + VERTEX_LABEL_BYTES])
+            VertexLabelView::new(&self.buf.bytes()[at..at + VERTEX_LABEL_BYTES])
                 .expect("validated at open"),
         )
     }
 
     /// The label of the edge with original edge ID `e` as a zero-copy
     /// view — O(1); `None` when `e` is out of range.
-    pub fn edge_by_id(&self, e: usize) -> Option<ArchivedEdgeView<'a>> {
+    pub fn edge_by_id(&self, e: usize) -> Option<ArchivedEdgeView<'_>> {
         if e >= self.meta.m {
             return None;
         }
@@ -455,17 +535,18 @@ impl<'a> LabelStoreView<'a> {
     /// such edge is archived.
     pub fn edge_id(&self, u: usize, v: usize) -> Option<usize> {
         let key = ((u.min(v)) as u32, (u.max(v)) as u32);
+        let buf = self.buf.bytes();
         let mut lo = 0usize;
         let mut hi = self.meta.idx_count;
         while lo < hi {
             let mid = lo + (hi - lo) / 2;
             let at = self.meta.endpoint_at + ENDPOINT_ENTRY_BYTES * mid;
-            let pair = (u32_at(self.buf, at), u32_at(self.buf, at + 4));
+            let pair = (u32_at(buf, at), u32_at(buf, at + 4));
             match pair.cmp(&key) {
                 std::cmp::Ordering::Less => lo = mid + 1,
                 std::cmp::Ordering::Greater => hi = mid,
                 std::cmp::Ordering::Equal => {
-                    return Some(u32_at(self.buf, at + 8) as usize);
+                    return Some(u32_at(buf, at + 8) as usize);
                 }
             }
         }
@@ -474,19 +555,20 @@ impl<'a> LabelStoreView<'a> {
 
     /// The label of the edge joining `u` and `v` (either order) as a
     /// zero-copy view — O(log m); `None` when no such edge is archived.
-    pub fn edge(&self, u: usize, v: usize) -> Option<ArchivedEdgeView<'a>> {
+    pub fn edge(&self, u: usize, v: usize) -> Option<ArchivedEdgeView<'_>> {
         self.edge_by_id(self.edge_id(u, v)?)
     }
 
     /// Iterates the endpoint index as `(u, v, edge id)` triples, in
     /// sorted endpoint order.
     pub fn endpoint_index(&self) -> impl ExactSizeIterator<Item = (usize, usize, usize)> + '_ {
-        (0..self.meta.idx_count).map(|i| {
+        let buf = self.buf.bytes();
+        (0..self.meta.idx_count).map(move |i| {
             let at = self.meta.endpoint_at + ENDPOINT_ENTRY_BYTES * i;
             (
-                u32_at(self.buf, at) as usize,
-                u32_at(self.buf, at + 4) as usize,
-                u32_at(self.buf, at + 8) as usize,
+                u32_at(buf, at) as usize,
+                u32_at(buf, at + 4) as usize,
+                u32_at(buf, at + 8) as usize,
             )
         })
     }
@@ -916,6 +998,61 @@ mod tests {
         assert_eq!(
             LabelStoreView::open(&blob).unwrap_err().kind,
             SerialErrorKind::Inconsistent
+        );
+    }
+
+    #[test]
+    fn shared_views_answer_like_borrowed_views() {
+        let (_, blob) = archive(EdgeEncoding::Full);
+        // A shared view is 'static: it owns the blob and survives the
+        // buffer it was opened from.
+        let shared: LabelStoreView<'static> = LabelStoreView::open_shared(blob.clone()).unwrap();
+        // `to_shared` detaches a *borrowed* view from its buffer.
+        let detached: LabelStoreView<'static> = {
+            let local = blob.clone();
+            let v = LabelStoreView::open(&local).unwrap();
+            v.to_shared()
+        };
+        let borrowed = LabelStoreView::open(&blob).unwrap();
+        for view in [&shared, &detached] {
+            assert_eq!(view.n(), borrowed.n());
+            assert_eq!(view.m(), borrowed.m());
+            assert_eq!(view.header(), borrowed.header());
+            for v in 0..view.n() {
+                assert_eq!(
+                    view.vertex(v).unwrap().to_label(),
+                    borrowed.vertex(v).unwrap().to_label()
+                );
+            }
+            let session = view.session([(0, 1), (0, 4)]).unwrap();
+            assert_eq!(
+                session.connected(view.vertex(0).unwrap(), view.vertex(7).unwrap()),
+                Ok(true)
+            );
+        }
+        // Clones share the blob (no copy) and keep answering after the
+        // original handle is gone.
+        let clone = shared.clone();
+        drop(shared);
+        assert!(clone.vertex(0).is_some());
+        // Malformed blobs are rejected with the same offsets as `open`.
+        assert_eq!(
+            LabelStoreView::open_shared(vec![0u8; 3]).unwrap_err().kind,
+            SerialErrorKind::Truncated
+        );
+    }
+
+    #[test]
+    fn into_shared_view_skips_revalidation_but_matches() {
+        let (_, blob) = archive(EdgeEncoding::Compact);
+        let store = LabelStore::from_vec(blob.clone()).unwrap();
+        let view = store.into_shared_view();
+        let direct = LabelStoreView::open(&blob).unwrap();
+        assert_eq!(view.encoding(), direct.encoding());
+        assert_eq!(view.as_bytes(), direct.as_bytes());
+        assert_eq!(
+            view.edge_by_id(0).unwrap().to_label(),
+            direct.edge_by_id(0).unwrap().to_label()
         );
     }
 

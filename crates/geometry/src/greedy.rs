@@ -2,7 +2,7 @@
 //!
 //! This is the repository's polynomial-time substitute for the
 //! Mustafa–Dutta–Ghosh optimal ε-net construction used by the paper's
-//! second deterministic scheme (see DESIGN.md §5). Correctness is identical
+//! second deterministic scheme (see DESIGN.md §6). Correctness is identical
 //! — the output is a genuine ε-net, i.e. it hits *every* axis-aligned
 //! rectangle containing at least `t` points — only the size bound is the
 //! greedy `O(OPT·log)` one instead of the optimal `O(loglog/ε)`.

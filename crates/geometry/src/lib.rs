@@ -12,7 +12,7 @@
 //! * [`greedy_rect_net`] — a greedy hitting set over all *minimal* heavy
 //!   canonical rectangles: polynomial time, any threshold. This is the
 //!   repository's substitute for the \[MDG18\] optimal ε-net used by the
-//!   paper's second (poly-time) scheme — see DESIGN.md §5.
+//!   paper's second (poly-time) scheme — see DESIGN.md §6.
 //!
 //! Both return subsets of the input point set, as required by the ε-net
 //! definition (Definition 2).

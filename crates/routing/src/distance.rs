@@ -3,7 +3,7 @@
 //!
 //! The paper's Corollary 1 derives an `O(|F|k)`-approximate distance
 //! labeling from any f-FTC labeling through the Dory–Parter reduction
-//! (Thorup–Zwick tree covers). As recorded in DESIGN.md §5, this
+//! (Thorup–Zwick tree covers). As recorded in DESIGN.md §6, this
 //! repository substitutes the tree-cover machinery with the certificate
 //! paths of the routing layer: the estimate is the length of the
 //! fault-avoiding path extracted from the connectivity certificate — an

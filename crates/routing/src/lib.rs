@@ -15,7 +15,7 @@
 //! fault-avoiding path whose intra-fragment segments follow the spanning
 //! tree — tree paths between vertices of one fragment never touch `F`.
 //! The Thorup–Zwick tree-cover machinery of the original reduction is
-//! *substituted* by BFS-tree paths (recorded in DESIGN.md §5); the
+//! *substituted* by BFS-tree paths (recorded in DESIGN.md §6); the
 //! experiments measure the resulting empirical stretch and table sizes,
 //! which is the shape Corollaries 1–2 predict.
 //!

@@ -11,10 +11,9 @@
 
 use ftc_core::auxgraph::AuxGraph;
 use ftc_core::store::LabelStoreView;
-use ftc_core::{
-    BuildError, FtcScheme, LabelSet, Params, QueryError, RsVector, SessionScratch, SizeReport,
-};
+use ftc_core::{BuildError, FtcScheme, LabelSet, Params, QueryError, RsVector, SizeReport};
 use ftc_graph::{EdgeId, Graph, RootedTree, VertexId};
+use ftc_serve::{ConnectivityService, ServeError};
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
 
@@ -94,11 +93,19 @@ pub struct TableReport {
 }
 
 /// A forbidden-set router over a fixed graph.
+///
+/// The labeling lives inside a shared [`ConnectivityService`], so the
+/// router is `Send + Sync`: clone-free concurrent routing works by
+/// sharing `&ForbiddenSetRouter` across threads — every
+/// [`ForbiddenSetRouter::route`] call draws its session scratch from the
+/// service's lock-free pool.
 #[derive(Debug)]
 pub struct ForbiddenSetRouter {
     g: Graph,
     aux: AuxGraph,
-    labels: LabelSet<RsVector>,
+    /// Label-backed connectivity service (always `Backing::Owned`, so
+    /// [`ForbiddenSetRouter::labels`] can hand out the label set).
+    service: ConnectivityService,
     size: SizeReport,
     /// pre-order (in `T′`) → auxiliary vertex.
     pre_to_aux: Vec<VertexId>,
@@ -186,7 +193,7 @@ impl ForbiddenSetRouter {
         Ok(ForbiddenSetRouter {
             g: g.clone(),
             aux,
-            labels,
+            service: ConnectivityService::from_labels(labels),
             size,
             pre_to_aux,
         })
@@ -206,7 +213,7 @@ impl ForbiddenSetRouter {
         ForbiddenSetRouter {
             g: g.clone(),
             aux,
-            labels,
+            service: ConnectivityService::from_labels(labels),
             size,
             pre_to_aux,
         }
@@ -215,7 +222,15 @@ impl ForbiddenSetRouter {
     /// The labeling this router queries (the artifact worth archiving
     /// via [`ftc_core::store::LabelStore`]).
     pub fn labels(&self) -> &LabelSet<RsVector> {
-        &self.labels
+        self.service
+            .labels()
+            .expect("router services are label-backed")
+    }
+
+    /// The shared [`ConnectivityService`] this router queries through —
+    /// clone it to serve plain connectivity queries next to routing.
+    pub fn service(&self) -> &ConnectivityService {
+        &self.service
     }
 
     /// Label-size accounting of the underlying labeling.
@@ -227,6 +242,12 @@ impl ForbiddenSetRouter {
     /// disconnected. The returned path is simple-ified only to the extent
     /// the certificate allows — stretch is measured, not optimized.
     ///
+    /// The per-fault-set session is built out of (and recycled back
+    /// into) the service's lock-free scratch pool, so a router serving a
+    /// stream of requests — from any number of threads — pays no
+    /// session-construction allocations once the pool is warm. Path
+    /// expansion still allocates the returned path.
+    ///
     /// # Errors
     ///
     /// [`RouteError::BadVertex`]/[`RouteError::BadEdge`] on malformed
@@ -237,25 +258,6 @@ impl ForbiddenSetRouter {
         t: VertexId,
         faults: &[EdgeId],
     ) -> Result<Option<Vec<VertexId>>, RouteError> {
-        self.route_in(s, t, faults, &mut SessionScratch::default())
-    }
-
-    /// Scratch-reusing variant of [`ForbiddenSetRouter::route`]: the
-    /// per-fault-set session is built out of (and recycled back into)
-    /// `scratch`, so a router serving a stream of requests pays no
-    /// session-construction allocations once the scratch is warm. Path
-    /// expansion still allocates the returned path.
-    ///
-    /// # Errors
-    ///
-    /// Same conditions as [`ForbiddenSetRouter::route`].
-    pub fn route_in(
-        &self,
-        s: VertexId,
-        t: VertexId,
-        faults: &[EdgeId],
-        scratch: &mut SessionScratch,
-    ) -> Result<Option<Vec<VertexId>>, RouteError> {
         if s >= self.g.n() {
             return Err(RouteError::BadVertex(s));
         }
@@ -265,7 +267,7 @@ impl ForbiddenSetRouter {
         if let Some(&e) = faults.iter().find(|&&e| e >= self.g.m()) {
             return Err(RouteError::BadEdge(e));
         }
-        let l = &self.labels;
+        let l = self.labels();
         // Trivial queries answer before the session's budget enforcement,
         // matching the original decoder's check order.
         match ftc_core::QuerySession::trivial_answer(l.vertex_label(s), l.vertex_label(t))? {
@@ -276,15 +278,24 @@ impl ForbiddenSetRouter {
         // One session per fault set: dedup/validation/fragment-splitting
         // and the merge engine run once, and the session's fragment
         // decomposition is reused below for path expansion. The session's
-        // storage comes from — and returns to — the caller's scratch.
-        let session = l.session_in(faults.iter().map(|&e| l.edge_label_by_id(e)), scratch)?;
-        let out = self.expand_route(&session, s, t, faults);
-        scratch.recycle(session);
-        out
+        // storage comes from — and returns to — the service's pool.
+        self.service
+            .with_session_ids(faults, |served| {
+                self.expand_route(served.session(), s, t, faults)
+            })
+            .map_err(|e| match e {
+                ServeError::Query(q) => RouteError::Query(q),
+                ServeError::UnknownEdgeId { id } => RouteError::BadEdge(id),
+                ServeError::VertexOutOfRange { v } => RouteError::BadVertex(v),
+                // Endpoint-pair faults are never used on this path.
+                ServeError::UnknownEdge { .. } => {
+                    unreachable!("routing names faults by edge ID")
+                }
+            })?
     }
 
     /// Expands a prepared session's certificate into an explicit
-    /// fault-avoiding path (the second half of [`ForbiddenSetRouter::route_in`]).
+    /// fault-avoiding path (the second half of [`ForbiddenSetRouter::route`]).
     fn expand_route(
         &self,
         session: &ftc_core::QuerySession,
@@ -292,7 +303,7 @@ impl ForbiddenSetRouter {
         t: VertexId,
         faults: &[EdgeId],
     ) -> Result<Option<Vec<VertexId>>, RouteError> {
-        let l = &self.labels;
+        let l = self.labels();
         let Some(cert) = session.certified(l.vertex_label(s), l.vertex_label(t))? else {
             return Ok(None);
         };
@@ -431,7 +442,7 @@ impl ForbiddenSetRouter {
     /// the labels of its incident edges (to report/forward failures), and
     /// one ancestry interval per port (tree next-hop routing).
     pub fn table_report(&self) -> TableReport {
-        let l = &self.labels;
+        let l = self.labels();
         let mut total = 0usize;
         let mut max_local = 0usize;
         for v in 0..self.g.n() {
@@ -612,21 +623,40 @@ mod tests {
     }
 
     #[test]
-    fn scratch_reusing_routes_match_fresh_routes() {
+    fn concurrent_routes_match_sequential_routes() {
+        // The router is Send + Sync: threads share it by reference, each
+        // drawing scratch from the service's pool, and every concurrent
+        // answer must equal the sequential one.
         let g = Graph::torus(4, 4);
         let router = ForbiddenSetRouter::new(&g, 2).unwrap();
-        let mut scratch = SessionScratch::default();
-        for faults in [vec![], vec![0usize, 5], vec![3, 9], vec![1]] {
-            for s in 0..g.n() {
-                for t in 0..g.n() {
-                    assert_eq!(
-                        router.route_in(s, t, &faults, &mut scratch).unwrap(),
-                        router.route(s, t, &faults).unwrap(),
-                        "({s},{t},{faults:?})"
-                    );
-                }
+        let fault_sets = [vec![], vec![0usize, 5], vec![3, 9], vec![1]];
+        let sequential: Vec<_> = fault_sets
+            .iter()
+            .map(|faults| {
+                (0..g.n())
+                    .flat_map(|s| (0..g.n()).map(move |t| (s, t)))
+                    .map(|(s, t)| router.route(s, t, faults).unwrap())
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        std::thread::scope(|scope| {
+            for (faults, want) in fault_sets.iter().zip(&sequential) {
+                let (router, g) = (&router, &g);
+                scope.spawn(move || {
+                    let got: Vec<_> = (0..g.n())
+                        .flat_map(|s| (0..g.n()).map(move |t| (s, t)))
+                        .map(|(s, t)| router.route(s, t, faults).unwrap())
+                        .collect();
+                    assert_eq!(&got, want, "{faults:?}");
+                });
             }
-        }
+        });
+        // The embedded service doubles as a plain connectivity handle.
+        assert!(router
+            .service()
+            .query(&[], &[(0, 10)])
+            .unwrap()
+            .all_connected());
     }
 
     #[test]

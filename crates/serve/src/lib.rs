@@ -1,0 +1,49 @@
+//! # ftc-serve — the concurrent serving layer
+//!
+//! The paper's labeling scheme is a *serving* artifact: labels are built
+//! once and then answer arbitrary fault-set connectivity queries forever
+//! after. `ftc-core` provides the fast single-threaded machinery
+//! ([`ftc_core::QuerySession`], [`ftc_core::store::LabelStoreView`],
+//! [`ftc_core::SessionScratch`]); this crate packages it for a process
+//! that serves **many threads and many graphs through a single handle**:
+//!
+//! * [`ConnectivityService`] — `Send + Sync + Clone`; built from an owned
+//!   label set, a label store, an opened view, or raw archive bytes
+//!   (held as `Arc<[u8]>`, so every internal view is `'static`).
+//!   [`ConnectivityService::query`] answers a batch of pairs under a
+//!   fault set, internally checking a [`ftc_core::SessionScratch`] out
+//!   of a lock-free pool so concurrent callers keep the zero-allocation
+//!   warm session-build path without managing scratches themselves;
+//! * [`ServiceRegistry`] — string graph IDs to services
+//!   (insert / open-from-path / evict), the multi-tenant surface of one
+//!   serving process.
+//!
+//! ```
+//! use ftc_core::{FtcScheme, Params};
+//! use ftc_graph::Graph;
+//! use ftc_serve::{ConnectivityService, ServiceRegistry};
+//!
+//! let g = Graph::torus(4, 4);
+//! let scheme = FtcScheme::build(&g, &Params::deterministic(3)).unwrap();
+//! let registry = ServiceRegistry::new();
+//! registry.insert("fabric", ConnectivityService::from_labels(scheme.into_labels()));
+//!
+//! // Any number of threads, one shared handle per graph.
+//! let service = registry.get("fabric").unwrap();
+//! std::thread::scope(|s| {
+//!     for _ in 0..4 {
+//!         let service = service.clone();
+//!         s.spawn(move || {
+//!             let answers = service.query(&[(0, 1), (0, 4)], &[(0, 10)]).unwrap();
+//!             assert!(answers.all_connected());
+//!         });
+//!     }
+//! });
+//! ```
+
+mod pool;
+pub mod registry;
+pub mod service;
+
+pub use registry::{RegistryError, ServiceRegistry};
+pub use service::{Answers, ConnectivityService, ServeError, Served, VertexRef};

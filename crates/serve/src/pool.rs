@@ -1,0 +1,133 @@
+//! A lock-free pool of [`SessionScratch`] buffers.
+//!
+//! The serving hot path (PR 3) threads a `SessionScratch` through every
+//! session build so warm builds allocate nothing; a *concurrent* server
+//! needs one scratch per in-flight request without handing the burden to
+//! callers. [`ScratchPool`] is a fixed array of atomic slots: checkout
+//! `swap`s a scratch out, return `compare_exchange`s it back in. No slot
+//! is ever traversed through another slot's pointer, so the classic
+//! Treiber-stack ABA/reclamation hazards cannot arise — each slot is an
+//! independent single-pointer exchange. When every slot is empty a fresh
+//! scratch is allocated (cold path); when every slot is full on return
+//! the scratch is dropped. Both paths are correct, merely slower, so the
+//! pool never blocks.
+
+use ftc_core::{RsVector, SessionScratch};
+use std::ptr;
+use std::sync::atomic::{AtomicPtr, Ordering};
+
+/// A fixed-capacity, lock-free pool of warm [`SessionScratch`] buffers.
+#[derive(Debug)]
+pub(crate) struct ScratchPool {
+    slots: Box<[AtomicPtr<SessionScratch<RsVector>>]>,
+}
+
+// Thread-safety note: `AtomicPtr` is `Send + Sync`, so the pool derives
+// both automatically — no manual `unsafe impl` that would survive a
+// non-thread-safe field being added later. Soundness of the *pointer
+// contents* rests on the swap/CAS ownership discipline below: every
+// non-null pointer came from `Box::into_raw` and is owned by exactly
+// one place at any time — the slot, or the thread that swapped it out.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<ScratchPool>();
+};
+
+impl ScratchPool {
+    /// A pool with `slots` parking places (all initially empty; scratches
+    /// are created lazily on first checkout and warmed by use).
+    pub(crate) fn new(slots: usize) -> ScratchPool {
+        let slots = (0..slots.max(1))
+            .map(|_| AtomicPtr::new(ptr::null_mut()))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        ScratchPool { slots }
+    }
+
+    /// Takes a warm scratch out of the pool, or allocates a cold one when
+    /// every slot is empty.
+    pub(crate) fn checkout(&self) -> Box<SessionScratch<RsVector>> {
+        for slot in self.slots.iter() {
+            let p = slot.swap(ptr::null_mut(), Ordering::Acquire);
+            if !p.is_null() {
+                // SAFETY: `p` was produced by `Box::into_raw` in
+                // `put_back` and the swap above made this thread its
+                // unique owner.
+                return unsafe { Box::from_raw(p) };
+            }
+        }
+        Box::new(SessionScratch::new())
+    }
+
+    /// Returns a scratch to the pool; drops it when every slot is
+    /// already occupied.
+    pub(crate) fn put_back(&self, scratch: Box<SessionScratch<RsVector>>) {
+        let p = Box::into_raw(scratch);
+        for slot in self.slots.iter() {
+            if slot
+                .compare_exchange(ptr::null_mut(), p, Ordering::Release, Ordering::Relaxed)
+                .is_ok()
+            {
+                return;
+            }
+        }
+        // Pool full: surplus warmth is dropped, not leaked.
+        // SAFETY: the CAS never succeeded, so this thread still owns `p`.
+        drop(unsafe { Box::from_raw(p) });
+    }
+}
+
+impl Drop for ScratchPool {
+    fn drop(&mut self) {
+        for slot in self.slots.iter() {
+            let p = slot.swap(ptr::null_mut(), Ordering::Acquire);
+            if !p.is_null() {
+                // SAFETY: same ownership argument as `checkout`.
+                drop(unsafe { Box::from_raw(p) });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checkout_put_back_round_trips() {
+        let pool = ScratchPool::new(2);
+        let a = pool.checkout();
+        let b = pool.checkout();
+        pool.put_back(a);
+        pool.put_back(b);
+        // Both parked; a third return is dropped without incident.
+        pool.put_back(Box::new(SessionScratch::new()));
+        let _ = pool.checkout();
+        let _ = pool.checkout();
+        let _ = pool.checkout(); // cold allocation, pool empty
+    }
+
+    #[test]
+    fn concurrent_checkout_is_race_free() {
+        let pool = ScratchPool::new(4);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..200 {
+                        let scratch = pool.checkout();
+                        pool.put_back(scratch);
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn drop_frees_parked_scratches() {
+        let pool = ScratchPool::new(3);
+        for _ in 0..3 {
+            pool.put_back(Box::new(SessionScratch::new()));
+        }
+        drop(pool); // miri/asan would flag a leak or double free here
+    }
+}

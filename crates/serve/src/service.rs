@@ -1,0 +1,749 @@
+//! The shareable connectivity service: one handle, many threads, any
+//! number of fault-set queries.
+
+use crate::pool::ScratchPool;
+use ftc_core::serial::VertexLabelView;
+use ftc_core::store::{EdgeEncoding, LabelStore, LabelStoreView, StoreError};
+use ftc_core::{
+    Certificate, LabelHeader, LabelSet, QueryError, QuerySession, RsVector, SerialError,
+    VertexLabel, VertexLabelRead,
+};
+use std::fmt;
+use std::sync::Arc;
+
+/// Errors raised while serving a query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServeError {
+    /// A fault was named by an endpoint pair the labeling does not
+    /// contain.
+    UnknownEdge {
+        /// First requested endpoint.
+        u: usize,
+        /// Second requested endpoint.
+        v: usize,
+    },
+    /// A fault was named by an edge ID outside the labeling's `0..m`.
+    UnknownEdgeId {
+        /// The requested edge ID.
+        id: usize,
+    },
+    /// A vertex argument is outside the labeling's `0..n` range.
+    VertexOutOfRange {
+        /// The requested vertex.
+        v: usize,
+    },
+    /// The underlying session construction or query failed.
+    Query(QueryError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::UnknownEdge { u, v } => {
+                write!(f, "no edge {u}–{v} in the served labeling")
+            }
+            ServeError::UnknownEdgeId { id } => {
+                write!(f, "no edge with ID {id} in the served labeling")
+            }
+            ServeError::VertexOutOfRange { v } => write!(f, "vertex {v} out of range"),
+            ServeError::Query(q) => write!(f, "query failed: {q}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<QueryError> for ServeError {
+    fn from(q: QueryError) -> ServeError {
+        ServeError::Query(q)
+    }
+}
+
+impl From<StoreError> for ServeError {
+    fn from(e: StoreError) -> ServeError {
+        match e {
+            StoreError::UnknownEdge { u, v } => ServeError::UnknownEdge { u, v },
+            StoreError::VertexOutOfRange { v } => ServeError::VertexOutOfRange { v },
+            StoreError::Query(q) => ServeError::Query(q),
+        }
+    }
+}
+
+/// A vertex label resolved out of a service — owned-label reference or
+/// zero-copy archive view, behind one [`VertexLabelRead`] implementor.
+#[derive(Clone, Copy, Debug)]
+pub enum VertexRef<'a> {
+    /// A reference into an owned [`LabelSet`].
+    Owned(&'a VertexLabel),
+    /// A zero-copy view into an archive blob.
+    Archived(VertexLabelView<'a>),
+}
+
+impl VertexLabelRead for VertexRef<'_> {
+    fn header(&self) -> LabelHeader {
+        match self {
+            VertexRef::Owned(l) => l.header,
+            VertexRef::Archived(v) => v.header(),
+        }
+    }
+
+    fn anc(&self) -> ftc_core::ancestry::AncestryLabel {
+        match self {
+            VertexRef::Owned(l) => l.anc,
+            VertexRef::Archived(v) => v.anc(),
+        }
+    }
+}
+
+/// What a service holds: an owned label set, or a `'static` shared view
+/// over an archive blob.
+#[derive(Debug)]
+enum Backing {
+    Owned(LabelSet<RsVector>),
+    Archive(LabelStoreView<'static>),
+}
+
+impl Backing {
+    fn n(&self) -> usize {
+        match self {
+            Backing::Owned(l) => l.n(),
+            Backing::Archive(v) => v.n(),
+        }
+    }
+
+    fn m(&self) -> usize {
+        match self {
+            Backing::Owned(l) => l.m(),
+            Backing::Archive(v) => v.m(),
+        }
+    }
+
+    fn header(&self) -> LabelHeader {
+        match self {
+            Backing::Owned(l) => l.header(),
+            Backing::Archive(v) => v.header(),
+        }
+    }
+
+    fn vertex(&self, v: usize) -> Option<VertexRef<'_>> {
+        match self {
+            Backing::Owned(l) => {
+                if v < l.n() {
+                    Some(VertexRef::Owned(l.vertex_label(v)))
+                } else {
+                    None
+                }
+            }
+            Backing::Archive(view) => view.vertex(v).map(VertexRef::Archived),
+        }
+    }
+
+    fn has_edge(&self, u: usize, v: usize) -> bool {
+        match self {
+            Backing::Owned(l) => l.edge_label(u, v).is_some(),
+            Backing::Archive(view) => view.edge_id(u, v).is_some(),
+        }
+    }
+
+    fn build_session(
+        &self,
+        faults: &[(usize, usize)],
+        scratch: &mut ftc_core::SessionScratch<RsVector>,
+    ) -> Result<QuerySession, ServeError> {
+        match self {
+            Backing::Owned(l) => {
+                // Existence was validated eagerly; the unwrap is the
+                // pre-checked lookup repeated.
+                let session = l.session_in(
+                    faults
+                        .iter()
+                        .map(|&(u, v)| l.edge_label(u, v).expect("fault edges validated eagerly")),
+                    scratch,
+                )?;
+                Ok(session)
+            }
+            Backing::Archive(view) => Ok(view.session_in(faults.iter().copied(), scratch)?),
+        }
+    }
+
+    fn build_session_ids(
+        &self,
+        faults: &[usize],
+        scratch: &mut ftc_core::SessionScratch<RsVector>,
+    ) -> Result<QuerySession, ServeError> {
+        match self {
+            Backing::Owned(l) => {
+                let session =
+                    l.session_in(faults.iter().map(|&e| l.edge_label_by_id(e)), scratch)?;
+                Ok(session)
+            }
+            Backing::Archive(view) => {
+                let session = QuerySession::new_in(
+                    view.header(),
+                    faults
+                        .iter()
+                        .map(|&e| view.edge_by_id(e).expect("fault IDs validated eagerly")),
+                    scratch,
+                )?;
+                Ok(session)
+            }
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Inner {
+    backing: Backing,
+    pool: ScratchPool,
+}
+
+/// The answers of one [`ConnectivityService::query`] call: one `bool`
+/// per requested pair, in request order.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct Answers {
+    answers: Vec<bool>,
+}
+
+impl Answers {
+    /// The answers as a slice, in request order.
+    pub fn as_slice(&self) -> &[bool] {
+        &self.answers
+    }
+
+    /// The answer for pair `i` (request order).
+    pub fn get(&self, i: usize) -> Option<bool> {
+        self.answers.get(i).copied()
+    }
+
+    /// Number of answered pairs.
+    pub fn len(&self) -> usize {
+        self.answers.len()
+    }
+
+    /// `true` when no pairs were requested.
+    pub fn is_empty(&self) -> bool {
+        self.answers.is_empty()
+    }
+
+    /// `true` iff every requested pair is connected.
+    pub fn all_connected(&self) -> bool {
+        self.answers.iter().all(|&a| a)
+    }
+
+    /// Consumes the answers into the underlying vector.
+    pub fn into_vec(self) -> Vec<bool> {
+        self.answers
+    }
+}
+
+impl<'a> IntoIterator for &'a Answers {
+    type Item = bool;
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, bool>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.answers.iter().copied()
+    }
+}
+
+/// A prepared fault set inside [`ConnectivityService::with_session`] /
+/// [`ConnectivityService::with_session_ids`]: the session plus vertex
+/// resolution against the service's backing.
+#[derive(Clone, Copy, Debug)]
+pub struct Served<'a> {
+    backing: &'a Backing,
+    session: &'a QuerySession,
+}
+
+impl<'a> Served<'a> {
+    /// The prepared [`QuerySession`] (for consumers — like the routing
+    /// layer — that need certificates and the fragment decomposition).
+    pub fn session(&self) -> &'a QuerySession {
+        self.session
+    }
+
+    /// The label of vertex `v`, resolved from the service's backing.
+    pub fn vertex(&self, v: usize) -> Option<VertexRef<'a>> {
+        self.backing.vertex(v)
+    }
+
+    /// Answers one s–t query by vertex ID.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::VertexOutOfRange`] on bad IDs, [`ServeError::Query`]
+    /// from the session.
+    pub fn connected(&self, s: usize, t: usize) -> Result<bool, ServeError> {
+        Ok(self.certified(s, t)?.is_some())
+    }
+
+    /// Like [`Served::connected`], but returns the borrowed merge
+    /// certificate when connected.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Served::connected`].
+    pub fn certified(&self, s: usize, t: usize) -> Result<Option<&'a [(u32, u32)]>, ServeError> {
+        let vs = self
+            .backing
+            .vertex(s)
+            .ok_or(ServeError::VertexOutOfRange { v: s })?;
+        let vt = self
+            .backing
+            .vertex(t)
+            .ok_or(ServeError::VertexOutOfRange { v: t })?;
+        Ok(self.session.certified(vs, vt)?)
+    }
+}
+
+/// A shareable, thread-safe connectivity serving handle.
+///
+/// Built once from an owned [`LabelSet`], an opened [`LabelStoreView`],
+/// a [`LabelStore`], or raw archive bytes (held as `Arc<[u8]>`, so every
+/// internal view is `'static`), the service is `Send + Sync + Clone`:
+/// clone the handle into as many threads as needed, and every
+/// [`ConnectivityService::query`] call internally checks a
+/// [`ftc_core::SessionScratch`] out of a lock-free pool — concurrent
+/// callers keep the zero-allocation warm session-build path without
+/// managing scratches themselves.
+///
+/// # Example
+///
+/// ```
+/// use ftc_core::store::{EdgeEncoding, LabelStore};
+/// use ftc_core::{FtcScheme, Params};
+/// use ftc_graph::Graph;
+/// use ftc_serve::ConnectivityService;
+///
+/// let g = Graph::torus(4, 4);
+/// let scheme = FtcScheme::build(&g, &Params::deterministic(3)).unwrap();
+/// let blob = LabelStore::to_vec(scheme.labels(), EdgeEncoding::Compact);
+///
+/// let service = ConnectivityService::from_archive_bytes(blob).unwrap();
+/// std::thread::scope(|s| {
+///     for _ in 0..4 {
+///         let service = service.clone();
+///         s.spawn(move || {
+///             let answers = service
+///                 .query(&[(0, 1), (0, 4)], &[(0, 10), (3, 12)])
+///                 .unwrap();
+///             assert!(answers.all_connected());
+///         });
+///     }
+/// });
+/// ```
+#[derive(Clone, Debug)]
+pub struct ConnectivityService {
+    inner: Arc<Inner>,
+}
+
+impl ConnectivityService {
+    fn with_backing(backing: Backing) -> ConnectivityService {
+        let slots = std::thread::available_parallelism()
+            .map(|p| p.get() * 2)
+            .unwrap_or(8)
+            .clamp(4, 64);
+        ConnectivityService {
+            inner: Arc::new(Inner {
+                backing,
+                pool: ScratchPool::new(slots),
+            }),
+        }
+    }
+
+    /// A service over an owned label set.
+    pub fn from_labels(labels: LabelSet<RsVector>) -> ConnectivityService {
+        Self::with_backing(Backing::Owned(labels))
+    }
+
+    /// A service over raw archive bytes: the blob moves into an
+    /// `Arc<[u8]>` and is validated once; every later lookup is
+    /// zero-copy.
+    ///
+    /// # Errors
+    ///
+    /// [`SerialError`] if the bytes are not a well-formed archive.
+    pub fn from_archive_bytes(
+        bytes: impl Into<Arc<[u8]>>,
+    ) -> Result<ConnectivityService, SerialError> {
+        Ok(Self::with_backing(Backing::Archive(
+            LabelStoreView::open_shared(bytes)?,
+        )))
+    }
+
+    /// A service over an already-validated [`LabelStore`] (no
+    /// re-validation; the blob is shared, not copied).
+    pub fn from_store(store: LabelStore) -> ConnectivityService {
+        Self::with_backing(Backing::Archive(store.into_shared_view()))
+    }
+
+    /// A service over an opened [`LabelStoreView`]: a shared view clones
+    /// its `Arc` (O(1)); a borrowed view copies the blob once.
+    pub fn from_view(view: &LabelStoreView<'_>) -> ConnectivityService {
+        Self::with_backing(Backing::Archive(view.to_shared()))
+    }
+
+    /// Number of served vertex labels.
+    pub fn n(&self) -> usize {
+        self.inner.backing.n()
+    }
+
+    /// Number of served edge labels.
+    pub fn m(&self) -> usize {
+        self.inner.backing.m()
+    }
+
+    /// The shared labeling header (fault budget `f` in `header().f`).
+    pub fn header(&self) -> LabelHeader {
+        self.inner.backing.header()
+    }
+
+    /// The archive encoding, when the service is archive-backed.
+    pub fn encoding(&self) -> Option<EdgeEncoding> {
+        match &self.inner.backing {
+            Backing::Owned(_) => None,
+            Backing::Archive(v) => Some(v.encoding()),
+        }
+    }
+
+    /// The owned label set, when the service is label-backed.
+    pub fn labels(&self) -> Option<&LabelSet<RsVector>> {
+        match &self.inner.backing {
+            Backing::Owned(l) => Some(l),
+            Backing::Archive(_) => None,
+        }
+    }
+
+    /// Answers a pair without preparing a fault set at all:
+    /// `Some(connected)` for same-vertex or cross-component pairs,
+    /// `None` when the full decoder is required. Trivially-decidable
+    /// pairs answer before fault validation (the decoder's historical
+    /// check order).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::VertexOutOfRange`] on bad vertex IDs.
+    pub fn trivial_answer(&self, s: usize, t: usize) -> Result<Option<bool>, ServeError> {
+        let vs = self
+            .inner
+            .backing
+            .vertex(s)
+            .ok_or(ServeError::VertexOutOfRange { v: s })?;
+        let vt = self
+            .inner
+            .backing
+            .vertex(t)
+            .ok_or(ServeError::VertexOutOfRange { v: t })?;
+        Ok(QuerySession::trivial_answer(&vs, &vt)?)
+    }
+
+    /// Answers a batch of s–t `pairs` under the fault set named by
+    /// endpoint-pair `faults`: one session build (scratch from the
+    /// pool), any number of answers. Faults are validated eagerly —
+    /// an unknown fault edge errors even when every pair would answer
+    /// trivially — and trivially-decidable pairs answer before the
+    /// fault-budget check, preserving the historical decoder order.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownEdge`] / [`ServeError::VertexOutOfRange`] on
+    /// unresolvable arguments, [`ServeError::Query`] from the decoder.
+    pub fn query(
+        &self,
+        faults: &[(usize, usize)],
+        pairs: &[(usize, usize)],
+    ) -> Result<Answers, ServeError> {
+        let certs = self.answer(faults, pairs, |cert| cert.is_some())?;
+        Ok(Answers { answers: certs })
+    }
+
+    /// Like [`ConnectivityService::query`], but returning the merge
+    /// certificate per connected pair (`None` = disconnected, empty =
+    /// trivially/same-fragment connected).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ConnectivityService::query`].
+    pub fn query_certified(
+        &self,
+        faults: &[(usize, usize)],
+        pairs: &[(usize, usize)],
+    ) -> Result<Vec<Option<Certificate>>, ServeError> {
+        self.answer(faults, pairs, |cert| cert.map(<[(u32, u32)]>::to_vec))
+    }
+
+    /// Shared implementation of the query entry points: eager fault
+    /// validation, the trivial pass, then one pooled session build for
+    /// the remaining pairs, mapped through `extract`.
+    fn answer<R>(
+        &self,
+        faults: &[(usize, usize)],
+        pairs: &[(usize, usize)],
+        mut extract: impl FnMut(Option<&[(u32, u32)]>) -> R,
+    ) -> Result<Vec<R>, ServeError> {
+        let backing = &self.inner.backing;
+        for &(u, v) in faults {
+            if !backing.has_edge(u, v) {
+                return Err(ServeError::UnknownEdge { u, v });
+            }
+        }
+        let resolve = |v: usize| backing.vertex(v).ok_or(ServeError::VertexOutOfRange { v });
+        let mut out: Vec<Option<R>> = Vec::with_capacity(pairs.len());
+        let mut nontrivial = Vec::new();
+        for &(s, t) in pairs {
+            let (vs, vt) = (resolve(s)?, resolve(t)?);
+            match QuerySession::trivial_answer(&vs, &vt)? {
+                Some(true) => out.push(Some(extract(Some(&[])))),
+                Some(false) => out.push(Some(extract(None))),
+                None => {
+                    nontrivial.push((vs, vt));
+                    out.push(None);
+                }
+            }
+        }
+        if !nontrivial.is_empty() {
+            let mut scratch = self.inner.pool.checkout();
+            let session = match backing.build_session(faults, &mut scratch) {
+                Ok(session) => session,
+                Err(e) => {
+                    self.inner.pool.put_back(scratch);
+                    return Err(e);
+                }
+            };
+            let mut answered = nontrivial
+                .iter()
+                .map(|(vs, vt)| session.certified(vs, vt).map(&mut extract));
+            let mut failed: Option<QueryError> = None;
+            for slot in out.iter_mut().filter(|s| s.is_none()) {
+                match answered.next().expect("one answer per nontrivial pair") {
+                    Ok(r) => *slot = Some(r),
+                    Err(e) => {
+                        failed = Some(e);
+                        break;
+                    }
+                }
+            }
+            drop(answered);
+            scratch.recycle(session);
+            self.inner.pool.put_back(scratch);
+            if let Some(e) = failed {
+                return Err(e.into());
+            }
+        }
+        Ok(out
+            .into_iter()
+            .map(|r| r.expect("every pair answered"))
+            .collect())
+    }
+
+    /// Prepares a session for endpoint-pair `faults` out of the pool and
+    /// hands it to `f` as a [`Served`] — the lower-level entry point for
+    /// consumers that need the session itself (certificates, fragment
+    /// decomposition) while keeping pooled scratch reuse.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownEdge`] on unresolvable faults,
+    /// [`ServeError::Query`] on session-construction failures.
+    pub fn with_session<R>(
+        &self,
+        faults: &[(usize, usize)],
+        f: impl FnOnce(Served<'_>) -> R,
+    ) -> Result<R, ServeError> {
+        let backing = &self.inner.backing;
+        for &(u, v) in faults {
+            if !backing.has_edge(u, v) {
+                return Err(ServeError::UnknownEdge { u, v });
+            }
+        }
+        self.run_session(|scratch| backing.build_session(faults, scratch), f)
+    }
+
+    /// Like [`ConnectivityService::with_session`], naming faults by
+    /// original edge ID (the routing layer's native fault vocabulary —
+    /// unlike endpoint pairs, IDs distinguish parallel edges).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownEdgeId`] on out-of-range IDs,
+    /// [`ServeError::Query`] on session-construction failures.
+    pub fn with_session_ids<R>(
+        &self,
+        faults: &[usize],
+        f: impl FnOnce(Served<'_>) -> R,
+    ) -> Result<R, ServeError> {
+        let backing = &self.inner.backing;
+        if let Some(&id) = faults.iter().find(|&&e| e >= backing.m()) {
+            return Err(ServeError::UnknownEdgeId { id });
+        }
+        self.run_session(|scratch| backing.build_session_ids(faults, scratch), f)
+    }
+
+    fn run_session<R>(
+        &self,
+        build: impl FnOnce(&mut ftc_core::SessionScratch<RsVector>) -> Result<QuerySession, ServeError>,
+        f: impl FnOnce(Served<'_>) -> R,
+    ) -> Result<R, ServeError> {
+        let mut scratch = self.inner.pool.checkout();
+        let session = match build(&mut scratch) {
+            Ok(session) => session,
+            Err(e) => {
+                self.inner.pool.put_back(scratch);
+                return Err(e);
+            }
+        };
+        let r = f(Served {
+            backing: &self.inner.backing,
+            session: &session,
+        });
+        scratch.recycle(session);
+        self.inner.pool.put_back(scratch);
+        Ok(r)
+    }
+}
+
+// Compile-time guarantees, not vibes: the service contract is
+// `Send + Sync + Clone`, and both backings must stay that way.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    const fn assert_clone<T: Clone>() {}
+    assert_send_sync::<ConnectivityService>();
+    assert_send_sync::<Backing>();
+    assert_send_sync::<Answers>();
+    assert_send_sync::<ServeError>();
+    assert_clone::<ConnectivityService>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftc_core::{FtcScheme, Params};
+    use ftc_graph::Graph;
+
+    fn torus_service(encoding: Option<EdgeEncoding>) -> ConnectivityService {
+        let g = Graph::torus(3, 4);
+        let scheme = FtcScheme::build(&g, &Params::deterministic(2)).unwrap();
+        match encoding {
+            None => ConnectivityService::from_labels(scheme.into_labels()),
+            Some(enc) => {
+                let blob = LabelStore::to_vec(scheme.labels(), enc);
+                ConnectivityService::from_archive_bytes(blob).unwrap()
+            }
+        }
+    }
+
+    #[test]
+    fn all_backings_answer_identically() {
+        let owned = torus_service(None);
+        let full = torus_service(Some(EdgeEncoding::Full));
+        let compact = torus_service(Some(EdgeEncoding::Compact));
+        assert!(owned.labels().is_some());
+        assert_eq!(owned.encoding(), None);
+        assert_eq!(full.encoding(), Some(EdgeEncoding::Full));
+        let faults = [(0usize, 1usize), (0, 4)];
+        let pairs: Vec<(usize, usize)> =
+            (0..12).flat_map(|s| (0..12).map(move |t| (s, t))).collect();
+        let a = owned.query(&faults, &pairs).unwrap();
+        let b = full.query(&faults, &pairs).unwrap();
+        let c = compact.query(&faults, &pairs).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+        assert_eq!(a.len(), pairs.len());
+        // Certified variant agrees on existence.
+        let certs = owned.query_certified(&faults, &pairs).unwrap();
+        for (cert, ans) in certs.iter().zip(&a) {
+            assert_eq!(cert.is_some(), ans);
+        }
+    }
+
+    #[test]
+    fn errors_name_the_offending_argument() {
+        for svc in [torus_service(None), torus_service(Some(EdgeEncoding::Full))] {
+            assert_eq!(
+                svc.query(&[(0, 99)], &[(0, 1)]).unwrap_err(),
+                ServeError::UnknownEdge { u: 0, v: 99 }
+            );
+            // Unknown faults error even when every pair is trivial.
+            assert_eq!(
+                svc.query(&[(0, 99)], &[(3, 3)]).unwrap_err(),
+                ServeError::UnknownEdge { u: 0, v: 99 }
+            );
+            assert_eq!(
+                svc.query(&[], &[(0, 99)]).unwrap_err(),
+                ServeError::VertexOutOfRange { v: 99 }
+            );
+            // Trivial pairs answer before the budget check…
+            assert_eq!(
+                svc.query(&[(0, 1), (1, 2), (2, 3)], &[(5, 5)])
+                    .unwrap()
+                    .as_slice(),
+                &[true]
+            );
+            // …but non-trivial pairs surface it.
+            assert!(matches!(
+                svc.query(&[(0, 1), (1, 2), (2, 3)], &[(0, 5)]),
+                Err(ServeError::Query(QueryError::TooManyFaults { .. }))
+            ));
+            assert!(matches!(
+                svc.with_session_ids(&[999], |_| ()),
+                Err(ServeError::UnknownEdgeId { id: 999 })
+            ));
+        }
+    }
+
+    #[test]
+    fn with_session_exposes_certificates_and_faults_by_id() {
+        let svc = torus_service(Some(EdgeEncoding::Compact));
+        // (0,1) has some edge ID; with_session_ids([0, 1]) prepares the
+        // first two edges as faults.
+        let connected = svc
+            .with_session_ids(&[0, 1], |served| {
+                assert!(served.vertex(0).is_some());
+                assert!(served.vertex(99).is_none());
+                served.certified(0, 7).unwrap().map(<[(u32, u32)]>::to_vec)
+            })
+            .unwrap();
+        assert!(connected.is_some());
+        let by_pairs = svc
+            .with_session(&[(0, 1), (0, 4)], |served| served.connected(0, 7).unwrap())
+            .unwrap();
+        assert!(by_pairs);
+    }
+
+    #[test]
+    fn trivial_answer_agrees_with_query_and_orders_before_validation() {
+        for svc in [torus_service(None), torus_service(Some(EdgeEncoding::Full))] {
+            // Same vertex / same component / out of range.
+            assert_eq!(svc.trivial_answer(3, 3), Ok(Some(true)));
+            assert_eq!(svc.trivial_answer(0, 7), Ok(None));
+            assert_eq!(
+                svc.trivial_answer(0, 99),
+                Err(ServeError::VertexOutOfRange { v: 99 })
+            );
+            // Whenever it answers, the full query path must agree — and
+            // it answers without any fault set at all, which is exactly
+            // the trivial-before-validation ordering answer() uses.
+            for s in 0..svc.n() {
+                for t in 0..svc.n() {
+                    if let Some(a) = svc.trivial_answer(s, t).unwrap() {
+                        assert_eq!(svc.query(&[], &[(s, t)]).unwrap().get(0), Some(a));
+                    }
+                }
+            }
+        }
+        // A disconnected graph exercises the Some(false) arm.
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (3, 4)]);
+        let scheme = FtcScheme::build(&g, &Params::deterministic(1)).unwrap();
+        let svc = ConnectivityService::from_labels(scheme.into_labels());
+        assert_eq!(svc.trivial_answer(0, 3), Ok(Some(false)));
+    }
+
+    #[test]
+    fn empty_faults_and_empty_pairs_are_valid() {
+        let svc = torus_service(None);
+        let answers = svc.query(&[], &[(0, 7), (3, 3)]).unwrap();
+        assert_eq!(answers.as_slice(), &[true, true]);
+        assert!(answers.all_connected());
+        let none = svc.query(&[(0, 1)], &[]).unwrap();
+        assert!(none.is_empty());
+    }
+}

@@ -3,13 +3,17 @@
 //! representation of network connectivity that survives link failures.
 //!
 //! Each switch/host stores only its own label; a controller that learns of
-//! a set of failed links (their labels) can answer "can pod A still reach
-//! pod B?" for any pair, without a topology database.
+//! a set of failed links can answer "can pod A still reach pod B?" for any
+//! pair, without a topology database. This example runs the controller as
+//! a [`ConnectivityService`]: one `Send + Sync + Clone` handle shared by
+//! every worker thread, faults named by endpoint pairs, session scratch
+//! drawn from the service's internal lock-free pool.
 //!
 //! Run with: `cargo run --release --example datacenter_failover`
 
-use ftc::core::{FtcScheme, Params, QueryError};
+use ftc::core::{FtcScheme, Params};
 use ftc::graph::Graph;
+use ftc::serve::{ConnectivityService, ServeError};
 
 fn main() {
     // A fat-tree-like fabric: 6 core switches, 6 aggregation switches (one
@@ -35,7 +39,9 @@ fn main() {
         size.edge_bits,
         size.total_bits as f64 / 8.0 / 1024.0
     );
-    let labels = scheme.labels();
+
+    // The controller: one shared serving handle over the owned labels.
+    let service = ConnectivityService::from_labels(scheme.into_labels());
 
     let host = |pod: usize, i: usize| host0 + pod * hosts_per_pod + i;
     let agg = |pod: usize| pods + pod;
@@ -43,64 +49,73 @@ fn main() {
 
     // Scenario 1: three core uplinks of pod 0 fail — pod 0 still reaches
     // pod 3 through the remaining cores.
-    let session = labels
-        .session((0..3).map(|c| labels.edge_label(agg(0), core(c)).expect("uplink")))
+    let uplinks: Vec<(usize, usize)> = (0..3).map(|c| (agg(0), core(c))).collect();
+    let answers = service
+        .query(&uplinks, &[(host(0, 0), host(3, 1))])
         .unwrap();
-    let ok = session
-        .connected(
-            labels.vertex_label(host(0, 0)),
-            labels.vertex_label(host(3, 1)),
-        )
-        .unwrap();
-    println!("3 uplinks of pod 0 down: host(0,0) ↔ host(3,1) = {ok}");
-    assert!(ok);
+    println!(
+        "3 uplinks of pod 0 down: host(0,0) ↔ host(3,1) = {}",
+        answers.get(0).unwrap()
+    );
+    assert!(answers.all_connected());
 
     // Scenario 2: a host's access link fails — that host is cut off, the
     // rest of its pod is fine.
-    let access = labels
-        .session([labels.edge_label(agg(2), host(2, 3)).expect("access link")])
-        .unwrap();
-    let cut = access
-        .connected(
-            labels.vertex_label(host(2, 3)),
-            labels.vertex_label(host(2, 0)),
+    let access = [(agg(2), host(2, 3))];
+    let answers = service
+        .query(
+            &access,
+            &[(host(2, 3), host(2, 0)), (host(2, 0), host(2, 1))],
         )
         .unwrap();
-    println!("access link of host(2,3) down: host(2,3) ↔ host(2,0) = {cut}");
-    assert!(!cut);
-
-    // Scenario 3: sweep — for every pod pair, how many simultaneous uplink
-    // failures of the source pod can the fabric tolerate? (Answer: all but
-    // one of its uplinks, i.e. up to f of them with our budget.)
-    let mut tolerated = 0usize;
-    let mut queries = 0usize;
-    for p in 0..pods {
-        for q in 0..pods {
-            if p == q {
-                continue;
-            }
-            for kill in 1..=f.min(pods - 1) {
-                let session = labels
-                    .session((0..kill).map(|c| labels.edge_label(agg(p), core(c)).unwrap()))
-                    .unwrap_or_else(|e| match e {
-                        QueryError::TooManyFaults { .. } => unreachable!("kill <= f"),
-                        e => panic!("session failed: {e}"),
-                    });
-                queries += 1;
-                match session.connected(
-                    labels.vertex_label(host(p, 0)),
-                    labels.vertex_label(host(q, 0)),
-                ) {
-                    Ok(true) => tolerated += 1,
-                    Ok(false) => {}
-                    Err(e) => panic!("query failed: {e}"),
-                }
-            }
-        }
-    }
     println!(
-        "failure sweep: {tolerated}/{queries} pod-pair queries remained connected (expected: all, \
-         since {} uplinks survive every scenario)",
+        "access link of host(2,3) down: host(2,3) ↔ host(2,0) = {}, host(2,0) ↔ host(2,1) = {}",
+        answers.get(0).unwrap(),
+        answers.get(1).unwrap()
+    );
+    assert_eq!(answers.as_slice(), &[false, true]);
+
+    // Scenario 3: concurrent failure sweep — one worker thread per source
+    // pod, all hammering the same service handle: for every pod pair, how
+    // many simultaneous uplink failures of the source pod can the fabric
+    // tolerate? (Answer: all scenarios stay connected, since at least
+    // `pods − f` uplinks survive every one.)
+    let (tolerated, queries): (usize, usize) = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..pods)
+            .map(|p| {
+                let service = service.clone();
+                scope.spawn(move || {
+                    let mut tolerated = 0usize;
+                    let mut queries = 0usize;
+                    for q in 0..pods {
+                        if p == q {
+                            continue;
+                        }
+                        for kill in 1..=f.min(pods - 1) {
+                            let faults: Vec<(usize, usize)> =
+                                (0..kill).map(|c| (agg(p), core(c))).collect();
+                            let pairs = [(host(p, 0), host(q, 0))];
+                            queries += 1;
+                            match service.query(&faults, &pairs) {
+                                Ok(a) if a.all_connected() => tolerated += 1,
+                                Ok(_) => {}
+                                Err(ServeError::Query(e)) => panic!("query failed: {e}"),
+                                Err(e) => panic!("bad request: {e}"),
+                            }
+                        }
+                    }
+                    (tolerated, queries)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sweep worker"))
+            .fold((0, 0), |(a, b), (c, d)| (a + c, b + d))
+    });
+    println!(
+        "failure sweep ({pods} threads, one shared service): {tolerated}/{queries} pod-pair \
+         queries remained connected (expected: all, since {} uplinks survive every scenario)",
         pods - f
     );
     assert_eq!(tolerated, queries);

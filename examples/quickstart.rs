@@ -1,12 +1,13 @@
 //! Quickstart: build an f-FTC labeling, archive the labels as one blob,
-//! answer connectivity queries under edge faults straight from the
-//! archive — without ever touching the graph again.
+//! serve connectivity queries under edge faults straight from the
+//! archive — concurrently, without ever touching the graph again.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
 use ftc::core::store::{EdgeEncoding, LabelStore, LabelStoreView};
 use ftc::core::{FtcScheme, Params};
 use ftc::graph::Graph;
+use ftc::serve::ConnectivityService;
 
 fn main() {
     // A 4×4 torus: every vertex has degree 4, the graph is 4-edge-connected.
@@ -47,6 +48,24 @@ fn main() {
         .expect("well-formed query");
     println!("0 ↔ 10 with 3 faults around vertex 0: connected = {ok}");
     assert!(ok);
+
+    // Serve the same archive to many threads through one handle: the
+    // blob moves into an `Arc<[u8]>`, the service is Send + Sync +
+    // Clone, and every query draws its session scratch from an internal
+    // lock-free pool.
+    let service = ConnectivityService::from_archive_bytes(blob).expect("well-formed archive");
+    std::thread::scope(|s| {
+        for worker in 0..4 {
+            let service = service.clone();
+            s.spawn(move || {
+                let answers = service
+                    .query(&[(0, 1), (0, 4), (0, 12)], &[(0, 10), (5, 9)])
+                    .expect("well-formed queries");
+                assert!(answers.all_connected());
+                println!("worker {worker}: both pairs connected under 3 faults");
+            });
+        }
+    });
 
     let labels = scheme.labels();
 

@@ -6,21 +6,32 @@
 //!               [--k N] [--encoding full|compact] [--threads N]
 //! ftc-cli info  <labels.ftc>
 //! ftc-cli query <labels.ftc> <s> <t> [--fault U:V ...] [--pair S:T ...]
+//! ftc-cli serve <labels.ftc> [--threads N]
 //! ```
 //!
 //! `graph.txt` is an edge list: one `u v` pair per line (`#` comments
 //! allowed); vertex IDs are dense non-negative integers. `build` exports
 //! every label into a **single archive blob** (`ftc-core::store`
 //! format: magic, version, header, offset/endpoint index, concatenated
-//! label bytes). `query` answers connectivity **from the archive
-//! alone** — the archive is opened zero-copy, faults are resolved
-//! through its endpoint index, and no owned label is ever materialized;
-//! the original graph file is never re-read.
+//! label bytes). `query` and `serve` answer connectivity **from the
+//! archive alone** through a shared [`ConnectivityService`] — the
+//! archive is opened zero-copy into `Arc`-backed views, faults are
+//! resolved through its endpoint index, and no owned label is ever
+//! materialized; the original graph file is never re-read.
+//!
+//! `serve` reads line-delimited queries from stdin — each line
+//! `s t [u:v ...]` names one vertex pair plus its fault edges — and
+//! writes one `u v connected|disconnected` line per query to stdout.
+//! With `--threads N` the whole input is read first and answered by `N`
+//! worker threads hammering one shared service (answers stay in input
+//! order); without it, queries stream one at a time.
 
 use ftc::core::store::{EdgeEncoding, LabelStore, LabelStoreView};
-use ftc::core::{FtcScheme, HierarchyBackend, Params, QuerySession, ThresholdPolicy};
+use ftc::core::{FtcScheme, HierarchyBackend, Params, ThresholdPolicy};
 use ftc::graph::Graph;
+use ftc::serve::ConnectivityService;
 use std::fs;
+use std::io::{BufRead, Write};
 use std::path::Path;
 use std::process::ExitCode;
 
@@ -30,6 +41,7 @@ fn main() -> ExitCode {
         Some("build") => cmd_build(&args[1..]),
         Some("info") => cmd_info(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         _ => Err(usage()),
     };
     match result {
@@ -42,7 +54,7 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> String {
-    "usage:\n  ftc-cli build <graph.txt> <labels.ftc> [--f N] [--backend epsnet|greedy|sampling] [--k N] [--encoding full|compact] [--threads N]\n  ftc-cli info  <labels.ftc>\n  ftc-cli query <labels.ftc> <s> <t> [--fault U:V ...] [--pair S:T ...]".into()
+    "usage:\n  ftc-cli build <graph.txt> <labels.ftc> [--f N] [--backend epsnet|greedy|sampling] [--k N] [--encoding full|compact] [--threads N]\n  ftc-cli info  <labels.ftc>\n  ftc-cli query <labels.ftc> <s> <t> [--fault U:V ...] [--pair S:T ...]\n  ftc-cli serve <labels.ftc> [--threads N]   (queries `s t [u:v ...]` on stdin)".into()
 }
 
 // ---------------------------------------------------------------------------
@@ -143,78 +155,26 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
     let s: usize = s_str.parse().map_err(|_| "s must be a vertex ID")?;
     let t: usize = t_str.parse().map_err(|_| "t must be a vertex ID")?;
 
-    let blob = read_archive_bytes(path)?;
-    let view = LabelStoreView::open(&blob).map_err(|e| format!("{path}: {e}"))?;
+    let service = open_service(path)?;
 
-    let parse_pair = |flag: &str, spec: &String| -> Result<(usize, usize), String> {
-        let (u, v) = spec
-            .split_once(':')
-            .ok_or_else(|| format!("--{flag} expects U:V, got '{spec}'"))?;
-        let u: usize = u.parse().map_err(|_| format!("bad --{flag} endpoint"))?;
-        let v: usize = v.parse().map_err(|_| format!("bad --{flag} endpoint"))?;
-        Ok((u, v))
-    };
     let mut fault_pairs = Vec::new();
     for spec in flags.iter().filter(|(k, _)| k == "fault").map(|(_, v)| v) {
-        let (u, v) = parse_pair("fault", spec)?;
-        // Resolve eagerly: an unknown fault edge is an error even when
-        // every query pair turns out to answer trivially.
-        if view.edge_id(u, v).is_none() {
-            return Err(format!("no edge {u}–{v} in the archived labeling"));
-        }
-        fault_pairs.push((u, v));
+        fault_pairs.push(parse_colon_pair("fault", spec)?);
     }
     // The positional pair plus any number of extra --pair queries, all
-    // answered against one prepared session.
+    // answered against one prepared session. The service validates
+    // faults eagerly (unknown fault edges error even when every pair is
+    // trivial) and answers trivial pairs before budget enforcement.
     let mut query_pairs = vec![(s, t)];
     for spec in flags.iter().filter(|(k, _)| k == "pair").map(|(_, v)| v) {
-        query_pairs.push(parse_pair("pair", spec)?);
+        query_pairs.push(parse_colon_pair("pair", spec)?);
     }
 
-    let resolve = |v: usize| {
-        view.vertex(v)
-            .ok_or_else(|| format!("vertex {v} out of range"))
-    };
-    let vertex_pairs = query_pairs
-        .iter()
-        .map(|&(a, b)| Ok((resolve(a)?, resolve(b)?)))
-        .collect::<Result<Vec<_>, String>>()?;
-
-    // Trivial queries answer before fault-budget enforcement (the
-    // decoder's historical check order); the remaining pairs share one
-    // session build and one batched lookup pass.
-    let mut answers: Vec<Option<bool>> = Vec::with_capacity(vertex_pairs.len());
-    let mut nontrivial = Vec::new();
-    for &(vs, vt) in &vertex_pairs {
-        let trivial = QuerySession::trivial_answer(&vs, &vt).map_err(|e| e.to_string())?;
-        if trivial.is_none() {
-            nontrivial.push((vs, vt));
-        }
-        answers.push(trivial);
-    }
-    if !nontrivial.is_empty() {
-        // One-shot command: the plain entry point (throwaway scratch
-        // internally) is the right call; scratch reuse pays off in
-        // serving loops, not here.
-        let session = view
-            .session(fault_pairs.iter().copied())
-            .map_err(|e| e.to_string())?;
-        let mut batch = Vec::with_capacity(nontrivial.len());
-        session
-            .connected_many(&nontrivial, &mut batch)
-            .map_err(|e| e.to_string())?;
-        let mut it = batch.into_iter();
-        for slot in answers.iter_mut().filter(|a| a.is_none()) {
-            *slot = it.next();
-        }
-    }
-
+    let answers = service
+        .query(&fault_pairs, &query_pairs)
+        .map_err(|e| e.to_string())?;
     for (&(a, b), answer) in query_pairs.iter().zip(&answers) {
-        let verdict = if answer.expect("all pairs answered") {
-            "connected"
-        } else {
-            "disconnected"
-        };
+        let verdict = if answer { "connected" } else { "disconnected" };
         if query_pairs.len() == 1 {
             println!("{verdict}");
         } else {
@@ -225,11 +185,137 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
 }
 
 // ---------------------------------------------------------------------------
+// serve
+// ---------------------------------------------------------------------------
+
+/// One parsed stdin query: a vertex pair plus its fault edges.
+struct ServeQuery {
+    s: usize,
+    t: usize,
+    faults: Vec<(usize, usize)>,
+}
+
+/// Parses a `s t [u:v ...]` query line; `None` for blanks and comments.
+fn parse_query_line(line: &str) -> Result<Option<ServeQuery>, String> {
+    let line = line.split('#').next().unwrap_or("").trim();
+    if line.is_empty() {
+        return Ok(None);
+    }
+    let mut it = line.split_whitespace();
+    let parse_vertex = |tok: Option<&str>| -> Result<usize, String> {
+        tok.ok_or_else(|| format!("query '{line}': expected 's t [u:v ...]'"))?
+            .parse()
+            .map_err(|_| format!("query '{line}': bad vertex ID"))
+    };
+    let s = parse_vertex(it.next())?;
+    let t = parse_vertex(it.next())?;
+    let faults = it
+        .map(|tok| parse_colon_pair("fault", tok))
+        .collect::<Result<Vec<_>, String>>()?;
+    Ok(Some(ServeQuery { s, t, faults }))
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let (positional, flags) = split_flags(args)?;
+    let [path] = positional.as_slice() else {
+        return Err(usage());
+    };
+    let threads: usize = flag_value(&flags, "threads")
+        .unwrap_or_else(|| "0".into())
+        .parse()
+        .map_err(|_| "--threads expects an integer (0 = stream on this thread)")?;
+    let service = open_service(path)?;
+
+    let stdin = std::io::stdin().lock();
+    let mut stdout = std::io::stdout().lock();
+    let report = |out: &mut dyn Write, q: &ServeQuery, connected: bool| -> Result<(), String> {
+        let verdict = if connected {
+            "connected"
+        } else {
+            "disconnected"
+        };
+        writeln!(out, "{} {} {verdict}", q.s, q.t).map_err(|e| format!("cannot write: {e}"))
+    };
+
+    if threads <= 1 {
+        // Streaming mode: answer each line as it arrives.
+        for line in stdin.lines() {
+            let line = line.map_err(|e| format!("cannot read stdin: {e}"))?;
+            let Some(q) = parse_query_line(&line)? else {
+                continue;
+            };
+            let answers = service
+                .query(&q.faults, &[(q.s, q.t)])
+                .map_err(|e| format!("query '{} {}': {e}", q.s, q.t))?;
+            report(&mut stdout, &q, answers.get(0).expect("one answer"))?;
+            stdout.flush().map_err(|e| format!("cannot write: {e}"))?;
+        }
+        return Ok(());
+    }
+
+    // Batch mode: read everything, fan out over one shared service,
+    // answer in input order.
+    let queries = stdin
+        .lines()
+        .map(|line| {
+            let line = line.map_err(|e| format!("cannot read stdin: {e}"))?;
+            parse_query_line(&line)
+        })
+        .filter_map(Result::transpose)
+        .collect::<Result<Vec<_>, String>>()?;
+    let chunk = queries.len().div_ceil(threads).max(1);
+    let answers: Vec<Result<bool, String>> = std::thread::scope(|scope| {
+        let service = &service;
+        let handles: Vec<_> = queries
+            .chunks(chunk)
+            .map(|chunk| {
+                scope.spawn(move || {
+                    chunk
+                        .iter()
+                        .map(|q| {
+                            service
+                                .query(&q.faults, &[(q.s, q.t)])
+                                .map(|a| a.get(0).expect("one answer"))
+                                .map_err(|e| format!("query '{} {}': {e}", q.s, q.t))
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("serve worker panicked"))
+            .collect()
+    });
+    for (q, answer) in queries.iter().zip(answers) {
+        report(&mut stdout, q, answer?)?;
+    }
+    stdout.flush().map_err(|e| format!("cannot write: {e}"))?;
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
 // helpers
 // ---------------------------------------------------------------------------
 
 fn read_archive_bytes(path: &str) -> Result<Vec<u8>, String> {
     fs::read(path).map_err(|e| format!("cannot read archive {path}: {e}"))
+}
+
+/// Opens an archive file as a shared, thread-safe connectivity service.
+fn open_service(path: &str) -> Result<ConnectivityService, String> {
+    let blob = read_archive_bytes(path)?;
+    ConnectivityService::from_archive_bytes(blob).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Parses a `U:V` endpoint pair.
+fn parse_colon_pair(what: &str, spec: &str) -> Result<(usize, usize), String> {
+    let (u, v) = spec
+        .split_once(':')
+        .ok_or_else(|| format!("--{what} expects U:V, got '{spec}'"))?;
+    let u: usize = u.parse().map_err(|_| format!("bad --{what} endpoint"))?;
+    let v: usize = v.parse().map_err(|_| format!("bad --{what} endpoint"))?;
+    Ok((u, v))
 }
 
 /// Parsed command line: positional arguments and `--name value` flags.

@@ -38,4 +38,5 @@ pub use ftc_field as field;
 pub use ftc_geometry as geometry;
 pub use ftc_graph as graph;
 pub use ftc_routing as routing;
+pub use ftc_serve as serve;
 pub use ftc_sketch as sketch;

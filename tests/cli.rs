@@ -174,6 +174,84 @@ fn compact_archives_round_trip_and_undercut_full() {
     let _ = fs::remove_dir_all(&dir);
 }
 
+/// `serve` answers line-delimited stdin queries in order — identically
+/// in streaming mode and in `--threads N` batch mode.
+#[test]
+fn serve_answers_stdin_queries_in_order() {
+    use std::io::Write;
+    use std::process::Stdio;
+
+    let dir = std::env::temp_dir().join(format!("ftc_cli_serve_{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    let graph_file = dir.join("cycle6.txt");
+    fs::write(&graph_file, "0 1\n1 2\n2 3\n3 4\n4 5\n5 0\n").unwrap();
+    let archive = dir.join("labels.ftc");
+    let archive_str = archive.to_str().unwrap();
+    assert!(
+        run(&[
+            "build",
+            graph_file.to_str().unwrap(),
+            archive_str,
+            "--f",
+            "2"
+        ])
+        .0
+    );
+
+    let input = "# one query per line: s t [u:v ...]\n\
+                 0 3 0:1\n\
+                 1 4 0:1 3:4\n\
+                 1 4 1:0 4:3\n\
+                 2 2 0:1\n\
+                 \n\
+                 0 3\n";
+    let want = "0 3 connected\n\
+                1 4 disconnected\n\
+                1 4 disconnected\n\
+                2 2 connected\n\
+                0 3 connected\n";
+    for extra in [&[][..], &["--threads", "4"][..]] {
+        let mut args = vec!["serve", archive_str];
+        args.extend_from_slice(extra);
+        let mut child = cli()
+            .args(&args)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("spawn ftc-cli serve");
+        child
+            .stdin
+            .take()
+            .unwrap()
+            .write_all(input.as_bytes())
+            .unwrap();
+        let out = child.wait_with_output().unwrap();
+        assert!(
+            out.status.success(),
+            "serve {extra:?} failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert_eq!(String::from_utf8_lossy(&out.stdout), want, "mode {extra:?}");
+    }
+
+    // Errors name the offending query.
+    let mut child = cli()
+        .args(["serve", archive_str])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    child.stdin.take().unwrap().write_all(b"0 3 0:2\n").unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("no edge"));
+
+    let _ = fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn cli_error_paths() {
     let (ok, _, stderr) = run(&[]);

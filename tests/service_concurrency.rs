@@ -1,0 +1,148 @@
+//! Concurrency tests for the serving layer: N threads hammer one shared
+//! [`ConnectivityService`] with interleaved fault-set sizes and every
+//! answer is checked against the BFS oracle; plus registry lookups
+//! racing insert/evict.
+//!
+//! Run in release in CI (`cargo test --release --test
+//! service_concurrency`) — debug-mode runs are valid, just slower.
+
+use ftc::core::store::{EdgeEncoding, LabelStore};
+use ftc::core::{FtcScheme, Params};
+use ftc::graph::{connectivity, generators, Graph};
+use ftc::serve::{ConnectivityService, ServiceRegistry};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Every thread draws a different interleaving of fault-set sizes (0, 1,
+/// …, f) and pair samples over one shared service; every answer must
+/// equal the BFS oracle's.
+fn hammer(service: &ConnectivityService, g: &Graph, f: usize, threads: usize, rounds: usize) {
+    let endpoint_of: Vec<(usize, usize)> = g.edge_iter().map(|(_, u, v)| (u, v)).collect();
+    let checked = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for worker in 0..threads {
+            let (service, g, endpoint_of, checked) = (service, g, &endpoint_of, &checked);
+            scope.spawn(move || {
+                for round in 0..rounds {
+                    // Interleave sizes differently per thread.
+                    let fsize = (worker + round) % (f + 1);
+                    let seed = (worker * 1009 + round) as u64;
+                    let fset = generators::random_fault_set(g, fsize, seed);
+                    let faults: Vec<(usize, usize)> =
+                        fset.iter().map(|&e| endpoint_of[e]).collect();
+                    let pairs: Vec<(usize, usize)> = (0..16)
+                        .map(|i| {
+                            let a = (worker * 7919 + round * 31 + i * 13) % g.n();
+                            let b = (worker * 104_729 + round * 17 + i * 7) % g.n();
+                            (a, b)
+                        })
+                        .collect();
+                    let answers = service.query(&faults, &pairs).expect("query");
+                    for (&(s, t), got) in pairs.iter().zip(&answers) {
+                        let want = connectivity::connected_avoiding(g, s, t, &fset);
+                        assert_eq!(
+                            got, want,
+                            "worker {worker} round {round} ({s},{t},{fset:?})"
+                        );
+                        checked.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    });
+    assert_eq!(checked.load(Ordering::Relaxed), threads * rounds * 16);
+}
+
+#[test]
+fn threads_hammering_owned_service_match_bfs_oracle() {
+    let f = 3;
+    let g = generators::random_connected(40, 70, 11);
+    let scheme = FtcScheme::build(&g, &Params::deterministic(f)).unwrap();
+    let service = ConnectivityService::from_labels(scheme.into_labels());
+    hammer(&service, &g, f, 8, 24);
+}
+
+#[test]
+fn threads_hammering_archive_service_match_bfs_oracle() {
+    let f = 3;
+    let g = generators::random_connected(40, 70, 23);
+    let scheme = FtcScheme::build(&g, &Params::deterministic(f)).unwrap();
+    for encoding in [EdgeEncoding::Full, EdgeEncoding::Compact] {
+        let blob = LabelStore::to_vec(scheme.labels(), encoding);
+        let service = ConnectivityService::from_archive_bytes(blob).unwrap();
+        hammer(&service, &g, f, 8, 12);
+    }
+}
+
+/// Lookups and queries race insert/evict cycles on the same IDs; every
+/// handle obtained must keep answering correctly even when its entry has
+/// been evicted or replaced mid-flight.
+#[test]
+fn registry_lookups_race_insert_and_evict() {
+    let f = 2;
+    let g = generators::random_connected(24, 36, 5);
+    let scheme = FtcScheme::build(&g, &Params::deterministic(f)).unwrap();
+    let labels = scheme.into_labels();
+    let blob = LabelStore::to_vec(&labels, EdgeEncoding::Full);
+
+    let registry = ServiceRegistry::new();
+    registry.insert("g/0", ConnectivityService::from_labels(labels.clone()));
+
+    let endpoint_of: Vec<(usize, usize)> = g.edge_iter().map(|(_, u, v)| (u, v)).collect();
+    std::thread::scope(|scope| {
+        // Churn threads: register/replace/evict the same IDs in a loop.
+        for churn in 0..2 {
+            let (registry, labels, blob) = (&registry, &labels, &blob);
+            scope.spawn(move || {
+                for round in 0..200 {
+                    let id = format!("g/{}", (churn + round) % 3);
+                    if round % 2 == 0 {
+                        registry.insert(&id, ConnectivityService::from_labels(labels.clone()));
+                    } else {
+                        registry.insert(
+                            &id,
+                            ConnectivityService::from_archive_bytes(blob.clone()).unwrap(),
+                        );
+                    }
+                    if round % 5 == 0 {
+                        registry.evict(&id);
+                    }
+                    let _ = registry.ids();
+                }
+            });
+        }
+        // Lookup threads: whatever handle they get must answer correctly.
+        for worker in 0..4 {
+            let (registry, g, endpoint_of) = (&registry, &g, &endpoint_of);
+            scope.spawn(move || {
+                let mut served = 0usize;
+                for round in 0..200 {
+                    let id = format!("g/{}", (worker + round) % 3);
+                    let Some(service) = registry.get(&id) else {
+                        continue;
+                    };
+                    let fset = generators::random_fault_set(g, f, (worker * 131 + round) as u64);
+                    let faults: Vec<(usize, usize)> =
+                        fset.iter().map(|&e| endpoint_of[e]).collect();
+                    let (s, t) = (round % g.n(), (round * 7 + worker) % g.n());
+                    let answers = service.query(&faults, &[(s, t)]).expect("query");
+                    assert_eq!(
+                        answers.get(0).unwrap(),
+                        connectivity::connected_avoiding(g, s, t, &fset),
+                        "worker {worker} round {round}"
+                    );
+                    served += 1;
+                }
+                // The hammer must actually have found services most of
+                // the time (churn only evicts 1 in 5 rounds).
+                assert!(served > 0, "worker {worker} never found a service");
+            });
+        }
+    });
+    // "g/0" existed at the start; after the dust settles the registry is
+    // still internally consistent.
+    let ids = registry.ids();
+    assert!(ids.len() <= 3);
+    for id in ids {
+        assert!(registry.get(&id).is_some());
+    }
+}

@@ -1,13 +1,11 @@
 //! Differential property tests for the session query API: for random
 //! graphs, hierarchy backends, and fault sets, the reusable
-//! [`QuerySession`], the (deprecated) one-shot free functions, and the
-//! ground-truth BFS oracle must agree on every pair — and zero-copy
-//! label-view decoding over serialized bytes must agree with owned-label
-//! decoding bit-for-bit.
-#![allow(deprecated)]
+//! [`QuerySession`] must agree with the ground-truth BFS oracle on every
+//! pair — and zero-copy label-view decoding over serialized bytes must
+//! agree with owned-label decoding bit-for-bit.
 
 use ftc::core::serial::{edge_to_bytes, vertex_to_bytes, EdgeLabelView, VertexLabelView};
-use ftc::core::{certified_connected, connected, FtcScheme, Params, QuerySession};
+use ftc::core::{FtcScheme, Params, QuerySession};
 use ftc::graph::{connectivity, generators};
 use proptest::prelude::*;
 
@@ -22,11 +20,10 @@ fn backends(seed: u64) -> [Params; 3] {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
-    /// QuerySession ≡ free-function `connected` ≡ BFS oracle, across
-    /// random graphs, all hierarchy backends, and random fault sets
-    /// (including the empty set).
+    /// QuerySession ≡ BFS oracle, across random graphs, all hierarchy
+    /// backends, and random fault sets (including the empty set).
     #[test]
-    fn session_equals_free_function_equals_oracle(
+    fn session_equals_oracle(
         n in 6usize..=18,
         extra in 0usize..=10,
         seed in any::<u64>(),
@@ -40,25 +37,21 @@ proptest! {
             let scheme = FtcScheme::build(&g, &params).unwrap();
             let l = scheme.labels();
             let session = l.session(fset.iter().map(|&e| l.edge_label_by_id(e))).unwrap();
-            let fault_refs: Vec<_> = fset.iter().map(|&e| l.edge_label_by_id(e)).collect();
             for s in 0..g.n() {
                 for t in 0..g.n() {
                     let oracle = connectivity::connected_avoiding(&g, s, t, &fset);
                     let via_session =
                         session.connected(l.vertex_label(s), l.vertex_label(t)).unwrap();
-                    let via_free =
-                        connected(l.vertex_label(s), l.vertex_label(t), &fault_refs).unwrap();
                     prop_assert_eq!(via_session, oracle, "session vs oracle at ({}, {})", s, t);
-                    prop_assert_eq!(via_free, oracle, "free fn vs oracle at ({}, {})", s, t);
                 }
             }
         }
     }
 
-    /// Certificates from the session and the free function agree on
-    /// existence, and both expand to genuine fragment connectivity.
+    /// Certificates exist exactly when the pair is connected, and a
+    /// per-session certificate never contradicts the oracle.
     #[test]
-    fn certificates_agree_on_existence(
+    fn certificates_agree_with_oracle(
         n in 6usize..=16,
         extra in 1usize..=8,
         seed in any::<u64>(),
@@ -70,21 +63,22 @@ proptest! {
         let scheme = FtcScheme::build(&g, &Params::deterministic(2)).unwrap();
         let l = scheme.labels();
         let session = l.session(fset.iter().map(|&e| l.edge_label_by_id(e))).unwrap();
-        let fault_refs: Vec<_> = fset.iter().map(|&e| l.edge_label_by_id(e)).collect();
         for s in 0..g.n() {
             for t in 0..g.n() {
-                let via_session = session
+                let cert = session
                     .certified(l.vertex_label(s), l.vertex_label(t))
-                    .unwrap()
-                    .map(<[(u32, u32)]>::to_vec);
-                let via_free =
-                    certified_connected(l.vertex_label(s), l.vertex_label(t), &fault_refs)
-                        .unwrap();
-                prop_assert_eq!(via_session.is_some(), via_free.is_some());
+                    .unwrap();
                 prop_assert_eq!(
-                    via_session.is_some(),
+                    cert.is_some(),
                     connectivity::connected_avoiding(&g, s, t, &fset)
                 );
+                // Certificate endpoints are valid pre-orders.
+                if let Some(cert) = cert {
+                    for &(pa, pb) in cert {
+                        prop_assert!((pa as usize) < l.header().aux_n as usize);
+                        prop_assert!((pb as usize) < l.header().aux_n as usize);
+                    }
+                }
             }
         }
     }
@@ -140,34 +134,25 @@ proptest! {
     }
 }
 
-/// The deprecated `BatchQuery` shim answers empty fault sets without
-/// panicking and agrees with the session on non-empty ones.
+/// Empty fault sets are valid prepared states and answer via ancestry
+/// component equality, agreeing with the oracle on every pair.
 #[test]
-fn batch_query_shim_equivalence() {
-    use ftc::core::oracle::BatchQuery;
+fn empty_fault_sets_answer_component_equality() {
     let g = generators::random_connected(20, 24, 17);
     let scheme = FtcScheme::build(&g, &Params::deterministic(2)).unwrap();
     let l = scheme.labels();
-    for seed in 0..8u64 {
-        for fsize in [0usize, 1, 2] {
-            let fset = generators::random_fault_set(&g, fsize, seed);
-            let faults: Vec<_> = fset.iter().map(|&e| l.edge_label_by_id(e)).collect();
-            let batch = BatchQuery::new(&faults).unwrap();
-            let session = l
-                .session(fset.iter().map(|&e| l.edge_label_by_id(e)))
-                .unwrap();
-            for s in 0..g.n() {
-                for t in 0..g.n() {
-                    assert_eq!(
-                        batch
-                            .connected(l.vertex_label(s), l.vertex_label(t))
-                            .unwrap(),
-                        session
-                            .connected(l.vertex_label(s), l.vertex_label(t))
-                            .unwrap(),
-                    );
-                }
-            }
+    let session = l
+        .session([] as [&ftc::core::EdgeLabel<ftc::core::RsVector>; 0])
+        .unwrap();
+    assert_eq!(session.num_faults(), 0);
+    for s in 0..g.n() {
+        for t in 0..g.n() {
+            assert_eq!(
+                session
+                    .connected(l.vertex_label(s), l.vertex_label(t))
+                    .unwrap(),
+                connectivity::connected_avoiding(&g, s, t, &[]),
+            );
         }
     }
 }
