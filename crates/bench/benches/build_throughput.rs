@@ -1,0 +1,62 @@
+//! `build_throughput` — the construction pipeline, graph → servable
+//! archive.
+//!
+//! Three shapes of the same workload:
+//!
+//! * `build`: owned `SchemeBuilder::build` (slab-backed `LabelSet`, no
+//!   serialization);
+//! * `build_to_vec`: the historical archive flow — owned build, then
+//!   `LabelStore::to_vec` (labels held twice: slab + blob);
+//! * `build_store`: the streaming pipeline — workers write syndrome rows
+//!   straight into the final blob, labels never materialized.
+//!
+//! `perf_report --only-build` records the machine-readable counterpart
+//! (`BENCH_build.json`) at larger sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ftc_bench::{calibrated_params, Flavor};
+use ftc_core::store::{EdgeEncoding, LabelStore};
+use ftc_core::FtcScheme;
+use ftc_graph::generators;
+use std::hint::black_box;
+
+fn build_throughput(c: &mut Criterion) {
+    let n = 400usize;
+    let f = 4usize;
+    let g = generators::random_connected(n, 3 * n, 7);
+    let params = calibrated_params(Flavor::DetEpsNet, f, 4 * f * 11);
+
+    let mut group = c.benchmark_group("build_throughput");
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::new("build", n), &n, |b, _| {
+        b.iter(|| {
+            let scheme = FtcScheme::builder(&g)
+                .params(&params)
+                .build()
+                .expect("build");
+            black_box(scheme.labels().m())
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("build_to_vec", n), &n, |b, _| {
+        b.iter(|| {
+            let scheme = FtcScheme::builder(&g)
+                .params(&params)
+                .build()
+                .expect("build");
+            black_box(LabelStore::to_vec(scheme.labels(), EdgeEncoding::Full).len())
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("build_store", n), &n, |b, _| {
+        b.iter(|| {
+            let (store, _) = FtcScheme::builder(&g)
+                .params(&params)
+                .build_store(EdgeEncoding::Full)
+                .expect("build_store");
+            black_box(store.as_bytes().len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, build_throughput);
+criterion_main!(benches);

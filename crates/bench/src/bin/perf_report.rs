@@ -1,6 +1,6 @@
-//! `perf_report` — the machine-readable serving perf baseline.
+//! `perf_report` — the machine-readable serving + build perf baseline.
 //!
-//! Two arms, two JSON reports:
+//! Three arms, three JSON reports:
 //!
 //! * **Session arm** (`BENCH_session.json`, schema `ftc-perf-session/v1`)
 //!   — the prepare-a-fault-set hot path across a grid of graph sizes,
@@ -14,17 +14,24 @@
 //!   queries/sec and session builds/sec per thread count, plus the
 //!   machine's core count (scaling beyond the core count is not
 //!   expected — the committed numbers record which machine produced
-//!   them).
+//!   them);
+//! * **Build arm** (`BENCH_build.json`, schema `ftc-perf-build/v1`) —
+//!   end-to-end graph → servable archive throughput through the
+//!   streaming `SchemeBuilder::build_store` pipeline, across graph
+//!   sizes and thread counts (thread-count rows document the scaling on
+//!   the measuring machine; the committed reference numbers come from a
+//!   1-core container, where extra workers only add coordination cost).
 //!
 //! ```text
-//! perf_report [--quick] [--out PATH] [--out-serve PATH]
+//! perf_report [--quick] [--only-build] [--out PATH] [--out-serve PATH] [--out-build PATH]
 //! ```
 //!
 //! `--quick` shrinks the grids and the measurement windows so CI can
 //! validate that the binary runs and emits schema-valid JSON without
-//! gating on numbers. The default output paths are `BENCH_session.json`
-//! and `BENCH_serve.json` in the current directory (the repo root in CI
-//! and local use).
+//! gating on numbers; `--only-build` runs just the build arm (perf
+//! iteration on the construction pipeline). The default output paths are
+//! `BENCH_session.json`, `BENCH_serve.json`, and `BENCH_build.json` in
+//! the current directory (the repo root in CI and local use).
 
 use ftc_bench::{calibrated_params, Flavor};
 use ftc_core::store::{EdgeEncoding, LabelStore, LabelStoreView};
@@ -326,6 +333,103 @@ fn render_serve_json(mode: &str, cells: &[ServeCell]) -> String {
     s
 }
 
+/// One measured build-arm cell: graph → servable archive, end to end.
+struct BuildCell {
+    n: usize,
+    f: usize,
+    threads: usize,
+    builds_per_sec: f64,
+    ms_per_build: f64,
+    archive_bytes: usize,
+}
+
+/// Measures the streaming build arm: repeated
+/// `SchemeBuilder::build_store(Full)` runs (graph in memory → complete
+/// servable archive blob) until the window closes, at least two
+/// measured builds per cell.
+fn measure_build(quick: bool) -> Vec<BuildCell> {
+    // (n, extra chords, f, threads). n ≤ 2000 mirrors the session arm's
+    // workload (3n chords); the large-n row uses a sparser n/2-chord
+    // graph and f = 2 to keep the payload within one container's memory.
+    let grid: &[(usize, usize, usize, usize)] = if quick {
+        &[(200, 600, 4, 1)]
+    } else {
+        &[
+            (500, 1500, 4, 1),
+            (2000, 6000, 4, 1),
+            (2000, 6000, 4, 2),
+            (2000, 6000, 4, 4),
+            (20_000, 10_000, 2, 1),
+            (20_000, 10_000, 2, 4),
+        ]
+    };
+    let window_ms: u64 = if quick { 100 } else { 4000 };
+    let mut cells = Vec::new();
+    for &(n, extra, f, threads) in grid {
+        eprintln!("measuring build arm, n={n} f={f} threads={threads} …");
+        let g = generators::random_connected(n, extra, 7);
+        let params = calibrated_params(Flavor::DetEpsNet, f, 4 * f * 11);
+        let build = || {
+            FtcScheme::builder(&g)
+                .params(&params)
+                .threads(threads)
+                .build_store(EdgeEncoding::Full)
+                .expect("build_store")
+        };
+        let (store, _) = build(); // warm (page cache, allocator arenas)
+        let archive_bytes = store.as_bytes().len();
+        drop(store);
+        let t = Instant::now();
+        let mut count = 0u64;
+        while count < 2 || t.elapsed().as_millis() < window_ms as u128 {
+            std::hint::black_box(build());
+            count += 1;
+        }
+        let secs = t.elapsed().as_secs_f64();
+        cells.push(BuildCell {
+            n,
+            f,
+            threads,
+            builds_per_sec: count as f64 / secs,
+            ms_per_build: 1000.0 * secs / count as f64,
+            archive_bytes,
+        });
+    }
+    cells
+}
+
+fn render_build_json(mode: &str, cells: &[BuildCell]) -> String {
+    let cores = std::thread::available_parallelism().map_or(0, |p| p.get());
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema\": \"ftc-perf-build/v1\",\n");
+    let _ = writeln!(s, "  \"mode\": \"{mode}\",");
+    let _ = writeln!(s, "  \"cores\": {cores},");
+    s.push_str("  \"workload\": \"random_connected(n, extra, seed 7), k = 44f, SchemeBuilder::build_store(EdgeEncoding::Full): graph -> complete servable archive blob; n <= 2000 rows use extra = 3n (the session-arm workload), the n = 20000 rows use extra = n/2 and f = 2\",\n");
+    if mode == "full" {
+        // Historical reference, meaningful only relative to the machine
+        // that produced the committed repo-root baseline — quick CI runs
+        // on arbitrary runners omit it so artifact readers don't compare
+        // against numbers from a different box.
+        s.push_str("  \"baseline_pre_pr\": {\n");
+        s.push_str("    \"note\": \"pre-slab allocating path (per-edge payload Vecs, owned-label clone, double-buffered encode): FtcScheme::build + LabelStore::to_vec at n=2000, f=4, threads=1, measured on the reference machine that produced the committed BENCH_build.json; compare ratios, not absolutes, across machines\",\n");
+        s.push_str("    \"n\": 2000, \"f\": 4, \"threads\": 1,\n");
+        s.push_str("    \"builds_per_sec\": 2.65, \"ms_per_build\": 377.7\n");
+        s.push_str("  },\n");
+    }
+    s.push_str("  \"results\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"n\": {}, \"f\": {}, \"threads\": {}, \"builds_per_sec\": {:.3}, \"ms_per_build\": {:.1}, \"archive_bytes\": {}}}",
+            c.n, c.f, c.threads, c.builds_per_sec, c.ms_per_build, c.archive_bytes
+        );
+        s.push_str(if i + 1 == cells.len() { "\n" } else { ",\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
 /// Minimal structural self-check so CI fails loudly on malformed output
 /// (no JSON parser in the offline environment; this pins the invariants
 /// the schema promises).
@@ -359,6 +463,7 @@ fn validate(json: &str, schema: &str, row_key: &str, rows: usize) -> Result<(), 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let only_build = args.iter().any(|a| a == "--only-build");
     let out_path = args
         .iter()
         .position(|a| a == "--out")
@@ -371,6 +476,39 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .cloned()
         .unwrap_or_else(|| "BENCH_serve.json".into());
+    let out_build_path = args
+        .iter()
+        .position(|a| a == "--out-build")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_build.json".into());
+
+    let mode = if quick { "quick" } else { "full" };
+    let build_cells = measure_build(quick);
+    let build_json = render_build_json(mode, &build_cells);
+    if let Err(e) = validate(
+        &build_json,
+        "ftc-perf-build/v1",
+        "archive_bytes",
+        build_cells.len(),
+    ) {
+        eprintln!("error: generated build report failed validation: {e}");
+        std::process::exit(1);
+    }
+    std::fs::write(&out_build_path, &build_json).unwrap_or_else(|e| {
+        eprintln!("error: cannot write {out_build_path}: {e}");
+        std::process::exit(1);
+    });
+    for c in &build_cells {
+        println!(
+            "build n={:<6} f={:<3} threads={:<2} {:>8.3} builds/s {:>9.1} ms/build {:>11} archive bytes",
+            c.n, c.f, c.threads, c.builds_per_sec, c.ms_per_build, c.archive_bytes
+        );
+    }
+    if only_build {
+        println!("wrote {out_build_path}");
+        return;
+    }
 
     let (ns, fs, window_ms): (&[usize], &[usize], u64) = if quick {
         (&[200], &[4], 60)
@@ -397,7 +535,7 @@ fn main() {
         }
     }
 
-    let json = render_json(if quick { "quick" } else { "full" }, &cells);
+    let json = render_json(mode, &cells);
     if let Err(e) = validate(&json, "ftc-perf-session/v1", "path", cells.len()) {
         eprintln!("error: generated report failed validation: {e}");
         std::process::exit(1);
@@ -408,7 +546,7 @@ fn main() {
     });
 
     let serve_cells = measure_serve(quick);
-    let serve_json = render_serve_json(if quick { "quick" } else { "full" }, &serve_cells);
+    let serve_json = render_serve_json(mode, &serve_cells);
     if let Err(e) = validate(
         &serve_json,
         "ftc-perf-serve/v1",
@@ -435,5 +573,5 @@ fn main() {
             c.threads, c.queries_per_sec, c.sessions_per_sec
         );
     }
-    println!("wrote {out_path} and {out_serve_path}");
+    println!("wrote {out_path}, {out_serve_path}, and {out_build_path}");
 }

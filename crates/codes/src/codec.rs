@@ -144,6 +144,26 @@ impl ThresholdCodec {
         }
     }
 
+    /// Writes the parity row of `id` into a caller-provided buffer
+    /// (overwriting it) — the allocation-free sibling of
+    /// [`ThresholdCodec::edge_row`]. Callers that accumulate the same edge
+    /// into several syndromes (both endpoints of a subdivided edge, say)
+    /// compute the `2k` powers once and XOR the row in, instead of paying
+    /// the multiplication chain per destination.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len() != 2k` or `id` is zero.
+    pub fn fill_edge_row(&self, row: &mut [Gf64], id: Gf64) {
+        assert_eq!(row.len(), self.syndrome_len(), "row length mismatch");
+        assert!(!id.is_zero(), "edge IDs must be nonzero field elements");
+        let mut p = Gf64::ONE;
+        for slot in row.iter_mut() {
+            p *= id;
+            *slot = p;
+        }
+    }
+
     /// XOR of two syndromes (the label of a union of disjoint vertex sets).
     pub fn xor_into(dst: &mut [Gf64], src: &[Gf64]) {
         assert_eq!(dst.len(), src.len(), "syndrome length mismatch");

@@ -27,7 +27,7 @@ use std::fmt;
 /// assert!(labels[0].is_ancestor_of(&labels[3]));
 /// assert!(!labels[2].is_ancestor_of(&labels[1]));
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Clone, Copy, Default, PartialEq, Eq, Hash)]
 pub struct AncestryLabel {
     /// DFS pre-order (0-based, unique).
     pub pre: u32,
@@ -105,15 +105,31 @@ impl Ord for AncestryLabel {
 /// Computes the ancestry labels of all vertices of a rooted forest in
 /// linear time.
 pub fn ancestry_labels(tree: &RootedTree) -> Vec<AncestryLabel> {
+    ancestry_labels_with_threads(tree, 1)
+}
+
+/// [`ancestry_labels`] with the per-vertex label computation fanned out
+/// across up to `threads` workers. Each label is a pure function of the
+/// tree's pre-orders and subtree sizes, so the output is identical for
+/// every thread count (the subtree-size sweep itself stays serial — it
+/// is a single O(n) pass).
+pub fn ancestry_labels_with_threads(tree: &RootedTree, threads: usize) -> Vec<AncestryLabel> {
     let n = tree.n();
     let sizes = tree.subtree_sizes();
-    let mut out = Vec::with_capacity(n);
-    for (v, &size) in sizes.iter().enumerate().take(n) {
+    let mut out = vec![
+        AncestryLabel {
+            pre: 0,
+            last: 0,
+            comp: 0
+        };
+        n
+    ];
+    crate::par::par_fill(&mut out, threads, |v| {
         let pre = tree.pre(v) as u32;
-        let last = (tree.pre(v) + size - 1) as u32;
+        let last = (tree.pre(v) + sizes[v] - 1) as u32;
         let comp = tree.pre(tree.component_root(v)) as u32;
-        out.push(AncestryLabel { pre, last, comp });
-    }
+        AncestryLabel { pre, last, comp }
+    });
     out
 }
 

@@ -46,6 +46,20 @@ impl AuxGraph {
     ///
     /// Panics if `t` was not built over `g` (endpoint mismatches).
     pub fn build(g: &Graph, t: &RootedTree) -> AuxGraph {
+        Self::build_with_threads(g, t, 1)
+    }
+
+    /// [`AuxGraph::build`] with the precomputation stages fanned out
+    /// across up to `threads` workers: the Euler tour runs concurrently
+    /// with the ancestry labels (independent derivations of `T′`), and
+    /// both the per-vertex ancestry labels and the per-edge `σ`-lower
+    /// endpoints are chunked index fills. Every stage is a pure function
+    /// of `T′`, so the result is identical for every thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` was not built over `g` (endpoint mismatches).
+    pub fn build_with_threads(g: &Graph, t: &RootedTree, threads: usize) -> AuxGraph {
         let orig_n = g.n();
         let non_tree: Vec<EdgeId> = t.non_tree_edges().collect();
         let aux_n = orig_n + non_tree.len();
@@ -72,17 +86,26 @@ impl AuxGraph {
         // spanning forest); root at vertex 0 when present.
         let tree = RootedTree::bfs(&tree_graph, 0);
         debug_assert_eq!(tree.tree_edges().count(), tree_graph.m());
-        let tour = EulerTour::new(&tree_graph, &tree);
-        let anc = ancestry_labels(&tree);
+        // The Euler tour and the ancestry labels are independent
+        // derivations of T′ — overlap them when a worker is to spare.
+        let (tour, anc) = if threads > 1 {
+            std::thread::scope(|scope| {
+                let tour = scope.spawn(|| EulerTour::new(&tree_graph, &tree));
+                let anc = crate::ancestry::ancestry_labels_with_threads(&tree, threads - 1);
+                (tour.join().expect("euler tour worker"), anc)
+            })
+        } else {
+            (EulerTour::new(&tree_graph, &tree), ancestry_labels(&tree))
+        };
 
         // σ(e)'s lower endpoint: the endpoint of the tree_graph edge whose
         // parent edge it is.
         let mut sigma_lower = vec![usize::MAX; g.m()];
-        for (e, te) in orig_tree_edge.iter().enumerate() {
-            let te = te.expect("every original edge maps into T′");
+        crate::par::par_fill(&mut sigma_lower, threads, |e| {
+            let te = orig_tree_edge[e].expect("every original edge maps into T′");
             let (_, lower) = tree.orient_tree_edge(&tree_graph, te);
-            sigma_lower[e] = lower;
-        }
+            lower
+        });
 
         AuxGraph {
             orig_n,

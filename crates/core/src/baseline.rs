@@ -13,12 +13,11 @@
 use crate::auxgraph::AuxGraph;
 use crate::error::BuildError;
 use crate::labels::{
-    DetectOutcome, EdgeLabel, LabelHeader, LabelSet, OutdetectVector, SizeReport, SlabDetect,
-    VertexLabel,
+    DetectOutcome, EdgeLabel, EndpointIndex, LabelHeader, LabelSet, OutdetectVector, SizeReport,
+    SlabDetect, VertexLabel,
 };
 use ftc_graph::{Graph, RootedTree};
 use ftc_sketch::{AgmParams, AgmSketch, SketchBuilder};
-use std::collections::HashMap;
 
 /// An AGM sketch as an outdetect vector.
 #[derive(Clone, Debug)]
@@ -176,10 +175,7 @@ impl SketchScheme {
                 },
             });
         }
-        let mut edge_index = HashMap::with_capacity(g.m());
-        for (e, u, v) in g.edge_iter() {
-            edge_index.insert((u.min(v), u.max(v)), e);
-        }
+        let edge_index = EndpointIndex::from_edges(g.edge_iter().map(|(_, u, v)| (u, v)));
         let labels = LabelSet {
             header,
             vertex_labels,

@@ -82,6 +82,20 @@ pub fn build_hierarchy(
     backend: HierarchyBackend,
     base_threshold: usize,
 ) -> Hierarchy {
+    build_hierarchy_with_threads(aux, backend, base_threshold, 1)
+}
+
+/// [`build_hierarchy`] with the per-edge Euler-embedding precompute
+/// fanned out across up to `threads` workers. The level chain itself is
+/// inherently sequential (each level is a net of the previous one), but
+/// mapping every non-tree edge to its 2-D tour point is an indexed fill;
+/// the output is identical for every thread count.
+pub fn build_hierarchy_with_threads(
+    aux: &AuxGraph,
+    backend: HierarchyBackend,
+    base_threshold: usize,
+    threads: usize,
+) -> Hierarchy {
     let m0 = aux.nontree.len();
     match backend {
         HierarchyBackend::Sampling { seed } => Hierarchy {
@@ -89,12 +103,11 @@ pub fn build_hierarchy(
             max_threshold: 0,
         },
         HierarchyBackend::EpsNet | HierarchyBackend::GreedyRect => {
-            let points: Vec<Point> = (0..m0)
-                .map(|j| {
-                    let (x, y) = aux.nontree_point(j);
-                    Point::new(x as u32, y as u32)
-                })
-                .collect();
+            let mut points: Vec<Point> = vec![Point::default(); m0];
+            crate::par::par_fill(&mut points, threads, |j| {
+                let (x, y) = aux.nontree_point(j);
+                Point::new(x as u32, y as u32)
+            });
             let mut levels: Vec<Vec<usize>> = vec![(0..m0).collect()];
             let mut t = base_threshold.max(3);
             let mut max_t = if m0 == 0 { 0 } else { t };

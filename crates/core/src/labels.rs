@@ -11,8 +11,8 @@
 use crate::ancestry::AncestryLabel;
 use ftc_codes::{DecodeScratch, ThresholdCodec};
 use ftc_field::Gf64;
-use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// Outcome of an outgoing-edge detection attempt.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -225,13 +225,34 @@ impl<T: EdgeLabelRead + ?Sized> EdgeLabelRead for &T {
     }
 }
 
+/// Backing storage of an [`RsVector`]: an owned syndrome buffer, or a
+/// window into a payload slab shared by every edge label of a build.
+///
+/// The build pipeline produces **one** contiguous slab holding all
+/// per-edge syndromes (edge-major, each edge's levels contiguous) and
+/// hands every edge label a `Window` into it — no per-edge payload
+/// allocation, no second copy of the dominant build artifact. Windows
+/// are copy-on-write: the rare mutating operations (test helpers, the
+/// legacy owned-merge path) first detach into an owned buffer.
+#[derive(Clone)]
+enum RsData {
+    /// Self-contained buffer (deserialization, accumulators, tests).
+    Owned(Vec<Gf64>),
+    /// `slab[start..start + len]`, shared with all sibling labels.
+    Window {
+        slab: Arc<[Gf64]>,
+        start: usize,
+        len: usize,
+    },
+}
+
 /// The deterministic outdetect vector: per hierarchy level, a
 /// `2k`-element Reed–Solomon syndrome; levels are stored contiguously,
 /// topmost level last.
-#[derive(Clone, PartialEq, Eq)]
+#[derive(Clone)]
 pub struct RsVector {
     k: u32,
-    data: Vec<Gf64>,
+    data: RsData,
 }
 
 impl RsVector {
@@ -239,7 +260,7 @@ impl RsVector {
     pub fn zero(k: usize, levels: usize) -> RsVector {
         RsVector {
             k: k as u32,
-            data: vec![Gf64::ZERO; 2 * k * levels],
+            data: RsData::Owned(vec![Gf64::ZERO; 2 * k * levels]),
         }
     }
 
@@ -253,7 +274,27 @@ impl RsVector {
         if self.k == 0 {
             0
         } else {
-            self.data.len() / (2 * self.k as usize)
+            self.as_slice().len() / (2 * self.k as usize)
+        }
+    }
+
+    /// The syndrome elements (level-major), wherever they live.
+    fn as_slice(&self) -> &[Gf64] {
+        match &self.data {
+            RsData::Owned(v) => v,
+            RsData::Window { slab, start, len } => &slab[*start..*start + *len],
+        }
+    }
+
+    /// Mutable access, detaching slab windows into owned storage first
+    /// (copy-on-write: mutators never write through the shared slab).
+    fn make_mut(&mut self) -> &mut [Gf64] {
+        if let RsData::Window { slab, start, len } = &self.data {
+            self.data = RsData::Owned(slab[*start..*start + *len].to_vec());
+        }
+        match &mut self.data {
+            RsData::Owned(v) => v,
+            RsData::Window { .. } => unreachable!("detached above"),
         }
     }
 
@@ -270,14 +311,14 @@ impl RsVector {
         assert!(level < self.levels(), "level out of range");
         assert_eq!(codec.k(), k, "codec threshold mismatch");
         codec.accumulate_edge(
-            &mut self.data[2 * k * level..2 * k * (level + 1)],
+            &mut self.make_mut()[2 * k * level..2 * k * (level + 1)],
             Gf64::new(code_id),
         );
     }
 
     /// Raw field-element view (level-major), for serialization.
     pub fn raw(&self) -> &[Gf64] {
-        &self.data
+        self.as_slice()
     }
 
     /// Rebuilds a vector from raw parts (used by deserialization).
@@ -289,7 +330,40 @@ impl RsVector {
         if k > 0 {
             assert_eq!(data.len() % (2 * k), 0, "raw data length mismatch");
         }
-        RsVector { k: k as u32, data }
+        RsVector {
+            k: k as u32,
+            data: RsData::Owned(data),
+        }
+    }
+
+    /// A vector windowing `slab[start..start + len]` — the arena-backed
+    /// form the build pipeline hands every edge label. Cloning a window
+    /// bumps the slab's reference count; reading goes straight through
+    /// the shared buffer; mutation detaches (copy-on-write).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is out of bounds or `len` is not a multiple
+    /// of `2k` (for `k > 0`).
+    pub fn from_slab(k: usize, slab: &Arc<[Gf64]>, start: usize, len: usize) -> RsVector {
+        assert!(start + len <= slab.len(), "slab window out of bounds");
+        if k > 0 {
+            assert_eq!(len % (2 * k), 0, "slab window length mismatch");
+        }
+        RsVector {
+            k: k as u32,
+            data: RsData::Window {
+                slab: Arc::clone(slab),
+                start,
+                len,
+            },
+        }
+    }
+
+    /// `true` iff this vector reads from a shared payload slab rather
+    /// than an owned buffer (diagnostics and tests).
+    pub fn is_slab_window(&self) -> bool {
+        matches!(self.data, RsData::Window { .. })
     }
 
     /// XORs raw little-endian syndrome words into the vector in place —
@@ -304,12 +378,23 @@ impl RsVector {
         I::IntoIter: ExactSizeIterator,
     {
         let words = words.into_iter();
-        assert_eq!(words.len(), self.data.len(), "mixed vector widths");
-        for (d, w) in self.data.iter_mut().zip(words) {
+        let data = self.make_mut();
+        assert_eq!(words.len(), data.len(), "mixed vector widths");
+        for (d, w) in data.iter_mut().zip(words) {
             *d += Gf64::new(w);
         }
     }
 }
+
+impl PartialEq for RsVector {
+    fn eq(&self, other: &Self) -> bool {
+        // Windows and owned buffers with the same logical contents are
+        // the same vector.
+        self.k == other.k && self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for RsVector {}
 
 /// Reusable detection state for [`RsVector`] slabs: the codec geometry
 /// (`k`, level count) plus the decode scratch. One detector serves every
@@ -342,14 +427,16 @@ impl OutdetectVector for RsVector {
 
     fn xor_in(&mut self, other: &Self) {
         assert_eq!(self.k, other.k, "mixed thresholds");
-        assert_eq!(self.data.len(), other.data.len(), "mixed level counts");
-        for (d, s) in self.data.iter_mut().zip(&other.data) {
+        let src = other.as_slice();
+        let dst = self.make_mut();
+        assert_eq!(dst.len(), src.len(), "mixed level counts");
+        for (d, s) in dst.iter_mut().zip(src) {
             *d += *s;
         }
     }
 
     fn is_zero(&self) -> bool {
-        self.data.iter().all(|x| x.is_zero())
+        self.as_slice().iter().all(|x| x.is_zero())
     }
 
     fn detect(&self) -> DetectOutcome {
@@ -358,7 +445,7 @@ impl OutdetectVector for RsVector {
         // convenience one and tolerates the throwaway buffers.
         let mut det = RsDetector::default();
         self.configure_detector(&mut det);
-        let words: Vec<u64> = self.data.iter().map(|g| g.to_bits()).collect();
+        let words: Vec<u64> = self.as_slice().iter().map(|g| g.to_bits()).collect();
         let mut ids = Vec::new();
         match Self::detect_slab(&mut det, &words, &mut ids) {
             SlabDetect::Empty => DetectOutcome::Empty,
@@ -368,17 +455,18 @@ impl OutdetectVector for RsVector {
     }
 
     fn bits(&self) -> usize {
-        self.data.len() * 64
+        self.as_slice().len() * 64
     }
 
     fn slab_words(&self) -> usize {
-        self.data.len()
+        self.as_slice().len()
     }
 
     fn accumulate_slab(&self, dst: &mut [u64]) {
-        assert_eq!(dst.len(), self.data.len(), "mixed vector widths");
+        let src = self.as_slice();
+        assert_eq!(dst.len(), src.len(), "mixed vector widths");
         // GF(2⁶⁴) addition is XOR of the bit representations.
-        for (d, s) in dst.iter_mut().zip(&self.data) {
+        for (d, s) in dst.iter_mut().zip(src) {
             *d ^= s.to_bits();
         }
     }
@@ -504,6 +592,89 @@ pub struct SizeReport {
     pub total_bits: usize,
 }
 
+/// A sorted endpoint-pair → edge-ID index: the same representation the
+/// label archive stores, used in memory too — endpoint lookups are one
+/// binary search (no hashing), archiving writes the entries verbatim,
+/// and reconstituting a [`LabelSet`] from an archive reuses the stored
+/// index without any rebuild.
+///
+/// Parallel edges collapse to a single entry per normalized `(u, v)`
+/// pair, resolving to the **largest** edge ID — the semantics the
+/// historical per-build `HashMap` had (later inserts in edge-ID order
+/// overwrote earlier ones). Edge-ID lookups ([`LabelSet::edge_label_by_id`])
+/// still address every parallel edge individually.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct EndpointIndex {
+    /// `(u, v, edge id)` with `u < v`, strictly sorted by `(u, v)`.
+    entries: Vec<(u32, u32, u32)>,
+}
+
+impl EndpointIndex {
+    /// Builds the index from `(u, v)` endpoint pairs in edge-ID order.
+    pub fn from_edges<I>(pairs: I) -> EndpointIndex
+    where
+        I: IntoIterator<Item = (usize, usize)>,
+    {
+        let mut entries: Vec<(u32, u32, u32)> = pairs
+            .into_iter()
+            .enumerate()
+            .map(|(e, (u, v))| (u.min(v) as u32, u.max(v) as u32, e as u32))
+            .collect();
+        entries.sort_unstable();
+        // Sorted ascending by (u, v, e): keeping the last entry of each
+        // (u, v) run resolves parallel edges to the largest edge ID.
+        entries.dedup_by(|next, prev| {
+            if (next.0, next.1) == (prev.0, prev.1) {
+                *prev = *next;
+                true
+            } else {
+                false
+            }
+        });
+        EndpointIndex { entries }
+    }
+
+    /// Wraps pre-sorted entries (the archive reconstitution path).
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if the entries are not strictly sorted normalized
+    /// pairs — archive validation guarantees this before reaching here.
+    pub(crate) fn from_sorted_entries(entries: Vec<(u32, u32, u32)>) -> EndpointIndex {
+        debug_assert!(entries
+            .windows(2)
+            .all(|w| (w[0].0, w[0].1) < (w[1].0, w[1].1)));
+        debug_assert!(entries.iter().all(|&(u, v, _)| u < v));
+        EndpointIndex { entries }
+    }
+
+    /// The edge ID indexed under `(u, v)` (either order), if any.
+    pub fn get(&self, u: usize, v: usize) -> Option<usize> {
+        let key = (u.min(v) as u32, u.max(v) as u32);
+        self.entries
+            .binary_search_by_key(&key, |&(a, b, _)| (a, b))
+            .ok()
+            .map(|i| self.entries[i].2 as usize)
+    }
+
+    /// Number of distinct normalized endpoint pairs indexed.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` iff no edges are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates `(u, v, edge id)` in sorted endpoint order.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = (usize, usize, usize)> + '_ {
+        self.entries
+            .iter()
+            .map(|&(u, v, e)| (u as usize, v as usize, e as usize))
+    }
+}
+
 /// The complete output of a labeling construction: one label per vertex
 /// and per edge, plus lookup helpers. This is the only artifact a decoder
 /// ever sees.
@@ -512,7 +683,7 @@ pub struct LabelSet<V> {
     pub(crate) header: LabelHeader,
     pub(crate) vertex_labels: Vec<VertexLabel>,
     pub(crate) edge_labels: Vec<EdgeLabel<V>>,
-    pub(crate) edge_index: HashMap<(usize, usize), usize>,
+    pub(crate) edge_index: EndpointIndex,
 }
 
 impl<V: OutdetectVector> LabelSet<V> {
@@ -540,10 +711,18 @@ impl<V: OutdetectVector> LabelSet<V> {
         &self.vertex_labels[v]
     }
 
-    /// The label of the edge joining `u` and `v` (either order), if any.
+    /// The label of the edge joining `u` and `v` (either order), if any —
+    /// one binary search over the sorted endpoint index. For parallel
+    /// edges this resolves to the largest edge ID joining the pair (see
+    /// [`EndpointIndex`]); use [`LabelSet::edge_label_by_id`] to address
+    /// each parallel edge individually.
     pub fn edge_label(&self, u: usize, v: usize) -> Option<&EdgeLabel<V>> {
-        let key = (u.min(v), u.max(v));
-        self.edge_index.get(&key).map(|&i| &self.edge_labels[i])
+        self.edge_index.get(u, v).map(|i| &self.edge_labels[i])
+    }
+
+    /// The sorted endpoint-pair index of this labeling.
+    pub fn endpoint_index(&self) -> &EndpointIndex {
+        &self.edge_index
     }
 
     /// The label of the edge with the original edge ID `e`.
@@ -716,5 +895,73 @@ mod tests {
         v.toggle(&ThresholdCodec::new(2), 0, 5);
         let w = RsVector::from_raw(2, v.raw().to_vec());
         assert_eq!(v, w);
+    }
+
+    #[test]
+    fn slab_windows_read_shared_and_detach_on_write() {
+        let codec = ThresholdCodec::new(2);
+        let mut a = RsVector::zero(2, 1);
+        a.toggle(&codec, 0, 0x51);
+        let mut b = RsVector::zero(2, 1);
+        b.toggle(&codec, 0, 0x52);
+        // One slab holding both vectors back to back.
+        let slab: Arc<[Gf64]> = a
+            .raw()
+            .iter()
+            .chain(b.raw())
+            .copied()
+            .collect::<Vec<_>>()
+            .into();
+        let wa = RsVector::from_slab(2, &slab, 0, 4);
+        let wb = RsVector::from_slab(2, &slab, 4, 4);
+        assert!(wa.is_slab_window() && wb.is_slab_window());
+        // Windows equal their owned counterparts (logical equality).
+        assert_eq!(wa, a);
+        assert_eq!(wb, b);
+        assert_eq!(wa.detect(), a.detect());
+        // Cloning a window shares the slab; mutating detaches the mutated
+        // copy without touching the shared bytes.
+        let mut detached = wa.clone();
+        detached.toggle(&codec, 0, 0x51); // cancels: now zero
+        assert!(detached.is_zero());
+        assert!(!detached.is_slab_window());
+        assert_eq!(wa, a, "sibling windows must not observe the write");
+        // Slab accumulate agrees with the owned path.
+        let mut words = vec![0u64; wa.slab_words()];
+        wa.accumulate_slab(&mut words);
+        wb.accumulate_slab(&mut words);
+        let mut merged = a.clone();
+        merged.xor_in(&b);
+        let merged_words: Vec<u64> = merged.raw().iter().map(|g| g.to_bits()).collect();
+        assert_eq!(words, merged_words);
+    }
+
+    #[test]
+    fn endpoint_index_lookup_and_parallel_edge_semantics() {
+        // Edge list with a parallel pair: IDs 1 and 3 both join (2, 5).
+        let pairs = [(4usize, 0usize), (5, 2), (0, 1), (2, 5), (3, 2)];
+        let idx = EndpointIndex::from_edges(pairs.iter().copied());
+        assert_eq!(idx.len(), 4); // the duplicate collapsed
+        assert_eq!(idx.get(0, 4), Some(0));
+        assert_eq!(idx.get(4, 0), Some(0));
+        assert_eq!(idx.get(1, 0), Some(2));
+        assert_eq!(idx.get(2, 3), Some(4));
+        // Parallel edges resolve to the largest edge ID (the historical
+        // HashMap's insert-order-last-wins).
+        assert_eq!(idx.get(2, 5), Some(3));
+        assert_eq!(idx.get(5, 2), Some(3));
+        assert_eq!(idx.get(0, 2), None);
+        assert_eq!(idx.get(9, 9), None);
+        // Entries iterate strictly sorted.
+        let listed: Vec<_> = idx.iter().collect();
+        assert_eq!(listed, vec![(0, 1, 2), (0, 4, 0), (2, 3, 4), (2, 5, 3)]);
+    }
+
+    #[test]
+    fn endpoint_index_empty() {
+        let idx = EndpointIndex::from_edges(std::iter::empty());
+        assert!(idx.is_empty());
+        assert_eq!(idx.get(0, 1), None);
+        assert_eq!(idx.iter().len(), 0);
     }
 }

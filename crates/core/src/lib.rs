@@ -64,6 +64,7 @@ pub mod error;
 pub mod fragments;
 pub mod hierarchy;
 pub mod labels;
+pub(crate) mod par;
 pub mod params;
 pub mod scheme;
 pub mod serial;
@@ -74,8 +75,8 @@ pub mod vertex_faults;
 pub use error::{BuildError, QueryError};
 pub use hierarchy::HierarchyBackend;
 pub use labels::{
-    DetectOutcome, EdgeLabel, EdgeLabelRead, LabelHeader, LabelSet, OutdetectVector, RsDetector,
-    RsVector, SizeReport, SlabDetect, VertexLabel, VertexLabelRead,
+    DetectOutcome, EdgeLabel, EdgeLabelRead, EndpointIndex, LabelHeader, LabelSet, OutdetectVector,
+    RsDetector, RsVector, SizeReport, SlabDetect, VertexLabel, VertexLabelRead,
 };
 pub use params::{Params, ThresholdPolicy};
 pub use scheme::{BuildDiagnostics, FtcScheme, SchemeBuilder};

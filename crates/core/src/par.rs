@@ -1,0 +1,68 @@
+//! Deterministic fork-join helpers for the build pipeline.
+//!
+//! Every parallel stage of the construction is an *indexed fill*: slot
+//! `i` of an output slice receives a pure function of `i` and shared
+//! read-only inputs. [`par_fill`] splits the slice into one contiguous
+//! chunk per worker, so the result is identical — byte for byte once
+//! serialized — for every thread count, and no synchronization beyond
+//! the final join is needed.
+
+/// Fills `out[i] = f(i)` for every index, fanning the index range across
+/// up to `threads` scoped workers (contiguous block partition). With
+/// `threads <= 1` (or a short slice) the fill runs inline — no spawn.
+pub(crate) fn par_fill<T, F>(out: &mut [T], threads: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let len = out.len();
+    // Spawning threads for tiny fills costs more than the fill.
+    let workers = threads.max(1).min(len / 1024 + 1);
+    if workers <= 1 {
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = f(i);
+        }
+        return;
+    }
+    std::thread::scope(|scope| {
+        let f = &f;
+        let mut rest = out;
+        let mut start = 0usize;
+        for w in 0..workers {
+            let end = len * (w + 1) / workers;
+            let (chunk, tail) = rest.split_at_mut(end - start);
+            rest = tail;
+            scope.spawn(move || {
+                for (i, slot) in chunk.iter_mut().enumerate() {
+                    *slot = f(start + i);
+                }
+            });
+            start = end;
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_thread_counts_agree() {
+        let mut serial = vec![0usize; 10_000];
+        par_fill(&mut serial, 1, |i| i.wrapping_mul(2_654_435_761));
+        for threads in [2, 3, 8, 64] {
+            let mut par = vec![0usize; 10_000];
+            par_fill(&mut par, threads, |i| i.wrapping_mul(2_654_435_761));
+            assert_eq!(serial, par, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_slices() {
+        let mut empty: Vec<u8> = Vec::new();
+        par_fill(&mut empty, 8, |_| 1);
+        let mut one = [0u8];
+        par_fill(&mut one, 8, |i| i as u8 + 7);
+        assert_eq!(one, [7]);
+    }
+}

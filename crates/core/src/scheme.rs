@@ -25,15 +25,18 @@
 use crate::auxgraph::AuxGraph;
 use crate::error::BuildError;
 use crate::hierarchy::{
-    build_hierarchy, paper_threshold, rectangle_pieces, Hierarchy, HierarchyBackend,
+    build_hierarchy_with_threads, paper_threshold, rectangle_pieces, Hierarchy, HierarchyBackend,
 };
-use crate::labels::{EdgeLabel, LabelHeader, LabelSet, RsVector, SizeReport, VertexLabel};
+use crate::labels::{
+    EdgeLabel, EndpointIndex, LabelHeader, LabelSet, RsVector, SizeReport, VertexLabel,
+};
 use crate::params::{Params, ThresholdPolicy};
+use crate::store::{EdgeEncoding, LabelStore};
 use ftc_codes::ThresholdCodec;
 use ftc_field::Gf64;
 use ftc_graph::{Graph, RootedTree};
 use ftc_sketch::sampling_threshold;
-use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Construction diagnostics (experiments E3/E7 read these).
 #[derive(Clone, Debug)]
@@ -140,10 +143,7 @@ impl<'a> SchemeBuilder<'a> {
     /// * [`BuildError::GraphTooLarge`] if the auxiliary graph exceeds the
     ///   2³¹-vertex encoding limit.
     pub fn build(self) -> Result<FtcScheme, BuildError> {
-        let threads = match self.threads {
-            0 => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
-            t => t,
-        };
+        let threads = self.resolved_threads();
         match self.tree {
             Some(tree) => FtcScheme::build_pipeline(self.g, tree, &self.params, threads),
             None => {
@@ -152,6 +152,41 @@ impl<'a> SchemeBuilder<'a> {
                 let tree = RootedTree::bfs(self.g, 0);
                 FtcScheme::build_pipeline(self.g, &tree, &self.params, threads)
             }
+        }
+    }
+
+    /// Runs the pipeline **streaming straight into a label archive**: the
+    /// worker threads write every edge's syndrome payload directly into
+    /// its final position inside the single-blob [`LabelStore`] — no
+    /// owned [`LabelSet`] is ever materialized and the labels are never
+    /// held twice, so peak memory stays near one copy of the payload.
+    /// The blob is byte-identical to `LabelStore::to_vec` of the
+    /// equivalent [`SchemeBuilder::build`] output, for every thread
+    /// count and both encodings.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SchemeBuilder::build`].
+    pub fn build_store(
+        self,
+        encoding: EdgeEncoding,
+    ) -> Result<(LabelStore, BuildDiagnostics), BuildError> {
+        let threads = self.resolved_threads();
+        match self.tree {
+            Some(tree) => {
+                FtcScheme::build_store_pipeline(self.g, tree, &self.params, threads, encoding)
+            }
+            None => {
+                let tree = RootedTree::bfs(self.g, 0);
+                FtcScheme::build_store_pipeline(self.g, &tree, &self.params, threads, encoding)
+            }
+        }
+    }
+
+    fn resolved_threads(&self) -> usize {
+        match self.threads {
+            0 => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+            t => t,
         }
     }
 }
@@ -200,65 +235,54 @@ impl FtcScheme {
         params: &Params,
         threads: usize,
     ) -> Result<FtcScheme, BuildError> {
-        if params.f == 0 {
-            return Err(BuildError::InvalidFaultBudget);
-        }
-        let aux = AuxGraph::build(g, tree);
-        if aux.aux_n >= (1usize << 31) {
-            return Err(BuildError::GraphTooLarge {
-                aux_vertices: aux.aux_n,
-            });
-        }
-        let pieces = rectangle_pieces(params.f);
-        // The hierarchy is always built at the paper's rectangle-hitting
-        // threshold: it is universal (independent of f and k) and keeps the
-        // depth logarithmic. A calibrated `Fixed(k)` only truncates the
-        // *codec* threshold; decodes are verified, so an under-calibration
-        // surfaces as `OutdetectFailed`, never as a wrong answer.
-        let base_t = match params.backend {
-            HierarchyBackend::Sampling { .. } => 0,
-            _ => paper_threshold(aux.nontree.len()),
-        };
-        let hierarchy = build_hierarchy(&aux, params.backend, base_t);
-        let k = match params.threshold {
-            ThresholdPolicy::Fixed(k) => k.max(1),
-            ThresholdPolicy::Theory => match params.backend {
-                HierarchyBackend::Sampling { .. } => sampling_threshold(params.f, aux.aux_n).max(1),
-                _ => (pieces * hierarchy.max_threshold).max(1),
-            },
-        };
-        let levels = hierarchy.depth().saturating_sub(1); // drop trailing empty level
-        let tag = labeling_tag(g, params, k);
-        let header = LabelHeader {
-            f: params.f as u32,
-            aux_n: aux.aux_n as u32,
-            tag,
-        };
+        let ctx = BuildCtx::prepare(g, tree, params, threads)?;
+        let (k, levels) = (ctx.k, ctx.levels);
+        let aux = &ctx.aux;
+        let m = g.m();
+        let window = 2 * k * levels;
 
-        let edge_vec_data = build_subtree_sums(&aux, &hierarchy, k, levels, threads);
+        // One contiguous payload slab for all edge labels: edge `e`
+        // occupies `slab[e·window..(e+1)·window]` (levels contiguous
+        // within the edge window, topmost last). The workers write every
+        // window in place — no per-edge payload allocation, no second
+        // copy of the dominant build artifact.
+        let mut slab_vec = vec![Gf64::ZERO; m * window];
+        {
+            let sink = SlabSink {
+                base: slab_vec.as_mut_ptr(),
+                len: slab_vec.len(),
+                window,
+                width: 2 * k,
+            };
+            build_subtree_sums(aux, &ctx.hierarchy, k, levels, threads, &sink);
+        }
+        let slab: Arc<[Gf64]> = slab_vec.into();
 
-        let vertex_labels: Vec<VertexLabel> = (0..g.n())
-            .map(|v| VertexLabel {
+        let header = ctx.header;
+        let mut vertex_labels = vec![
+            VertexLabel {
                 header,
-                anc: aux.anc[v],
-            })
-            .collect();
+                anc: Default::default()
+            };
+            g.n()
+        ];
+        crate::par::par_fill(&mut vertex_labels, threads, |v| VertexLabel {
+            header,
+            anc: aux.anc[v],
+        });
 
-        let mut edge_labels = Vec::with_capacity(g.m());
-        for (&lower, vec_data) in aux.sigma_lower.iter().zip(&edge_vec_data).take(g.m()) {
+        let mut edge_labels = Vec::with_capacity(m);
+        for (e, &lower) in aux.sigma_lower.iter().enumerate() {
             let upper = aux.tree.parent(lower).expect("σ(e) lower has a parent");
             edge_labels.push(EdgeLabel {
                 header,
                 anc_upper: aux.anc[upper],
                 anc_lower: aux.anc[lower],
-                vec: RsVector::from_raw(k, vec_data.clone()),
+                vec: RsVector::from_slab(k, &slab, e * window, window),
             });
         }
 
-        let mut edge_index = HashMap::with_capacity(g.m());
-        for (e, u, v) in g.edge_iter() {
-            edge_index.insert((u.min(v), u.max(v)), e);
-        }
+        let edge_index = EndpointIndex::from_edges(g.edge_iter().map(|(_, u, v)| (u, v)));
 
         let labels = LabelSet {
             header,
@@ -267,14 +291,21 @@ impl FtcScheme {
             edge_index,
         };
         let size = labels.size_report(k, levels);
-        let diag = BuildDiagnostics {
-            k,
-            levels,
-            hierarchy_sizes: hierarchy.level_sizes(),
-            effective_rect_threshold: hierarchy.max_threshold,
-            backend: params.backend,
-        };
+        let diag = ctx.diagnostics(params);
         Ok(FtcScheme { labels, diag, size })
+    }
+
+    fn build_store_pipeline(
+        g: &Graph,
+        tree: &RootedTree,
+        params: &Params,
+        threads: usize,
+        encoding: EdgeEncoding,
+    ) -> Result<(LabelStore, BuildDiagnostics), BuildError> {
+        let ctx = BuildCtx::prepare(g, tree, params, threads)?;
+        let diag = ctx.diagnostics(params);
+        let store = crate::store::stream_from_build(g, &ctx, threads, encoding);
+        Ok((store, diag))
     }
 
     /// The labels (the only artifact a decoder needs).
@@ -298,106 +329,212 @@ impl FtcScheme {
     }
 }
 
+/// The shared prefix of both build pipelines: everything up to (but not
+/// including) label materialization. [`crate::store::stream_from_build`]
+/// reads it to lay out a streaming archive.
+pub(crate) struct BuildCtx {
+    pub(crate) aux: AuxGraph,
+    pub(crate) hierarchy: Hierarchy,
+    pub(crate) k: usize,
+    pub(crate) levels: usize,
+    pub(crate) header: LabelHeader,
+}
+
+impl BuildCtx {
+    fn prepare(
+        g: &Graph,
+        tree: &RootedTree,
+        params: &Params,
+        threads: usize,
+    ) -> Result<BuildCtx, BuildError> {
+        if params.f == 0 {
+            return Err(BuildError::InvalidFaultBudget);
+        }
+        let aux = AuxGraph::build_with_threads(g, tree, threads);
+        if aux.aux_n >= (1usize << 31) {
+            return Err(BuildError::GraphTooLarge {
+                aux_vertices: aux.aux_n,
+            });
+        }
+        let pieces = rectangle_pieces(params.f);
+        // The hierarchy is always built at the paper's rectangle-hitting
+        // threshold: it is universal (independent of f and k) and keeps the
+        // depth logarithmic. A calibrated `Fixed(k)` only truncates the
+        // *codec* threshold; decodes are verified, so an under-calibration
+        // surfaces as `OutdetectFailed`, never as a wrong answer.
+        let base_t = match params.backend {
+            HierarchyBackend::Sampling { .. } => 0,
+            _ => paper_threshold(aux.nontree.len()),
+        };
+        let hierarchy = build_hierarchy_with_threads(&aux, params.backend, base_t, threads);
+        let k = match params.threshold {
+            ThresholdPolicy::Fixed(k) => k.max(1),
+            ThresholdPolicy::Theory => match params.backend {
+                HierarchyBackend::Sampling { .. } => sampling_threshold(params.f, aux.aux_n).max(1),
+                _ => (pieces * hierarchy.max_threshold).max(1),
+            },
+        };
+        let levels = hierarchy.depth().saturating_sub(1); // drop trailing empty level
+        let header = LabelHeader {
+            f: params.f as u32,
+            aux_n: aux.aux_n as u32,
+            tag: labeling_tag(g, params, k),
+        };
+        Ok(BuildCtx {
+            aux,
+            hierarchy,
+            k,
+            levels,
+            header,
+        })
+    }
+
+    fn diagnostics(&self, params: &Params) -> BuildDiagnostics {
+        BuildDiagnostics {
+            k: self.k,
+            levels: self.levels,
+            hierarchy_sizes: self.hierarchy.level_sizes(),
+            effective_rect_threshold: self.hierarchy.max_threshold,
+            backend: params.backend,
+        }
+    }
+}
+
+/// Write target of the subtree-sums stage: receives every edge's
+/// full-width (`2k`-element) syndrome row for every level, exactly once
+/// per `(edge, level)` pair.
+///
+/// Implementations write each row into its final resting place — a
+/// payload slab ([`SlabSink`]) or directly into the serialized archive
+/// blob ([`crate::store::ArchivePayloadSink`]) — through a raw base
+/// pointer, because a worker's levels hit byte ranges *strided* across
+/// all edge windows (disjoint between workers, but not contiguous, so
+/// `split_at_mut` cannot express the partition).
+///
+/// # Safety contract
+///
+/// `write_row` is called concurrently from the scoped worker threads of
+/// [`build_subtree_sums`], which partitions the level range so that no
+/// two calls ever target the same `(edge, level)` window; implementations
+/// must only write inside that window and may not read other windows.
+pub(crate) trait LevelSink: Sync {
+    fn write_row(&self, e: usize, level: usize, row: &[Gf64]);
+}
+
+/// [`LevelSink`] over the contiguous payload slab backing an owned
+/// [`LabelSet`]: edge `e`'s window starts at `e · window`, level rows
+/// within it are consecutive.
+struct SlabSink {
+    base: *mut Gf64,
+    len: usize,
+    /// Words per edge window (`2k · levels`).
+    window: usize,
+    /// Words per level row (`2k`).
+    width: usize,
+}
+
+// SAFETY: see the `LevelSink` contract — workers write disjoint
+// `(edge, level)` windows, never overlapping, never read.
+unsafe impl Sync for SlabSink {}
+
+impl LevelSink for SlabSink {
+    fn write_row(&self, e: usize, level: usize, row: &[Gf64]) {
+        debug_assert_eq!(row.len(), self.width);
+        let at = e * self.window + level * self.width;
+        debug_assert!(at + self.width <= self.len);
+        // SAFETY: `at..at + width` lies inside the allocation (asserted
+        // above in debug; guaranteed by construction — `e < m`,
+        // `level < levels`, `len = m · window`), and no other worker
+        // touches this window.
+        unsafe {
+            std::ptr::copy_nonoverlapping(row.as_ptr(), self.base.add(at), self.width);
+        }
+    }
+}
+
 /// Computes, for every original edge `e`, the flattened per-level syndrome
 /// of `L^out(V_{T′(σ(e))})` — the XOR over the subtree below `σ(e)` of the
 /// per-vertex outdetect labels (Lemma 1's edge labels, via one bottom-up
-/// aggregation per level).
+/// aggregation per level) — writing every row straight into `sink`.
 ///
 /// Levels are mutually independent, so with `threads > 1` they are
-/// distributed across that many scoped workers; finished levels stream
-/// back over a channel and are stitched into the output (and dropped)
-/// as they arrive, so peak memory stays near one copy of the label
-/// payload. Each level's result is a pure function of
-/// `(aux, level edges, k)`, and every level occupies a disjoint slice
-/// of the output, so the result is identical — byte for byte once
+/// block-partitioned across that many scoped workers, each writing its
+/// levels' rows directly into their final windows. Per worker the stage
+/// allocates exactly two reusable buffers (the per-vertex accumulator
+/// and one parity row), so the whole payload stage performs O(threads)
+/// allocations regardless of the edge count. Each level's content is a
+/// pure function of `(aux, level edges, k)` and every `(edge, level)`
+/// window is disjoint, so the result is identical — byte for byte once
 /// serialized — for every thread count.
-fn build_subtree_sums(
+pub(crate) fn build_subtree_sums(
     aux: &AuxGraph,
     hierarchy: &Hierarchy,
     k: usize,
     levels: usize,
     threads: usize,
-) -> Vec<Vec<Gf64>> {
+    sink: &impl LevelSink,
+) {
     let width = 2 * k;
     let m = aux.sigma_lower.len();
-    let mut out = vec![vec![Gf64::ZERO; width * levels]; m];
     if levels == 0 || m == 0 {
-        return out;
+        return;
     }
-    // Stitches one level's edge-major sums into the per-edge payloads.
-    let stitch = |out: &mut Vec<Vec<Gf64>>, level: usize, sums: &[Gf64]| {
-        for (e, slice) in out.iter_mut().enumerate() {
-            slice[level * width..(level + 1) * width]
-                .copy_from_slice(&sums[e * width..(e + 1) * width]);
+    let run_levels = |lo: usize, hi: usize| {
+        let codec = ThresholdCodec::new(k);
+        // Scratch, reused across this worker's levels: per-auxiliary-vertex
+        // syndromes plus one parity row.
+        let mut acc = vec![Gf64::ZERO; aux.aux_n * width];
+        let mut row = vec![Gf64::ZERO; width];
+        for level in lo..hi {
+            if level > lo {
+                acc.fill(Gf64::ZERO);
+            }
+            // Per-vertex own contributions: each level edge toggles both
+            // endpoints. The parity row is computed once per edge and
+            // XORed into both (halving the field-multiplication work of
+            // the historical per-endpoint accumulation).
+            for &j in &hierarchy.levels[level] {
+                let (a, b) = aux.nontree[j];
+                codec.fill_edge_row(&mut row, Gf64::new(aux.nontree_code_id(j)));
+                for (d, &r) in acc[a * width..(a + 1) * width].iter_mut().zip(&row) {
+                    *d += r;
+                }
+                for (d, &r) in acc[b * width..(b + 1) * width].iter_mut().zip(&row) {
+                    *d += r;
+                }
+            }
+            // Bottom-up aggregation: children fold into parents in reverse
+            // pre-order (`row` doubles as the child buffer here; the
+            // accumulate pass above is done with it).
+            for &v in aux.tree.pre_order().iter().rev() {
+                if let Some(p) = aux.tree.parent(v) {
+                    row.copy_from_slice(&acc[v * width..(v + 1) * width]);
+                    let dst = &mut acc[p * width..(p + 1) * width];
+                    for (d, c) in dst.iter_mut().zip(&row) {
+                        *d += *c;
+                    }
+                }
+            }
+            // Emit each edge's row straight into its final window.
+            for (e, &lower) in aux.sigma_lower.iter().enumerate() {
+                sink.write_row(e, level, &acc[lower * width..(lower + 1) * width]);
+            }
         }
     };
     let workers = threads.clamp(1, levels);
     if workers == 1 {
-        for level in 0..levels {
-            let sums = level_subtree_sums(aux, &hierarchy.levels[level], k);
-            stitch(&mut out, level, &sums);
-        }
+        run_levels(0, levels);
     } else {
         // Static block partition of the level range across workers.
-        let (tx, rx) = std::sync::mpsc::channel::<(usize, Vec<Gf64>)>();
         std::thread::scope(|scope| {
+            let run_levels = &run_levels;
             for w in 0..workers {
                 let lo = levels * w / workers;
                 let hi = levels * (w + 1) / workers;
-                let hierarchy = &hierarchy;
-                let tx = tx.clone();
-                scope.spawn(move || {
-                    for level in lo..hi {
-                        let sums = level_subtree_sums(aux, &hierarchy.levels[level], k);
-                        // The receiver outlives the scope; a send can only
-                        // fail if it was dropped by a panic, which the
-                        // scope will propagate anyway.
-                        let _ = tx.send((level, sums));
-                    }
-                });
-            }
-            drop(tx);
-            for (level, sums) in rx {
-                stitch(&mut out, level, &sums);
+                scope.spawn(move || run_levels(lo, hi));
             }
         });
     }
-    out
-}
-
-/// One level's pass: accumulate the level's non-tree edges into per-vertex
-/// syndromes, fold bottom-up, and emit the per-edge (σ(e)-lower) slices
-/// flattened edge-major.
-fn level_subtree_sums(aux: &AuxGraph, level_edges: &[usize], k: usize) -> Vec<Gf64> {
-    let width = 2 * k;
-    let codec = ThresholdCodec::new(k);
-    // Scratch: per auxiliary vertex, this level's syndrome.
-    let mut acc = vec![Gf64::ZERO; aux.aux_n * width];
-    let mut child_buf = vec![Gf64::ZERO; width];
-    // Per-vertex own contributions: each level edge toggles both
-    // endpoints.
-    for &j in level_edges {
-        let (a, b) = aux.nontree[j];
-        let id = Gf64::new(aux.nontree_code_id(j));
-        codec.accumulate_edge(&mut acc[a * width..(a + 1) * width], id);
-        codec.accumulate_edge(&mut acc[b * width..(b + 1) * width], id);
-    }
-    // Bottom-up aggregation: children fold into parents in reverse
-    // pre-order.
-    for &v in aux.tree.pre_order().iter().rev() {
-        if let Some(p) = aux.tree.parent(v) {
-            child_buf.copy_from_slice(&acc[v * width..(v + 1) * width]);
-            let dst = &mut acc[p * width..(p + 1) * width];
-            for (d, c) in dst.iter_mut().zip(&child_buf) {
-                *d += *c;
-            }
-        }
-    }
-    let mut out = vec![Gf64::ZERO; aux.sigma_lower.len() * width];
-    for (e, &lower) in aux.sigma_lower.iter().enumerate() {
-        out[e * width..(e + 1) * width].copy_from_slice(&acc[lower * width..(lower + 1) * width]);
-    }
-    out
 }
 
 /// FNV-1a fingerprint of the labeled instance, embedded in every label so

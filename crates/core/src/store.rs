@@ -61,14 +61,18 @@
 //! ```
 
 use crate::ancestry::AncestryLabel;
-use crate::error::QueryError;
-use crate::labels::{EdgeLabel, EdgeLabelRead, LabelHeader, LabelSet, RsVector, VertexLabelRead};
+use crate::error::{BuildError, QueryError};
+use crate::labels::{
+    EdgeLabel, EdgeLabelRead, EndpointIndex, LabelHeader, LabelSet, RsVector, VertexLabelRead,
+};
+use crate::scheme::{BuildCtx, LevelSink, SchemeBuilder};
 use crate::serial::{
-    edge_to_bytes, edge_to_bytes_compact, vertex_to_bytes, CompactEdgeLabelView, EdgeLabelView,
-    SerialError, SerialErrorKind, VertexLabelView, VERTEX_LABEL_BYTES,
+    self, CompactEdgeLabelView, EdgeLabelView, SerialError, SerialErrorKind, VertexLabelView,
+    VERTEX_LABEL_BYTES,
 };
 use crate::session::{QuerySession, SessionScratch};
-use std::collections::HashMap;
+use ftc_field::Gf64;
+use ftc_graph::Graph;
 use std::fmt;
 use std::io::{self, Write};
 use std::sync::Arc;
@@ -84,10 +88,11 @@ const ENDPOINT_ENTRY_BYTES: usize = 12;
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum EdgeEncoding {
     /// Full `2k`-element Reed–Solomon syndromes per level
-    /// ([`edge_to_bytes`] layout).
+    /// ([`crate::serial::edge_to_bytes`] layout).
     Full,
     /// Half-width characteristic-two compression: only the `k` odd power
-    /// sums per level ([`edge_to_bytes_compact`] layout); even ones are
+    /// sums per level ([`crate::serial::edge_to_bytes_compact`] layout);
+    /// even ones are
     /// reconstructed as `s_{2j} = s_j²` on read.
     Compact,
 }
@@ -167,6 +172,26 @@ impl LabelStore {
             .expect("freshly encoded archives are well-formed")
             .meta;
         LabelStore { bytes, meta }
+    }
+
+    /// Runs a staged construction straight into an archive — the
+    /// streaming build-to-archive path: label payloads are written into
+    /// their final blob positions by the build workers, so the labeling
+    /// is never held twice in memory. Byte-identical to archiving the
+    /// equivalent [`SchemeBuilder::build`] output with
+    /// [`LabelStore::to_vec`], for every thread count.
+    ///
+    /// See [`SchemeBuilder::build_store`] for the variant that also
+    /// returns the construction diagnostics.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SchemeBuilder::build`].
+    pub fn from_builder(
+        builder: SchemeBuilder<'_>,
+        encoding: EdgeEncoding,
+    ) -> Result<LabelStore, BuildError> {
+        builder.build_store(encoding).map(|(store, _)| store)
     }
 
     /// Serializes a label set straight into a writer (same bytes as
@@ -655,19 +680,52 @@ impl<'a> LabelStoreView<'a> {
     /// Decodes the archive back into an owned [`LabelSet`] — the
     /// reconstitution path for components (like the forbidden-set router)
     /// that need owned labels without re-running the scheme construction.
+    ///
+    /// The label payloads land in **one** shared slab (each edge label is
+    /// a window into it, exactly as a fresh build produces them), and the
+    /// archive's sorted endpoint index is reused verbatim — no per-edge
+    /// payload allocation, no index rebuild.
     pub fn to_label_set(&self) -> LabelSet<RsVector> {
-        let vertex_labels = (0..self.meta.n)
+        let (n, m) = (self.meta.n, self.meta.m);
+        let header = self.meta.header;
+        let vertex_labels = (0..n)
             .map(|v| self.vertex(v).expect("in range").to_label())
             .collect();
-        let edge_labels = (0..self.meta.m)
-            .map(|e| self.edge_by_id(e).expect("in range").to_label())
-            .collect();
-        let mut edge_index = HashMap::with_capacity(self.meta.idx_count);
-        for (u, v, e) in self.endpoint_index() {
-            edge_index.insert((u, v), e);
+        // All edge labels share one codec geometry (validated at open).
+        let (k, levels) = self.edge_by_id(0).map_or((0, 0), |e| (e.k(), e.levels()));
+        let window = 2 * k * levels;
+        let mut slab_vec = vec![Gf64::ZERO; m * window];
+        // One pass over the edge records: copy the payload into the slab
+        // and stash the ancestry pair (the slab windows can only be
+        // handed out once the slab is frozen into its `Arc`).
+        let mut ancs = Vec::with_capacity(m);
+        for e in 0..m {
+            let dst = &mut slab_vec[e * window..(e + 1) * window];
+            let view = self.edge_by_id(e).expect("in range");
+            match view {
+                ArchivedEdgeView::Full(v) => v.copy_words_into(dst),
+                ArchivedEdgeView::Compact(v) => v.expand_words_into(dst),
+            }
+            ancs.push((view.anc_upper(), view.anc_lower()));
         }
+        let slab: Arc<[Gf64]> = slab_vec.into();
+        let edge_labels = ancs
+            .into_iter()
+            .enumerate()
+            .map(|(e, (anc_upper, anc_lower))| EdgeLabel {
+                header,
+                anc_upper,
+                anc_lower,
+                vec: RsVector::from_slab(k, &slab, e * window, window),
+            })
+            .collect();
+        let edge_index = EndpointIndex::from_sorted_entries(
+            self.endpoint_index()
+                .map(|(u, v, e)| (u as u32, v as u32, e as u32))
+                .collect(),
+        );
         LabelSet {
-            header: self.meta.header,
+            header,
             vertex_labels,
             edge_labels,
             edge_index,
@@ -779,69 +837,306 @@ impl EdgeLabelRead for ArchivedEdgeView<'_> {
     }
 }
 
-/// Serializes a label set into the archive layout.
+// ---------------------------------------------------------------------------
+// Archive writing
+// ---------------------------------------------------------------------------
+
+/// Positional little-endian field writers over a pre-sized blob.
+fn put_u16(buf: &mut [u8], at: usize, x: u16) {
+    buf[at..at + 2].copy_from_slice(&x.to_le_bytes());
+}
+
+fn put_u32(buf: &mut [u8], at: usize, x: u32) {
+    buf[at..at + 4].copy_from_slice(&x.to_le_bytes());
+}
+
+fn put_u64(buf: &mut [u8], at: usize, x: u64) {
+    buf[at..at + 8].copy_from_slice(&x.to_le_bytes());
+}
+
+fn put_anc(buf: &mut [u8], at: usize, a: &AncestryLabel) {
+    put_u32(buf, at, a.pre);
+    put_u32(buf, at + 4, a.last);
+    put_u32(buf, at + 8, a.comp);
+}
+
+/// Writes the archive's fixed header, edge-offset table, endpoint index,
+/// and vertex-label region into a pre-sized blob. Shared by the owned
+/// [`encode`] path and the streaming [`stream_from_build`] path so the
+/// two produce identical framing bytes by construction.
+#[allow(clippy::too_many_arguments)]
+fn write_framing(
+    buf: &mut [u8],
+    header: LabelHeader,
+    encoding: EdgeEncoding,
+    n: usize,
+    m: usize,
+    index: &EndpointIndex,
+    edge_offset: impl Fn(usize) -> u64,
+    vertex_anc: impl Fn(usize) -> AncestryLabel,
+) {
+    buf[..4].copy_from_slice(&STORE_MAGIC);
+    put_u16(buf, 4, STORE_VERSION);
+    buf[6] = encoding.tag();
+    buf[7] = 0;
+    put_u32(buf, 8, header.f);
+    put_u32(buf, 12, header.aux_n);
+    put_u64(buf, 16, header.tag);
+    put_u32(buf, 24, n as u32);
+    put_u32(buf, 28, m as u32);
+    put_u32(buf, 32, VERTEX_LABEL_BYTES as u32);
+    put_u32(buf, 36, index.len() as u32);
+    let offsets_at = FIXED_HEADER_BYTES;
+    for e in 0..=m {
+        put_u64(buf, offsets_at + 8 * e, edge_offset(e));
+    }
+    let endpoint_at = offsets_at + (m + 1) * 8;
+    for (i, (u, v, e)) in index.iter().enumerate() {
+        let at = endpoint_at + ENDPOINT_ENTRY_BYTES * i;
+        put_u32(buf, at, u as u32);
+        put_u32(buf, at + 4, v as u32);
+        put_u32(buf, at + 8, e as u32);
+    }
+    let vertices_at = endpoint_at + index.len() * ENDPOINT_ENTRY_BYTES;
+    for v in 0..n {
+        let at = vertices_at + v * VERTEX_LABEL_BYTES;
+        put_u16(buf, at, serial::VERTEX_MAGIC);
+        put_u32(buf, at + 2, header.f);
+        put_u32(buf, at + 6, header.aux_n);
+        put_u64(buf, at + 10, header.tag);
+        put_anc(buf, at + 2 + serial::HEADER_BYTES, &vertex_anc(v));
+    }
+}
+
+/// Writes one edge record's fixed prefix (everything before the syndrome
+/// words): magic, header, both ancestry labels, `k`, and the payload
+/// geometry field (`2k·levels` for full records, `levels` for compact).
+#[allow(clippy::too_many_arguments)]
+fn write_edge_prefix(
+    buf: &mut [u8],
+    at: usize,
+    header: LabelHeader,
+    anc_upper: &AncestryLabel,
+    anc_lower: &AncestryLabel,
+    encoding: EdgeEncoding,
+    k: usize,
+    levels: usize,
+) {
+    put_u16(
+        buf,
+        at,
+        match encoding {
+            EdgeEncoding::Full => serial::EDGE_MAGIC,
+            EdgeEncoding::Compact => serial::COMPACT_EDGE_MAGIC,
+        },
+    );
+    put_u32(buf, at + 2, header.f);
+    put_u32(buf, at + 6, header.aux_n);
+    put_u64(buf, at + 10, header.tag);
+    put_anc(buf, at + 2 + serial::HEADER_BYTES, anc_upper);
+    put_anc(
+        buf,
+        at + 2 + serial::HEADER_BYTES + serial::ANC_BYTES,
+        anc_lower,
+    );
+    let geom_at = at + serial::EDGE_WORDS_OFFSET - 8;
+    put_u32(buf, geom_at, k as u32);
+    put_u32(
+        buf,
+        geom_at + 4,
+        match encoding {
+            EdgeEncoding::Full => (2 * k * levels) as u32,
+            EdgeEncoding::Compact => levels as u32,
+        },
+    );
+}
+
+/// Stored payload words per edge record under an encoding.
+fn payload_words(encoding: EdgeEncoding, k: usize, levels: usize) -> usize {
+    match encoding {
+        EdgeEncoding::Full => 2 * k * levels,
+        EdgeEncoding::Compact => k * levels,
+    }
+}
+
+/// Serializes a label set into the archive layout — one pre-sized output
+/// buffer, written in place (no per-edge byte buffers).
 fn encode(labels: &LabelSet<RsVector>, encoding: EdgeEncoding) -> Vec<u8> {
     let n = labels.n();
     let m = labels.m();
     let header = labels.header();
 
-    // Endpoint index: normalized pairs sorted ascending.
-    let mut endpoint_entries: Vec<(u32, u32, u32)> = labels
-        .edge_index
-        .iter()
-        .map(|(&(u, v), &e)| (u as u32, v as u32, e as u32))
-        .collect();
-    endpoint_entries.sort_unstable();
+    // Per-edge record lengths (uniform for every labeling our builders
+    // produce, but the offset table supports arbitrary lengths — keep
+    // the general form).
+    let record_len = |e: usize| {
+        let vec = &labels.edge_label_by_id(e).vec;
+        serial::EDGE_WORDS_OFFSET + 8 * payload_words(encoding, vec.k(), vec.levels())
+    };
+    let mut edge_total = 0usize;
+    let mut offsets = Vec::with_capacity(m + 1);
+    for e in 0..m {
+        offsets.push(edge_total as u64);
+        edge_total += record_len(e);
+    }
+    offsets.push(edge_total as u64);
 
-    let edge_bytes: Vec<Vec<u8>> = labels
-        .edge_labels
-        .iter()
-        .map(|l| match encoding {
-            EdgeEncoding::Full => edge_to_bytes(l),
-            EdgeEncoding::Compact => edge_to_bytes_compact(l),
-        })
-        .collect();
-    let edge_total: usize = edge_bytes.iter().map(Vec::len).sum();
-
-    let mut out = Vec::with_capacity(
-        FIXED_HEADER_BYTES
-            + (m + 1) * 8
-            + endpoint_entries.len() * ENDPOINT_ENTRY_BYTES
-            + n * VERTEX_LABEL_BYTES
-            + edge_total,
+    let edges_at = FIXED_HEADER_BYTES
+        + (m + 1) * 8
+        + labels.edge_index.len() * ENDPOINT_ENTRY_BYTES
+        + n * VERTEX_LABEL_BYTES;
+    let mut out = vec![0u8; edges_at + edge_total];
+    write_framing(
+        &mut out,
+        header,
+        encoding,
+        n,
+        m,
+        &labels.edge_index,
+        |e| offsets[e],
+        |v| labels.vertex_label(v).anc,
     );
-    out.extend_from_slice(&STORE_MAGIC);
-    out.extend_from_slice(&STORE_VERSION.to_le_bytes());
-    out.push(encoding.tag());
-    out.push(0);
-    out.extend_from_slice(&header.f.to_le_bytes());
-    out.extend_from_slice(&header.aux_n.to_le_bytes());
-    out.extend_from_slice(&header.tag.to_le_bytes());
-    out.extend_from_slice(&(n as u32).to_le_bytes());
-    out.extend_from_slice(&(m as u32).to_le_bytes());
-    out.extend_from_slice(&(VERTEX_LABEL_BYTES as u32).to_le_bytes());
-    out.extend_from_slice(&(endpoint_entries.len() as u32).to_le_bytes());
-
-    let mut off = 0u64;
-    for b in &edge_bytes {
-        out.extend_from_slice(&off.to_le_bytes());
-        off += b.len() as u64;
-    }
-    out.extend_from_slice(&off.to_le_bytes());
-
-    for &(u, v, e) in &endpoint_entries {
-        out.extend_from_slice(&u.to_le_bytes());
-        out.extend_from_slice(&v.to_le_bytes());
-        out.extend_from_slice(&e.to_le_bytes());
-    }
-
-    for v in 0..n {
-        out.extend_from_slice(&vertex_to_bytes(labels.vertex_label(v)));
-    }
-    for b in &edge_bytes {
-        out.extend_from_slice(b);
+    for (e, &off) in offsets.iter().take(m).enumerate() {
+        let label = labels.edge_label_by_id(e);
+        let at = edges_at + off as usize;
+        let (k, levels) = (label.vec.k(), label.vec.levels());
+        write_edge_prefix(
+            &mut out,
+            at,
+            header,
+            &label.anc_upper,
+            &label.anc_lower,
+            encoding,
+            k,
+            levels,
+        );
+        let raw = label.vec.raw();
+        let words_at = at + serial::EDGE_WORDS_OFFSET;
+        match encoding {
+            EdgeEncoding::Full => {
+                for (i, x) in raw.iter().enumerate() {
+                    put_u64(&mut out, words_at + 8 * i, x.to_bits());
+                }
+            }
+            EdgeEncoding::Compact => {
+                // Odd power sums only: s₁, s₃, … (even ones are Frobenius
+                // squares, reconstructed on read).
+                for (i, x) in raw.iter().step_by(2).enumerate() {
+                    put_u64(&mut out, words_at + 8 * i, x.to_bits());
+                }
+            }
+        }
     }
     out
+}
+
+/// [`LevelSink`] writing syndrome rows straight into their final
+/// positions inside a serialized archive blob — the streaming
+/// build-to-archive path. Full records store the whole `2k`-element row;
+/// compact records store the `k` odd power sums.
+struct ArchivePayloadSink {
+    base: *mut u8,
+    len: usize,
+    /// Byte position of edge 0's first payload word.
+    first_payload_at: usize,
+    /// Bytes between consecutive edges' payloads (one record length).
+    record_stride: usize,
+    /// Bytes between consecutive level rows within a record.
+    level_stride: usize,
+    encoding: EdgeEncoding,
+}
+
+// SAFETY: see the `LevelSink` contract — `build_subtree_sums` workers
+// write disjoint `(edge, level)` windows, never overlapping, never read.
+unsafe impl Sync for ArchivePayloadSink {}
+
+impl LevelSink for ArchivePayloadSink {
+    fn write_row(&self, e: usize, level: usize, row: &[Gf64]) {
+        let at = self.first_payload_at + e * self.record_stride + level * self.level_stride;
+        debug_assert!(at + self.level_stride <= self.len);
+        let write_word = |i: usize, x: Gf64| {
+            let bytes = x.to_bits().to_le_bytes();
+            // SAFETY: `at + 8i + 8 ≤ at + level_stride ≤ len` (debug-
+            // asserted above; guaranteed by the layout arithmetic in
+            // `stream_from_build`), and no other worker touches this
+            // window.
+            unsafe {
+                std::ptr::copy_nonoverlapping(bytes.as_ptr(), self.base.add(at + 8 * i), 8);
+            }
+        };
+        match self.encoding {
+            EdgeEncoding::Full => {
+                for (i, &x) in row.iter().enumerate() {
+                    write_word(i, x);
+                }
+            }
+            EdgeEncoding::Compact => {
+                for (i, &x) in row.iter().step_by(2).enumerate() {
+                    write_word(i, x);
+                }
+            }
+        }
+    }
+}
+
+/// Lays out and fills a complete archive straight from a prepared build:
+/// framing, index, vertex labels, and every edge record's prefix are
+/// written up front; the subtree-sums workers then write each `(edge,
+/// level)` syndrome row into its final blob position. The labeling is
+/// never materialized as owned labels, so peak memory is one blob plus
+/// O(threads) worker accumulators.
+pub(crate) fn stream_from_build(
+    g: &Graph,
+    ctx: &BuildCtx,
+    threads: usize,
+    encoding: EdgeEncoding,
+) -> LabelStore {
+    let (n, m) = (g.n(), g.m());
+    let (k, levels, header) = (ctx.k, ctx.levels, ctx.header);
+    let words = payload_words(encoding, k, levels);
+    let record_len = serial::EDGE_WORDS_OFFSET + 8 * words;
+    let index = EndpointIndex::from_edges(g.edge_iter().map(|(_, u, v)| (u, v)));
+
+    let edges_at = FIXED_HEADER_BYTES
+        + (m + 1) * 8
+        + index.len() * ENDPOINT_ENTRY_BYTES
+        + n * VERTEX_LABEL_BYTES;
+    let mut buf = vec![0u8; edges_at + m * record_len];
+    write_framing(
+        &mut buf,
+        header,
+        encoding,
+        n,
+        m,
+        &index,
+        |e| (e * record_len) as u64,
+        |v| ctx.aux.anc[v],
+    );
+    for (e, &lower) in ctx.aux.sigma_lower.iter().enumerate() {
+        let upper = ctx.aux.tree.parent(lower).expect("σ(e) lower has a parent");
+        write_edge_prefix(
+            &mut buf,
+            edges_at + e * record_len,
+            header,
+            &ctx.aux.anc[upper],
+            &ctx.aux.anc[lower],
+            encoding,
+            k,
+            levels,
+        );
+    }
+    {
+        let sink = ArchivePayloadSink {
+            base: buf.as_mut_ptr(),
+            len: buf.len(),
+            first_payload_at: edges_at + serial::EDGE_WORDS_OFFSET,
+            record_stride: record_len,
+            level_stride: 8 * words / levels.max(1),
+            encoding,
+        };
+        crate::scheme::build_subtree_sums(&ctx.aux, &ctx.hierarchy, k, levels, threads, &sink);
+    }
+    LabelStore::from_vec(buf).expect("freshly built archives are well-formed")
 }
 
 #[cfg(test)]

@@ -26,6 +26,30 @@ pub fn connected_avoiding(g: &Graph, s: VertexId, t: VertexId, faults: &[EdgeId]
     if s == t {
         return true;
     }
+    // Small fault sets (the labeling regime: |F| ≤ f) are checked by a
+    // linear scan of the fault slice instead of materializing an O(m)
+    // banned table per query.
+    if faults.len() <= 16 {
+        let mut seen = vec![false; g.n()];
+        let mut queue = std::collections::VecDeque::from([s]);
+        seen[s] = true;
+        while let Some(u) = queue.pop_front() {
+            for &e in g.incident_edges(u) {
+                if faults.contains(&e) {
+                    continue;
+                }
+                let w = g.other_endpoint(e, u);
+                if w == t {
+                    return true;
+                }
+                if !seen[w] {
+                    seen[w] = true;
+                    queue.push_back(w);
+                }
+            }
+        }
+        return false;
+    }
     let mut banned = vec![false; g.m()];
     for &e in faults {
         banned[e] = true;
@@ -57,6 +81,80 @@ pub fn components_avoiding(g: &Graph, faults: &[EdgeId]) -> UnionFind {
         }
     }
     uf
+}
+
+/// A reusable many-query connectivity oracle: prepare once per fault set
+/// (one union-find sweep over the surviving edges, O(m α)), then answer
+/// any number of `(s, t)` pairs in near-constant time each.
+///
+/// Differential tests and benchmarks that sweep many pairs against many
+/// fault sets on large graphs should use this instead of per-pair
+/// [`connected_avoiding`] BFS — the per-pair traversal turns such sweeps
+/// quadratic, while the oracle's prepared component table keeps them
+/// linear. All scratch (the union-find forest and the banned-edge table)
+/// is retained across [`ConnectivityOracle::prepare`] calls, so steady-
+/// state preparation allocates nothing.
+///
+/// # Example
+///
+/// ```
+/// use ftc_graph::{connectivity::ConnectivityOracle, Graph};
+///
+/// let g = Graph::cycle(5);
+/// let mut oracle = ConnectivityOracle::new(&g);
+/// oracle.prepare(&[0, 1]); // two faults split the cycle into two arcs
+/// assert!(!oracle.connected(1, 4));
+/// assert!(oracle.connected(2, 4));
+/// oracle.prepare(&[2]); // one fault cannot disconnect a cycle
+/// assert!(oracle.connected(1, 4));
+/// ```
+#[derive(Debug)]
+pub struct ConnectivityOracle<'g> {
+    g: &'g Graph,
+    uf: UnionFind,
+    banned: Vec<bool>,
+}
+
+impl<'g> ConnectivityOracle<'g> {
+    /// Creates an oracle prepared for the empty fault set.
+    pub fn new(g: &'g Graph) -> ConnectivityOracle<'g> {
+        let mut oracle = ConnectivityOracle {
+            g,
+            uf: UnionFind::new(g.n()),
+            banned: vec![false; g.m()],
+        };
+        oracle.prepare(&[]);
+        oracle
+    }
+
+    /// Rebuilds the component table for `G − faults`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a fault edge ID is out of range.
+    pub fn prepare(&mut self, faults: &[EdgeId]) {
+        self.uf.reset(self.g.n());
+        for &e in faults {
+            self.banned[e] = true;
+        }
+        for (e, u, v) in self.g.edge_iter() {
+            if !self.banned[e] {
+                self.uf.union(u, v);
+            }
+        }
+        for &e in faults {
+            self.banned[e] = false;
+        }
+    }
+
+    /// `true` iff `s` and `t` are connected under the prepared fault set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a vertex is out of range.
+    pub fn connected(&mut self, s: VertexId, t: VertexId) -> bool {
+        s == t || self.uf.same(s, t)
+    }
 }
 
 /// Returns all bridges (cut edges) of the graph, by the standard low-link
@@ -158,6 +256,43 @@ mod tests {
         b.sort_unstable();
         assert_eq!(b, vec![0, 1, 2]);
         assert!(bridges(&Graph::cycle(4)).is_empty());
+    }
+
+    #[test]
+    fn oracle_matches_bfs_across_fault_sets() {
+        let g = crate::generators::random_connected(40, 25, 3);
+        let mut oracle = ConnectivityOracle::new(&g);
+        for seed in 0..12u64 {
+            let faults = crate::generators::random_fault_set(&g, 4, seed);
+            oracle.prepare(&faults);
+            for s in 0..g.n() {
+                for t in 0..g.n() {
+                    assert_eq!(
+                        oracle.connected(s, t),
+                        connected_avoiding(&g, s, t, &faults),
+                        "({s},{t},{faults:?})"
+                    );
+                }
+            }
+        }
+        // Re-preparing with the empty set restores full connectivity.
+        oracle.prepare(&[]);
+        assert!(oracle.connected(0, g.n() - 1));
+    }
+
+    #[test]
+    fn large_fault_sets_use_banned_table_path() {
+        let g = Graph::complete(9); // 36 edges; ban more than 16
+        let faults: Vec<usize> = (0..20).collect();
+        for s in 0..g.n() {
+            for t in 0..g.n() {
+                let mut uf = components_avoiding(&g, &faults);
+                assert_eq!(
+                    connected_avoiding(&g, s, t, &faults),
+                    uf.same(s, t) || s == t
+                );
+            }
+        }
     }
 
     #[test]

@@ -134,6 +134,68 @@ impl Graph {
     }
 }
 
+/// An open-addressing set of normalized vertex pairs, keyed by the packed
+/// word `(u << 32) | v` with `u < v`. The random generators probe it once
+/// per candidate edge, so it avoids both the SipHash cost and the
+/// per-entry layout overhead of `HashSet<(usize, usize)>` — at large `n`
+/// this keeps graph generation linear in the number of edges drawn (the
+/// table is sized once, no rehash-and-scan cycles).
+struct PairSet {
+    /// Power-of-two slot table; `0` marks an empty slot (`u < v` keeps
+    /// every real key nonzero).
+    slots: Vec<u64>,
+    mask: usize,
+    len: usize,
+}
+
+impl PairSet {
+    fn with_capacity(pairs: usize) -> PairSet {
+        let slots = (pairs * 2).next_power_of_two().max(16);
+        PairSet {
+            slots: vec![0; slots],
+            mask: slots - 1,
+            len: 0,
+        }
+    }
+
+    /// Slot of `key` under Fibonacci multiplicative hashing with linear
+    /// probing: either the key's occupied slot or the empty slot it would
+    /// take.
+    fn probe(slots: &[u64], mask: usize, key: u64) -> usize {
+        let mut at = (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize & mask;
+        while slots[at] != 0 && slots[at] != key {
+            at = (at + 1) & mask;
+        }
+        at
+    }
+
+    /// Inserts the normalized pair, returning `true` iff it was new.
+    fn insert(&mut self, u: VertexId, v: VertexId) -> bool {
+        debug_assert_ne!(u, v);
+        // Keep the table at most half full so probe chains stay short
+        // (callers size it right up front; growth is the safety valve).
+        if (self.len + 1) * 2 > self.slots.len() {
+            let grown = self.slots.len() * 2;
+            let mut slots = vec![0u64; grown];
+            for &k in self.slots.iter().filter(|&&k| k != 0) {
+                let at = Self::probe(&slots, grown - 1, k);
+                slots[at] = k;
+            }
+            self.slots = slots;
+            self.mask = grown - 1;
+        }
+        let (lo, hi) = (u.min(v) as u64, u.max(v) as u64);
+        let key = (lo << 32) | hi;
+        let at = Self::probe(&self.slots, self.mask, key);
+        if self.slots[at] == key {
+            return false;
+        }
+        self.slots[at] = key;
+        self.len += 1;
+        true
+    }
+}
+
 /// Erdős–Rényi `G(n, m)`: `m` distinct edges drawn uniformly at random
 /// (without replacement) from all vertex pairs.
 ///
@@ -145,16 +207,15 @@ pub fn gnm(n: usize, m: usize, seed: u64) -> Graph {
     assert!(m <= max, "requested {m} edges but only {max} exist");
     let mut rng = StdRng::seed_from_u64(seed);
     let mut g = Graph::new(n);
-    let mut used = std::collections::HashSet::with_capacity(m * 2);
+    let mut used = PairSet::with_capacity(m);
     while g.m() < m {
         let u = rng.random_range(0..n);
         let v = rng.random_range(0..n);
         if u == v {
             continue;
         }
-        let key = (u.min(v), u.max(v));
-        if used.insert(key) {
-            g.add_edge(key.0, key.1);
+        if used.insert(u, v) {
+            g.add_edge(u.min(v), u.max(v));
         }
     }
     g
@@ -172,7 +233,7 @@ pub fn random_connected(n: usize, extra: usize, seed: u64) -> Graph {
     assert!(n - 1 + extra <= max, "too many edges requested");
     let mut rng = StdRng::seed_from_u64(seed);
     let mut g = Graph::new(n);
-    let mut used = std::collections::HashSet::new();
+    let mut used = PairSet::with_capacity(n - 1 + extra);
     // Random tree: attach each vertex (in shuffled order) to a random
     // earlier vertex.
     let mut order: Vec<VertexId> = (0..n).collect();
@@ -180,7 +241,7 @@ pub fn random_connected(n: usize, extra: usize, seed: u64) -> Graph {
     for i in 1..n {
         let j = rng.random_range(0..i);
         let (u, v) = (order[i], order[j]);
-        used.insert((u.min(v), u.max(v)));
+        used.insert(u, v);
         g.add_edge(u, v);
     }
     let mut added = 0;
@@ -190,9 +251,8 @@ pub fn random_connected(n: usize, extra: usize, seed: u64) -> Graph {
         if u == v {
             continue;
         }
-        let key = (u.min(v), u.max(v));
-        if used.insert(key) {
-            g.add_edge(key.0, key.1);
+        if used.insert(u, v) {
+            g.add_edge(u.min(v), u.max(v));
             added += 1;
         }
     }
@@ -365,5 +425,24 @@ mod tests {
     #[should_panic(expected = "only")]
     fn gnm_rejects_oversized_requests() {
         gnm(4, 7, 0);
+    }
+
+    #[test]
+    fn pair_set_dedups_in_either_order() {
+        let mut s = PairSet::with_capacity(4);
+        assert!(s.insert(3, 9));
+        assert!(!s.insert(9, 3));
+        assert!(s.insert(0, 1)); // smallest pair packs to a nonzero key
+        assert!(!s.insert(0, 1));
+        // Force probing collisions well past the sizing hint.
+        let mut fresh = 0;
+        for u in 0..20usize {
+            for v in (u + 1)..20 {
+                if s.insert(u, v) {
+                    fresh += 1;
+                }
+            }
+        }
+        assert_eq!(fresh, 20 * 19 / 2 - 2);
     }
 }

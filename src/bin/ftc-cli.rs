@@ -26,7 +26,7 @@
 //! worker threads hammering one shared service (answers stay in input
 //! order); without it, queries stream one at a time.
 
-use ftc::core::store::{EdgeEncoding, LabelStore, LabelStoreView};
+use ftc::core::store::{EdgeEncoding, LabelStoreView};
 use ftc::core::{FtcScheme, HierarchyBackend, Params, ThresholdPolicy};
 use ftc::graph::Graph;
 use ftc::serve::ConnectivityService;
@@ -97,22 +97,21 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
 
     let g = read_graph(Path::new(graph_path))?;
     eprintln!("graph: n = {}, m = {}", g.n(), g.m());
-    let scheme = FtcScheme::builder(&g)
+    // Stream the build straight into the archive: worker threads write
+    // each label's payload into its final blob position, so the labeling
+    // is never held twice in memory (the blob is byte-identical to
+    // build-then-serialize).
+    let (store, diag) = FtcScheme::builder(&g)
         .params(&params)
         .threads(threads)
-        .build()
+        .build_store(encoding)
         .map_err(|e| e.to_string())?;
-    let size = scheme.size_report();
-    eprintln!(
-        "labels built: k = {}, {} levels, {} bits/vertex, {} bits/edge",
-        size.k, size.levels, size.vertex_bits, size.edge_bits
-    );
+    eprintln!("labels built: k = {}, {} levels", diag.k, diag.levels);
 
-    let blob = LabelStore::to_vec(scheme.labels(), encoding);
-    fs::write(out_path, &blob).map_err(|e| format!("cannot write {out_path}: {e}"))?;
+    fs::write(out_path, store.as_bytes()).map_err(|e| format!("cannot write {out_path}: {e}"))?;
     println!(
         "wrote {} byte archive ({} vertices, {} edges) to {out_path}",
-        blob.len(),
+        store.as_bytes().len(),
         g.n(),
         g.m()
     );

@@ -1,11 +1,17 @@
-//! Counting-allocator proofs for the allocation-free serving hot path:
+//! Counting-allocator proofs for the allocation-free serving hot path
+//! and the single-copy build path:
 //!
 //! * a **warm** `session_in` rebuild (scratch recycled, same fault-set
 //!   shapes seen before) performs **zero** heap allocations — through the
 //!   fault ingestion, fragment CSR rebuild, slab/arena merge engine, and
 //!   the adaptive decoder's Berlekamp–Massey + trace-algorithm internals;
 //! * `connected`, `certified`, and `connected_many` (with a
-//!   pre-reserved output buffer) allocate nothing per query.
+//!   pre-reserved output buffer) allocate nothing per query;
+//! * the **build pipeline** allocates the label payload **once** — one
+//!   contiguous slab (or the archive blob itself for `build_store`) plus
+//!   O(levels + threads) worker scratch; the historical per-edge
+//!   `Vec` + full-payload-clone regime (≥ 3× the payload in allocated
+//!   bytes) is pinned out by a byte ceiling.
 //!
 //! The allocator counts per thread, so parallel test threads don't
 //! pollute each other's measurements.
@@ -20,28 +26,31 @@ struct CountingAlloc;
 
 thread_local! {
     static ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+    /// Total bytes requested from the allocator (monotone).
+    static ALLOCATED_BYTES: Cell<u64> = const { Cell::new(0) };
 }
 
-fn bump() {
+fn bump(bytes: usize) {
     // `Cell` with const initialization: the TLS access itself never
-    // allocates, so the counter is safe to touch from inside the
+    // allocates, so the counters are safe to touch from inside the
     // allocator.
     ALLOCATIONS.with(|c| c.set(c.get() + 1));
+    ALLOCATED_BYTES.with(|c| c.set(c.get() + bytes as u64));
 }
 
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        bump();
+        bump(layout.size());
         System.alloc(layout)
     }
 
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
-        bump();
+        bump(layout.size());
         System.alloc_zeroed(layout)
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        bump();
+        bump(new_size);
         System.realloc(ptr, layout, new_size)
     }
 
@@ -58,6 +67,18 @@ fn count_allocs<R>(f: impl FnOnce() -> R) -> (u64, R) {
     let before = ALLOCATIONS.with(Cell::get);
     let r = f();
     (ALLOCATIONS.with(Cell::get) - before, r)
+}
+
+/// Runs `f`, returning (allocations, bytes requested, result) — all on
+/// this thread.
+fn count_alloc_bytes<R>(f: impl FnOnce() -> R) -> (u64, u64, R) {
+    let (before_n, before_b) = (ALLOCATIONS.with(Cell::get), ALLOCATED_BYTES.with(Cell::get));
+    let r = f();
+    (
+        ALLOCATIONS.with(Cell::get) - before_n,
+        ALLOCATED_BYTES.with(Cell::get) - before_b,
+        r,
+    )
 }
 
 #[test]
@@ -115,6 +136,72 @@ fn warm_rebuilds_and_queries_are_allocation_free() {
 
         scratch.recycle(session);
     }
+}
+
+#[test]
+fn build_path_allocates_one_payload_copy() {
+    // A payload-dominated instance: k is large enough that the syndrome
+    // slab dwarfs every auxiliary structure, so the byte ceiling below
+    // genuinely discriminates "one payload copy" from the historical
+    // per-edge-Vec + clone + double-buffered-encode regime (≥ 3×).
+    let g = generators::random_connected(220, 1400, 17);
+    let params = Params::deterministic(4).with_threshold(ThresholdPolicy::Fixed(128));
+
+    // Streaming build-to-archive: the blob IS the payload's single copy.
+    let (allocs, bytes, (store, diag)) = count_alloc_bytes(|| {
+        FtcScheme::builder(&g)
+            .params(&params)
+            .threads(1)
+            .build_store(EdgeEncoding::Full)
+            .unwrap()
+    });
+    let blob = store.as_bytes().len() as u64;
+    let payload = (g.m() * 2 * diag.k * diag.levels * 8) as u64;
+    assert!(payload * 3 > blob * 2, "instance must be payload-dominated");
+    assert!(
+        bytes < blob + blob / 2,
+        "build_store allocated {bytes} bytes for a {blob}-byte archive — \
+         a second payload copy crept back in"
+    );
+    // Beyond the blob and the O(levels + threads) worker scratch, the
+    // build allocates only graph-shaped structures (adjacency lists,
+    // tree arrays — ~1.5 per auxiliary vertex here). The historical
+    // payload path added ≥ 3 allocations per edge on top of that
+    // baseline (per-edge sum Vec, owned-label clone, per-edge encode
+    // buffer ≈ 3m ≈ m·levels on this instance), so staying below
+    // m·levels pins the per-edge payload allocations out.
+    let per_edge_regime = (g.m() * diag.levels) as u64;
+    assert!(
+        allocs < per_edge_regime,
+        "build_store performed {allocs} allocations (per-edge payload \
+         regime would add ≥ {per_edge_regime})"
+    );
+
+    // Owned build: same ceiling (slab + `Arc` hand-off = ≤ 2 payload
+    // copies, vs ≥ 3 for the historical path), and every edge label must
+    // be a window into the one shared slab — no per-edge payload `Vec`.
+    let (allocs, bytes, scheme) = count_alloc_bytes(|| {
+        FtcScheme::builder(&g)
+            .params(&params)
+            .threads(1)
+            .build()
+            .unwrap()
+    });
+    assert!(
+        bytes < payload * 5 / 2,
+        "build allocated {bytes} bytes for a {payload}-byte payload"
+    );
+    assert!(
+        allocs < per_edge_regime,
+        "build performed {allocs} allocations"
+    );
+    assert!(
+        scheme
+            .labels()
+            .edge_labels()
+            .all(|l| l.vec.is_slab_window()),
+        "every edge label must window the shared payload slab"
+    );
 }
 
 #[test]

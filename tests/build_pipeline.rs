@@ -1,0 +1,234 @@
+//! Whole-pipeline guarantees of the streaming, arena-backed build:
+//!
+//! * every thread count produces **byte-identical** archives, in both
+//!   encodings — not just the subtree-sum stage, the whole pipeline
+//!   (aux graph, hierarchy, labels, index, serialization);
+//! * `SchemeBuilder::build_store` emits exactly the bytes of
+//!   write-after-build (`LabelStore::to_vec` of the equivalent owned
+//!   build), for every thread count;
+//! * parallel-edge endpoint lookups keep the historical semantics
+//!   (largest edge ID wins) in both the in-memory index and the archive;
+//! * a large-`n` build (release only) answers like the BFS/union-find
+//!   oracle.
+
+use ftc::core::store::{EdgeEncoding, LabelStore, LabelStoreView};
+use ftc::core::{FtcScheme, Params, ThresholdPolicy};
+use ftc::graph::connectivity::ConnectivityOracle;
+use ftc::graph::{generators, Graph};
+
+const ENCODINGS: [EdgeEncoding; 2] = [EdgeEncoding::Full, EdgeEncoding::Compact];
+
+#[test]
+fn whole_pipeline_is_byte_identical_across_thread_counts() {
+    let g = generators::random_connected(80, 140, 21);
+    for params in [Params::deterministic(2), Params::randomized(2, 9)] {
+        let reference: Vec<Vec<u8>> = ENCODINGS
+            .iter()
+            .map(|&enc| {
+                let scheme = FtcScheme::builder(&g).params(&params).build().unwrap();
+                LabelStore::to_vec(scheme.labels(), enc)
+            })
+            .collect();
+        for threads in [2usize, 8] {
+            for (enc, want) in ENCODINGS.iter().zip(&reference) {
+                let scheme = FtcScheme::builder(&g)
+                    .params(&params)
+                    .threads(threads)
+                    .build()
+                    .unwrap();
+                assert_eq!(
+                    &LabelStore::to_vec(scheme.labels(), *enc),
+                    want,
+                    "threads={threads} {enc:?} {params:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn build_store_matches_write_after_build_byte_for_byte() {
+    let g = generators::random_connected(70, 120, 5);
+    let params = Params::deterministic(2);
+    for enc in ENCODINGS {
+        let owned = FtcScheme::builder(&g).params(&params).build().unwrap();
+        let want = LabelStore::to_vec(owned.labels(), enc);
+        for threads in [1usize, 2, 8] {
+            let (store, diag) = FtcScheme::builder(&g)
+                .params(&params)
+                .threads(threads)
+                .build_store(enc)
+                .unwrap();
+            assert_eq!(
+                store.as_bytes(),
+                &want[..],
+                "threads={threads} {enc:?} blob diverged"
+            );
+            assert_eq!(diag.k, owned.diagnostics().k);
+            assert_eq!(diag.levels, owned.diagnostics().levels);
+        }
+        // from_builder is the same streaming path.
+        let via_helper =
+            LabelStore::from_builder(FtcScheme::builder(&g).params(&params).threads(2), enc)
+                .unwrap();
+        assert_eq!(via_helper.as_bytes(), &want[..]);
+    }
+}
+
+#[test]
+fn build_store_archives_serve_sessions() {
+    // The streamed blob is not just structurally valid: it answers
+    // queries like the owned labels do.
+    let g = generators::random_connected(48, 70, 11);
+    let params = Params::deterministic(2);
+    let owned = FtcScheme::builder(&g).params(&params).build().unwrap();
+    let l = owned.labels();
+    for enc in ENCODINGS {
+        let (store, _) = FtcScheme::builder(&g)
+            .params(&params)
+            .threads(2)
+            .build_store(enc)
+            .unwrap();
+        let view = store.view();
+        let endpoint_of: Vec<(usize, usize)> = g.edge_iter().map(|(_, u, v)| (u, v)).collect();
+        for seed in 0..6u64 {
+            let faults = generators::random_fault_set(&g, 2, seed);
+            let session = view
+                .session(faults.iter().map(|&e| endpoint_of[e]))
+                .unwrap();
+            let owned_session = l
+                .session(faults.iter().map(|&e| l.edge_label_by_id(e)))
+                .unwrap();
+            for s in (0..g.n()).step_by(3) {
+                for t in (1..g.n()).step_by(2) {
+                    assert_eq!(
+                        session.connected(view.vertex(s).unwrap(), view.vertex(t).unwrap()),
+                        owned_session.connected(l.vertex_label(s), l.vertex_label(t)),
+                        "({s},{t},{faults:?},{enc:?})"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn parallel_edge_endpoint_semantics_are_pinned() {
+    // A multigraph: edges 1, 3, and 5 all join (1, 2).
+    let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (2, 1), (3, 0), (1, 2)]);
+    let params = Params::deterministic(3);
+    let scheme = FtcScheme::build(&g, &params).unwrap();
+    let l = scheme.labels();
+    assert_eq!(l.m(), 6, "every parallel edge keeps its own label");
+
+    // Endpoint lookup resolves to the LARGEST edge ID joining the pair —
+    // the historical HashMap insert-order semantics.
+    let by_pair = l.edge_label(1, 2).unwrap();
+    assert_eq!(by_pair, l.edge_label_by_id(5));
+    assert_eq!(l.edge_label(2, 1).unwrap(), l.edge_label_by_id(5));
+    // Edge-ID addressing still reaches each parallel edge individually,
+    // and their labels are genuinely distinct (distinct σ(e) images).
+    assert_ne!(l.edge_label_by_id(1), l.edge_label_by_id(5));
+    assert_ne!(l.edge_label_by_id(3), l.edge_label_by_id(5));
+
+    // The archive agrees: its endpoint index stores one entry per
+    // normalized pair, resolving to the same edge ID, for both the
+    // write-after-build and the streaming path.
+    for enc in ENCODINGS {
+        let blob = LabelStore::to_vec(l, enc);
+        let (streamed, _) = FtcScheme::builder(&g)
+            .params(&params)
+            .build_store(enc)
+            .unwrap();
+        assert_eq!(streamed.as_bytes(), &blob[..]);
+        let view = LabelStoreView::open(&blob).unwrap();
+        assert_eq!(view.endpoint_index().len(), 4); // 6 edges, 4 distinct pairs
+        assert_eq!(view.edge_id(1, 2), Some(5));
+        assert_eq!(view.edge_id(2, 1), Some(5));
+        // Reconstitution keeps both the labels and the index semantics.
+        let restored = view.to_label_set();
+        assert_eq!(restored.edge_label(1, 2).unwrap(), l.edge_label_by_id(5));
+        for e in 0..g.m() {
+            assert_eq!(restored.edge_label_by_id(e), l.edge_label_by_id(e));
+        }
+    }
+
+    // Faulting one parallel edge must not disconnect anything (its twin
+    // survives); faulting both severs 1–2 unless the long way around
+    // remains — exercise sessions over parallel-edge fault sets by ID.
+    let session = l
+        .session([
+            l.edge_label_by_id(1),
+            l.edge_label_by_id(3),
+            l.edge_label_by_id(5),
+        ])
+        .unwrap();
+    // 1 and 2 stay connected through 0–3: 1–0, 0–3(edge 4), 3–2.
+    assert_eq!(
+        session.connected(l.vertex_label(1), l.vertex_label(2)),
+        Ok(true)
+    );
+    let oracle = |faults: &[usize], s: usize, t: usize| {
+        ftc::graph::connectivity::connected_avoiding(&g, s, t, faults)
+    };
+    assert!(oracle(&[1, 3, 5], 1, 2));
+    let session = l
+        .session([
+            l.edge_label_by_id(1),
+            l.edge_label_by_id(3),
+            l.edge_label_by_id(5),
+            l.edge_label_by_id(0),
+        ])
+        .unwrap_err();
+    // f = 3 budget: a 4-fault set is over budget — the point is only
+    // that parallel-edge IDs dedup as distinct faults (no collapse).
+    assert_eq!(
+        session,
+        ftc::core::QueryError::TooManyFaults {
+            supplied: 4,
+            budget: 3
+        }
+    );
+}
+
+/// Differential build-vs-oracle at large `n`. Debug builds skip it (the
+/// tier-1 `cargo test -q` stays fast); CI and local `--release` runs
+/// exercise it via `cargo test --release`.
+#[test]
+#[cfg_attr(debug_assertions, ignore = "large-n differential runs in release only")]
+fn large_n_build_matches_oracle() {
+    let n = 20_000;
+    let g = generators::random_connected(n, n / 2, 4242);
+    let params = Params::deterministic(2).with_threshold(ThresholdPolicy::Fixed(88));
+    let (store, diag) = FtcScheme::builder(&g)
+        .params(&params)
+        .threads(0)
+        .build_store(EdgeEncoding::Full)
+        .unwrap();
+    assert!(diag.levels > 0);
+    let view = store.view();
+    assert_eq!(view.n(), n);
+    let endpoint_of: Vec<(usize, usize)> = g.edge_iter().map(|(_, u, v)| (u, v)).collect();
+    // Many pairs per fault set against the prepared union-find oracle —
+    // the oracle cost is one O(m α) sweep per fault set, not a BFS per
+    // pair, so the differential stays linear at this scale.
+    let mut oracle = ConnectivityOracle::new(&g);
+    for seed in 0..8u64 {
+        let faults = generators::random_fault_set(&g, 2, seed);
+        oracle.prepare(&faults);
+        let session = view
+            .session(faults.iter().map(|&e| endpoint_of[e]))
+            .unwrap();
+        for i in 0..400usize {
+            let s = (i * 7919 + 3) % n;
+            let t = (i * 104_729 + 11) % n;
+            assert_eq!(
+                session
+                    .connected(view.vertex(s).unwrap(), view.vertex(t).unwrap())
+                    .unwrap(),
+                oracle.connected(s, t),
+                "({s},{t},{faults:?})"
+            );
+        }
+    }
+}
