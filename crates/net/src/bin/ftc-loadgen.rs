@@ -1,0 +1,677 @@
+//! `ftc-loadgen` — drive open- or closed-loop query load at an
+//! `ftc-server` and report latency histograms.
+//!
+//! ```text
+//! ftc-loadgen [--quick] [--addr HOST:PORT] [--graph-id ID] [--out PATH]
+//!             [--emit-graph PATH]
+//!             [--mode closed|open] [--conns N] [--depth N] [--pairs N]
+//!             [--rate R] [--duration-ms N]
+//! ```
+//!
+//! Without `--addr` the loadgen spawns an in-process server over the
+//! deterministic workload graph (loopback, archive-backed service —
+//! the same serving path as the standalone binary) and reports the
+//! server's coalescer counters per scenario. With `--addr` it drives an
+//! external server that must have the workload archive registered under
+//! `--graph-id` (default `loadgen`); `--emit-graph PATH` writes that
+//! graph's edge list for `ftc-cli build` and exits.
+//!
+//! The default run measures a fixed scenario suite into `BENCH_net.json`
+//! (schema `ftc-perf-net/v1`):
+//!
+//! * `closed_pipelined` — the headline throughput arm: few connections,
+//!   deep pipelining, large pair batches, rotating fault sets;
+//! * `shared_faults` / `distinct_faults` — the coalescing comparison:
+//!   identical closed-loop shape, but one arm has every connection
+//!   querying the *same* fault set (cross-connection coalescing groups
+//!   them onto shared sessions) while the other gives every request its
+//!   own fault set (one session per request, the no-coalescing floor);
+//! * `open_loop` — fixed arrival rate; latency is measured from each
+//!   request's *scheduled* send time, so queueing delay is charged to
+//!   the server (no coordinated omission).
+//!
+//! Any of `--mode/--conns/--depth/--pairs/--rate/--duration-ms` replaces
+//! the suite with one custom scenario built from those knobs.
+
+use ftc_core::store::{EdgeEncoding, LabelStore};
+use ftc_core::{FtcScheme, Params};
+use ftc_graph::{generators, Graph};
+use ftc_net::client::Client;
+use ftc_net::histogram::LatencyHistogram;
+use ftc_net::proto::ResponseBody;
+use ftc_net::server::{Server, ServerConfig, ServerHandle};
+use ftc_serve::{ConnectivityService, ServiceRegistry};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::net::SocketAddr;
+use std::process::ExitCode;
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------------
+// workload
+// ---------------------------------------------------------------------------
+
+/// The deterministic workload: a graph, fault-set pools, and query
+/// pairs, all derived from fixed seeds so an external server built from
+/// `--emit-graph` answers the exact same byte stream.
+struct Workload {
+    graph: Graph,
+    f: usize,
+    /// Fault sets shared by every connection (rotation / shared arms).
+    shared_faults: Vec<Vec<(usize, usize)>>,
+    /// Query pairs, sliced per request.
+    pairs: Vec<(usize, usize)>,
+}
+
+impl Workload {
+    fn new(quick: bool) -> Workload {
+        let (n, f) = if quick { (200, 2) } else { (1000, 4) };
+        let graph = generators::random_connected(n, 3 * n, 7);
+        let endpoint_of: Vec<(usize, usize)> = graph.edge_iter().map(|(_, u, v)| (u, v)).collect();
+        let shared_faults = (0..if quick { 4 } else { 8 })
+            .map(|s| {
+                generators::random_fault_set(&graph, f, s as u64)
+                    .iter()
+                    .map(|&e| endpoint_of[e])
+                    .collect()
+            })
+            .collect();
+        let pairs = (0..4096)
+            .map(|i| {
+                let a = (i * 7919 + 13) % n;
+                let b = (i * 104_729 + 31) % n;
+                (a, b)
+            })
+            .collect();
+        Workload {
+            graph,
+            f,
+            shared_faults,
+            pairs,
+        }
+    }
+
+    /// A per-connection pool of fault sets distinct from every other
+    /// connection's (so no two in-flight requests can share a coalescing
+    /// key — the one-session-per-request floor).
+    fn distinct_faults(&self, conn: usize, count: usize) -> Vec<Vec<(usize, usize)>> {
+        let endpoint_of: Vec<(usize, usize)> =
+            self.graph.edge_iter().map(|(_, u, v)| (u, v)).collect();
+        (0..count)
+            .map(|i| {
+                let seed = 100 + 7919 * conn as u64 + i as u64;
+                generators::random_fault_set(&self.graph, self.f, seed)
+                    .iter()
+                    .map(|&e| endpoint_of[e])
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn request_pairs(&self, index: usize, per_request: usize) -> &[(usize, usize)] {
+        let start = (index * per_request) % (self.pairs.len() - per_request);
+        &self.pairs[start..start + per_request]
+    }
+}
+
+// ---------------------------------------------------------------------------
+// scenarios
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Copy)]
+enum LoopMode {
+    /// Keep `depth` requests in flight per connection at all times.
+    Closed { depth: usize },
+    /// Send at a fixed aggregate rate (requests/sec across all
+    /// connections); latency counts from the scheduled send time.
+    Open { rate: f64 },
+}
+
+#[derive(Clone, Copy)]
+enum FaultChoice {
+    /// Every request uses shared fault set 0 (maximal coalescing).
+    SharedOne,
+    /// Rotate through the shared pool (occasional coalescing overlap).
+    Rotate,
+    /// Per-connection distinct pools (no coalescing possible).
+    Distinct,
+}
+
+struct Scenario {
+    name: &'static str,
+    mode: LoopMode,
+    conns: usize,
+    pairs_per_request: usize,
+    faults: FaultChoice,
+    duration: Duration,
+}
+
+fn suite(quick: bool) -> Vec<Scenario> {
+    let secs = |s: u64| {
+        if quick {
+            Duration::from_millis(150)
+        } else {
+            Duration::from_secs(s)
+        }
+    };
+    // Per-request overhead (loopback round trip + a session build when
+    // nothing coalesces) is ~1.5ms on a small host, so the throughput
+    // headline amortizes it over large pair batches.
+    let (depth, big, small) = if quick { (2, 64, 4) } else { (4, 512, 4) };
+    vec![
+        Scenario {
+            name: "closed_pipelined",
+            mode: LoopMode::Closed { depth },
+            conns: 2,
+            pairs_per_request: big,
+            faults: FaultChoice::Rotate,
+            duration: secs(4),
+        },
+        Scenario {
+            name: "shared_faults",
+            mode: LoopMode::Closed { depth: 1 },
+            conns: 8,
+            pairs_per_request: small,
+            faults: FaultChoice::SharedOne,
+            duration: secs(3),
+        },
+        Scenario {
+            name: "distinct_faults",
+            mode: LoopMode::Closed { depth: 1 },
+            conns: 8,
+            pairs_per_request: small,
+            faults: FaultChoice::Distinct,
+            duration: secs(3),
+        },
+        Scenario {
+            name: "open_loop",
+            // Kept well under the closed-loop request ceiling so the
+            // report reflects latency under load, not queueing collapse.
+            mode: LoopMode::Open {
+                rate: if quick { 200.0 } else { 300.0 },
+            },
+            conns: 4,
+            pairs_per_request: 16,
+            faults: FaultChoice::Rotate,
+            duration: secs(2),
+        },
+    ]
+}
+
+struct ScenarioResult {
+    requests: u64,
+    queries: u64,
+    elapsed: f64,
+    hist: LatencyHistogram,
+    /// Coalescer counter deltas over the scenario (in-process only):
+    /// requests, coalesced, batches.
+    coalesce: Option<(u64, u64, u64)>,
+}
+
+/// One connection's closed-loop driver: keep `depth` requests in
+/// flight, record completion − send latency per request.
+fn run_closed(
+    client: &mut Client,
+    workload: &Workload,
+    sc: &Scenario,
+    conn: usize,
+    graph_id: &str,
+    deadline: Instant,
+    hist: &mut LatencyHistogram,
+) -> Result<u64, String> {
+    let LoopMode::Closed { depth } = sc.mode else {
+        return Err("run_closed on an open-loop scenario".into());
+    };
+    let distinct = match sc.faults {
+        FaultChoice::Distinct => workload.distinct_faults(conn, 32),
+        _ => Vec::new(),
+    };
+    let fault_of = |i: usize| -> &[(usize, usize)] {
+        match sc.faults {
+            FaultChoice::SharedOne => &workload.shared_faults[0],
+            FaultChoice::Rotate => {
+                &workload.shared_faults[(i + conn) % workload.shared_faults.len()]
+            }
+            FaultChoice::Distinct => &distinct[i % distinct.len()],
+        }
+    };
+    let mut inflight: HashMap<u64, Instant> = HashMap::new();
+    let mut sent = 0usize;
+    let mut done = 0u64;
+    let send_next = |client: &mut Client,
+                     sent: &mut usize,
+                     inflight: &mut HashMap<u64, Instant>|
+     -> Result<(), String> {
+        let pairs = workload.request_pairs(*sent + conn * 17, sc.pairs_per_request);
+        let t = Instant::now();
+        let id = client
+            .send(graph_id, fault_of(*sent), pairs)
+            .map_err(|e| e.to_string())?;
+        inflight.insert(id, t);
+        *sent += 1;
+        Ok(())
+    };
+    for _ in 0..depth {
+        send_next(client, &mut sent, &mut inflight)?;
+    }
+    while !inflight.is_empty() {
+        let resp = client.recv().map_err(|e| e.to_string())?;
+        let t0 = inflight
+            .remove(&resp.request_id)
+            .ok_or("response for unknown request ID")?;
+        if let ResponseBody::Error { code, message } = &resp.body {
+            return Err(format!("server error: {code}: {message}"));
+        }
+        hist.record(t0.elapsed().as_nanos() as u64);
+        done += 1;
+        if Instant::now() < deadline {
+            send_next(client, &mut sent, &mut inflight)?;
+        }
+    }
+    Ok(done)
+}
+
+/// One connection's open-loop driver: requests fire on a fixed schedule;
+/// latency is measured from the *scheduled* time, so falling behind is
+/// charged as latency rather than silently thinning the load.
+fn run_open(
+    client: &mut Client,
+    workload: &Workload,
+    sc: &Scenario,
+    conn: usize,
+    graph_id: &str,
+    deadline: Instant,
+    hist: &mut LatencyHistogram,
+) -> Result<u64, String> {
+    let LoopMode::Open { rate } = sc.mode else {
+        return Err("run_open on a closed-loop scenario".into());
+    };
+    let interval = Duration::from_secs_f64(sc.conns as f64 / rate);
+    // Stagger connection start offsets so arrivals interleave.
+    let mut scheduled = Instant::now() + interval.mul_f64(conn as f64 / sc.conns as f64);
+    let mut i = 0usize;
+    let mut done = 0u64;
+    while scheduled < deadline {
+        if let Some(wait) = scheduled.checked_duration_since(Instant::now()) {
+            std::thread::sleep(wait);
+        }
+        let faults = &workload.shared_faults[(i + conn) % workload.shared_faults.len()];
+        let pairs = workload.request_pairs(i + conn * 17, sc.pairs_per_request);
+        client
+            .query(graph_id, faults, pairs)
+            .map_err(|e| e.to_string())?;
+        hist.record(scheduled.elapsed().as_nanos() as u64);
+        done += 1;
+        i += 1;
+        scheduled += interval;
+    }
+    Ok(done)
+}
+
+fn run_scenario(
+    addr: SocketAddr,
+    graph_id: &str,
+    workload: &Workload,
+    sc: &Scenario,
+    handle: Option<&ServerHandle>,
+) -> Result<ScenarioResult, String> {
+    let stats_before = handle.map(ftc_net::server::ServerHandle::stats);
+    let barrier = Barrier::new(sc.conns + 1);
+    let mut t0 = Instant::now();
+    let results: Vec<Result<(u64, LatencyHistogram), String>> = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..sc.conns)
+            .map(|conn| {
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).map_err(|e| e.to_string())?;
+                    // Warm this connection (and the server's scratch
+                    // pool) outside the timed window.
+                    client
+                        .query(graph_id, &workload.shared_faults[0], &workload.pairs[..1])
+                        .map_err(|e| e.to_string())?;
+                    let mut hist = LatencyHistogram::new();
+                    barrier.wait();
+                    let deadline = Instant::now() + sc.duration;
+                    let done = match sc.mode {
+                        LoopMode::Closed { .. } => run_closed(
+                            &mut client,
+                            workload,
+                            sc,
+                            conn,
+                            graph_id,
+                            deadline,
+                            &mut hist,
+                        )?,
+                        LoopMode::Open { .. } => run_open(
+                            &mut client,
+                            workload,
+                            sc,
+                            conn,
+                            graph_id,
+                            deadline,
+                            &mut hist,
+                        )?,
+                    };
+                    Ok((done, hist))
+                })
+            })
+            .collect();
+        barrier.wait();
+        t0 = Instant::now();
+        workers
+            .into_iter()
+            .map(|w| w.join().unwrap_or_else(|_| Err("worker panicked".into())))
+            .collect()
+    });
+    let elapsed = t0.elapsed().as_secs_f64();
+
+    let mut requests = 0u64;
+    let mut hist = LatencyHistogram::new();
+    for r in results {
+        let (done, h) = r?;
+        requests += done;
+        hist.merge(&h);
+    }
+    let coalesce = match (
+        stats_before,
+        handle.map(ftc_net::server::ServerHandle::stats),
+    ) {
+        (Some(a), Some(b)) => Some((
+            b.requests - a.requests,
+            b.coalesced - a.coalesced,
+            b.batches - a.batches,
+        )),
+        _ => None,
+    };
+    Ok(ScenarioResult {
+        requests,
+        queries: requests * sc.pairs_per_request as u64,
+        elapsed,
+        hist,
+        coalesce,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// report
+// ---------------------------------------------------------------------------
+
+fn render_json(
+    mode: &str,
+    server: &str,
+    workload: &Workload,
+    rows: &[(Scenario, ScenarioResult)],
+) -> String {
+    let cores = std::thread::available_parallelism().map_or(0, |p| p.get());
+    let us = |ns: u64| ns as f64 / 1000.0;
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema\": \"ftc-perf-net/v1\",\n");
+    let _ = writeln!(s, "  \"mode\": \"{mode}\",");
+    let _ = writeln!(s, "  \"cores\": {cores},");
+    let _ = writeln!(s, "  \"server\": \"{server}\",");
+    let _ = writeln!(
+        s,
+        "  \"workload\": \"random_connected({n}, {m}, seed 7), f = {f}, archive-backed service over loopback TCP; latency per request, open-loop measured from scheduled send\",",
+        n = workload.graph.n(),
+        m = 3 * workload.graph.n(),
+        f = workload.f
+    );
+    s.push_str("  \"results\": [\n");
+    for (i, (sc, r)) in rows.iter().enumerate() {
+        let (mode_str, depth, rate) = match sc.mode {
+            LoopMode::Closed { depth } => ("closed", depth, 0.0),
+            LoopMode::Open { rate } => ("open", 1, rate),
+        };
+        let _ = write!(
+            s,
+            "    {{\"scenario\": \"{}\", \"loop\": \"{mode_str}\", \"conns\": {}, \"depth\": {depth}, \"rate\": {rate:.0}, \"pairs_per_request\": {}, \"requests\": {}, \"queries\": {}, \"requests_per_sec\": {:.1}, \"queries_per_sec\": {:.1}, \"p50_us\": {:.1}, \"p95_us\": {:.1}, \"p99_us\": {:.1}, \"max_us\": {:.1}",
+            sc.name,
+            sc.conns,
+            sc.pairs_per_request,
+            r.requests,
+            r.queries,
+            r.requests as f64 / r.elapsed,
+            r.queries as f64 / r.elapsed,
+            us(r.hist.quantile(0.50)),
+            us(r.hist.quantile(0.95)),
+            us(r.hist.quantile(0.99)),
+            us(r.hist.max()),
+        );
+        if let Some((req, coal, batches)) = r.coalesce {
+            let _ = write!(
+                s,
+                ", \"coalesce\": {{\"requests\": {req}, \"coalesced\": {coal}, \"batches\": {batches}}}"
+            );
+        }
+        s.push('}');
+        s.push_str(if i + 1 == rows.len() { "\n" } else { ",\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Minimal structural self-check so CI fails loudly on malformed output
+/// (same shape as `perf_report`'s: schema tag, row count, finiteness,
+/// brace balance — the offline environment has no JSON parser).
+fn validate(json: &str, rows: usize) -> Result<(), String> {
+    if !json.contains("\"schema\": \"ftc-perf-net/v1\"") {
+        return Err("missing schema tag".into());
+    }
+    if json.matches("\"scenario\": ").count() != rows {
+        return Err("result row count mismatch".into());
+    }
+    if json.contains("NaN") || json.contains("inf") {
+        return Err("non-finite measurement".into());
+    }
+    let (mut depth, mut max_depth) = (0i64, 0i64);
+    for b in json.bytes() {
+        match b {
+            b'{' | b'[' => {
+                depth += 1;
+                max_depth = max_depth.max(depth);
+            }
+            b'}' | b']' => depth -= 1,
+            _ => {}
+        }
+    }
+    if depth != 0 || max_depth < 2 {
+        return Err("unbalanced JSON".into());
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// main
+// ---------------------------------------------------------------------------
+
+fn usage() -> String {
+    "usage: ftc-loadgen [--quick] [--addr HOST:PORT] [--graph-id ID] [--out PATH] [--emit-graph PATH] [--mode closed|open] [--conns N] [--depth N] [--pairs N] [--rate R] [--duration-ms N]".into()
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut addr: Option<String> = None;
+    let mut graph_id = "loadgen".to_string();
+    let mut out = "BENCH_net.json".to_string();
+    let mut emit_graph: Option<String> = None;
+    let mut custom_mode: Option<String> = None;
+    let mut custom_conns: Option<usize> = None;
+    let mut custom_depth: Option<usize> = None;
+    let mut custom_pairs: Option<usize> = None;
+    let mut custom_rate: Option<f64> = None;
+    let mut custom_duration: Option<u64> = None;
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |what: &str| -> Result<String, String> {
+            it.next().cloned().ok_or(format!("{what} expects a value"))
+        };
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--addr" => addr = Some(value("--addr")?),
+            "--graph-id" => graph_id = value("--graph-id")?,
+            "--out" => out = value("--out")?,
+            "--emit-graph" => emit_graph = Some(value("--emit-graph")?),
+            "--mode" => custom_mode = Some(value("--mode")?),
+            "--conns" => custom_conns = Some(parse_num(&value("--conns")?, "--conns")?),
+            "--depth" => custom_depth = Some(parse_num(&value("--depth")?, "--depth")?),
+            "--pairs" => custom_pairs = Some(parse_num(&value("--pairs")?, "--pairs")?),
+            "--rate" => {
+                custom_rate = Some(
+                    value("--rate")?
+                        .parse()
+                        .map_err(|_| "--rate expects a number")?,
+                );
+            }
+            "--duration-ms" => {
+                custom_duration = Some(parse_num(&value("--duration-ms")?, "--duration-ms")? as u64)
+            }
+            _ => return Err(usage()),
+        }
+    }
+
+    let workload = Workload::new(quick);
+
+    if let Some(path) = emit_graph {
+        let mut text = String::new();
+        let _ = writeln!(
+            text,
+            "# ftc-loadgen workload graph ({}): random_connected(n = {}, extra = {}, seed 7)",
+            if quick { "quick" } else { "full" },
+            workload.graph.n(),
+            3 * workload.graph.n()
+        );
+        for (_, u, v) in workload.graph.edge_iter() {
+            let _ = writeln!(text, "{u} {v}");
+        }
+        std::fs::write(&path, text).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!(
+            "wrote workload edge list to {path}; build with: ftc-cli build {path} labels.ftc --f {}",
+            workload.f
+        );
+        return Ok(());
+    }
+
+    // Scenario list: the fixed suite, or one custom scenario if any
+    // shape knob was given.
+    let scenarios = if custom_mode.is_some()
+        || custom_conns.is_some()
+        || custom_depth.is_some()
+        || custom_pairs.is_some()
+        || custom_rate.is_some()
+        || custom_duration.is_some()
+    {
+        let mode = match custom_mode.as_deref() {
+            None | Some("closed") => LoopMode::Closed {
+                depth: custom_depth.unwrap_or(1),
+            },
+            Some("open") => LoopMode::Open {
+                rate: custom_rate.unwrap_or(1000.0),
+            },
+            Some(other) => return Err(format!("unknown --mode '{other}'")),
+        };
+        vec![Scenario {
+            name: "custom",
+            mode,
+            conns: custom_conns.unwrap_or(4),
+            pairs_per_request: custom_pairs.unwrap_or(16),
+            faults: FaultChoice::Rotate,
+            duration: Duration::from_millis(custom_duration.unwrap_or(2000)),
+        }]
+    } else {
+        suite(quick)
+    };
+
+    // The target: an external server, or an in-process one over the
+    // workload archive (same serving path as the standalone binary).
+    let (target, handle, server_thread) = match &addr {
+        Some(a) => {
+            let target: SocketAddr = a
+                .parse()
+                .map_err(|_| format!("--addr expects HOST:PORT, got '{a}'"))?;
+            (target, None, None)
+        }
+        None => {
+            eprintln!(
+                "building workload labels (n = {}, f = {}) …",
+                workload.graph.n(),
+                workload.f
+            );
+            let scheme = FtcScheme::build(&workload.graph, &Params::deterministic(workload.f))
+                .map_err(|e| e.to_string())?;
+            let blob = LabelStore::to_vec(scheme.labels(), EdgeEncoding::Full);
+            let service =
+                ConnectivityService::from_archive_bytes(blob).map_err(|e| e.to_string())?;
+            let registry = Arc::new(ServiceRegistry::new());
+            registry.insert(graph_id.clone(), service);
+            let server = Server::bind(registry, "127.0.0.1:0", ServerConfig::default())
+                .map_err(|e| format!("cannot bind loopback: {e}"))?;
+            let target = server.local_addr();
+            let handle = server.handle();
+            let thread = std::thread::spawn(move || server.run());
+            (target, Some(handle), Some(thread))
+        }
+    };
+
+    let mut rows = Vec::new();
+    for sc in scenarios {
+        eprintln!("scenario {} …", sc.name);
+        let result = run_scenario(target, &graph_id, &workload, &sc, handle.as_ref())?;
+        rows.push((sc, result));
+    }
+
+    if let (Some(handle), Some(thread)) = (handle, server_thread) {
+        handle.shutdown();
+        thread
+            .join()
+            .map_err(|_| "server thread panicked")?
+            .map_err(|e| format!("server failed: {e}"))?;
+    }
+
+    let mode = if quick { "quick" } else { "full" };
+    let server = if addr.is_some() {
+        "external"
+    } else {
+        "in-process"
+    };
+    let json = render_json(mode, server, &workload, &rows);
+    validate(&json, rows.len()).map_err(|e| format!("generated report failed validation: {e}"))?;
+    std::fs::write(&out, &json).map_err(|e| format!("cannot write {out}: {e}"))?;
+
+    for (sc, r) in &rows {
+        println!(
+            "{:<18} {:>9.0} queries/s {:>8.0} req/s   p50 {:>8.1}us  p95 {:>8.1}us  p99 {:>8.1}us",
+            sc.name,
+            r.queries as f64 / r.elapsed,
+            r.requests as f64 / r.elapsed,
+            r.hist.quantile(0.50) as f64 / 1000.0,
+            r.hist.quantile(0.95) as f64 / 1000.0,
+            r.hist.quantile(0.99) as f64 / 1000.0,
+        );
+        if let Some((req, coal, batches)) = r.coalesce {
+            println!(
+                "{:<18} coalesce: {req} requests, {coal} coalesced, {batches} sessions built",
+                ""
+            );
+        }
+    }
+    println!("wrote {out}");
+    Ok(())
+}
+
+fn parse_num(s: &str, what: &str) -> Result<usize, String> {
+    s.parse().map_err(|_| format!("{what} expects an integer"))
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! `ftc-server` — serve connectivity label archives over TCP.
+//!
+//! ```text
+//! ftc-server <id>=<labels.ftc> [<id>=<labels.ftc> ...]
+//!            [--addr HOST:PORT] [--no-coalesce] [--max-connections N]
+//! ```
+//!
+//! Each `id=path` registers one archive under a graph ID; clients route
+//! requests by that ID. Binds `--addr` (default `127.0.0.1:0` — an
+//! OS-assigned port), prints exactly one `listening on <addr>` line to
+//! stdout once ready (scripts parse it), and serves until SIGINT or
+//! SIGTERM, which drain in-flight requests — including coalesced
+//! batches — before exiting. Coalescer counters go to stderr on exit.
+
+use ftc_net::server::{install_signal_shutdown, Server, ServerConfig};
+use ftc_serve::ServiceRegistry;
+use std::io::Write;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+fn usage() -> String {
+    "usage: ftc-server <id>=<labels.ftc> [...] [--addr HOST:PORT] [--no-coalesce] [--max-connections N]"
+        .into()
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut graphs: Vec<(String, String)> = Vec::new();
+    let mut addr = "127.0.0.1:0".to_string();
+    let mut config = ServerConfig::default();
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => addr = it.next().ok_or("--addr expects HOST:PORT")?.clone(),
+            "--no-coalesce" => config.coalesce = false,
+            "--max-connections" => {
+                config.max_connections = it
+                    .next()
+                    .ok_or("--max-connections expects an integer")?
+                    .parse()
+                    .map_err(|_| "--max-connections expects an integer")?;
+            }
+            "--help" | "-h" => return Err(usage()),
+            spec => {
+                let (id, path) = spec
+                    .split_once('=')
+                    .ok_or_else(|| format!("expected <id>=<labels.ftc>, got '{spec}'"))?;
+                if id.is_empty() {
+                    return Err(format!("empty graph ID in '{spec}'"));
+                }
+                graphs.push((id.to_string(), path.to_string()));
+            }
+        }
+    }
+    if graphs.is_empty() {
+        return Err(usage());
+    }
+
+    let registry = Arc::new(ServiceRegistry::new());
+    for (id, path) in &graphs {
+        let service = registry.open_path(id, path).map_err(|e| e.to_string())?;
+        eprintln!(
+            "registered \"{id}\": n = {}, m = {} ({path})",
+            service.n(),
+            service.m()
+        );
+    }
+
+    let server =
+        Server::bind(registry, &addr, config).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    let handle = server.handle();
+    install_signal_shutdown(handle.clone());
+
+    // The readiness line scripts wait for; flush so piped readers see it.
+    println!("listening on {}", server.local_addr());
+    std::io::stdout()
+        .flush()
+        .map_err(|e| format!("cannot write: {e}"))?;
+
+    server.run().map_err(|e| format!("serving failed: {e}"))?;
+
+    let stats = handle.stats();
+    eprintln!(
+        "drained: {} requests ({} coalesced) in {} batches, {} pairs answered",
+        stats.requests, stats.coalesced, stats.batches, stats.pairs
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,253 @@
+//! The blocking client: one TCP connection, pipelined request IDs.
+//!
+//! [`Client::query`] is the simple call-and-wait surface. For
+//! throughput, [`Client::send`] / [`Client::recv`] decouple submission
+//! from completion: keep several request IDs in flight and match
+//! responses by the echoed ID (the server answers a connection's frames
+//! in order, but pipelined consumers should not rely on it — coalescing
+//! servers are free to change that).
+
+use crate::proto::{
+    self, EncodeError, ErrorCode, ProtoError, Response, ResponseBody, WireCertificate,
+    FLAG_CERTIFICATES, MAX_FRAME_BYTES,
+};
+use crate::text;
+use std::fmt;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+
+/// Errors raised on the client side of the wire.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The socket failed (includes the server closing mid-response).
+    Io(std::io::Error),
+    /// The server's bytes did not parse as a response frame.
+    Proto(ProtoError),
+    /// A request could not be encoded (argument exceeds a wire field).
+    Encode(EncodeError),
+    /// The server answered with a typed error frame.
+    Remote {
+        /// Echoed request ID (0 when the server could not parse one).
+        request_id: u64,
+        /// The typed error code.
+        code: ErrorCode,
+        /// Human-readable detail from the server.
+        message: String,
+    },
+    /// A text-mode query line did not parse.
+    Text(text::TextError),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "connection failed: {e}"),
+            ClientError::Proto(e) => write!(f, "malformed response: {e}"),
+            ClientError::Encode(e) => write!(f, "cannot encode request: {e}"),
+            ClientError::Remote { code, message, .. } => write!(f, "server: {code}: {message}"),
+            ClientError::Text(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+impl From<ProtoError> for ClientError {
+    fn from(e: ProtoError) -> ClientError {
+        ClientError::Proto(e)
+    }
+}
+
+impl From<EncodeError> for ClientError {
+    fn from(e: EncodeError) -> ClientError {
+        ClientError::Encode(e)
+    }
+}
+
+impl From<text::TextError> for ClientError {
+    fn from(e: text::TextError) -> ClientError {
+        ClientError::Text(e)
+    }
+}
+
+/// A blocking `ftc-net` connection.
+pub struct Client {
+    stream: TcpStream,
+    wbuf: Vec<u8>,
+    rbuf: Vec<u8>,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connects (TCP, `TCP_NODELAY`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the connect failure.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            stream,
+            wbuf: Vec::new(),
+            rbuf: Vec::new(),
+            next_id: 1,
+        })
+    }
+
+    /// The remote address.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket introspection failure.
+    pub fn peer_addr(&self) -> std::io::Result<SocketAddr> {
+        self.stream.peer_addr()
+    }
+
+    fn send_flags(
+        &mut self,
+        graph: &str,
+        flags: u16,
+        faults: &[(usize, usize)],
+        pairs: &[(usize, usize)],
+    ) -> Result<u64, ClientError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.wbuf.clear();
+        proto::encode_request(&mut self.wbuf, id, graph, flags, faults, pairs)?;
+        self.stream.write_all(&self.wbuf)?;
+        Ok(id)
+    }
+
+    /// Pipelines one request; returns its request ID without waiting.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Encode`] / [`ClientError::Io`] on submission
+    /// failures.
+    pub fn send(
+        &mut self,
+        graph: &str,
+        faults: &[(usize, usize)],
+        pairs: &[(usize, usize)],
+    ) -> Result<u64, ClientError> {
+        self.send_flags(graph, 0, faults, pairs)
+    }
+
+    /// Blocks for the next response frame (any request ID). Typed
+    /// server errors come back as [`ResponseBody::Error`], not `Err` —
+    /// pipelined callers must see per-request failures without losing
+    /// the stream.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Io`] / [`ClientError::Proto`] when the connection
+    /// or the framing itself fails.
+    pub fn recv(&mut self) -> Result<Response, ClientError> {
+        let mut prefix = [0u8; 4];
+        self.stream.read_exact(&mut prefix)?;
+        let len = u32::from_le_bytes(prefix);
+        if len > MAX_FRAME_BYTES {
+            return Err(ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("{len}-byte response frame exceeds the cap"),
+            )));
+        }
+        self.rbuf.resize(len as usize, 0);
+        self.stream.read_exact(&mut self.rbuf)?;
+        Ok(proto::decode_response(&self.rbuf)?)
+    }
+
+    fn call(
+        &mut self,
+        graph: &str,
+        flags: u16,
+        faults: &[(usize, usize)],
+        pairs: &[(usize, usize)],
+    ) -> Result<Response, ClientError> {
+        let id = self.send_flags(graph, flags, faults, pairs)?;
+        loop {
+            let resp = self.recv()?;
+            if resp.request_id != id {
+                // A stale pipelined response (e.g. after an earlier
+                // error was abandoned); skip to ours.
+                continue;
+            }
+            if let ResponseBody::Error { code, message } = resp.body {
+                return Err(ClientError::Remote {
+                    request_id: id,
+                    code,
+                    message,
+                });
+            }
+            return Ok(resp);
+        }
+    }
+
+    /// Answers `pairs` under `faults` on `graph`: one `bool` per pair,
+    /// in request order.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Remote`] for typed server errors, transport
+    /// variants otherwise.
+    pub fn query(
+        &mut self,
+        graph: &str,
+        faults: &[(usize, usize)],
+        pairs: &[(usize, usize)],
+    ) -> Result<Vec<bool>, ClientError> {
+        match self.call(graph, 0, faults, pairs)?.body {
+            ResponseBody::Answers { answers, .. } => Ok(answers),
+            ResponseBody::Error { .. } => unreachable!("call() surfaces error bodies"),
+        }
+    }
+
+    /// Like [`Client::query`], also returning the merge certificate per
+    /// connected pair.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Client::query`].
+    #[allow(clippy::type_complexity)]
+    pub fn query_certified(
+        &mut self,
+        graph: &str,
+        faults: &[(usize, usize)],
+        pairs: &[(usize, usize)],
+    ) -> Result<(Vec<bool>, Vec<Option<WireCertificate>>), ClientError> {
+        match self.call(graph, FLAG_CERTIFICATES, faults, pairs)?.body {
+            ResponseBody::Answers {
+                answers,
+                certificates,
+            } => {
+                let certificates = certificates.unwrap_or_else(|| vec![None; answers.len()]);
+                Ok((answers, certificates))
+            }
+            ResponseBody::Error { .. } => unreachable!("call() surfaces error bodies"),
+        }
+    }
+
+    /// Text-mode debug tooling: answers one `s t [u:v ...]` query line
+    /// (the `ftc-cli serve` grammar, parsed by [`text::parse_query_line`])
+    /// over the binary protocol, returning the formatted answer line.
+    /// `Ok(None)` for blank/comment lines.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Text`] on grammar errors, the [`Client::query`]
+    /// conditions otherwise.
+    pub fn query_line(&mut self, graph: &str, line: &str) -> Result<Option<String>, ClientError> {
+        let Some(q) = text::parse_query_line(line)? else {
+            return Ok(None);
+        };
+        let answers = self.query(graph, &q.faults, &[(q.s, q.t)])?;
+        Ok(Some(text::answer_line(q.s, q.t, answers[0])))
+    }
+}

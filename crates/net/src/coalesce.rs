@@ -1,0 +1,364 @@
+//! Cross-connection request coalescing: group-commit batching of
+//! queries that share a fault set.
+//!
+//! `BENCH_session.json` shows the expensive step of every query is the
+//! *session build* (fault dedup, validation, fragment merge); answering
+//! extra pairs against a built session is ~100× cheaper. The server
+//! therefore groups in-flight requests by `(graph, normalized fault
+//! set)` and answers each group from **one** pooled
+//! [`QuerySession`](ftc_core::QuerySession), amortizing the build across
+//! connections.
+//!
+//! The batching discipline is group commit, not a timer:
+//!
+//! * the **first** request for an idle key becomes the batch *leader*
+//!   and executes immediately — an uncontended request pays zero added
+//!   latency;
+//! * while a batch for the key is executing, newcomers pile their pairs
+//!   onto the *pending* batch; its leader (the first newcomer) waits for
+//!   the executing batch to finish before taking its turn. Under load
+//!   the pending batch grows automatically to `arrival rate ×
+//!   session-build latency` requests — the classic group-commit window
+//!   with no configured delay.
+//!
+//! A batch-level failure falls back to per-request queries so coalesced
+//! neighbors cannot poison each other (e.g. a fault set over the budget
+//! fails the *batch* only because another request contributed a
+//! non-trivial pair; retried alone, an all-trivial request still
+//! succeeds, exactly as if it had never been coalesced).
+
+use ftc_serve::{ConnectivityService, ServeError};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// What a request coalesces on: the target graph and its fault set,
+/// normalized (per-pair min/max order, sorted, deduplicated) so that
+/// permutations of the same faults share a batch.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+struct Key {
+    graph: Arc<str>,
+    faults: Arc<[(usize, usize)]>,
+}
+
+struct BatchState {
+    pairs: Vec<(usize, usize)>,
+    /// `None` until the leader publishes; shared so every waiter slices
+    /// its own answers out without copying the batch.
+    result: Option<Result<Arc<[bool]>, ServeError>>,
+}
+
+struct Batch {
+    state: Mutex<BatchState>,
+    done: Condvar,
+}
+
+#[derive(Default)]
+struct KeyState {
+    /// A leader is currently executing a batch for this key.
+    executing: bool,
+    /// The open batch newcomers join while the key is busy.
+    pending: Option<Arc<Batch>>,
+}
+
+/// A snapshot of the coalescer's lifetime counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CoalesceStats {
+    /// Requests submitted.
+    pub requests: u64,
+    /// Requests that joined an already-open batch (each one is a
+    /// session build avoided).
+    pub coalesced: u64,
+    /// Batches executed (= sessions built by the serving path).
+    pub batches: u64,
+    /// Pairs answered.
+    pub pairs: u64,
+}
+
+/// The coalescing queue shared by every connection of one server.
+pub struct Coalescer {
+    enabled: bool,
+    keys: Mutex<HashMap<Key, KeyState>>,
+    /// Signaled whenever a key finishes executing (its next leader may
+    /// take a turn).
+    turn: Condvar,
+    requests: AtomicU64,
+    coalesced: AtomicU64,
+    batches: AtomicU64,
+    pairs: AtomicU64,
+}
+
+enum Role {
+    Leader,
+    Follower,
+}
+
+impl Coalescer {
+    /// A coalescer; `enabled = false` degrades to one session per
+    /// request (the comparison arm of `ftc-loadgen`).
+    pub fn new(enabled: bool) -> Coalescer {
+        Coalescer {
+            enabled,
+            keys: Mutex::new(HashMap::new()),
+            turn: Condvar::new(),
+            requests: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            pairs: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether coalescing is on.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> CoalesceStats {
+        CoalesceStats {
+            requests: self.requests.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            pairs: self.pairs.load(Ordering::Relaxed),
+        }
+    }
+
+    fn keys(&self) -> std::sync::MutexGuard<'_, HashMap<Key, KeyState>> {
+        // Holders only mutate the map/batch vectors; a panic while
+        // appending leaves consistent state, so poisoning is ignored.
+        self.keys.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Answers `pairs` under `faults` on `service`, coalescing with
+    /// concurrent submissions that share the same graph + fault set.
+    /// Answers come back in `pairs` order with solo-request semantics.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the errors [`ConnectivityService::query`] would raise for
+    /// this request alone.
+    pub fn submit(
+        &self,
+        service: &ConnectivityService,
+        graph: &str,
+        faults: &[(usize, usize)],
+        pairs: &[(usize, usize)],
+    ) -> Result<Vec<bool>, ServeError> {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.pairs.fetch_add(pairs.len() as u64, Ordering::Relaxed);
+        if !self.enabled {
+            self.batches.fetch_add(1, Ordering::Relaxed);
+            return service.query(faults, pairs).map(|a| a.into_vec());
+        }
+
+        let mut norm: Vec<(usize, usize)> =
+            faults.iter().map(|&(u, v)| (u.min(v), u.max(v))).collect();
+        norm.sort_unstable();
+        norm.dedup();
+        let key = Key {
+            graph: graph.into(),
+            faults: norm.into(),
+        };
+
+        let (role, batch, start) = {
+            let mut keys = self.keys();
+            let entry = keys.entry(key.clone()).or_default();
+            match &entry.pending {
+                Some(open) => {
+                    // Joining appends under the keys lock, so a leader
+                    // that takes the pending batch (also under the keys
+                    // lock) always sees every joined request's pairs.
+                    let open = open.clone();
+                    let mut state = open.state.lock().unwrap_or_else(|e| e.into_inner());
+                    let start = state.pairs.len();
+                    state.pairs.extend_from_slice(pairs);
+                    drop(state);
+                    self.coalesced.fetch_add(1, Ordering::Relaxed);
+                    (Role::Follower, open, start)
+                }
+                None => {
+                    let batch = Arc::new(Batch {
+                        state: Mutex::new(BatchState {
+                            pairs: pairs.to_vec(),
+                            result: None,
+                        }),
+                        done: Condvar::new(),
+                    });
+                    entry.pending = Some(batch.clone());
+                    (Role::Leader, batch, 0)
+                }
+            }
+        };
+
+        let result = match role {
+            Role::Follower => {
+                let mut state = batch.state.lock().unwrap_or_else(|e| e.into_inner());
+                while state.result.is_none() {
+                    state = batch.done.wait(state).unwrap_or_else(|e| e.into_inner());
+                }
+                state.result.clone().expect("published batch result")
+            }
+            Role::Leader => self.lead(service, &key, &batch),
+        };
+
+        match result {
+            Ok(all) => Ok(all[start..start + pairs.len()].to_vec()),
+            // The batch failed as a whole; retry alone so this request
+            // gets exactly its solo outcome (success or *its own* error).
+            Err(_) => service.query(&key.faults, pairs).map(|a| a.into_vec()),
+        }
+    }
+
+    /// Leader duty: wait for the key's turn, close the batch, execute it
+    /// once, publish the result, pass the turn on.
+    fn lead(
+        &self,
+        service: &ConnectivityService,
+        key: &Key,
+        batch: &Arc<Batch>,
+    ) -> Result<Arc<[bool]>, ServeError> {
+        {
+            let mut keys = self.keys();
+            while keys.get(key).is_some_and(|e| e.executing) {
+                keys = self.turn.wait(keys).unwrap_or_else(|e| e.into_inner());
+            }
+            let entry = keys.get_mut(key).expect("leader's key entry");
+            entry.executing = true;
+            entry.pending = None; // later arrivals open the next batch
+        }
+
+        // Sole owner of the closed batch's pairs now: joins happened
+        // under the keys lock, which we held while clearing `pending`.
+        let batch_pairs = {
+            let mut state = batch.state.lock().unwrap_or_else(|e| e.into_inner());
+            std::mem::take(&mut state.pairs)
+        };
+        let result: Result<Arc<[bool]>, ServeError> = service
+            .query(&key.faults, &batch_pairs)
+            .map(|a| a.into_vec().into());
+        self.batches.fetch_add(1, Ordering::Relaxed);
+
+        {
+            let mut state = batch.state.lock().unwrap_or_else(|e| e.into_inner());
+            state.result = Some(result.clone());
+            batch.done.notify_all();
+        }
+        {
+            let mut keys = self.keys();
+            let idle = {
+                let entry = keys.get_mut(key).expect("leader's key entry");
+                entry.executing = false;
+                entry.pending.is_none()
+            };
+            if idle {
+                keys.remove(key); // don't let dead keys grow the map
+            }
+            self.turn.notify_all();
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftc_core::{FtcScheme, Params};
+    use ftc_graph::Graph;
+    use std::sync::Barrier;
+
+    fn service() -> ConnectivityService {
+        let g = Graph::torus(3, 4);
+        let scheme = FtcScheme::build(&g, &Params::deterministic(2)).unwrap();
+        ConnectivityService::from_labels(scheme.into_labels())
+    }
+
+    #[test]
+    fn solo_submissions_match_direct_queries() {
+        let svc = service();
+        for enabled in [false, true] {
+            let co = Coalescer::new(enabled);
+            let faults = [(0usize, 1usize), (4, 0)];
+            let pairs = [(0usize, 7usize), (3, 3), (1, 11)];
+            let got = co.submit(&svc, "g", &faults, &pairs).unwrap();
+            let want = svc.query(&faults, &pairs).unwrap().into_vec();
+            assert_eq!(got, want);
+            let stats = co.stats();
+            assert_eq!(stats.requests, 1);
+            assert_eq!(stats.batches, 1);
+            assert_eq!(stats.coalesced, 0);
+            assert_eq!(stats.pairs, pairs.len() as u64);
+        }
+    }
+
+    #[test]
+    fn fault_order_and_duplicates_share_a_key() {
+        let svc = service();
+        let co = Coalescer::new(true);
+        // Reversed endpoints and duplicated faults answer like the
+        // normalized set.
+        let got = co
+            .submit(&svc, "g", &[(1, 0), (0, 1), (0, 4)], &[(0, 7)])
+            .unwrap();
+        let want = svc.query(&[(0, 1), (0, 4)], &[(0, 7)]).unwrap().into_vec();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn errors_match_solo_semantics() {
+        let svc = service();
+        let co = Coalescer::new(true);
+        assert_eq!(
+            co.submit(&svc, "g", &[(0, 99)], &[(0, 1)]).unwrap_err(),
+            ServeError::UnknownEdge { u: 0, v: 99 }
+        );
+        // Over-budget faults with an all-trivial request still succeed
+        // (the solo-semantics contract the fallback preserves).
+        let got = co
+            .submit(&svc, "g", &[(0, 1), (1, 2), (2, 3)], &[(5, 5)])
+            .unwrap();
+        assert_eq!(got, vec![true]);
+    }
+
+    #[test]
+    fn concurrent_submissions_coalesce_and_answer_correctly() {
+        let svc = service();
+        let co = Coalescer::new(true);
+        let threads = 8;
+        let rounds = 20;
+        let barrier = Barrier::new(threads);
+        let faults = [(0usize, 1usize), (0, 4)];
+        let want: Vec<Vec<bool>> = (0..threads)
+            .map(|w| {
+                let pairs: Vec<(usize, usize)> = (0..4).map(|i| (w, (w + i + 1) % 12)).collect();
+                svc.query(&faults, &pairs).unwrap().into_vec()
+            })
+            .collect();
+        std::thread::scope(|s| {
+            for w in 0..threads {
+                let (co, svc, barrier, want) = (&co, &svc, &barrier, &want);
+                s.spawn(move || {
+                    let pairs: Vec<(usize, usize)> =
+                        (0..4).map(|i| (w, (w + i + 1) % 12)).collect();
+                    for _ in 0..rounds {
+                        barrier.wait();
+                        let got = co.submit(svc, "g", &faults, &pairs).unwrap();
+                        assert_eq!(&got, &want[w]);
+                    }
+                });
+            }
+        });
+        let stats = co.stats();
+        assert_eq!(stats.requests, (threads * rounds) as u64);
+        // Group commit must have merged at least some simultaneous
+        // submissions — with 8 threads released by a barrier every
+        // round, strictly fewer batches than requests is guaranteed
+        // unless every single submission serialized perfectly (which
+        // the barrier makes practically impossible over 20 rounds; if
+        // this ever flakes, the coalescer is broken, not the test).
+        assert!(
+            stats.batches + stats.coalesced == stats.requests,
+            "every request is either a leader or coalesced"
+        );
+        assert!(stats.coalesced > 0, "no coalescing happened: {stats:?}");
+    }
+}

@@ -1,0 +1,225 @@
+//! A fixed-footprint latency histogram for the loadgen.
+//!
+//! Log-linear buckets: samples are split by their power-of-two
+//! magnitude, and each magnitude into [`SUB_BUCKETS`] linear
+//! sub-buckets — the classic HdrHistogram shape, reduced to the piece
+//! the loadgen needs. Relative quantile error is bounded by
+//! `2 / SUB_BUCKETS` (~6%; within each magnitude the top half of the
+//! sub-buckets carry the values), the footprint is a flat `u64` array,
+//! and
+//! recording is two shifts and an increment, so worker threads can keep
+//! per-thread histograms and [`merge`](LatencyHistogram::merge) them at
+//! the end without synchronizing on the hot path.
+
+/// Linear sub-buckets per power-of-two magnitude (quantile resolution).
+pub const SUB_BUCKETS: usize = 32;
+
+/// Power-of-two magnitudes tracked; values at or above
+/// `2^(MAGNITUDES-1) * SUB_BUCKETS` clamp into the last bucket. With
+/// nanosecond samples that is ~2.3 hours — far beyond any latency the
+/// loadgen can observe.
+pub const MAGNITUDES: usize = 38;
+
+const BUCKETS: usize = MAGNITUDES * SUB_BUCKETS;
+
+/// Log-linear histogram of `u64` samples (the loadgen records
+/// nanoseconds).
+#[derive(Clone)]
+pub struct LatencyHistogram {
+    counts: Box<[u64; BUCKETS]>,
+    total: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> LatencyHistogram {
+        LatencyHistogram::new()
+    }
+}
+
+/// Maps a sample to its bucket index.
+fn bucket_of(value: u64) -> usize {
+    // Values below SUB_BUCKETS land in magnitude 0 with exact (linear)
+    // resolution; above that, the top SUB_BUCKETS bits index the
+    // sub-bucket within the sample's power-of-two magnitude.
+    let magnitude = (u64::BITS - value.leading_zeros())
+        .saturating_sub(SUB_BUCKETS.trailing_zeros())
+        .min(MAGNITUDES as u32 - 1);
+    let sub = (value >> magnitude) as usize & (SUB_BUCKETS - 1);
+    magnitude as usize * SUB_BUCKETS + sub
+}
+
+/// The lowest sample value that maps to `bucket` (the reported quantile
+/// value; an underestimate by at most one sub-bucket width).
+fn bucket_floor(bucket: usize) -> u64 {
+    let magnitude = (bucket / SUB_BUCKETS) as u32;
+    let sub = (bucket % SUB_BUCKETS) as u64;
+    let base = if magnitude == 0 {
+        0
+    } else {
+        (SUB_BUCKETS as u64) << (magnitude - 1)
+    };
+    base.max(sub << magnitude)
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram {
+            counts: Box::new([0; BUCKETS]),
+            total: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.counts[bucket_of(value)] += 1;
+        self.total += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean sample value (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// Largest recorded sample (exact, not bucketed).
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// The value at quantile `q` in `[0, 1]` — the smallest bucket floor
+    /// such that at least `ceil(q * count)` samples are at or below the
+    /// bucket. 0 when empty; `q = 1` reports the exact max.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        if q >= 1.0 {
+            return self.max;
+        }
+        let rank = (q * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (bucket, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_floor(bucket);
+            }
+        }
+        self.max
+    }
+
+    /// Folds `other` into `self` (per-thread histogram aggregation).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LatencyHistogram::new();
+        for v in 0..SUB_BUCKETS as u64 {
+            h.record(v);
+        }
+        // Magnitude 0 has linear resolution: every value is its own
+        // bucket, so every quantile is exact.
+        assert_eq!(h.quantile(0.5), (SUB_BUCKETS as u64).div_ceil(2) - 1);
+        assert_eq!(h.quantile(1.0), SUB_BUCKETS as u64 - 1);
+    }
+
+    #[test]
+    fn quantiles_are_within_relative_error() {
+        let mut h = LatencyHistogram::new();
+        for v in 1..=100_000u64 {
+            h.record(v * 17); // spread across several magnitudes
+        }
+        for &q in &[0.5, 0.9, 0.95, 0.99, 0.999] {
+            let exact = ((q * 100_000.0_f64).ceil() as u64) * 17;
+            let got = h.quantile(q);
+            let err = (got as f64 - exact as f64).abs() / exact as f64;
+            assert!(
+                err <= 2.0 / SUB_BUCKETS as f64,
+                "q={q}: got {got}, exact {exact}, err {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn max_is_exact_and_huge_values_clamp() {
+        let mut h = LatencyHistogram::new();
+        h.record(u64::MAX);
+        h.record(3);
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.quantile(1.0), u64::MAX);
+        assert_eq!(h.count(), 2);
+    }
+
+    #[test]
+    fn merge_matches_recording_into_one() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut whole = LatencyHistogram::new();
+        for v in 1..=1000u64 {
+            if v % 2 == 0 { &mut a } else { &mut b }.record(v * v);
+            whole.record(v * v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert_eq!(a.max(), whole.max());
+        for &q in &[0.25, 0.5, 0.75, 0.99] {
+            assert_eq!(a.quantile(q), whole.quantile(q));
+        }
+        let mean_gap = (a.mean() - whole.mean()).abs();
+        assert!(mean_gap < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.99), 0);
+        assert_eq!(h.max(), 0);
+        assert!(h.mean().abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn bucket_floor_is_monotone_and_bounds_bucket_of() {
+        let mut prev = 0;
+        for b in 0..BUCKETS {
+            let floor = bucket_floor(b);
+            assert!(floor >= prev, "bucket {b} floor went backwards");
+            prev = floor;
+        }
+        for v in [0u64, 1, 31, 32, 33, 1000, 123_456, u64::MAX / 2] {
+            let b = bucket_of(v);
+            assert!(bucket_floor(b) <= v, "floor exceeds sample for {v}");
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! `ftc-net` — the TCP serving subsystem for fault-tolerant
+//! connectivity labels.
+//!
+//! Four layers, bottom-up:
+//!
+//! - [`proto`] — the length-prefixed binary wire protocol. Requests
+//!   name a graph, a fault-edge list, and a pair list; responses carry
+//!   per-pair answers, optional merge certificates, or a typed error
+//!   code. Parsing is zero-copy over the raw frame bytes (the request
+//!   view borrows the payload, pairs iterate lazily), in the spirit of
+//!   `ftc-core`'s `LabelStoreView`.
+//! - [`coalesce`] — cross-connection request coalescing. Building a
+//!   query session costs hundreds of microseconds while each per-pair
+//!   query costs one or two, so concurrent requests that share a fault
+//!   set are grouped and answered from one pooled session: the first
+//!   request for an idle fault set executes immediately, and everyone
+//!   who arrives while it runs is batched behind it (group commit — no
+//!   timer, no added latency when idle, batches grow with load).
+//! - [`server`] — a dependency-free blocking server over `std::net`:
+//!   nonblocking accept loop, one handler thread per connection, graceful
+//!   SIGINT/SIGTERM shutdown that drains in-flight frames and coalesced
+//!   batches. Malformed payloads are answered with typed error frames
+//!   without desyncing the stream; only framing violations close a
+//!   connection.
+//! - [`client`] — a blocking client with pipelined request IDs, plus
+//!   the [`text`] query-line grammar shared with `ftc-cli serve` and
+//!   the [`histogram`] the loadgen uses for latency quantiles.
+//!
+//! The `ftc-server` and `ftc-loadgen` binaries live in this crate; see
+//! the workspace README for a quickstart.
+
+pub mod client;
+pub mod coalesce;
+pub mod histogram;
+pub mod proto;
+pub mod server;
+pub mod text;
+
+pub use client::{Client, ClientError};
+pub use coalesce::{CoalesceStats, Coalescer};
+pub use histogram::LatencyHistogram;
+pub use proto::{ErrorCode, ProtoError, RequestView, Response, ResponseBody};
+pub use server::{Server, ServerConfig, ServerHandle};

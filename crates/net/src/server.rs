@@ -1,0 +1,519 @@
+//! The TCP serving loop: nonblocking accept, one handler thread per
+//! connection, request routing through a [`ServiceRegistry`], and
+//! cross-connection coalescing through the [`Coalescer`].
+//!
+//! There is no async runtime in the dependency tree (and none is
+//! needed): the session hot path is CPU-bound, so the server runs a
+//! hand-rolled accept loop over a nonblocking listener plus blocking
+//! per-connection handler threads whose reads time out every
+//! [`ServerConfig::read_poll`] to observe the shutdown flag. Graceful
+//! shutdown ([`ServerHandle::shutdown`], wired to SIGINT/SIGTERM by
+//! [`install_signal_shutdown`]) stops accepting, lets every in-flight
+//! frame — including its coalesced batch — finish and flush its
+//! response, then joins all handlers before [`Server::run`] returns.
+
+use crate::coalesce::{CoalesceStats, Coalescer};
+use crate::proto::{self, ErrorCode, ProtoErrorKind, RequestView, MAX_FRAME_BYTES};
+use ftc_serve::{ServeError, ServiceRegistry};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Tunables of one [`Server`].
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Group in-flight requests by fault set across connections and
+    /// answer each group from one pooled session (default `true`; the
+    /// `false` arm exists for the loadgen comparison).
+    pub coalesce: bool,
+    /// Cap on simultaneously served connections; excess accepts are
+    /// closed immediately.
+    pub max_connections: usize,
+    /// How long a blocked read waits before re-checking the shutdown
+    /// flag (bounds shutdown latency, not throughput).
+    pub read_poll: Duration,
+    /// During shutdown, how long a *partially received* frame may keep
+    /// trickling in before the connection is abandoned.
+    pub drain_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            coalesce: true,
+            max_connections: 1024,
+            read_poll: Duration::from_millis(25),
+            drain_timeout: Duration::from_secs(2),
+        }
+    }
+}
+
+struct Shared {
+    registry: Arc<ServiceRegistry>,
+    coalescer: Coalescer,
+    shutdown: AtomicBool,
+}
+
+/// A cloneable remote control for a running [`Server`]: shutdown and
+/// stats, usable from any thread (signal watchers, tests, the loadgen).
+#[derive(Clone)]
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+}
+
+impl ServerHandle {
+    /// The bound address (with the OS-assigned port when bound to `:0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Asks the server to drain and exit: stop accepting, answer every
+    /// in-flight frame (and its coalesced batch), close connections,
+    /// return from [`Server::run`]. Idempotent.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_shutdown(&self) -> bool {
+        self.shared.shutdown.load(Ordering::Acquire)
+    }
+
+    /// The coalescer's lifetime counters (requests, coalesced, batches
+    /// = sessions built, pairs answered).
+    pub fn stats(&self) -> CoalesceStats {
+        self.shared.coalescer.stats()
+    }
+
+    /// The registry this server routes graph IDs through.
+    pub fn registry(&self) -> &Arc<ServiceRegistry> {
+        &self.shared.registry
+    }
+}
+
+/// A bound-but-not-yet-running TCP server over a [`ServiceRegistry`].
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    config: ServerConfig,
+    addr: SocketAddr,
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an OS-assigned port) over `registry`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind(
+        registry: Arc<ServiceRegistry>,
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        Ok(Server {
+            listener,
+            shared: Arc::new(Shared {
+                registry,
+                coalescer: Coalescer::new(config.coalesce),
+                shutdown: AtomicBool::new(false),
+            }),
+            config,
+            addr,
+        })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A remote control for this server (clone freely; keep one before
+    /// calling [`Server::run`], which consumes the server).
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            shared: self.shared.clone(),
+            addr: self.addr,
+        }
+    }
+
+    /// Serves until [`ServerHandle::shutdown`]: accepts connections,
+    /// spawns one handler thread each, and on shutdown drains in-flight
+    /// work and joins every handler before returning.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fatal `accept` failures (after joining handlers).
+    pub fn run(self) -> std::io::Result<()> {
+        let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        let mut fatal = None;
+        while !self.shared.shutdown.load(Ordering::Acquire) {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    handlers.retain(|h| !h.is_finished());
+                    if handlers.len() >= self.config.max_connections {
+                        drop(stream); // immediate close = refused
+                        continue;
+                    }
+                    let shared = self.shared.clone();
+                    let config = self.config.clone();
+                    handlers.push(std::thread::spawn(move || {
+                        handle_connection(stream, &shared, &config);
+                    }));
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    std::thread::sleep(self.config.read_poll);
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => {
+                    fatal = Some(e);
+                    break;
+                }
+            }
+        }
+        // Drain: handlers observe the flag (set by shutdown, or set here
+        // on a fatal accept error) within one read_poll, finish their
+        // in-flight frame + batch, flush, and exit.
+        self.shared.shutdown.store(true, Ordering::Release);
+        for h in handlers {
+            let _ = h.join();
+        }
+        match fatal {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+}
+
+/// What one poll of the frame reader produced.
+enum FrameEvent {
+    /// A complete frame payload is staged in the reader.
+    Frame,
+    /// Clean EOF at a frame boundary.
+    Eof,
+    /// Shutdown observed at a frame boundary.
+    Shutdown,
+    /// The peer violated framing (oversized length prefix / EOF or
+    /// drain-timeout mid-frame): answer if possible, then close.
+    Violation,
+}
+
+/// Incremental length-prefixed frame reader that survives read timeouts
+/// mid-frame (the handler's shutdown poll) without losing position.
+struct FrameReader {
+    buf: Vec<u8>,
+    filled: usize,
+}
+
+impl FrameReader {
+    fn new() -> FrameReader {
+        FrameReader {
+            buf: vec![0; 4096],
+            filled: 0,
+        }
+    }
+
+    /// The staged payload after a [`FrameEvent::Frame`].
+    fn payload(&self) -> &[u8] {
+        &self.buf[4..self.filled]
+    }
+
+    fn next_frame(
+        &mut self,
+        stream: &mut TcpStream,
+        shutdown: &AtomicBool,
+        config: &ServerConfig,
+    ) -> std::io::Result<FrameEvent> {
+        self.filled = 0;
+        let mut drain_deadline: Option<Instant> = None;
+        loop {
+            let target = if self.filled < 4 {
+                4
+            } else {
+                let len = u32::from_le_bytes(self.buf[0..4].try_into().unwrap());
+                if len > MAX_FRAME_BYTES {
+                    return Ok(FrameEvent::Violation);
+                }
+                4 + len as usize
+            };
+            if self.filled == target && self.filled >= 4 {
+                return Ok(FrameEvent::Frame);
+            }
+            if self.buf.len() < target {
+                self.buf.resize(target, 0);
+            }
+            if shutdown.load(Ordering::Acquire) {
+                if self.filled == 0 {
+                    return Ok(FrameEvent::Shutdown);
+                }
+                // Mid-frame: grant the peer a bounded window to finish
+                // sending so the request can still be answered.
+                let deadline =
+                    *drain_deadline.get_or_insert_with(|| Instant::now() + config.drain_timeout);
+                if Instant::now() >= deadline {
+                    return Ok(FrameEvent::Violation);
+                }
+            }
+            match stream.read(&mut self.buf[self.filled..target]) {
+                Ok(0) => {
+                    return Ok(if self.filled == 0 {
+                        FrameEvent::Eof
+                    } else {
+                        FrameEvent::Violation // truncated frame
+                    });
+                }
+                Ok(n) => self.filled += n,
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {}
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, shared: &Shared, config: &ServerConfig) {
+    let _ = stream.set_nodelay(true);
+    if stream.set_read_timeout(Some(config.read_poll)).is_err() {
+        return;
+    }
+    let mut reader = FrameReader::new();
+    let mut wbuf = Vec::new();
+    loop {
+        match reader.next_frame(&mut stream, &shared.shutdown, config) {
+            Ok(FrameEvent::Frame) => {
+                wbuf.clear();
+                let keep = process_frame(reader.payload(), shared, &mut wbuf);
+                if stream.write_all(&wbuf).is_err() || stream.flush().is_err() {
+                    return;
+                }
+                // Drain semantics: the in-flight frame was answered;
+                // once shutdown is requested no further frames start.
+                if !keep || shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+            }
+            Ok(FrameEvent::Violation) => {
+                // Best effort: name the violation before closing (the
+                // stream can no longer be trusted to stay in sync).
+                wbuf.clear();
+                proto::encode_response_err(
+                    &mut wbuf,
+                    0,
+                    ErrorCode::BadFrame,
+                    "violated frame length prefix",
+                );
+                let _ = stream.write_all(&wbuf);
+                return;
+            }
+            Ok(FrameEvent::Eof) | Ok(FrameEvent::Shutdown) | Err(_) => return,
+        }
+    }
+}
+
+fn serve_error_frame(wbuf: &mut Vec<u8>, request_id: u64, e: &ServeError) {
+    let code = match e {
+        ServeError::UnknownEdge { .. } | ServeError::UnknownEdgeId { .. } => {
+            ErrorCode::UnknownFault
+        }
+        ServeError::VertexOutOfRange { .. } => ErrorCode::VertexOutOfRange,
+        ServeError::Query(_) => ErrorCode::QueryRejected,
+    };
+    proto::encode_response_err(wbuf, request_id, code, &e.to_string());
+}
+
+/// Parses and answers one frame into `wbuf`; returns whether the
+/// connection may keep going (length-delimited framing keeps the stream
+/// in sync even for malformed payloads, so parse errors are answered
+/// and survivable).
+fn process_frame(payload: &[u8], shared: &Shared, wbuf: &mut Vec<u8>) -> bool {
+    let req = match RequestView::parse(payload) {
+        Ok(req) => req,
+        Err(e) => {
+            let code = match e.kind {
+                ProtoErrorKind::UnsupportedVersion(_) => ErrorCode::UnsupportedVersion,
+                _ => ErrorCode::BadFrame,
+            };
+            proto::encode_response_err(wbuf, 0, code, &e.to_string());
+            return true;
+        }
+    };
+    let id = req.request_id();
+    let Some(service) = shared.registry.get(req.graph()) else {
+        proto::encode_response_err(
+            wbuf,
+            id,
+            ErrorCode::UnknownGraph,
+            &format!("no graph \"{}\" is registered", req.graph()),
+        );
+        return true;
+    };
+    // Pre-validate pair vertices so a coalesced batch can never fail on
+    // *another* request's bad argument (fault validation stays inside
+    // the service, which checks faults eagerly per batch).
+    let n = service.n();
+    if let Some(v) = req
+        .pairs()
+        .flat_map(|(s, t)| [s, t])
+        .find(|&v| v as usize >= n)
+    {
+        proto::encode_response_err(
+            wbuf,
+            id,
+            ErrorCode::VertexOutOfRange,
+            &format!("vertex {v} out of range (n = {n})"),
+        );
+        return true;
+    }
+    let faults: Vec<(usize, usize)> = req
+        .faults()
+        .map(|(u, v)| (u as usize, v as usize))
+        .collect();
+    let pairs: Vec<(usize, usize)> = req.pairs().map(|(s, t)| (s as usize, t as usize)).collect();
+
+    if req.want_certificates() {
+        // The certificate path bypasses coalescing (it is the debug /
+        // verification surface; answers stay per-request).
+        match service.query_certified(&faults, &pairs) {
+            Ok(certs) => {
+                let answers: Vec<bool> = certs.iter().map(|c| c.is_some()).collect();
+                if proto::encode_response_ok(wbuf, id, &answers, Some(&certs)).is_err() {
+                    // Certificates blew the frame cap; the answers alone
+                    // (one byte per requested pair) always fit.
+                    proto::encode_response_err(
+                        wbuf,
+                        id,
+                        ErrorCode::QueryRejected,
+                        "certified response exceeds the frame cap; retry without certificates",
+                    );
+                }
+            }
+            Err(e) => serve_error_frame(wbuf, id, &e),
+        }
+        return true;
+    }
+    match shared
+        .coalescer
+        .submit(&service, req.graph(), &faults, &pairs)
+    {
+        Ok(answers) => {
+            // One answer byte per requested pair: strictly smaller than
+            // the request frame that carried the pairs.
+            proto::encode_response_ok(wbuf, id, &answers, None)
+                .expect("plain response within frame cap");
+        }
+        Err(e) => serve_error_frame(wbuf, id, &e),
+    }
+    true
+}
+
+/// Installs SIGINT/SIGTERM handlers that trigger a graceful
+/// [`ServerHandle::shutdown`]. The handler itself only flips an atomic
+/// (async-signal-safe); a watcher thread converts it into the shutdown
+/// call. No-op on non-Unix targets.
+pub fn install_signal_shutdown(handle: ServerHandle) {
+    #[cfg(unix)]
+    {
+        static SIGNALED: AtomicBool = AtomicBool::new(false);
+        extern "C" fn on_signal(_sig: i32) {
+            SIGNALED.store(true, Ordering::SeqCst);
+        }
+        // The process links the platform C library already; declaring
+        // `signal` directly avoids a libc crate dependency.
+        extern "C" {
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        unsafe {
+            signal(SIGINT, on_signal as *const () as usize);
+            signal(SIGTERM, on_signal as *const () as usize);
+        }
+        std::thread::spawn(move || loop {
+            if SIGNALED.load(Ordering::SeqCst) {
+                handle.shutdown();
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        });
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = handle;
+    }
+}
+
+// The serving loop's shared state crosses threads by construction.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<ServerHandle>();
+    assert_send_sync::<Shared>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::Client;
+    use ftc_core::{FtcScheme, Params};
+    use ftc_graph::Graph;
+    use ftc_serve::ConnectivityService;
+
+    fn spawn_server(
+        coalesce: bool,
+    ) -> (ServerHandle, std::thread::JoinHandle<std::io::Result<()>>) {
+        let registry = Arc::new(ServiceRegistry::new());
+        let scheme = FtcScheme::build(&Graph::torus(3, 4), &Params::deterministic(2)).unwrap();
+        registry.insert(
+            "torus",
+            ConnectivityService::from_labels(scheme.into_labels()),
+        );
+        let server = Server::bind(
+            registry,
+            "127.0.0.1:0",
+            ServerConfig {
+                coalesce,
+                read_poll: Duration::from_millis(5),
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let handle = server.handle();
+        let join = std::thread::spawn(move || server.run());
+        (handle, join)
+    }
+
+    #[test]
+    fn serves_queries_and_shuts_down_cleanly() {
+        let (handle, join) = spawn_server(true);
+        let mut client = Client::connect(handle.addr()).unwrap();
+        let answers = client
+            .query("torus", &[(0, 1), (0, 4)], &[(0, 10), (3, 3)])
+            .unwrap();
+        assert_eq!(answers, vec![true, true]);
+        let stats = handle.stats();
+        assert_eq!(stats.requests, 1);
+        assert_eq!(stats.pairs, 2);
+        handle.shutdown();
+        join.join().unwrap().unwrap();
+        // A fresh connection after shutdown cannot complete a query.
+        assert!(Client::connect(handle.addr())
+            .and_then(|mut c| c
+                .query("torus", &[], &[(0, 1)])
+                .map_err(|_| std::io::Error::other("refused")))
+            .is_err());
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_observable() {
+        let (handle, join) = spawn_server(false);
+        assert!(!handle.is_shutdown());
+        handle.shutdown();
+        handle.shutdown();
+        assert!(handle.is_shutdown());
+        join.join().unwrap().unwrap();
+    }
+}

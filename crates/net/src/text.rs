@@ -1,0 +1,178 @@
+//! The text query grammar shared by `ftc-cli serve` and `ftc-net`'s
+//! debug tooling.
+//!
+//! One query per line: `s t [u:v ...]` — a vertex pair followed by zero
+//! or more `u:v` fault edges. `#` starts a comment; blank lines are
+//! skipped. Answers render as `s t connected|disconnected`. The grammar
+//! lives here (rather than in `ftc-cli`) so the CLI's stdin serving
+//! loop and [`crate::client::Client::query_line`] can never drift.
+
+use std::fmt;
+
+/// One parsed query line: a vertex pair plus its fault edges.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TextQuery {
+    /// Query source vertex.
+    pub s: usize,
+    /// Query target vertex.
+    pub t: usize,
+    /// Fault edges, as written (unnormalized endpoint order).
+    pub faults: Vec<(usize, usize)>,
+}
+
+/// A query line that does not match the grammar.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TextError {
+    /// The line is missing `s` or `t`, or one of them is not an integer.
+    BadVertex {
+        /// The offending line (comment-stripped, trimmed).
+        line: String,
+    },
+    /// A fault token is not `U:V` with integer endpoints.
+    BadFault {
+        /// The offending token.
+        token: String,
+    },
+}
+
+impl fmt::Display for TextError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TextError::BadVertex { line } => {
+                write!(f, "query '{line}': expected 's t [u:v ...]'")
+            }
+            TextError::BadFault { token } => {
+                write!(f, "fault expects U:V, got '{token}'")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TextError {}
+
+/// Parses a `U:V` endpoint pair (fault-edge token syntax, also used by
+/// `ftc-cli`'s `--fault` / `--pair` flags).
+///
+/// # Errors
+///
+/// [`TextError::BadFault`] when the token is not two integers joined by
+/// a colon.
+pub fn parse_endpoint_pair(token: &str) -> Result<(usize, usize), TextError> {
+    let bad = || TextError::BadFault {
+        token: token.to_string(),
+    };
+    let (u, v) = token.split_once(':').ok_or_else(bad)?;
+    let u: usize = u.parse().map_err(|_| bad())?;
+    let v: usize = v.parse().map_err(|_| bad())?;
+    Ok((u, v))
+}
+
+/// Parses one `s t [u:v ...]` query line. `Ok(None)` for blank lines
+/// and comments.
+///
+/// # Errors
+///
+/// [`TextError`] when a non-blank line does not match the grammar.
+pub fn parse_query_line(line: &str) -> Result<Option<TextQuery>, TextError> {
+    let line = line.split('#').next().unwrap_or("").trim();
+    if line.is_empty() {
+        return Ok(None);
+    }
+    let mut it = line.split_whitespace();
+    let mut parse_vertex = || -> Result<usize, TextError> {
+        it.next()
+            .and_then(|tok| tok.parse().ok())
+            .ok_or_else(|| TextError::BadVertex {
+                line: line.to_string(),
+            })
+    };
+    let s = parse_vertex()?;
+    let t = parse_vertex()?;
+    let faults = it
+        .map(parse_endpoint_pair)
+        .collect::<Result<Vec<_>, TextError>>()?;
+    Ok(Some(TextQuery { s, t, faults }))
+}
+
+/// The answer-line verdict word.
+#[must_use]
+pub fn verdict(connected: bool) -> &'static str {
+    if connected {
+        "connected"
+    } else {
+        "disconnected"
+    }
+}
+
+/// Formats one answer line: `s t connected|disconnected`.
+#[must_use]
+pub fn answer_line(s: usize, t: usize, connected: bool) -> String {
+    format!("{s} {t} {}", verdict(connected))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_bare_pair() {
+        let q = parse_query_line("3 7").unwrap().unwrap();
+        assert_eq!(
+            q,
+            TextQuery {
+                s: 3,
+                t: 7,
+                faults: vec![]
+            }
+        );
+    }
+
+    #[test]
+    fn parses_faults_and_comment() {
+        let q = parse_query_line("  0 5 1:2 9:4  # note").unwrap().unwrap();
+        assert_eq!(q.s, 0);
+        assert_eq!(q.t, 5);
+        assert_eq!(q.faults, vec![(1, 2), (9, 4)]);
+    }
+
+    #[test]
+    fn blank_and_comment_lines_are_none() {
+        assert_eq!(parse_query_line("").unwrap(), None);
+        assert_eq!(parse_query_line("   ").unwrap(), None);
+        assert_eq!(parse_query_line("# all of it").unwrap(), None);
+    }
+
+    #[test]
+    fn missing_target_is_bad_vertex() {
+        assert!(matches!(
+            parse_query_line("42"),
+            Err(TextError::BadVertex { .. })
+        ));
+    }
+
+    #[test]
+    fn non_integer_vertex_is_bad_vertex() {
+        assert!(matches!(
+            parse_query_line("a b"),
+            Err(TextError::BadVertex { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_fault_token() {
+        assert!(matches!(
+            parse_query_line("1 2 3-4"),
+            Err(TextError::BadFault { .. })
+        ));
+        assert!(matches!(
+            parse_endpoint_pair("1:x"),
+            Err(TextError::BadFault { .. })
+        ));
+    }
+
+    #[test]
+    fn answer_line_format() {
+        assert_eq!(answer_line(3, 9, true), "3 9 connected");
+        assert_eq!(answer_line(0, 1, false), "0 1 disconnected");
+    }
+}

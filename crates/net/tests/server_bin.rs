@@ -1,0 +1,182 @@
+//! End-to-end tests of the shipped binaries: spawn `ftc-server` on a
+//! real archive file, talk to it with [`ftc_net::Client`], and shut it
+//! down with SIGTERM the way an operator (or the CI harness) would.
+
+use ftc_core::store::{EdgeEncoding, LabelStore};
+use ftc_core::{FtcScheme, Params};
+use ftc_graph::Graph;
+use ftc_net::Client;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::process::{Child, Command, Stdio};
+
+/// Temp-dir path that survives until the test process exits.
+fn scratch_path(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("ftc-net-bin-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+fn write_archive(path: &std::path::Path) -> Graph {
+    let g = Graph::torus(3, 4);
+    let scheme = FtcScheme::build(&g, &Params::deterministic(2)).unwrap();
+    std::fs::write(
+        path,
+        LabelStore::to_vec(scheme.labels(), EdgeEncoding::Full),
+    )
+    .unwrap();
+    g
+}
+
+fn spawn_server(args: &[&str]) -> (Child, String) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_ftc-server"))
+        .args(args)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    // The server prints exactly one "listening on HOST:PORT" line once
+    // it is accepting connections — the contract scripts rely on.
+    let mut line = String::new();
+    BufReader::new(child.stdout.as_mut().unwrap())
+        .read_line(&mut line)
+        .unwrap();
+    let addr = line
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected startup line: {line:?}"))
+        .trim()
+        .to_string();
+    (child, addr)
+}
+
+#[test]
+fn server_binary_serves_and_drains_on_sigterm() {
+    let archive = scratch_path("torus.ftc");
+    write_archive(&archive);
+    let spec = format!("torus={}", archive.display());
+    let (mut child, addr) = spawn_server(&[&spec]);
+
+    let mut client = Client::connect(&addr).unwrap();
+    let answers = client.query("torus", &[(0, 1)], &[(0, 5), (2, 2)]).unwrap();
+    assert_eq!(answers.len(), 2);
+    assert!(answers[1], "(2,2) is trivially connected");
+
+    // SIGTERM → graceful drain → exit code 0 with a drain summary.
+    let status = Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .unwrap();
+    assert!(status.success(), "kill -TERM failed");
+    let exit = child.wait().unwrap();
+    assert!(exit.success(), "server exited with {exit}");
+
+    let mut stderr = String::new();
+    child
+        .stderr
+        .take()
+        .unwrap()
+        .read_to_string(&mut stderr)
+        .unwrap();
+    assert!(
+        stderr.contains("drained:"),
+        "missing drain summary in stderr: {stderr:?}"
+    );
+    assert!(
+        stderr.contains("1 requests"),
+        "stats miscounted: {stderr:?}"
+    );
+}
+
+#[test]
+fn server_binary_rejects_bad_usage() {
+    // No archives at all.
+    let out = Command::new(env!("CARGO_BIN_EXE_ftc-server"))
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("usage"), "stderr: {stderr}");
+
+    // An unreadable archive path fails up front, before binding.
+    let out = Command::new(env!("CARGO_BIN_EXE_ftc-server"))
+        .arg("g=/definitely/not/here.ftc")
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn loadgen_emit_graph_writes_a_buildable_edge_list() {
+    let out_path = scratch_path("workload-edges.txt");
+    let out = Command::new(env!("CARGO_BIN_EXE_ftc-loadgen"))
+        .args(["--quick", "--emit-graph"])
+        .arg(&out_path)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("ftc-cli build"),
+        "missing build hint: {stdout}"
+    );
+
+    // The emitted file is the `ftc-cli build` edge-list format:
+    // comment header, then one "u v" pair per line.
+    let text = std::fs::read_to_string(&out_path).unwrap();
+    let mut edges = 0usize;
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let u: usize = it.next().unwrap().parse().unwrap();
+        let v: usize = it.next().unwrap().parse().unwrap();
+        assert!(it.next().is_none(), "extra tokens: {line:?}");
+        assert_ne!(u, v, "self-loop in emitted graph");
+        edges += 1;
+    }
+    assert!(edges >= 200, "suspiciously few edges: {edges}");
+}
+
+#[test]
+fn client_pipelines_against_the_binary() {
+    let archive = scratch_path("torus2.ftc");
+    write_archive(&archive);
+    let spec = format!("torus={}", archive.display());
+    let (mut child, addr) = spawn_server(&[&spec]);
+
+    // Pipelined: several requests in flight on one connection, answers
+    // matched back up by request ID.
+    let mut client = Client::connect(&addr).unwrap();
+    let ids: Vec<u64> = (0..8)
+        .map(|i| {
+            client
+                .send("torus", &[(0, 1)], &[(i % 12, (i + 3) % 12)])
+                .unwrap()
+        })
+        .collect();
+    for want in ids {
+        let resp = client.recv().unwrap();
+        assert_eq!(resp.request_id, want, "responses arrived out of order");
+    }
+
+    // Raw-socket misuse against the real binary: a typed error frame,
+    // not a dead server.
+    let mut raw = std::net::TcpStream::connect(&addr).unwrap();
+    raw.write_all(&7u32.to_le_bytes()).unwrap();
+    raw.write_all(b"garbage").unwrap();
+    let mut prefix = [0u8; 4];
+    raw.read_exact(&mut prefix).unwrap();
+    drop(raw);
+    assert_eq!(client.query("torus", &[], &[(0, 1)]).unwrap(), vec![true]);
+
+    Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .unwrap();
+    assert!(child.wait().unwrap().success());
+}

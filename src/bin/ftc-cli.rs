@@ -6,7 +6,7 @@
 //!               [--k N] [--encoding full|compact] [--threads N]
 //! ftc-cli info  <labels.ftc>
 //! ftc-cli query <labels.ftc> <s> <t> [--fault U:V ...] [--pair S:T ...]
-//! ftc-cli serve <labels.ftc> [--threads N]
+//! ftc-cli serve <labels.ftc> [--threads N] [--tcp HOST:PORT] [--id NAME]
 //! ```
 //!
 //! `graph.txt` is an edge list: one `u v` pair per line (`#` comments
@@ -20,20 +20,65 @@
 //! materialized; the original graph file is never re-read.
 //!
 //! `serve` reads line-delimited queries from stdin — each line
-//! `s t [u:v ...]` names one vertex pair plus its fault edges — and
-//! writes one `u v connected|disconnected` line per query to stdout.
-//! With `--threads N` the whole input is read first and answered by `N`
-//! worker threads hammering one shared service (answers stay in input
-//! order); without it, queries stream one at a time.
+//! `s t [u:v ...]` names one vertex pair plus its fault edges (the
+//! grammar is `ftc::net::text`, shared with the TCP client's text-mode
+//! tooling) — and writes one `u v connected|disconnected` line per
+//! query to stdout. With `--threads N` the whole input is read first
+//! and answered by `N` worker threads hammering one shared service
+//! (answers stay in input order); without it, queries stream one at a
+//! time. With `--tcp HOST:PORT` the archive is served over the binary
+//! TCP protocol instead (registered under `--id`, default `default`)
+//! until SIGINT/SIGTERM drains in-flight requests.
 
 use ftc::core::store::{EdgeEncoding, LabelStoreView};
 use ftc::core::{FtcScheme, HierarchyBackend, Params, ThresholdPolicy};
 use ftc::graph::Graph;
-use ftc::serve::ConnectivityService;
+use ftc::net::server::{install_signal_shutdown, Server, ServerConfig};
+use ftc::net::text;
+use ftc::serve::{ConnectivityService, ServiceRegistry};
+use std::fmt;
 use std::fs;
 use std::io::{BufRead, Write};
 use std::path::Path;
 use std::process::ExitCode;
+use std::sync::Arc;
+
+/// Typed top-level CLI failure, mapped to an exit status in `main`.
+enum CliError {
+    /// Bad invocation; print the usage text (exit status 2).
+    Usage,
+    /// A `serve --threads` worker thread panicked; partial answers were
+    /// discarded rather than emitted out of order.
+    WorkerPanicked,
+    /// Any other failure, already formatted for the user.
+    Msg(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage => f.write_str(USAGE),
+            CliError::WorkerPanicked => {
+                f.write_str("serve worker panicked; partial answers discarded")
+            }
+            CliError::Msg(m) => f.write_str(m),
+        }
+    }
+}
+
+impl From<String> for CliError {
+    fn from(m: String) -> CliError {
+        CliError::Msg(m)
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(m: &str) -> CliError {
+        CliError::Msg(m.into())
+    }
+}
+
+type CliResult = Result<(), CliError>;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -42,29 +87,31 @@ fn main() -> ExitCode {
         Some("info") => cmd_info(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
-        _ => Err(usage()),
+        _ => Err(CliError::Usage),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
-            eprintln!("error: {msg}");
+        Err(CliError::Usage) => {
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
             ExitCode::FAILURE
         }
     }
 }
 
-fn usage() -> String {
-    "usage:\n  ftc-cli build <graph.txt> <labels.ftc> [--f N] [--backend epsnet|greedy|sampling] [--k N] [--encoding full|compact] [--threads N]\n  ftc-cli info  <labels.ftc>\n  ftc-cli query <labels.ftc> <s> <t> [--fault U:V ...] [--pair S:T ...]\n  ftc-cli serve <labels.ftc> [--threads N]   (queries `s t [u:v ...]` on stdin)".into()
-}
+const USAGE: &str = "usage:\n  ftc-cli build <graph.txt> <labels.ftc> [--f N] [--backend epsnet|greedy|sampling] [--k N] [--encoding full|compact] [--threads N]\n  ftc-cli info  <labels.ftc>\n  ftc-cli query <labels.ftc> <s> <t> [--fault U:V ...] [--pair S:T ...]\n  ftc-cli serve <labels.ftc> [--threads N] [--tcp HOST:PORT] [--id NAME]   (queries `s t [u:v ...]` on stdin)";
 
 // ---------------------------------------------------------------------------
 // build
 // ---------------------------------------------------------------------------
 
-fn cmd_build(args: &[String]) -> Result<(), String> {
+fn cmd_build(args: &[String]) -> CliResult {
     let (positional, flags) = split_flags(args)?;
     let [graph_path, out_path] = positional.as_slice() else {
-        return Err(usage());
+        return Err(CliError::Usage);
     };
     let f: usize = flag_value(&flags, "f")
         .unwrap_or_else(|| "2".into())
@@ -74,7 +121,7 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
         None | Some("epsnet") => HierarchyBackend::EpsNet,
         Some("greedy") => HierarchyBackend::GreedyRect,
         Some("sampling") => HierarchyBackend::Sampling { seed: 0xC11 },
-        Some(other) => return Err(format!("unknown backend '{other}'")),
+        Some(other) => return Err(format!("unknown backend '{other}'").into()),
     };
     let mut params = Params {
         f,
@@ -88,7 +135,7 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
     let encoding = match flag_value(&flags, "encoding").as_deref() {
         None | Some("full") => EdgeEncoding::Full,
         Some("compact") => EdgeEncoding::Compact,
-        Some(other) => return Err(format!("unknown encoding '{other}'")),
+        Some(other) => return Err(format!("unknown encoding '{other}'").into()),
     };
     let threads: usize = flag_value(&flags, "threads")
         .unwrap_or_else(|| "0".into())
@@ -122,8 +169,10 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
 // info
 // ---------------------------------------------------------------------------
 
-fn cmd_info(args: &[String]) -> Result<(), String> {
-    let [path] = args else { return Err(usage()) };
+fn cmd_info(args: &[String]) -> CliResult {
+    let [path] = args else {
+        return Err(CliError::Usage);
+    };
     let blob = read_archive_bytes(path)?;
     let view = LabelStoreView::open(&blob).map_err(|e| format!("{path}: {e}"))?;
     let header = view.header();
@@ -146,10 +195,10 @@ fn cmd_info(args: &[String]) -> Result<(), String> {
 // query
 // ---------------------------------------------------------------------------
 
-fn cmd_query(args: &[String]) -> Result<(), String> {
+fn cmd_query(args: &[String]) -> CliResult {
     let (positional, flags) = split_flags(args)?;
     let [path, s_str, t_str] = positional.as_slice() else {
-        return Err(usage());
+        return Err(CliError::Usage);
     };
     let s: usize = s_str.parse().map_err(|_| "s must be a vertex ID")?;
     let t: usize = t_str.parse().map_err(|_| "t must be a vertex ID")?;
@@ -173,7 +222,7 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
         .query(&fault_pairs, &query_pairs)
         .map_err(|e| e.to_string())?;
     for (&(a, b), answer) in query_pairs.iter().zip(&answers) {
-        let verdict = if answer { "connected" } else { "disconnected" };
+        let verdict = text::verdict(answer);
         if query_pairs.len() == 1 {
             println!("{verdict}");
         } else {
@@ -187,60 +236,35 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
 // serve
 // ---------------------------------------------------------------------------
 
-/// One parsed stdin query: a vertex pair plus its fault edges.
-struct ServeQuery {
-    s: usize,
-    t: usize,
-    faults: Vec<(usize, usize)>,
-}
-
-/// Parses a `s t [u:v ...]` query line; `None` for blanks and comments.
-fn parse_query_line(line: &str) -> Result<Option<ServeQuery>, String> {
-    let line = line.split('#').next().unwrap_or("").trim();
-    if line.is_empty() {
-        return Ok(None);
-    }
-    let mut it = line.split_whitespace();
-    let parse_vertex = |tok: Option<&str>| -> Result<usize, String> {
-        tok.ok_or_else(|| format!("query '{line}': expected 's t [u:v ...]'"))?
-            .parse()
-            .map_err(|_| format!("query '{line}': bad vertex ID"))
-    };
-    let s = parse_vertex(it.next())?;
-    let t = parse_vertex(it.next())?;
-    let faults = it
-        .map(|tok| parse_colon_pair("fault", tok))
-        .collect::<Result<Vec<_>, String>>()?;
-    Ok(Some(ServeQuery { s, t, faults }))
-}
-
-fn cmd_serve(args: &[String]) -> Result<(), String> {
+fn cmd_serve(args: &[String]) -> CliResult {
     let (positional, flags) = split_flags(args)?;
     let [path] = positional.as_slice() else {
-        return Err(usage());
+        return Err(CliError::Usage);
     };
     let threads: usize = flag_value(&flags, "threads")
         .unwrap_or_else(|| "0".into())
         .parse()
         .map_err(|_| "--threads expects an integer (0 = stream on this thread)")?;
+
+    if let Some(addr) = flag_value(&flags, "tcp") {
+        let id = flag_value(&flags, "id").unwrap_or_else(|| "default".into());
+        return serve_tcp(path, &addr, &id);
+    }
+
     let service = open_service(path)?;
 
     let stdin = std::io::stdin().lock();
     let mut stdout = std::io::stdout().lock();
-    let report = |out: &mut dyn Write, q: &ServeQuery, connected: bool| -> Result<(), String> {
-        let verdict = if connected {
-            "connected"
-        } else {
-            "disconnected"
-        };
-        writeln!(out, "{} {} {verdict}", q.s, q.t).map_err(|e| format!("cannot write: {e}"))
+    let report = |out: &mut dyn Write, q: &text::TextQuery, connected: bool| -> CliResult {
+        writeln!(out, "{}", text::answer_line(q.s, q.t, connected))
+            .map_err(|e| format!("cannot write: {e}").into())
     };
 
     if threads <= 1 {
         // Streaming mode: answer each line as it arrives.
         for line in stdin.lines() {
             let line = line.map_err(|e| format!("cannot read stdin: {e}"))?;
-            let Some(q) = parse_query_line(&line)? else {
+            let Some(q) = text::parse_query_line(&line).map_err(|e| e.to_string())? else {
                 continue;
             };
             let answers = service
@@ -258,11 +282,14 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         .lines()
         .map(|line| {
             let line = line.map_err(|e| format!("cannot read stdin: {e}"))?;
-            parse_query_line(&line)
+            text::parse_query_line(&line).map_err(|e| e.to_string())
         })
         .filter_map(Result::transpose)
         .collect::<Result<Vec<_>, String>>()?;
     let chunk = queries.len().div_ceil(threads).max(1);
+    // Each worker answers one input-order chunk; a panicking worker
+    // surfaces as a typed error instead of tearing down the process
+    // mid-output.
     let answers: Vec<Result<bool, String>> = std::thread::scope(|scope| {
         let service = &service;
         let handles: Vec<_> = queries
@@ -283,13 +310,41 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             .collect();
         handles
             .into_iter()
-            .flat_map(|h| h.join().expect("serve worker panicked"))
-            .collect()
-    });
+            .map(|h| h.join().map_err(|_| CliError::WorkerPanicked))
+            .collect::<Result<Vec<_>, CliError>>()
+            .map(|chunks| chunks.into_iter().flatten().collect())
+    })?;
     for (q, answer) in queries.iter().zip(answers) {
         report(&mut stdout, q, answer?)?;
     }
     stdout.flush().map_err(|e| format!("cannot write: {e}"))?;
+    Ok(())
+}
+
+/// Serves the archive over the binary TCP protocol (`ftc::net`) until
+/// SIGINT/SIGTERM, which drain in-flight requests before exiting.
+fn serve_tcp(path: &str, addr: &str, id: &str) -> CliResult {
+    let registry = Arc::new(ServiceRegistry::new());
+    let service = registry.open_path(id, path).map_err(|e| e.to_string())?;
+    eprintln!(
+        "registered \"{id}\": n = {}, m = {} ({path})",
+        service.n(),
+        service.m()
+    );
+    let server = Server::bind(registry, addr, ServerConfig::default())
+        .map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    let handle = server.handle();
+    install_signal_shutdown(handle.clone());
+    println!("listening on {}", server.local_addr());
+    std::io::stdout()
+        .flush()
+        .map_err(|e| format!("cannot write: {e}"))?;
+    server.run().map_err(|e| format!("serving failed: {e}"))?;
+    let stats = handle.stats();
+    eprintln!(
+        "drained: {} requests ({} coalesced) in {} batches, {} pairs answered",
+        stats.requests, stats.coalesced, stats.batches, stats.pairs
+    );
     Ok(())
 }
 
@@ -307,14 +362,10 @@ fn open_service(path: &str) -> Result<ConnectivityService, String> {
     ConnectivityService::from_archive_bytes(blob).map_err(|e| format!("{path}: {e}"))
 }
 
-/// Parses a `U:V` endpoint pair.
+/// Parses a `U:V` endpoint pair (shared `ftc::net::text` syntax, with
+/// the flag name in the error).
 fn parse_colon_pair(what: &str, spec: &str) -> Result<(usize, usize), String> {
-    let (u, v) = spec
-        .split_once(':')
-        .ok_or_else(|| format!("--{what} expects U:V, got '{spec}'"))?;
-    let u: usize = u.parse().map_err(|_| format!("bad --{what} endpoint"))?;
-    let v: usize = v.parse().map_err(|_| format!("bad --{what} endpoint"))?;
-    Ok((u, v))
+    text::parse_endpoint_pair(spec).map_err(|_| format!("--{what} expects U:V, got '{spec}'"))
 }
 
 /// Parsed command line: positional arguments and `--name value` flags.

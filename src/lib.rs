@@ -37,6 +37,7 @@ pub use ftc_core as core;
 pub use ftc_field as field;
 pub use ftc_geometry as geometry;
 pub use ftc_graph as graph;
+pub use ftc_net as net;
 pub use ftc_routing as routing;
 pub use ftc_serve as serve;
 pub use ftc_sketch as sketch;

@@ -1,0 +1,377 @@
+//! Loopback integration tests for the `ftc::net` TCP serving subsystem:
+//! concurrent clients checked against the BFS oracle across multiple
+//! registered graphs, malformed / truncated / oversized frames on raw
+//! sockets, typed error codes, registry eviction under live traffic,
+//! and graceful shutdown drain.
+
+use ftc::core::store::{EdgeEncoding, LabelStore};
+use ftc::core::{FtcScheme, Params};
+use ftc::graph::{connectivity, generators, Graph};
+use ftc::net::client::{Client, ClientError};
+use ftc::net::proto::{self, ErrorCode, ResponseBody, MAX_FRAME_BYTES};
+use ftc::net::server::{Server, ServerConfig, ServerHandle};
+use ftc::serve::{ConnectivityService, ServiceRegistry};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Builds an archive-backed service for `g` (the production serving
+/// path: labels → blob → zero-copy views).
+fn service_of(g: &Graph, f: usize) -> ConnectivityService {
+    let scheme = FtcScheme::build(g, &Params::deterministic(f)).unwrap();
+    let blob = LabelStore::to_vec(scheme.labels(), EdgeEncoding::Full);
+    ConnectivityService::from_archive_bytes(blob).unwrap()
+}
+
+fn spawn(
+    registry: Arc<ServiceRegistry>,
+) -> (ServerHandle, std::thread::JoinHandle<std::io::Result<()>>) {
+    let server = Server::bind(
+        registry,
+        "127.0.0.1:0",
+        ServerConfig {
+            read_poll: Duration::from_millis(5),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.run());
+    (handle, join)
+}
+
+/// Reads one length-prefixed frame payload off a raw socket.
+fn read_frame(stream: &mut TcpStream) -> Option<Vec<u8>> {
+    let mut prefix = [0u8; 4];
+    stream.read_exact(&mut prefix).ok()?;
+    let mut payload = vec![0u8; u32::from_le_bytes(prefix) as usize];
+    stream.read_exact(&mut payload).ok()?;
+    Some(payload)
+}
+
+/// Concurrent clients routing to two registered graphs; every answer is
+/// checked against a BFS oracle computed from the graphs directly.
+#[test]
+fn concurrent_clients_match_bfs_oracle_across_graphs() {
+    let g1 = generators::random_connected(40, 60, 1);
+    let g2 = Graph::torus(4, 5);
+    let registry = Arc::new(ServiceRegistry::new());
+    registry.insert("g1", service_of(&g1, 3));
+    registry.insert("g2", service_of(&g2, 2));
+    let (handle, join) = spawn(registry);
+
+    std::thread::scope(|scope| {
+        for worker in 0..4usize {
+            let (g1, g2) = (&g1, &g2);
+            let addr = handle.addr();
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                for i in 0..25usize {
+                    let (graph, g, f) = if (worker + i) % 2 == 0 {
+                        ("g1", g1, 3)
+                    } else {
+                        ("g2", g2, 2)
+                    };
+                    let fset = generators::random_fault_set(g, f, (worker * 100 + i) as u64);
+                    let endpoints: Vec<(usize, usize)> = {
+                        let all: Vec<(usize, usize)> =
+                            g.edge_iter().map(|(_, u, v)| (u, v)).collect();
+                        fset.iter().map(|&e| all[e]).collect()
+                    };
+                    let pairs: Vec<(usize, usize)> = (0..6)
+                        .map(|p| ((i * 7 + p) % g.n(), (p * 13 + worker) % g.n()))
+                        .collect();
+                    let answers = client.query(graph, &endpoints, &pairs).unwrap();
+                    for (&(s, t), &got) in pairs.iter().zip(&answers) {
+                        let want = connectivity::connected_avoiding(g, s, t, &fset);
+                        assert_eq!(got, want, "{graph}: ({s},{t}) avoiding {fset:?}");
+                    }
+                }
+            });
+        }
+    });
+
+    let stats = handle.stats();
+    assert_eq!(stats.requests, 100);
+    assert_eq!(stats.pairs, 600);
+    handle.shutdown();
+    join.join().unwrap().unwrap();
+}
+
+/// Certificates travel the wire: every connected pair carries a merge
+/// list, disconnected pairs none, and the text-mode helper answers the
+/// `ftc-cli serve` grammar over TCP.
+#[test]
+fn certificates_and_text_mode_round_trip() {
+    let g = Graph::cycle(6);
+    let registry = Arc::new(ServiceRegistry::new());
+    registry.insert("cycle", service_of(&g, 2));
+    let (handle, join) = spawn(registry);
+
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let (answers, certs) = client
+        .query_certified("cycle", &[(0, 1)], &[(0, 3), (2, 2)])
+        .unwrap();
+    assert_eq!(answers, vec![true, true]);
+    assert_eq!(certs.len(), 2);
+    assert!(certs.iter().all(Option::is_some));
+
+    let (answers, certs) = client
+        .query_certified("cycle", &[(0, 1), (5, 0)], &[(0, 3)])
+        .unwrap();
+    assert_eq!(answers, vec![false]);
+    assert_eq!(certs, vec![None]);
+
+    assert_eq!(
+        client.query_line("cycle", "0 3 0:1").unwrap().as_deref(),
+        Some("0 3 connected")
+    );
+    assert_eq!(
+        client
+            .query_line("cycle", "0 3 0:1 5:0")
+            .unwrap()
+            .as_deref(),
+        Some("0 3 disconnected")
+    );
+    assert_eq!(client.query_line("cycle", "# comment").unwrap(), None);
+
+    handle.shutdown();
+    join.join().unwrap().unwrap();
+}
+
+/// Malformed payloads are answered with typed error frames and the
+/// connection survives; only framing violations (oversized prefix,
+/// truncation at EOF) end it.
+#[test]
+fn malformed_frames_get_typed_errors_without_desync() {
+    let g = Graph::torus(3, 4);
+    let registry = Arc::new(ServiceRegistry::new());
+    registry.insert("g", service_of(&g, 2));
+    let (handle, join) = spawn(registry);
+
+    // Garbage payload inside a valid length prefix: typed BadFrame
+    // answer, stream stays usable.
+    let mut raw = TcpStream::connect(handle.addr()).unwrap();
+    let garbage = b"hello";
+    raw.write_all(&(garbage.len() as u32).to_le_bytes())
+        .unwrap();
+    raw.write_all(garbage).unwrap();
+    let resp = proto::decode_response(&read_frame(&mut raw).unwrap()).unwrap();
+    assert!(matches!(
+        resp.body,
+        ResponseBody::Error {
+            code: ErrorCode::BadFrame,
+            ..
+        }
+    ));
+
+    // A wrong protocol version gets its own code — same connection.
+    let mut frame = Vec::new();
+    proto::encode_request(&mut frame, 5, "g", 0, &[], &[(0, 1)]).unwrap();
+    let mut bad_version = frame.clone();
+    bad_version[4 + 4] = 99; // version lo byte, after the length prefix
+    raw.write_all(&bad_version).unwrap();
+    let resp = proto::decode_response(&read_frame(&mut raw).unwrap()).unwrap();
+    assert!(matches!(
+        resp.body,
+        ResponseBody::Error {
+            code: ErrorCode::UnsupportedVersion,
+            ..
+        }
+    ));
+
+    // The same connection still answers a well-formed request.
+    raw.write_all(&frame).unwrap();
+    let resp = proto::decode_response(&read_frame(&mut raw).unwrap()).unwrap();
+    assert_eq!(resp.request_id, 5);
+    assert!(matches!(resp.body, ResponseBody::Answers { .. }));
+
+    // An oversized length prefix is a framing violation: best-effort
+    // error frame, then the connection closes.
+    raw.write_all(&(MAX_FRAME_BYTES + 1).to_le_bytes()).unwrap();
+    if let Some(payload) = read_frame(&mut raw) {
+        let resp = proto::decode_response(&payload).unwrap();
+        assert!(matches!(
+            resp.body,
+            ResponseBody::Error {
+                code: ErrorCode::BadFrame,
+                ..
+            }
+        ));
+    }
+    let mut rest = Vec::new();
+    raw.read_to_end(&mut rest).unwrap(); // EOF, not a hang
+    assert!(rest.is_empty());
+
+    // A frame truncated by EOF is a violation too: the server answers
+    // best-effort and closes rather than waiting forever.
+    let mut raw = TcpStream::connect(handle.addr()).unwrap();
+    raw.write_all(&100u32.to_le_bytes()).unwrap();
+    raw.write_all(&[0u8; 10]).unwrap();
+    raw.shutdown(std::net::Shutdown::Write).unwrap();
+    let mut rest = Vec::new();
+    raw.read_to_end(&mut rest).unwrap();
+
+    handle.shutdown();
+    join.join().unwrap().unwrap();
+}
+
+/// Every typed error code the server can emit for well-formed frames.
+#[test]
+fn typed_error_codes_for_bad_arguments() {
+    let g = Graph::torus(3, 4);
+    let registry = Arc::new(ServiceRegistry::new());
+    registry.insert("g", service_of(&g, 2));
+    let (handle, join) = spawn(registry);
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    let unknown_graph = client.query("nope", &[], &[(0, 1)]).unwrap_err();
+    assert!(matches!(
+        unknown_graph,
+        ClientError::Remote {
+            code: ErrorCode::UnknownGraph,
+            ..
+        }
+    ));
+
+    // (0, 0) is never an edge; the fault cannot resolve.
+    let unknown_fault = client.query("g", &[(0, 0)], &[(0, 1)]).unwrap_err();
+    assert!(matches!(
+        unknown_fault,
+        ClientError::Remote {
+            code: ErrorCode::UnknownFault,
+            ..
+        }
+    ));
+
+    let out_of_range = client.query("g", &[], &[(0, 10_000)]).unwrap_err();
+    assert!(matches!(
+        out_of_range,
+        ClientError::Remote {
+            code: ErrorCode::VertexOutOfRange,
+            ..
+        }
+    ));
+
+    // Over the fault budget (f = 2) with a non-trivial pair: rejected.
+    let all: Vec<(usize, usize)> = g.edge_iter().map(|(_, u, v)| (u, v)).collect();
+    let over_budget = client.query("g", &all[..3], &[(0, 5)]).unwrap_err();
+    assert!(matches!(
+        over_budget,
+        ClientError::Remote {
+            code: ErrorCode::QueryRejected,
+            ..
+        }
+    ));
+
+    // The connection survived all four errors.
+    assert_eq!(client.query("g", &[], &[(0, 5)]).unwrap(), vec![true]);
+
+    handle.shutdown();
+    join.join().unwrap().unwrap();
+}
+
+/// `ServiceRegistry::evict` during live traffic: requests already routed
+/// keep answering correctly, later ones get the typed UnknownGraph
+/// error, nothing hangs, and re-inserting restores service.
+#[test]
+fn evict_during_live_traffic_keeps_inflight_answers() {
+    let g = generators::random_connected(30, 45, 2);
+    let registry = Arc::new(ServiceRegistry::new());
+    let service = service_of(&g, 2);
+    registry.insert("g", service.clone());
+    let (handle, join) = spawn(registry.clone());
+
+    let all: Vec<(usize, usize)> = g.edge_iter().map(|(_, u, v)| (u, v)).collect();
+    std::thread::scope(|scope| {
+        for worker in 0..4usize {
+            let (g, all) = (&g, &all);
+            let addr = handle.addr();
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                for i in 0..100_000usize {
+                    let fset = generators::random_fault_set(g, 2, (worker * 7 + i) as u64);
+                    let endpoints: Vec<(usize, usize)> = fset.iter().map(|&e| all[e]).collect();
+                    let pairs = [(i % g.n(), (i * 3 + worker) % g.n())];
+                    match client.query("g", &endpoints, &pairs) {
+                        Ok(answers) => {
+                            // Answered before the eviction took effect:
+                            // must still be *correct*, not just present.
+                            let want =
+                                connectivity::connected_avoiding(g, pairs[0].0, pairs[0].1, &fset);
+                            assert_eq!(answers, vec![want]);
+                        }
+                        Err(ClientError::Remote {
+                            code: ErrorCode::UnknownGraph,
+                            ..
+                        }) => return, // eviction observed; clean exit
+                        Err(e) => panic!("unexpected failure under eviction: {e}"),
+                    }
+                }
+                panic!("eviction never observed");
+            });
+        }
+        std::thread::sleep(Duration::from_millis(30));
+        let evicted = registry.evict("g").expect("was registered");
+        // The evicted handle itself still answers (registry semantics).
+        assert_eq!(evicted.n(), g.n());
+    });
+
+    // Re-insert: the same server (no restart) serves the graph again.
+    registry.insert("g", service);
+    let mut client = Client::connect(handle.addr()).unwrap();
+    assert_eq!(client.query("g", &[], &[(0, 7)]).unwrap(), vec![true]);
+
+    handle.shutdown();
+    join.join().unwrap().unwrap();
+}
+
+/// Graceful shutdown under concurrent coalesced traffic: every worker
+/// ends with either a completed (correct-length) answer or a clean
+/// connection close — never a hang — and the server joins all handlers.
+#[test]
+fn graceful_shutdown_drains_concurrent_traffic() {
+    let g = generators::random_connected(30, 45, 3);
+    let registry = Arc::new(ServiceRegistry::new());
+    registry.insert("g", service_of(&g, 2));
+    let (handle, join) = spawn(registry);
+
+    let all: Vec<(usize, usize)> = g.edge_iter().map(|(_, u, v)| (u, v)).collect();
+    let shared_faults = [all[0], all[7]];
+    std::thread::scope(|scope| {
+        for worker in 0..6usize {
+            let addr = handle.addr();
+            let handle = handle.clone();
+            let n = g.n();
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                let mut completed = 0u64;
+                for i in 0..1_000_000usize {
+                    // All workers share one fault set, so in-flight
+                    // requests coalesce onto shared sessions.
+                    let pairs = [(i % n, (i * 5 + worker) % n)];
+                    match client.query("g", &shared_faults, &pairs) {
+                        Ok(answers) => {
+                            assert_eq!(answers.len(), 1);
+                            completed += 1;
+                        }
+                        Err(ClientError::Io(_)) => break, // drained and closed
+                        Err(e) => panic!("unexpected failure during shutdown: {e}"),
+                    }
+                    if handle.is_shutdown() && completed > 0 {
+                        break;
+                    }
+                }
+                assert!(completed > 0, "worker {worker} never completed a request");
+            });
+        }
+        std::thread::sleep(Duration::from_millis(60));
+        handle.shutdown();
+    });
+
+    join.join().unwrap().unwrap();
+    let stats = handle.stats();
+    assert!(stats.requests > 0);
+    assert!(stats.batches <= stats.requests);
+}

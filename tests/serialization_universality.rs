@@ -13,6 +13,7 @@ use ftc::core::serial::{
 use ftc::core::store::{EdgeEncoding, LabelStore, LabelStoreView};
 use ftc::core::{FtcScheme, Params, QuerySession, VertexLabelRead};
 use ftc::graph::{connectivity, generators, Graph};
+use ftc::net::proto as netproto;
 use proptest::prelude::*;
 
 #[test]
@@ -182,5 +183,138 @@ fn tampered_bytes_do_not_panic() {
         let _ = vertex_from_bytes(&eb[..cut]);
         let _ = EdgeLabelView::new(&eb[..cut]);
         let _ = VertexLabelView::new(&eb[..cut]);
+    }
+}
+
+// The network frame parsers are held to the same standard as the label
+// parsers above: arbitrary bytes never panic, encode∘decode is the
+// identity, and every strict prefix of a valid frame is rejected with an
+// error offset inside the buffer.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn net_frame_parsers_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..300)) {
+        if let Err(e) = netproto::RequestView::parse(&bytes) {
+            prop_assert!(e.offset <= bytes.len());
+        }
+        if let Err(e) = netproto::decode_response(&bytes) {
+            prop_assert!(e.offset <= bytes.len());
+        }
+    }
+
+    #[test]
+    fn net_request_round_trips_and_rejects_prefixes(
+        request_id in any::<u64>(),
+        gidx in 0usize..4,
+        want_certs in any::<bool>(),
+        faults in proptest::collection::vec((any::<u32>(), any::<u32>()), 0..8),
+        pairs in proptest::collection::vec((any::<u32>(), any::<u32>()), 0..8),
+        flip_at in any::<usize>(),
+        flip in any::<u8>(),
+    ) {
+        let graph = ["g", "torus-3x4", "a-rather-long-graph-identifier", ""][gidx];
+        let faults: Vec<(usize, usize)> =
+            faults.iter().map(|&(u, v)| (u as usize, v as usize)).collect();
+        let pairs: Vec<(usize, usize)> =
+            pairs.iter().map(|&(u, v)| (u as usize, v as usize)).collect();
+        let flags = if want_certs { netproto::FLAG_CERTIFICATES } else { 0 };
+
+        let mut frame = Vec::new();
+        netproto::encode_request(&mut frame, request_id, graph, flags, &faults, &pairs).unwrap();
+        let payload = &frame[4..]; // strip the length prefix
+
+        let view = netproto::RequestView::parse(payload).unwrap();
+        prop_assert_eq!(view.request_id(), request_id);
+        prop_assert_eq!(view.graph(), graph);
+        prop_assert_eq!(view.want_certificates(), want_certs);
+        prop_assert_eq!(view.fault_count(), faults.len());
+        prop_assert_eq!(view.pair_count(), pairs.len());
+        let got_faults: Vec<(usize, usize)> = view
+            .faults()
+            .map(|(u, v)| (u as usize, v as usize))
+            .collect();
+        prop_assert_eq!(got_faults, faults);
+        let got_pairs: Vec<(usize, usize)> = view
+            .pairs()
+            .map(|(u, v)| (u as usize, v as usize))
+            .collect();
+        prop_assert_eq!(got_pairs, pairs);
+
+        // Exact-length format: every strict prefix is an error, never a
+        // panic, with the reported offset inside the buffer.
+        for cut in 0..payload.len() {
+            let err = netproto::RequestView::parse(&payload[..cut]).unwrap_err();
+            prop_assert!(err.offset <= cut);
+        }
+        // A single flipped byte may parse to a different (harmless)
+        // request or fail — it must not panic.
+        let mut mutated = payload.to_vec();
+        if !mutated.is_empty() {
+            let at = flip_at % mutated.len();
+            mutated[at] ^= flip;
+            let _ = netproto::RequestView::parse(&mutated);
+        }
+    }
+
+    #[test]
+    fn net_response_round_trips(
+        request_id in any::<u64>(),
+        answers in proptest::collection::vec(any::<bool>(), 0..16),
+        with_certs in any::<bool>(),
+        cert_seed in any::<u32>(),
+    ) {
+        // Connected pairs carry a certificate (derived deterministically
+        // here), disconnected pairs carry none — mirroring the server.
+        let certs: Vec<Option<netproto::WireCertificate>> = answers
+            .iter()
+            .enumerate()
+            .map(|(i, &a)| a.then(|| vec![(i as u32, cert_seed)]))
+            .collect();
+        let mut frame = Vec::new();
+        netproto::encode_response_ok(
+            &mut frame,
+            request_id,
+            &answers,
+            with_certs.then_some(certs.as_slice()),
+        )
+        .unwrap();
+        let resp = netproto::decode_response(&frame[4..]).unwrap();
+        prop_assert_eq!(resp.request_id, request_id);
+        match resp.body {
+            netproto::ResponseBody::Answers { answers: got, certificates } => {
+                prop_assert_eq!(got, answers);
+                if with_certs {
+                    prop_assert_eq!(certificates, Some(certs));
+                } else {
+                    prop_assert_eq!(certificates, None);
+                }
+            }
+            netproto::ResponseBody::Error { .. } => prop_assert!(false, "decoded as error"),
+        }
+        for cut in 0..frame.len() - 4 {
+            prop_assert!(netproto::decode_response(&frame[4..4 + cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn net_error_response_round_trips(
+        request_id in any::<u64>(),
+        code_raw in 1u8..=7,
+        msg_seed in any::<u64>(),
+    ) {
+        let code = netproto::ErrorCode::from_u8(code_raw).unwrap();
+        let message = format!("failure-{msg_seed}");
+        let mut frame = Vec::new();
+        netproto::encode_response_err(&mut frame, request_id, code, &message);
+        let resp = netproto::decode_response(&frame[4..]).unwrap();
+        prop_assert_eq!(resp.request_id, request_id);
+        match resp.body {
+            netproto::ResponseBody::Error { code: got, message: got_msg } => {
+                prop_assert_eq!(got, code);
+                prop_assert_eq!(got_msg, message);
+            }
+            netproto::ResponseBody::Answers { .. } => prop_assert!(false, "decoded as answers"),
+        }
     }
 }
