@@ -5,9 +5,9 @@
 //! * **Session arm** (`BENCH_session.json`, schema `ftc-perf-session/v1`)
 //!   — the prepare-a-fault-set hot path across a grid of graph sizes,
 //!   fault budgets, and label sources (owned labels, zero-copy archive
-//!   views in both encodings), always through the scratch-reusing
-//!   `session_in` serving path, plus per-query latency (single and
-//!   batched);
+//!   views in both encodings, and the v2 compressed container), always
+//!   through the scratch-reusing `session_in` serving path, plus
+//!   per-query latency (single and batched);
 //! * **Serve arm** (`BENCH_serve.json`, schema `ftc-perf-serve/v1`) —
 //!   1/2/4/8 threads hammering one shared `ConnectivityService`
 //!   (archive-full backing, pooled scratch), reporting aggregate
@@ -21,6 +21,10 @@
 //!   sizes and thread counts (thread-count rows document the scaling on
 //!   the measuring machine; the committed reference numbers come from a
 //!   1-core container, where extra workers only add coordination cost).
+//!   Each row also measures the `build_store_compressed` v2-container
+//!   arm — compressed size, compression ratio, and cold
+//!   `compressed::open_path` latency for both formats (the v1 open is a
+//!   full validation pass, the v2 open is O(header)).
 //!
 //! ```text
 //! perf_report [--quick] [--only-build] [--out PATH] [--out-serve PATH] [--out-build PATH]
@@ -34,6 +38,7 @@
 //! the current directory (the repo root in CI and local use).
 
 use ftc_bench::{calibrated_params, Flavor};
+use ftc_core::compressed::{compress_archive, CompressedStoreView};
 use ftc_core::store::{EdgeEncoding, LabelStore, LabelStoreView};
 use ftc_core::{FtcScheme, LabelSet, RsVector, SessionScratch};
 use ftc_graph::{generators, Graph};
@@ -200,12 +205,77 @@ fn measure_archive(
     });
 }
 
+/// Like [`measure_archive`], but against the v2 compressed container
+/// (sections decoded once into the shared cache, sessions gathered from
+/// the decoded slabs) — the "serve straight from the compressed archive"
+/// path.
+#[allow(clippy::too_many_arguments)]
+fn measure_compressed(
+    g: &Graph,
+    l: &LabelSet<RsVector>,
+    f: usize,
+    fsets: &[Vec<usize>],
+    pairs: &[(usize, usize)],
+    window_ms: u64,
+    out: &mut Vec<Cell>,
+) {
+    let endpoint_of: Vec<(usize, usize)> = g.edge_iter().map(|(_, u, v)| (u, v)).collect();
+    let fault_pairs: Vec<Vec<(usize, usize)>> = fsets
+        .iter()
+        .map(|fs| fs.iter().map(|&e| endpoint_of[e]).collect())
+        .collect();
+    let blob = LabelStore::to_vec(l, EdgeEncoding::Full);
+    let v1 = LabelStoreView::open(&blob).expect("archive");
+    let store = compress_archive(&v1);
+    drop(blob);
+    let view = CompressedStoreView::open(store.into_vec()).expect("compressed archive");
+    let mut scratch = SessionScratch::new();
+    let sessions_per_sec = throughput(window_ms, fault_pairs.len(), |i| {
+        let s = view
+            .session_in(fault_pairs[i].iter().copied(), &mut scratch)
+            .expect("session");
+        scratch.recycle(s);
+    });
+    let session = view
+        .session(fault_pairs[0].iter().copied())
+        .expect("session");
+    let vpairs: Vec<_> = pairs
+        .iter()
+        .map(|&(s, t)| {
+            (
+                view.vertex(s).unwrap().unwrap(),
+                view.vertex(t).unwrap().unwrap(),
+            )
+        })
+        .collect();
+    let ns_per_query = query_latency(window_ms / 4, vpairs.len(), || {
+        for &(s, t) in &vpairs {
+            let _ = std::hint::black_box(session.connected(s, t));
+        }
+    });
+    let mut answers = Vec::with_capacity(vpairs.len());
+    let ns_per_query_batched = query_latency(window_ms / 4, vpairs.len(), || {
+        session
+            .connected_many(&vpairs, &mut answers)
+            .expect("batch");
+        std::hint::black_box(&answers);
+    });
+    out.push(Cell {
+        n: g.n(),
+        f,
+        path: "archive-compressed",
+        sessions_per_sec,
+        ns_per_query,
+        ns_per_query_batched,
+    });
+}
+
 fn render_json(mode: &str, cells: &[Cell]) -> String {
     let mut s = String::new();
     s.push_str("{\n");
     s.push_str("  \"schema\": \"ftc-perf-session/v1\",\n");
     let _ = writeln!(s, "  \"mode\": \"{mode}\",");
-    s.push_str("  \"workload\": \"random_connected(n, 3n, seed 7), k = 44f, fault sets of size f, scratch-reused session_in\",\n");
+    s.push_str("  \"workload\": \"random_connected(n, 3n, seed 7), k = 44f, fault sets of size f, scratch-reused session_in; archive-compressed is the v2 container serving path (lazily decoded sections)\",\n");
     if mode == "full" {
         // Historical reference, meaningful only relative to the machine
         // that produced the committed repo-root baseline — quick CI runs
@@ -333,7 +403,8 @@ fn render_serve_json(mode: &str, cells: &[ServeCell]) -> String {
     s
 }
 
-/// One measured build-arm cell: graph → servable archive, end to end.
+/// One measured build-arm cell: graph → servable archive, end to end,
+/// in both container formats, plus cold-open latency for each.
 struct BuildCell {
     n: usize,
     f: usize,
@@ -341,16 +412,38 @@ struct BuildCell {
     builds_per_sec: f64,
     ms_per_build: f64,
     archive_bytes: usize,
+    /// `SchemeBuilder::build_store_compressed` time for the same graph.
+    ms_per_build_compressed: f64,
+    /// v2 container size for the same labeling.
+    archive_bytes_compressed: usize,
+    /// `compressed::open_path` on the v1 file (full validation pass).
+    open_v1_ms: f64,
+    /// `compressed::open_path` on the v2 file (O(header), lazy sections).
+    open_v2_ms: f64,
+}
+
+/// Mean `compressed::open_path` latency over at least three opens.
+fn open_latency_ms(path: &std::path::Path) -> f64 {
+    let t = Instant::now();
+    let mut count = 0u64;
+    while count < 3 || t.elapsed().as_millis() < 100 {
+        std::hint::black_box(ftc_core::compressed::open_path(path).expect("open"));
+        count += 1;
+    }
+    t.elapsed().as_secs_f64() * 1000.0 / count as f64
 }
 
 /// Measures the streaming build arm: repeated
 /// `SchemeBuilder::build_store(Full)` runs (graph in memory → complete
-/// servable archive blob) until the window closes, at least two
-/// measured builds per cell.
+/// servable archive blob) until the window closes, at least two measured
+/// builds per cell, then the same through `build_store_compressed` (v2
+/// container), then one cold-open probe per format from a temp file.
 fn measure_build(quick: bool) -> Vec<BuildCell> {
     // (n, extra chords, f, threads). n ≤ 2000 mirrors the session arm's
-    // workload (3n chords); the large-n row uses a sparser n/2-chord
-    // graph and f = 2 to keep the payload within one container's memory.
+    // workload (3n chords); the large-n rows use sparser n/2-chord
+    // graphs and f = 2 to keep the payload within one container's
+    // memory (at n = 200k the v1 blob is ~1.7 GB — the row that shows
+    // why the compressed container exists).
     let grid: &[(usize, usize, usize, usize)] = if quick {
         &[(200, 600, 4, 1)]
     } else {
@@ -361,9 +454,12 @@ fn measure_build(quick: bool) -> Vec<BuildCell> {
             (2000, 6000, 4, 4),
             (20_000, 10_000, 2, 1),
             (20_000, 10_000, 2, 4),
+            (200_000, 100_000, 2, 1),
         ]
     };
     let window_ms: u64 = if quick { 100 } else { 4000 };
+    let dir = std::env::temp_dir().join(format!("ftc_perf_build_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
     let mut cells = Vec::new();
     for &(n, extra, f, threads) in grid {
         eprintln!("measuring build arm, n={n} f={f} threads={threads} …");
@@ -376,25 +472,65 @@ fn measure_build(quick: bool) -> Vec<BuildCell> {
                 .build_store(EdgeEncoding::Full)
                 .expect("build_store")
         };
-        let (store, _) = build(); // warm (page cache, allocator arenas)
+        let build_z = || {
+            FtcScheme::builder(&g)
+                .params(&params)
+                .threads(threads)
+                .build_store_compressed(EdgeEncoding::Full)
+                .expect("build_store_compressed")
+        };
+        // Warm builds (page cache, allocator arenas) double as the
+        // open-latency probe files.
+        let v1_path = dir.join(format!("n{n}t{threads}.ftc"));
+        let v2_path = dir.join(format!("n{n}t{threads}.ftcz"));
+        let (store, _) = build();
         let archive_bytes = store.as_bytes().len();
+        std::fs::write(&v1_path, store.as_bytes()).expect("write v1");
         drop(store);
+        let (zstore, _) = build_z();
+        let archive_bytes_compressed = zstore.as_bytes().len();
+        std::fs::write(&v2_path, zstore.as_bytes()).expect("write v2");
+        drop(zstore);
+
+        // The big row takes seconds per build; two builds per arm is
+        // plenty there, the window fills the small rows.
+        let window = if n >= 100_000 { 0 } else { window_ms };
         let t = Instant::now();
         let mut count = 0u64;
-        while count < 2 || t.elapsed().as_millis() < window_ms as u128 {
+        while count < 2 || t.elapsed().as_millis() < window as u128 {
             std::hint::black_box(build());
             count += 1;
         }
         let secs = t.elapsed().as_secs_f64();
+        let (builds_per_sec, ms_per_build) = (count as f64 / secs, 1000.0 * secs / count as f64);
+
+        let t = Instant::now();
+        let mut zcount = 0u64;
+        while zcount < 2 || t.elapsed().as_millis() < (window / 2) as u128 {
+            std::hint::black_box(build_z());
+            zcount += 1;
+        }
+        let ms_per_build_compressed = 1000.0 * t.elapsed().as_secs_f64() / zcount as f64;
+
+        let open_v1_ms = open_latency_ms(&v1_path);
+        let open_v2_ms = open_latency_ms(&v2_path);
+        let _ = std::fs::remove_file(&v1_path);
+        let _ = std::fs::remove_file(&v2_path);
+
         cells.push(BuildCell {
             n,
             f,
             threads,
-            builds_per_sec: count as f64 / secs,
-            ms_per_build: 1000.0 * secs / count as f64,
+            builds_per_sec,
+            ms_per_build,
             archive_bytes,
+            ms_per_build_compressed,
+            archive_bytes_compressed,
+            open_v1_ms,
+            open_v2_ms,
         });
     }
+    let _ = std::fs::remove_dir_all(&dir);
     cells
 }
 
@@ -405,7 +541,7 @@ fn render_build_json(mode: &str, cells: &[BuildCell]) -> String {
     s.push_str("  \"schema\": \"ftc-perf-build/v1\",\n");
     let _ = writeln!(s, "  \"mode\": \"{mode}\",");
     let _ = writeln!(s, "  \"cores\": {cores},");
-    s.push_str("  \"workload\": \"random_connected(n, extra, seed 7), k = 44f, SchemeBuilder::build_store(EdgeEncoding::Full): graph -> complete servable archive blob; n <= 2000 rows use extra = 3n (the session-arm workload), the n = 20000 rows use extra = n/2 and f = 2\",\n");
+    s.push_str("  \"workload\": \"random_connected(n, extra, seed 7), k = 44f, SchemeBuilder::build_store(EdgeEncoding::Full) vs build_store_compressed (v2 container): graph -> complete servable archive; n <= 2000 rows use extra = 3n (the session-arm workload), the n >= 20000 rows use extra = n/2 and f = 2; open_*_ms is compressed::open_path on a temp file of each format\",\n");
     if mode == "full" {
         // Historical reference, meaningful only relative to the machine
         // that produced the committed repo-root baseline — quick CI runs
@@ -421,8 +557,18 @@ fn render_build_json(mode: &str, cells: &[BuildCell]) -> String {
     for (i, c) in cells.iter().enumerate() {
         let _ = write!(
             s,
-            "    {{\"n\": {}, \"f\": {}, \"threads\": {}, \"builds_per_sec\": {:.3}, \"ms_per_build\": {:.1}, \"archive_bytes\": {}}}",
-            c.n, c.f, c.threads, c.builds_per_sec, c.ms_per_build, c.archive_bytes
+            "    {{\"n\": {}, \"f\": {}, \"threads\": {}, \"builds_per_sec\": {:.3}, \"ms_per_build\": {:.1}, \"archive_bytes\": {}, \"ms_per_build_compressed\": {:.1}, \"archive_bytes_compressed\": {}, \"compression_ratio\": {:.2}, \"open_v1_ms\": {:.3}, \"open_v2_ms\": {:.3}}}",
+            c.n,
+            c.f,
+            c.threads,
+            c.builds_per_sec,
+            c.ms_per_build,
+            c.archive_bytes,
+            c.ms_per_build_compressed,
+            c.archive_bytes_compressed,
+            c.archive_bytes as f64 / c.archive_bytes_compressed as f64,
+            c.open_v1_ms,
+            c.open_v2_ms
         );
         s.push_str(if i + 1 == cells.len() { "\n" } else { ",\n" });
     }
@@ -501,8 +647,18 @@ fn main() {
     });
     for c in &build_cells {
         println!(
-            "build n={:<6} f={:<3} threads={:<2} {:>8.3} builds/s {:>9.1} ms/build {:>11} archive bytes",
-            c.n, c.f, c.threads, c.builds_per_sec, c.ms_per_build, c.archive_bytes
+            "build n={:<6} f={:<3} threads={:<2} {:>8.3} builds/s {:>9.1} ms/build {:>11} archive bytes | compressed {:>9.1} ms {:>11} bytes ({:.2}x) | open v1 {:.3} ms, v2 {:.3} ms",
+            c.n,
+            c.f,
+            c.threads,
+            c.builds_per_sec,
+            c.ms_per_build,
+            c.archive_bytes,
+            c.ms_per_build_compressed,
+            c.archive_bytes_compressed,
+            c.archive_bytes as f64 / c.archive_bytes_compressed as f64,
+            c.open_v1_ms,
+            c.open_v2_ms
         );
     }
     if only_build {
@@ -532,6 +688,7 @@ fn main() {
             for encoding in [EdgeEncoding::Full, EdgeEncoding::Compact] {
                 measure_archive(&g, l, f, encoding, &fsets, &pairs, window_ms, &mut cells);
             }
+            measure_compressed(&g, l, f, &fsets, &pairs, window_ms, &mut cells);
         }
     }
 

@@ -1,0 +1,956 @@
+//! Reversible transform pipelines feeding the rANS stage.
+//!
+//! Two block shapes cover every archive section:
+//!
+//! * **Word blocks** ([`encode_words`]/[`decode_words`]) — `rows` rows
+//!   of `row_words` GF(2^64) syndrome words each (one row per edge for
+//!   one hierarchy level). Stages, in order:
+//!   1. *Frobenius fold* — in the full encoding a row interleaves odd
+//!      power sums (even indices) with even ones (odd indices), and the
+//!      even sums are Frobenius squares of stored words:
+//!      `w[2t+1] = w[t]²`. The fold verifies this for every row and
+//!      drops the odd indices, halving the block before any modeling.
+//!   2. *Power-row extraction* — a syndrome row whose cut contains a
+//!      single code identifier α is the pure power sequence
+//!      `w[t] = α^(2t+1)`; such rank-1 rows (the majority at the dense
+//!      hierarchy levels) collapse to the 8 bytes of α behind a bitmap.
+//!   3. *Row XOR-delta* — consecutive edges in the same level share
+//!      subtree sums along the spanning tree, so XORing each remaining
+//!      full row with its predecessor concentrates mass on zero.
+//!   4. *Zero-row bitmap* — upper levels are mostly zero rows; a
+//!      presence bitmap drops them at one bit per row.
+//!   5. *Per-column bit packing* — column `j` (one power sum across all
+//!      kept rows) is stored at its own max bit width; low carryless
+//!      powers of small code identifiers are narrow.
+//! * **Byte blocks** ([`encode_bytes`]/[`decode_bytes`]) — fixed-stride
+//!   records (endpoint index entries, vertex labels, edge-record
+//!   prefixes). A record-stride XOR-delta zeroes the shared framing
+//!   bytes; rANS does the rest.
+//!
+//! Both shapes finish with rANS, kept only when it actually shrinks the
+//! buffer (`T_RANS` unset means the transformed bytes are stored raw).
+//! Decoders take the expected geometry out of band and validate every
+//! length and offset; malformed payloads yield [`CodecError`].
+
+use crate::{rans, CodecError};
+use ftc_field::Gf64;
+
+/// Frobenius fold applied: odd-index words were dropped.
+pub const T_FOLD: u8 = 1;
+/// Rows are XOR-deltas against their predecessor.
+pub const T_DELTA: u8 = 2;
+/// All-zero rows were dropped behind a presence bitmap.
+pub const T_SPARSE: u8 = 4;
+/// Columns are bit-packed at per-column widths.
+pub const T_PACK: u8 = 8;
+/// The transformed bytes are rANS-coded (otherwise stored raw).
+pub const T_RANS: u8 = 16;
+/// Rank-1 rows (`w[t] = α^(2t+1)`) were reduced to their α behind a
+/// bitmap. When set, the delta/sparse stages chain over full rows only
+/// and the zero bitmap describes pre-delta rows.
+pub const T_POW: u8 = 32;
+
+/// Decompression-bomb guard: a rANS payload may not claim to inflate to
+/// more than the raw section size plus this much framing slack.
+const INFLATE_SLACK: usize = 1024;
+
+/// One encoded section body: the transform flags that were applied and
+/// the bytes to store. `raw_len` is the byte length of the original
+/// (untransformed) content, recorded by the container for the decoder.
+#[derive(Debug, Clone)]
+pub struct EncodedBlock {
+    /// Bitwise OR of the `T_*` stage flags.
+    pub transform: u8,
+    /// Section payload as stored in the archive.
+    pub payload: Vec<u8>,
+    /// Byte length of the original content.
+    pub raw_len: u64,
+}
+
+/// Encodes `rows × row_words` syndrome words (`words` is row-major and
+/// must be an exact multiple of `row_words`). With `try_fold`, rows are
+/// checked for the full-encoding Frobenius structure and folded when it
+/// holds everywhere.
+///
+/// # Panics
+///
+/// Panics if `words` is not a whole number of rows.
+pub fn encode_words(words: &[u64], row_words: usize, try_fold: bool) -> EncodedBlock {
+    let raw_len = (words.len() * 8) as u64;
+    if words.is_empty() || row_words == 0 {
+        assert!(words.is_empty(), "row_words == 0 requires an empty block");
+        return EncodedBlock {
+            transform: 0,
+            payload: Vec::new(),
+            raw_len,
+        };
+    }
+    assert_eq!(words.len() % row_words, 0, "partial row in word block");
+    let rows = words.len() / row_words;
+
+    let mut transform = 0u8;
+    let mut work: Vec<u64>;
+    let mut width = row_words;
+
+    if try_fold && row_words.is_multiple_of(2) && rows_are_folded(words, row_words) {
+        transform |= T_FOLD;
+        width = row_words / 2;
+        work = Vec::with_capacity(rows * width);
+        for row in words.chunks_exact(row_words) {
+            work.extend(row.iter().step_by(2));
+        }
+    } else {
+        work = words.to_vec();
+    }
+
+    // Classify every (post-fold) row: all-zero, rank-1 power sequence,
+    // or full. Any power row flips the pipeline into its T_POW shape.
+    let classes: Vec<RowClass> = work.chunks_exact(width).map(classify_row).collect();
+    if classes.contains(&RowClass::Pow) {
+        transform |= T_POW | T_DELTA | T_SPARSE | T_PACK;
+        let full_rows: Vec<usize> = (0..rows)
+            .filter(|&r| classes[r] == RowClass::Full)
+            .collect();
+        // Delta chains over full rows only (power rows stay exact), back
+        // to front so each subtracts its original predecessor.
+        for i in (1..full_rows.len()).rev() {
+            let (r, p) = (full_rows[i], full_rows[i - 1]);
+            let (prev, cur) = work.split_at_mut(r * width);
+            let prev = &prev[p * width..(p + 1) * width];
+            for (c, p) in cur[..width].iter_mut().zip(prev) {
+                *c ^= *p;
+            }
+        }
+
+        // Zero bitmap over pre-delta rows, then a power bitmap over the
+        // kept (nonzero) rows, then the α of every power row.
+        let mut bitmap = vec![0u8; rows.div_ceil(8)];
+        let mut kept_rows = 0usize;
+        for (r, &class) in classes.iter().enumerate() {
+            if class != RowClass::Zero {
+                bitmap[r / 8] |= 1 << (r % 8);
+                kept_rows += 1;
+            }
+        }
+        let mut pow_bitmap = vec![0u8; kept_rows.div_ceil(8)];
+        let mut alphas = Vec::new();
+        let mut kept_i = 0usize;
+        for (r, &class) in classes.iter().enumerate() {
+            match class {
+                RowClass::Zero => {}
+                RowClass::Pow => {
+                    pow_bitmap[kept_i / 8] |= 1 << (kept_i % 8);
+                    alphas.extend_from_slice(&work[r * width].to_le_bytes());
+                    kept_i += 1;
+                }
+                RowClass::Full => kept_i += 1,
+            }
+        }
+
+        // Column-major bit packing of the full rows (post-delta).
+        let mut widths = vec![0u8; width];
+        for &r in &full_rows {
+            for (j, &w) in work[r * width..(r + 1) * width].iter().enumerate() {
+                let bits = (64 - w.leading_zeros()) as u8;
+                widths[j] = widths[j].max(bits);
+            }
+        }
+        let total_bits: usize = widths.iter().map(|&b| b as usize).sum::<usize>() * full_rows.len();
+        let mut packed = Vec::with_capacity(
+            bitmap.len() + pow_bitmap.len() + alphas.len() + width + total_bits.div_ceil(8),
+        );
+        packed.extend_from_slice(&bitmap);
+        packed.extend_from_slice(&pow_bitmap);
+        packed.extend_from_slice(&alphas);
+        packed.extend_from_slice(&widths);
+        let mut writer = BitWriter::new(&mut packed);
+        for j in 0..width {
+            let bits = widths[j];
+            if bits == 0 {
+                continue;
+            }
+            for &r in &full_rows {
+                writer.push(work[r * width + j], bits);
+            }
+        }
+        writer.finish();
+        return finish_with_rans(transform, packed, raw_len);
+    }
+
+    // Row XOR-delta, back to front so each row subtracts its original
+    // predecessor.
+    transform |= T_DELTA;
+    for r in (1..rows).rev() {
+        let (prev, cur) = work.split_at_mut(r * width);
+        let prev = &prev[(r - 1) * width..];
+        for (c, p) in cur[..width].iter_mut().zip(prev) {
+            *c ^= *p;
+        }
+    }
+
+    // Presence bitmap over post-delta rows; zero rows are dropped.
+    transform |= T_SPARSE;
+    let mut bitmap = vec![0u8; rows.div_ceil(8)];
+    let mut kept_rows = 0usize;
+    for (r, row) in work.chunks_exact(width).enumerate() {
+        if row.iter().any(|&w| w != 0) {
+            bitmap[r / 8] |= 1 << (r % 8);
+            kept_rows += 1;
+        }
+    }
+
+    // Column-major bit packing of the kept rows.
+    transform |= T_PACK;
+    let mut widths = vec![0u8; width];
+    for row in work.chunks_exact(width) {
+        if row.iter().all(|&w| w == 0) {
+            continue;
+        }
+        for (j, &w) in row.iter().enumerate() {
+            let bits = (64 - w.leading_zeros()) as u8;
+            widths[j] = widths[j].max(bits);
+        }
+    }
+    let total_bits: usize = widths.iter().map(|&b| b as usize).sum::<usize>() * kept_rows;
+    let mut packed = Vec::with_capacity(bitmap.len() + width + total_bits.div_ceil(8));
+    packed.extend_from_slice(&bitmap);
+    packed.extend_from_slice(&widths);
+    let mut writer = BitWriter::new(&mut packed);
+    for j in 0..width {
+        let bits = widths[j];
+        if bits == 0 {
+            continue;
+        }
+        for row in work.chunks_exact(width) {
+            if row.iter().all(|&w| w == 0) {
+                continue;
+            }
+            writer.push(row[j], bits);
+        }
+    }
+    writer.finish();
+
+    finish_with_rans(transform, packed, raw_len)
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum RowClass {
+    Zero,
+    Pow,
+    Full,
+}
+
+/// Classifies one (post-fold) row: all-zero, the odd power sequence of a
+/// single α (`w[t] = α^(2t+1)`), or anything else.
+fn classify_row(row: &[u64]) -> RowClass {
+    if row.iter().all(|&w| w == 0) {
+        return RowClass::Zero;
+    }
+    if row[0] == 0 {
+        return RowClass::Full;
+    }
+    let alpha = Gf64::new(row[0]);
+    let alpha_sq = alpha.square();
+    let mut p = alpha;
+    for &w in &row[1..] {
+        p *= alpha_sq;
+        if w != p.to_bits() {
+            return RowClass::Full;
+        }
+    }
+    RowClass::Pow
+}
+
+/// Decodes a word block back to `raw_words` `u64`s of `row_words` each.
+///
+/// # Errors
+///
+/// [`CodecError`] with an offset into `payload` when any stage finds the
+/// payload inconsistent with the supplied geometry.
+pub fn decode_words(
+    payload: &[u8],
+    transform: u8,
+    raw_words: usize,
+    row_words: usize,
+) -> Result<Vec<u64>, CodecError> {
+    let err = |offset: usize| CodecError { offset };
+    if raw_words == 0 {
+        return if payload.is_empty() && transform & T_RANS == 0 {
+            Ok(Vec::new())
+        } else {
+            Err(err(0))
+        };
+    }
+    if row_words == 0 || !raw_words.is_multiple_of(row_words) {
+        return Err(err(0));
+    }
+    let rows = raw_words / row_words;
+    let width = if transform & T_FOLD != 0 {
+        if !row_words.is_multiple_of(2) {
+            return Err(err(0));
+        }
+        row_words / 2
+    } else {
+        row_words
+    };
+
+    let bytes = undo_rans(payload, transform, rows * width * 8)?;
+    let bytes = bytes.as_ref();
+
+    let mut work = vec![0u64; rows * width];
+    if transform & T_POW != 0 {
+        // The power pipeline always carries its companion stages; the
+        // zero bitmap covers pre-delta rows here.
+        if transform & (T_DELTA | T_SPARSE | T_PACK) != T_DELTA | T_SPARSE | T_PACK {
+            return Err(err(0));
+        }
+        let bitmap_len = rows.div_ceil(8);
+        if bytes.len() < bitmap_len {
+            return Err(err(bytes.len()));
+        }
+        let (bitmap, rest) = bytes.split_at(bitmap_len);
+        if !rows.is_multiple_of(8) && bitmap[rows / 8] >> (rows % 8) != 0 {
+            return Err(err(bitmap_len - 1));
+        }
+        let kept_rows = bitmap
+            .iter()
+            .map(|b| b.count_ones() as usize)
+            .sum::<usize>();
+        let pow_len = kept_rows.div_ceil(8);
+        if rest.len() < pow_len {
+            return Err(err(bytes.len()));
+        }
+        let (pow_bitmap, rest) = rest.split_at(pow_len);
+        if !kept_rows.is_multiple_of(8) && pow_bitmap[kept_rows / 8] >> (kept_rows % 8) != 0 {
+            return Err(err(bitmap_len + pow_len - 1));
+        }
+        let pow_count = pow_bitmap
+            .iter()
+            .map(|b| b.count_ones() as usize)
+            .sum::<usize>();
+        if rest.len() < pow_count * 8 + width {
+            return Err(err(bytes.len()));
+        }
+        let (alpha_bytes, rest) = rest.split_at(pow_count * 8);
+        let (widths, stream) = rest.split_at(width);
+        if widths.iter().any(|&b| b > 64) {
+            return Err(err(bitmap_len + pow_len + pow_count * 8));
+        }
+        let full_count = kept_rows - pow_count;
+        let total_bits: usize = widths.iter().map(|&b| b as usize).sum::<usize>() * full_count;
+        if stream.len() != total_bits.div_ceil(8) {
+            return Err(err(bytes.len()));
+        }
+        if !total_bits.is_multiple_of(8) {
+            let last = stream[stream.len() - 1];
+            if last >> (total_bits % 8) != 0 {
+                return Err(err(bytes.len() - 1));
+            }
+        }
+        // Walk the bitmaps into row classes.
+        let mut full_rows = Vec::with_capacity(full_count);
+        let mut pow_rows = Vec::with_capacity(pow_count);
+        let mut kept_i = 0usize;
+        for r in 0..rows {
+            if bitmap[r / 8] & (1 << (r % 8)) == 0 {
+                continue;
+            }
+            if pow_bitmap[kept_i / 8] & (1 << (kept_i % 8)) != 0 {
+                let at = bitmap_len + pow_len + pow_rows.len() * 8;
+                let alpha = u64::from_le_bytes(
+                    alpha_bytes[pow_rows.len() * 8..pow_rows.len() * 8 + 8]
+                        .try_into()
+                        .expect("8 bytes"),
+                );
+                // α == 0 would be a zero row; canonical blocks never emit it.
+                if alpha == 0 {
+                    return Err(err(at));
+                }
+                pow_rows.push((r, alpha));
+            } else {
+                full_rows.push(r);
+            }
+            kept_i += 1;
+        }
+        let mut reader = BitReader::new(stream);
+        for j in 0..width {
+            let bits = widths[j];
+            if bits == 0 {
+                continue;
+            }
+            for &r in &full_rows {
+                work[r * width + j] = reader.pull(bits);
+            }
+        }
+        // Un-delta the full-row chain, then expand each α back to its
+        // odd power sequence.
+        for i in 1..full_rows.len() {
+            let (r, p) = (full_rows[i], full_rows[i - 1]);
+            let (prev, cur) = work.split_at_mut(r * width);
+            let prev = &prev[p * width..(p + 1) * width];
+            for (c, p) in cur[..width].iter_mut().zip(prev) {
+                *c ^= *p;
+            }
+        }
+        for &(r, alpha) in &pow_rows {
+            let row = &mut work[r * width..(r + 1) * width];
+            row[0] = alpha;
+            let a = Gf64::new(alpha);
+            let a_sq = a.square();
+            let mut p = a;
+            for w in row[1..].iter_mut() {
+                p *= a_sq;
+                *w = p.to_bits();
+            }
+        }
+    } else if transform & T_PACK != 0 {
+        let bitmap_len = if transform & T_SPARSE != 0 {
+            rows.div_ceil(8)
+        } else {
+            0
+        };
+        if bytes.len() < bitmap_len + width {
+            return Err(err(bytes.len()));
+        }
+        let (bitmap, rest) = bytes.split_at(bitmap_len);
+        let (widths, stream) = rest.split_at(width);
+        let kept_rows = if transform & T_SPARSE != 0 {
+            let kept = bitmap
+                .iter()
+                .map(|b| b.count_ones() as usize)
+                .sum::<usize>();
+            // Bits beyond `rows` must be clear.
+            if !rows.is_multiple_of(8) && bitmap[rows / 8] >> (rows % 8) != 0 {
+                return Err(err(bitmap_len - 1));
+            }
+            kept
+        } else {
+            rows
+        };
+        let total_bits: usize = widths.iter().map(|&b| b as usize).sum::<usize>() * kept_rows;
+        if widths.iter().any(|&b| b > 64) {
+            return Err(err(bitmap_len));
+        }
+        if stream.len() != total_bits.div_ceil(8) {
+            return Err(err(bytes.len()));
+        }
+        // Final partial byte must be zero-padded (canonical form).
+        if !total_bits.is_multiple_of(8) {
+            let last = stream[stream.len() - 1];
+            if last >> (total_bits % 8) != 0 {
+                return Err(err(bytes.len() - 1));
+            }
+        }
+        let kept: Vec<usize> = (0..rows)
+            .filter(|&r| bitmap_len == 0 || bitmap[r / 8] & (1 << (r % 8)) != 0)
+            .collect();
+        debug_assert_eq!(kept.len(), kept_rows);
+        let mut reader = BitReader::new(stream);
+        for j in 0..width {
+            let bits = widths[j];
+            if bits == 0 {
+                continue;
+            }
+            for &r in &kept {
+                work[r * width + j] = reader.pull(bits);
+            }
+        }
+    } else {
+        // Unpacked path: bytes are the row-major words verbatim (after
+        // optional sparse drop, which is only ever emitted with packing).
+        if transform & T_SPARSE != 0 || bytes.len() != rows * width * 8 {
+            return Err(err(bytes.len()));
+        }
+        for (w, chunk) in work.iter_mut().zip(bytes.chunks_exact(8)) {
+            *w = u64::from_le_bytes(chunk.try_into().expect("chunk of 8"));
+        }
+    }
+
+    if transform & T_DELTA != 0 && transform & T_POW == 0 {
+        for r in 1..rows {
+            let (prev, cur) = work.split_at_mut(r * width);
+            let prev = &prev[(r - 1) * width..];
+            for (c, p) in cur[..width].iter_mut().zip(prev) {
+                *c ^= *p;
+            }
+        }
+    }
+
+    if transform & T_FOLD != 0 {
+        let mut full = vec![0u64; rows * row_words];
+        for (row_out, row_in) in full
+            .chunks_exact_mut(row_words)
+            .zip(work.chunks_exact(width))
+        {
+            for (t, &w) in row_in.iter().enumerate() {
+                row_out[2 * t] = w;
+            }
+            for t in 0..width {
+                row_out[2 * t + 1] = Gf64::new(row_out[t]).square().to_bits();
+            }
+        }
+        Ok(full)
+    } else {
+        Ok(work)
+    }
+}
+
+/// Encodes fixed-stride byte records: record XOR-delta (when `data` is a
+/// whole number of `stride`-byte records) followed by rANS.
+pub fn encode_bytes(data: &[u8], stride: usize) -> EncodedBlock {
+    let raw_len = data.len() as u64;
+    if data.is_empty() {
+        return EncodedBlock {
+            transform: 0,
+            payload: Vec::new(),
+            raw_len,
+        };
+    }
+    let mut transform = 0u8;
+    let mut work = data.to_vec();
+    if stride > 0 && data.len().is_multiple_of(stride) && data.len() > stride {
+        transform |= T_DELTA;
+        for r in (1..data.len() / stride).rev() {
+            for j in 0..stride {
+                work[r * stride + j] ^= work[(r - 1) * stride + j];
+            }
+        }
+    }
+    finish_with_rans(transform, work, raw_len)
+}
+
+/// Decodes a byte block back to exactly `raw_len` bytes.
+///
+/// # Errors
+///
+/// [`CodecError`] when the payload does not decode to `raw_len` bytes or
+/// the delta geometry is inconsistent with `stride`.
+pub fn decode_bytes(
+    payload: &[u8],
+    transform: u8,
+    raw_len: usize,
+    stride: usize,
+) -> Result<Vec<u8>, CodecError> {
+    let err = |offset: usize| CodecError { offset };
+    if transform & (T_FOLD | T_SPARSE | T_PACK | T_POW) != 0 {
+        return Err(err(0));
+    }
+    let bytes = undo_rans(payload, transform, raw_len)?;
+    let mut work = bytes.into_owned();
+    if work.len() != raw_len {
+        return Err(err(work.len().min(payload.len())));
+    }
+    if transform & T_DELTA != 0 {
+        if stride == 0 || !raw_len.is_multiple_of(stride) {
+            return Err(err(0));
+        }
+        for r in 1..raw_len / stride {
+            for j in 0..stride {
+                let prev = work[(r - 1) * stride + j];
+                work[r * stride + j] ^= prev;
+            }
+        }
+    }
+    Ok(work)
+}
+
+/// Returns `true` when every row satisfies the full-encoding Frobenius
+/// identity `w[2t+1] == w[t]²`.
+fn rows_are_folded(words: &[u64], row_words: usize) -> bool {
+    words.chunks_exact(row_words).all(|row| {
+        (0..row_words / 2).all(|t| row[2 * t + 1] == Gf64::new(row[t]).square().to_bits())
+    })
+}
+
+/// Entropy stage with a store-raw escape: rANS is kept only when it
+/// shrinks the buffer. When kept, the payload is prefixed with the
+/// transformed length (u32 LE) so the decoder knows how much to expand.
+fn finish_with_rans(transform: u8, work: Vec<u8>, raw_len: u64) -> EncodedBlock {
+    let coded = rans::encode(&work);
+    if coded.len() + 4 < work.len() && u32::try_from(work.len()).is_ok() {
+        let mut payload = Vec::with_capacity(coded.len() + 4);
+        payload.extend_from_slice(&(work.len() as u32).to_le_bytes());
+        payload.extend_from_slice(&coded);
+        EncodedBlock {
+            transform: transform | T_RANS,
+            payload,
+            raw_len,
+        }
+    } else {
+        EncodedBlock {
+            transform,
+            payload: work,
+            raw_len,
+        }
+    }
+}
+
+/// Undoes the entropy stage, yielding the transformed bytes. `cap` is
+/// the raw section size, used to bound the claimed inflated length.
+fn undo_rans(
+    payload: &[u8],
+    transform: u8,
+    cap: usize,
+) -> Result<std::borrow::Cow<'_, [u8]>, CodecError> {
+    let err = |offset: usize| CodecError { offset };
+    if transform & T_RANS == 0 {
+        return Ok(std::borrow::Cow::Borrowed(payload));
+    }
+    if payload.len() < 4 {
+        return Err(err(payload.len()));
+    }
+    let inner_len = u32::from_le_bytes(payload[..4].try_into().expect("4 bytes")) as usize;
+    // Transformed buffers can exceed the raw size by the bitmap + width
+    // framing (well under cap/4); anything claiming more is a bomb.
+    if inner_len > cap + cap / 4 + INFLATE_SLACK {
+        return Err(err(0));
+    }
+    let mut out = Vec::with_capacity(inner_len);
+    rans::decode_into(&payload[4..], inner_len, &mut out).map_err(|e| err(e.offset + 4))?;
+    Ok(std::borrow::Cow::Owned(out))
+}
+
+struct BitWriter<'a> {
+    out: &'a mut Vec<u8>,
+    acc: u64,
+    bits: u32,
+}
+
+impl<'a> BitWriter<'a> {
+    fn new(out: &'a mut Vec<u8>) -> Self {
+        BitWriter {
+            out,
+            acc: 0,
+            bits: 0,
+        }
+    }
+
+    fn push(&mut self, value: u64, width: u8) {
+        debug_assert!(width == 64 || value >> width == 0);
+        let mut value = value;
+        let mut width = u32::from(width);
+        while width > 0 {
+            let take = (8 - self.bits).min(width);
+            self.acc |= (value & ((1u64 << take) - 1)) << self.bits;
+            value >>= take;
+            width -= take;
+            self.bits += take;
+            if self.bits == 8 {
+                self.out.push(self.acc as u8);
+                self.acc = 0;
+                self.bits = 0;
+            }
+        }
+    }
+
+    fn finish(self) {
+        if self.bits > 0 {
+            self.out.push(self.acc as u8);
+        }
+    }
+}
+
+struct BitReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+    acc: u64,
+    bits: u32,
+}
+
+impl<'a> BitReader<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        BitReader {
+            data,
+            pos: 0,
+            acc: 0,
+            bits: 0,
+        }
+    }
+
+    /// Reads `width` bits LSB-first. The caller has already validated
+    /// that the stream holds exactly the bits it will pull; running off
+    /// the end reads zeros (unreachable after that validation).
+    fn pull(&mut self, width: u8) -> u64 {
+        let mut value = 0u64;
+        let mut got = 0u32;
+        let width = u32::from(width);
+        while got < width {
+            if self.bits == 0 {
+                self.acc = u64::from(self.data.get(self.pos).copied().unwrap_or(0));
+                self.pos += 1;
+                self.bits = 8;
+            }
+            let take = (width - got).min(self.bits);
+            value |= (self.acc & ((1u64 << take) - 1)) << got;
+            self.acc >>= take;
+            self.bits -= take;
+            got += take;
+        }
+        value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sq(w: u64) -> u64 {
+        Gf64::new(w).square().to_bits()
+    }
+
+    /// Builds a full-encoding row from its stored (odd power sum) words.
+    fn full_row(stored: &[u64]) -> Vec<u64> {
+        let mut row = vec![0u64; stored.len() * 2];
+        for (t, &w) in stored.iter().enumerate() {
+            row[2 * t] = w;
+        }
+        for t in 0..stored.len() {
+            row[2 * t + 1] = sq(row[t]);
+        }
+        row
+    }
+
+    #[test]
+    fn word_block_round_trips_with_fold() {
+        let mut words = Vec::new();
+        let mut state = 0x9e37_79b9_7f4a_7c15u64;
+        for _ in 0..40 {
+            let stored: Vec<u64> = (0..4)
+                .map(|_| {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    state >> 17
+                })
+                .collect();
+            words.extend(full_row(&stored));
+        }
+        let block = encode_words(&words, 8, true);
+        assert!(block.transform & T_FOLD != 0, "fold should engage");
+        assert!(
+            block.payload.len() < words.len() * 8 / 2 + 64,
+            "fold alone should roughly halve"
+        );
+        let back = decode_words(&block.payload, block.transform, words.len(), 8).unwrap();
+        assert_eq!(back, words);
+    }
+
+    #[test]
+    fn word_block_round_trips_without_fold() {
+        let words: Vec<u64> = (0..300u64)
+            .map(|i| i.wrapping_mul(0x2545_F491_4F6C_DD1D))
+            .collect();
+        let block = encode_words(&words, 6, true);
+        assert_eq!(block.transform & T_FOLD, 0, "random words must not fold");
+        let back = decode_words(&block.payload, block.transform, words.len(), 6).unwrap();
+        assert_eq!(back, words);
+    }
+
+    #[test]
+    fn sparse_repeated_rows_collapse() {
+        // 256 identical rows: delta leaves one nonzero row, bitmap drops
+        // the rest; the block should be a small fraction of the input.
+        let row: Vec<u64> = vec![0xdead_beef_cafe_f00d; 8];
+        let words: Vec<u64> = row.iter().copied().cycle().take(8 * 256).collect();
+        let block = encode_words(&words, 8, false);
+        assert!(
+            block.payload.len() < words.len() * 8 / 20,
+            "expected >20x on constant rows, got {} / {}",
+            block.payload.len(),
+            words.len() * 8
+        );
+        let back = decode_words(&block.payload, block.transform, words.len(), 8).unwrap();
+        assert_eq!(back, words);
+    }
+
+    #[test]
+    fn narrow_columns_pack() {
+        // Column j holds values < 2^(4+j): widths differ per column.
+        let mut words = Vec::new();
+        for r in 0..128u64 {
+            for j in 0..5u64 {
+                words.push((r * 31 + j * 7) & ((1 << (4 + j)) - 1));
+            }
+        }
+        let block = encode_words(&words, 5, false);
+        let back = decode_words(&block.payload, block.transform, words.len(), 5).unwrap();
+        assert_eq!(back, words);
+        assert!(block.payload.len() < words.len() * 8 / 4);
+    }
+
+    #[test]
+    fn empty_and_single_row_blocks() {
+        let block = encode_words(&[], 8, true);
+        assert_eq!(
+            decode_words(&block.payload, block.transform, 0, 8).unwrap(),
+            vec![]
+        );
+
+        let words = vec![5u64, sq(5), 9, sq(9)];
+        let block = encode_words(&words, 4, true);
+        let back = decode_words(&block.payload, block.transform, 4, 4).unwrap();
+        assert_eq!(back, words);
+    }
+
+    /// Builds the odd power sequence `α^(2t+1)` of length `width`.
+    fn pow_row(alpha: u64, width: usize) -> Vec<u64> {
+        let a = Gf64::new(alpha);
+        let a_sq = a.square();
+        let mut row = Vec::with_capacity(width);
+        let mut p = a;
+        row.push(p.to_bits());
+        for _ in 1..width {
+            p *= a_sq;
+            row.push(p.to_bits());
+        }
+        row
+    }
+
+    #[test]
+    fn power_rows_collapse_to_alpha() {
+        // 64 rank-1 rows of width 16: the block should be little more
+        // than 8 bytes per row.
+        let mut words = Vec::new();
+        for r in 0..64u64 {
+            words.extend(pow_row(r * 3 + 1, 16));
+        }
+        let block = encode_words(&words, 16, false);
+        assert!(block.transform & T_POW != 0, "pow stage should engage");
+        assert!(
+            block.payload.len() < 64 * 16,
+            "expected ~8B/row, got {} for {} raw",
+            block.payload.len(),
+            words.len() * 8
+        );
+        let back = decode_words(&block.payload, block.transform, words.len(), 16).unwrap();
+        assert_eq!(back, words);
+    }
+
+    #[test]
+    fn mixed_zero_pow_full_rows_round_trip() {
+        let width = 6;
+        let mut words = Vec::new();
+        let mut state = 0x243F_6A88_85A3_08D3u64;
+        for r in 0..97usize {
+            match r % 5 {
+                0 | 3 => words.extend(std::iter::repeat_n(0u64, width)),
+                1 => words.extend(pow_row((r as u64) * 17 + 2, width)),
+                _ => {
+                    for _ in 0..width {
+                        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                        words.push(state >> 9);
+                    }
+                }
+            }
+        }
+        let block = encode_words(&words, width, false);
+        assert!(block.transform & T_POW != 0);
+        let back = decode_words(&block.payload, block.transform, words.len(), width).unwrap();
+        assert_eq!(back, words);
+    }
+
+    #[test]
+    fn folded_power_rows_round_trip() {
+        // Full-encoding rows whose stored halves are power sequences:
+        // both the fold and the pow stage should engage.
+        let mut words = Vec::new();
+        for r in 0..40u64 {
+            words.extend(full_row(&pow_row(r + 2, 4)));
+        }
+        let block = encode_words(&words, 8, true);
+        assert!(block.transform & T_FOLD != 0);
+        assert!(block.transform & T_POW != 0);
+        assert!(block.payload.len() < 40 * 16);
+        let back = decode_words(&block.payload, block.transform, words.len(), 8).unwrap();
+        assert_eq!(back, words);
+    }
+
+    #[test]
+    fn corrupt_power_blocks_fail_cleanly() {
+        let width = 5;
+        let mut words = Vec::new();
+        for r in 0..48usize {
+            match r % 3 {
+                0 => words.extend(std::iter::repeat_n(0u64, width)),
+                1 => words.extend(pow_row((r as u64) * 11 + 5, width)),
+                _ => words.extend((0..width as u64).map(|j| (r as u64) << 20 | j)),
+            }
+        }
+        let block = encode_words(&words, width, false);
+        assert!(block.transform & T_POW != 0);
+        for cut in 0..block.payload.len() {
+            let _ = decode_words(&block.payload[..cut], block.transform, words.len(), width);
+        }
+        for i in 0..block.payload.len() {
+            let mut bad = block.payload.clone();
+            bad[i] ^= 0x40;
+            match decode_words(&bad, block.transform, words.len(), width) {
+                Ok(out) => assert_eq!(out.len(), words.len()),
+                Err(e) => assert!(e.offset <= bad.len()),
+            }
+        }
+        // Byte blocks never carry the pow stage.
+        assert!(decode_bytes(&block.payload, T_POW, words.len() * 8, 8).is_err());
+    }
+
+    #[test]
+    fn byte_block_round_trips() {
+        let mut data = Vec::new();
+        for r in 0..200u32 {
+            data.extend_from_slice(&r.to_le_bytes());
+            data.extend_from_slice(&[0xAB; 8]);
+        }
+        let block = encode_bytes(&data, 12);
+        assert!(block.payload.len() < data.len() / 2);
+        let back = decode_bytes(&block.payload, block.transform, data.len(), 12).unwrap();
+        assert_eq!(back, data);
+
+        let odd = b"unaligned tail bytes!".to_vec();
+        let block = encode_bytes(&odd, 4);
+        let back = decode_bytes(&block.payload, block.transform, odd.len(), 4).unwrap();
+        assert_eq!(back, odd);
+    }
+
+    #[test]
+    fn corrupt_word_blocks_fail_cleanly() {
+        let words: Vec<u64> = (0..64u64).map(|i| i % 7).collect();
+        let block = encode_words(&words, 8, false);
+        for cut in 0..block.payload.len() {
+            let _ = decode_words(&block.payload[..cut], block.transform, words.len(), 8);
+        }
+        for i in 0..block.payload.len() {
+            let mut bad = block.payload.clone();
+            bad[i] ^= 0x40;
+            if let Ok(out) = decode_words(&bad, block.transform, words.len(), 8) {
+                assert_eq!(out.len(), words.len());
+            }
+            if let Err(e) = decode_words(&bad, block.transform, words.len(), 8) {
+                assert!(e.offset <= bad.len());
+            }
+        }
+        // Wrong geometry is rejected, not mis-sliced.
+        assert!(decode_words(&block.payload, block.transform, words.len(), 7).is_err());
+        assert!(decode_words(&block.payload, block.transform, words.len() + 8, 8).is_err());
+    }
+
+    #[test]
+    fn bitio_round_trips_across_widths() {
+        let values: Vec<(u64, u8)> = vec![
+            (0, 1),
+            (1, 1),
+            (0b1011, 4),
+            (u64::MAX, 64),
+            (0x1234_5678, 33),
+            (7, 3),
+            (u64::MAX >> 1, 63),
+        ];
+        let mut buf = Vec::new();
+        let mut w = BitWriter::new(&mut buf);
+        for &(v, bits) in &values {
+            w.push(v, bits);
+        }
+        w.finish();
+        let mut r = BitReader::new(&buf);
+        for &(v, bits) in &values {
+            assert_eq!(r.pull(bits), v, "width {bits}");
+        }
+    }
+}

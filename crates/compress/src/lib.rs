@@ -1,0 +1,98 @@
+//! Entropy coding and transform stages for the v2 sectioned archive.
+//!
+//! The v1 label archive stores every GF(2^64) syndrome word verbatim, so
+//! its size is exactly `m · levels · width` words plus framing. This
+//! crate supplies the machinery the v2 container uses to shrink that:
+//!
+//! * [`rans`] — a dependency-free range asymmetric numeral system coder
+//!   over 8-bit symbols with a per-block static frequency table. This is
+//!   the final entropy stage for every section.
+//! * [`block`] — reversible transform pipelines that run *before* the
+//!   entropy stage so it sees low-surprise residuals: the Frobenius fold
+//!   (even power sums are squares of stored odd ones and need not be
+//!   stored at all), row XOR-delta prediction, a zero-row presence
+//!   bitmap, and per-column bit packing.
+//! * [`checksum64`] — the archive-wide 64-bit integrity checksum used
+//!   both for the v1 trailing whole-blob checksum and for the v2
+//!   per-section checksums that drive lazy validation.
+//!
+//! Everything here is format-agnostic: blocks carry a transform flags
+//! byte and a payload, and the container supplies the geometry
+//! (`row_words`, raw lengths) out of band. Decoders never panic on
+//! malformed input — they return [`CodecError`] with an in-bounds byte
+//! offset into the payload they were handed.
+
+pub mod block;
+pub mod rans;
+
+pub use block::{
+    decode_bytes, decode_words, encode_bytes, encode_words, EncodedBlock, T_DELTA, T_FOLD, T_PACK,
+    T_RANS, T_SPARSE,
+};
+
+/// Decoding failed: the payload is malformed at (or near) `offset` bytes
+/// into the buffer handed to the decoder. Offsets are always in bounds
+/// of (or one past) that buffer; containers rebase them onto the
+/// enclosing archive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CodecError {
+    /// Byte position within the decoded payload where the damage was
+    /// detected.
+    pub offset: usize,
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "malformed compressed block at byte {}", self.offset)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// A 64-bit FNV-style checksum over `bytes`, folded a word at a time.
+///
+/// The length participates in the seed, so buffers that differ only by
+/// trailing zero padding hash differently. This is an integrity check
+/// against storage corruption, not a cryptographic MAC.
+pub fn checksum64(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET ^ (bytes.len() as u64).wrapping_mul(PRIME);
+    let mut chunks = bytes.chunks_exact(8);
+    for chunk in &mut chunks {
+        let w = u64::from_le_bytes(chunk.try_into().expect("chunk of 8"));
+        h = (h ^ w).wrapping_mul(PRIME);
+    }
+    let rem = chunks.remainder();
+    if !rem.is_empty() {
+        let mut tail = [0u8; 8];
+        tail[..rem.len()].copy_from_slice(rem);
+        h = (h ^ u64::from_le_bytes(tail)).wrapping_mul(PRIME);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checksum_discriminates_padding_and_order() {
+        assert_ne!(checksum64(b"abc"), checksum64(b"abc\0"));
+        assert_ne!(checksum64(b"abcdefgh"), checksum64(b"abcdefg"));
+        assert_ne!(checksum64(b"abcdefgh"), checksum64(b"hgfedcba"));
+        assert_eq!(checksum64(b""), checksum64(b""));
+        assert_ne!(checksum64(b""), checksum64(b"\0"));
+    }
+
+    #[test]
+    fn checksum_sensitive_to_every_byte() {
+        let base: Vec<u8> = (0..64u8).collect();
+        let h = checksum64(&base);
+        for i in 0..base.len() {
+            let mut flipped = base.clone();
+            flipped[i] ^= 1;
+            assert_ne!(h, checksum64(&flipped), "byte {i} did not affect checksum");
+        }
+    }
+}

@@ -1,0 +1,294 @@
+//! A range asymmetric numeral system (rANS) coder over 8-bit symbols.
+//!
+//! Static per-block model: the encoder counts symbol frequencies, scales
+//! them to a 12-bit total, serializes the table ahead of the stream, and
+//! encodes back-to-front so the decoder can run strictly forward. The
+//! state is a single `u32` renormalized a byte at a time against the
+//! lower bound `L = 2^23`, which keeps the coder within safe `u32`
+//! arithmetic (`L << 8` never overflows) while losing well under 0.1%
+//! to a wider-state variant.
+//!
+//! Stream layout (all little-endian):
+//!
+//! ```text
+//! [distinct u16] [ (symbol u8, freq u16) × distinct ] [state u32] [renorm bytes…]
+//! ```
+//!
+//! Integrity is structural: the table must sum to exactly `2^12` with
+//! strictly increasing symbols, the decoder must end on the encoder's
+//! initial state `L` with every payload byte consumed, and every read is
+//! bounds-checked. Corrupt input yields [`CodecError`], never a panic.
+
+use crate::CodecError;
+
+/// log2 of the frequency-table total. 12 bits keeps the table small
+/// (worst case 256 × 3 bytes) while costing < 0.1 bit/byte of precision.
+pub const SCALE_BITS: u32 = 12;
+const SCALE: u32 = 1 << SCALE_BITS;
+/// Lower bound of the renormalization interval `[L, L << 8)`.
+const LOWER: u32 = 1 << 23;
+
+/// Encodes `data`, returning a self-contained block (frequency table +
+/// state + stream). Empty input encodes to the 2-byte empty table.
+pub fn encode(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 + data.len() / 2);
+    if data.is_empty() {
+        out.extend_from_slice(&0u16.to_le_bytes());
+        return out;
+    }
+
+    let mut counts = [0u64; 256];
+    for &b in data {
+        counts[b as usize] += 1;
+    }
+    let freq = normalize(&counts, data.len() as u64);
+    let mut cum = [0u32; 257];
+    for s in 0..256 {
+        cum[s + 1] = cum[s] + freq[s];
+    }
+
+    let distinct = freq.iter().filter(|&&f| f > 0).count() as u16;
+    out.extend_from_slice(&distinct.to_le_bytes());
+    for (s, &f) in freq.iter().enumerate() {
+        if f > 0 {
+            out.push(s as u8);
+            out.extend_from_slice(&(f as u16).to_le_bytes());
+        }
+    }
+
+    // Encode in reverse; renorm bytes are pushed newest-first and the
+    // whole stream segment is reversed at the end so the decoder reads
+    // forward: 4 state bytes (LE), then renorm bytes in pop order.
+    let mut rev: Vec<u8> = Vec::with_capacity(data.len() / 2 + 8);
+    let mut x: u32 = LOWER;
+    for &s in data.iter().rev() {
+        let f = freq[s as usize];
+        let x_max = ((LOWER >> SCALE_BITS) << 8) * f;
+        while x >= x_max {
+            rev.push(x as u8);
+            x >>= 8;
+        }
+        x = ((x / f) << SCALE_BITS) + (x % f) + cum[s as usize];
+    }
+    rev.extend_from_slice(&[(x >> 24) as u8, (x >> 16) as u8, (x >> 8) as u8, x as u8]);
+    out.extend(rev.iter().rev());
+    out
+}
+
+/// Decodes a block produced by [`encode`], expecting exactly `raw_len`
+/// symbols, appending them to `out`.
+///
+/// # Errors
+///
+/// [`CodecError`] whose offset points into `payload` when the table is
+/// malformed, the stream runs short, leaves trailing bytes, or does not
+/// land back on the initial encoder state.
+pub fn decode_into(payload: &[u8], raw_len: usize, out: &mut Vec<u8>) -> Result<(), CodecError> {
+    let err = |offset: usize| CodecError { offset };
+
+    if payload.len() < 2 {
+        return Err(err(payload.len()));
+    }
+    let distinct = u16::from_le_bytes([payload[0], payload[1]]) as usize;
+    if raw_len == 0 {
+        // Empty block: just the empty table, nothing else.
+        return if distinct == 0 && payload.len() == 2 {
+            Ok(())
+        } else {
+            Err(err(2))
+        };
+    }
+    if distinct == 0 || distinct > 256 {
+        return Err(err(0));
+    }
+    let table_end = 2 + distinct * 3;
+    if payload.len() < table_end + 4 {
+        return Err(err(payload.len()));
+    }
+
+    let mut freq = [0u32; 256];
+    let mut cum = [0u32; 256];
+    let mut sym_of = vec![0u8; SCALE as usize];
+    let mut total: u32 = 0;
+    let mut prev_sym: i32 = -1;
+    for i in 0..distinct {
+        let at = 2 + i * 3;
+        let sym = payload[at];
+        let f = u16::from_le_bytes([payload[at + 1], payload[at + 2]]) as u32;
+        if i32::from(sym) <= prev_sym || f == 0 || total + f > SCALE {
+            return Err(err(at));
+        }
+        prev_sym = i32::from(sym);
+        freq[sym as usize] = f;
+        cum[sym as usize] = total;
+        for slot in total..total + f {
+            sym_of[slot as usize] = sym;
+        }
+        total += f;
+    }
+    if total != SCALE {
+        return Err(err(table_end - 1));
+    }
+
+    let mut pos = table_end;
+    let mut x = u32::from_le_bytes([
+        payload[pos],
+        payload[pos + 1],
+        payload[pos + 2],
+        payload[pos + 3],
+    ]);
+    pos += 4;
+
+    out.reserve(raw_len);
+    for _ in 0..raw_len {
+        if x < LOWER {
+            // States below L are unreachable from a well-formed stream.
+            return Err(err(pos.min(payload.len())));
+        }
+        let slot = x & (SCALE - 1);
+        let s = sym_of[slot as usize];
+        out.push(s);
+        x = freq[s as usize] * (x >> SCALE_BITS) + slot - cum[s as usize];
+        while x < LOWER {
+            if pos >= payload.len() {
+                return Err(err(payload.len()));
+            }
+            x = (x << 8) | u32::from(payload[pos]);
+            pos += 1;
+        }
+    }
+    if x != LOWER {
+        return Err(err(table_end));
+    }
+    if pos != payload.len() {
+        return Err(err(pos));
+    }
+    Ok(())
+}
+
+/// Convenience wrapper over [`decode_into`] returning a fresh `Vec`.
+///
+/// # Errors
+///
+/// Same conditions as [`decode_into`].
+pub fn decode(payload: &[u8], raw_len: usize) -> Result<Vec<u8>, CodecError> {
+    let mut out = Vec::with_capacity(raw_len);
+    decode_into(payload, raw_len, &mut out)?;
+    Ok(out)
+}
+
+/// Scales raw counts to frequencies summing exactly to `SCALE`, keeping
+/// every present symbol at frequency ≥ 1.
+fn normalize(counts: &[u64; 256], total: u64) -> [u32; 256] {
+    let mut freq = [0u32; 256];
+    let mut assigned: u32 = 0;
+    for s in 0..256 {
+        if counts[s] == 0 {
+            continue;
+        }
+        let scaled = ((counts[s] as u128 * SCALE as u128) / total as u128) as u32;
+        freq[s] = scaled.max(1);
+        assigned += freq[s];
+    }
+    // Drift correction: add to or shave from the largest frequencies,
+    // which moves the model least in relative terms.
+    while assigned != SCALE {
+        if assigned < SCALE {
+            let s = (0..256).max_by_key(|&s| freq[s]).expect("nonempty");
+            let add = (SCALE - assigned).min(freq[s]);
+            freq[s] += add;
+            assigned += add;
+        } else {
+            let s = (0..256)
+                .filter(|&s| freq[s] > 1)
+                .max_by_key(|&s| freq[s])
+                .expect("over-assignment implies a shrinkable symbol");
+            let cut = (assigned - SCALE).min(freq[s] - 1);
+            freq[s] -= cut;
+            assigned -= cut;
+        }
+    }
+    freq
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(data: &[u8]) {
+        let enc = encode(data);
+        let dec = decode(&enc, data.len()).expect("decode");
+        assert_eq!(dec, data);
+    }
+
+    #[test]
+    fn round_trips_edge_shapes() {
+        round_trip(b"");
+        round_trip(b"a");
+        round_trip(&[0u8; 1000]);
+        round_trip(&[255u8; 3]);
+        round_trip(b"abracadabra, abracadabra, abracadabra");
+        let all: Vec<u8> = (0..=255u8).cycle().take(4096).collect();
+        round_trip(&all);
+    }
+
+    #[test]
+    fn skewed_input_compresses() {
+        // 97% zeros: entropy ≈ 0.24 bits/byte, so even with table
+        // overhead the block must shrink well below half.
+        let mut data = vec![0u8; 8192];
+        for (i, b) in data.iter_mut().enumerate() {
+            if i % 32 == 7 {
+                *b = (i % 251) as u8;
+            }
+        }
+        let enc = encode(&data);
+        assert!(
+            enc.len() < data.len() / 2,
+            "expected < {} bytes, got {}",
+            data.len() / 2,
+            enc.len()
+        );
+        assert_eq!(decode(&enc, data.len()).unwrap(), data);
+    }
+
+    #[test]
+    fn wrong_raw_len_is_rejected() {
+        let enc = encode(b"hello world, hello rans");
+        assert!(
+            decode(&enc, 22).is_err() || decode(&enc, 22).unwrap() != b"hello world, hello rans"
+        );
+        assert!(decode(&enc, 24).is_err());
+        assert!(decode(&enc, 0).is_err());
+    }
+
+    #[test]
+    fn truncation_and_bit_flips_never_panic() {
+        let data: Vec<u8> = (0..2048u32).map(|i| (i * i % 253) as u8).collect();
+        let enc = encode(&data);
+        for cut in 0..enc.len() {
+            let _ = decode(&enc[..cut], data.len());
+        }
+        for i in 0..enc.len() {
+            for bit in [1u8, 0x80] {
+                let mut bad = enc.clone();
+                bad[i] ^= bit;
+                if let Ok(out) = decode(&bad, data.len()) {
+                    // A flip may happen to decode; it must still produce
+                    // exactly raw_len symbols (checked by construction).
+                    assert_eq!(out.len(), data.len());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn error_offsets_stay_in_bounds() {
+        let enc = encode(b"some payload some payload");
+        for cut in 0..enc.len() {
+            if let Err(e) = decode(&enc[..cut], 25) {
+                assert!(e.offset <= cut, "offset {} out of bounds {}", e.offset, cut);
+            }
+        }
+    }
+}

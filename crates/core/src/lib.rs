@@ -31,7 +31,11 @@
 //! * [`store`] — the single-blob label archive: [`store::LabelStore`]
 //!   writes a whole labeling as one indexed byte blob and
 //!   [`store::LabelStoreView`] opens it zero-copy, serving O(1)/O(log m)
-//!   label views and archive-native [`QuerySession`]s.
+//!   label views and archive-native [`QuerySession`]s;
+//! * [`compressed`] — the v2 sectioned container: entropy-coded archive
+//!   sections ([`ftc_compress`] transforms + rANS), O(header) opening
+//!   with per-section lazy checksum validation, and memory-mapped
+//!   [`compressed::open_path`] dispatching over both formats.
 //!
 //! ## Quickstart
 //!
@@ -60,10 +64,12 @@
 pub mod ancestry;
 pub mod auxgraph;
 pub mod baseline;
+pub mod compressed;
 pub mod error;
 pub mod fragments;
 pub mod hierarchy;
 pub mod labels;
+pub(crate) mod mmap;
 pub(crate) mod par;
 pub mod params;
 pub mod scheme;
@@ -72,6 +78,7 @@ pub mod session;
 pub mod store;
 pub mod vertex_faults;
 
+pub use compressed::{AnyArchive, CompressedStore, CompressedStoreView, SectionInfo, SectionKind};
 pub use error::{BuildError, QueryError};
 pub use hierarchy::HierarchyBackend;
 pub use labels::{
@@ -84,4 +91,6 @@ pub use serial::{
     CompactEdgeLabelView, EdgeLabelView, SerialError, SerialErrorKind, VertexLabelView,
 };
 pub use session::{Certificate, QuerySession, SessionScratch};
-pub use store::{ArchivedEdgeView, EdgeEncoding, LabelStore, LabelStoreView, StoreError};
+pub use store::{
+    ArchivedEdgeView, EdgeEncoding, LabelStore, LabelStoreView, StoreError, StoreOpenError,
+};

@@ -183,6 +183,41 @@ impl<'a> SchemeBuilder<'a> {
         }
     }
 
+    /// Like [`SchemeBuilder::build_store`], but streaming into the **v2
+    /// compressed container** ([`crate::compressed`]): each level's rows
+    /// are staged, run through the transform + entropy pipeline as soon
+    /// as the level completes, and freed — peak memory is the archive
+    /// plus O(threads) level buffers, never the uncompressed blob.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SchemeBuilder::build`].
+    pub fn build_store_compressed(
+        self,
+        encoding: EdgeEncoding,
+    ) -> Result<(crate::compressed::CompressedStore, BuildDiagnostics), BuildError> {
+        let threads = self.resolved_threads();
+        match self.tree {
+            Some(tree) => FtcScheme::build_store_compressed_pipeline(
+                self.g,
+                tree,
+                &self.params,
+                threads,
+                encoding,
+            ),
+            None => {
+                let tree = RootedTree::bfs(self.g, 0);
+                FtcScheme::build_store_compressed_pipeline(
+                    self.g,
+                    &tree,
+                    &self.params,
+                    threads,
+                    encoding,
+                )
+            }
+        }
+    }
+
     fn resolved_threads(&self) -> usize {
         match self.threads {
             0 => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
@@ -308,6 +343,19 @@ impl FtcScheme {
         Ok((store, diag))
     }
 
+    fn build_store_compressed_pipeline(
+        g: &Graph,
+        tree: &RootedTree,
+        params: &Params,
+        threads: usize,
+        encoding: EdgeEncoding,
+    ) -> Result<(crate::compressed::CompressedStore, BuildDiagnostics), BuildError> {
+        let ctx = BuildCtx::prepare(g, tree, params, threads)?;
+        let diag = ctx.diagnostics(params);
+        let store = crate::compressed::stream_compressed_from_build(g, &ctx, threads, encoding);
+        Ok((store, diag))
+    }
+
     /// The labels (the only artifact a decoder needs).
     pub fn labels(&self) -> &LabelSet<RsVector> {
         &self.labels
@@ -419,6 +467,13 @@ impl BuildCtx {
 /// must only write inside that window and may not read other windows.
 pub(crate) trait LevelSink: Sync {
     fn write_row(&self, e: usize, level: usize, row: &[Gf64]);
+
+    /// Called by the worker that owns `level` once every edge's row for
+    /// that level has been written — the hook a compressing sink uses to
+    /// encode and release the level's staging buffer while other levels
+    /// are still in flight. Called at most once per level, never
+    /// concurrently with `write_row` for the same level.
+    fn finish_level(&self, _level: usize) {}
 }
 
 /// [`LevelSink`] over the contiguous payload slab backing an owned
@@ -519,6 +574,7 @@ pub(crate) fn build_subtree_sums(
             for (e, &lower) in aux.sigma_lower.iter().enumerate() {
                 sink.write_row(e, level, &acc[lower * width..(lower + 1) * width]);
             }
+            sink.finish_level(level);
         }
     };
     let workers = threads.clamp(1, levels);

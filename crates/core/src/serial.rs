@@ -47,6 +47,8 @@ pub enum SerialErrorKind {
     TrailingBytes,
     /// The archive declares a format version this build cannot read.
     UnsupportedVersion,
+    /// A stored checksum does not match the bytes it covers.
+    Checksum,
 }
 
 impl SerialError {
@@ -63,6 +65,7 @@ impl std::fmt::Display for SerialError {
             SerialErrorKind::Inconsistent => "inconsistent length or geometry",
             SerialErrorKind::TrailingBytes => "trailing bytes",
             SerialErrorKind::UnsupportedVersion => "unsupported format version",
+            SerialErrorKind::Checksum => "checksum mismatch",
         };
         write!(f, "malformed label bytes: {what} at byte {}", self.offset)
     }

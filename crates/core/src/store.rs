@@ -40,7 +40,14 @@
 //!                    of `serial::vertex_to_bytes`, magic included)
 //! …      rest        concatenated edge label bytes, in edge-ID order
 //!                    (`serial::edge_to_bytes` or `edge_to_bytes_compact`)
+//! end-8  8           whole-blob checksum (`ftc_compress::checksum64` of
+//!                    every preceding byte), verified on open
 //! ```
+//!
+//! Version 2 of the container — entropy-coded sections with per-section
+//! checksums and O(header) opening — lives in [`crate::compressed`];
+//! [`LabelStoreView::open_path`] here memory-maps v1 archives so neither
+//! format requires materializing the blob on the heap.
 //!
 //! # Example
 //!
@@ -77,12 +84,14 @@ use std::fmt;
 use std::io::{self, Write};
 use std::sync::Arc;
 
-const STORE_MAGIC: [u8; 4] = *b"FTCL";
-const STORE_VERSION: u16 = 1;
+pub(crate) const STORE_MAGIC: [u8; 4] = *b"FTCL";
+pub(crate) const STORE_VERSION: u16 = 1;
 /// Fixed-size prefix before the offset index.
-const FIXED_HEADER_BYTES: usize = 40;
+pub(crate) const FIXED_HEADER_BYTES: usize = 40;
 /// Bytes per endpoint-index entry.
-const ENDPOINT_ENTRY_BYTES: usize = 12;
+pub(crate) const ENDPOINT_ENTRY_BYTES: usize = 12;
+/// Trailing whole-blob checksum ([`ftc_compress::checksum64`]).
+pub(crate) const TRAILING_CHECKSUM_BYTES: usize = 8;
 
 /// How edge labels are encoded in an archive.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -98,14 +107,14 @@ pub enum EdgeEncoding {
 }
 
 impl EdgeEncoding {
-    fn tag(self) -> u8 {
+    pub(crate) fn tag(self) -> u8 {
         match self {
             EdgeEncoding::Full => 0,
             EdgeEncoding::Compact => 1,
         }
     }
 
-    fn from_tag(tag: u8) -> Option<EdgeEncoding> {
+    pub(crate) fn from_tag(tag: u8) -> Option<EdgeEncoding> {
         match tag {
             0 => Some(EdgeEncoding::Full),
             1 => Some(EdgeEncoding::Compact),
@@ -131,6 +140,9 @@ pub enum StoreError {
     },
     /// The underlying session construction or query failed.
     Query(QueryError),
+    /// Lazy validation of a compressed section failed on first touch
+    /// (checksum mismatch or malformed payload).
+    Corrupt(SerialError),
 }
 
 impl fmt::Display for StoreError {
@@ -143,6 +155,7 @@ impl fmt::Display for StoreError {
                 write!(f, "vertex {v} outside the archived labeling")
             }
             StoreError::Query(q) => write!(f, "archive query failed: {q}"),
+            StoreError::Corrupt(e) => write!(f, "archive section corrupt: {e}"),
         }
     }
 }
@@ -267,6 +280,8 @@ enum ArchiveBuf<'a> {
     Borrowed(&'a [u8]),
     /// Shared ownership of the blob ([`LabelStoreView::open_shared`]).
     Shared(Arc<[u8]>),
+    /// A shared memory-mapped file ([`LabelStoreView::open_path`]).
+    Mapped(Arc<crate::mmap::MmapBuf>),
 }
 
 impl ArchiveBuf<'_> {
@@ -274,7 +289,48 @@ impl ArchiveBuf<'_> {
         match self {
             ArchiveBuf::Borrowed(b) => b,
             ArchiveBuf::Shared(a) => a,
+            ArchiveBuf::Mapped(m) => m.bytes(),
         }
+    }
+}
+
+/// Failure to open an archive from the filesystem: either the I/O
+/// itself, or the bytes once read/mapped.
+#[derive(Debug)]
+pub enum StoreOpenError {
+    /// Reading or mapping the file failed.
+    Io(io::Error),
+    /// The file's bytes are not a valid archive.
+    Malformed(SerialError),
+}
+
+impl fmt::Display for StoreOpenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreOpenError::Io(e) => write!(f, "archive I/O failed: {e}"),
+            StoreOpenError::Malformed(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreOpenError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreOpenError::Io(e) => Some(e),
+            StoreOpenError::Malformed(e) => Some(e),
+        }
+    }
+}
+
+impl From<io::Error> for StoreOpenError {
+    fn from(e: io::Error) -> StoreOpenError {
+        StoreOpenError::Io(e)
+    }
+}
+
+impl From<SerialError> for StoreOpenError {
+    fn from(e: SerialError) -> StoreOpenError {
+        StoreOpenError::Malformed(e)
     }
 }
 
@@ -282,20 +338,20 @@ impl ArchiveBuf<'_> {
 /// the bytes themselves. Copyable so an owning [`LabelStore`] can mint
 /// views without re-validating.
 #[derive(Clone, Copy, Debug)]
-struct ArchiveMeta {
-    header: LabelHeader,
-    encoding: EdgeEncoding,
-    n: usize,
-    m: usize,
-    idx_count: usize,
+pub(crate) struct ArchiveMeta {
+    pub(crate) header: LabelHeader,
+    pub(crate) encoding: EdgeEncoding,
+    pub(crate) n: usize,
+    pub(crate) m: usize,
+    pub(crate) idx_count: usize,
     /// Byte position of the edge-offset table.
-    offsets_at: usize,
+    pub(crate) offsets_at: usize,
     /// Byte position of the endpoint index.
-    endpoint_at: usize,
+    pub(crate) endpoint_at: usize,
     /// Byte position of the vertex label region.
-    vertices_at: usize,
+    pub(crate) vertices_at: usize,
     /// Byte position of the edge label region.
-    edges_at: usize,
+    pub(crate) edges_at: usize,
 }
 
 /// A validated zero-copy view over a label archive: the read surface of
@@ -313,11 +369,11 @@ pub struct LabelStoreView<'a> {
     meta: ArchiveMeta,
 }
 
-fn u32_at(buf: &[u8], at: usize) -> u32 {
+pub(crate) fn u32_at(buf: &[u8], at: usize) -> u32 {
     u32::from_le_bytes(buf[at..at + 4].try_into().unwrap())
 }
 
-fn u64_at(buf: &[u8], at: usize) -> u64 {
+pub(crate) fn u64_at(buf: &[u8], at: usize) -> u64 {
     u64::from_le_bytes(buf[at..at + 8].try_into().unwrap())
 }
 
@@ -362,6 +418,12 @@ impl<'a> LabelStoreView<'a> {
         if idx_count > m {
             return Err(inconsistent(36));
         }
+        // Everything after the fixed header and before the trailing
+        // whole-blob checksum is the archive body.
+        if bytes.len() < FIXED_HEADER_BYTES + TRAILING_CHECKSUM_BYTES {
+            return Err(truncated(bytes.len()));
+        }
+        let body_len = bytes.len() - TRAILING_CHECKSUM_BYTES;
 
         let offsets_at = FIXED_HEADER_BYTES;
         let offsets_len = (m as u64 + 1) * 8;
@@ -370,7 +432,7 @@ impl<'a> LabelStoreView<'a> {
         let endpoint_at = offsets_at as u64 + offsets_len;
         let vertices_at = endpoint_at + endpoint_len;
         let edges_at = vertices_at + vertex_len;
-        if edges_at > bytes.len() as u64 {
+        if edges_at > body_len as u64 {
             return Err(truncated(bytes.len()));
         }
         let (endpoint_at, vertices_at, edges_at) = (
@@ -380,8 +442,8 @@ impl<'a> LabelStoreView<'a> {
         );
 
         // Edge offsets: zero-based, monotone, ending exactly at the end
-        // of the buffer.
-        let edge_region_len = (bytes.len() - edges_at) as u64;
+        // of the body (the trailing checksum is not part of any region).
+        let edge_region_len = (body_len - edges_at) as u64;
         let mut prev = 0u64;
         for e in 0..=m {
             let off = u64_at(bytes, offsets_at + 8 * e);
@@ -450,7 +512,45 @@ impl<'a> LabelStoreView<'a> {
                 Some(_) => {}
             }
         }
+        // Last line of defense: payload corruption that keeps every
+        // structural invariant (a flipped syndrome word, say) is caught
+        // by the whole-blob checksum.
+        if u64_at(bytes, body_len) != ftc_compress::checksum64(&bytes[..body_len]) {
+            return Err(SerialError::new(SerialErrorKind::Checksum, body_len));
+        }
         Ok(view)
+    }
+
+    /// Opens an archive file by path, memory-mapping it when the
+    /// platform allows (falling back to reading it into memory). The
+    /// returned view is `'static` and shares the mapping, so cloning is
+    /// O(1) and the file is never materialized on the heap.
+    ///
+    /// This opens **v1** archives; [`crate::compressed::open_path`]
+    /// dispatches on the version tag and handles both formats.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreOpenError::Io`] when the file cannot be read or mapped,
+    /// [`StoreOpenError::Malformed`] under the same conditions as
+    /// [`LabelStoreView::open`].
+    pub fn open_path(
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<LabelStoreView<'static>, StoreOpenError> {
+        let buf = Arc::new(crate::mmap::MmapBuf::open(path.as_ref())?);
+        Ok(LabelStoreView::from_mmap(buf)?)
+    }
+
+    /// Opens a v1 view over an already-mapped buffer (shared with the
+    /// version-dispatching [`crate::compressed::open_path`]).
+    pub(crate) fn from_mmap(
+        buf: Arc<crate::mmap::MmapBuf>,
+    ) -> Result<LabelStoreView<'static>, SerialError> {
+        let meta = LabelStoreView::open(buf.bytes())?.meta;
+        Ok(LabelStoreView {
+            buf: ArchiveBuf::Mapped(buf),
+            meta,
+        })
     }
 
     /// Like [`LabelStoreView::open`], but taking shared ownership of the
@@ -479,6 +579,7 @@ impl<'a> LabelStoreView<'a> {
         let buf = match &self.buf {
             ArchiveBuf::Borrowed(b) => ArchiveBuf::Shared(Arc::from(*b)),
             ArchiveBuf::Shared(a) => ArchiveBuf::Shared(Arc::clone(a)),
+            ArchiveBuf::Mapped(m) => ArchiveBuf::Mapped(Arc::clone(m)),
         };
         LabelStoreView {
             buf,
@@ -516,7 +617,11 @@ impl<'a> LabelStoreView<'a> {
         self.buf.bytes()
     }
 
-    fn edge_span(&self, e: usize) -> (usize, usize) {
+    pub(crate) fn meta(&self) -> &ArchiveMeta {
+        &self.meta
+    }
+
+    pub(crate) fn edge_span(&self, e: usize) -> (usize, usize) {
         let buf = self.buf.bytes();
         let start = u64_at(buf, self.meta.offsets_at + 8 * e) as usize;
         let end = u64_at(buf, self.meta.offsets_at + 8 * (e + 1)) as usize;
@@ -850,7 +955,7 @@ fn put_u32(buf: &mut [u8], at: usize, x: u32) {
     buf[at..at + 4].copy_from_slice(&x.to_le_bytes());
 }
 
-fn put_u64(buf: &mut [u8], at: usize, x: u64) {
+pub(crate) fn put_u64(buf: &mut [u8], at: usize, x: u64) {
     buf[at..at + 8].copy_from_slice(&x.to_le_bytes());
 }
 
@@ -860,10 +965,63 @@ fn put_anc(buf: &mut [u8], at: usize, a: &AncestryLabel) {
     put_u32(buf, at + 8, a.comp);
 }
 
+/// Writes the 40-byte fixed v1 header at the start of `buf`. `version`
+/// is a parameter because the v2 container reuses the same prologue.
+pub(crate) fn write_fixed_header(
+    buf: &mut [u8],
+    version: u16,
+    header: LabelHeader,
+    encoding: EdgeEncoding,
+    n: usize,
+    m: usize,
+    idx_count: usize,
+) {
+    buf[..4].copy_from_slice(&STORE_MAGIC);
+    put_u16(buf, 4, version);
+    buf[6] = encoding.tag();
+    buf[7] = 0;
+    put_u32(buf, 8, header.f);
+    put_u32(buf, 12, header.aux_n);
+    put_u64(buf, 16, header.tag);
+    put_u32(buf, 24, n as u32);
+    put_u32(buf, 28, m as u32);
+    put_u32(buf, 32, VERTEX_LABEL_BYTES as u32);
+    put_u32(buf, 36, idx_count as u32);
+}
+
+/// Writes the endpoint index region at `at`.
+pub(crate) fn write_endpoint_index(buf: &mut [u8], at: usize, index: &EndpointIndex) {
+    for (i, (u, v, e)) in index.iter().enumerate() {
+        let rec = at + ENDPOINT_ENTRY_BYTES * i;
+        put_u32(buf, rec, u as u32);
+        put_u32(buf, rec + 4, v as u32);
+        put_u32(buf, rec + 8, e as u32);
+    }
+}
+
+/// Writes the vertex-label region at `at`.
+pub(crate) fn write_vertex_labels(
+    buf: &mut [u8],
+    at: usize,
+    n: usize,
+    header: LabelHeader,
+    vertex_anc: impl Fn(usize) -> AncestryLabel,
+) {
+    for v in 0..n {
+        let rec = at + v * VERTEX_LABEL_BYTES;
+        put_u16(buf, rec, serial::VERTEX_MAGIC);
+        put_u32(buf, rec + 2, header.f);
+        put_u32(buf, rec + 6, header.aux_n);
+        put_u64(buf, rec + 10, header.tag);
+        put_anc(buf, rec + 2 + serial::HEADER_BYTES, &vertex_anc(v));
+    }
+}
+
 /// Writes the archive's fixed header, edge-offset table, endpoint index,
 /// and vertex-label region into a pre-sized blob. Shared by the owned
-/// [`encode`] path and the streaming [`stream_from_build`] path so the
-/// two produce identical framing bytes by construction.
+/// [`encode`] path, the streaming [`stream_from_build`] path, and the
+/// v2 decompressor so all three produce identical framing bytes by
+/// construction.
 #[allow(clippy::too_many_arguments)]
 fn write_framing(
     buf: &mut [u8],
@@ -875,44 +1033,30 @@ fn write_framing(
     edge_offset: impl Fn(usize) -> u64,
     vertex_anc: impl Fn(usize) -> AncestryLabel,
 ) {
-    buf[..4].copy_from_slice(&STORE_MAGIC);
-    put_u16(buf, 4, STORE_VERSION);
-    buf[6] = encoding.tag();
-    buf[7] = 0;
-    put_u32(buf, 8, header.f);
-    put_u32(buf, 12, header.aux_n);
-    put_u64(buf, 16, header.tag);
-    put_u32(buf, 24, n as u32);
-    put_u32(buf, 28, m as u32);
-    put_u32(buf, 32, VERTEX_LABEL_BYTES as u32);
-    put_u32(buf, 36, index.len() as u32);
+    write_fixed_header(buf, STORE_VERSION, header, encoding, n, m, index.len());
     let offsets_at = FIXED_HEADER_BYTES;
     for e in 0..=m {
         put_u64(buf, offsets_at + 8 * e, edge_offset(e));
     }
     let endpoint_at = offsets_at + (m + 1) * 8;
-    for (i, (u, v, e)) in index.iter().enumerate() {
-        let at = endpoint_at + ENDPOINT_ENTRY_BYTES * i;
-        put_u32(buf, at, u as u32);
-        put_u32(buf, at + 4, v as u32);
-        put_u32(buf, at + 8, e as u32);
-    }
+    write_endpoint_index(buf, endpoint_at, index);
     let vertices_at = endpoint_at + index.len() * ENDPOINT_ENTRY_BYTES;
-    for v in 0..n {
-        let at = vertices_at + v * VERTEX_LABEL_BYTES;
-        put_u16(buf, at, serial::VERTEX_MAGIC);
-        put_u32(buf, at + 2, header.f);
-        put_u32(buf, at + 6, header.aux_n);
-        put_u64(buf, at + 10, header.tag);
-        put_anc(buf, at + 2 + serial::HEADER_BYTES, &vertex_anc(v));
-    }
+    write_vertex_labels(buf, vertices_at, n, header, vertex_anc);
+}
+
+/// Computes and writes the trailing whole-blob checksum into the final
+/// 8 bytes of `buf`.
+pub(crate) fn seal_v1_checksum(buf: &mut [u8]) {
+    let body_len = buf.len() - TRAILING_CHECKSUM_BYTES;
+    let sum = ftc_compress::checksum64(&buf[..body_len]);
+    put_u64(buf, body_len, sum);
 }
 
 /// Writes one edge record's fixed prefix (everything before the syndrome
 /// words): magic, header, both ancestry labels, `k`, and the payload
 /// geometry field (`2k·levels` for full records, `levels` for compact).
 #[allow(clippy::too_many_arguments)]
-fn write_edge_prefix(
+pub(crate) fn write_edge_prefix(
     buf: &mut [u8],
     at: usize,
     header: LabelHeader,
@@ -952,7 +1096,7 @@ fn write_edge_prefix(
 }
 
 /// Stored payload words per edge record under an encoding.
-fn payload_words(encoding: EdgeEncoding, k: usize, levels: usize) -> usize {
+pub(crate) fn payload_words(encoding: EdgeEncoding, k: usize, levels: usize) -> usize {
     match encoding {
         EdgeEncoding::Full => 2 * k * levels,
         EdgeEncoding::Compact => k * levels,
@@ -985,7 +1129,7 @@ fn encode(labels: &LabelSet<RsVector>, encoding: EdgeEncoding) -> Vec<u8> {
         + (m + 1) * 8
         + labels.edge_index.len() * ENDPOINT_ENTRY_BYTES
         + n * VERTEX_LABEL_BYTES;
-    let mut out = vec![0u8; edges_at + edge_total];
+    let mut out = vec![0u8; edges_at + edge_total + TRAILING_CHECKSUM_BYTES];
     write_framing(
         &mut out,
         header,
@@ -1027,6 +1171,7 @@ fn encode(labels: &LabelSet<RsVector>, encoding: EdgeEncoding) -> Vec<u8> {
             }
         }
     }
+    seal_v1_checksum(&mut out);
     out
 }
 
@@ -1101,7 +1246,7 @@ pub(crate) fn stream_from_build(
         + (m + 1) * 8
         + index.len() * ENDPOINT_ENTRY_BYTES
         + n * VERTEX_LABEL_BYTES;
-    let mut buf = vec![0u8; edges_at + m * record_len];
+    let mut buf = vec![0u8; edges_at + m * record_len + TRAILING_CHECKSUM_BYTES];
     write_framing(
         &mut buf,
         header,
@@ -1136,6 +1281,7 @@ pub(crate) fn stream_from_build(
         };
         crate::scheme::build_subtree_sums(&ctx.aux, &ctx.hierarchy, k, levels, threads, &sink);
     }
+    seal_v1_checksum(&mut buf);
     LabelStore::from_vec(buf).expect("freshly built archives are well-formed")
 }
 

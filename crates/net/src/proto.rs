@@ -76,6 +76,9 @@ pub enum ErrorCode {
     QueryRejected = 6,
     /// The server is draining for shutdown.
     ShuttingDown = 7,
+    /// A lazily-validated archive section failed its checksum on first
+    /// touch while serving the request.
+    ArchiveCorrupt = 8,
 }
 
 impl ErrorCode {
@@ -94,6 +97,7 @@ impl ErrorCode {
             5 => ErrorCode::VertexOutOfRange,
             6 => ErrorCode::QueryRejected,
             7 => ErrorCode::ShuttingDown,
+            8 => ErrorCode::ArchiveCorrupt,
             _ => return None,
         })
     }
@@ -109,6 +113,7 @@ impl fmt::Display for ErrorCode {
             ErrorCode::VertexOutOfRange => "vertex out of range",
             ErrorCode::QueryRejected => "query rejected",
             ErrorCode::ShuttingDown => "server shutting down",
+            ErrorCode::ArchiveCorrupt => "served archive corrupt",
         };
         f.write_str(s)
     }

@@ -322,6 +322,7 @@ fn serve_error_frame(wbuf: &mut Vec<u8>, request_id: u64, e: &ServeError) {
         }
         ServeError::VertexOutOfRange { .. } => ErrorCode::VertexOutOfRange,
         ServeError::Query(_) => ErrorCode::QueryRejected,
+        ServeError::Corrupt(_) => ErrorCode::ArchiveCorrupt,
     };
     proto::encode_response_err(wbuf, request_id, code, &e.to_string());
 }

@@ -26,6 +26,8 @@ pub enum RouteError {
     BadEdge(EdgeId),
     /// The underlying labeling query failed.
     Query(QueryError),
+    /// The served label archive failed lazy validation mid-route.
+    Corrupt(ftc_core::SerialError),
 }
 
 impl fmt::Display for RouteError {
@@ -34,6 +36,7 @@ impl fmt::Display for RouteError {
             RouteError::BadVertex(v) => write!(f, "vertex {v} out of range"),
             RouteError::BadEdge(e) => write!(f, "edge {e} out of range"),
             RouteError::Query(q) => write!(f, "labeling query failed: {q}"),
+            RouteError::Corrupt(e) => write!(f, "served archive corrupt: {e}"),
         }
     }
 }
@@ -287,6 +290,7 @@ impl ForbiddenSetRouter {
                 ServeError::Query(q) => RouteError::Query(q),
                 ServeError::UnknownEdgeId { id } => RouteError::BadEdge(id),
                 ServeError::VertexOutOfRange { v } => RouteError::BadVertex(v),
+                ServeError::Corrupt(e) => RouteError::Corrupt(e),
                 // Endpoint-pair faults are never used on this path.
                 ServeError::UnknownEdge { .. } => {
                     unreachable!("routing names faults by edge ID")

@@ -98,14 +98,16 @@ impl ServiceRegistry {
         self.write().insert(id.into(), service)
     }
 
-    /// Reads a label archive from `path`, builds an archive-backed
-    /// service, and registers it under `id` (replacing any previous
-    /// registration). Returns a handle to the new service.
+    /// Opens a label archive of either format from `path` — v1 blobs
+    /// and v2 compressed containers alike, memory-mapped where the
+    /// platform allows — builds the matching service backing, and
+    /// registers it under `id` (replacing any previous registration).
+    /// Returns a handle to the new service.
     ///
     /// # Errors
     ///
     /// [`RegistryError::Io`] on read failures, [`RegistryError::Archive`]
-    /// if the bytes are not a well-formed archive. The registry is
+    /// if the bytes fit neither archive format. The registry is
     /// unchanged on error.
     pub fn open_path(
         &self,
@@ -113,11 +115,13 @@ impl ServiceRegistry {
         path: impl AsRef<Path>,
     ) -> Result<ConnectivityService, RegistryError> {
         let path = path.as_ref();
-        let bytes = std::fs::read(path).map_err(|err| RegistryError::Io {
-            path: path.display().to_string(),
-            err,
+        let service = ConnectivityService::open_path(path).map_err(|e| match e {
+            ftc_core::StoreOpenError::Io(err) => RegistryError::Io {
+                path: path.display().to_string(),
+                err,
+            },
+            ftc_core::StoreOpenError::Malformed(e) => RegistryError::Archive(e),
         })?;
-        let service = ConnectivityService::from_archive_bytes(bytes)?;
         self.insert(id, service.clone());
         Ok(service)
     }
@@ -206,8 +210,26 @@ mod tests {
         let reg = ServiceRegistry::new();
         let svc = reg.open_path("cycle8", &path).unwrap();
         assert_eq!(svc.encoding(), Some(EdgeEncoding::Compact));
+        assert!(!svc.is_compressed());
         assert!(reg.contains("cycle8"));
         assert!(svc.query(&[(0, 1)], &[(0, 4)]).unwrap().all_connected());
+
+        // A v2 compressed archive opens transparently into a
+        // compressed-backed service.
+        let v2_path = dir.join("cycle8.ftcz");
+        let blob = std::fs::read(&path).unwrap();
+        let v1 = ftc_core::store::LabelStoreView::open(&blob).unwrap();
+        std::fs::write(
+            &v2_path,
+            ftc_core::compressed::compress_archive(&v1).as_bytes(),
+        )
+        .unwrap();
+        let zsvc = reg.open_path("cycle8z", &v2_path).unwrap();
+        assert!(zsvc.is_compressed());
+        assert_eq!(
+            zsvc.query(&[(0, 1)], &[(0, 4)]).unwrap(),
+            svc.query(&[(0, 1)], &[(0, 4)]).unwrap()
+        );
 
         // Errors leave the registry unchanged.
         assert!(matches!(

@@ -2,8 +2,9 @@
 //! number of fault-set queries.
 
 use crate::pool::ScratchPool;
+use ftc_core::compressed::{AnyArchive, CompressedStoreView};
 use ftc_core::serial::VertexLabelView;
-use ftc_core::store::{EdgeEncoding, LabelStore, LabelStoreView, StoreError};
+use ftc_core::store::{EdgeEncoding, LabelStore, LabelStoreView, StoreError, StoreOpenError};
 use ftc_core::{
     Certificate, LabelHeader, LabelSet, QueryError, QuerySession, RsVector, SerialError,
     VertexLabel, VertexLabelRead,
@@ -34,6 +35,9 @@ pub enum ServeError {
     },
     /// The underlying session construction or query failed.
     Query(QueryError),
+    /// A lazily-validated archive section failed its checksum or decode
+    /// on first touch (compressed backings only).
+    Corrupt(SerialError),
 }
 
 impl fmt::Display for ServeError {
@@ -47,6 +51,7 @@ impl fmt::Display for ServeError {
             }
             ServeError::VertexOutOfRange { v } => write!(f, "vertex {v} out of range"),
             ServeError::Query(q) => write!(f, "query failed: {q}"),
+            ServeError::Corrupt(e) => write!(f, "served archive section corrupt: {e}"),
         }
     }
 }
@@ -65,6 +70,7 @@ impl From<StoreError> for ServeError {
             StoreError::UnknownEdge { u, v } => ServeError::UnknownEdge { u, v },
             StoreError::VertexOutOfRange { v } => ServeError::VertexOutOfRange { v },
             StoreError::Query(q) => ServeError::Query(q),
+            StoreError::Corrupt(e) => ServeError::Corrupt(e),
         }
     }
 }
@@ -95,12 +101,14 @@ impl VertexLabelRead for VertexRef<'_> {
     }
 }
 
-/// What a service holds: an owned label set, or a `'static` shared view
-/// over an archive blob.
+/// What a service holds: an owned label set, a `'static` shared view
+/// over an uncompressed archive blob, or a lazily-decoded view over a
+/// v2 compressed archive.
 #[derive(Debug)]
 enum Backing {
     Owned(LabelSet<RsVector>),
     Archive(LabelStoreView<'static>),
+    Compressed(CompressedStoreView),
 }
 
 impl Backing {
@@ -108,6 +116,7 @@ impl Backing {
         match self {
             Backing::Owned(l) => l.n(),
             Backing::Archive(v) => v.n(),
+            Backing::Compressed(v) => v.n(),
         }
     }
 
@@ -115,6 +124,7 @@ impl Backing {
         match self {
             Backing::Owned(l) => l.m(),
             Backing::Archive(v) => v.m(),
+            Backing::Compressed(v) => v.m(),
         }
     }
 
@@ -122,26 +132,34 @@ impl Backing {
         match self {
             Backing::Owned(l) => l.header(),
             Backing::Archive(v) => v.header(),
+            Backing::Compressed(v) => v.header(),
         }
     }
 
-    fn vertex(&self, v: usize) -> Option<VertexRef<'_>> {
+    fn vertex(&self, v: usize) -> Result<Option<VertexRef<'_>>, ServeError> {
         match self {
             Backing::Owned(l) => {
                 if v < l.n() {
-                    Some(VertexRef::Owned(l.vertex_label(v)))
+                    Ok(Some(VertexRef::Owned(l.vertex_label(v))))
                 } else {
-                    None
+                    Ok(None)
                 }
             }
-            Backing::Archive(view) => view.vertex(v).map(VertexRef::Archived),
+            Backing::Archive(view) => Ok(view.vertex(v).map(VertexRef::Archived)),
+            Backing::Compressed(view) => Ok(view
+                .vertex(v)
+                .map_err(ServeError::Corrupt)?
+                .map(VertexRef::Archived)),
         }
     }
 
-    fn has_edge(&self, u: usize, v: usize) -> bool {
+    fn has_edge(&self, u: usize, v: usize) -> Result<bool, ServeError> {
         match self {
-            Backing::Owned(l) => l.edge_label(u, v).is_some(),
-            Backing::Archive(view) => view.edge_id(u, v).is_some(),
+            Backing::Owned(l) => Ok(l.edge_label(u, v).is_some()),
+            Backing::Archive(view) => Ok(view.edge_id(u, v).is_some()),
+            Backing::Compressed(view) => {
+                Ok(view.edge_id(u, v).map_err(ServeError::Corrupt)?.is_some())
+            }
         }
     }
 
@@ -163,6 +181,7 @@ impl Backing {
                 Ok(session)
             }
             Backing::Archive(view) => Ok(view.session_in(faults.iter().copied(), scratch)?),
+            Backing::Compressed(view) => Ok(view.session_in(faults.iter().copied(), scratch)?),
         }
     }
 
@@ -186,6 +205,9 @@ impl Backing {
                     scratch,
                 )?;
                 Ok(session)
+            }
+            Backing::Compressed(view) => {
+                Ok(view.session_in_by_ids(faults.iter().copied(), scratch)?)
             }
         }
     }
@@ -261,8 +283,14 @@ impl<'a> Served<'a> {
         self.session
     }
 
-    /// The label of vertex `v`, resolved from the service's backing.
-    pub fn vertex(&self, v: usize) -> Option<VertexRef<'a>> {
+    /// The label of vertex `v`, resolved from the service's backing;
+    /// `Ok(None)` when `v` is out of range.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Corrupt`] if a compressed backing's vertex section
+    /// fails lazy validation.
+    pub fn vertex(&self, v: usize) -> Result<Option<VertexRef<'a>>, ServeError> {
         self.backing.vertex(v)
     }
 
@@ -285,11 +313,11 @@ impl<'a> Served<'a> {
     pub fn certified(&self, s: usize, t: usize) -> Result<Option<&'a [(u32, u32)]>, ServeError> {
         let vs = self
             .backing
-            .vertex(s)
+            .vertex(s)?
             .ok_or(ServeError::VertexOutOfRange { v: s })?;
         let vt = self
             .backing
-            .vertex(t)
+            .vertex(t)?
             .ok_or(ServeError::VertexOutOfRange { v: t })?;
         Ok(self.session.certified(vs, vt)?)
     }
@@ -382,6 +410,29 @@ impl ConnectivityService {
         Self::with_backing(Backing::Archive(view.to_shared()))
     }
 
+    /// A service over a v2 compressed archive view: sections decode
+    /// lazily on first touch and stay cached for the service's lifetime.
+    pub fn from_compressed(view: CompressedStoreView) -> ConnectivityService {
+        Self::with_backing(Backing::Compressed(view))
+    }
+
+    /// Opens an archive file of either format (memory-mapped where the
+    /// platform allows) and wraps it in a service: v1 archives get the
+    /// fully validated zero-copy backing, v2 archives the lazily-decoded
+    /// compressed backing.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreOpenError`] on I/O failure or malformed archives.
+    pub fn open_path(
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<ConnectivityService, StoreOpenError> {
+        Ok(match ftc_core::compressed::open_path(path)? {
+            AnyArchive::V1(view) => Self::with_backing(Backing::Archive(view)),
+            AnyArchive::V2(view) => Self::with_backing(Backing::Compressed(view)),
+        })
+    }
+
     /// Number of served vertex labels.
     pub fn n(&self) -> usize {
         self.inner.backing.n()
@@ -402,14 +453,20 @@ impl ConnectivityService {
         match &self.inner.backing {
             Backing::Owned(_) => None,
             Backing::Archive(v) => Some(v.encoding()),
+            Backing::Compressed(v) => Some(v.encoding()),
         }
+    }
+
+    /// `true` when the service serves a v2 compressed archive.
+    pub fn is_compressed(&self) -> bool {
+        matches!(&self.inner.backing, Backing::Compressed(_))
     }
 
     /// The owned label set, when the service is label-backed.
     pub fn labels(&self) -> Option<&LabelSet<RsVector>> {
         match &self.inner.backing {
             Backing::Owned(l) => Some(l),
-            Backing::Archive(_) => None,
+            Backing::Archive(_) | Backing::Compressed(_) => None,
         }
     }
 
@@ -426,12 +483,12 @@ impl ConnectivityService {
         let vs = self
             .inner
             .backing
-            .vertex(s)
+            .vertex(s)?
             .ok_or(ServeError::VertexOutOfRange { v: s })?;
         let vt = self
             .inner
             .backing
-            .vertex(t)
+            .vertex(t)?
             .ok_or(ServeError::VertexOutOfRange { v: t })?;
         Ok(QuerySession::trivial_answer(&vs, &vt)?)
     }
@@ -482,11 +539,11 @@ impl ConnectivityService {
     ) -> Result<Vec<R>, ServeError> {
         let backing = &self.inner.backing;
         for &(u, v) in faults {
-            if !backing.has_edge(u, v) {
+            if !backing.has_edge(u, v)? {
                 return Err(ServeError::UnknownEdge { u, v });
             }
         }
-        let resolve = |v: usize| backing.vertex(v).ok_or(ServeError::VertexOutOfRange { v });
+        let resolve = |v: usize| backing.vertex(v)?.ok_or(ServeError::VertexOutOfRange { v });
         let mut out: Vec<Option<R>> = Vec::with_capacity(pairs.len());
         let mut nontrivial = Vec::new();
         for &(s, t) in pairs {
@@ -551,7 +608,7 @@ impl ConnectivityService {
     ) -> Result<R, ServeError> {
         let backing = &self.inner.backing;
         for &(u, v) in faults {
-            if !backing.has_edge(u, v) {
+            if !backing.has_edge(u, v)? {
                 return Err(ServeError::UnknownEdge { u, v });
             }
         }
@@ -631,6 +688,41 @@ mod tests {
         }
     }
 
+    fn torus_service_compressed(enc: EdgeEncoding) -> ConnectivityService {
+        let g = Graph::torus(3, 4);
+        let scheme = FtcScheme::build(&g, &Params::deterministic(2)).unwrap();
+        let blob = LabelStore::to_vec(scheme.labels(), enc);
+        let view = ftc_core::store::LabelStoreView::open(&blob).unwrap();
+        let store = ftc_core::compressed::compress_archive(&view);
+        ConnectivityService::from_compressed(store.view().unwrap())
+    }
+
+    #[test]
+    fn compressed_backing_answers_like_the_others() {
+        let owned = torus_service(None);
+        let compressed = torus_service_compressed(EdgeEncoding::Full);
+        assert!(compressed.is_compressed());
+        assert!(!owned.is_compressed());
+        assert_eq!(compressed.encoding(), Some(EdgeEncoding::Full));
+        assert!(compressed.labels().is_none());
+        let faults = [(0usize, 1usize), (0, 4)];
+        let pairs: Vec<(usize, usize)> =
+            (0..12).flat_map(|s| (0..12).map(move |t| (s, t))).collect();
+        assert_eq!(
+            owned.query(&faults, &pairs).unwrap(),
+            compressed.query(&faults, &pairs).unwrap()
+        );
+        // Error vocabulary matches too.
+        assert_eq!(
+            compressed.query(&[(0, 99)], &[(0, 1)]).unwrap_err(),
+            ServeError::UnknownEdge { u: 0, v: 99 }
+        );
+        assert!(matches!(
+            compressed.with_session_ids(&[999], |_| ()),
+            Err(ServeError::UnknownEdgeId { id: 999 })
+        ));
+    }
+
     #[test]
     fn all_backings_answer_identically() {
         let owned = torus_service(None);
@@ -697,8 +789,8 @@ mod tests {
         // first two edges as faults.
         let connected = svc
             .with_session_ids(&[0, 1], |served| {
-                assert!(served.vertex(0).is_some());
-                assert!(served.vertex(99).is_none());
+                assert!(served.vertex(0).unwrap().is_some());
+                assert!(served.vertex(99).unwrap().is_none());
                 served.certified(0, 7).unwrap().map(<[(u32, u32)]>::to_vec)
             })
             .unwrap();

@@ -3,10 +3,12 @@
 //!
 //! ```text
 //! ftc-cli build <graph.txt> <labels.ftc> [--f N] [--backend epsnet|greedy|sampling]
-//!               [--k N] [--encoding full|compact] [--threads N]
+//!               [--k N] [--encoding full|compact] [--threads N] [--compress]
 //! ftc-cli info  <labels.ftc>
 //! ftc-cli query <labels.ftc> <s> <t> [--fault U:V ...] [--pair S:T ...]
 //! ftc-cli serve <labels.ftc> [--threads N] [--tcp HOST:PORT] [--id NAME]
+//! ftc-cli compress   <labels.ftc> <labels.ftcz>
+//! ftc-cli decompress <labels.ftcz> <labels.ftc>
 //! ```
 //!
 //! `graph.txt` is an edge list: one `u v` pair per line (`#` comments
@@ -29,9 +31,18 @@
 //! time. With `--tcp HOST:PORT` the archive is served over the binary
 //! TCP protocol instead (registered under `--id`, default `default`)
 //! until SIGINT/SIGTERM drains in-flight requests.
+//!
+//! Every command accepts **both archive formats** transparently: the v1
+//! single blob and the v2 compressed container (`ftc::core::compressed`,
+//! built by `build --compress` or `compress`). Archives are opened
+//! memory-mapped where the platform allows; v2 archives open in
+//! O(header) time and decode sections lazily on first touch, and `info`
+//! reports the per-section raw/stored sizes and overall ratio straight
+//! from the section table without decoding any payload.
 
+use ftc::core::compressed::AnyArchive;
 use ftc::core::store::{EdgeEncoding, LabelStoreView};
-use ftc::core::{FtcScheme, HierarchyBackend, Params, ThresholdPolicy};
+use ftc::core::{FtcScheme, HierarchyBackend, Params, StoreOpenError, ThresholdPolicy};
 use ftc::graph::Graph;
 use ftc::net::server::{install_signal_shutdown, Server, ServerConfig};
 use ftc::net::text;
@@ -87,6 +98,8 @@ fn main() -> ExitCode {
         Some("info") => cmd_info(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("compress") => cmd_compress(&args[1..]),
+        Some("decompress") => cmd_decompress(&args[1..]),
         _ => Err(CliError::Usage),
     };
     match result {
@@ -102,7 +115,7 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str = "usage:\n  ftc-cli build <graph.txt> <labels.ftc> [--f N] [--backend epsnet|greedy|sampling] [--k N] [--encoding full|compact] [--threads N]\n  ftc-cli info  <labels.ftc>\n  ftc-cli query <labels.ftc> <s> <t> [--fault U:V ...] [--pair S:T ...]\n  ftc-cli serve <labels.ftc> [--threads N] [--tcp HOST:PORT] [--id NAME]   (queries `s t [u:v ...]` on stdin)";
+const USAGE: &str = "usage:\n  ftc-cli build <graph.txt> <labels.ftc> [--f N] [--backend epsnet|greedy|sampling] [--k N] [--encoding full|compact] [--threads N] [--compress]\n  ftc-cli info  <labels.ftc>\n  ftc-cli query <labels.ftc> <s> <t> [--fault U:V ...] [--pair S:T ...]\n  ftc-cli serve <labels.ftc> [--threads N] [--tcp HOST:PORT] [--id NAME]   (queries `s t [u:v ...]` on stdin)\n  ftc-cli compress   <labels.ftc> <labels.ftcz>\n  ftc-cli decompress <labels.ftcz> <labels.ftc>";
 
 // ---------------------------------------------------------------------------
 // build
@@ -147,18 +160,25 @@ fn cmd_build(args: &[String]) -> CliResult {
     // Stream the build straight into the archive: worker threads write
     // each label's payload into its final blob position, so the labeling
     // is never held twice in memory (the blob is byte-identical to
-    // build-then-serialize).
-    let (store, diag) = FtcScheme::builder(&g)
-        .params(&params)
-        .threads(threads)
-        .build_store(encoding)
-        .map_err(|e| e.to_string())?;
+    // build-then-serialize). With --compress, each level's rows run
+    // through the transform + entropy pipeline as soon as the level
+    // completes, and the v2 container is assembled at the end.
+    let builder = FtcScheme::builder(&g).params(&params).threads(threads);
+    let (bytes, diag, kind) = if flag_present(&flags, "compress") {
+        let (store, diag) = builder
+            .build_store_compressed(encoding)
+            .map_err(|e| e.to_string())?;
+        (store.into_vec(), diag, "compressed archive")
+    } else {
+        let (store, diag) = builder.build_store(encoding).map_err(|e| e.to_string())?;
+        (store.into_vec(), diag, "archive")
+    };
     eprintln!("labels built: k = {}, {} levels", diag.k, diag.levels);
 
-    fs::write(out_path, store.as_bytes()).map_err(|e| format!("cannot write {out_path}: {e}"))?;
+    fs::write(out_path, &bytes).map_err(|e| format!("cannot write {out_path}: {e}"))?;
     println!(
-        "wrote {} byte archive ({} vertices, {} edges) to {out_path}",
-        store.as_bytes().len(),
+        "wrote {} byte {kind} ({} vertices, {} edges) to {out_path}",
+        bytes.len(),
         g.n(),
         g.m()
     );
@@ -173,21 +193,83 @@ fn cmd_info(args: &[String]) -> CliResult {
     let [path] = args else {
         return Err(CliError::Usage);
     };
-    let blob = read_archive_bytes(path)?;
-    let view = LabelStoreView::open(&blob).map_err(|e| format!("{path}: {e}"))?;
-    let header = view.header();
-    let (k, levels) = view.edge_by_id(0).map_or((0, 0), |e| (e.k(), e.levels()));
-    print!(
-        "n {}\nm {}\nf {}\nk {k}\nlevels {levels}\nencoding {}\narchive_bytes {}\n",
-        view.n(),
-        view.m(),
-        header.f,
-        match view.encoding() {
-            EdgeEncoding::Full => "full",
-            EdgeEncoding::Compact => "compact",
-        },
-        view.archive_bytes()
+    let archive = open_any(path)?;
+    let header = archive.header();
+    let encoding = match archive.encoding() {
+        EdgeEncoding::Full => "full",
+        EdgeEncoding::Compact => "compact",
+    };
+    match archive {
+        AnyArchive::V1(view) => {
+            let (k, levels) = view.edge_by_id(0).map_or((0, 0), |e| (e.k(), e.levels()));
+            print!(
+                "n {}\nm {}\nf {}\nk {k}\nlevels {levels}\nencoding {encoding}\nformat v1\narchive_bytes {}\n",
+                view.n(),
+                view.m(),
+                header.f,
+                view.archive_bytes()
+            );
+        }
+        AnyArchive::V2(view) => {
+            // Everything below reads the prologue and section table only
+            // (O(header) on the mmap); no payload is decoded.
+            print!(
+                "n {}\nm {}\nf {}\nk {}\nlevels {}\nencoding {encoding}\nformat v2-compressed\narchive_bytes {}\nv1_bytes {}\nratio {:.2}\n",
+                view.n(),
+                view.m(),
+                header.f,
+                view.k(),
+                view.levels(),
+                view.archive_bytes(),
+                view.v1_len(),
+                view.v1_len() as f64 / view.archive_bytes() as f64,
+            );
+            for s in view.sections() {
+                let name = match s.level {
+                    Some(level) => format!("{}[{level}]", s.kind.name()),
+                    None => s.kind.name().to_string(),
+                };
+                println!("section {name} raw {} stored {}", s.raw_len, s.comp_len);
+            }
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// compress / decompress
+// ---------------------------------------------------------------------------
+
+/// Transcodes a v1 archive into the v2 compressed container. The
+/// conversion is lossless: `decompress` recovers the v1 blob
+/// byte-identically.
+fn cmd_compress(args: &[String]) -> CliResult {
+    let [in_path, out_path] = args else {
+        return Err(CliError::Usage);
+    };
+    let blob = read_archive_bytes(in_path)?;
+    let view = LabelStoreView::open(&blob).map_err(|e| format!("{in_path}: {e}"))?;
+    let store = ftc::core::compressed::compress_archive(&view);
+    fs::write(out_path, store.as_bytes()).map_err(|e| format!("cannot write {out_path}: {e}"))?;
+    println!(
+        "wrote {} byte compressed archive ({:.2}x) to {out_path}",
+        store.as_bytes().len(),
+        blob.len() as f64 / store.as_bytes().len() as f64
     );
+    Ok(())
+}
+
+/// Expands a v2 compressed container back to the byte-identical v1 blob.
+fn cmd_decompress(args: &[String]) -> CliResult {
+    let [in_path, out_path] = args else {
+        return Err(CliError::Usage);
+    };
+    let AnyArchive::V2(view) = open_any(in_path)? else {
+        return Err(format!("{in_path}: already a v1 archive").into());
+    };
+    let blob = view.to_v1_vec().map_err(|e| format!("{in_path}: {e}"))?;
+    fs::write(out_path, &blob).map_err(|e| format!("cannot write {out_path}: {e}"))?;
+    println!("wrote {} byte archive to {out_path}", blob.len());
     Ok(())
 }
 
@@ -356,10 +438,22 @@ fn read_archive_bytes(path: &str) -> Result<Vec<u8>, String> {
     fs::read(path).map_err(|e| format!("cannot read archive {path}: {e}"))
 }
 
-/// Opens an archive file as a shared, thread-safe connectivity service.
+/// Opens an archive file of either format, memory-mapped where the
+/// platform allows, with CLI-shaped error messages.
+fn open_any(path: &str) -> Result<AnyArchive, String> {
+    ftc::core::compressed::open_path(path).map_err(|e| match e {
+        StoreOpenError::Io(err) => format!("cannot read archive {path}: {err}"),
+        StoreOpenError::Malformed(e) => format!("{path}: {e}"),
+    })
+}
+
+/// Opens an archive file as a shared, thread-safe connectivity service
+/// (either format, memory-mapped).
 fn open_service(path: &str) -> Result<ConnectivityService, String> {
-    let blob = read_archive_bytes(path)?;
-    ConnectivityService::from_archive_bytes(blob).map_err(|e| format!("{path}: {e}"))
+    ConnectivityService::open_path(path).map_err(|e| match e {
+        StoreOpenError::Io(err) => format!("cannot read archive {path}: {err}"),
+        StoreOpenError::Malformed(e) => format!("{path}: {e}"),
+    })
 }
 
 /// Parses a `U:V` endpoint pair (shared `ftc::net::text` syntax, with
@@ -371,12 +465,19 @@ fn parse_colon_pair(what: &str, spec: &str) -> Result<(usize, usize), String> {
 /// Parsed command line: positional arguments and `--name value` flags.
 type ParsedArgs = (Vec<String>, Vec<(String, String)>);
 
+/// Flags that take no value; they parse to a `("name", "")` entry.
+const BOOL_FLAGS: &[&str] = &["compress"];
+
 fn split_flags(args: &[String]) -> Result<ParsedArgs, String> {
     let mut positional = Vec::new();
     let mut flags = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         if let Some(name) = a.strip_prefix("--") {
+            if BOOL_FLAGS.contains(&name) {
+                flags.push((name.to_string(), String::new()));
+                continue;
+            }
             let value = it.next().ok_or(format!("--{name} expects a value"))?;
             flags.push((name.to_string(), value.clone()));
         } else {
@@ -384,6 +485,10 @@ fn split_flags(args: &[String]) -> Result<ParsedArgs, String> {
         }
     }
     Ok((positional, flags))
+}
+
+fn flag_present(flags: &[(String, String)], name: &str) -> bool {
+    flags.iter().any(|(k, _)| k == name)
 }
 
 fn flag_value(flags: &[(String, String)], name: &str) -> Option<String> {

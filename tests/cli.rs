@@ -174,6 +174,86 @@ fn compact_archives_round_trip_and_undercut_full() {
     let _ = fs::remove_dir_all(&dir);
 }
 
+/// `build --compress`, `compress`, and `decompress` round-trip through
+/// the v2 container: the streamed build matches the transcode
+/// byte-for-byte, `decompress` recovers the v1 blob exactly, and
+/// `info`/`query` work on the compressed archive directly.
+#[test]
+fn compressed_archives_round_trip() {
+    let dir = std::env::temp_dir().join(format!("ftc_cli_compress_{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    let graph_file = dir.join("cycle6.txt");
+    fs::write(&graph_file, "0 1\n1 2\n2 3\n3 4\n4 5\n5 0\n").unwrap();
+    let graph = graph_file.to_str().unwrap();
+    let v1 = dir.join("labels.ftc");
+    let v2 = dir.join("labels.ftcz");
+    let v2b = dir.join("transcoded.ftcz");
+    let back = dir.join("back.ftc");
+
+    assert!(run(&["build", graph, v1.to_str().unwrap(), "--f", "2"]).0);
+    let (ok, stdout, stderr) = run(&[
+        "build",
+        graph,
+        v2.to_str().unwrap(),
+        "--f",
+        "2",
+        "--compress",
+    ]);
+    assert!(ok, "build --compress failed: {stderr}");
+    assert!(stdout.contains("compressed archive"), "stdout: {stdout}");
+    assert!(
+        fs::metadata(&v2).unwrap().len() < fs::metadata(&v1).unwrap().len(),
+        "compressed archive should undercut v1"
+    );
+
+    // Streamed compressed build == transcoded v1, byte for byte.
+    assert!(run(&["compress", v1.to_str().unwrap(), v2b.to_str().unwrap()]).0);
+    assert_eq!(fs::read(&v2).unwrap(), fs::read(&v2b).unwrap());
+
+    // decompress recovers the original blob exactly.
+    assert!(run(&["decompress", v2.to_str().unwrap(), back.to_str().unwrap()]).0);
+    assert_eq!(fs::read(&v1).unwrap(), fs::read(&back).unwrap());
+
+    // info reports the section table and ratio without decoding.
+    let (ok, stdout, _) = run(&["info", v2.to_str().unwrap()]);
+    assert!(ok);
+    assert!(stdout.contains("format v2-compressed"), "stdout: {stdout}");
+    assert!(stdout.contains("ratio "));
+    assert!(stdout.contains("section level-rows[0]"));
+
+    // Queries answer identically from either format.
+    for archive in [&v1, &v2] {
+        let (ok, stdout, _) = run(&[
+            "query",
+            archive.to_str().unwrap(),
+            "1",
+            "4",
+            "--fault",
+            "0:1",
+            "--fault",
+            "3:4",
+        ]);
+        assert!(ok);
+        assert_eq!(stdout.trim(), "disconnected");
+    }
+
+    // Corrupt section payloads surface as typed errors at query time.
+    let mut bytes = fs::read(&v2).unwrap();
+    let at = bytes.len() - 10;
+    bytes[at] ^= 0xFF;
+    let bad = dir.join("bad.ftcz");
+    fs::write(&bad, &bytes).unwrap();
+    let (ok, _, stderr) = run(&["query", bad.to_str().unwrap(), "1", "4", "--fault", "0:1"]);
+    assert!(!ok);
+    assert!(
+        stderr.contains("corrupt") || stderr.contains("checksum") || stderr.contains("byte"),
+        "stderr: {stderr}"
+    );
+
+    let _ = fs::remove_dir_all(&dir);
+}
+
 /// `serve` answers line-delimited stdin queries in order — identically
 /// in streaming mode and in `--threads N` batch mode.
 #[test]

@@ -165,6 +165,101 @@ proptest! {
     }
 }
 
+// The v2 compressed container is held to the same standard as the v1
+// blob: transcoding is the identity, the rANS entropy stage is a lossless
+// round trip over arbitrary byte distributions, and damaged archives
+// fail with located errors at open or first section touch — never a
+// panic, never an out-of-bounds offset.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// rANS encode∘decode is the identity for any input, from uniform
+    /// random bytes to heavily skewed alphabets; corrupt streams never
+    /// panic and report in-bounds offsets.
+    #[test]
+    fn rans_round_trips_arbitrary_distributions(
+        data in proptest::collection::vec(any::<u8>(), 0..2048),
+        alphabet_bits in 1u32..=8,
+        flip_at in any::<usize>(),
+        flip in 1u8..,
+    ) {
+        // Masking skews the distribution: 1 bit ≈ binary stream, 8 bits
+        // ≈ uniform bytes.
+        let mask = (1u16 << alphabet_bits) - 1;
+        let data: Vec<u8> = data.iter().map(|&b| b & mask as u8).collect();
+        let coded = ftc::compress::rans::encode(&data);
+        prop_assert_eq!(
+            ftc::compress::rans::decode(&coded, data.len()).unwrap(),
+            data.clone()
+        );
+        // Wrong claimed lengths and damaged streams are rejected or
+        // decode to the claimed length — never a panic.
+        if let Err(e) = ftc::compress::rans::decode(&coded, data.len() + 1) {
+            prop_assert!(e.offset <= coded.len());
+        }
+        for cut in (0..coded.len()).step_by(11) {
+            if let Err(e) = ftc::compress::rans::decode(&coded[..cut], data.len()) {
+                prop_assert!(e.offset <= cut);
+            }
+        }
+        if !coded.is_empty() {
+            let mut bad = coded.clone();
+            let at = flip_at % bad.len();
+            bad[at] ^= flip;
+            match ftc::compress::rans::decode(&bad, data.len()) {
+                Ok(out) => prop_assert_eq!(out.len(), data.len()),
+                Err(e) => prop_assert!(e.offset <= bad.len()),
+            }
+        }
+    }
+
+    /// v1 → v2 → v1 transcoding is byte-identical on random labelings in
+    /// both encodings, and every truncation or bit flip of the v2 bytes
+    /// fails at open or at first section touch with an in-bounds offset.
+    #[test]
+    fn v2_transcode_is_identity_and_damage_is_detected(
+        seed in any::<u64>(),
+        compact in any::<bool>(),
+        corrupt_at in any::<usize>(),
+        flip in 1u8..,
+    ) {
+        use ftc::core::compressed::{compress_archive, CompressedStoreView};
+
+        let g = generators::random_connected(10, 6, seed);
+        let scheme = FtcScheme::build(&g, &Params::deterministic(2)).unwrap();
+        let encoding = if compact { EdgeEncoding::Compact } else { EdgeEncoding::Full };
+        let blob = LabelStore::to_vec(scheme.labels(), encoding);
+        let v1 = LabelStoreView::open(&blob).unwrap();
+        let store = compress_archive(&v1);
+        let v2_bytes = store.as_bytes().to_vec();
+
+        // Transcode identity.
+        let view = CompressedStoreView::open(v2_bytes.clone()).unwrap();
+        prop_assert_eq!(view.to_v1_vec().unwrap(), blob);
+
+        // Every truncation fails at open (the section table pins the
+        // total length) with an offset inside the original buffer.
+        for cut in (0..v2_bytes.len()).step_by(13).chain([v2_bytes.len() - 1]) {
+            let err = CompressedStoreView::open(v2_bytes[..cut].to_vec()).unwrap_err();
+            prop_assert!(err.offset <= v2_bytes.len());
+        }
+
+        // A bit flip is caught at open (prologue/table damage) or at
+        // first touch of the damaged section (lazy checksum) — never a
+        // panic, and full reconstruction surfaces it too.
+        let mut bad = v2_bytes.clone();
+        let at = corrupt_at % bad.len();
+        bad[at] ^= flip;
+        match CompressedStoreView::open(bad.clone()) {
+            Err(e) => prop_assert!(e.offset <= bad.len()),
+            Ok(view) => {
+                let err = view.to_v1_vec().expect_err("flip must be detected");
+                prop_assert!(err.offset <= bad.len());
+            }
+        }
+    }
+}
+
 #[test]
 fn tampered_bytes_do_not_panic() {
     let g = Graph::cycle(5);
@@ -300,7 +395,7 @@ proptest! {
     #[test]
     fn net_error_response_round_trips(
         request_id in any::<u64>(),
-        code_raw in 1u8..=7,
+        code_raw in 1u8..=8,
         msg_seed in any::<u64>(),
     ) {
         let code = netproto::ErrorCode::from_u8(code_raw).unwrap();
