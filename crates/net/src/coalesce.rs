@@ -26,11 +26,25 @@
 //! fails the *batch* only because another request contributed a
 //! non-trivial pair; retried alone, an all-trivial request still
 //! succeeds, exactly as if it had never been coalesced).
+//!
+//! # Overload and failure discipline
+//!
+//! The coalescer **sheds instead of queueing**: when the number of open
+//! batches reaches `max_inflight`, or a submission's deadline expires
+//! before its batch can execute, the request fails fast with
+//! [`SubmitError::Overloaded`] — the wire maps it to
+//! `ErrorCode::Overloaded`, which clients know is retryable. A leader
+//! that *panics* mid-execution publishes a poisoned outcome before the
+//! panic resumes, so waiters never hang on a dead batch; they fall back
+//! to solo queries exactly as for a batch-level error.
 
 use ftc_serve::{ConnectivityService, ServeError};
 use std::collections::HashMap;
+use std::fmt;
+use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
 
 /// What a request coalesces on: the target graph and its fault set,
 /// normalized (per-pair min/max order, sorted, deduplicated) so that
@@ -41,11 +55,26 @@ struct Key {
     faults: Arc<[(usize, usize)]>,
 }
 
+/// How a batch ended, as published to its waiters.
+#[derive(Clone)]
+enum Outcome {
+    /// Answers for every pair in the batch, in join order.
+    Done(Arc<[bool]>),
+    /// The batch query failed as a whole; waiters retry solo.
+    Failed,
+    /// The batch was shed before executing (its leader's deadline
+    /// expired while queued behind another batch).
+    Shed,
+    /// The leader panicked mid-execution. Waiters must not inherit the
+    /// panic; they retry solo like a batch-level failure.
+    Poisoned,
+}
+
 struct BatchState {
     pairs: Vec<(usize, usize)>,
     /// `None` until the leader publishes; shared so every waiter slices
     /// its own answers out without copying the batch.
-    result: Option<Result<Arc<[bool]>, ServeError>>,
+    result: Option<Outcome>,
 }
 
 struct Batch {
@@ -73,19 +102,54 @@ pub struct CoalesceStats {
     pub batches: u64,
     /// Pairs answered.
     pub pairs: u64,
+    /// Requests shed with [`SubmitError::Overloaded`] (inflight cap hit
+    /// or deadline expired before execution).
+    pub shed: u64,
+}
+
+/// Why a submission did not produce answers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The request was shed without executing — the coalescer is at its
+    /// inflight cap or the request's deadline expired while queued.
+    /// Safe (and expected) to retry after backoff.
+    Overloaded,
+    /// The request's own error, with exact solo-query semantics.
+    Serve(ServeError),
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::Overloaded => f.write_str("request shed: coalescer overloaded"),
+            SubmitError::Serve(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+impl From<ServeError> for SubmitError {
+    fn from(e: ServeError) -> SubmitError {
+        SubmitError::Serve(e)
+    }
 }
 
 /// The coalescing queue shared by every connection of one server.
 pub struct Coalescer {
     enabled: bool,
+    /// Open-batch ceiling; `0` = unbounded.
+    max_inflight: usize,
     keys: Mutex<HashMap<Key, KeyState>>,
     /// Signaled whenever a key finishes executing (its next leader may
     /// take a turn).
     turn: Condvar,
+    open: AtomicU64,
     requests: AtomicU64,
     coalesced: AtomicU64,
     batches: AtomicU64,
     pairs: AtomicU64,
+    shed: AtomicU64,
 }
 
 enum Role {
@@ -93,18 +157,38 @@ enum Role {
     Follower,
 }
 
+/// Releases an open-batch slot on drop, so the count stays correct even
+/// when the batch query panics and unwinds through `submit_with`.
+struct SlotGuard<'a>(&'a Coalescer);
+
+impl Drop for SlotGuard<'_> {
+    fn drop(&mut self) {
+        self.0.open.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
 impl Coalescer {
     /// A coalescer; `enabled = false` degrades to one session per
-    /// request (the comparison arm of `ftc-loadgen`).
+    /// request (the comparison arm of `ftc-loadgen`). Unbounded.
     pub fn new(enabled: bool) -> Coalescer {
+        Coalescer::with_max_inflight(enabled, 0)
+    }
+
+    /// A coalescer that sheds new batches beyond `max_inflight` open
+    /// ones (`0` = unbounded). Joining an already-open batch is always
+    /// allowed — piling pairs onto a batch adds no session builds.
+    pub fn with_max_inflight(enabled: bool, max_inflight: usize) -> Coalescer {
         Coalescer {
             enabled,
+            max_inflight,
             keys: Mutex::new(HashMap::new()),
             turn: Condvar::new(),
+            open: AtomicU64::new(0),
             requests: AtomicU64::new(0),
             coalesced: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             pairs: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
         }
     }
 
@@ -120,6 +204,7 @@ impl Coalescer {
             coalesced: self.coalesced.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
             pairs: self.pairs.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
         }
     }
 
@@ -129,26 +214,96 @@ impl Coalescer {
         self.keys.lock().unwrap_or_else(|e| e.into_inner())
     }
 
+    fn try_open_slot(&self) -> Option<SlotGuard<'_>> {
+        if self.max_inflight == 0 {
+            self.open.fetch_add(1, Ordering::Relaxed);
+            return Some(SlotGuard(self));
+        }
+        let mut cur = self.open.load(Ordering::Relaxed);
+        loop {
+            if cur >= self.max_inflight as u64 {
+                return None;
+            }
+            match self.open.compare_exchange_weak(
+                cur,
+                cur + 1,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return Some(SlotGuard(self)),
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    fn shed<T>(&self) -> Result<T, SubmitError> {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+        Err(SubmitError::Overloaded)
+    }
+
     /// Answers `pairs` under `faults` on `service`, coalescing with
     /// concurrent submissions that share the same graph + fault set.
     /// Answers come back in `pairs` order with solo-request semantics.
     ///
     /// # Errors
     ///
-    /// Exactly the errors [`ConnectivityService::query`] would raise for
-    /// this request alone.
+    /// [`SubmitError::Serve`] carrying exactly the error
+    /// [`ConnectivityService::query`] would raise for this request
+    /// alone; [`SubmitError::Overloaded`] when the request was shed.
     pub fn submit(
         &self,
         service: &ConnectivityService,
         graph: &str,
         faults: &[(usize, usize)],
         pairs: &[(usize, usize)],
-    ) -> Result<Vec<bool>, ServeError> {
+    ) -> Result<Vec<bool>, SubmitError> {
+        self.submit_deadline(service, graph, faults, pairs, None)
+    }
+
+    /// [`submit`](Coalescer::submit) with a request deadline: a request
+    /// still queued (joined or leading a not-yet-executed batch) when
+    /// `deadline` passes is shed with [`SubmitError::Overloaded`].
+    pub fn submit_deadline(
+        &self,
+        service: &ConnectivityService,
+        graph: &str,
+        faults: &[(usize, usize)],
+        pairs: &[(usize, usize)],
+        deadline: Option<Instant>,
+    ) -> Result<Vec<bool>, SubmitError> {
+        self.submit_with(graph, faults, pairs, deadline, |faults, pairs| {
+            service.query(faults, pairs).map(|a| a.into_vec())
+        })
+    }
+
+    /// The full coalescing engine, generic over the batch query so tests
+    /// can inject failures (including panics) at exactly the
+    /// batch-execution point. `query` is called once per executed batch
+    /// with the normalized fault set and the batch's combined pairs, and
+    /// again (per request, with that request's own pairs) for the solo
+    /// fallback after a batch-level failure.
+    pub fn submit_with<F>(
+        &self,
+        graph: &str,
+        faults: &[(usize, usize)],
+        pairs: &[(usize, usize)],
+        deadline: Option<Instant>,
+        query: F,
+    ) -> Result<Vec<bool>, SubmitError>
+    where
+        F: Fn(&[(usize, usize)], &[(usize, usize)]) -> Result<Vec<bool>, ServeError>,
+    {
         self.requests.fetch_add(1, Ordering::Relaxed);
         self.pairs.fetch_add(pairs.len() as u64, Ordering::Relaxed);
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            return self.shed();
+        }
         if !self.enabled {
+            let Some(_slot) = self.try_open_slot() else {
+                return self.shed();
+            };
             self.batches.fetch_add(1, Ordering::Relaxed);
-            return service.query(faults, pairs).map(|a| a.into_vec());
+            return Ok(query(faults, pairs)?);
         }
 
         let mut norm: Vec<(usize, usize)> =
@@ -160,7 +315,7 @@ impl Coalescer {
             faults: norm.into(),
         };
 
-        let (role, batch, start) = {
+        let (role, batch, start, _slot) = {
             let mut keys = self.keys();
             let entry = keys.entry(key.clone()).or_default();
             match &entry.pending {
@@ -174,9 +329,18 @@ impl Coalescer {
                     state.pairs.extend_from_slice(pairs);
                     drop(state);
                     self.coalesced.fetch_add(1, Ordering::Relaxed);
-                    (Role::Follower, open, start)
+                    (Role::Follower, open, start, None)
                 }
                 None => {
+                    // A new batch needs an open slot; at the cap we shed
+                    // rather than queue.
+                    let Some(slot) = self.try_open_slot() else {
+                        if !entry.executing && entry.pending.is_none() {
+                            keys.remove(&key);
+                        }
+                        drop(keys);
+                        return self.shed();
+                    };
                     let batch = Arc::new(Batch {
                         state: Mutex::new(BatchState {
                             pairs: pairs.to_vec(),
@@ -185,42 +349,103 @@ impl Coalescer {
                         done: Condvar::new(),
                     });
                     entry.pending = Some(batch.clone());
-                    (Role::Leader, batch, 0)
+                    (Role::Leader, batch, 0, Some(slot))
                 }
             }
         };
 
-        let result = match role {
+        let outcome = match role {
             Role::Follower => {
                 let mut state = batch.state.lock().unwrap_or_else(|e| e.into_inner());
-                while state.result.is_none() {
-                    state = batch.done.wait(state).unwrap_or_else(|e| e.into_inner());
+                loop {
+                    if let Some(out) = state.result.clone() {
+                        break out;
+                    }
+                    match deadline {
+                        None => {
+                            state = batch.done.wait(state).unwrap_or_else(|e| e.into_inner());
+                        }
+                        Some(d) => {
+                            let now = Instant::now();
+                            if now >= d {
+                                // Abandon the wait; the batch may still
+                                // execute with our pairs, but nobody is
+                                // listening for these answers.
+                                drop(state);
+                                return self.shed();
+                            }
+                            state = batch
+                                .done
+                                .wait_timeout(state, d - now)
+                                .unwrap_or_else(|e| e.into_inner())
+                                .0;
+                        }
+                    }
                 }
-                state.result.clone().expect("published batch result")
             }
-            Role::Leader => self.lead(service, &key, &batch),
+            Role::Leader => self.lead(&key, &batch, deadline, &query),
         };
 
-        match result {
-            Ok(all) => Ok(all[start..start + pairs.len()].to_vec()),
-            // The batch failed as a whole; retry alone so this request
-            // gets exactly its solo outcome (success or *its own* error).
-            Err(_) => service.query(&key.faults, pairs).map(|a| a.into_vec()),
+        match outcome {
+            Outcome::Done(all) => Ok(all[start..start + pairs.len()].to_vec()),
+            Outcome::Shed => self.shed(),
+            // The batch failed (or its leader panicked) as a whole;
+            // retry alone so this request gets exactly its solo outcome
+            // (success or *its own* error).
+            Outcome::Failed | Outcome::Poisoned => Ok(query(&key.faults, pairs)?),
         }
     }
 
     /// Leader duty: wait for the key's turn, close the batch, execute it
-    /// once, publish the result, pass the turn on.
-    fn lead(
+    /// once, publish the outcome, pass the turn on. Publication happens
+    /// on **every** exit path — normal, error, deadline shed, and panic
+    /// (the unwind is caught, the batch poisoned, then resumed) — so a
+    /// waiter can never hang on a batch whose leader is gone.
+    fn lead<F>(
         &self,
-        service: &ConnectivityService,
         key: &Key,
         batch: &Arc<Batch>,
-    ) -> Result<Arc<[bool]>, ServeError> {
+        deadline: Option<Instant>,
+        query: &F,
+    ) -> Outcome
+    where
+        F: Fn(&[(usize, usize)], &[(usize, usize)]) -> Result<Vec<bool>, ServeError>,
+    {
         {
             let mut keys = self.keys();
             while keys.get(key).is_some_and(|e| e.executing) {
-                keys = self.turn.wait(keys).unwrap_or_else(|e| e.into_inner());
+                match deadline {
+                    None => {
+                        keys = self.turn.wait(keys).unwrap_or_else(|e| e.into_inner());
+                    }
+                    Some(d) => {
+                        let now = Instant::now();
+                        if now >= d {
+                            // Shed the whole batch: it never executed,
+                            // so every member may safely retry.
+                            if let Some(entry) = keys.get_mut(key) {
+                                if entry
+                                    .pending
+                                    .as_ref()
+                                    .is_some_and(|p| Arc::ptr_eq(p, batch))
+                                {
+                                    entry.pending = None;
+                                }
+                                if !entry.executing && entry.pending.is_none() {
+                                    keys.remove(key);
+                                }
+                            }
+                            drop(keys);
+                            self.publish(batch, Outcome::Shed);
+                            return Outcome::Shed;
+                        }
+                        keys = self
+                            .turn
+                            .wait_timeout(keys, d - now)
+                            .unwrap_or_else(|e| e.into_inner())
+                            .0;
+                    }
+                }
             }
             let entry = keys.get_mut(key).expect("leader's key entry");
             entry.executing = true;
@@ -233,29 +458,38 @@ impl Coalescer {
             let mut state = batch.state.lock().unwrap_or_else(|e| e.into_inner());
             std::mem::take(&mut state.pairs)
         };
-        let result: Result<Arc<[bool]>, ServeError> = service
-            .query(&key.faults, &batch_pairs)
-            .map(|a| a.into_vec().into());
         self.batches.fetch_add(1, Ordering::Relaxed);
+        let result = panic::catch_unwind(AssertUnwindSafe(|| query(&key.faults, &batch_pairs)));
 
-        {
-            let mut state = batch.state.lock().unwrap_or_else(|e| e.into_inner());
-            state.result = Some(result.clone());
-            batch.done.notify_all();
-        }
-        {
-            let mut keys = self.keys();
-            let idle = {
-                let entry = keys.get_mut(key).expect("leader's key entry");
-                entry.executing = false;
-                entry.pending.is_none()
-            };
-            if idle {
+        let outcome = match result {
+            Ok(Ok(answers)) => Outcome::Done(answers.into()),
+            Ok(Err(_)) => Outcome::Failed,
+            Err(payload) => {
+                self.publish(batch, Outcome::Poisoned);
+                self.finish_key(key);
+                panic::resume_unwind(payload);
+            }
+        };
+        self.publish(batch, outcome.clone());
+        self.finish_key(key);
+        outcome
+    }
+
+    fn publish(&self, batch: &Batch, outcome: Outcome) {
+        let mut state = batch.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.result = Some(outcome);
+        batch.done.notify_all();
+    }
+
+    fn finish_key(&self, key: &Key) {
+        let mut keys = self.keys();
+        if let Some(entry) = keys.get_mut(key) {
+            entry.executing = false;
+            if entry.pending.is_none() {
                 keys.remove(key); // don't let dead keys grow the map
             }
-            self.turn.notify_all();
         }
-        result
+        self.turn.notify_all();
     }
 }
 
@@ -264,7 +498,9 @@ mod tests {
     use super::*;
     use ftc_core::{FtcScheme, Params};
     use ftc_graph::Graph;
+    use std::sync::atomic::AtomicBool;
     use std::sync::Barrier;
+    use std::time::Duration;
 
     fn service() -> ConnectivityService {
         let g = Graph::torus(3, 4);
@@ -287,6 +523,7 @@ mod tests {
             assert_eq!(stats.batches, 1);
             assert_eq!(stats.coalesced, 0);
             assert_eq!(stats.pairs, pairs.len() as u64);
+            assert_eq!(stats.shed, 0);
         }
     }
 
@@ -309,7 +546,7 @@ mod tests {
         let co = Coalescer::new(true);
         assert_eq!(
             co.submit(&svc, "g", &[(0, 99)], &[(0, 1)]).unwrap_err(),
-            ServeError::UnknownEdge { u: 0, v: 99 }
+            SubmitError::Serve(ServeError::UnknownEdge { u: 0, v: 99 })
         );
         // Over-budget faults with an all-trivial request still succeed
         // (the solo-semantics contract the fallback preserves).
@@ -360,5 +597,193 @@ mod tests {
             "every request is either a leader or coalesced"
         );
         assert!(stats.coalesced > 0, "no coalescing happened: {stats:?}");
+    }
+
+    /// Satellite: a leader that panics while executing must release the
+    /// key so queued leaders take their turn instead of hanging forever.
+    #[test]
+    fn executing_leader_panic_releases_queued_batches() {
+        let svc = service();
+        let co = Coalescer::new(true);
+        let panic_armed = AtomicBool::new(true);
+        let faults = [(0usize, 1usize)];
+        let want = svc.query(&faults, &[(0, 7)]).unwrap().into_vec();
+
+        std::thread::scope(|s| {
+            let leader = s.spawn(|| {
+                // This submission leads the first batch; its query waits
+                // until a second batch is queued behind it, then dies.
+                co.submit_with(
+                    "g",
+                    &faults,
+                    &[(0, 7)],
+                    None,
+                    |_, _| -> Result<Vec<bool>, ServeError> {
+                        while co.stats().coalesced < 1 {
+                            std::thread::yield_now();
+                        }
+                        panic!("injected leader failure");
+                    },
+                )
+            });
+            // Wait until the leader is executing (its query is live and
+            // spinning), then queue a second batch behind it.
+            while co.stats().batches < 1 {
+                std::thread::yield_now();
+            }
+            let queued: Vec<_> = (0..2)
+                .map(|_| {
+                    s.spawn(|| {
+                        co.submit_with("g", &faults, &[(0, 7)], None, |f, p| {
+                            svc.query(f, p).map(|a| a.into_vec())
+                        })
+                    })
+                })
+                .collect();
+            let _ = panic_armed; // leader panics exactly once by design
+            for t in queued {
+                // Neither queued submission may hang or inherit the
+                // panic; both answer correctly once the key is released.
+                assert_eq!(t.join().expect("no inherited panic").unwrap(), want);
+            }
+            assert!(leader.join().is_err(), "leader must re-raise its panic");
+        });
+    }
+
+    /// Satellite: followers of the panicked batch itself fall back to
+    /// solo queries via the poisoned outcome instead of hanging.
+    #[test]
+    fn poisoned_batch_waiters_fall_back_to_solo_queries() {
+        let svc = service();
+        let co = Coalescer::new(true);
+        let faults = [(0usize, 1usize)];
+        let want = svc.query(&faults, &[(3, 9)]).unwrap().into_vec();
+        // Arms exactly one panic: whichever of the two queued
+        // submissions ends up leading their shared batch dies; the
+        // other observes Poisoned and recovers solo.
+        let panic_once = AtomicBool::new(false);
+
+        std::thread::scope(|s| {
+            let gate_open = s.spawn(|| {
+                co.submit_with(
+                    "g",
+                    &faults,
+                    &[(0, 7)],
+                    None,
+                    |f, p| -> Result<Vec<bool>, ServeError> {
+                        // Hold the key until both newcomers are queued on
+                        // the pending batch (leader + one coalesced).
+                        while co.stats().coalesced < 1 {
+                            std::thread::yield_now();
+                        }
+                        panic_once.store(true, Ordering::SeqCst);
+                        svc.query(f, p).map(|a| a.into_vec())
+                    },
+                )
+            });
+            while co.stats().batches < 1 {
+                std::thread::yield_now();
+            }
+            let contenders: Vec<_> = (0..2)
+                .map(|_| {
+                    s.spawn(|| {
+                        co.submit_with("g", &faults, &[(3, 9)], None, |f, p| {
+                            if panic_once.swap(false, Ordering::SeqCst) {
+                                panic!("injected batch-leader failure");
+                            }
+                            svc.query(f, p).map(|a| a.into_vec())
+                        })
+                    })
+                })
+                .collect();
+            assert!(gate_open.join().expect("gate leader ok").is_ok());
+            let results: Vec<_> = contenders.into_iter().map(|t| t.join()).collect();
+            let panicked = results.iter().filter(|r| r.is_err()).count();
+            assert_eq!(panicked, 1, "exactly one contender leads and panics");
+            for r in results.into_iter().flatten() {
+                assert_eq!(r.unwrap(), want, "survivor recovers via solo retry");
+            }
+        });
+    }
+
+    #[test]
+    fn inflight_cap_sheds_new_batches() {
+        let svc = service();
+        let co = Coalescer::with_max_inflight(true, 1);
+        let release = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            let slow = s.spawn(|| {
+                co.submit_with(
+                    "g",
+                    &[(0usize, 1usize)],
+                    &[(0, 7)],
+                    None,
+                    |f, p| -> Result<Vec<bool>, ServeError> {
+                        while !release.load(Ordering::SeqCst) {
+                            std::thread::yield_now();
+                        }
+                        svc.query(f, p).map(|a| a.into_vec())
+                    },
+                )
+            });
+            while co.stats().batches < 1 {
+                std::thread::yield_now();
+            }
+            // A different key needs a new batch: over the cap, shed.
+            assert_eq!(
+                co.submit(&svc, "g", &[(0, 4)], &[(1, 2)]).unwrap_err(),
+                SubmitError::Overloaded
+            );
+            assert_eq!(co.stats().shed, 1);
+            release.store(true, Ordering::SeqCst);
+            assert!(slow.join().unwrap().is_ok());
+        });
+        // Capacity freed: the same submission now succeeds.
+        assert!(co.submit(&svc, "g", &[(0, 4)], &[(1, 2)]).is_ok());
+    }
+
+    #[test]
+    fn deadlines_shed_queued_submissions() {
+        let svc = service();
+        let co = Coalescer::new(true);
+        // Already-expired deadline: shed before any work.
+        let past = Instant::now() - Duration::from_millis(1);
+        assert_eq!(
+            co.submit_deadline(&svc, "g", &[(0, 1)], &[(0, 7)], Some(past))
+                .unwrap_err(),
+            SubmitError::Overloaded
+        );
+
+        // A queued leader whose deadline passes while another batch
+        // executes sheds its whole batch instead of waiting forever.
+        let release = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            let slow = s.spawn(|| {
+                co.submit_with(
+                    "g",
+                    &[(0usize, 1usize)],
+                    &[(0, 7)],
+                    None,
+                    |f, p| -> Result<Vec<bool>, ServeError> {
+                        while !release.load(Ordering::SeqCst) {
+                            std::thread::yield_now();
+                        }
+                        svc.query(f, p).map(|a| a.into_vec())
+                    },
+                )
+            });
+            while co.stats().batches < 1 {
+                std::thread::yield_now();
+            }
+            let deadline = Instant::now() + Duration::from_millis(40);
+            assert_eq!(
+                co.submit_deadline(&svc, "g", &[(0, 1)], &[(3, 9)], Some(deadline))
+                    .unwrap_err(),
+                SubmitError::Overloaded
+            );
+            release.store(true, Ordering::SeqCst);
+            assert!(slow.join().unwrap().is_ok());
+        });
+        assert_eq!(co.stats().shed, 2);
     }
 }

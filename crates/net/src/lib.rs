@@ -29,6 +29,7 @@
 //! The `ftc-server` and `ftc-loadgen` binaries live in this crate; see
 //! the workspace README for a quickstart.
 
+pub mod chaos;
 pub mod client;
 pub mod coalesce;
 pub mod histogram;
@@ -36,8 +37,9 @@ pub mod proto;
 pub mod server;
 pub mod text;
 
-pub use client::{Client, ClientError};
-pub use coalesce::{CoalesceStats, Coalescer};
+pub use chaos::{ChaosConfig, ChaosProxy, ChaosStats};
+pub use client::{CertifiedAnswers, Client, ClientConfig, ClientError, ClientStats};
+pub use coalesce::{CoalesceStats, Coalescer, SubmitError};
 pub use histogram::LatencyHistogram;
 pub use proto::{ErrorCode, ProtoError, RequestView, Response, ResponseBody};
-pub use server::{Server, ServerConfig, ServerHandle};
+pub use server::{Server, ServerConfig, ServerHandle, ServerStats};

@@ -21,6 +21,8 @@
 //! ..      8·F           faults: F × (u32 u, u32 v) endpoint pairs
 //! ..      4             pair count P
 //! ..      8·P           pairs:  P × (u32 s, u32 t)
+//! ..      8             checksum64 of all prior payload bytes
+//!                       (only when flag bit 1 is set)
 //! ```
 //!
 //! Response payload:
@@ -36,6 +38,8 @@
 //!                       is followed (in pair order, after the answer
 //!                       bytes) by u32 merge-count + count × (u32, u32)
 //! error:  2             message length, then UTF-8 message
+//! last    8             checksum64 trailer (responses always carry it,
+//!                       signalled by flag bit 1)
 //! ```
 //!
 //! [`RequestView`] parses a request payload **zero-copy** (in the spirit
@@ -56,6 +60,25 @@ pub const PROTOCOL_VERSION: u16 = 1;
 pub const MAX_FRAME_BYTES: u32 = 1 << 24;
 /// Request flag bit 0: return merge certificates with each answer.
 pub const FLAG_CERTIFICATES: u16 = 1;
+/// Request flag bit 1: the payload carries a trailing 8-byte integrity
+/// checksum ([`ftc_compress::checksum64`] over every payload byte before
+/// the trailer). Responses signal the same trailer via bit 1 of their
+/// `u8` flags byte. The checksum turns in-flight byte corruption into a
+/// typed [`ProtoErrorKind::ChecksumMismatch`] instead of a silently
+/// wrong answer.
+pub const FLAG_CHECKSUM: u16 = 2;
+/// Response flag bit 1 (of the `u8` response flags): checksum trailer
+/// present. Bit 0 remains "certificates present".
+pub const RESPONSE_FLAG_CHECKSUM: u8 = 2;
+/// Bytes of the optional integrity trailer.
+pub const CHECKSUM_TRAILER_BYTES: usize = 8;
+
+/// The exact message the server sends alongside
+/// [`ErrorCode::QueryRejected`] when a certified response would exceed
+/// [`MAX_FRAME_BYTES`]. Clients match it to retry transparently without
+/// certificates.
+pub const MSG_RETRY_WITHOUT_CERTIFICATES: &str =
+    "certified response exceeds the frame cap; retry without certificates";
 
 /// Typed error codes carried by error responses.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -79,6 +102,9 @@ pub enum ErrorCode {
     /// A lazily-validated archive section failed its checksum on first
     /// touch while serving the request.
     ArchiveCorrupt = 8,
+    /// The server shed this request (or the whole connection) because it
+    /// is at its connection, batch, or deadline limit. Retryable.
+    Overloaded = 9,
 }
 
 impl ErrorCode {
@@ -98,8 +124,16 @@ impl ErrorCode {
             6 => ErrorCode::QueryRejected,
             7 => ErrorCode::ShuttingDown,
             8 => ErrorCode::ArchiveCorrupt,
+            9 => ErrorCode::Overloaded,
             _ => return None,
         })
+    }
+
+    /// Whether a client may transparently retry a request rejected with
+    /// this code: the request was never executed, only shed, so a replay
+    /// is safe and likely to succeed once load or a drain passes.
+    pub fn is_retryable(self) -> bool {
+        matches!(self, ErrorCode::Overloaded | ErrorCode::ShuttingDown)
     }
 }
 
@@ -114,6 +148,7 @@ impl fmt::Display for ErrorCode {
             ErrorCode::QueryRejected => "query rejected",
             ErrorCode::ShuttingDown => "server shutting down",
             ErrorCode::ArchiveCorrupt => "served archive corrupt",
+            ErrorCode::Overloaded => "server overloaded",
         };
         f.write_str(s)
     }
@@ -143,6 +178,9 @@ pub enum ProtoErrorKind {
     BadUtf8,
     /// An error response carried an unknown status byte.
     BadErrorCode(u8),
+    /// The payload's integrity trailer did not match its bytes — the
+    /// frame was corrupted in flight.
+    ChecksumMismatch,
 }
 
 impl fmt::Display for ProtoError {
@@ -167,6 +205,9 @@ impl fmt::Display for ProtoError {
             ProtoErrorKind::BadUtf8 => write!(f, "graph ID is not UTF-8 at byte {}", self.offset),
             ProtoErrorKind::BadErrorCode(c) => {
                 write!(f, "unknown error code {c} at byte {}", self.offset)
+            }
+            ProtoErrorKind::ChecksumMismatch => {
+                write!(f, "payload checksum mismatch at byte {}", self.offset)
             }
         }
     }
@@ -201,6 +242,36 @@ impl fmt::Display for EncodeError {
 }
 
 impl std::error::Error for EncodeError {}
+
+/// Strips and verifies the optional integrity trailer. `flagged` is
+/// whether the payload's flags claim a trailer; on success the returned
+/// slice is the payload body with the trailer removed.
+fn strip_checksum(payload: &[u8], flagged: bool) -> Result<&[u8], ProtoError> {
+    if !flagged {
+        return Ok(payload);
+    }
+    let Some(split) = payload.len().checked_sub(CHECKSUM_TRAILER_BYTES) else {
+        return Err(ProtoError {
+            offset: payload.len(),
+            kind: ProtoErrorKind::Truncated,
+        });
+    };
+    let want = u64::from_le_bytes(payload[split..].try_into().unwrap());
+    if ftc_compress::checksum64(&payload[..split]) != want {
+        return Err(ProtoError {
+            offset: split,
+            kind: ProtoErrorKind::ChecksumMismatch,
+        });
+    }
+    Ok(&payload[..split])
+}
+
+/// Appends the integrity trailer over `out[start..]` (the payload built
+/// so far, excluding the 4-byte length prefix).
+fn push_checksum(out: &mut Vec<u8>, payload_start: usize) {
+    let sum = ftc_compress::checksum64(&out[payload_start..]);
+    out.extend_from_slice(&sum.to_le_bytes());
+}
 
 // ---------------------------------------------------------------------------
 // Cursor: bounds-checked little-endian reads with located errors.
@@ -319,6 +390,13 @@ impl<'a> RequestView<'a> {
     /// [`ProtoError`] locating the offending byte; arbitrary input never
     /// panics (pinned by the workspace proptests).
     pub fn parse(payload: &'a [u8]) -> Result<RequestView<'a>, ProtoError> {
+        // The flags live at a fixed offset, so the integrity trailer can
+        // be verified (and stripped) before field-by-field parsing —
+        // corrupted frames fail closed with `ChecksumMismatch` instead
+        // of parsing flipped bytes into a plausible request.
+        let flagged = payload.len() >= 8
+            && u16::from_le_bytes(payload[6..8].try_into().unwrap()) & FLAG_CHECKSUM != 0;
+        let payload = strip_checksum(payload, flagged)?;
         let mut c = Cursor::new(payload);
         if c.take(4)? != REQUEST_MAGIC {
             return Err(ProtoError {
@@ -455,6 +533,9 @@ pub fn encode_request(
     if let Err(e) = push_pair_list(out, faults).and_then(|()| push_pair_list(out, pairs)) {
         return fail(out, e);
     }
+    if flags & FLAG_CHECKSUM != 0 {
+        push_checksum(out, start + 4);
+    }
     seal_frame(out, start)
 }
 
@@ -510,7 +591,7 @@ pub fn encode_response_ok(
     out.extend_from_slice(&RESPONSE_MAGIC);
     out.extend_from_slice(&PROTOCOL_VERSION.to_le_bytes());
     out.push(0); // status OK
-    out.push(u8::from(certificates.is_some()));
+    out.push(u8::from(certificates.is_some()) | RESPONSE_FLAG_CHECKSUM);
     out.extend_from_slice(&request_id.to_le_bytes());
     out.extend_from_slice(&(answers.len() as u32).to_le_bytes());
     out.extend(answers.iter().map(|&a| u8::from(a)));
@@ -528,6 +609,7 @@ pub fn encode_response_ok(
             }
         }
     }
+    push_checksum(out, start + 4);
     seal_frame(out, start)
 }
 
@@ -539,12 +621,14 @@ pub fn encode_response_err(out: &mut Vec<u8>, request_id: u64, code: ErrorCode, 
     out.extend_from_slice(&RESPONSE_MAGIC);
     out.extend_from_slice(&PROTOCOL_VERSION.to_le_bytes());
     out.push(code.as_u8());
-    out.push(0);
+    out.push(RESPONSE_FLAG_CHECKSUM);
     out.extend_from_slice(&request_id.to_le_bytes());
     let msg = &message.as_bytes()[..message.len().min(u16::MAX as usize)];
     out.extend_from_slice(&(msg.len() as u16).to_le_bytes());
     out.extend_from_slice(msg);
-    // An error frame is bounded by 16 + 2 + 65535 bytes — always sealable.
+    push_checksum(out, start + 4);
+    // An error frame is bounded by 16 + 2 + 65535 + 8 bytes — always
+    // sealable.
     seal_frame(out, start).expect("error frame within cap");
 }
 
@@ -555,6 +639,10 @@ pub fn encode_response_err(out: &mut Vec<u8>, request_id: u64, code: ErrorCode, 
 /// [`ProtoError`] locating the offending byte; arbitrary input never
 /// panics.
 pub fn decode_response(payload: &[u8]) -> Result<Response, ProtoError> {
+    // As with requests, the response flags byte sits at a fixed offset;
+    // verify and strip the integrity trailer before parsing fields.
+    let flagged = payload.len() >= 8 && payload[7] & RESPONSE_FLAG_CHECKSUM != 0;
+    let payload = strip_checksum(payload, flagged)?;
     let mut c = Cursor::new(payload);
     if c.take(4)? != RESPONSE_MAGIC {
         return Err(ProtoError {
@@ -731,6 +819,81 @@ mod tests {
             RequestView::parse(&bad_utf8).unwrap_err().kind,
             ProtoErrorKind::BadUtf8
         );
+    }
+
+    #[test]
+    fn checksummed_requests_reject_every_single_byte_flip() {
+        let mut frame = Vec::new();
+        encode_request(
+            &mut frame,
+            11,
+            "g",
+            FLAG_CHECKSUM | FLAG_CERTIFICATES,
+            &[(0, 1)],
+            &[(2, 3)],
+        )
+        .unwrap();
+        let payload = &frame[4..];
+        let req = RequestView::parse(payload).unwrap();
+        assert_eq!(req.request_id(), 11);
+        assert!(req.want_certificates());
+        // Any one-byte corruption is a typed parse error, never a
+        // silently different request.
+        for i in 0..payload.len() {
+            let mut bad = payload.to_vec();
+            bad[i] ^= 0x40;
+            assert!(
+                RequestView::parse(&bad).is_err(),
+                "flip at byte {i} parsed anyway"
+            );
+        }
+    }
+
+    #[test]
+    fn checksummed_responses_reject_every_single_byte_flip() {
+        let mut frame = Vec::new();
+        encode_response_ok(&mut frame, 5, &[true, false], None).unwrap();
+        for i in 0..frame.len() - 4 {
+            let mut bad = frame[4..].to_vec();
+            bad[i] ^= 0x08;
+            assert!(
+                decode_response(&bad).is_err(),
+                "flip at byte {i} decoded anyway"
+            );
+        }
+        // The checksum trailer itself is covered: flipping only it fails.
+        let mut bad = frame[4..].to_vec();
+        let last = bad.len() - 1;
+        bad[last] ^= 0xff;
+        assert_eq!(
+            decode_response(&bad).unwrap_err().kind,
+            ProtoErrorKind::ChecksumMismatch
+        );
+
+        // Error responses carry the trailer too.
+        let mut frame = Vec::new();
+        encode_response_err(&mut frame, 6, ErrorCode::Overloaded, "busy");
+        let resp = decode_response(&frame[4..]).unwrap();
+        assert_eq!(
+            resp.body,
+            ResponseBody::Error {
+                code: ErrorCode::Overloaded,
+                message: "busy".into()
+            }
+        );
+        let mut bad = frame[4..].to_vec();
+        bad[20] ^= 0x01; // a message byte
+        assert!(decode_response(&bad).is_err());
+    }
+
+    #[test]
+    fn overloaded_code_round_trips_and_is_retryable() {
+        assert_eq!(ErrorCode::from_u8(9), Some(ErrorCode::Overloaded));
+        assert_eq!(ErrorCode::Overloaded.as_u8(), 9);
+        assert!(ErrorCode::Overloaded.is_retryable());
+        assert!(ErrorCode::ShuttingDown.is_retryable());
+        assert!(!ErrorCode::BadFrame.is_retryable());
+        assert!(!ErrorCode::QueryRejected.is_retryable());
     }
 
     #[test]

@@ -12,13 +12,14 @@
 //! frame — including its coalesced batch — finish and flush its
 //! response, then joins all handlers before [`Server::run`] returns.
 
-use crate::coalesce::{CoalesceStats, Coalescer};
+use crate::coalesce::{CoalesceStats, Coalescer, SubmitError};
+use crate::histogram::LatencyHistogram;
 use crate::proto::{self, ErrorCode, ProtoErrorKind, RequestView, MAX_FRAME_BYTES};
 use ftc_serve::{ServeError, ServiceRegistry};
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Tunables of one [`Server`].
@@ -29,8 +30,16 @@ pub struct ServerConfig {
     /// `false` arm exists for the loadgen comparison).
     pub coalesce: bool,
     /// Cap on simultaneously served connections; excess accepts are
-    /// closed immediately.
+    /// answered with a best-effort `Overloaded` frame and closed.
     pub max_connections: usize,
+    /// Cap on simultaneously open coalescer batches; at the cap, new
+    /// batches are shed with `Overloaded` instead of queueing (`0` =
+    /// unbounded).
+    pub max_inflight_batches: usize,
+    /// Per-request deadline, measured from frame receipt: a request
+    /// still queued in the coalescer when it expires is shed with
+    /// `Overloaded` (`None` = no deadline).
+    pub request_deadline: Option<Duration>,
     /// How long a blocked read waits before re-checking the shutdown
     /// flag (bounds shutdown latency, not throughput).
     pub read_poll: Duration,
@@ -44,16 +53,45 @@ impl Default for ServerConfig {
         ServerConfig {
             coalesce: true,
             max_connections: 1024,
+            max_inflight_batches: 0,
+            request_deadline: None,
             read_poll: Duration::from_millis(25),
             drain_timeout: Duration::from_secs(2),
         }
     }
 }
 
+/// A snapshot of the server's connection-level counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Connections accepted into a handler thread.
+    pub accepted: u64,
+    /// Connections shed at accept time (connection cap reached).
+    pub shed_connections: u64,
+    /// Handler threads currently serving a connection.
+    pub active: u64,
+}
+
 struct Shared {
     registry: Arc<ServiceRegistry>,
     coalescer: Coalescer,
     shutdown: AtomicBool,
+    accepted: AtomicU64,
+    shed_connections: AtomicU64,
+    active: AtomicU64,
+    /// Service latency (frame receipt to answer encoded) of requests
+    /// answered successfully — shed and failed requests are excluded,
+    /// so this is exactly the "accepted" latency overload reports need.
+    served: Mutex<LatencyHistogram>,
+}
+
+impl Shared {
+    fn record_served(&self, started: Instant) {
+        self.served
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .record(started.elapsed().as_nanos() as u64);
+    }
 }
 
 /// A cloneable remote control for a running [`Server`]: shutdown and
@@ -83,9 +121,30 @@ impl ServerHandle {
     }
 
     /// The coalescer's lifetime counters (requests, coalesced, batches
-    /// = sessions built, pairs answered).
+    /// = sessions built, pairs answered, requests shed).
     pub fn stats(&self) -> CoalesceStats {
         self.shared.coalescer.stats()
+    }
+
+    /// The server's connection-level counters (accepted / shed at
+    /// accept / currently active).
+    pub fn server_stats(&self) -> ServerStats {
+        ServerStats {
+            accepted: self.shared.accepted.load(Ordering::Relaxed),
+            shed_connections: self.shared.shed_connections.load(Ordering::Relaxed),
+            active: self.shared.active.load(Ordering::Relaxed),
+        }
+    }
+
+    /// A snapshot of the service-latency histogram of successfully
+    /// answered requests (frame receipt to answer encoded, server-side
+    /// clock — unaffected by client scheduling or the network).
+    pub fn served_latency(&self) -> LatencyHistogram {
+        self.shared
+            .served
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
     }
 
     /// The registry this server routes graph IDs through.
@@ -120,8 +179,15 @@ impl Server {
             listener,
             shared: Arc::new(Shared {
                 registry,
-                coalescer: Coalescer::new(config.coalesce),
+                coalescer: Coalescer::with_max_inflight(
+                    config.coalesce,
+                    config.max_inflight_batches,
+                ),
                 shutdown: AtomicBool::new(false),
+                accepted: AtomicU64::new(0),
+                shed_connections: AtomicU64::new(0),
+                active: AtomicU64::new(0),
+                served: Mutex::new(LatencyHistogram::new()),
             }),
             config,
             addr,
@@ -157,13 +223,20 @@ impl Server {
                 Ok((stream, _peer)) => {
                     handlers.retain(|h| !h.is_finished());
                     if handlers.len() >= self.config.max_connections {
-                        drop(stream); // immediate close = refused
+                        // Shed, don't queue: tell the peer *why* before
+                        // closing so a resilient client backs off and
+                        // retries instead of treating it as a crash.
+                        self.shared.shed_connections.fetch_add(1, Ordering::Relaxed);
+                        overloaded_close(stream);
                         continue;
                     }
+                    self.shared.accepted.fetch_add(1, Ordering::Relaxed);
                     let shared = self.shared.clone();
                     let config = self.config.clone();
                     handlers.push(std::thread::spawn(move || {
+                        shared.active.fetch_add(1, Ordering::Relaxed);
                         handle_connection(stream, &shared, &config);
+                        shared.active.fetch_sub(1, Ordering::Relaxed);
                     }));
                 }
                 Err(e) if e.kind() == ErrorKind::WouldBlock => {
@@ -188,6 +261,20 @@ impl Server {
             None => Ok(()),
         }
     }
+}
+
+/// Best-effort connection-level rejection: one `Overloaded` error frame
+/// (request ID 0 — no request was read) and an immediate close.
+fn overloaded_close(mut stream: TcpStream) {
+    let mut buf = Vec::new();
+    proto::encode_response_err(
+        &mut buf,
+        0,
+        ErrorCode::Overloaded,
+        "connection limit reached; retry with backoff",
+    );
+    let _ = stream.set_nodelay(true);
+    let _ = stream.write_all(&buf);
 }
 
 /// What one poll of the frame reader produced.
@@ -287,7 +374,10 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared, config: &ServerConf
         match reader.next_frame(&mut stream, &shared.shutdown, config) {
             Ok(FrameEvent::Frame) => {
                 wbuf.clear();
-                let keep = process_frame(reader.payload(), shared, &mut wbuf);
+                // The deadline clock starts at frame receipt: time spent
+                // queued in the coalescer counts against it.
+                let deadline = config.request_deadline.map(|d| Instant::now() + d);
+                let keep = process_frame(reader.payload(), shared, &mut wbuf, deadline);
                 if stream.write_all(&wbuf).is_err() || stream.flush().is_err() {
                     return;
                 }
@@ -331,7 +421,13 @@ fn serve_error_frame(wbuf: &mut Vec<u8>, request_id: u64, e: &ServeError) {
 /// connection may keep going (length-delimited framing keeps the stream
 /// in sync even for malformed payloads, so parse errors are answered
 /// and survivable).
-fn process_frame(payload: &[u8], shared: &Shared, wbuf: &mut Vec<u8>) -> bool {
+fn process_frame(
+    payload: &[u8],
+    shared: &Shared,
+    wbuf: &mut Vec<u8>,
+    deadline: Option<Instant>,
+) -> bool {
+    let started = Instant::now();
     let req = match RequestView::parse(payload) {
         Ok(req) => req,
         Err(e) => {
@@ -382,6 +478,7 @@ fn process_frame(payload: &[u8], shared: &Shared, wbuf: &mut Vec<u8>) -> bool {
         match service.query_certified(&faults, &pairs) {
             Ok(certs) => {
                 let answers: Vec<bool> = certs.iter().map(|c| c.is_some()).collect();
+                shared.record_served(started);
                 if proto::encode_response_ok(wbuf, id, &answers, Some(&certs)).is_err() {
                     // Certificates blew the frame cap; the answers alone
                     // (one byte per requested pair) always fit.
@@ -389,7 +486,7 @@ fn process_frame(payload: &[u8], shared: &Shared, wbuf: &mut Vec<u8>) -> bool {
                         wbuf,
                         id,
                         ErrorCode::QueryRejected,
-                        "certified response exceeds the frame cap; retry without certificates",
+                        proto::MSG_RETRY_WITHOUT_CERTIFICATES,
                     );
                 }
             }
@@ -399,15 +496,24 @@ fn process_frame(payload: &[u8], shared: &Shared, wbuf: &mut Vec<u8>) -> bool {
     }
     match shared
         .coalescer
-        .submit(&service, req.graph(), &faults, &pairs)
+        .submit_deadline(&service, req.graph(), &faults, &pairs, deadline)
     {
         Ok(answers) => {
             // One answer byte per requested pair: strictly smaller than
             // the request frame that carried the pairs.
+            shared.record_served(started);
             proto::encode_response_ok(wbuf, id, &answers, None)
                 .expect("plain response within frame cap");
         }
-        Err(e) => serve_error_frame(wbuf, id, &e),
+        Err(SubmitError::Overloaded) => {
+            proto::encode_response_err(
+                wbuf,
+                id,
+                ErrorCode::Overloaded,
+                "request shed: server overloaded; retry with backoff",
+            );
+        }
+        Err(SubmitError::Serve(e)) => serve_error_frame(wbuf, id, &e),
     }
     true
 }
@@ -417,34 +523,60 @@ fn process_frame(payload: &[u8], shared: &Shared, wbuf: &mut Vec<u8>) -> bool {
 /// (async-signal-safe); a watcher thread converts it into the shutdown
 /// call. No-op on non-Unix targets.
 pub fn install_signal_shutdown(handle: ServerHandle) {
+    install_signal_handlers(handle, None)
+}
+
+/// [`install_signal_shutdown`] plus an optional SIGHUP **reload** hook:
+/// when `reload` is `Some`, SIGHUP runs the callback on the watcher
+/// thread (typically a blue/green re-open + [`ServiceRegistry::swap`]
+/// of every archive the server was started with) instead of its default
+/// terminate action. Signal handlers only flip atomics
+/// (async-signal-safe); the watcher thread does the real work, so a
+/// reload that takes seconds never runs in signal context. No-op on
+/// non-Unix targets.
+pub fn install_signal_handlers(handle: ServerHandle, reload: Option<Box<dyn FnMut() + Send>>) {
     #[cfg(unix)]
     {
         static SIGNALED: AtomicBool = AtomicBool::new(false);
+        static RELOAD: AtomicBool = AtomicBool::new(false);
         extern "C" fn on_signal(_sig: i32) {
             SIGNALED.store(true, Ordering::SeqCst);
+        }
+        extern "C" fn on_reload(_sig: i32) {
+            RELOAD.store(true, Ordering::SeqCst);
         }
         // The process links the platform C library already; declaring
         // `signal` directly avoids a libc crate dependency.
         extern "C" {
             fn signal(signum: i32, handler: usize) -> usize;
         }
+        const SIGHUP: i32 = 1;
         const SIGINT: i32 = 2;
         const SIGTERM: i32 = 15;
         unsafe {
             signal(SIGINT, on_signal as *const () as usize);
             signal(SIGTERM, on_signal as *const () as usize);
+            if reload.is_some() {
+                signal(SIGHUP, on_reload as *const () as usize);
+            }
         }
+        let mut reload = reload;
         std::thread::spawn(move || loop {
             if SIGNALED.load(Ordering::SeqCst) {
                 handle.shutdown();
                 return;
+            }
+            if RELOAD.swap(false, Ordering::SeqCst) {
+                if let Some(f) = reload.as_mut() {
+                    f();
+                }
             }
             std::thread::sleep(Duration::from_millis(50));
         });
     }
     #[cfg(not(unix))]
     {
-        let _ = handle;
+        let _ = (handle, reload);
     }
 }
 

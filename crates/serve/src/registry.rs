@@ -13,7 +13,23 @@ use ftc_core::SerialError;
 use std::collections::HashMap;
 use std::fmt;
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::RwLock;
+
+/// Process-wide monotonic generation counter. Generations are unique
+/// across all registries and all IDs, so a generation observed before a
+/// swap can never compare equal to one observed after it.
+static NEXT_GENERATION: AtomicU64 = AtomicU64::new(1);
+
+fn next_generation() -> u64 {
+    NEXT_GENERATION.fetch_add(1, Ordering::Relaxed)
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    service: ConnectivityService,
+    generation: u64,
+}
 
 /// Errors raised while opening an archive into a registry.
 #[derive(Debug)]
@@ -68,7 +84,7 @@ impl From<SerialError> for RegistryError {
 /// ```
 #[derive(Debug, Default)]
 pub struct ServiceRegistry {
-    services: RwLock<HashMap<String, ConnectivityService>>,
+    services: RwLock<HashMap<String, Entry>>,
 }
 
 impl ServiceRegistry {
@@ -77,14 +93,14 @@ impl ServiceRegistry {
         ServiceRegistry::default()
     }
 
-    fn read(&self) -> std::sync::RwLockReadGuard<'_, HashMap<String, ConnectivityService>> {
+    fn read(&self) -> std::sync::RwLockReadGuard<'_, HashMap<String, Entry>> {
         // Queries never run under the lock, so a poisoned lock only means
         // a panic between guard acquisition and drop in this module —
         // the map itself is always in a consistent state.
         self.services.read().unwrap_or_else(|e| e.into_inner())
     }
 
-    fn write(&self) -> std::sync::RwLockWriteGuard<'_, HashMap<String, ConnectivityService>> {
+    fn write(&self) -> std::sync::RwLockWriteGuard<'_, HashMap<String, Entry>> {
         self.services.write().unwrap_or_else(|e| e.into_inner())
     }
 
@@ -95,7 +111,36 @@ impl ServiceRegistry {
         id: impl Into<String>,
         service: ConnectivityService,
     ) -> Option<ConnectivityService> {
-        self.write().insert(id.into(), service)
+        let entry = Entry {
+            service,
+            generation: next_generation(),
+        };
+        self.write().insert(id.into(), entry).map(|e| e.service)
+    }
+
+    /// Atomically replaces (or first-registers) the service under `id`
+    /// and returns the new entry's generation — the blue/green swap
+    /// primitive. Lookups racing the swap observe either the old or the
+    /// new service, never an absent entry, and handles cloned out before
+    /// the swap keep serving until dropped, so a live graph is replaced
+    /// with zero query downtime.
+    pub fn swap(&self, id: impl Into<String>, service: ConnectivityService) -> u64 {
+        let entry = Entry {
+            service,
+            generation: next_generation(),
+        };
+        let generation = entry.generation;
+        self.write().insert(id.into(), entry);
+        generation
+    }
+
+    /// The generation of the entry currently registered under `id`.
+    /// Generations are process-wide monotonic: a successful [`swap`]
+    /// strictly increases the value observed here.
+    ///
+    /// [`swap`]: ServiceRegistry::swap
+    pub fn generation(&self, id: &str) -> Option<u64> {
+        self.read().get(id).map(|e| e.generation)
     }
 
     /// Opens a label archive of either format from `path` — v1 blobs
@@ -129,13 +174,13 @@ impl ServiceRegistry {
     /// The service registered under `id`, as a cloned handle (an `Arc`
     /// bump; the lock is released before the handle is used).
     pub fn get(&self, id: &str) -> Option<ConnectivityService> {
-        self.read().get(id).cloned()
+        self.read().get(id).map(|e| e.service.clone())
     }
 
     /// Unregisters `id`, returning its service. In-flight queries on
     /// existing handles are unaffected.
     pub fn evict(&self, id: &str) -> Option<ConnectivityService> {
-        self.write().remove(id)
+        self.write().remove(id).map(|e| e.service)
     }
 
     /// Whether `id` is registered.
@@ -193,6 +238,36 @@ mod tests {
         assert!(reg.evict("b").is_some());
         assert!(reg.evict("b").is_none());
         assert!(handle.query(&[], &[(0, 3)]).unwrap().all_connected());
+    }
+
+    #[test]
+    fn swap_is_atomic_and_generations_are_monotonic() {
+        let reg = ServiceRegistry::new();
+        assert!(reg.generation("g").is_none());
+
+        let g1 = reg.swap("g", service(5));
+        assert_eq!(reg.generation("g"), Some(g1));
+        assert_eq!(reg.get("g").unwrap().n(), 5);
+
+        // A handle taken before the swap keeps serving the old graph;
+        // the registry serves the new one under a strictly newer
+        // generation.
+        let old = reg.get("g").unwrap();
+        let g2 = reg.swap("g", service(9));
+        assert!(g2 > g1);
+        assert_eq!(reg.generation("g"), Some(g2));
+        assert_eq!(old.n(), 5);
+        assert_eq!(reg.get("g").unwrap().n(), 9);
+        assert!(old.query(&[], &[(0, 3)]).unwrap().all_connected());
+
+        // insert() also advances the generation.
+        reg.insert("g", service(6));
+        let g3 = reg.generation("g").unwrap();
+        assert!(g3 > g2);
+
+        // Generations are unique across IDs too.
+        let other = reg.swap("h", service(4));
+        assert!(other > g3);
     }
 
     #[test]
