@@ -24,23 +24,32 @@
 //!   Each row also measures the `build_store_compressed` v2-container
 //!   arm — compressed size, compression ratio, and cold
 //!   `compressed::open_path` latency for both formats (the v1 open is a
-//!   full validation pass, the v2 open is O(header)).
+//!   full validation pass, the v2 open is O(header));
+//! * **Churn arm** (`BENCH_churn.json`, schema `ftc-perf-churn/v1`) —
+//!   incremental maintenance through `ftc-dyn`: the median latency of a
+//!   single-edge update (`insert_edge`/`delete_edge` plus a servable
+//!   `commit()`), against the median from-scratch
+//!   `SchemeBuilder::build_store` rebuild of the same graph — the
+//!   operation the dynamic path replaces — and their ratio as `speedup`.
 //!
 //! ```text
-//! perf_report [--quick] [--only-build] [--out PATH] [--out-serve PATH] [--out-build PATH]
+//! perf_report [--quick] [--only-build] [--only-churn] [--out PATH]
+//!             [--out-serve PATH] [--out-build PATH] [--out-churn PATH]
 //! ```
 //!
 //! `--quick` shrinks the grids and the measurement windows so CI can
 //! validate that the binary runs and emits schema-valid JSON without
 //! gating on numbers; `--only-build` runs just the build arm (perf
-//! iteration on the construction pipeline). The default output paths are
-//! `BENCH_session.json`, `BENCH_serve.json`, and `BENCH_build.json` in
+//! iteration on the construction pipeline) and `--only-churn` just the
+//! churn arm. The default output paths are `BENCH_session.json`,
+//! `BENCH_serve.json`, `BENCH_build.json`, and `BENCH_churn.json` in
 //! the current directory (the repo root in CI and local use).
 
 use ftc_bench::{calibrated_params, Flavor};
 use ftc_core::compressed::{compress_archive, CompressedStoreView};
 use ftc_core::store::{EdgeEncoding, LabelStore, LabelStoreView};
 use ftc_core::{FtcScheme, LabelSet, RsVector, SessionScratch};
+use ftc_dyn::{DynConfig, DynamicScheme};
 use ftc_graph::{generators, Graph};
 use ftc_serve::ConnectivityService;
 use std::fmt::Write as _;
@@ -576,6 +585,160 @@ fn render_build_json(mode: &str, cells: &[BuildCell]) -> String {
     s
 }
 
+/// One measured churn-arm cell: single-edge incremental updates against
+/// the from-scratch rebuild they replace, on the same graph.
+struct ChurnCell {
+    n: usize,
+    m: usize,
+    f: usize,
+    k: usize,
+    levels: usize,
+    /// Median `SchemeBuilder::build_store(Compact)` time — the static
+    /// rebuild a deployment would otherwise pay per update.
+    full_rebuild_ms: f64,
+    /// Median single-edge update end to end: one
+    /// `insert_edge`/`delete_edge` plus the `commit()` that emits the
+    /// next servable archive.
+    update_ms: f64,
+    /// Median of the op alone (dirty-path row XOR, no commit).
+    update_op_ms: f64,
+    /// Median of the commit alone (archive assembly + checksum).
+    update_commit_ms: f64,
+    /// Committed archive size.
+    archive_bytes: usize,
+    /// `full_rebuild_ms / update_ms` — the headline ratio.
+    speedup: f64,
+}
+
+fn median_ms(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(f64::total_cmp);
+    xs[xs.len() / 2]
+}
+
+/// Measures the churn arm: chord inserts/deletes through
+/// [`DynamicScheme`], each followed by a full `commit()`, vs the
+/// calibrated static `build_store` rebuild of the same graph. Every
+/// update stays on the incremental fast path by construction (fresh
+/// chords into a connected graph, then deleting the same chords), and
+/// the cell asserts it — a structural rebuild here would be measuring
+/// the wrong thing.
+fn measure_churn(quick: bool) -> Vec<ChurnCell> {
+    let (n, extra, rounds, reps) = if quick {
+        (2000, 1000, 4, 2)
+    } else {
+        (20_000, 10_000, 8, 3)
+    };
+    let f = 2;
+    eprintln!("measuring churn arm, n={n} …");
+    let g = generators::random_connected(n, extra, 4242);
+
+    let params = calibrated_params(Flavor::DetEpsNet, f, 4 * f * 11);
+    let mut rebuild_ms = Vec::new();
+    for _ in 0..reps {
+        let t = Instant::now();
+        std::hint::black_box(
+            FtcScheme::builder(&g)
+                .params(&params)
+                .build_store(EdgeEncoding::Compact)
+                .expect("build_store"),
+        );
+        rebuild_ms.push(t.elapsed().as_secs_f64() * 1000.0);
+    }
+    let full_rebuild_ms = median_ms(rebuild_ms);
+
+    let mut cfg = DynConfig::new(f, 24);
+    cfg.seed = 4242;
+    let mut scheme = DynamicScheme::new(&g, cfg).expect("dynamic scheme");
+    let mut archive_bytes = 0usize;
+    let (mut op_ms, mut commit_ms, mut total_ms) = (Vec::new(), Vec::new(), Vec::new());
+    let mut update = |scheme: &mut DynamicScheme, insert: bool, u: usize, v: usize| {
+        let t = Instant::now();
+        if insert {
+            scheme.insert_edge(u, v).expect("insert");
+        } else {
+            scheme.delete_edge(u, v).expect("delete");
+        }
+        let op = t.elapsed().as_secs_f64() * 1000.0;
+        let t = Instant::now();
+        let store = scheme.commit();
+        let commit = t.elapsed().as_secs_f64() * 1000.0;
+        archive_bytes = store.as_bytes().len();
+        // Steady-state double buffering: the retired generation's
+        // allocation backs the next commit (the deployment pattern the
+        // serving layer's blue/green swap produces once the old
+        // generation drains).
+        scheme.recycle(std::hint::black_box(store));
+        op_ms.push(op);
+        commit_ms.push(commit);
+        total_ms.push(op + commit);
+    };
+    // Warm-up commit: fault the archive pages in once and recycle them,
+    // so every measured rep sees the steady-state double-buffered path.
+    let warm = scheme.commit();
+    scheme.recycle(warm);
+    for round in 0..rounds {
+        // A fresh pair between connected vertices is always a chord:
+        // insert and delete both stay incremental.
+        let u = (round * 7919 + 13) % n;
+        let mut v = (round * 104_729 + 31) % n;
+        while u == v || scheme.has_edge(u, v) {
+            v = (v + 1) % n;
+        }
+        update(&mut scheme, true, u, v);
+        update(&mut scheme, false, u, v);
+    }
+    let stats = scheme.stats();
+    assert_eq!(
+        stats.structural_rebuilds + stats.slot_rebuilds,
+        0,
+        "churn arm must measure the incremental fast path: {stats:?}"
+    );
+
+    let update_ms = median_ms(total_ms);
+    vec![ChurnCell {
+        n,
+        m: scheme.m(),
+        f,
+        k: scheme.k(),
+        levels: scheme.levels(),
+        full_rebuild_ms,
+        update_ms,
+        update_op_ms: median_ms(op_ms),
+        update_commit_ms: median_ms(commit_ms),
+        archive_bytes,
+        speedup: full_rebuild_ms / update_ms,
+    }]
+}
+
+fn render_churn_json(mode: &str, cells: &[ChurnCell]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema\": \"ftc-perf-churn/v1\",\n");
+    let _ = writeln!(s, "  \"mode\": \"{mode}\",");
+    s.push_str("  \"workload\": \"random_connected(n, n/2, seed 4242): median single-edge chord update (insert_edge/delete_edge + commit, double-buffered via recycle) through ftc-dyn (randomized-halving levels, compact rows, k = 24) vs the median calibrated DetEpsNet build_store(Compact) rebuild of the same graph; speedup = full_rebuild_ms / update_ms\",\n");
+    s.push_str("  \"results\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"n\": {}, \"m\": {}, \"f\": {}, \"k\": {}, \"levels\": {}, \"full_rebuild_ms\": {:.1}, \"update_ms\": {:.2}, \"update_op_ms\": {:.3}, \"update_commit_ms\": {:.2}, \"archive_bytes\": {}, \"speedup\": {:.1}}}",
+            c.n,
+            c.m,
+            c.f,
+            c.k,
+            c.levels,
+            c.full_rebuild_ms,
+            c.update_ms,
+            c.update_op_ms,
+            c.update_commit_ms,
+            c.archive_bytes,
+            c.speedup
+        );
+        s.push_str(if i + 1 == cells.len() { "\n" } else { ",\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
 /// Minimal structural self-check so CI fails loudly on malformed output
 /// (no JSON parser in the offline environment; this pins the invariants
 /// the schema promises).
@@ -610,6 +773,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let only_build = args.iter().any(|a| a == "--only-build");
+    let only_churn = args.iter().any(|a| a == "--only-churn");
     let out_path = args
         .iter()
         .position(|a| a == "--out")
@@ -628,8 +792,54 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .cloned()
         .unwrap_or_else(|| "BENCH_build.json".into());
+    let out_churn_path = args
+        .iter()
+        .position(|a| a == "--out-churn")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_churn.json".into());
 
     let mode = if quick { "quick" } else { "full" };
+
+    let run_churn = |mode: &str| {
+        let churn_cells = measure_churn(quick);
+        let churn_json = render_churn_json(mode, &churn_cells);
+        if let Err(e) = validate(
+            &churn_json,
+            "ftc-perf-churn/v1",
+            "full_rebuild_ms",
+            churn_cells.len(),
+        ) {
+            eprintln!("error: generated churn report failed validation: {e}");
+            std::process::exit(1);
+        }
+        std::fs::write(&out_churn_path, &churn_json).unwrap_or_else(|e| {
+            eprintln!("error: cannot write {out_churn_path}: {e}");
+            std::process::exit(1);
+        });
+        for c in &churn_cells {
+            println!(
+                "churn n={:<6} m={:<6} f={:<3} k={:<3} levels={:<3} rebuild {:>8.1} ms | update {:>7.2} ms (op {:.3} + commit {:.2}) | {:>11} archive bytes | speedup {:.1}x",
+                c.n,
+                c.m,
+                c.f,
+                c.k,
+                c.levels,
+                c.full_rebuild_ms,
+                c.update_ms,
+                c.update_op_ms,
+                c.update_commit_ms,
+                c.archive_bytes,
+                c.speedup
+            );
+        }
+    };
+    if only_churn {
+        run_churn(mode);
+        println!("wrote {out_churn_path}");
+        return;
+    }
+
     let build_cells = measure_build(quick);
     let build_json = render_build_json(mode, &build_cells);
     if let Err(e) = validate(
@@ -730,5 +940,6 @@ fn main() {
             c.threads, c.queries_per_sec, c.sessions_per_sec
         );
     }
-    println!("wrote {out_path}, {out_serve_path}, and {out_build_path}");
+    run_churn(mode);
+    println!("wrote {out_path}, {out_serve_path}, {out_build_path}, and {out_churn_path}");
 }

@@ -32,6 +32,9 @@
 //!   writes a whole labeling as one indexed byte blob and
 //!   [`store::LabelStoreView`] opens it zero-copy, serving O(1)/O(log m)
 //!   label views and archive-native [`QuerySession`]s;
+//! * [`patch`] — archive assembly from externally maintained label parts:
+//!   the write end of `ftc-dyn`'s incremental maintenance, sharing the
+//!   streaming build path's layout arithmetic;
 //! * [`compressed`] — the v2 sectioned container: entropy-coded archive
 //!   sections ([`ftc_compress`] transforms + rANS), O(header) opening
 //!   with per-section lazy checksum validation, and memory-mapped
@@ -72,6 +75,7 @@ pub mod labels;
 pub(crate) mod mmap;
 pub(crate) mod par;
 pub mod params;
+pub mod patch;
 pub mod scheme;
 pub mod serial;
 pub mod session;
@@ -86,6 +90,7 @@ pub use labels::{
     RsDetector, RsVector, SizeReport, SlabDetect, VertexLabel, VertexLabelRead,
 };
 pub use params::{Params, ThresholdPolicy};
+pub use patch::{assemble_archive, assemble_archive_into, EdgeRecordSpec};
 pub use scheme::{BuildDiagnostics, FtcScheme, SchemeBuilder};
 pub use serial::{
     CompactEdgeLabelView, EdgeLabelView, SerialError, SerialErrorKind, VertexLabelView,

@@ -237,6 +237,18 @@ impl LabelStore {
         Ok(LabelStore { bytes, meta })
     }
 
+    /// Wraps a blob whose framing was just written by this crate's own
+    /// archive writers, skipping the full `open` validation pass (which
+    /// is O(archive) and would double the cost of every dynamic commit).
+    /// The caller guarantees `meta` describes `bytes` exactly.
+    pub(crate) fn from_parts_trusted(bytes: Vec<u8>, meta: ArchiveMeta) -> LabelStore {
+        debug_assert!(
+            LabelStoreView::open(&bytes).is_ok(),
+            "trusted archive parts must form a well-formed blob"
+        );
+        LabelStore { bytes, meta }
+    }
+
     /// The raw archive bytes.
     pub fn as_bytes(&self) -> &[u8] {
         &self.bytes
@@ -615,6 +627,64 @@ impl<'a> LabelStoreView<'a> {
     /// The raw archive bytes behind this view.
     pub fn as_bytes(&self) -> &[u8] {
         self.buf.bytes()
+    }
+
+    /// Byte accounting of the archive regions, in the shape of the v2
+    /// section table ([`SectionInfo`](crate::compressed::SectionInfo)):
+    /// endpoint index, vertex labels, per-edge metadata prefixes, and one
+    /// entry per hierarchy level of payload rows. v1 stores everything
+    /// raw, so `comp_len == raw_len` and `transform == 0`. Level-row
+    /// entries account each level's share of every record's payload even
+    /// though v1 interleaves levels record-major rather than storing them
+    /// contiguously; the fixed header, offset table, and trailing
+    /// checksum are framing and appear in no section, so the sections sum
+    /// to less than [`archive_bytes`](Self::archive_bytes).
+    ///
+    /// Only the uniform-record geometry of builder/patch archives is
+    /// broken down per level; archives whose records disagree on
+    /// `(k, levels)` report a single `level-rows` entry covering all
+    /// payload bytes.
+    pub fn sections(&self) -> Vec<crate::compressed::SectionInfo> {
+        use crate::compressed::{SectionInfo, SectionKind};
+        let raw = |kind, level, raw_len| SectionInfo {
+            kind,
+            level,
+            raw_len,
+            comp_len: raw_len,
+            transform: 0,
+        };
+        let m = self.meta.m;
+        let mut out = vec![
+            raw(
+                SectionKind::EndpointIndex,
+                None,
+                self.meta.vertices_at - self.meta.endpoint_at,
+            ),
+            raw(
+                SectionKind::VertexLabels,
+                None,
+                self.meta.edges_at - self.meta.vertices_at,
+            ),
+            raw(SectionKind::EdgeMeta, None, m * serial::EDGE_WORDS_OFFSET),
+        ];
+        let payload = self.archive_bytes()
+            - self.meta.edges_at
+            - m * serial::EDGE_WORDS_OFFSET
+            - TRAILING_CHECKSUM_BYTES;
+        let uniform = self.edge_by_id(0).map(|e| (e.k(), e.levels()));
+        match uniform {
+            Some((k, levels))
+                if levels > 0
+                    && payload == m * 8 * payload_words(self.meta.encoding, k, levels) =>
+            {
+                let level_bytes = payload / levels;
+                out.extend(
+                    (0..levels).map(|lvl| raw(SectionKind::LevelRows, Some(lvl), level_bytes)),
+                );
+            }
+            _ => out.push(raw(SectionKind::LevelRows, None, payload)),
+        }
+        out
     }
 
     pub(crate) fn meta(&self) -> &ArchiveMeta {
@@ -1023,7 +1093,7 @@ pub(crate) fn write_vertex_labels(
 /// v2 decompressor so all three produce identical framing bytes by
 /// construction.
 #[allow(clippy::too_many_arguments)]
-fn write_framing(
+pub(crate) fn write_framing(
     buf: &mut [u8],
     header: LabelHeader,
     encoding: EdgeEncoding,

@@ -95,6 +95,13 @@ pub fn components_avoiding(g: &Graph, faults: &[EdgeId]) -> UnionFind {
 /// is retained across [`ConnectivityOracle::prepare`] calls, so steady-
 /// state preparation allocates nothing.
 ///
+/// The oracle also tracks an *edge churn overlay* for differential tests
+/// against dynamic schemes: [`ConnectivityOracle::remove_edge`] tombstones
+/// a base edge and [`ConnectivityOracle::add_edge`] appends one, without
+/// rebuilding the borrowed [`Graph`]. Overlay edges have no stable
+/// [`EdgeId`], so fault sets over a churned oracle are expressed as
+/// endpoint pairs via [`ConnectivityOracle::prepare_pairs`].
+///
 /// # Example
 ///
 /// ```
@@ -107,12 +114,23 @@ pub fn components_avoiding(g: &Graph, faults: &[EdgeId]) -> UnionFind {
 /// assert!(oracle.connected(2, 4));
 /// oracle.prepare(&[2]); // one fault cannot disconnect a cycle
 /// assert!(oracle.connected(1, 4));
+///
+/// // Churn overlay: delete (0,1), add the chord (0,2), fault (1,2).
+/// assert!(oracle.remove_edge(0, 1));
+/// oracle.add_edge(0, 2);
+/// oracle.prepare_pairs(&[(1, 2)]);
+/// assert!(!oracle.connected(0, 1)); // 1 is cut off entirely
+/// assert!(oracle.connected(0, 3)); // via the new chord
 /// ```
 #[derive(Debug)]
 pub struct ConnectivityOracle<'g> {
     g: &'g Graph,
     uf: UnionFind,
     banned: Vec<bool>,
+    /// Tombstoned base edges (churn overlay); dead edges never union.
+    dead: Vec<bool>,
+    /// Overlay edges added after construction, as endpoint pairs.
+    extra: Vec<(VertexId, VertexId)>,
 }
 
 impl<'g> ConnectivityOracle<'g> {
@@ -122,12 +140,15 @@ impl<'g> ConnectivityOracle<'g> {
             g,
             uf: UnionFind::new(g.n()),
             banned: vec![false; g.m()],
+            dead: vec![false; g.m()],
+            extra: Vec::new(),
         };
         oracle.prepare(&[]);
         oracle
     }
 
-    /// Rebuilds the component table for `G − faults`.
+    /// Rebuilds the component table for `G − faults` (IDs refer to base
+    /// edges; tombstoned edges stay out, overlay edges stay in).
     ///
     /// # Panics
     ///
@@ -138,13 +159,79 @@ impl<'g> ConnectivityOracle<'g> {
             self.banned[e] = true;
         }
         for (e, u, v) in self.g.edge_iter() {
-            if !self.banned[e] {
+            if !self.banned[e] && !self.dead[e] {
                 self.uf.union(u, v);
             }
+        }
+        for &(u, v) in &self.extra {
+            self.uf.union(u, v);
         }
         for &e in faults {
             self.banned[e] = false;
         }
+    }
+
+    /// Rebuilds the component table for `G − faults` with the fault set
+    /// given as endpoint pairs (orientation-insensitive), so overlay edges
+    /// — which have no stable [`EdgeId`] — can be faulted too. A faulted
+    /// pair suppresses *every* live edge joining those endpoints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a fault vertex is out of range (via the union-find).
+    pub fn prepare_pairs(&mut self, faults: &[(VertexId, VertexId)]) {
+        let hit = |u: VertexId, v: VertexId| {
+            faults
+                .iter()
+                .any(|&(a, b)| (a, b) == (u, v) || (a, b) == (v, u))
+        };
+        self.uf.reset(self.g.n());
+        for (e, u, v) in self.g.edge_iter() {
+            if !self.dead[e] && !hit(u, v) {
+                self.uf.union(u, v);
+            }
+        }
+        for &(u, v) in &self.extra {
+            if !hit(u, v) {
+                self.uf.union(u, v);
+            }
+        }
+    }
+
+    /// Appends an overlay edge `(u, v)`. Takes effect at the next
+    /// `prepare*` call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a vertex is out of range (at the next `prepare*` call).
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId) {
+        self.extra.push((u, v));
+    }
+
+    /// Removes one live edge joining `u` and `v`: an overlay edge when one
+    /// exists, else a non-tombstoned base edge (which is tombstoned).
+    /// Returns `false` when no such live edge exists. Takes effect at the
+    /// next `prepare*` call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a vertex is out of range.
+    pub fn remove_edge(&mut self, u: VertexId, v: VertexId) -> bool {
+        if let Some(i) = self
+            .extra
+            .iter()
+            .position(|&(a, b)| (a, b) == (u, v) || (a, b) == (v, u))
+        {
+            self.extra.swap_remove(i);
+            return true;
+        }
+        for &e in self.g.incident_edges(u) {
+            if !self.dead[e] && self.g.other_endpoint(e, u) == v {
+                self.dead[e] = true;
+                return true;
+            }
+        }
+        false
     }
 
     /// `true` iff `s` and `t` are connected under the prepared fault set.
@@ -291,6 +378,71 @@ mod tests {
                     connected_avoiding(&g, s, t, &faults),
                     uf.same(s, t) || s == t
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn churn_overlay_tracks_a_rebuilt_graph() {
+        let g = crate::generators::random_connected(30, 20, 7);
+        let mut oracle = ConnectivityOracle::new(&g);
+        let mut pairs: Vec<(usize, usize)> = g
+            .edge_iter()
+            .map(|(_, u, v)| (u.min(v), u.max(v)))
+            .collect();
+
+        // Scripted churn: delete a few existing edges, add a few fresh
+        // ones (including re-adding a deleted pair), with removals going
+        // through both the base-tombstone and overlay paths.
+        let dels = [pairs[3], pairs[11], pairs[17]];
+        for &(u, v) in &dels {
+            assert!(oracle.remove_edge(u, v));
+            pairs.retain(|&p| p != (u, v));
+        }
+        assert!(!oracle.remove_edge(dels[0].0, dels[0].1), "already dead");
+        let mut adds = vec![dels[1]]; // re-add a deleted pair
+        'fresh: for u in 0..g.n() {
+            for v in (u + 1)..g.n() {
+                if adds.len() == 3 {
+                    break 'fresh;
+                }
+                if !pairs.contains(&(u, v)) && !adds.contains(&(u, v)) {
+                    adds.push((u, v));
+                }
+            }
+        }
+        for &(u, v) in &adds {
+            oracle.add_edge(u, v);
+            pairs.push((u, v));
+        }
+        assert!(oracle.remove_edge(adds[1].0, adds[1].1), "overlay removal");
+        pairs.retain(|&p| p != adds[1]);
+
+        // The oracle must now agree with a from-scratch graph of the
+        // churned edge set, across fault sets drawn from the live pairs.
+        let fresh = Graph::from_edges(g.n(), &pairs);
+        for seed in 0..8usize {
+            let faults: Vec<(usize, usize)> = (0..3)
+                .map(|i| pairs[(seed * 5 + i * 7) % pairs.len()])
+                .collect();
+            oracle.prepare_pairs(&faults);
+            let fault_ids: Vec<usize> = fresh
+                .edge_iter()
+                .filter(|&(_, u, v)| {
+                    faults
+                        .iter()
+                        .any(|&(a, b)| (a, b) == (u, v) || (a, b) == (v, u))
+                })
+                .map(|(e, _, _)| e)
+                .collect();
+            for s in 0..g.n() {
+                for t in 0..g.n() {
+                    assert_eq!(
+                        oracle.connected(s, t),
+                        connected_avoiding(&fresh, s, t, &fault_ids),
+                        "({s},{t}) faults {faults:?}"
+                    );
+                }
             }
         }
     }

@@ -6,6 +6,7 @@
 //!               [--k N] [--encoding full|compact] [--threads N] [--compress]
 //! ftc-cli info  <labels.ftc>
 //! ftc-cli query <labels.ftc> <s> <t> [--fault U:V ...] [--pair S:T ...]
+//! ftc-cli update <labels.ftc> <ops.txt> [--out PATH] [--seed N]
 //! ftc-cli serve <labels.ftc> [--threads N] [--tcp HOST:PORT] [--id NAME]
 //! ftc-cli compress   <labels.ftc> <labels.ftcz>
 //! ftc-cli decompress <labels.ftcz> <labels.ftc>
@@ -38,7 +39,14 @@
 //! memory-mapped where the platform allows; v2 archives open in
 //! O(header) time and decode sections lazily on first touch, and `info`
 //! reports the per-section raw/stored sizes and overall ratio straight
-//! from the section table without decoding any payload.
+//! from the section table without decoding any payload. v1 archives get
+//! the same per-region breakdown (endpoint index, vertex labels, edge
+//! metadata, per-level payload rows) computed from the blob layout.
+//!
+//! `update` applies a batch of edge insertions (`+u v` or `+u:v`) and
+//! deletions (`-u v` / `-u:v`) to an existing archive through `ftc-dyn`'s incremental
+//! maintenance and writes the re-committed archive back — no graph file
+//! and no from-scratch rebuild.
 
 use ftc::core::compressed::AnyArchive;
 use ftc::core::store::{EdgeEncoding, LabelStoreView};
@@ -97,6 +105,7 @@ fn main() -> ExitCode {
         Some("build") => cmd_build(&args[1..]),
         Some("info") => cmd_info(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
+        Some("update") => cmd_update(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("compress") => cmd_compress(&args[1..]),
         Some("decompress") => cmd_decompress(&args[1..]),
@@ -115,7 +124,7 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str = "usage:\n  ftc-cli build <graph.txt> <labels.ftc> [--f N] [--backend epsnet|greedy|sampling] [--k N] [--encoding full|compact] [--threads N] [--compress]\n  ftc-cli info  <labels.ftc>\n  ftc-cli query <labels.ftc> <s> <t> [--fault U:V ...] [--pair S:T ...]\n  ftc-cli serve <labels.ftc> [--threads N] [--tcp HOST:PORT] [--id NAME]   (queries `s t [u:v ...]` on stdin)\n  ftc-cli compress   <labels.ftc> <labels.ftcz>\n  ftc-cli decompress <labels.ftcz> <labels.ftc>";
+const USAGE: &str = "usage:\n  ftc-cli build <graph.txt> <labels.ftc> [--f N] [--backend epsnet|greedy|sampling] [--k N] [--encoding full|compact] [--threads N] [--compress]\n  ftc-cli info  <labels.ftc>\n  ftc-cli query <labels.ftc> <s> <t> [--fault U:V ...] [--pair S:T ...]\n  ftc-cli update <labels.ftc> <ops.txt> [--out PATH] [--seed N]   (ops `+u v` / `-u v`, one per line)\n  ftc-cli serve <labels.ftc> [--threads N] [--tcp HOST:PORT] [--id NAME]   (queries `s t [u:v ...]` on stdin)\n  ftc-cli compress   <labels.ftc> <labels.ftcz>\n  ftc-cli decompress <labels.ftcz> <labels.ftc>";
 
 // ---------------------------------------------------------------------------
 // build
@@ -209,6 +218,12 @@ fn cmd_info(args: &[String]) -> CliResult {
                 header.f,
                 view.archive_bytes()
             );
+            // Same per-region byte breakdown the v2 section table gets —
+            // for v1 the stored size equals the raw size, so one number
+            // per line suffices.
+            for s in view.sections() {
+                println!("section {} raw {}", section_name(&s), s.raw_len);
+            }
         }
         AnyArchive::V2(view) => {
             // Everything below reads the prologue and section table only
@@ -225,15 +240,138 @@ fn cmd_info(args: &[String]) -> CliResult {
                 view.v1_len() as f64 / view.archive_bytes() as f64,
             );
             for s in view.sections() {
-                let name = match s.level {
-                    Some(level) => format!("{}[{level}]", s.kind.name()),
-                    None => s.kind.name().to_string(),
-                };
-                println!("section {name} raw {} stored {}", s.raw_len, s.comp_len);
+                println!(
+                    "section {} raw {} stored {}",
+                    section_name(&s),
+                    s.raw_len,
+                    s.comp_len
+                );
             }
         }
     }
     Ok(())
+}
+
+/// `kind[level]` display name of a section-table row (both formats).
+fn section_name(s: &ftc::core::SectionInfo) -> String {
+    match s.level {
+        Some(level) => format!("{}[{level}]", s.kind.name()),
+        None => s.kind.name().to_string(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// update
+// ---------------------------------------------------------------------------
+
+/// Applies a batch of edge insertions/deletions to an on-disk archive
+/// through `ftc-dyn`'s incremental maintenance: the archive is adopted
+/// into a [`DynamicScheme`](ftc::dyn_::DynamicScheme), each op patches
+/// only the labels it invalidates, and a freshly committed archive is
+/// written back (in place unless `--out` redirects it; a `.ftcz` output
+/// path selects the v2 compressed container). Both input formats are
+/// accepted; v2 inputs are expanded to their v1 bytes first.
+fn cmd_update(args: &[String]) -> CliResult {
+    use ftc::dyn_::DynamicScheme;
+
+    let (positional, flags) = split_flags(args)?;
+    let [archive_path, ops_path] = positional.as_slice() else {
+        return Err(CliError::Usage);
+    };
+    let out_path = flag_value(&flags, "out").unwrap_or_else(|| archive_path.clone());
+    let seed: u64 = flag_value(&flags, "seed")
+        .unwrap_or_else(|| "0".into())
+        .parse()
+        .map_err(|_| "--seed expects an integer")?;
+    let ops_text =
+        fs::read_to_string(ops_path).map_err(|e| format!("cannot read {ops_path}: {e}"))?;
+    let ops = parse_ops(&ops_text)?;
+
+    let mut scheme = match open_any(archive_path)? {
+        AnyArchive::V1(view) => DynamicScheme::from_archive(&view, seed),
+        AnyArchive::V2(view) => {
+            let blob = view
+                .to_v1_vec()
+                .map_err(|e| format!("{archive_path}: {e}"))?;
+            let v = LabelStoreView::open(&blob).map_err(|e| format!("{archive_path}: {e}"))?;
+            DynamicScheme::from_archive(&v, seed)
+        }
+    }
+    .map_err(|e| format!("cannot maintain {archive_path}: {e}"))?;
+
+    for &(lineno, insert, u, v) in &ops {
+        let sign = if insert { '+' } else { '-' };
+        (if insert {
+            scheme.insert_edge(u, v)
+        } else {
+            scheme.delete_edge(u, v)
+        })
+        .map_err(|e| format!("{ops_path}:{lineno}: {sign}{u} {v}: {e}"))?;
+    }
+    let stats = scheme.stats();
+
+    let bytes = if out_path.ends_with(".ftcz") {
+        scheme.commit_compressed().into_vec()
+    } else {
+        scheme.commit().into_vec()
+    };
+    fs::write(&out_path, &bytes).map_err(|e| format!("cannot write {out_path}: {e}"))?;
+    println!(
+        "applied {} ops ({} incremental, {} rebuilds); wrote {} byte archive ({} vertices, {} edges) to {out_path}",
+        ops.len(),
+        stats.incremental_ops,
+        stats.structural_rebuilds + stats.slot_rebuilds,
+        bytes.len(),
+        scheme.n(),
+        scheme.m()
+    );
+    Ok(())
+}
+
+/// Parses the update ops grammar: one `+u v` (insert) or `-u v` (delete)
+/// per line, whitespace after the sign optional, `#` comments allowed.
+/// Returns `(line number, is_insert, u, v)` triples in file order.
+fn parse_ops(text: &str) -> Result<Vec<(usize, bool, usize, usize)>, String> {
+    let mut ops = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (insert, rest) = if let Some(rest) = line.strip_prefix('+') {
+            (true, rest)
+        } else if let Some(rest) = line.strip_prefix('-') {
+            (false, rest)
+        } else {
+            return Err(format!("line {lineno}: expected '+u v' or '-u v'"));
+        };
+        // Endpoints separate with whitespace or ':' — `+0 4` and `+0:4`
+        // are the same op (the latter matches the query `--fault U:V`
+        // syntax).
+        let mut it = rest
+            .split(|c: char| c.is_whitespace() || c == ':')
+            .filter(|tok| !tok.is_empty());
+        let parse = |tok: Option<&str>| -> Result<usize, String> {
+            tok.ok_or(format!(
+                "line {lineno}: expected '{}u v' or '{}u:v'",
+                if insert { '+' } else { '-' },
+                if insert { '+' } else { '-' }
+            ))?
+            .parse()
+            .map_err(|_| format!("line {lineno}: bad vertex ID"))
+        };
+        let u = parse(it.next())?;
+        let v = parse(it.next())?;
+        if it.next().is_some() {
+            return Err(format!("line {lineno}: trailing tokens after '{u} {v}'"));
+        }
+        ops.push((lineno, insert, u, v));
+    }
+    if ops.is_empty() {
+        return Err("ops file has no operations".into());
+    }
+    Ok(ops)
 }
 
 // ---------------------------------------------------------------------------

@@ -35,6 +35,7 @@ pub use ftc_codes as codes;
 pub use ftc_compress as compress;
 pub use ftc_congest as congest;
 pub use ftc_core as core;
+pub use ftc_dyn as dyn_;
 pub use ftc_field as field;
 pub use ftc_geometry as geometry;
 pub use ftc_graph as graph;
