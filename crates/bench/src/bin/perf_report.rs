@@ -31,6 +31,11 @@
 //!   `commit()`), against the median from-scratch
 //!   `SchemeBuilder::build_store` rebuild of the same graph — the
 //!   operation the dynamic path replaces — and their ratio as `speedup`.
+//!   Durable rows run the same cycle through the write-ahead-journaled
+//!   `DurableScheme` (`on_commit` group-commit fsync, with `NoSyncVfs`
+//!   twins isolating the physical sync cost), report the amortized full
+//!   disk checkpoint separately, and pin `recovery_divergence: 0` via a
+//!   `DurableScheme::recover` round-trip of the on-disk state.
 //!
 //! ```text
 //! perf_report [--quick] [--only-build] [--only-churn] [--out PATH]
@@ -47,13 +52,15 @@
 
 use ftc_bench::{calibrated_params, Flavor};
 use ftc_core::compressed::{compress_archive, CompressedStoreView};
+use ftc_core::io::{NoSyncVfs, StdVfs, Vfs};
 use ftc_core::store::{EdgeEncoding, LabelStore, LabelStoreView};
 use ftc_core::{FtcScheme, LabelSet, RsVector, SessionScratch};
-use ftc_dyn::{DynConfig, DynamicScheme};
+use ftc_dyn::{default_journal_path, DurableScheme, DynConfig, DynamicScheme, FsyncPolicy};
 use ftc_graph::{generators, Graph};
 use ftc_serve::ConnectivityService;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// One measured grid cell.
@@ -608,6 +615,26 @@ struct ChurnCell {
     archive_bytes: usize,
     /// `full_rebuild_ms / update_ms` — the headline ratio.
     speedup: f64,
+    /// Median durable update cycle through [`DurableScheme`] with the
+    /// `on_commit` policy over the real filesystem: journaled op +
+    /// group-commit `fsync` + in-memory servable commit (recycled).
+    durable_update_fsync_ms: f64,
+    /// The same cycle over a `NoSyncVfs` (every fsync a no-op) — the
+    /// journaling overhead with the physical sync subtracted out.
+    durable_update_nofsync_ms: f64,
+    /// Median full disk checkpoint (`DurableScheme::commit`: journal
+    /// sync → atomic archive replace → manifest → journal rotation) —
+    /// the amortized snapshot cadence, not a per-update cost.
+    durable_snapshot_fsync_ms: f64,
+    /// The same checkpoint over `NoSyncVfs`.
+    durable_snapshot_nofsync_ms: f64,
+    /// `full_rebuild_ms / durable_update_fsync_ms` — the incremental
+    /// advantage that survives durability.
+    durable_speedup_fsync: f64,
+    /// Edge-set symmetric difference between the live scheme and a
+    /// crash-less `DurableScheme::recover` of its on-disk state
+    /// (journal suffix included). Must be 0.
+    recovery_divergence: usize,
 }
 
 fn median_ms(mut xs: Vec<f64>) -> f64 {
@@ -693,20 +720,109 @@ fn measure_churn(quick: bool) -> Vec<ChurnCell> {
         0,
         "churn arm must measure the incremental fast path: {stats:?}"
     );
+    let (m, k, levels) = (scheme.m(), scheme.k(), scheme.levels());
+
+    // Durable arm: the same chord cycle through `DurableScheme` with
+    // the `on_commit` group-commit policy, on the real filesystem. One
+    // cycle = journaled op + journal fsync + in-memory servable commit
+    // (double-buffered via recycle) — the WAL cadence, where the full
+    // disk checkpoint (`commit()`) is a separate amortized cost
+    // reported as the snapshot row.
+    let durable_dir = std::env::temp_dir().join(format!("ftc-perf-durable-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&durable_dir);
+    std::fs::create_dir_all(&durable_dir).expect("create durable bench dir");
+    let durable_arm = |vfs: Arc<dyn Vfs>, scheme: DynamicScheme, tag: &str| {
+        let archive = durable_dir.join(format!("churn-{tag}.ftc"));
+        let journal = default_journal_path(&archive);
+        let mut d = DurableScheme::create(vfs, &archive, &journal, scheme, FsyncPolicy::OnCommit)
+            .expect("durable create");
+        let warm = d.commit_store().expect("warm commit");
+        d.recycle(warm);
+        let mut cycle_ms = Vec::new();
+        for round in 0..rounds {
+            let u = (round * 7919 + 13) % n;
+            let mut v = (round * 104_729 + 31) % n;
+            while u == v || d.scheme().has_edge(u, v) {
+                v = (v + 1) % n;
+            }
+            for insert in [true, false] {
+                let t = Instant::now();
+                if insert {
+                    d.insert_edge(u, v).expect("durable insert");
+                } else {
+                    d.delete_edge(u, v).expect("durable delete");
+                }
+                let store = d.commit_store().expect("durable commit_store");
+                cycle_ms.push(t.elapsed().as_secs_f64() * 1000.0);
+                d.recycle(std::hint::black_box(store));
+            }
+        }
+        let mut snap_ms = Vec::new();
+        for _ in 0..reps {
+            let t = Instant::now();
+            d.commit().expect("durable checkpoint");
+            snap_ms.push(t.elapsed().as_secs_f64() * 1000.0);
+        }
+        (median_ms(cycle_ms), median_ms(snap_ms), d)
+    };
+
+    let (durable_update_fsync_ms, durable_snapshot_fsync_ms, mut d) =
+        durable_arm(Arc::new(StdVfs), scheme, "fsync");
+
+    // Recovery round-trip on the fsync arm's real files: leave one op
+    // journaled past the checkpoint (synced, no manifest advance), then
+    // recover from disk and diff the edge sets. Any divergence means
+    // acknowledged ops were lost or invented.
+    let u = (rounds * 7919 + 13) % n;
+    let mut v = (rounds * 104_729 + 31) % n;
+    while u == v || d.scheme().has_edge(u, v) {
+        v = (v + 1) % n;
+    }
+    d.insert_edge(u, v).expect("post-checkpoint insert");
+    d.sync().expect("group-commit sync");
+    let expected: std::collections::BTreeSet<(usize, usize)> = d.scheme().edge_pairs().collect();
+    let archive = d.archive_path().to_path_buf();
+    let journal = d.journal_path().to_path_buf();
+    drop(d);
+    let (recovered, _) = DurableScheme::recover(
+        Arc::new(StdVfs),
+        &archive,
+        &journal,
+        4242,
+        FsyncPolicy::OnCommit,
+    )
+    .expect("durable recover");
+    let got: std::collections::BTreeSet<(usize, usize)> = recovered.scheme().edge_pairs().collect();
+    let recovery_divergence = expected.symmetric_difference(&got).count();
+    drop(recovered);
+
+    let mut cfg = DynConfig::new(f, 24);
+    cfg.seed = 4242;
+    let nosync_scheme = DynamicScheme::new(&g, cfg).expect("dynamic scheme (nosync arm)");
+    let (durable_update_nofsync_ms, durable_snapshot_nofsync_ms, _d) =
+        durable_arm(Arc::new(NoSyncVfs), nosync_scheme, "nofsync");
+    drop(_d);
+    let _ = std::fs::remove_dir_all(&durable_dir);
 
     let update_ms = median_ms(total_ms);
     vec![ChurnCell {
         n,
-        m: scheme.m(),
+        m,
         f,
-        k: scheme.k(),
-        levels: scheme.levels(),
+        k,
+        levels,
         full_rebuild_ms,
         update_ms,
         update_op_ms: median_ms(op_ms),
         update_commit_ms: median_ms(commit_ms),
         archive_bytes,
         speedup: full_rebuild_ms / update_ms,
+        durable_update_fsync_ms,
+        durable_update_nofsync_ms,
+        durable_snapshot_fsync_ms,
+        durable_snapshot_nofsync_ms,
+        durable_speedup_fsync: full_rebuild_ms / durable_update_fsync_ms,
+        recovery_divergence,
     }]
 }
 
@@ -715,12 +831,12 @@ fn render_churn_json(mode: &str, cells: &[ChurnCell]) -> String {
     s.push_str("{\n");
     s.push_str("  \"schema\": \"ftc-perf-churn/v1\",\n");
     let _ = writeln!(s, "  \"mode\": \"{mode}\",");
-    s.push_str("  \"workload\": \"random_connected(n, n/2, seed 4242): median single-edge chord update (insert_edge/delete_edge + commit, double-buffered via recycle) through ftc-dyn (randomized-halving levels, compact rows, k = 24) vs the median calibrated DetEpsNet build_store(Compact) rebuild of the same graph; speedup = full_rebuild_ms / update_ms\",\n");
+    s.push_str("  \"workload\": \"random_connected(n, n/2, seed 4242): median single-edge chord update (insert_edge/delete_edge + commit, double-buffered via recycle) through ftc-dyn (randomized-halving levels, compact rows, k = 24) vs the median calibrated DetEpsNet build_store(Compact) rebuild of the same graph; speedup = full_rebuild_ms / update_ms. durable_* rows run the same cycle through DurableScheme (write-ahead journal, on_commit policy): durable_update = journaled op + group-commit fsync + in-memory servable commit; durable_snapshot = full disk checkpoint (journal sync, atomic archive replace, manifest, journal rotation); the nofsync twins run over a NoSyncVfs to isolate the physical sync cost (for multi-megabyte snapshots the nofsync arm can come out *slower*: skipped fsyncs leave the page cache dirty and later writes absorb the kernel's writeback throttling, while the fsync arm pays the flush eagerly and writes into a clean cache); recovery_divergence = edge-set diff after a DurableScheme::recover round-trip of the on-disk state (must be 0)\",\n");
     s.push_str("  \"results\": [\n");
     for (i, c) in cells.iter().enumerate() {
         let _ = write!(
             s,
-            "    {{\"n\": {}, \"m\": {}, \"f\": {}, \"k\": {}, \"levels\": {}, \"full_rebuild_ms\": {:.1}, \"update_ms\": {:.2}, \"update_op_ms\": {:.3}, \"update_commit_ms\": {:.2}, \"archive_bytes\": {}, \"speedup\": {:.1}}}",
+            "    {{\"n\": {}, \"m\": {}, \"f\": {}, \"k\": {}, \"levels\": {}, \"full_rebuild_ms\": {:.1}, \"update_ms\": {:.2}, \"update_op_ms\": {:.3}, \"update_commit_ms\": {:.2}, \"archive_bytes\": {}, \"speedup\": {:.1}, \"durable_update_fsync_ms\": {:.2}, \"durable_update_nofsync_ms\": {:.2}, \"durable_snapshot_fsync_ms\": {:.2}, \"durable_snapshot_nofsync_ms\": {:.2}, \"durable_speedup_fsync\": {:.1}, \"recovery_divergence\": {}}}",
             c.n,
             c.m,
             c.f,
@@ -731,7 +847,13 @@ fn render_churn_json(mode: &str, cells: &[ChurnCell]) -> String {
             c.update_op_ms,
             c.update_commit_ms,
             c.archive_bytes,
-            c.speedup
+            c.speedup,
+            c.durable_update_fsync_ms,
+            c.durable_update_nofsync_ms,
+            c.durable_snapshot_fsync_ms,
+            c.durable_snapshot_nofsync_ms,
+            c.durable_speedup_fsync,
+            c.recovery_divergence
         );
         s.push_str(if i + 1 == cells.len() { "\n" } else { ",\n" });
     }
@@ -831,6 +953,15 @@ fn main() {
                 c.update_commit_ms,
                 c.archive_bytes,
                 c.speedup
+            );
+            println!(
+                "      durable update {:>7.2} ms fsync / {:>7.2} ms nofsync | snapshot {:>8.2} ms fsync / {:>8.2} ms nofsync | durable speedup {:.1}x | recovery divergence {}",
+                c.durable_update_fsync_ms,
+                c.durable_update_nofsync_ms,
+                c.durable_snapshot_fsync_ms,
+                c.durable_snapshot_nofsync_ms,
+                c.durable_speedup_fsync,
+                c.recovery_divergence
             );
         }
     };

@@ -1,0 +1,826 @@
+//! Durable file I/O: atomic archive writes behind a swappable [`Vfs`],
+//! plus a deterministic fault-injecting simulation for crash testing.
+//!
+//! Every archive-producing path in the tree (CLI build/compress/
+//! decompress/update, dynamic commits) funnels through [`AtomicFile`]:
+//! same-directory tempfile → write → `sync_all` → rename → parent
+//! directory fsync. Under that discipline the destination path holds
+//! either the complete old file or the complete new one — never a torn
+//! blob — which is what lets `ftc-server`'s SIGHUP reload open archives
+//! that other processes are rewriting.
+//!
+//! The trait has three implementations:
+//!
+//! * [`StdVfs`] — the production filesystem (real fsync, real rename);
+//! * [`NoSyncVfs`] — the filesystem with all syncs elided, for
+//!   benchmarking the fsync-off durability rows;
+//! * [`SimVfs`] — an in-memory disk with a durable/volatile split,
+//!   seeded fault injection (short writes, failed fsync, failed
+//!   rename), and a recorded write trace that [`SimVfs::crash_images`]
+//!   replays truncated at every boundary to simulate power cuts — the
+//!   same deterministic-seed philosophy as `ftc-net`'s `ChaosProxy`.
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read as _, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// An open file handle produced by a [`Vfs`].
+pub trait VfsFile: Write + Send {
+    /// Flushes buffered data and metadata to stable storage.
+    fn sync_all(&mut self) -> io::Result<()>;
+}
+
+/// The minimal filesystem surface the durability layer needs.
+///
+/// All paths are interpreted by the implementation; [`SimVfs`] treats
+/// them as opaque keys, [`StdVfs`] passes them to the OS.
+pub trait Vfs: Send + Sync {
+    /// Creates (or truncates) `path` for writing.
+    fn create(&self, path: &Path) -> io::Result<Box<dyn VfsFile>>;
+    /// Opens `path` for appending, creating it if absent.
+    fn open_append(&self, path: &Path) -> io::Result<Box<dyn VfsFile>>;
+    /// Reads the full contents of `path`.
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+    /// Atomically renames `from` onto `to` (replacing `to`).
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+    /// Removes `path`.
+    fn remove_file(&self, path: &Path) -> io::Result<()>;
+    /// Fsyncs the directory containing `path`, making renames and
+    /// creations in it durable.
+    fn sync_parent_dir(&self, path: &Path) -> io::Result<()>;
+    /// Whether `path` currently exists.
+    fn exists(&self, path: &Path) -> bool;
+}
+
+// ---------------------------------------------------------------------------
+// Production impl
+
+/// The real filesystem with full fsync discipline.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct StdVfs;
+
+struct StdFile(File);
+
+impl Write for StdFile {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.0.write(buf)
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        self.0.flush()
+    }
+}
+
+impl VfsFile for StdFile {
+    fn sync_all(&mut self) -> io::Result<()> {
+        self.0.sync_all()
+    }
+}
+
+impl Vfs for StdVfs {
+    fn create(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        Ok(Box::new(StdFile(File::create(path)?)))
+    }
+
+    fn open_append(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        let f = OpenOptions::new().append(true).create(true).open(path)?;
+        Ok(Box::new(StdFile(f)))
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        let mut f = File::open(path)?;
+        let mut buf = Vec::new();
+        f.read_to_end(&mut buf)?;
+        Ok(buf)
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        std::fs::rename(from, to)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        std::fs::remove_file(path)
+    }
+
+    fn sync_parent_dir(&self, path: &Path) -> io::Result<()> {
+        #[cfg(unix)]
+        {
+            let parent = match path.parent() {
+                Some(p) if !p.as_os_str().is_empty() => p,
+                _ => Path::new("."),
+            };
+            File::open(parent)?.sync_all()
+        }
+        #[cfg(not(unix))]
+        {
+            let _ = path;
+            Ok(())
+        }
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        path.exists()
+    }
+}
+
+/// The real filesystem with every sync elided: writes still land in the
+/// page cache, but nothing waits for stable storage. Used to measure
+/// the fsync-off durability rows; offers no crash-consistency.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoSyncVfs;
+
+struct NoSyncFile(File);
+
+impl Write for NoSyncFile {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.0.write(buf)
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        self.0.flush()
+    }
+}
+
+impl VfsFile for NoSyncFile {
+    fn sync_all(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+impl Vfs for NoSyncVfs {
+    fn create(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        Ok(Box::new(NoSyncFile(File::create(path)?)))
+    }
+
+    fn open_append(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        let f = OpenOptions::new().append(true).create(true).open(path)?;
+        Ok(Box::new(NoSyncFile(f)))
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        StdVfs.read(path)
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        std::fs::rename(from, to)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        std::fs::remove_file(path)
+    }
+
+    fn sync_parent_dir(&self, _path: &Path) -> io::Result<()> {
+        Ok(())
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        path.exists()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Atomic writer
+
+static TMP_NONCE: AtomicU64 = AtomicU64::new(0);
+
+/// A crash-consistent file writer: bytes stream into a same-directory
+/// tempfile and only an explicit [`AtomicFile::commit`] publishes them
+/// at the destination (fsync → rename → directory fsync). Dropping an
+/// uncommitted writer removes the tempfile; the destination is never
+/// touched until the replacement is fully durable.
+pub struct AtomicFile<'a> {
+    vfs: &'a dyn Vfs,
+    dest: PathBuf,
+    tmp: PathBuf,
+    file: Option<Box<dyn VfsFile>>,
+    committed: bool,
+}
+
+impl<'a> AtomicFile<'a> {
+    /// Starts an atomic write that will replace `dest` on commit.
+    pub fn create(vfs: &'a dyn Vfs, dest: &Path) -> io::Result<AtomicFile<'a>> {
+        let name = dest.file_name().ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("atomic write target has no file name: {}", dest.display()),
+            )
+        })?;
+        let nonce = TMP_NONCE.fetch_add(1, Ordering::Relaxed);
+        let tmp = dest.with_file_name(format!(
+            ".{}.tmp.{}.{}",
+            name.to_string_lossy(),
+            std::process::id(),
+            nonce
+        ));
+        let file = vfs.create(&tmp)?;
+        Ok(AtomicFile {
+            vfs,
+            dest: dest.to_path_buf(),
+            tmp,
+            file: Some(file),
+            committed: false,
+        })
+    }
+
+    /// Publishes the written bytes at the destination: flush, fsync the
+    /// tempfile, rename it over `dest`, fsync the parent directory.
+    pub fn commit(mut self) -> io::Result<()> {
+        let mut file = self.file.take().expect("file present until commit/drop");
+        file.flush()?;
+        file.sync_all()?;
+        drop(file);
+        self.vfs.rename(&self.tmp, &self.dest)?;
+        // The rename has happened: from here on the tempfile name no
+        // longer exists, so the Drop cleanup must not fire.
+        self.committed = true;
+        self.vfs.sync_parent_dir(&self.dest)
+    }
+}
+
+impl Write for AtomicFile<'_> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.file
+            .as_mut()
+            .expect("file present until commit/drop")
+            .write(buf)
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        self.file
+            .as_mut()
+            .expect("file present until commit/drop")
+            .flush()
+    }
+}
+
+impl Drop for AtomicFile<'_> {
+    fn drop(&mut self) {
+        if !self.committed {
+            drop(self.file.take());
+            let _ = self.vfs.remove_file(&self.tmp);
+        }
+    }
+}
+
+/// Writes `bytes` to `path` atomically through `vfs`.
+pub fn write_atomic(vfs: &dyn Vfs, path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let mut w = AtomicFile::create(vfs, path)?;
+    w.write_all(bytes)?;
+    w.commit()
+}
+
+/// Writes `bytes` to `path` atomically on the real filesystem with full
+/// fsync discipline. The replacement for every bare `fs::write` of an
+/// archive.
+pub fn write_file_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    write_atomic(&StdVfs, path, bytes)
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic fault-injecting simulation
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Seeded fault rates for [`SimVfs`], in events per thousand operations.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FaultConfig {
+    /// Seed for the deterministic fault schedule.
+    pub seed: u64,
+    /// Chance a write applies only a prefix and then errors.
+    pub short_write_per_mille: u16,
+    /// Chance `sync_all`/`sync_parent_dir` errors without syncing.
+    pub fail_fsync_per_mille: u16,
+    /// Chance a rename errors without renaming.
+    pub fail_rename_per_mille: u16,
+}
+
+/// One recorded filesystem mutation, replayed by
+/// [`SimVfs::crash_images`].
+#[derive(Debug, Clone)]
+enum TraceEvent {
+    Create { path: PathBuf, ino: u64 },
+    Append { ino: u64, data: Vec<u8> },
+    SyncFile { ino: u64 },
+    Rename { from: PathBuf, to: PathBuf },
+    Remove { path: PathBuf },
+    SyncDir,
+}
+
+#[derive(Debug, Default, Clone)]
+struct FileData {
+    bytes: Vec<u8>,
+    /// Prefix length guaranteed durable (advanced by `sync_all`).
+    synced: usize,
+}
+
+#[derive(Debug, Default)]
+struct SimState {
+    next_ino: u64,
+    files: HashMap<u64, FileData>,
+    /// Volatile directory: what a running process observes.
+    dir: HashMap<PathBuf, u64>,
+    trace: Vec<TraceEvent>,
+    faults: FaultConfig,
+    rng: u64,
+    injected: u64,
+}
+
+impl SimState {
+    fn roll(&mut self, per_mille: u16) -> bool {
+        if per_mille == 0 {
+            return false;
+        }
+        let hit = splitmix64(&mut self.rng) % 1000 < u64::from(per_mille);
+        if hit {
+            self.injected += 1;
+        }
+        hit
+    }
+}
+
+/// An in-memory filesystem with a durable/volatile split, recorded
+/// write trace, and seeded fault injection. Cloning shares the disk.
+#[derive(Clone, Default)]
+pub struct SimVfs {
+    state: Arc<Mutex<SimState>>,
+}
+
+/// A crash snapshot of a [`SimVfs`]: path → surviving contents.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DiskImage {
+    files: std::collections::BTreeMap<PathBuf, Vec<u8>>,
+}
+
+impl DiskImage {
+    /// Contents of `path` in this image, if it survived.
+    pub fn get(&self, path: &Path) -> Option<&[u8]> {
+        self.files.get(path).map(|v| v.as_slice())
+    }
+
+    /// All surviving paths.
+    pub fn paths(&self) -> impl Iterator<Item = &Path> {
+        self.files.keys().map(|p| p.as_path())
+    }
+}
+
+/// Replay accumulator: durable directory plus the ordered directory
+/// mutations not yet covered by a directory fsync.
+#[derive(Default)]
+struct Replay {
+    files: HashMap<u64, FileData>,
+    dir_durable: HashMap<PathBuf, u64>,
+    pending: Vec<DirOp>,
+}
+
+enum DirOp {
+    Link(PathBuf, u64),
+    Unlink(PathBuf),
+    Rename(PathBuf, PathBuf),
+}
+
+impl Replay {
+    fn apply(&mut self, ev: &TraceEvent) {
+        match ev {
+            TraceEvent::Create { path, ino } => {
+                self.files.insert(*ino, FileData::default());
+                self.pending.push(DirOp::Link(path.clone(), *ino));
+            }
+            TraceEvent::Append { ino, data } => {
+                self.files
+                    .entry(*ino)
+                    .or_default()
+                    .bytes
+                    .extend_from_slice(data);
+            }
+            TraceEvent::SyncFile { ino } => {
+                if let Some(f) = self.files.get_mut(ino) {
+                    f.synced = f.bytes.len();
+                }
+            }
+            TraceEvent::Rename { from, to } => {
+                self.pending.push(DirOp::Rename(from.clone(), to.clone()));
+            }
+            TraceEvent::Remove { path } => {
+                self.pending.push(DirOp::Unlink(path.clone()));
+            }
+            TraceEvent::SyncDir => {
+                apply_dir_ops(&mut self.dir_durable, &self.pending);
+                self.pending.clear();
+            }
+        }
+    }
+
+    /// Directory view with the first `upto` pending ops applied.
+    fn dir_with_pending(&self, upto: usize) -> HashMap<PathBuf, u64> {
+        let mut dir = self.dir_durable.clone();
+        apply_dir_ops(&mut dir, &self.pending[..upto]);
+        dir
+    }
+
+    fn image(&self, dir: &HashMap<PathBuf, u64>, flushed: bool) -> DiskImage {
+        let mut files = std::collections::BTreeMap::new();
+        for (path, ino) in dir {
+            if let Some(f) = self.files.get(ino) {
+                let len = if flushed { f.bytes.len() } else { f.synced };
+                files.insert(path.clone(), f.bytes[..len].to_vec());
+            }
+        }
+        DiskImage { files }
+    }
+}
+
+fn apply_dir_ops(dir: &mut HashMap<PathBuf, u64>, ops: &[DirOp]) {
+    for op in ops {
+        match op {
+            DirOp::Link(path, ino) => {
+                dir.insert(path.clone(), *ino);
+            }
+            DirOp::Unlink(path) => {
+                dir.remove(path);
+            }
+            DirOp::Rename(from, to) => {
+                if let Some(ino) = dir.remove(from) {
+                    dir.insert(to.clone(), ino);
+                }
+            }
+        }
+    }
+}
+
+impl SimVfs {
+    /// An empty fault-free simulated disk.
+    pub fn new() -> SimVfs {
+        SimVfs::default()
+    }
+
+    /// An empty simulated disk with the given seeded fault schedule.
+    pub fn with_faults(cfg: FaultConfig) -> SimVfs {
+        let vfs = SimVfs::default();
+        {
+            let mut st = vfs.state.lock().unwrap();
+            st.rng = cfg.seed ^ 0x5109_C3A1_D60F_F75C;
+            st.faults = cfg;
+        }
+        vfs
+    }
+
+    /// Mounts a crash image as a fresh disk: every surviving file is
+    /// fully durable, the trace starts empty.
+    pub fn from_image(image: &DiskImage) -> SimVfs {
+        let vfs = SimVfs::default();
+        {
+            let mut st = vfs.state.lock().unwrap();
+            for (path, bytes) in &image.files {
+                let ino = st.next_ino;
+                st.next_ino += 1;
+                st.files.insert(
+                    ino,
+                    FileData {
+                        bytes: bytes.clone(),
+                        synced: bytes.len(),
+                    },
+                );
+                st.dir.insert(path.clone(), ino);
+            }
+        }
+        vfs
+    }
+
+    /// Number of recorded trace events so far.
+    pub fn trace_len(&self) -> usize {
+        self.state.lock().unwrap().trace.len()
+    }
+
+    /// Number of faults injected so far.
+    pub fn injected_faults(&self) -> u64 {
+        self.state.lock().unwrap().injected
+    }
+
+    /// Simulates a power cut after the first `boundary` trace events,
+    /// with the final surviving write (if any) cut short by `cut_seed`.
+    ///
+    /// Returns the possible post-crash disks, conservatively bracketing
+    /// what a real filesystem may persist:
+    ///
+    /// 1. only explicitly synced data and directory entries survive;
+    /// 2. everything issued before the cut survives (write-through);
+    /// 3. a seeded mix: each file keeps a prefix between its synced and
+    ///    issued length, and a prefix of the un-fsynced directory
+    ///    operations survives in order.
+    ///
+    /// An implementation honouring the atomic-write contract must leave
+    /// the destination path holding the complete old or complete new
+    /// contents in *all* of them.
+    pub fn crash_images(&self, boundary: usize, cut_seed: u64) -> Vec<DiskImage> {
+        let st = self.state.lock().unwrap();
+        let boundary = boundary.min(st.trace.len());
+        let mut rng = cut_seed ^ 0x8F5C_28DC_67E1_B2A4;
+
+        let mut replay = Replay::default();
+        for (i, ev) in st.trace[..boundary].iter().enumerate() {
+            if i + 1 == boundary {
+                if let TraceEvent::Append { ino, data } = ev {
+                    // Power died mid-write: a prefix of the final write
+                    // reached the disk queue.
+                    let keep = if data.is_empty() {
+                        0
+                    } else {
+                        (splitmix64(&mut rng) as usize) % (data.len() + 1)
+                    };
+                    replay.apply(&TraceEvent::Append {
+                        ino: *ino,
+                        data: data[..keep].to_vec(),
+                    });
+                    continue;
+                }
+            }
+            replay.apply(ev);
+        }
+
+        let durable = replay.image(&replay.dir_durable, false);
+        let volatile_dir = replay.dir_with_pending(replay.pending.len());
+        let flushed = replay.image(&volatile_dir, true);
+
+        // Seeded mixed view: some unsynced bytes / directory ops made it.
+        let survived_ops = if replay.pending.is_empty() {
+            0
+        } else {
+            (splitmix64(&mut rng) as usize) % (replay.pending.len() + 1)
+        };
+        let mixed_dir = replay.dir_with_pending(survived_ops);
+        let mut mixed_files = std::collections::BTreeMap::new();
+        for (path, ino) in &mixed_dir {
+            if let Some(f) = replay.files.get(ino) {
+                let span = f.bytes.len() - f.synced;
+                let len = f.synced
+                    + if span == 0 {
+                        0
+                    } else {
+                        (splitmix64(&mut rng) as usize) % (span + 1)
+                    };
+                mixed_files.insert(path.clone(), f.bytes[..len].to_vec());
+            }
+        }
+        let mixed = DiskImage { files: mixed_files };
+
+        vec![durable, flushed, mixed]
+    }
+}
+
+struct SimFile {
+    state: Arc<Mutex<SimState>>,
+    ino: u64,
+}
+
+impl Write for SimFile {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let mut st = self.state.lock().unwrap();
+        let short = st.faults.short_write_per_mille;
+        if st.roll(short) {
+            let keep = if buf.is_empty() {
+                0
+            } else {
+                (splitmix64(&mut st.rng) as usize) % buf.len()
+            };
+            if let Some(f) = st.files.get_mut(&self.ino) {
+                f.bytes.extend_from_slice(&buf[..keep]);
+            }
+            st.trace.push(TraceEvent::Append {
+                ino: self.ino,
+                data: buf[..keep].to_vec(),
+            });
+            return Err(io::Error::other("injected short write"));
+        }
+        if let Some(f) = st.files.get_mut(&self.ino) {
+            f.bytes.extend_from_slice(buf);
+        }
+        st.trace.push(TraceEvent::Append {
+            ino: self.ino,
+            data: buf.to_vec(),
+        });
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+impl VfsFile for SimFile {
+    fn sync_all(&mut self) -> io::Result<()> {
+        let mut st = self.state.lock().unwrap();
+        let rate = st.faults.fail_fsync_per_mille;
+        if st.roll(rate) {
+            return Err(io::Error::other("injected fsync failure"));
+        }
+        if let Some(f) = st.files.get_mut(&self.ino) {
+            f.synced = f.bytes.len();
+        }
+        st.trace.push(TraceEvent::SyncFile { ino: self.ino });
+        Ok(())
+    }
+}
+
+impl Vfs for SimVfs {
+    fn create(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        let mut st = self.state.lock().unwrap();
+        let ino = st.next_ino;
+        st.next_ino += 1;
+        st.files.insert(ino, FileData::default());
+        st.dir.insert(path.to_path_buf(), ino);
+        st.trace.push(TraceEvent::Create {
+            path: path.to_path_buf(),
+            ino,
+        });
+        Ok(Box::new(SimFile {
+            state: Arc::clone(&self.state),
+            ino,
+        }))
+    }
+
+    fn open_append(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        {
+            let st = self.state.lock().unwrap();
+            if let Some(&ino) = st.dir.get(path) {
+                return Ok(Box::new(SimFile {
+                    state: Arc::clone(&self.state),
+                    ino,
+                }));
+            }
+        }
+        self.create(path)
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        let st = self.state.lock().unwrap();
+        let ino = st.dir.get(path).ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("no such simulated file: {}", path.display()),
+            )
+        })?;
+        Ok(st.files[ino].bytes.clone())
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        let mut st = self.state.lock().unwrap();
+        let rate = st.faults.fail_rename_per_mille;
+        if st.roll(rate) {
+            return Err(io::Error::other("injected rename failure"));
+        }
+        let ino = st.dir.remove(from).ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("no such simulated file: {}", from.display()),
+            )
+        })?;
+        st.dir.insert(to.to_path_buf(), ino);
+        st.trace.push(TraceEvent::Rename {
+            from: from.to_path_buf(),
+            to: to.to_path_buf(),
+        });
+        Ok(())
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        let mut st = self.state.lock().unwrap();
+        st.dir.remove(path).ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("no such simulated file: {}", path.display()),
+            )
+        })?;
+        st.trace.push(TraceEvent::Remove {
+            path: path.to_path_buf(),
+        });
+        Ok(())
+    }
+
+    fn sync_parent_dir(&self, _path: &Path) -> io::Result<()> {
+        let mut st = self.state.lock().unwrap();
+        let rate = st.faults.fail_fsync_per_mille;
+        if st.roll(rate) {
+            return Err(io::Error::other("injected directory fsync failure"));
+        }
+        st.trace.push(TraceEvent::SyncDir);
+        Ok(())
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        self.state.lock().unwrap().dir.contains_key(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> PathBuf {
+        PathBuf::from(s)
+    }
+
+    #[test]
+    fn sim_vfs_round_trips_and_tracks_durability() {
+        let vfs = SimVfs::new();
+        let mut f = vfs.create(&p("a")).unwrap();
+        f.write_all(b"hello").unwrap();
+        // Unsynced: volatile view sees it, durable crash view does not.
+        assert_eq!(vfs.read(&p("a")).unwrap(), b"hello");
+        let images = vfs.crash_images(vfs.trace_len(), 0);
+        assert_eq!(images[0].get(&p("a")), None, "entry never dir-synced");
+        f.sync_all().unwrap();
+        vfs.sync_parent_dir(&p("a")).unwrap();
+        let images = vfs.crash_images(vfs.trace_len(), 0);
+        assert_eq!(images[0].get(&p("a")), Some(&b"hello"[..]));
+        assert_eq!(images[1].get(&p("a")), Some(&b"hello"[..]));
+    }
+
+    #[test]
+    fn atomic_commit_replaces_only_on_success() {
+        let vfs = SimVfs::new();
+        write_atomic(&vfs, &p("dst"), b"old").unwrap();
+        let mut w = AtomicFile::create(&vfs, &p("dst")).unwrap();
+        w.write_all(b"NEW").unwrap();
+        // Abandoned writer: destination untouched, tempfile cleaned up.
+        drop(w);
+        assert_eq!(vfs.read(&p("dst")).unwrap(), b"old");
+        let st = vfs.state.lock().unwrap();
+        assert_eq!(st.dir.len(), 1, "tempfile removed on drop");
+        drop(st);
+
+        let mut w = AtomicFile::create(&vfs, &p("dst")).unwrap();
+        w.write_all(b"NEW").unwrap();
+        w.commit().unwrap();
+        assert_eq!(vfs.read(&p("dst")).unwrap(), b"NEW");
+    }
+
+    #[test]
+    fn atomic_write_survives_every_power_cut_boundary() {
+        let vfs = SimVfs::new();
+        write_atomic(&vfs, &p("dst"), b"old-archive").unwrap();
+        write_atomic(&vfs, &p("dst"), b"new-archive-with-longer-body").unwrap();
+        for boundary in 0..=vfs.trace_len() {
+            for cut in 0..3u64 {
+                for image in vfs.crash_images(boundary, cut) {
+                    if let Some(got) = image.get(&p("dst")) {
+                        assert!(
+                            got == b"old-archive" || got == b"new-archive-with-longer-body",
+                            "torn destination at boundary {boundary}: {got:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn injected_faults_are_deterministic_and_leave_destination_intact() {
+        let cfg = FaultConfig {
+            seed: 7,
+            short_write_per_mille: 300,
+            fail_fsync_per_mille: 300,
+            fail_rename_per_mille: 300,
+        };
+        let run = |cfg: FaultConfig| {
+            let vfs = SimVfs::with_faults(cfg);
+            write_atomic(&vfs, &p("dst"), b"base").unwrap_or(());
+            let mut outcomes = Vec::new();
+            for i in 0..50 {
+                let payload = vec![i as u8; 64];
+                outcomes.push(write_atomic(&vfs, &p("dst"), &payload).is_ok());
+            }
+            (outcomes, vfs.injected_faults())
+        };
+        let (a, fa) = run(cfg);
+        let (b, fb) = run(cfg);
+        assert_eq!(a, b, "fault schedule must be seed-deterministic");
+        assert_eq!(fa, fb);
+        assert!(fa > 0, "this schedule must actually inject faults");
+        assert!(a.iter().any(|ok| !ok), "some writes must fail");
+        assert!(a.iter().any(|ok| *ok), "some writes must succeed");
+    }
+
+    #[test]
+    fn std_vfs_atomic_write_round_trips() {
+        let dir = std::env::temp_dir().join(format!(
+            "ftc-io-test-{}-{}",
+            std::process::id(),
+            TMP_NONCE.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let dst = dir.join("archive.bin");
+        write_file_atomic(&dst, b"one").unwrap();
+        assert_eq!(std::fs::read(&dst).unwrap(), b"one");
+        write_file_atomic(&dst, b"two").unwrap();
+        assert_eq!(std::fs::read(&dst).unwrap(), b"two");
+        // No stray tempfiles left behind.
+        assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -32,6 +32,10 @@
 //!   writes a whole labeling as one indexed byte blob and
 //!   [`store::LabelStoreView`] opens it zero-copy, serving O(1)/O(log m)
 //!   label views and archive-native [`QuerySession`]s;
+//! * [`io`] — durable archive I/O: the [`io::AtomicFile`] writer
+//!   (tempfile → fsync → rename → directory fsync) behind the
+//!   [`io::Vfs`] trait, with a production filesystem and a seeded
+//!   fault-injecting / power-cut simulation;
 //! * [`patch`] — archive assembly from externally maintained label parts:
 //!   the write end of `ftc-dyn`'s incremental maintenance, sharing the
 //!   streaming build path's layout arithmetic;
@@ -71,6 +75,7 @@ pub mod compressed;
 pub mod error;
 pub mod fragments;
 pub mod hierarchy;
+pub mod io;
 pub mod labels;
 pub(crate) mod mmap;
 pub(crate) mod par;
@@ -85,6 +90,10 @@ pub mod vertex_faults;
 pub use compressed::{AnyArchive, CompressedStore, CompressedStoreView, SectionInfo, SectionKind};
 pub use error::{BuildError, QueryError};
 pub use hierarchy::HierarchyBackend;
+pub use io::{
+    write_atomic, write_file_atomic, AtomicFile, DiskImage, FaultConfig, NoSyncVfs, SimVfs, StdVfs,
+    Vfs, VfsFile,
+};
 pub use labels::{
     DetectOutcome, EdgeLabel, EdgeLabelRead, EndpointIndex, LabelHeader, LabelSet, OutdetectVector,
     RsDetector, RsVector, SizeReport, SlabDetect, VertexLabel, VertexLabelRead,

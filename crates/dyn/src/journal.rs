@@ -1,0 +1,561 @@
+//! The `.ftcj` write-ahead op journal.
+//!
+//! An append-only sidecar next to a dynamic archive: every edge
+//! operation is framed, checksummed, and appended *before* it is
+//! applied, so a crash at any byte boundary loses nothing that was
+//! acknowledged. The format is deliberately dumb — a fixed header
+//! binding the journal to its archive lineage, then a flat run of
+//! self-delimiting records:
+//!
+//! ```text
+//! header   magic "FTCJ" · version u16 · encoding u8 · pad u8 ·
+//!          n u32 · f u32 · k u32 · pad u32 · base_seq u64 ·
+//!          lineage u64 · checksum64(header[..40])          = 48 bytes
+//! record   len u32 · seq u64 · op u8 · args ·
+//!          checksum64(len..args)
+//! ```
+//!
+//! `seq` is strictly monotonic (`base_seq + 1, base_seq + 2, …`), ops
+//! are insert `(u, v)`, delete `(u, v)`, and a structural-rebuild
+//! marker, and every record carries its own checksum. Recovery
+//! semantics are asymmetric by design: a *torn tail* — the final
+//! record cut short or checksum-failed, exactly what a mid-append
+//! power cut produces — is truncated and tolerated, while any
+//! *interior* damage (a bad record with valid bytes after it) is a
+//! typed, offset-carrying [`JournalError`]: that is corruption, not a
+//! crash, and silently skipping it would replay a wrong history.
+
+use ftc_compress::checksum64;
+use ftc_core::io::{write_atomic, Vfs, VfsFile};
+use ftc_core::store::EdgeEncoding;
+use std::fmt;
+use std::io::{self, Write as _};
+use std::path::Path;
+use std::str::FromStr;
+
+/// Magic bytes opening every journal.
+pub const JOURNAL_MAGIC: [u8; 4] = *b"FTCJ";
+/// Current journal format version.
+pub const JOURNAL_VERSION: u16 = 1;
+/// Fixed header length in bytes.
+pub const JOURNAL_HEADER_LEN: usize = 48;
+
+/// Smallest legal record `len` field (rebuild marker: seq + op + checksum).
+const MIN_RECORD_LEN: u32 = 17;
+/// Largest legal record `len` field (guards scans of garbage lengths).
+const MAX_RECORD_LEN: u32 = 1024;
+
+/// One journaled operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JournalOp {
+    /// Edge insertion by endpoint pair.
+    Insert(u32, u32),
+    /// Edge deletion by endpoint pair.
+    Delete(u32, u32),
+    /// Marker: the preceding op forced a structural rebuild. Carries no
+    /// state (replay re-derives structure) but keeps recovery stats and
+    /// operators honest about what the downtime was spent on.
+    Rebuild,
+}
+
+impl JournalOp {
+    fn code(self) -> u8 {
+        match self {
+            JournalOp::Insert(..) => 1,
+            JournalOp::Delete(..) => 2,
+            JournalOp::Rebuild => 3,
+        }
+    }
+}
+
+/// A decoded record: its sequence number, op, and byte offset.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct JournalRecord {
+    /// Strictly monotonic sequence number.
+    pub seq: u64,
+    /// The operation.
+    pub op: JournalOp,
+    /// Byte offset of the record's frame in the journal.
+    pub offset: usize,
+}
+
+/// The identity block a journal shares with its archive.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct JournalMeta {
+    /// Vertex count of the bound scheme.
+    pub n: u32,
+    /// Fault budget of the bound scheme.
+    pub f: u32,
+    /// Outdetect threshold of the bound scheme.
+    pub k: u32,
+    /// Row encoding of the bound scheme.
+    pub encoding: EdgeEncoding,
+    /// Sequence number of the snapshot this journal starts after; the
+    /// first record is `base_seq + 1`.
+    pub base_seq: u64,
+    /// Lineage fingerprint of the owning [`DynamicScheme`]; recovery
+    /// refuses a journal whose lineage does not match the archive.
+    ///
+    /// [`DynamicScheme`]: crate::DynamicScheme
+    pub lineage: u64,
+}
+
+/// Result of scanning a journal's bytes.
+#[derive(Clone, Debug)]
+pub struct JournalScan {
+    /// The validated header.
+    pub meta: JournalMeta,
+    /// All fully validated records, in order.
+    pub records: Vec<JournalRecord>,
+    /// Offset of a torn final record, if the journal ends mid-append.
+    /// Everything before it is intact; the tail is to be truncated.
+    pub torn_at: Option<usize>,
+}
+
+/// What went wrong at [`JournalError::offset`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JournalErrorKind {
+    /// The file is shorter than a journal header.
+    TruncatedHeader,
+    /// The magic bytes are not `FTCJ`.
+    BadMagic,
+    /// A version this build does not read.
+    UnsupportedVersion(u16),
+    /// An encoding byte that is neither full nor compact.
+    BadEncoding(u8),
+    /// The header checksum does not match.
+    HeaderChecksum,
+    /// A non-final record failed validation (bad length or checksum)
+    /// with valid bytes after it — corruption, not a torn append.
+    InteriorCorrupt,
+    /// A checksum-valid record carries an unknown op code.
+    BadOp(u8),
+    /// A checksum-valid record breaks the `seq` chain.
+    NonMonotonicSeq {
+        /// The sequence number the chain required here.
+        expected: u64,
+        /// The sequence number actually stored.
+        got: u64,
+    },
+}
+
+/// Typed, offset-carrying journal validation failure.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct JournalError {
+    /// Byte offset of the failure (always `≤` the scanned length).
+    pub offset: usize,
+    /// The failure.
+    pub kind: JournalErrorKind,
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            JournalErrorKind::TruncatedHeader => {
+                write!(f, "journal shorter than its header ({} bytes)", self.offset)
+            }
+            JournalErrorKind::BadMagic => write!(f, "not a journal (bad magic)"),
+            JournalErrorKind::UnsupportedVersion(v) => {
+                write!(f, "unsupported journal version {v}")
+            }
+            JournalErrorKind::BadEncoding(b) => {
+                write!(f, "unknown encoding byte {b} at offset {}", self.offset)
+            }
+            JournalErrorKind::HeaderChecksum => f.write_str("journal header checksum mismatch"),
+            JournalErrorKind::InteriorCorrupt => {
+                write!(f, "corrupt journal record at offset {}", self.offset)
+            }
+            JournalErrorKind::BadOp(op) => {
+                write!(f, "unknown journal op {op} at offset {}", self.offset)
+            }
+            JournalErrorKind::NonMonotonicSeq { expected, got } => write!(
+                f,
+                "journal seq chain broken at offset {}: expected {expected}, got {got}",
+                self.offset
+            ),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+fn enc_byte(encoding: EdgeEncoding) -> u8 {
+    match encoding {
+        EdgeEncoding::Full => 0,
+        EdgeEncoding::Compact => 1,
+    }
+}
+
+fn u32_at(bytes: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes(bytes[at..at + 4].try_into().expect("4 bytes"))
+}
+
+fn u64_at(bytes: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes(bytes[at..at + 8].try_into().expect("8 bytes"))
+}
+
+/// Encodes a journal header for `meta`.
+pub fn encode_header(meta: &JournalMeta) -> [u8; JOURNAL_HEADER_LEN] {
+    let mut h = [0u8; JOURNAL_HEADER_LEN];
+    h[0..4].copy_from_slice(&JOURNAL_MAGIC);
+    h[4..6].copy_from_slice(&JOURNAL_VERSION.to_le_bytes());
+    h[6] = enc_byte(meta.encoding);
+    h[8..12].copy_from_slice(&meta.n.to_le_bytes());
+    h[12..16].copy_from_slice(&meta.f.to_le_bytes());
+    h[16..20].copy_from_slice(&meta.k.to_le_bytes());
+    h[24..32].copy_from_slice(&meta.base_seq.to_le_bytes());
+    h[32..40].copy_from_slice(&meta.lineage.to_le_bytes());
+    let sum = checksum64(&h[..40]);
+    h[40..48].copy_from_slice(&sum.to_le_bytes());
+    h
+}
+
+fn encode_record(seq: u64, op: JournalOp, out: &mut Vec<u8>) {
+    out.clear();
+    let args_len = match op {
+        JournalOp::Insert(..) | JournalOp::Delete(..) => 8,
+        JournalOp::Rebuild => 0,
+    };
+    let len: u32 = 8 + 1 + args_len + 8; // seq + op + args + checksum
+    out.extend_from_slice(&len.to_le_bytes());
+    out.extend_from_slice(&seq.to_le_bytes());
+    out.push(op.code());
+    match op {
+        JournalOp::Insert(u, v) | JournalOp::Delete(u, v) => {
+            out.extend_from_slice(&u.to_le_bytes());
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        JournalOp::Rebuild => {}
+    }
+    let sum = checksum64(out);
+    out.extend_from_slice(&sum.to_le_bytes());
+}
+
+/// Validates `bytes` as a journal.
+///
+/// A torn final record (mid-append crash) is reported via
+/// [`JournalScan::torn_at`] and tolerated; interior corruption is a
+/// typed [`JournalError`] whose offset is always in bounds.
+pub fn scan_journal(bytes: &[u8]) -> Result<JournalScan, JournalError> {
+    let err = |offset, kind| Err(JournalError { offset, kind });
+    if bytes.len() < JOURNAL_HEADER_LEN {
+        return err(bytes.len(), JournalErrorKind::TruncatedHeader);
+    }
+    if bytes[0..4] != JOURNAL_MAGIC {
+        return err(0, JournalErrorKind::BadMagic);
+    }
+    let version = u16::from_le_bytes(bytes[4..6].try_into().expect("2 bytes"));
+    if version != JOURNAL_VERSION {
+        return err(4, JournalErrorKind::UnsupportedVersion(version));
+    }
+    if checksum64(&bytes[..40]) != u64_at(bytes, 40) {
+        return err(40, JournalErrorKind::HeaderChecksum);
+    }
+    let encoding = match bytes[6] {
+        0 => EdgeEncoding::Full,
+        1 => EdgeEncoding::Compact,
+        other => return err(6, JournalErrorKind::BadEncoding(other)),
+    };
+    let meta = JournalMeta {
+        n: u32_at(bytes, 8),
+        f: u32_at(bytes, 12),
+        k: u32_at(bytes, 16),
+        encoding,
+        base_seq: u64_at(bytes, 24),
+        lineage: u64_at(bytes, 32),
+    };
+
+    let mut records = Vec::new();
+    let mut torn_at = None;
+    let mut off = JOURNAL_HEADER_LEN;
+    let mut expected = meta.base_seq.wrapping_add(1);
+    while off < bytes.len() {
+        let remaining = bytes.len() - off;
+        if remaining < 4 {
+            torn_at = Some(off);
+            break;
+        }
+        let len = u32_at(bytes, off);
+        let frame_end = off as u64 + 4 + len as u64;
+        if frame_end > bytes.len() as u64 {
+            // The frame extends past EOF: a mid-append cut. Even a
+            // flipped length lands here; dropping the tail is the
+            // conservative reading either way.
+            torn_at = Some(off);
+            break;
+        }
+        let frame_end = frame_end as usize;
+        let frame_ok = (MIN_RECORD_LEN..=MAX_RECORD_LEN).contains(&len)
+            && checksum64(&bytes[off..frame_end - 8]) == u64_at(bytes, frame_end - 8);
+        if !frame_ok {
+            if frame_end == bytes.len() {
+                // Final record, checksum- or length-invalid: a torn
+                // append that happened to stop inside the frame.
+                torn_at = Some(off);
+                break;
+            }
+            return err(off, JournalErrorKind::InteriorCorrupt);
+        }
+        let seq = u64_at(bytes, off + 4);
+        let op_code = bytes[off + 12];
+        let args = &bytes[off + 13..frame_end - 8];
+        let op = match (op_code, args.len()) {
+            (1, 8) => JournalOp::Insert(u32_at(bytes, off + 13), u32_at(bytes, off + 17)),
+            (2, 8) => JournalOp::Delete(u32_at(bytes, off + 13), u32_at(bytes, off + 17)),
+            (3, 0) => JournalOp::Rebuild,
+            (1..=3, _) => return err(off, JournalErrorKind::InteriorCorrupt),
+            (other, _) => return err(off + 12, JournalErrorKind::BadOp(other)),
+        };
+        if seq != expected {
+            return err(
+                off + 4,
+                JournalErrorKind::NonMonotonicSeq { expected, got: seq },
+            );
+        }
+        records.push(JournalRecord {
+            seq,
+            op,
+            offset: off,
+        });
+        expected = expected.wrapping_add(1);
+        off = frame_end;
+    }
+    Ok(JournalScan {
+        meta,
+        records,
+        torn_at,
+    })
+}
+
+/// When appended records are forced to stable storage.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// Every append fsyncs before it is acknowledged — each op is
+    /// individually durable.
+    EveryOp,
+    /// Group commit: fsync once per `n` appends.
+    EveryN(u32),
+    /// Fsync only at [`Journal::sync`] (the commit boundary); ops
+    /// between commits ride in the page cache.
+    OnCommit,
+}
+
+impl fmt::Display for FsyncPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FsyncPolicy::EveryOp => f.write_str("every_op"),
+            FsyncPolicy::EveryN(n) => write!(f, "every_n:{n}"),
+            FsyncPolicy::OnCommit => f.write_str("on_commit"),
+        }
+    }
+}
+
+impl FromStr for FsyncPolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<FsyncPolicy, String> {
+        match s {
+            "every_op" => Ok(FsyncPolicy::EveryOp),
+            "on_commit" => Ok(FsyncPolicy::OnCommit),
+            _ => {
+                if let Some(n) = s.strip_prefix("every_n:") {
+                    let n: u32 = n
+                        .parse()
+                        .map_err(|_| format!("bad fsync group size in {s:?}"))?;
+                    if n == 0 {
+                        return Err("fsync group size must be at least 1".into());
+                    }
+                    return Ok(FsyncPolicy::EveryN(n));
+                }
+                Err(format!(
+                    "unknown fsync policy {s:?} (expected every_op, every_n:N, or on_commit)"
+                ))
+            }
+        }
+    }
+}
+
+/// An open journal: appends frames, fsyncs per policy.
+pub struct Journal {
+    file: Box<dyn VfsFile>,
+    meta: JournalMeta,
+    policy: FsyncPolicy,
+    next_seq: u64,
+    unsynced: u32,
+    frame: Vec<u8>,
+}
+
+impl Journal {
+    /// Atomically replaces any journal at `path` with a fresh one for
+    /// `meta` (header written to a tempfile, fsynced, renamed — the
+    /// path never holds a half-written header) and opens it for
+    /// appending.
+    pub fn create(
+        vfs: &dyn Vfs,
+        path: &Path,
+        meta: JournalMeta,
+        policy: FsyncPolicy,
+    ) -> io::Result<Journal> {
+        write_atomic(vfs, path, &encode_header(&meta))?;
+        let file = vfs.open_append(path)?;
+        Ok(Journal {
+            file,
+            meta,
+            policy,
+            next_seq: meta.base_seq.wrapping_add(1),
+            unsynced: 0,
+            frame: Vec::with_capacity(32),
+        })
+    }
+
+    /// Appends one record and applies the fsync policy. Returns the
+    /// record's sequence number; when it returns `Ok` under `EveryOp`
+    /// the op is durable.
+    pub fn append(&mut self, op: JournalOp) -> io::Result<u64> {
+        let seq = self.next_seq;
+        encode_record(seq, op, &mut self.frame);
+        self.file.write_all(&self.frame)?;
+        self.next_seq = self.next_seq.wrapping_add(1);
+        self.unsynced += 1;
+        match self.policy {
+            FsyncPolicy::EveryOp => self.sync()?,
+            FsyncPolicy::EveryN(n) if self.unsynced >= n => self.sync()?,
+            _ => {}
+        }
+        Ok(seq)
+    }
+
+    /// Forces all appended records to stable storage (the group-commit
+    /// boundary).
+    pub fn sync(&mut self) -> io::Result<()> {
+        if self.unsynced > 0 {
+            self.file.sync_all()?;
+            self.unsynced = 0;
+        }
+        Ok(())
+    }
+
+    /// Sequence number of the last appended record (`base_seq` if none).
+    pub fn last_seq(&self) -> u64 {
+        self.next_seq.wrapping_sub(1)
+    }
+
+    /// The identity block this journal was created with.
+    pub fn meta(&self) -> &JournalMeta {
+        &self.meta
+    }
+
+    /// The active fsync policy.
+    pub fn policy(&self) -> FsyncPolicy {
+        self.policy
+    }
+}
+
+impl fmt::Debug for Journal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Journal")
+            .field("meta", &self.meta)
+            .field("policy", &self.policy)
+            .field("next_seq", &self.next_seq)
+            .field("unsynced", &self.unsynced)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftc_core::io::SimVfs;
+    use std::path::PathBuf;
+
+    fn meta() -> JournalMeta {
+        JournalMeta {
+            n: 100,
+            f: 2,
+            k: 24,
+            encoding: EdgeEncoding::Compact,
+            base_seq: 7,
+            lineage: 0xABCD_EF01_2345_6789,
+        }
+    }
+
+    fn sample_bytes(ops: &[JournalOp]) -> Vec<u8> {
+        let vfs = SimVfs::new();
+        let path = PathBuf::from("j.ftcj");
+        let mut j = Journal::create(&vfs, &path, meta(), FsyncPolicy::EveryOp).unwrap();
+        for &op in ops {
+            j.append(op).unwrap();
+        }
+        vfs.read(&path).unwrap()
+    }
+
+    #[test]
+    fn round_trips_ops_and_seqs() {
+        let ops = [
+            JournalOp::Insert(3, 9),
+            JournalOp::Delete(9, 3),
+            JournalOp::Rebuild,
+            JournalOp::Insert(0, 99),
+        ];
+        let scan = scan_journal(&sample_bytes(&ops)).unwrap();
+        assert_eq!(scan.meta, meta());
+        assert_eq!(scan.torn_at, None);
+        let got: Vec<JournalOp> = scan.records.iter().map(|r| r.op).collect();
+        assert_eq!(got, ops);
+        let seqs: Vec<u64> = scan.records.iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![8, 9, 10, 11]);
+    }
+
+    #[test]
+    fn every_truncation_is_a_clean_prefix_or_torn_tail() {
+        let bytes = sample_bytes(&[
+            JournalOp::Insert(1, 2),
+            JournalOp::Rebuild,
+            JournalOp::Delete(1, 2),
+        ]);
+        for cut in JOURNAL_HEADER_LEN..=bytes.len() {
+            let scan = scan_journal(&bytes[..cut]).expect("truncation is never corruption");
+            let whole: usize = scan
+                .records
+                .last()
+                .map(|r| r.offset + frame_len(&bytes, r.offset))
+                .unwrap_or(JOURNAL_HEADER_LEN);
+            match scan.torn_at {
+                None => assert_eq!(whole, cut, "clean end must consume everything"),
+                Some(at) => assert_eq!(at, whole, "torn tail starts at the first partial frame"),
+            }
+        }
+    }
+
+    fn frame_len(bytes: &[u8], off: usize) -> usize {
+        4 + u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap()) as usize
+    }
+
+    #[test]
+    fn interior_flip_is_typed_error_final_flip_is_torn() {
+        let bytes = sample_bytes(&[JournalOp::Insert(1, 2), JournalOp::Delete(1, 2)]);
+        // Flip a byte inside the first record's payload: interior corrupt.
+        let mut interior = bytes.clone();
+        interior[JOURNAL_HEADER_LEN + 14] ^= 0x40;
+        let err = scan_journal(&interior).unwrap_err();
+        assert_eq!(err.kind, JournalErrorKind::InteriorCorrupt);
+        assert_eq!(err.offset, JOURNAL_HEADER_LEN);
+        // Flip a byte inside the final record: torn tail, first record kept.
+        let mut tail = bytes.clone();
+        let last = bytes.len() - 3;
+        tail[last] ^= 0x40;
+        let scan = scan_journal(&tail).unwrap();
+        assert_eq!(scan.records.len(), 1);
+        assert!(scan.torn_at.is_some());
+    }
+
+    #[test]
+    fn fsync_policies_parse_and_render() {
+        for s in ["every_op", "every_n:8", "on_commit"] {
+            let p: FsyncPolicy = s.parse().unwrap();
+            assert_eq!(p.to_string(), s);
+        }
+        assert!("every_n:0".parse::<FsyncPolicy>().is_err());
+        assert!("sometimes".parse::<FsyncPolicy>().is_err());
+    }
+}

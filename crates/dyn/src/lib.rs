@@ -56,6 +56,15 @@
 //! label tag, so stale labels from an earlier generation are rejected
 //! rather than silently mixed.
 //!
+//! ## Durability
+//!
+//! [`DynamicScheme`] is purely in-memory; crash consistency lives in the
+//! [`durable`] module. [`DurableScheme`] write-ahead journals every op
+//! into a `.ftcj` sidecar (format in [`journal`]) and checkpoints through
+//! [`ftc_core::io::AtomicFile`], so a crash at any byte boundary loses no
+//! acknowledged op: [`DynamicScheme::recover`] replays exactly the
+//! un-snapshotted journal suffix onto the surviving archive.
+//!
 //! ```
 //! use ftc_dyn::{DynConfig, DynamicScheme};
 //! use ftc_graph::Graph;
@@ -70,6 +79,14 @@
 //! let answers = service.query(&[(3, 4)], &[(1, 5)]).unwrap();
 //! assert!(answers.get(0).unwrap());
 //! ```
+
+pub mod durable;
+pub mod journal;
+
+pub use durable::{
+    default_journal_path, manifest_path, DurableError, DurableScheme, Manifest, RecoverStats,
+};
+pub use journal::{FsyncPolicy, JournalError, JournalErrorKind, JournalOp, JournalScan};
 
 use ftc_codes::ThresholdCodec;
 use ftc_core::ancestry::AncestryLabel;
@@ -436,6 +453,14 @@ impl DynamicScheme {
     /// Update counters since construction.
     pub fn stats(&self) -> DynStats {
         self.stats
+    }
+
+    /// Lineage fingerprint: a hash of the scheme's shape (`n`, `f`,
+    /// `k`) and construction seed, stable across updates and commits.
+    /// [`durable`] stamps it into journals and manifests so recovery
+    /// can refuse files that do not belong together.
+    pub fn lineage(&self) -> u64 {
+        self.tag_base
     }
 
     /// `true` iff an edge with this endpoint pair is present.

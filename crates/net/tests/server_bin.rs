@@ -86,6 +86,92 @@ fn server_binary_serves_and_drains_on_sigterm() {
     );
 }
 
+/// Reads stderr lines until one contains `needle` (the reload log
+/// lines are the operator contract being pinned here).
+fn next_line_containing(stderr: &mut impl BufRead, needle: &str) -> String {
+    for _ in 0..50 {
+        let mut line = String::new();
+        let n = stderr.read_line(&mut line).unwrap();
+        assert!(n > 0, "server stderr closed while waiting for {needle:?}");
+        if line.contains(needle) {
+            return line;
+        }
+    }
+    panic!("no stderr line contained {needle:?}");
+}
+
+/// A SIGHUP pointing at a corrupt (or mid-rewrite, torn) archive must
+/// never take the graph down: the reload fails with a typed log line,
+/// the previous generation keeps serving, and a later SIGHUP with a
+/// good archive swaps forward.
+#[test]
+fn sighup_with_corrupt_archive_keeps_previous_generation() {
+    let archive = scratch_path("reload.ftc");
+    write_archive(&archive);
+    let spec = format!("g={}", archive.display());
+    let (mut child, addr) = spawn_server(&[&spec]);
+    let mut stderr = BufReader::new(child.stderr.take().unwrap());
+    let pid = child.id().to_string();
+
+    let mut client = Client::connect(&addr).unwrap();
+    assert_eq!(
+        client.query("g", &[(0, 1)], &[(0, 5)]).unwrap().len(),
+        1,
+        "first generation must serve"
+    );
+
+    // Replace the archive with garbage via rename — a fresh inode, the
+    // way any writer (even a corrupt one) must publish: the previous
+    // generation's mmap stays valid. (An in-place truncating write
+    // would yank pages out from under the live mapping — exactly the
+    // hazard the atomic-writer discipline exists to rule out.)
+    let garbage = scratch_path("reload.ftc.garbage");
+    std::fs::write(&garbage, b"FTC?this is not an archive").unwrap();
+    std::fs::rename(&garbage, &archive).unwrap();
+    assert!(Command::new("kill")
+        .args(["-HUP", &pid])
+        .status()
+        .unwrap()
+        .success());
+    let line = next_line_containing(&mut stderr, "reload of");
+    assert!(
+        line.contains("reload of \"g\" failed, keeping previous archive"),
+        "unexpected reload failure line: {line:?}"
+    );
+
+    // The previous generation is still live and still correct.
+    assert_eq!(client.query("g", &[], &[(2, 2)]).unwrap(), vec![true]);
+    assert_eq!(
+        client.query("g", &[(0, 1)], &[(0, 5)]).unwrap().len(),
+        1,
+        "previous generation must keep serving after the failed reload"
+    );
+
+    // Restore a good archive through the atomic writer and reload:
+    // the swap goes forward.
+    let g = Graph::torus(3, 4);
+    let scheme = FtcScheme::build(&g, &Params::deterministic(2)).unwrap();
+    ftc_core::io::write_file_atomic(
+        &archive,
+        &LabelStore::to_vec(scheme.labels(), EdgeEncoding::Full),
+    )
+    .unwrap();
+    assert!(Command::new("kill")
+        .args(["-HUP", &pid])
+        .status()
+        .unwrap()
+        .success());
+    let line = next_line_containing(&mut stderr, "reloaded");
+    assert!(
+        line.contains("reloaded \"g\" generation"),
+        "unexpected reload line: {line:?}"
+    );
+    assert_eq!(client.query("g", &[], &[(2, 2)]).unwrap(), vec![true]);
+
+    Command::new("kill").args(["-TERM", &pid]).status().unwrap();
+    assert!(child.wait().unwrap().success());
+}
+
 #[test]
 fn server_binary_rejects_bad_usage() {
     // No archives at all.

@@ -6,7 +6,8 @@
 //!               [--k N] [--encoding full|compact] [--threads N] [--compress]
 //! ftc-cli info  <labels.ftc>
 //! ftc-cli query <labels.ftc> <s> <t> [--fault U:V ...] [--pair S:T ...]
-//! ftc-cli update <labels.ftc> <ops.txt> [--out PATH] [--seed N]
+//! ftc-cli update <labels.ftc> <ops.txt> [--out PATH] [--seed N] [--journal] [--fsync P]
+//! ftc-cli recover <labels.ftc> [--journal PATH] [--seed N] [--fsync P]
 //! ftc-cli serve <labels.ftc> [--threads N] [--tcp HOST:PORT] [--id NAME]
 //! ftc-cli compress   <labels.ftc> <labels.ftcz>
 //! ftc-cli decompress <labels.ftcz> <labels.ftc>
@@ -46,9 +47,21 @@
 //! `update` applies a batch of edge insertions (`+u v` or `+u:v`) and
 //! deletions (`-u v` / `-u:v`) to an existing archive through `ftc-dyn`'s incremental
 //! maintenance and writes the re-committed archive back — no graph file
-//! and no from-scratch rebuild.
+//! and no from-scratch rebuild. With `--journal`, every op is
+//! write-ahead journaled into a `.ftcj` sidecar before it is applied
+//! (fsync per `--fsync every_op|every_n:N|on_commit`, default
+//! `every_op`) and the final archive is a crash-consistent checkpoint;
+//! `recover` replays whatever journal suffix a crash left behind and
+//! reseals the archive.
+//!
+//! Every archive-producing command writes through
+//! [`ftc::core::io::AtomicFile`] (tempfile → fsync → rename →
+//! directory fsync): an interrupted run can never leave a torn archive
+//! at the output path, and a live `ftc-server` reloading the path on
+//! SIGHUP always opens a complete generation.
 
 use ftc::core::compressed::AnyArchive;
+use ftc::core::io::{write_file_atomic, StdVfs};
 use ftc::core::store::{EdgeEncoding, LabelStoreView};
 use ftc::core::{FtcScheme, HierarchyBackend, Params, StoreOpenError, ThresholdPolicy};
 use ftc::graph::Graph;
@@ -106,6 +119,7 @@ fn main() -> ExitCode {
         Some("info") => cmd_info(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
         Some("update") => cmd_update(&args[1..]),
+        Some("recover") => cmd_recover(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("compress") => cmd_compress(&args[1..]),
         Some("decompress") => cmd_decompress(&args[1..]),
@@ -124,14 +138,14 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str = "usage:\n  ftc-cli build <graph.txt> <labels.ftc> [--f N] [--backend epsnet|greedy|sampling] [--k N] [--encoding full|compact] [--threads N] [--compress]\n  ftc-cli info  <labels.ftc>\n  ftc-cli query <labels.ftc> <s> <t> [--fault U:V ...] [--pair S:T ...]\n  ftc-cli update <labels.ftc> <ops.txt> [--out PATH] [--seed N]   (ops `+u v` / `-u v`, one per line)\n  ftc-cli serve <labels.ftc> [--threads N] [--tcp HOST:PORT] [--id NAME]   (queries `s t [u:v ...]` on stdin)\n  ftc-cli compress   <labels.ftc> <labels.ftcz>\n  ftc-cli decompress <labels.ftcz> <labels.ftc>";
+const USAGE: &str = "usage:\n  ftc-cli build <graph.txt> <labels.ftc> [--f N] [--backend epsnet|greedy|sampling] [--k N] [--encoding full|compact] [--threads N] [--compress]\n  ftc-cli info  <labels.ftc>\n  ftc-cli query <labels.ftc> <s> <t> [--fault U:V ...] [--pair S:T ...]\n  ftc-cli update <labels.ftc> <ops.txt> [--out PATH] [--seed N] [--journal] [--fsync every_op|every_n:N|on_commit]   (ops `+u v` / `-u v`, one per line)\n  ftc-cli recover <labels.ftc> [--journal PATH] [--seed N] [--fsync P]   (replay the journal a crash left behind)\n  ftc-cli serve <labels.ftc> [--threads N] [--tcp HOST:PORT] [--id NAME]   (queries `s t [u:v ...]` on stdin)\n  ftc-cli compress   <labels.ftc> <labels.ftcz>\n  ftc-cli decompress <labels.ftcz> <labels.ftc>";
 
 // ---------------------------------------------------------------------------
 // build
 // ---------------------------------------------------------------------------
 
 fn cmd_build(args: &[String]) -> CliResult {
-    let (positional, flags) = split_flags(args)?;
+    let (positional, flags) = split_flags(args, &["compress"])?;
     let [graph_path, out_path] = positional.as_slice() else {
         return Err(CliError::Usage);
     };
@@ -184,7 +198,8 @@ fn cmd_build(args: &[String]) -> CliResult {
     };
     eprintln!("labels built: k = {}, {} levels", diag.k, diag.levels);
 
-    fs::write(out_path, &bytes).map_err(|e| format!("cannot write {out_path}: {e}"))?;
+    write_file_atomic(Path::new(out_path), &bytes)
+        .map_err(|e| format!("cannot write {out_path}: {e}"))?;
     println!(
         "wrote {} byte {kind} ({} vertices, {} edges) to {out_path}",
         bytes.len(),
@@ -271,10 +286,17 @@ fn section_name(s: &ftc::core::SectionInfo) -> String {
 /// written back (in place unless `--out` redirects it; a `.ftcz` output
 /// path selects the v2 compressed container). Both input formats are
 /// accepted; v2 inputs are expanded to their v1 bytes first.
+///
+/// With `--journal` the batch runs through a
+/// [`DurableScheme`](ftc::dyn_::DurableScheme): the input state is
+/// checkpointed at the output path first, every op is write-ahead
+/// journaled into `<out>.ftcj` before it is applied, and the final
+/// archive is a crash-consistent checkpoint — kill the process at any
+/// byte and `ftc-cli recover` loses no acknowledged op.
 fn cmd_update(args: &[String]) -> CliResult {
-    use ftc::dyn_::DynamicScheme;
+    use ftc::dyn_::{default_journal_path, DurableScheme, DynamicScheme, FsyncPolicy};
 
-    let (positional, flags) = split_flags(args)?;
+    let (positional, flags) = split_flags(args, &["journal"])?;
     let [archive_path, ops_path] = positional.as_slice() else {
         return Err(CliError::Usage);
     };
@@ -299,6 +321,49 @@ fn cmd_update(args: &[String]) -> CliResult {
     }
     .map_err(|e| format!("cannot maintain {archive_path}: {e}"))?;
 
+    if flag_present(&flags, "journal") {
+        if out_path.ends_with(".ftcz") {
+            return Err("--journal requires a v1 output archive (not .ftcz)".into());
+        }
+        let policy: FsyncPolicy = flag_value(&flags, "fsync")
+            .unwrap_or_else(|| "every_op".into())
+            .parse()
+            .map_err(CliError::Msg)?;
+        let journal_path = default_journal_path(Path::new(&out_path));
+        let mut durable = DurableScheme::create(
+            Arc::new(StdVfs),
+            Path::new(&out_path),
+            &journal_path,
+            scheme,
+            policy,
+        )
+        .map_err(|e| format!("cannot journal {out_path}: {e}"))?;
+        for &(lineno, insert, u, v) in &ops {
+            let sign = if insert { '+' } else { '-' };
+            (if insert {
+                durable.insert_edge(u, v)
+            } else {
+                durable.delete_edge(u, v)
+            })
+            .map_err(|e| format!("{ops_path}:{lineno}: {sign}{u} {v}: {e}"))?;
+        }
+        let stats = durable.stats();
+        let watermark = durable
+            .commit()
+            .map_err(|e| format!("cannot commit {out_path}: {e}"))?;
+        println!(
+            "applied {} ops ({} incremental, {} rebuilds); committed watermark {watermark} to {out_path} (journal {}, fsync {policy})",
+            ops.len(),
+            stats.incremental_ops,
+            stats.structural_rebuilds + stats.slot_rebuilds,
+            journal_path.display()
+        );
+        return Ok(());
+    }
+    if flag_present(&flags, "fsync") {
+        return Err("--fsync only applies with --journal".into());
+    }
+
     for &(lineno, insert, u, v) in &ops {
         let sign = if insert { '+' } else { '-' };
         (if insert {
@@ -315,7 +380,8 @@ fn cmd_update(args: &[String]) -> CliResult {
     } else {
         scheme.commit().into_vec()
     };
-    fs::write(&out_path, &bytes).map_err(|e| format!("cannot write {out_path}: {e}"))?;
+    write_file_atomic(Path::new(&out_path), &bytes)
+        .map_err(|e| format!("cannot write {out_path}: {e}"))?;
     println!(
         "applied {} ops ({} incremental, {} rebuilds); wrote {} byte archive ({} vertices, {} edges) to {out_path}",
         ops.len(),
@@ -324,6 +390,63 @@ fn cmd_update(args: &[String]) -> CliResult {
         bytes.len(),
         scheme.n(),
         scheme.m()
+    );
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// recover
+// ---------------------------------------------------------------------------
+
+/// Replays the write-ahead journal a crash left next to `labels.ftc`:
+/// opens whatever archive generation survived (the atomic writer
+/// guarantees it is complete), replays the journal suffix past the
+/// manifest watermark, and reseals — recovered archive, fresh manifest,
+/// rotated journal. `--seed` must match the `update --journal` run that
+/// produced the journal (both default to 0).
+fn cmd_recover(args: &[String]) -> CliResult {
+    use ftc::dyn_::{default_journal_path, DurableScheme, FsyncPolicy};
+    use std::path::PathBuf;
+
+    let (positional, flags) = split_flags(args, &[])?;
+    let [archive_path] = positional.as_slice() else {
+        return Err(CliError::Usage);
+    };
+    if archive_path.ends_with(".ftcz") {
+        return Err("journaled durability covers v1 archives only (not .ftcz)".into());
+    }
+    let seed: u64 = flag_value(&flags, "seed")
+        .unwrap_or_else(|| "0".into())
+        .parse()
+        .map_err(|_| "--seed expects an integer")?;
+    let policy: FsyncPolicy = flag_value(&flags, "fsync")
+        .unwrap_or_else(|| "every_op".into())
+        .parse()
+        .map_err(CliError::Msg)?;
+    let journal_path = flag_value(&flags, "journal")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| default_journal_path(Path::new(archive_path)));
+
+    let (durable, stats) = DurableScheme::recover(
+        Arc::new(StdVfs),
+        Path::new(archive_path),
+        &journal_path,
+        seed,
+        policy,
+    )
+    .map_err(|e| format!("cannot recover {archive_path}: {e}"))?;
+    println!(
+        "recovered {archive_path}: watermark {}, {} journal records ({} replayed, {} skipped, {} tolerated, {} rebuilds{}); resealed at seq {} ({} vertices, {} edges)",
+        stats.watermark,
+        stats.records,
+        stats.replayed,
+        stats.skipped,
+        stats.tolerated,
+        stats.rebuild_markers,
+        if stats.torn_tail { ", torn tail truncated" } else { "" },
+        stats.end_seq,
+        durable.scheme().n(),
+        durable.scheme().m()
     );
     Ok(())
 }
@@ -388,7 +511,8 @@ fn cmd_compress(args: &[String]) -> CliResult {
     let blob = read_archive_bytes(in_path)?;
     let view = LabelStoreView::open(&blob).map_err(|e| format!("{in_path}: {e}"))?;
     let store = ftc::core::compressed::compress_archive(&view);
-    fs::write(out_path, store.as_bytes()).map_err(|e| format!("cannot write {out_path}: {e}"))?;
+    write_file_atomic(Path::new(out_path), store.as_bytes())
+        .map_err(|e| format!("cannot write {out_path}: {e}"))?;
     println!(
         "wrote {} byte compressed archive ({:.2}x) to {out_path}",
         store.as_bytes().len(),
@@ -406,7 +530,8 @@ fn cmd_decompress(args: &[String]) -> CliResult {
         return Err(format!("{in_path}: already a v1 archive").into());
     };
     let blob = view.to_v1_vec().map_err(|e| format!("{in_path}: {e}"))?;
-    fs::write(out_path, &blob).map_err(|e| format!("cannot write {out_path}: {e}"))?;
+    write_file_atomic(Path::new(out_path), &blob)
+        .map_err(|e| format!("cannot write {out_path}: {e}"))?;
     println!("wrote {} byte archive to {out_path}", blob.len());
     Ok(())
 }
@@ -416,7 +541,7 @@ fn cmd_decompress(args: &[String]) -> CliResult {
 // ---------------------------------------------------------------------------
 
 fn cmd_query(args: &[String]) -> CliResult {
-    let (positional, flags) = split_flags(args)?;
+    let (positional, flags) = split_flags(args, &[])?;
     let [path, s_str, t_str] = positional.as_slice() else {
         return Err(CliError::Usage);
     };
@@ -457,7 +582,7 @@ fn cmd_query(args: &[String]) -> CliResult {
 // ---------------------------------------------------------------------------
 
 fn cmd_serve(args: &[String]) -> CliResult {
-    let (positional, flags) = split_flags(args)?;
+    let (positional, flags) = split_flags(args, &[])?;
     let [path] = positional.as_slice() else {
         return Err(CliError::Usage);
     };
@@ -603,16 +728,15 @@ fn parse_colon_pair(what: &str, spec: &str) -> Result<(usize, usize), String> {
 /// Parsed command line: positional arguments and `--name value` flags.
 type ParsedArgs = (Vec<String>, Vec<(String, String)>);
 
-/// Flags that take no value; they parse to a `("name", "")` entry.
-const BOOL_FLAGS: &[&str] = &["compress"];
-
-fn split_flags(args: &[String]) -> Result<ParsedArgs, String> {
+/// Splits `args` into positionals and flags; names in `bool_flags` take
+/// no value and parse to a `("name", "")` entry.
+fn split_flags(args: &[String], bool_flags: &[&str]) -> Result<ParsedArgs, String> {
     let mut positional = Vec::new();
     let mut flags = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         if let Some(name) = a.strip_prefix("--") {
-            if BOOL_FLAGS.contains(&name) {
+            if bool_flags.contains(&name) {
                 flags.push((name.to_string(), String::new()));
                 continue;
             }

@@ -332,6 +332,123 @@ fn serve_answers_stdin_queries_in_order() {
     let _ = fs::remove_dir_all(&dir);
 }
 
+/// `update --journal` + `recover` round trip: the journaled update
+/// leaves a committed archive, a rotated (empty) journal, and a
+/// manifest; a hand-crafted crash state — journal records past the
+/// watermark, torn tail, missing manifest — is replayed by `recover`
+/// and lands in the archive.
+#[test]
+fn journaled_update_and_recover_round_trip() {
+    use ftc::core::io::StdVfs;
+    use ftc::core::store::LabelStoreView;
+    use ftc::dyn_::journal::{scan_journal, FsyncPolicy, Journal, JournalOp};
+    use ftc::dyn_::DynamicScheme;
+
+    let dir = std::env::temp_dir().join(format!("ftc_cli_journal_{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    let graph_file = dir.join("cycle6.txt");
+    fs::write(&graph_file, "0 1\n1 2\n2 3\n3 4\n4 5\n5 0\n").unwrap();
+    let archive = dir.join("labels.ftc");
+    let archive_str = archive.to_str().unwrap();
+    assert!(
+        run(&[
+            "build",
+            graph_file.to_str().unwrap(),
+            archive_str,
+            "--f",
+            "2"
+        ])
+        .0
+    );
+
+    // Flag validation: --fsync without --journal, and compressed output.
+    let ops_file = dir.join("ops.txt");
+    fs::write(&ops_file, "+0 3  # chord\n-0 1\n+0 1\n").unwrap();
+    let ops_str = ops_file.to_str().unwrap();
+    let (ok, _, stderr) = run(&["update", archive_str, ops_str, "--fsync", "every_op"]);
+    assert!(!ok);
+    assert!(stderr.contains("--fsync only applies with --journal"));
+    let (ok, _, stderr) = run(&[
+        "update",
+        archive_str,
+        ops_str,
+        "--journal",
+        "--out",
+        dir.join("out.ftcz").to_str().unwrap(),
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("v1 output archive"), "stderr: {stderr}");
+
+    // The journaled update commits and rotates in a fresh journal.
+    let (ok, stdout, stderr) = run(&[
+        "update",
+        archive_str,
+        ops_str,
+        "--journal",
+        "--fsync",
+        "every_n:2",
+        "--seed",
+        "5",
+    ]);
+    assert!(ok, "journaled update failed: {stderr}");
+    assert!(
+        stdout.contains("committed watermark") && stdout.contains("fsync every_n:2"),
+        "stdout: {stdout}"
+    );
+    let journal = dir.join("labels.ftc.ftcj");
+    let manifest = dir.join("labels.ftc.manifest");
+    assert!(journal.is_file() && manifest.is_file());
+    let scan = scan_journal(&fs::read(&journal).unwrap()).unwrap();
+    assert!(scan.records.is_empty(), "commit must rotate the journal");
+    let (ok, stdout, _) = run(&["info", archive_str]);
+    assert!(ok);
+    assert!(stdout.contains("m 7"), "chord committed: {stdout}");
+
+    // Craft a crash: a journal holding one un-checkpointed insert plus
+    // a torn tail, with the manifest gone entirely.
+    let bytes = fs::read(&archive).unwrap();
+    let view = LabelStoreView::open(&bytes).unwrap();
+    let scheme = DynamicScheme::from_archive(&view, 5).unwrap();
+    assert!(!scheme.has_edge(1, 4));
+    drop(scheme);
+    let mut j = Journal::create(&StdVfs, &journal, scan.meta, FsyncPolicy::EveryOp).unwrap();
+    j.append(JournalOp::Insert(1, 4)).unwrap();
+    drop(j);
+    let mut crashed = fs::read(&journal).unwrap();
+    crashed.extend_from_slice(&[0xAB, 0xCD]); // mid-append power cut
+    fs::write(&journal, &crashed).unwrap();
+    fs::remove_file(&manifest).unwrap();
+
+    let (ok, stdout, stderr) = run(&["recover", archive_str, "--seed", "5"]);
+    assert!(ok, "recover failed: {stderr}");
+    assert!(
+        stdout.contains("1 replayed") && stdout.contains("torn tail truncated"),
+        "stdout: {stdout}"
+    );
+    let (ok, stdout, _) = run(&["info", archive_str]);
+    assert!(ok);
+    assert!(
+        stdout.contains("m 8"),
+        "replayed insert committed: {stdout}"
+    );
+    assert!(manifest.is_file(), "recover must reseal the manifest");
+    let rescan = scan_journal(&fs::read(&journal).unwrap()).unwrap();
+    assert!(rescan.records.is_empty() && rescan.torn_at.is_none());
+
+    // The recovered archive answers queries.
+    let (ok, stdout, _) = run(&["query", archive_str, "1", "4", "--fault", "1:2"]);
+    assert!(ok);
+    assert_eq!(stdout.trim(), "connected");
+
+    // Wrong seed: lineage mismatch is a typed refusal.
+    let (ok, _, stderr) = run(&["recover", archive_str, "--seed", "6"]);
+    assert!(!ok);
+    assert!(stderr.contains("lineage"), "stderr: {stderr}");
+
+    let _ = fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn cli_error_paths() {
     let (ok, _, stderr) = run(&[]);

@@ -1,0 +1,181 @@
+//! Durability validation on the simulated disk: the atomic-write
+//! contract under seeded fault injection, and full crash-recovery of a
+//! [`DurableScheme`] from a power cut at *every* recorded trace
+//! boundary. Each crash image is remounted as a fresh [`SimVfs`] and
+//! recovered; the recovered edge set must be one of the states the op
+//! stream actually passed through (crash consistency), and a crash
+//! after quiescence must lose nothing (durability of acknowledged
+//! ops).
+
+use ftc::core::io::{write_atomic, FaultConfig, SimVfs, Vfs};
+use ftc::dyn_::{default_journal_path, DurableScheme, DynConfig, DynamicScheme, FsyncPolicy};
+use ftc::graph::generators;
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Under injected short writes, fsync failures, and rename failures,
+/// the destination of an atomic write is always a *complete* payload —
+/// the old one or the new one, never a torn mix — both in the live view
+/// and in every simulated post-crash disk.
+#[test]
+fn faulty_vfs_never_tears_an_atomic_destination() {
+    let dst = Path::new("dst");
+    for seed in 0..6u64 {
+        let vfs = SimVfs::with_faults(FaultConfig {
+            seed,
+            short_write_per_mille: 250,
+            fail_fsync_per_mille: 250,
+            fail_rename_per_mille: 250,
+        });
+        // Distinguishable payloads: any byte of payload i differs from
+        // any byte of payload j, and lengths differ too.
+        let payloads: Vec<Vec<u8>> = (0..40).map(|i| vec![i as u8; 40 + i]).collect();
+        let mut attempted: Vec<&[u8]> = Vec::new();
+        let mut failures = 0;
+        for payload in &payloads {
+            attempted.push(payload);
+            let ok = write_atomic(&vfs, dst, payload).is_ok();
+            failures += usize::from(!ok);
+            match vfs.read(dst) {
+                Ok(live) => {
+                    if ok {
+                        // A successful commit is immediately visible.
+                        assert_eq!(live, *payload, "seed {seed}");
+                    } else {
+                        // A failed write may or may not have replaced the
+                        // destination (the rename can land before a failed
+                        // directory fsync) — but never partially.
+                        assert!(
+                            attempted.contains(&live.as_slice()),
+                            "seed {seed}: torn live destination {live:?}"
+                        );
+                    }
+                }
+                Err(_) => assert!(
+                    !ok && failures == attempted.len(),
+                    "seed {seed}: destination vanished after a successful write"
+                ),
+            }
+        }
+        assert!(vfs.injected_faults() > 0, "seed {seed} injected nothing");
+        // Every power-cut image at every boundary: complete old or
+        // complete new, never torn.
+        for boundary in 0..=vfs.trace_len() {
+            for image in vfs.crash_images(boundary, seed) {
+                if let Some(got) = image.get(dst) {
+                    assert!(
+                        payloads.iter().any(|p| p == got),
+                        "seed {seed}, boundary {boundary}: torn crash image {got:?}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+fn edge_set(scheme: &DynamicScheme) -> BTreeSet<(usize, usize)> {
+    scheme.edge_pairs().collect()
+}
+
+/// A journaled workload on the simulated disk, power-cut at every trace
+/// boundary under three persistence brackets (durable-only, flushed,
+/// seeded mix). Every image must recover — no crash window bricks the
+/// pair of files — and the recovered edge set must be exactly one of
+/// the states the op stream passed through. The quiescent (fully
+/// synced) disk must recover to the final state: acknowledged ops are
+/// never lost.
+#[test]
+fn recovery_from_every_power_cut_boundary_is_a_valid_prefix_state() {
+    const SEED: u64 = 11;
+    let g = generators::random_connected(24, 30, SEED);
+    let mut cfg = DynConfig::new(2, 12);
+    cfg.seed = SEED;
+    let scheme = DynamicScheme::new(&g, cfg).unwrap();
+
+    let vfs = Arc::new(SimVfs::new());
+    let archive = PathBuf::from("g.ftc");
+    let journal = default_journal_path(&archive);
+    let mut d = DurableScheme::create(
+        Arc::clone(&vfs) as Arc<dyn Vfs>,
+        &archive,
+        &journal,
+        scheme,
+        FsyncPolicy::EveryOp,
+    )
+    .unwrap();
+    // The durability guarantee starts once `create` has returned; the
+    // boundaries before that describe a scheme that never existed.
+    let base_trace = vfs.trace_len();
+
+    // Scripted toggle stream with a mid-stream checkpoint: every state
+    // the in-memory scheme passes through is a legal recovery target.
+    let mut states: Vec<BTreeSet<(usize, usize)>> = vec![edge_set(d.scheme())];
+    for i in 0..14usize {
+        let (u, v) = (i % 24, (i * 7 + 3) % 24);
+        if u == v {
+            continue;
+        }
+        if d.scheme().has_edge(u, v) {
+            d.delete_edge(u, v).unwrap();
+        } else {
+            d.insert_edge(u, v).unwrap();
+        }
+        states.push(edge_set(d.scheme()));
+        if i == 6 {
+            d.commit().unwrap();
+        }
+    }
+    let final_state = states.last().cloned().unwrap();
+    d.commit().unwrap();
+    drop(d);
+
+    for boundary in base_trace..=vfs.trace_len() {
+        for cut_seed in [1u64, 2] {
+            for (which, image) in vfs.crash_images(boundary, cut_seed).into_iter().enumerate() {
+                let disk = Arc::new(SimVfs::from_image(&image));
+                let (rec, stats) = DurableScheme::recover(
+                    disk as Arc<dyn Vfs>,
+                    &archive,
+                    &journal,
+                    SEED,
+                    FsyncPolicy::EveryOp,
+                )
+                .unwrap_or_else(|e| {
+                    panic!("boundary {boundary} image {which} cut {cut_seed}: {e}")
+                });
+                let got = edge_set(rec.scheme());
+                assert!(
+                    states.contains(&got),
+                    "boundary {boundary} image {which} cut {cut_seed}: \
+                     recovered set is not a prefix state (stats {stats:?})"
+                );
+            }
+        }
+    }
+
+    // Quiescent disk (everything synced): recovery is lossless, and the
+    // resealed state recovers identically a second time.
+    let image = &vfs.crash_images(vfs.trace_len(), 0)[0];
+    let disk = Arc::new(SimVfs::from_image(image));
+    let (rec, stats) = DurableScheme::recover(
+        Arc::clone(&disk) as Arc<dyn Vfs>,
+        &archive,
+        &journal,
+        SEED,
+        FsyncPolicy::EveryOp,
+    )
+    .unwrap();
+    assert_eq!(edge_set(rec.scheme()), final_state, "{stats:?}");
+    drop(rec);
+    let (again, stats2) = DurableScheme::recover(
+        disk as Arc<dyn Vfs>,
+        &archive,
+        &journal,
+        SEED,
+        FsyncPolicy::EveryOp,
+    )
+    .unwrap();
+    assert_eq!(edge_set(again.scheme()), final_state);
+    assert_eq!(stats2.replayed, 0, "reseal must leave an empty journal");
+}
